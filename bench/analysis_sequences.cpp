@@ -1,0 +1,104 @@
+/// \file analysis_sequences.cpp
+/// Supplementary analysis (no paper figure): which parameter-value scaling
+/// families are hardest to model? Sweeps the five sequence kinds of
+/// Sec. IV-D at a calm and a noisy level and reports accuracy and P4+
+/// error per kind for both modelers. Exponential sequences compress most
+/// of the normalized positions toward zero, which stresses the DNN's
+/// 11-slot input sampling — this bench quantifies that effect.
+///
+/// Options: --functions=N, --seed=S.
+
+#include <cstdio>
+
+#include "dnn/cache.hpp"
+#include "eval/task.hpp"
+#include "measure/sequences.hpp"
+#include "noise/injector.hpp"
+#include "pmnf/exponents.hpp"
+#include "regression/modeler.hpp"
+#include "regression/search.hpp"
+#include "xpcore/metrics.hpp"
+#include "xpcore/cli.hpp"
+#include "xpcore/rng.hpp"
+#include "xpcore/stats.hpp"
+#include "xpcore/table.hpp"
+
+namespace {
+
+/// A single-parameter task on a fixed sequence kind.
+struct KindTask {
+    pmnf::Model truth;
+    measure::ExperimentSet experiments;
+    std::vector<double> eval_xs;
+    std::vector<double> eval_truths;
+};
+
+KindTask make_kind_task(measure::SequenceKind kind, double noise_level, xpcore::Rng& rng) {
+    KindTask task;
+    const auto classes = pmnf::exponent_set();
+    const auto& cls = classes[rng.uniform_int(0, static_cast<std::int64_t>(classes.size()) - 1)];
+    pmnf::CompoundTerm term{rng.uniform(0.001, 1000.0), {{0, cls}}};
+    task.truth = pmnf::Model(rng.uniform(0.001, 1000.0), cls.is_constant()
+                                                             ? std::vector<pmnf::CompoundTerm>{}
+                                                             : std::vector<pmnf::CompoundTerm>{term});
+
+    const auto xs = measure::generate_sequence(kind, 5, rng);
+    noise::Injector injector(noise_level, rng);
+    task.experiments = measure::ExperimentSet({"x"});
+    for (double x : xs) {
+        task.experiments.add({x}, injector.repetitions(task.truth.evaluate({{x}}), 5));
+    }
+    task.eval_xs = measure::continue_sequence(xs, 4);
+    for (double x : task.eval_xs) task.eval_truths.push_back(task.truth.evaluate({{x}}));
+    return task;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const xpcore::CliArgs args(argc, argv);
+    const auto functions = static_cast<std::size_t>(args.get_int("functions", 30));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+
+    std::printf("== analysis: modeling difficulty per parameter-scaling family ==\n\n");
+
+    dnn::DnnModeler classifier(dnn::DnnConfig::fast(), 7);
+    dnn::ensure_pretrained(classifier, 7);
+    const regression::RegressionModeler baseline;
+
+    xpcore::Table table({"sequence kind", "noise %", "acc<=1/2 reg %", "acc<=1/2 dnn %",
+                         "P4+ reg %", "P4+ dnn %"});
+    for (double noise_level : {0.05, 0.75}) {
+        dnn::TaskProperties cell;
+        cell.noise_min = noise_level * 0.8;
+        cell.noise_max = noise_level * 1.2;
+        cell.repetitions = 5;
+        classifier.adapt(cell);
+
+        for (const auto kind : measure::all_sequence_kinds()) {
+            xpcore::Rng rng(seed + static_cast<std::uint64_t>(kind) * 31 +
+                            static_cast<std::uint64_t>(noise_level * 1000));
+            std::size_t reg_correct = 0, dnn_correct = 0;
+            std::vector<double> reg_errors, dnn_errors;
+            for (std::size_t t = 0; t < functions; ++t) {
+                const auto task = make_kind_task(kind, noise_level, rng);
+                const auto reg = baseline.model(task.experiments);
+                const auto dnn_result = classifier.model(task.experiments);
+                if (reg.model.lead_exponent_distance(task.truth, 1) <= 0.5) ++reg_correct;
+                if (dnn_result.model.lead_exponent_distance(task.truth, 1) <= 0.5) ++dnn_correct;
+                const double x4 = task.eval_xs.back();
+                reg_errors.push_back(xpcore::relative_error_pct(reg.model.evaluate({{x4}}),
+                                                                task.eval_truths.back()));
+                dnn_errors.push_back(xpcore::relative_error_pct(
+                    dnn_result.model.evaluate({{x4}}), task.eval_truths.back()));
+            }
+            table.add_row({measure::to_string(kind), xpcore::Table::num(noise_level * 100, 0),
+                           xpcore::Table::num(100.0 * reg_correct / functions, 1),
+                           xpcore::Table::num(100.0 * dnn_correct / functions, 1),
+                           xpcore::Table::num(xpcore::median(reg_errors), 1),
+                           xpcore::Table::num(xpcore::median(dnn_errors), 1)});
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,85 @@
+/// \file fig5_noise_distribution.cpp
+/// Regenerates Fig. 5 of the paper: the distribution of per-measurement
+/// noise levels for each case-study campaign — min, max, mean, median plus
+/// an ASCII histogram, estimated with the rrd heuristic exactly as the
+/// paper does.
+///
+/// Paper reference: Kripke mean 17.44% in [3.66, 53.66]%; FASTEST mean
+/// 49.56% in [7.51, 160.27]%; RELeARN in [0.64, 0.67]%.
+///
+/// Options: --seed=S, --bins=N.
+
+#include <cstdio>
+#include <string>
+
+#include "casestudy/casestudy.hpp"
+#include "noise/estimator.hpp"
+#include "xpcore/cli.hpp"
+#include "xpcore/rng.hpp"
+#include "xpcore/stats.hpp"
+#include "xpcore/table.hpp"
+
+namespace {
+
+void print_histogram(const std::vector<double>& levels, std::size_t bins) {
+    const double lo = xpcore::min_value(levels);
+    const double hi = xpcore::max_value(levels);
+    const double width = (hi - lo) > 1e-12 ? (hi - lo) / static_cast<double>(bins) : 1.0;
+    std::vector<std::size_t> counts(bins, 0);
+    for (double level : levels) {
+        auto bin = static_cast<std::size_t>((level - lo) / width);
+        if (bin >= bins) bin = bins - 1;
+        ++counts[bin];
+    }
+    std::size_t max_count = 1;
+    for (std::size_t c : counts) max_count = std::max(max_count, c);
+    for (std::size_t b = 0; b < bins; ++b) {
+        const double from = (lo + width * static_cast<double>(b)) * 100;
+        const double to = from + width * 100;
+        const auto bar = static_cast<std::size_t>(40.0 * counts[b] / max_count);
+        std::printf("  %6.1f-%6.1f%% | %-40s %zu\n", from, to, std::string(bar, '#').c_str(),
+                    counts[b]);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const xpcore::CliArgs args(argc, argv);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2021));
+    const auto bins = static_cast<std::size_t>(args.get_int("bins", 8));
+
+    std::printf("== Fig. 5: noise-level distributions of the case-study measurements ==\n\n");
+
+    xpcore::Table table({"application", "points", "min %", "max %", "mean %", "median %",
+                         "paper mean %"});
+    const char* paper_mean[] = {"17.44", "49.56", "~0.65"};
+    std::vector<std::vector<double>> all_levels;
+    std::size_t index = 0;
+    xpcore::Rng rng(seed);
+    for (const auto& study : casestudy::all_case_studies()) {
+        // The paper analyzes the noise of the whole campaign; we estimate
+        // per-point levels over the dominant kernel's full grid.
+        const auto set = study.generate(study.kernels.front(), study.analysis_points, rng);
+        const auto levels = noise::per_point_noise(set);
+        const auto stats = noise::analyze_noise(set);
+        table.add_row({study.application, std::to_string(set.size()),
+                       xpcore::Table::num(stats.min * 100), xpcore::Table::num(stats.max * 100),
+                       xpcore::Table::num(stats.mean * 100),
+                       xpcore::Table::num(stats.median * 100), paper_mean[index]});
+        all_levels.push_back(levels);
+        ++index;
+    }
+    table.print();
+
+    index = 0;
+    for (const auto& study : casestudy::all_case_studies()) {
+        std::printf("\n%s noise-level histogram (rrd per measurement point):\n",
+                    study.application.c_str());
+        print_histogram(all_levels[index], bins);
+        ++index;
+    }
+    std::printf("\nexpected shape: RELeARN is practically noise-free, Kripke moderate with a\n"
+                "rare-high-noise tail, FASTEST the noisiest with the widest spread.\n");
+    return 0;
+}

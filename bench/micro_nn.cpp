@@ -1,0 +1,106 @@
+/// \file micro_nn.cpp
+/// google-benchmark micro benchmarks for the neural-network substrate:
+/// GEMM kernels, layer forward/backward, optimizer steps, preprocessing,
+/// and end-to-end training throughput — the costs that dominate the
+/// adaptive modeler's overhead (Fig. 6).
+
+#include <benchmark/benchmark.h>
+
+#include "dnn/preprocess.hpp"
+#include "dnn/training_data.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+void fill_random(nn::Tensor& t, xpcore::Rng& rng) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+    }
+}
+
+void BM_GemmNN(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    xpcore::Rng rng(1);
+    nn::Tensor a(n, n), b(n, n), c(n, n);
+    fill_random(a, rng);
+    fill_random(b, rng);
+    for (auto _ : state) {
+        nn::gemm_nn(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n * 2);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    xpcore::Rng rng(2);
+    nn::Tensor a(n, n), b(n, n), c(n, n);
+    fill_random(a, rng);
+    fill_random(b, rng);
+    for (auto _ : state) {
+        nn::gemm_nt(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n * 2);
+}
+BENCHMARK(BM_GemmNT)->Arg(128);
+
+void BM_NetworkForward(benchmark::State& state) {
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    xpcore::Rng rng(3);
+    nn::Network net = nn::Network::mlp({11, 256, 128, 64, 43}, rng);
+    nn::Tensor in(batch, 11);
+    fill_random(in, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.forward(in).data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_NetworkForward)->Arg(1)->Arg(128);
+
+void BM_NetworkTrainStep(benchmark::State& state) {
+    xpcore::Rng rng(4);
+    nn::Network net = nn::Network::mlp({11, 256, 128, 64, 43}, rng);
+    nn::AdaMax opt;
+    opt.attach(net.params());
+    nn::Tensor in(128, 11);
+    fill_random(in, rng);
+    std::vector<std::int32_t> labels(128);
+    for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<std::int32_t>(i % 43);
+    nn::Tensor probs, grad;
+    for (auto _ : state) {
+        nn::SoftmaxCrossEntropy::softmax(net.forward(in), probs);
+        nn::SoftmaxCrossEntropy::backward(probs, labels, grad);
+        net.backward(grad);
+        opt.step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_NetworkTrainStep);
+
+void BM_Preprocess(benchmark::State& state) {
+    const std::vector<double> xs = {8, 64, 512, 4096, 32768};
+    const std::vector<double> vs = {1.2, 3.4, 9.1, 28.0, 80.5};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dnn::preprocess_line(xs, vs));
+    }
+}
+BENCHMARK(BM_Preprocess);
+
+void BM_TrainingDataGeneration(benchmark::State& state) {
+    dnn::GeneratorConfig config;
+    config.samples_per_class = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        xpcore::Rng rng(5);
+        const auto data = dnn::generate_training_data(config, rng);
+        benchmark::DoNotOptimize(data.inputs.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 43 * state.range(0));
+}
+BENCHMARK(BM_TrainingDataGeneration)->Arg(10)->Arg(50);
+
+}  // namespace

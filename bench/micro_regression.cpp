@@ -1,0 +1,89 @@
+/// \file micro_regression.cpp
+/// google-benchmark micro benchmarks for the regression substrate: the
+/// 43-hypothesis single-parameter search, coefficient fits, and the
+/// multi-parameter combination search.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "measure/experiment.hpp"
+#include "regression/modeler.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+void BM_FitShape(benchmark::State& state) {
+    regression::CandidateShape shape;
+    shape.terms.push_back({{0, {pmnf::Rational(1), 1}}});
+    std::vector<measure::Coordinate> points;
+    std::vector<double> values;
+    for (double x : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+        points.push_back({x});
+        values.push_back(2.0 + 0.5 * x * std::log2(x));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(regression::fit_shape(shape, points, values));
+    }
+}
+BENCHMARK(BM_FitShape);
+
+void BM_CrossValidatedSmape(benchmark::State& state) {
+    regression::CandidateShape shape;
+    shape.terms.push_back({{0, {pmnf::Rational(2), 0}}});
+    std::vector<measure::Coordinate> points;
+    std::vector<double> values;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 1; i <= n; ++i) {
+        const double x = static_cast<double>(i * 4);
+        points.push_back({x});
+        values.push_back(1.0 + 0.1 * x * x);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(regression::cross_validated_smape(shape, points, values));
+    }
+}
+BENCHMARK(BM_CrossValidatedSmape)->Arg(5)->Arg(25)->Arg(125);
+
+void BM_RankSingleParameter(benchmark::State& state) {
+    std::vector<double> xs, ys;
+    for (double x : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+        xs.push_back(x);
+        ys.push_back(3.0 + 2.0 * std::sqrt(x));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(regression::rank_single_parameter(xs, ys));
+    }
+    state.SetLabel("43 hypotheses, LOO-CV");
+}
+BENCHMARK(BM_RankSingleParameter);
+
+void BM_RegressionModelerTwoParams(benchmark::State& state) {
+    measure::ExperimentSet set({"p", "n"});
+    for (double p : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        for (double n : {10.0, 20.0, 30.0, 40.0, 50.0}) {
+            set.add({p, n}, {1.0 + 0.2 * p * n});
+        }
+    }
+    const regression::RegressionModeler modeler;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(modeler.model(set));
+    }
+}
+BENCHMARK(BM_RegressionModelerTwoParams);
+
+void BM_BuildCombinationsThreeParams(benchmark::State& state) {
+    const pmnf::TermClass linear{pmnf::Rational(1), 0};
+    const pmnf::TermClass loglinear{pmnf::Rational(1), 1};
+    const pmnf::TermClass constant{};
+    const std::vector<std::vector<pmnf::TermClass>> choices = {
+        {linear, loglinear, constant},
+        {linear, loglinear, constant},
+        {linear, loglinear, constant}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(regression::build_combinations(choices));
+    }
+}
+BENCHMARK(BM_BuildCombinationsThreeParams);
+
+}  // namespace

@@ -1,0 +1,112 @@
+/// \file miniapp_study.cpp
+/// End-to-end study on *real measured runtimes*: runs the executable
+/// mini-app kernels (src/miniapp) over small-scale configuration grids,
+/// measures wall-clock time with repetitions — real machine noise included
+/// — models the measurements, and validates the models' extrapolation
+/// against an actually measured larger configuration. This is the complete
+/// Extra-P workflow on live data, no simulation involved.
+
+#include <cstdio>
+
+#include "adaptive/modeler.hpp"
+#include "dnn/cache.hpp"
+#include "miniapp/campaign.hpp"
+#include "noise/estimator.hpp"
+#include "regression/modeler.hpp"
+#include "xpcore/metrics.hpp"
+#include "xpcore/stats.hpp"
+#include "xpcore/table.hpp"
+#include "xpcore/timer.hpp"
+
+namespace {
+
+struct Study {
+    const char* name;
+    std::vector<std::string> parameters;
+    std::vector<measure::Coordinate> points;
+    measure::Coordinate validation_point;
+    miniapp::KernelFactory factory;
+};
+
+}  // namespace
+
+int main() {
+    std::printf("== mini-app study: modeling real measured runtimes ==\n\n");
+
+    std::vector<Study> studies;
+    {
+        Study sweep;
+        sweep.name = "transport sweep (d, g)";
+        sweep.parameters = {"d", "g"};
+        for (double d : {2.0, 4.0, 6.0, 8.0, 10.0}) {
+            for (double g : {8.0, 16.0, 24.0, 32.0, 40.0}) sweep.points.push_back({d, g});
+        }
+        sweep.validation_point = {20.0, 80.0};  // 4x the measured corner
+        sweep.factory = miniapp::sweep_factory(16, 16, 16);
+        studies.push_back(std::move(sweep));
+    }
+    {
+        Study stencil;
+        stencil.name = "jacobi stencil (n, iters)";
+        stencil.parameters = {"n", "iters"};
+        for (double n : {16.0, 24.0, 32.0, 40.0, 48.0}) {
+            for (double it : {2.0, 4.0, 6.0, 8.0, 10.0}) stencil.points.push_back({n, it});
+        }
+        stencil.validation_point = {96.0, 20.0};
+        stencil.factory = miniapp::stencil_factory();
+        studies.push_back(std::move(stencil));
+    }
+    {
+        Study connectivity;
+        connectivity.name = "octree connectivity (neurons)";
+        connectivity.parameters = {"n"};
+        for (double n : {1000.0, 2000.0, 4000.0, 8000.0, 16000.0}) {
+            connectivity.points.push_back({n});
+        }
+        connectivity.validation_point = {64000.0};
+        connectivity.factory = miniapp::connectivity_factory();
+        studies.push_back(std::move(connectivity));
+    }
+
+    dnn::DnnModeler classifier(dnn::DnnConfig::fast(), 7);
+    dnn::ensure_pretrained(classifier, 7);
+    regression::RegressionModeler baseline;
+    adaptive::AdaptiveModeler adaptive_modeler(classifier, {});
+
+    miniapp::CampaignConfig campaign;
+    campaign.repetitions = 5;
+    campaign.metric = miniapp::Metric::Runtime;
+    campaign.min_seconds_per_repetition = 0.003;
+
+    xpcore::Table table({"kernel", "noise %", "model (adaptive)", "reg err %", "ada err %"});
+    for (const auto& study : studies) {
+        const auto set =
+            miniapp::run_campaign(study.parameters, study.points, study.factory, campaign);
+        const double noise_level = noise::estimate_noise(set);
+
+        const auto regression_result = baseline.model(set);
+        const auto adaptive_result = adaptive_modeler.model(set);
+
+        // Measure the truth at the validation point (median of 5 runs).
+        auto kernel = study.factory(study.validation_point);
+        std::vector<double> truth_runs;
+        for (int rep = 0; rep < 5; ++rep) {
+            xpcore::WallTimer timer;
+            (void)kernel->run();
+            truth_runs.push_back(timer.seconds());
+        }
+        const double truth = xpcore::median(truth_runs);
+
+        const double reg_err = xpcore::relative_error_pct(
+            regression_result.model.evaluate(study.validation_point), truth);
+        const double ada_err = xpcore::relative_error_pct(
+            adaptive_result.result.model.evaluate(study.validation_point), truth);
+        table.add_row({study.name, xpcore::Table::num(noise_level * 100, 1),
+                       adaptive_result.result.model.to_string(study.parameters),
+                       xpcore::Table::num(reg_err, 1), xpcore::Table::num(ada_err, 1)});
+    }
+    table.print();
+    std::printf("\nextrapolation errors are against the *measured* runtime of a\n"
+                "configuration 2-4x beyond the modeled range.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/// \file quickstart.cpp
+/// Minimal end-to-end tour of the library:
+///   1. collect (or here: synthesize) noisy performance measurements,
+///   2. estimate the noise level with the rrd heuristic,
+///   3. model with the regression baseline and with the adaptive modeler,
+///   4. compare the models and their extrapolation.
+///
+/// The "application" is a fictitious stencil solver whose runtime behaves
+/// like f(p) = 4 + 0.08 * p * log2(p) for p processes; measurements carry
+/// 40% noise, which is where regression models start to derail.
+
+#include <cstdio>
+
+#include "adaptive/modeler.hpp"
+#include "dnn/cache.hpp"
+#include "dnn/modeler.hpp"
+#include "measure/experiment.hpp"
+#include "noise/estimator.hpp"
+#include "noise/injector.hpp"
+#include "regression/modeler.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+double true_runtime(double p) { return 4.0 + 0.08 * p * std::log2(p); }
+
+}  // namespace
+
+int main() {
+    std::printf("== xpdnn quickstart ==\n\n");
+
+    // --- 1. Gather measurements: 5 scaling experiments, 5 repetitions. ---
+    xpcore::Rng rng(2021);
+    noise::Injector injector(/*level=*/0.40, rng);  // 40%% noise: +-20%%
+    measure::ExperimentSet experiments({"p"});
+    for (double p : {32.0, 64.0, 128.0, 256.0, 512.0}) {
+        experiments.add({p}, injector.repetitions(true_runtime(p), 5));
+    }
+
+    // --- 2. Estimate the noise level. ---
+    const double estimated = noise::estimate_noise(experiments);
+    std::printf("estimated noise level: %.1f%% (injected: 40%%)\n\n", estimated * 100.0);
+
+    // --- 3a. Regression baseline (Extra-P). ---
+    regression::RegressionModeler baseline;
+    const auto regression_result = baseline.model(experiments);
+    std::printf("regression model: %s\n",
+                regression_result.model.to_string(experiments.parameter_names()).c_str());
+
+    // --- 3b. Adaptive modeler: pretrained DNN + domain adaptation. ---
+    dnn::DnnModeler classifier(dnn::DnnConfig::fast(), /*seed=*/7);
+    dnn::ensure_pretrained(classifier, /*seed=*/7);  // cached on disk after the first run
+    adaptive::AdaptiveModeler adaptive_modeler(classifier, {});
+    const auto adaptive_result = adaptive_modeler.model(experiments);
+    std::printf("adaptive model:   %s\n", adaptive_result.result.model
+                                              .to_string(experiments.parameter_names())
+                                              .c_str());
+    std::printf("adaptive path:    %s (noise %.1f%%, regression %s)\n\n",
+                adaptive_result.winner.c_str(), adaptive_result.estimated_noise * 100.0,
+                adaptive_result.used_regression ? "competed" : "switched off");
+
+    // --- 4. Compare extrapolation at p = 4096, far outside the data. ---
+    const double p_big = 4096.0;
+    const double truth = true_runtime(p_big);
+    const double reg = regression_result.model.evaluate({{p_big}});
+    const double ada = adaptive_result.result.model.evaluate({{p_big}});
+    std::printf("extrapolation to p = %.0f:\n", p_big);
+    std::printf("  truth:      %10.2f s\n", truth);
+    std::printf("  regression: %10.2f s (%+.1f%%)\n", reg, (reg - truth) / truth * 100.0);
+    std::printf("  adaptive:   %10.2f s (%+.1f%%)\n", ada, (ada - truth) / truth * 100.0);
+    return 0;
+}

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file batch.hpp
+/// Batch modeling with amortized domain adaptation.
+///
+/// The paper retrains the DNN for every kernel, which dominates the
+/// adaptive modeler's 54-65x overhead (Fig. 6). In practice the kernels of
+/// one application share the measurement layout and often similar noise
+/// levels, so their adaptation data sets are nearly identical. The batch
+/// modeler estimates each kernel's noise first, clusters kernels whose
+/// noise levels lie within a configurable tolerance, and retrains once per
+/// cluster — same models, a fraction of the retraining cost
+/// (bench/fig6_modeling_time --batch quantifies the saving).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "adaptive/modeler.hpp"
+
+namespace adaptive {
+
+/// One named modeling task of a batch (e.g. one application kernel).
+struct BatchTask {
+    std::string name;
+    measure::ExperimentSet experiments;
+};
+
+/// Result of one task, annotated with its adaptation cluster.
+struct BatchResult {
+    std::string name;
+    AdaptiveResult outcome;
+    std::size_t cluster = 0;  ///< index of the adaptation cluster used
+};
+
+/// Models a batch of tasks with one classifier, adapting once per noise
+/// cluster instead of once per task.
+class BatchModeler {
+public:
+    struct Config {
+        AdaptiveModeler::Config adaptive;
+        /// Two tasks share a cluster when their estimated noise levels
+        /// differ by at most this fraction (absolute). 0 disables grouping
+        /// (one adaptation per task, the paper's behavior).
+        double group_tolerance = 0.10;
+    };
+
+    BatchModeler(dnn::DnnModeler& classifier, Config config)
+        : classifier_(classifier), config_(config) {}
+
+    /// Model every task; results are returned in input order.
+    std::vector<BatchResult> model(const std::vector<BatchTask>& tasks);
+
+    /// Number of adaptations performed by the last model() call.
+    std::size_t adaptations_performed() const { return adaptations_; }
+
+private:
+    dnn::DnnModeler& classifier_;
+    Config config_;
+    std::size_t adaptations_ = 0;
+};
+
+}  // namespace adaptive

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file modeler.hpp
+/// The adaptive performance modeler (Sec. IV-A of the paper).
+///
+/// Pipeline: estimate the noise level with the rrd heuristic; domain-adapt
+/// the pretrained DNN to the task; model with the DNN; when the estimated
+/// noise is below a per-parameter-count threshold additionally model with
+/// the regression baseline (which wins on calm data); select the final
+/// model by cross-validated SMAPE. Above the threshold the regression
+/// modeler is switched off entirely, because least-squares fits to noisy
+/// data extrapolate poorly outside the measured range.
+
+#include <cstddef>
+#include <string>
+
+#include "dnn/modeler.hpp"
+#include "measure/experiment.hpp"
+#include "regression/modeler.hpp"
+
+namespace adaptive {
+
+/// Noise thresholds (fractions) above which the regression modeler is
+/// disabled, per parameter count. The defaults come from our reproduction
+/// of the paper's accuracy-intersection analysis (see DESIGN.md and the
+/// threshold ablation bench): below them the regression candidate competes
+/// via cross-validation, above them its noisy fits win CV while
+/// extrapolating poorly, so it is switched off.
+struct ThresholdPolicy {
+    double one_parameter = 0.50;
+    double two_parameters = 0.80;
+    double three_or_more = 0.50;
+
+    double threshold_for(std::size_t parameter_count) const {
+        if (parameter_count <= 1) return one_parameter;
+        if (parameter_count == 2) return two_parameters;
+        return three_or_more;
+    }
+};
+
+/// Outcome of one adaptive modeling run, including the diagnostics the
+/// paper's case studies report (noise level, winner, per-path timings).
+struct AdaptiveResult {
+    regression::ModelResult result;   ///< the selected model
+    double estimated_noise = 0.0;     ///< rrd estimate (fraction)
+    bool used_regression = false;     ///< regression path was run
+    bool used_dnn = false;            ///< DNN path was run
+    std::string winner;               ///< "regression" or "dnn"
+    double regression_seconds = 0.0;  ///< wall-clock of the regression path
+    double dnn_seconds = 0.0;         ///< wall-clock of adaptation + DNN path
+};
+
+/// The adaptive modeler. Holds a reference to a pretrained DnnModeler
+/// (adaptation mutates its active network) and owns a regression baseline.
+class AdaptiveModeler {
+public:
+    struct Config {
+        ThresholdPolicy thresholds;
+        /// Run domain adaptation before DNN modeling (the paper always
+        /// does; disabling isolates adaptation's contribution in ablations).
+        bool domain_adaptation = true;
+        regression::RegressionModeler::Config regression;
+    };
+
+    AdaptiveModeler(dnn::DnnModeler& dnn_modeler, Config config)
+        : dnn_(dnn_modeler), regression_(config.regression), config_(config) {}
+
+    /// Model the experiment set adaptively.
+    AdaptiveResult model(const measure::ExperimentSet& set);
+
+    const Config& config() const { return config_; }
+
+private:
+    dnn::DnnModeler& dnn_;
+    regression::RegressionModeler regression_;
+    Config config_;
+};
+
+}  // namespace adaptive

@@ -1,0 +1,79 @@
+#include "adaptive/batch.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "noise/estimator.hpp"
+
+namespace adaptive {
+
+std::vector<BatchResult> BatchModeler::model(const std::vector<BatchTask>& tasks) {
+    adaptations_ = 0;
+    std::vector<BatchResult> results(tasks.size());
+    if (tasks.empty()) return results;
+
+    // Estimate every task's noise level up front; clustering is done on the
+    // sorted levels so each cluster spans at most `group_tolerance`.
+    std::vector<double> noise_levels(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        noise_levels[i] = noise::estimate_noise(tasks[i].experiments);
+    }
+    std::vector<std::size_t> order(tasks.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return noise_levels[a] < noise_levels[b]; });
+
+    // The per-task modeling reuses the adaptive decision logic but never
+    // re-adapts; adaptation happens once per cluster below.
+    AdaptiveModeler::Config task_config = config_.adaptive;
+    task_config.domain_adaptation = false;
+    AdaptiveModeler task_modeler(classifier_, task_config);
+
+    std::size_t cluster_index = 0;
+    std::size_t begin = 0;
+    while (begin < order.size()) {
+        // Grow the cluster while the noise spread stays within tolerance.
+        std::size_t end = begin + 1;
+        while (end < order.size() &&
+               noise_levels[order[end]] - noise_levels[order[begin]] <=
+                   config_.group_tolerance) {
+            ++end;
+        }
+
+        if (config_.adaptive.domain_adaptation) {
+            // Merge the cluster members' task properties: union of the
+            // parameter-value sets, envelope of the noise ranges.
+            dnn::TaskProperties merged;
+            bool first = true;
+            for (std::size_t k = begin; k < end; ++k) {
+                const auto props =
+                    dnn::TaskProperties::from_experiment(tasks[order[k]].experiments);
+                if (first) {
+                    merged = props;
+                    first = false;
+                } else {
+                    merged.noise_min = std::min(merged.noise_min, props.noise_min);
+                    merged.noise_max = std::max(merged.noise_max, props.noise_max);
+                    merged.repetitions = std::max(merged.repetitions, props.repetitions);
+                    merged.sequences.insert(merged.sequences.end(), props.sequences.begin(),
+                                            props.sequences.end());
+                }
+            }
+            classifier_.adapt(merged);
+            ++adaptations_;
+        }
+
+        for (std::size_t k = begin; k < end; ++k) {
+            const std::size_t task_index = order[k];
+            BatchResult& result = results[task_index];
+            result.name = tasks[task_index].name;
+            result.cluster = cluster_index;
+            result.outcome = task_modeler.model(tasks[task_index].experiments);
+        }
+        ++cluster_index;
+        begin = end;
+    }
+    return results;
+}
+
+}  // namespace adaptive

@@ -1,0 +1,52 @@
+#include "adaptive/modeler.hpp"
+
+#include "noise/estimator.hpp"
+#include "xpcore/timer.hpp"
+
+namespace adaptive {
+
+AdaptiveResult AdaptiveModeler::model(const measure::ExperimentSet& set) {
+    AdaptiveResult outcome;
+
+    // Step 1: noise estimation (rrd heuristic).
+    outcome.estimated_noise = noise::estimate_noise(set);
+
+    // Step 2: decide which modelers run. The DNN always does; regression
+    // only below the noise threshold for this parameter count.
+    const double threshold = config_.thresholds.threshold_for(set.parameter_count());
+    const bool run_regression = outcome.estimated_noise < threshold;
+
+    // Step 3 + 4: domain adaptation and DNN modeling.
+    xpcore::WallTimer dnn_timer;
+    if (config_.domain_adaptation) {
+        dnn_.adapt(dnn::TaskProperties::from_experiment(set));
+    }
+    regression::ModelResult dnn_result = dnn_.model(set);
+    outcome.dnn_seconds = dnn_timer.seconds();
+    outcome.used_dnn = true;
+
+    if (!run_regression) {
+        outcome.result = std::move(dnn_result);
+        outcome.winner = "dnn";
+        return outcome;
+    }
+
+    // Step 5: evaluate both models against each other; cross-validated
+    // SMAPE picks the winner, ties go to the regression baseline (the
+    // simpler, better-understood method on calm data).
+    xpcore::WallTimer regression_timer;
+    regression::ModelResult regression_result = regression_.model(set);
+    outcome.regression_seconds = regression_timer.seconds();
+    outcome.used_regression = true;
+
+    if (dnn_result.cv_smape < regression_result.cv_smape) {
+        outcome.result = std::move(dnn_result);
+        outcome.winner = "dnn";
+    } else {
+        outcome.result = std::move(regression_result);
+        outcome.winner = "regression";
+    }
+    return outcome;
+}
+
+}  // namespace adaptive

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file casestudy.hpp
+/// Synthetic application case studies (Sec. VI of the paper).
+///
+/// The paper evaluates on measurement campaigns of three real codes (Kripke
+/// on Vulcan, FASTEST on SuperMUC, RELeARN on Lichtenberg). Those traces are
+/// not available, so each case study is *simulated*: the exact parameter
+/// spaces, modeling/evaluation points, and repetition counts of the paper
+/// are combined with per-kernel ground-truth PMNF functions (taken from the
+/// models and theoretical expectations the paper reports) and per-point
+/// noise drawn to match the paper's published noise distributions (Fig. 5).
+/// The modeling pipeline only ever sees (point, repetitions) tuples, so this
+/// exercises exactly the same code paths as the original data (DESIGN.md).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "measure/archive.hpp"
+#include "measure/experiment.hpp"
+#include "pmnf/model.hpp"
+#include "xpcore/rng.hpp"
+
+namespace casestudy {
+
+/// Per-point noise-level distribution of an application's measurements.
+/// Levels are drawn as min + (max - min) * u^skew with u ~ U(0, 1): skew = 1
+/// is uniform; larger skews make high noise levels rare, matching the
+/// paper's observation for Kripke and FASTEST.
+struct NoiseProfile {
+    double min = 0.0;
+    double max = 0.0;
+    double skew = 1.0;
+
+    /// Draw one per-point noise level (fraction).
+    double sample_level(xpcore::Rng& rng) const;
+    /// Analytic mean of the distribution: min + (max - min) / (skew + 1).
+    double mean() const { return min + (max - min) / (skew + 1.0); }
+};
+
+/// One application kernel: its ground-truth runtime model and its share of
+/// the total application runtime (kernels above 1% are the paper's
+/// "performance-relevant" set).
+struct KernelSpec {
+    std::string name;
+    pmnf::Model truth;
+    double runtime_share = 0.0;
+
+    bool performance_relevant() const { return runtime_share > 0.01; }
+};
+
+/// A complete case study: parameter space, measurement layout, noise
+/// profile, and kernels.
+struct CaseStudy {
+    std::string application;
+    std::vector<std::string> parameters;
+
+    /// Points used for model creation (e.g. Kripke's 125-point grid or the
+    /// two overlapping lines of FASTEST/RELeARN).
+    std::vector<measure::Coordinate> modeling_points;
+    /// All measured points, for the noise-distribution analysis (Fig. 5).
+    std::vector<measure::Coordinate> analysis_points;
+    /// The extrapolation point P+ used for the predictive-power analysis.
+    measure::Coordinate evaluation_point;
+
+    std::size_t repetitions = 5;
+    NoiseProfile noise;
+    std::vector<KernelSpec> kernels;
+
+    /// Noisy experiments of one kernel over `points`. Deterministic given
+    /// the Rng state.
+    measure::ExperimentSet generate(const KernelSpec& kernel,
+                                    const std::vector<measure::Coordinate>& points,
+                                    xpcore::Rng& rng) const;
+
+    /// Convenience: experiments over the modeling points.
+    measure::ExperimentSet generate_modeling(const KernelSpec& kernel, xpcore::Rng& rng) const {
+        return generate(kernel, modeling_points, rng);
+    }
+
+    /// Kernels contributing more than 1% of total runtime.
+    std::vector<const KernelSpec*> relevant_kernels() const;
+
+    /// Simulated measurements of *all* kernels over the modeling points,
+    /// bundled as one archive (metric "time").
+    measure::Archive generate_archive(xpcore::Rng& rng) const;
+};
+
+/// The three case studies of the paper.
+CaseStudy kripke();
+CaseStudy fastest();
+CaseStudy relearn();
+std::vector<CaseStudy> all_case_studies();
+
+}  // namespace casestudy

@@ -1,0 +1,50 @@
+#include "casestudy/casestudy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "noise/injector.hpp"
+
+namespace casestudy {
+
+double NoiseProfile::sample_level(xpcore::Rng& rng) const {
+    const double u = rng.uniform(0.0, 1.0);
+    return min + (max - min) * std::pow(u, skew);
+}
+
+measure::ExperimentSet CaseStudy::generate(const KernelSpec& kernel,
+                                           const std::vector<measure::Coordinate>& points,
+                                           xpcore::Rng& rng) const {
+    measure::ExperimentSet set(parameters);
+    for (const auto& point : points) {
+        if (point.size() != parameters.size()) {
+            throw std::invalid_argument("CaseStudy::generate: point arity mismatch");
+        }
+        const double truth = kernel.truth.evaluate(point);
+        // Each measurement point experiences its own noise level, as on a
+        // real system where congestion and OS noise vary per job.
+        noise::Injector injector(noise.sample_level(rng), rng);
+        set.add(point, injector.repetitions(truth, repetitions));
+    }
+    return set;
+}
+
+std::vector<const KernelSpec*> CaseStudy::relevant_kernels() const {
+    std::vector<const KernelSpec*> relevant;
+    for (const auto& kernel : kernels) {
+        if (kernel.performance_relevant()) relevant.push_back(&kernel);
+    }
+    return relevant;
+}
+
+measure::Archive CaseStudy::generate_archive(xpcore::Rng& rng) const {
+    measure::Archive archive(parameters);
+    for (const auto& kernel : kernels) {
+        archive.add(kernel.name, "time", generate_modeling(kernel, rng));
+    }
+    return archive;
+}
+
+std::vector<CaseStudy> all_case_studies() { return {kripke(), fastest(), relearn()}; }
+
+}  // namespace casestudy

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file commands.hpp
+/// The xpdnn command-line driver, as a library so the commands are unit
+/// testable. The `tools/xpdnn` binary is a thin wrapper around run().
+///
+/// Subcommands:
+///   model <measurements.txt>   create performance models
+///       --modeler=adaptive|regression|dnn   (default adaptive)
+///       --aggregation=median|mean|minimum   (default median)
+///       --alternatives=N                    also print the N best runners-up
+///       --eval=x1,x2,...                    evaluate the model at a point
+///       --json                              print the model as JSON
+///       --net=tiny|fast|paper               classifier profile (default fast)
+///       --ensemble=N                        dnn only: N-member committee
+///       --seed=S
+///   noise <measurements.txt>   noise-level report (rrd heuristic)
+///   predict <model.json> x1 [x2 ...]   evaluate a stored model
+///   simulate <kripke|fastest|relearn> [kernel] --out=file [--seed=S]
+///                              generate a simulated case-study campaign
+///   help                       usage
+
+#include <iosfwd>
+
+namespace cli {
+
+/// Entry point: dispatches argv[1] to a subcommand. Returns a process exit
+/// code (0 success, 1 usage error, 2 runtime failure). All output goes to
+/// the given streams; nothing is printed elsewhere.
+int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+}  // namespace cli

@@ -1,0 +1,356 @@
+#include "cli/commands.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adaptive/batch.hpp"
+#include "adaptive/modeler.hpp"
+#include "casestudy/casestudy.hpp"
+#include "measure/archive.hpp"
+#include "dnn/cache.hpp"
+#include "dnn/ensemble.hpp"
+#include "dnn/modeler.hpp"
+#include "measure/aggregation.hpp"
+#include "measure/io.hpp"
+#include "noise/estimator.hpp"
+#include "pmnf/serialize.hpp"
+#include "regression/modeler.hpp"
+#include "xpcore/cli.hpp"
+#include "xpcore/rng.hpp"
+#include "xpcore/table.hpp"
+
+namespace cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(xpdnn - noise-resilient empirical performance modeling
+
+usage:
+  xpdnn model <measurements.txt> [--modeler=adaptive|regression|dnn]
+        [--aggregation=median|mean|minimum] [--alternatives=N]
+        [--eval=x1,x2,...] [--json] [--net=tiny|fast|paper] [--seed=S]
+        [--ensemble=N]   (dnn modeler only: N-member committee)
+        [--simplify]     (drop terms irrelevant at the largest point)
+  xpdnn model-all <archive.txt> [--group-tolerance=T] [--net=...] [--seed=S]
+  xpdnn noise <measurements.txt>
+  xpdnn predict <model.json> x1 [x2 ...]
+  xpdnn simulate <kripke|fastest|relearn> [kernel] --out=<file> [--seed=S]
+        [--all-kernels]   (emit a multi-kernel archive for model-all)
+  xpdnn help
+
+measurement file format (see measure/io.hpp):
+  params: p n
+  8 1024 : 1.23 1.25 1.22
+)";
+
+dnn::DnnConfig net_profile(const std::string& name) {
+    if (name == "paper") return dnn::DnnConfig::paper();
+    if (name == "fast") return dnn::DnnConfig::fast();
+    if (name == "tiny") {
+        dnn::DnnConfig config;
+        config.hidden = {96, 48};
+        config.pretrain_samples_per_class = 250;
+        config.pretrain_epochs = 3;
+        config.adapt_samples_per_class = 120;
+        return config;
+    }
+    throw std::invalid_argument("unknown --net profile '" + name + "'");
+}
+
+std::vector<double> parse_point(const std::string& spec) {
+    std::vector<double> point;
+    std::stringstream stream(spec);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+        std::size_t consumed = 0;
+        point.push_back(std::stod(item, &consumed));
+        if (consumed != item.size()) {
+            throw std::invalid_argument("malformed coordinate '" + item + "'");
+        }
+    }
+    return point;
+}
+
+void print_result(const regression::ModelResult& result, const measure::ExperimentSet& set,
+                  const char* label, bool as_json, bool simplify, std::ostream& out) {
+    pmnf::Model model = result.model;
+    if (simplify && !set.empty()) {
+        // Drop terms that are numerically irrelevant at the largest
+        // measured configuration.
+        measure::Coordinate reference(set.parameter_count(), 0.0);
+        for (const auto& m : set.measurements()) {
+            for (std::size_t l = 0; l < reference.size(); ++l) {
+                reference[l] = std::max(reference[l], m.point[l]);
+            }
+        }
+        model = model.simplified(reference);
+    }
+    if (as_json) {
+        out << pmnf::to_json(model) << "\n";
+    } else {
+        out << label << ": " << model.to_string(set.parameter_names())
+            << "   [cv-smape " << xpcore::Table::num(result.cv_smape) << "%, fit-smape "
+            << xpcore::Table::num(result.fit_smape) << "%]\n";
+    }
+}
+
+int cmd_model(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
+    if (args.positionals().size() < 2) {
+        err << "xpdnn model: missing measurement file\n";
+        return 1;
+    }
+    const auto set = measure::load_text_file(args.positionals()[1]);
+    const auto aggregation =
+        measure::aggregation_from_string(args.get("aggregation", "median"));
+    const std::string modeler_name = args.get("modeler", "adaptive");
+    const auto alternatives = static_cast<std::size_t>(args.get_int("alternatives", 0));
+    const bool as_json = args.get_bool("json", false);
+    const bool simplify = args.get_bool("simplify", false);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+    if (!as_json) {
+        out << "measurements: " << set.size() << " points, "
+            << set.parameter_count() << " parameter(s)\n";
+        out << "estimated noise: " << xpcore::Table::num(noise::estimate_noise(set) * 100, 1)
+            << "%\n";
+    }
+
+    regression::RegressionModeler::Config regression_config;
+    regression_config.aggregation = aggregation;
+
+    regression::ModelResult best;
+    if (modeler_name == "regression") {
+        const regression::RegressionModeler modeler(regression_config);
+        best = modeler.model(set);
+        print_result(best, set, "model", as_json, simplify, out);
+        if (alternatives > 0) {
+            const auto ranked = modeler.model_alternatives(set, alternatives + 1);
+            for (std::size_t i = 1; i < ranked.size(); ++i) {
+                print_result(ranked[i], set, "alternative", as_json, simplify, out);
+            }
+        }
+    } else if (modeler_name == "dnn" || modeler_name == "adaptive") {
+        dnn::DnnConfig net_config = net_profile(args.get("net", "fast"));
+        net_config.aggregation = aggregation;
+        dnn::DnnModeler classifier(net_config, seed);
+        dnn::ensure_pretrained(classifier, seed);
+
+        if (modeler_name == "dnn") {
+            const auto ensemble_size = static_cast<std::size_t>(args.get_int("ensemble", 1));
+            if (ensemble_size > 1) {
+                dnn::EnsembleModeler ensemble(net_config, seed, ensemble_size);
+                ensemble.ensure_pretrained();
+                ensemble.adapt(dnn::TaskProperties::from_experiment(set));
+                best = ensemble.model(set);
+                print_result(best, set, "model", as_json, simplify, out);
+            } else {
+                classifier.adapt(dnn::TaskProperties::from_experiment(set));
+                best = classifier.model(set);
+                print_result(best, set, "model", as_json, simplify, out);
+                if (alternatives > 0) {
+                    const auto ranked = classifier.model_alternatives(set, alternatives + 1);
+                    for (std::size_t i = 1; i < ranked.size(); ++i) {
+                        print_result(ranked[i], set, "alternative", as_json, simplify, out);
+                    }
+                }
+            }
+        } else {
+            adaptive::AdaptiveModeler::Config config;
+            config.regression = regression_config;
+            adaptive::AdaptiveModeler modeler(classifier, config);
+            auto outcome = modeler.model(set);
+            best = std::move(outcome.result);
+            print_result(best, set, "model", as_json, simplify, out);
+            if (!as_json) {
+                out << "selected path: " << outcome.winner << " (regression "
+                    << (outcome.used_regression ? "competed" : "switched off") << ")\n";
+            }
+        }
+    } else {
+        err << "xpdnn model: unknown --modeler '" << modeler_name << "'\n";
+        return 1;
+    }
+
+    if (args.has("eval")) {
+        const auto point = parse_point(args.get("eval", ""));
+        if (point.size() != set.parameter_count()) {
+            err << "xpdnn model: --eval expects " << set.parameter_count() << " coordinates\n";
+            return 1;
+        }
+        out << "prediction at (" << args.get("eval", "") << "): " << best.model.evaluate(point)
+            << "\n";
+    }
+    return 0;
+}
+
+int cmd_model_all(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
+    if (args.positionals().size() < 2) {
+        err << "xpdnn model-all: missing archive file\n";
+        return 1;
+    }
+    const auto archive = measure::load_archive_file(args.positionals()[1]);
+    if (archive.empty()) {
+        err << "xpdnn model-all: archive has no entries\n";
+        return 1;
+    }
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    const double tolerance = args.get_double("group-tolerance", 0.10);
+
+    dnn::DnnConfig net_config = net_profile(args.get("net", "fast"));
+    net_config.aggregation = measure::aggregation_from_string(args.get("aggregation", "median"));
+    dnn::DnnModeler classifier(net_config, seed);
+    dnn::ensure_pretrained(classifier, seed);
+
+    std::vector<adaptive::BatchTask> tasks;
+    for (const auto& entry : archive.entries()) {
+        tasks.push_back({entry.kernel + "/" + entry.metric, entry.experiments});
+    }
+    adaptive::BatchModeler::Config batch_config;
+    batch_config.group_tolerance = tolerance;
+    adaptive::BatchModeler batch(classifier, batch_config);
+    const auto results = batch.model(tasks);
+
+    xpcore::Table table({"kernel", "noise %", "path", "cv-smape %", "model"});
+    for (const auto& result : results) {
+        table.add_row({result.name,
+                       xpcore::Table::num(result.outcome.estimated_noise * 100, 1),
+                       result.outcome.winner, xpcore::Table::num(result.outcome.result.cv_smape),
+                       result.outcome.result.model.to_string(archive.parameter_names())});
+    }
+    out << table.to_string();
+    out << results.size() << " kernels modeled with " << batch.adaptations_performed()
+        << " domain adaptation(s)\n";
+    return 0;
+}
+
+int cmd_noise(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
+    if (args.positionals().size() < 2) {
+        err << "xpdnn noise: missing measurement file\n";
+        return 1;
+    }
+    const auto set = measure::load_text_file(args.positionals()[1]);
+    const auto stats = noise::analyze_noise(set);
+    out << "points:          " << set.size() << "\n";
+    out << "noise estimate:  " << xpcore::Table::num(noise::estimate_noise(set) * 100) << "%\n";
+    out << "per-point noise: min " << xpcore::Table::num(stats.min * 100) << "%, max "
+        << xpcore::Table::num(stats.max * 100) << "%, mean "
+        << xpcore::Table::num(stats.mean * 100) << "%, median "
+        << xpcore::Table::num(stats.median * 100) << "%\n";
+    return 0;
+}
+
+int cmd_predict(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
+    if (args.positionals().size() < 3) {
+        err << "xpdnn predict: usage: xpdnn predict <model.json> x1 [x2 ...]\n";
+        return 1;
+    }
+    std::ifstream in(args.positionals()[1]);
+    if (!in) {
+        err << "xpdnn predict: cannot open " << args.positionals()[1] << "\n";
+        return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const pmnf::Model model = pmnf::from_json(buffer.str());
+
+    std::vector<double> point;
+    for (std::size_t i = 2; i < args.positionals().size(); ++i) {
+        point.push_back(std::stod(args.positionals()[i]));
+    }
+    out << model.evaluate(point) << "\n";
+    return 0;
+}
+
+int cmd_simulate(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
+    if (args.positionals().size() < 2) {
+        err << "xpdnn simulate: missing application (kripke|fastest|relearn)\n";
+        return 1;
+    }
+    const std::string app = args.positionals()[1];
+    casestudy::CaseStudy study;
+    if (app == "kripke") {
+        study = casestudy::kripke();
+    } else if (app == "fastest") {
+        study = casestudy::fastest();
+    } else if (app == "relearn") {
+        study = casestudy::relearn();
+    } else {
+        err << "xpdnn simulate: unknown application '" << app << "'\n";
+        return 1;
+    }
+
+    if (args.get_bool("all-kernels", false)) {
+        xpcore::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2021)));
+        const auto archive = study.generate_archive(rng);
+        const std::string path = args.get("out", "");
+        if (path.empty()) {
+            measure::save_archive(archive, out);
+        } else {
+            measure::save_archive_file(archive, path);
+            out << "wrote archive with " << archive.size() << " kernels of "
+                << study.application << " to " << path << "\n";
+        }
+        return 0;
+    }
+
+    const casestudy::KernelSpec* kernel = &study.kernels.front();
+    if (args.positionals().size() >= 3) {
+        kernel = nullptr;
+        for (const auto& k : study.kernels) {
+            if (k.name == args.positionals()[2]) kernel = &k;
+        }
+        if (kernel == nullptr) {
+            err << "xpdnn simulate: unknown kernel '" << args.positionals()[2] << "' (have:";
+            for (const auto& k : study.kernels) err << " " << k.name;
+            err << ")\n";
+            return 1;
+        }
+    }
+
+    xpcore::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2021)));
+    const auto set = study.generate_modeling(*kernel, rng);
+    const std::string path = args.get("out", "");
+    if (path.empty()) {
+        measure::save_text(set, out);
+    } else {
+        measure::save_text_file(set, path);
+        out << "wrote " << set.size() << " measurements of " << study.application << "/"
+            << kernel->name << " to " << path << "\n";
+    }
+    return 0;
+}
+
+}  // namespace
+
+int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+    if (argc < 2) {
+        err << kUsage;
+        return 1;
+    }
+    const std::string command = argv[1];
+    // Re-parse with the subcommand as positional[0] stripped off naturally:
+    // CliArgs skips argv[0], so the subcommand becomes positionals()[0].
+    const xpcore::CliArgs args(argc, argv);
+    try {
+        if (command == "model") return cmd_model(args, out, err);
+        if (command == "model-all") return cmd_model_all(args, out, err);
+        if (command == "noise") return cmd_noise(args, out, err);
+        if (command == "predict") return cmd_predict(args, out, err);
+        if (command == "simulate") return cmd_simulate(args, out, err);
+        if (command == "help" || command == "--help") {
+            out << kUsage;
+            return 0;
+        }
+        err << "xpdnn: unknown command '" << command << "'\n\n" << kUsage;
+        return 1;
+    } catch (const std::exception& e) {
+        err << "xpdnn " << command << ": " << e.what() << "\n";
+        return 2;
+    }
+}
+
+}  // namespace cli

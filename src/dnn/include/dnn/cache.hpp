@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file cache.hpp
+/// Disk cache for pretrained networks.
+///
+/// Pretraining the generic classifier is the most expensive one-time step,
+/// so harness binaries cache it on disk keyed by a hash of the DnnConfig's
+/// training-relevant fields and the seed. The cache directory is taken from
+/// the XPDNN_CACHE_DIR environment variable, defaulting to ".xpdnn_cache"
+/// under the current working directory (created on demand).
+
+#include <cstdint>
+#include <string>
+
+#include "dnn/modeler.hpp"
+
+namespace dnn {
+
+/// Stable hash of the configuration fields that influence pretraining.
+std::uint64_t pretrain_config_hash(const DnnConfig& config, std::uint64_t seed);
+
+/// Cache file path for a configuration (directory resolution as above).
+std::string pretrained_cache_path(const DnnConfig& config, std::uint64_t seed);
+
+/// Load the pretrained network from cache if present, otherwise pretrain
+/// and store it. Returns true when the cache was hit.
+bool ensure_pretrained(DnnModeler& modeler, std::uint64_t seed);
+
+}  // namespace dnn

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file ensemble.hpp
+/// Ensemble of independently-initialized DNN modelers.
+///
+/// An extension beyond the paper: classification variance of a single
+/// network is a visible error source at high noise, and averaging the
+/// hypothesis sets of several networks trained from different random
+/// initializations reduces it. The ensemble unions the per-parameter
+/// candidate classes of all members and lets the usual cross-validation
+/// selection arbitrate — the same principle as the paper's top-3 rule,
+/// widened across members. Cost scales linearly with the member count
+/// (quantified in bench/ablation_adaptation).
+
+#include <memory>
+#include <vector>
+
+#include "dnn/modeler.hpp"
+
+namespace dnn {
+
+/// A committee of DnnModelers sharing one configuration but independent
+/// initializations and training-data streams.
+class EnsembleModeler {
+public:
+    /// `members` >= 1. Member i uses seed `seed + i`.
+    EnsembleModeler(DnnConfig config, std::uint64_t seed, std::size_t members);
+
+    std::size_t member_count() const { return members_.size(); }
+    DnnModeler& member(std::size_t i) { return *members_.at(i); }
+
+    /// Pretrain every member (or load each from the disk cache).
+    void ensure_pretrained();
+
+    /// Domain-adapt every member to the task.
+    void adapt(const TaskProperties& task);
+
+    /// Drop all adaptations.
+    void reset_adaptation();
+
+    /// Union of the members' per-parameter candidate classes (duplicates
+    /// removed, member order preserved).
+    std::vector<std::vector<pmnf::TermClass>> candidate_classes(
+        const measure::ExperimentSet& set);
+
+    /// Model with the unioned hypothesis set.
+    regression::ModelResult model(const measure::ExperimentSet& set);
+
+private:
+    std::uint64_t seed_;
+    std::vector<std::unique_ptr<DnnModeler>> members_;
+};
+
+}  // namespace dnn

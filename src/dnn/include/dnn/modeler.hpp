@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file modeler.hpp
+/// The DNN performance modeler (Sec. IV-D/E of the paper).
+///
+/// The modeler classifies, per parameter, which of the 43 PMNF term classes
+/// explains a measurement line, using a dense feed-forward network
+/// (tanh hidden layers, softmax over 43 classes, trained with AdaMax on
+/// synthetic data). The top-3 classes per parameter form the hypothesis set;
+/// coefficients come from linear regression and the final model is chosen by
+/// cross-validation on SMAPE — the same selection machinery as the
+/// regression modeler, so the two are directly comparable.
+///
+/// Before modeling a concrete task, *domain adaptation* retrains the generic
+/// pretrained network on freshly generated data that mirrors the task's
+/// parameter-value sets, repetition count, and the noise range estimated by
+/// the rrd heuristic.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnn/training_data.hpp"
+#include "measure/experiment.hpp"
+#include "nn/network.hpp"
+#include "regression/search.hpp"
+#include "xpcore/rng.hpp"
+
+namespace dnn {
+
+/// Network and training hyper-parameters.
+struct DnnConfig {
+    /// Hidden-layer widths. The paper's architecture is
+    /// {1500, 1500, 750, 250, 250}; the default is a reduced profile that
+    /// preserves the result shape at single-core-friendly cost (DESIGN.md).
+    std::vector<std::size_t> hidden = {256, 128, 64};
+    /// Hidden activation (the paper uses tanh).
+    nn::Activation activation = nn::Activation::Tanh;
+
+    /// Pretraining (generic network).
+    std::size_t pretrain_samples_per_class = 1000;
+    std::size_t pretrain_epochs = 8;
+
+    /// Domain adaptation (per modeling task). Paper defaults: 2000 samples
+    /// per class, 1 epoch.
+    std::size_t adapt_samples_per_class = 400;
+    std::size_t adapt_epochs = 1;
+
+    std::size_t batch_size = 128;
+    float learning_rate = 0.002f;
+
+    /// Hypotheses taken from the classifier's probability ranking.
+    std::size_t top_k = 3;
+    /// Cross-validation fold cap for the final selection.
+    std::size_t max_folds = 25;
+    /// When a parameter has several measurement lines, average the class
+    /// probabilities over up to this many lines (robustness to noise).
+    std::size_t max_lines = 5;
+    /// Representative value of the measurement repetitions.
+    measure::Aggregation aggregation = measure::Aggregation::Median;
+
+    /// The paper's full-size configuration.
+    static DnnConfig paper();
+    /// The reduced profile (explicit alias of the defaults).
+    static DnnConfig fast();
+};
+
+/// Properties of a modeling task that drive domain adaptation.
+struct TaskProperties {
+    std::vector<std::vector<double>> sequences;  ///< per-parameter value sets
+    double noise_min = 0.0;                      ///< estimated noise range (fractions)
+    double noise_max = 1.0;
+    std::size_t repetitions = 5;
+
+    /// Extract the properties of an experiment set: parameter-value sets of
+    /// each parameter's lines, per-point rrd noise range, repetition count.
+    static TaskProperties from_experiment(const measure::ExperimentSet& set);
+};
+
+/// The DNN-based modeler.
+class DnnModeler {
+public:
+    explicit DnnModeler(DnnConfig config, std::uint64_t seed);
+
+    const DnnConfig& config() const { return config_; }
+
+    /// Train the generic network on synthetic data spanning all sequence
+    /// families and the full noise range [0, 100%].
+    void pretrain();
+
+    /// True once pretrain() ran or a pretrained network was loaded.
+    bool is_pretrained() const { return pretrained_; }
+
+    /// Persist / restore the pretrained network (domain adaptation always
+    /// starts from this state).
+    void save_pretrained(const std::string& path) const;
+    void load_pretrained(const std::string& path);
+
+    /// Domain adaptation: retrain a copy of the pretrained network on data
+    /// generated from the task's properties. Replaces the active network;
+    /// the pretrained weights are kept for the next adaptation.
+    void adapt(const TaskProperties& task);
+
+    /// Drop the adapted network and return to the pretrained weights.
+    void reset_adaptation();
+
+    /// Fraction of samples whose true class is among the network's top-k
+    /// predictions (top-1 == plain accuracy). Used by tests and the
+    /// ablation benches to quantify classifier quality.
+    double top_k_accuracy(const nn::Dataset& data, std::size_t k);
+
+    /// Class probabilities for one measurement line.
+    std::vector<float> classify_line(std::span<const double> xs,
+                                     std::span<const double> values);
+
+    /// Top-k classes per parameter for the experiment set (probabilities
+    /// averaged over up to config.max_lines full-length lines).
+    std::vector<std::vector<pmnf::TermClass>> candidate_classes(
+        const measure::ExperimentSet& set);
+
+    /// Full modeling pass: classify -> hypotheses -> coefficient fit ->
+    /// CV/SMAPE selection. Requires a pretrained (or adapted) network.
+    regression::ModelResult model(const measure::ExperimentSet& set);
+
+    /// The `keep` best-ranked DNN-hypothesis models (best first).
+    std::vector<regression::ModelResult> model_alternatives(const measure::ExperimentSet& set,
+                                                            std::size_t keep);
+
+private:
+    nn::Network& active_network();
+
+    DnnConfig config_;
+    xpcore::Rng rng_;
+    nn::Network pretrained_network_;
+    std::optional<nn::Network> adapted_network_;
+    bool pretrained_ = false;
+};
+
+}  // namespace dnn

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file preprocess.hpp
+/// Measurement preprocessing for the DNN modeler (Sec. IV-C of the paper).
+///
+/// Each single-parameter measurement line of 5-11 points is mapped onto the
+/// network's 11 input neurons:
+///   1. *Enrichment*: each value v is divided by its parameter value x,
+///      giving the tuples (P, v/x) that carry implicit position information.
+///   2. *Position normalization*: parameter values are scaled to [0, 1] by
+///      the largest value, making the input independent of range and scale.
+///   3. *Sampling*: the normalized positions are matched to the 11 fixed
+///      sampling positions (1/64, 1/32, 1/16, 1/8, 2/8, ..., 7/8, 1) by
+///      nearest-neighbor assignment where each measurement is used at most
+///      once; unused input neurons stay zero-masked.
+///   4. *Value normalization*: the enriched values are scaled by the largest
+///      magnitude so inputs lie in [-1, 1].
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+namespace dnn {
+
+/// Number of network input neurons (== maximum measurement points per line).
+inline constexpr std::size_t kInputNeurons = 11;
+
+/// Minimum measurement points required per parameter (Extra-P's rule).
+inline constexpr std::size_t kMinPoints = 5;
+
+/// The fixed normalized sampling positions, one per input neuron.
+std::span<const double> sample_positions();
+
+/// Preprocess one measurement line into the 11 network inputs.
+///
+/// `xs` are the strictly positive, strictly increasing parameter values and
+/// `values` the corresponding measurement values (typically medians over the
+/// repetitions); both must have equal size in [2, 11]. Throws
+/// std::invalid_argument on malformed input.
+std::array<float, kInputNeurons> preprocess_line(std::span<const double> xs,
+                                                 std::span<const double> values);
+
+/// The slot each measurement is assigned to (same algorithm as
+/// preprocess_line); exposed for tests. Result[i] is the input-neuron index
+/// of measurement i.
+std::array<std::size_t, kInputNeurons> assign_slots(std::span<const double> xs);
+
+}  // namespace dnn

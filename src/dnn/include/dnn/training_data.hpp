@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file training_data.hpp
+/// Synthetic training-data generation for the classifier (Sec. IV-D/E).
+///
+/// Training samples are drawn by instantiating the single-parameter PMNF
+/// f(x) = c0 + c1 * x^i * log2^j(x) with a random class (i, j), coefficients
+/// uniform in [0.001, 1000], a random measurement-point sequence imitating
+/// realistic application parameters, a random noise level, and up to five
+/// simulated measurement repetitions whose median is taken — then
+/// preprocessing the noisy line into the 11 network inputs.
+///
+/// The same generator serves both pretraining (generic, wide noise range,
+/// random sequences) and domain adaptation (task-specific sequences, noise
+/// range, and repetition count observed in the measurements at hand).
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/trainer.hpp"
+
+namespace xpcore {
+class Rng;
+}
+
+namespace dnn {
+
+/// Controls the synthetic sample distribution.
+struct GeneratorConfig {
+    std::size_t samples_per_class = 200;
+
+    /// Measurement points per line; clamped to [kMinPoints, kInputNeurons].
+    std::size_t min_points = 5;
+    std::size_t max_points = 11;
+
+    /// Noise-level range (fractions; 1.0 == 100% == +-50%).
+    double noise_min = 0.0;
+    double noise_max = 1.0;
+
+    /// Repetitions per measurement point: uniformly 1..max_repetitions when
+    /// random_repetitions, else exactly max_repetitions.
+    std::size_t max_repetitions = 5;
+    bool random_repetitions = true;
+
+    /// Coefficient range of the synthetic functions (paper: [0.001, 1000]).
+    double coeff_min = 0.001;
+    double coeff_max = 1000.0;
+
+    /// When non-empty, parameter-value sequences are drawn from this pool
+    /// instead of the generic sequence families (domain adaptation uses the
+    /// modeling task's own parameter-value sets here).
+    std::vector<std::vector<double>> sequence_pool;
+};
+
+/// Generate a labeled data set with config.samples_per_class samples for
+/// each of the 43 classes, preprocessed into network inputs. Deterministic
+/// given the Rng state.
+nn::Dataset generate_training_data(const GeneratorConfig& config, xpcore::Rng& rng);
+
+}  // namespace dnn

@@ -1,0 +1,65 @@
+#include "dnn/cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace dnn {
+
+namespace {
+
+/// FNV-1a over a byte sequence.
+struct Fnv1a {
+    std::uint64_t state = 0xCBF29CE484222325ull;
+
+    void mix(const void* data, std::size_t size) {
+        const auto* bytes = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            state ^= bytes[i];
+            state *= 0x100000001B3ull;
+        }
+    }
+    template <typename T>
+    void mix_value(const T& value) {
+        mix(&value, sizeof(T));
+    }
+};
+
+}  // namespace
+
+std::uint64_t pretrain_config_hash(const DnnConfig& config, std::uint64_t seed) {
+    Fnv1a hash;
+    hash.mix_value(seed);
+    hash.mix_value(static_cast<int>(config.activation));
+    for (std::size_t width : config.hidden) hash.mix_value(width);
+    hash.mix_value(config.pretrain_samples_per_class);
+    hash.mix_value(config.pretrain_epochs);
+    hash.mix_value(config.batch_size);
+    hash.mix_value(config.learning_rate);
+    return hash.state;
+}
+
+std::string pretrained_cache_path(const DnnConfig& config, std::uint64_t seed) {
+    std::string dir = ".xpdnn_cache";
+    if (const char* env = std::getenv("XPDNN_CACHE_DIR")) dir = env;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best effort; open fails loudly
+    char name[64];
+    std::snprintf(name, sizeof(name), "xpdnn_pretrained_%016llx.bin",
+                  static_cast<unsigned long long>(pretrain_config_hash(config, seed)));
+    return (std::filesystem::path(dir) / name).string();
+}
+
+bool ensure_pretrained(DnnModeler& modeler, std::uint64_t seed) {
+    const std::string path = pretrained_cache_path(modeler.config(), seed);
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+        modeler.load_pretrained(path);
+        return true;
+    }
+    modeler.pretrain();
+    modeler.save_pretrained(path);
+    return false;
+}
+
+}  // namespace dnn

@@ -1,0 +1,58 @@
+#include "dnn/ensemble.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dnn/cache.hpp"
+
+namespace dnn {
+
+EnsembleModeler::EnsembleModeler(DnnConfig config, std::uint64_t seed, std::size_t members)
+    : seed_(seed) {
+    if (members == 0) throw std::invalid_argument("EnsembleModeler: need at least one member");
+    members_.reserve(members);
+    for (std::size_t i = 0; i < members; ++i) {
+        members_.push_back(std::make_unique<DnnModeler>(config, seed + i));
+    }
+}
+
+void EnsembleModeler::ensure_pretrained() {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+        dnn::ensure_pretrained(*members_[i], seed_ + i);
+    }
+}
+
+void EnsembleModeler::adapt(const TaskProperties& task) {
+    for (auto& member : members_) member->adapt(task);
+}
+
+void EnsembleModeler::reset_adaptation() {
+    for (auto& member : members_) member->reset_adaptation();
+}
+
+std::vector<std::vector<pmnf::TermClass>> EnsembleModeler::candidate_classes(
+    const measure::ExperimentSet& set) {
+    std::vector<std::vector<pmnf::TermClass>> merged(set.parameter_count());
+    for (auto& member : members_) {
+        const auto candidates = member->candidate_classes(set);
+        for (std::size_t l = 0; l < merged.size(); ++l) {
+            for (const auto& cls : candidates[l]) {
+                if (std::find(merged[l].begin(), merged[l].end(), cls) == merged[l].end()) {
+                    merged[l].push_back(cls);
+                }
+            }
+        }
+    }
+    return merged;
+}
+
+regression::ModelResult EnsembleModeler::model(const measure::ExperimentSet& set) {
+    if (set.parameter_count() == 0 || set.empty()) {
+        throw std::invalid_argument("EnsembleModeler::model: empty experiment set");
+    }
+    const auto& config = members_.front()->config();
+    return regression::select_best_combination(set, candidate_classes(set), config.max_folds,
+                                               config.aggregation);
+}
+
+}  // namespace dnn

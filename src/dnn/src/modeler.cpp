@@ -1,0 +1,214 @@
+#include "dnn/modeler.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "dnn/preprocess.hpp"
+#include "nn/optimizer.hpp"
+#include "noise/estimator.hpp"
+#include "xpcore/stats.hpp"
+
+namespace dnn {
+
+DnnConfig DnnConfig::paper() {
+    DnnConfig config;
+    config.hidden = {1500, 1500, 750, 250, 250};
+    config.pretrain_samples_per_class = 2000;
+    config.pretrain_epochs = 10;
+    config.adapt_samples_per_class = 2000;
+    config.adapt_epochs = 1;
+    return config;
+}
+
+DnnConfig DnnConfig::fast() { return DnnConfig{}; }
+
+TaskProperties TaskProperties::from_experiment(const measure::ExperimentSet& set) {
+    TaskProperties task;
+    for (std::size_t l = 0; l < set.parameter_count(); ++l) {
+        auto values = set.unique_values(l);
+        if (values.size() >= 2) task.sequences.push_back(std::move(values));
+    }
+    const auto levels = noise::per_point_noise(set);
+    if (!levels.empty()) {
+        task.noise_min = xpcore::min_value(levels);
+        task.noise_max = std::max(xpcore::max_value(levels), task.noise_min + 1e-6);
+    }
+    std::size_t reps = 1;
+    for (const auto& m : set.measurements()) reps = std::max(reps, m.values.size());
+    task.repetitions = reps;
+    return task;
+}
+
+DnnModeler::DnnModeler(DnnConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+    std::vector<std::size_t> sizes;
+    sizes.push_back(kInputNeurons);
+    sizes.insert(sizes.end(), config_.hidden.begin(), config_.hidden.end());
+    sizes.push_back(pmnf::class_count());
+    auto init_rng = rng_.split();
+    pretrained_network_ = nn::Network::mlp(sizes, init_rng, config_.activation);
+}
+
+nn::Network& DnnModeler::active_network() {
+    return adapted_network_ ? *adapted_network_ : pretrained_network_;
+}
+
+void DnnModeler::pretrain() {
+    GeneratorConfig gen;
+    gen.samples_per_class = config_.pretrain_samples_per_class;
+    gen.noise_min = 0.0;
+    gen.noise_max = 1.0;  // the paper pretrains across n in [0, 100%]
+    auto data_rng = rng_.split();
+    const auto data = generate_training_data(gen, data_rng);
+
+    nn::AdaMax::Config opt_config;
+    opt_config.learning_rate = config_.learning_rate;
+    nn::AdaMax optimizer(opt_config);
+    nn::Trainer trainer(pretrained_network_, optimizer,
+                        {config_.pretrain_epochs, config_.batch_size, true});
+    auto train_rng = rng_.split();
+    trainer.fit(data, train_rng);
+    adapted_network_.reset();
+    pretrained_ = true;
+}
+
+void DnnModeler::save_pretrained(const std::string& path) const {
+    if (!pretrained_) throw std::logic_error("DnnModeler::save_pretrained: not pretrained");
+    pretrained_network_.save_file(path);
+}
+
+void DnnModeler::load_pretrained(const std::string& path) {
+    nn::Network loaded = nn::Network::load_file(path);
+    if (loaded.input_size() != kInputNeurons || loaded.output_size() != pmnf::class_count()) {
+        throw std::runtime_error("DnnModeler::load_pretrained: incompatible network in " + path);
+    }
+    pretrained_network_ = std::move(loaded);
+    adapted_network_.reset();
+    pretrained_ = true;
+}
+
+void DnnModeler::adapt(const TaskProperties& task) {
+    if (!pretrained_) throw std::logic_error("DnnModeler::adapt: pretrain or load first");
+
+    GeneratorConfig gen;
+    gen.samples_per_class = config_.adapt_samples_per_class;
+    gen.noise_min = task.noise_min;
+    gen.noise_max = std::max(task.noise_max, task.noise_min + 1e-6);
+    gen.max_repetitions = task.repetitions;
+    gen.random_repetitions = task.repetitions > 1;
+    gen.sequence_pool = task.sequences;
+    auto data_rng = rng_.split();
+    const auto data = generate_training_data(gen, data_rng);
+
+    // Retrain a copy so the generic network stays available for the next
+    // adaptation (domain adaptation always starts from the pretrained state).
+    std::stringstream buffer;
+    pretrained_network_.save(buffer);
+    adapted_network_ = nn::Network::load(buffer);
+
+    nn::AdaMax::Config opt_config;
+    opt_config.learning_rate = config_.learning_rate;
+    nn::AdaMax optimizer(opt_config);
+    nn::Trainer trainer(*adapted_network_, optimizer,
+                        {config_.adapt_epochs, config_.batch_size, true});
+    auto train_rng = rng_.split();
+    trainer.fit(data, train_rng);
+}
+
+void DnnModeler::reset_adaptation() { adapted_network_.reset(); }
+
+double DnnModeler::top_k_accuracy(const nn::Dataset& data, std::size_t k) {
+    if (!pretrained_) throw std::logic_error("DnnModeler::top_k_accuracy: pretrain first");
+    if (data.size() == 0) return 0.0;
+    nn::Tensor probs;
+    nn::SoftmaxCrossEntropy::softmax(active_network().forward(data.inputs), probs);
+    std::size_t hits = 0;
+    for (std::size_t r = 0; r < data.size(); ++r) {
+        const auto top = nn::top_k_indices(probs.row(r), k);
+        if (std::find(top.begin(), top.end(), static_cast<std::size_t>(data.labels[r])) !=
+            top.end()) {
+            ++hits;
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+std::vector<float> DnnModeler::classify_line(std::span<const double> xs,
+                                             std::span<const double> values) {
+    if (!pretrained_) throw std::logic_error("DnnModeler::classify_line: pretrain or load first");
+    const auto input = preprocess_line(xs, values);
+    nn::Tensor batch(1, kInputNeurons);
+    std::copy(input.begin(), input.end(), batch.data());
+    nn::Tensor probs;
+    nn::SoftmaxCrossEntropy::softmax(active_network().forward(batch), probs);
+    return {probs.data(), probs.data() + probs.cols()};
+}
+
+std::vector<std::vector<pmnf::TermClass>> DnnModeler::candidate_classes(
+    const measure::ExperimentSet& set) {
+    const std::size_t m = set.parameter_count();
+    const auto classes = pmnf::exponent_set();
+
+    std::vector<std::vector<pmnf::TermClass>> candidates(m);
+    for (std::size_t l = 0; l < m; ++l) {
+        // Average the class probabilities over the longest lines along l.
+        auto lines = set.lines(l);
+        std::erase_if(lines, [](const measure::Line& line) { return line.points.size() < 2; });
+        if (lines.empty()) {
+            throw std::invalid_argument("DnnModeler: parameter '" + set.parameter_names()[l] +
+                                        "' has no measurement line with >= 2 points");
+        }
+        std::stable_sort(lines.begin(), lines.end(),
+                         [](const measure::Line& a, const measure::Line& b) {
+                             return a.points.size() > b.points.size();
+                         });
+        const std::size_t use = std::min<std::size_t>(std::max<std::size_t>(config_.max_lines, 1),
+                                                      lines.size());
+        std::vector<double> mean_probs(classes.size(), 0.0);
+        for (std::size_t i = 0; i < use; ++i) {
+            const auto probs = classify_line(
+                lines[i].xs(), measure::aggregate_line(lines[i], config_.aggregation));
+            for (std::size_t c = 0; c < mean_probs.size(); ++c) mean_probs[c] += probs[c];
+        }
+
+        std::vector<std::size_t> order(mean_probs.size());
+        for (std::size_t c = 0; c < order.size(); ++c) order[c] = c;
+        std::partial_sort(order.begin(),
+                          order.begin() + std::min(config_.top_k, order.size()), order.end(),
+                          [&](std::size_t a, std::size_t b) {
+                              return mean_probs[a] > mean_probs[b];
+                          });
+        for (std::size_t k = 0; k < std::min(config_.top_k, order.size()); ++k) {
+            candidates[l].push_back(classes[order[k]]);
+        }
+        // The constant class keeps irrelevant parameters droppable.
+        const pmnf::TermClass constant{};
+        if (std::find(candidates[l].begin(), candidates[l].end(), constant) ==
+            candidates[l].end()) {
+            candidates[l].push_back(constant);
+        }
+    }
+    return candidates;
+}
+
+regression::ModelResult DnnModeler::model(const measure::ExperimentSet& set) {
+    if (set.parameter_count() == 0 || set.empty()) {
+        throw std::invalid_argument("DnnModeler::model: empty experiment set");
+    }
+    const auto candidates = candidate_classes(set);
+    return regression::select_best_combination(set, candidates, config_.max_folds,
+                                               config_.aggregation);
+}
+
+std::vector<regression::ModelResult> DnnModeler::model_alternatives(
+    const measure::ExperimentSet& set, std::size_t keep) {
+    if (set.parameter_count() == 0 || set.empty()) {
+        throw std::invalid_argument("DnnModeler::model_alternatives: empty experiment set");
+    }
+    const auto candidates = candidate_classes(set);
+    return regression::rank_combinations(set, candidates, keep, config_.max_folds,
+                                         config_.aggregation);
+}
+
+}  // namespace dnn

@@ -1,0 +1,81 @@
+#include "dnn/preprocess.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dnn {
+
+namespace {
+constexpr std::array<double, kInputNeurons> kPositions = {
+    1.0 / 64, 1.0 / 32, 1.0 / 16, 1.0 / 8, 2.0 / 8, 3.0 / 8,
+    4.0 / 8,  5.0 / 8,  6.0 / 8,  7.0 / 8, 1.0};
+
+void validate(std::span<const double> xs) {
+    if (xs.size() < 2 || xs.size() > kInputNeurons) {
+        throw std::invalid_argument("preprocess_line: need between 2 and 11 points");
+    }
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (!(xs[i] > 0.0)) throw std::invalid_argument("preprocess_line: x values must be > 0");
+        if (i > 0 && xs[i] <= xs[i - 1]) {
+            throw std::invalid_argument("preprocess_line: x values must be strictly increasing");
+        }
+    }
+}
+}  // namespace
+
+std::span<const double> sample_positions() { return kPositions; }
+
+std::array<std::size_t, kInputNeurons> assign_slots(std::span<const double> xs) {
+    validate(xs);
+    std::array<std::size_t, kInputNeurons> assignment{};
+    std::array<bool, kInputNeurons> taken{};
+    const double x_max = xs.back();
+
+    // Greedy nearest-neighbor assignment in order of increasing position;
+    // each sampling position (input neuron) accepts at most one value.
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double p = xs[i] / x_max;
+        std::size_t best = kInputNeurons;
+        double best_dist = std::numeric_limits<double>::infinity();
+        for (std::size_t s = 0; s < kInputNeurons; ++s) {
+            if (taken[s]) continue;
+            const double dist = std::abs(p - kPositions[s]);
+            if (dist < best_dist) {
+                best_dist = dist;
+                best = s;
+            }
+        }
+        taken[best] = true;
+        assignment[i] = best;
+    }
+    return assignment;
+}
+
+std::array<float, kInputNeurons> preprocess_line(std::span<const double> xs,
+                                                 std::span<const double> values) {
+    validate(xs);
+    if (values.size() != xs.size()) {
+        throw std::invalid_argument("preprocess_line: xs and values differ in size");
+    }
+
+    // Enrichment: implicit position information via v / x.
+    std::array<double, kInputNeurons> enriched{};
+    double max_mag = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        enriched[i] = values[i] / xs[i];
+        max_mag = std::max(max_mag, std::abs(enriched[i]));
+    }
+
+    const auto slots = assign_slots(xs);
+    std::array<float, kInputNeurons> input{};
+    const double scale = max_mag > 0.0 ? 1.0 / max_mag : 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        input[slots[i]] = static_cast<float>(enriched[i] * scale);
+    }
+    return input;
+}
+
+}  // namespace dnn

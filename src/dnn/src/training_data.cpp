@@ -1,0 +1,81 @@
+#include "dnn/training_data.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dnn/preprocess.hpp"
+#include "measure/sequences.hpp"
+#include "noise/injector.hpp"
+#include "pmnf/exponents.hpp"
+#include "xpcore/rng.hpp"
+#include "xpcore/stats.hpp"
+
+namespace dnn {
+
+nn::Dataset generate_training_data(const GeneratorConfig& config, xpcore::Rng& rng) {
+    if (config.samples_per_class == 0) {
+        throw std::invalid_argument("generate_training_data: samples_per_class must be > 0");
+    }
+    if (config.noise_min < 0.0 || config.noise_max < config.noise_min) {
+        throw std::invalid_argument("generate_training_data: invalid noise range");
+    }
+    const std::size_t min_points = std::clamp(config.min_points, std::size_t{2}, kInputNeurons);
+    const std::size_t max_points = std::clamp(config.max_points, min_points, kInputNeurons);
+
+    const auto classes = pmnf::exponent_set();
+    const std::size_t total = classes.size() * config.samples_per_class;
+
+    nn::Dataset data;
+    data.inputs.resize(total, kInputNeurons);
+    data.labels.resize(total);
+
+    std::vector<double> xs;
+    std::vector<double> truths;
+    std::vector<double> medians;
+    std::size_t row = 0;
+    for (std::size_t cls = 0; cls < classes.size(); ++cls) {
+        for (std::size_t s = 0; s < config.samples_per_class; ++s, ++row) {
+            // Measurement-point sequence: task-specific pool when adapting,
+            // generic families when pretraining.
+            if (!config.sequence_pool.empty()) {
+                xs = rng.pick(config.sequence_pool);
+            } else {
+                const std::size_t length =
+                    static_cast<std::size_t>(rng.uniform_int(
+                        static_cast<std::int64_t>(min_points),
+                        static_cast<std::int64_t>(max_points)));
+                xs = measure::random_sequence(length, rng);
+            }
+
+            // Synthetic function f(x) = c0 + c1 * x^i * log2^j(x).
+            const double c0 = rng.uniform(config.coeff_min, config.coeff_max);
+            const double c1 = rng.uniform(config.coeff_min, config.coeff_max);
+            truths.resize(xs.size());
+            for (std::size_t p = 0; p < xs.size(); ++p) {
+                truths[p] = c0 + c1 * classes[cls].evaluate(xs[p]);
+            }
+
+            // Noise + repetitions, modeling the experiment protocol.
+            const double level = rng.uniform(config.noise_min, config.noise_max);
+            noise::Injector injector(level, rng);
+            const std::size_t reps =
+                config.random_repetitions
+                    ? static_cast<std::size_t>(rng.uniform_int(
+                          1, static_cast<std::int64_t>(std::max<std::size_t>(
+                                 1, config.max_repetitions))))
+                    : std::max<std::size_t>(1, config.max_repetitions);
+            medians.resize(xs.size());
+            for (std::size_t p = 0; p < xs.size(); ++p) {
+                const auto values = injector.repetitions(truths[p], reps);
+                medians[p] = xpcore::median(values);
+            }
+
+            const auto input = preprocess_line(xs, medians);
+            std::copy(input.begin(), input.end(), data.inputs.data() + row * kInputNeurons);
+            data.labels[row] = static_cast<std::int32_t>(cls);
+        }
+    }
+    return data;
+}
+
+}  // namespace dnn

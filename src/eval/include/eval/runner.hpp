@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file runner.hpp
+/// The synthetic-evaluation runner that regenerates Fig. 3.
+///
+/// For each (parameter count m, noise level n) cell the runner draws a set
+/// of synthetic tasks and models each with both the regression baseline and
+/// the adaptive modeler, collecting (a) model accuracy — the fraction of
+/// models whose lead-exponent distance to the ground truth is <= 1/4, 1/3,
+/// 1/2 — and (b) predictive power — the median relative error at the four
+/// extrapolation points P+.
+///
+/// Domain adaptation is amortized per cell: adaptation depends on the task
+/// *properties* (noise level, measurement layout), which are shared by all
+/// tasks of a cell, so the network is retrained once per cell and reused
+/// (see DESIGN.md). The adaptive selection logic (noise threshold, CV/SMAPE
+/// arbitration) still runs per task.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "adaptive/modeler.hpp"
+#include "dnn/modeler.hpp"
+#include "eval/task.hpp"
+
+namespace eval {
+
+/// The accuracy buckets of Fig. 3(a-c).
+inline constexpr std::array<double, 3> kAccuracyBuckets = {1.0 / 4, 1.0 / 3, 1.0 / 2};
+
+/// Raw per-cell outcomes of one modeler.
+struct ModelerCellData {
+    /// Lead-exponent distance per task.
+    std::vector<double> lead_distances;
+    /// Relative error (percent) per task, per extrapolation point P+_k.
+    std::array<std::vector<double>, 4> errors;
+
+    /// Fraction of tasks with distance <= bucket.
+    double accuracy(double bucket) const;
+    /// Median relative error at P+_k (0-based).
+    double median_error(std::size_t k) const;
+};
+
+/// One (m, noise) cell of Fig. 3.
+struct CellOutcome {
+    std::size_t parameters = 0;
+    double noise = 0.0;
+    ModelerCellData regression;
+    ModelerCellData adaptive;
+};
+
+/// Sweep configuration.
+struct EvalConfig {
+    std::size_t parameters = 1;
+    std::vector<double> noise_levels = {0.02, 0.05, 0.10, 0.20, 0.50, 0.75, 1.00};
+    std::size_t functions_per_cell = 100;
+    std::size_t repetitions = 5;
+    std::uint64_t seed = 42;
+    adaptive::ThresholdPolicy thresholds;
+    /// Retrain once per cell instead of once per task (see above).
+    bool amortize_adaptation = true;
+};
+
+/// Run the sweep for one parameter count. The DnnModeler must already be
+/// pretrained (see dnn::ensure_pretrained).
+std::vector<CellOutcome> run_synthetic_evaluation(dnn::DnnModeler& dnn_modeler,
+                                                  const EvalConfig& config);
+
+}  // namespace eval

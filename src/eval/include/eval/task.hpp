@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file task.hpp
+/// Synthetic modeling tasks for the Fig. 3 evaluation (Sec. V).
+///
+/// A task instantiates the PMNF with random exponents from E and uniform
+/// coefficients in [0.001, 1000], samples a full 5^m measurement grid with
+/// five noisy repetitions per point, and places four extrapolation points
+/// P+ by continuing every parameter sequence beyond its measured range
+/// (Fig. 2: the P+ are scaled across all dimensions simultaneously).
+
+#include <cstddef>
+#include <vector>
+
+#include "measure/experiment.hpp"
+#include "pmnf/model.hpp"
+#include "xpcore/rng.hpp"
+
+namespace eval {
+
+/// Configuration of one synthetic task family.
+struct TaskConfig {
+    std::size_t parameters = 1;
+    double noise = 0.10;               ///< injected noise level (fraction)
+    std::size_t points_per_parameter = 5;
+    std::size_t repetitions = 5;
+    std::size_t extrapolation_points = 4;
+};
+
+/// One generated task: ground truth, noisy experiments, evaluation points.
+struct SyntheticTask {
+    pmnf::Model truth;
+    measure::ExperimentSet experiments;
+    std::vector<measure::Coordinate> eval_points;  ///< P+_1 .. P+_4
+    std::vector<double> eval_truths;               ///< noise-free f(P+_k)
+};
+
+/// Draw one task. The ground-truth structure mirrors the training
+/// distribution: one random term class per parameter, combined through a
+/// uniformly random set partition (additive/multiplicative/mixed).
+SyntheticTask make_task(const TaskConfig& config, xpcore::Rng& rng);
+
+/// Relative prediction errors (percent) of `model` at the task's P+ points.
+std::vector<double> prediction_errors(const SyntheticTask& task, const pmnf::Model& model);
+
+}  // namespace eval

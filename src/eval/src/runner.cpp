@@ -1,0 +1,88 @@
+#include "eval/runner.hpp"
+
+#include <algorithm>
+
+#include "noise/estimator.hpp"
+#include "regression/modeler.hpp"
+#include "xpcore/stats.hpp"
+
+namespace eval {
+
+double ModelerCellData::accuracy(double bucket) const {
+    if (lead_distances.empty()) return 0.0;
+    const auto correct = std::count_if(lead_distances.begin(), lead_distances.end(),
+                                       [bucket](double d) { return d <= bucket + 1e-12; });
+    return static_cast<double>(correct) / static_cast<double>(lead_distances.size());
+}
+
+double ModelerCellData::median_error(std::size_t k) const {
+    return xpcore::median(errors.at(k));
+}
+
+std::vector<CellOutcome> run_synthetic_evaluation(dnn::DnnModeler& dnn_modeler,
+                                                  const EvalConfig& config) {
+    std::vector<CellOutcome> outcomes;
+    outcomes.reserve(config.noise_levels.size());
+
+    const regression::RegressionModeler baseline;
+    xpcore::Rng master(config.seed);
+
+    for (double noise_level : config.noise_levels) {
+        CellOutcome cell;
+        cell.parameters = config.parameters;
+        cell.noise = noise_level;
+
+        if (config.amortize_adaptation) {
+            // One adaptation per cell: the cell's tasks share noise level,
+            // grid layout, and repetition protocol — exactly the properties
+            // domain adaptation conditions on.
+            dnn::TaskProperties cell_task;
+            cell_task.noise_min = std::max(0.0, noise_level * 0.8);
+            cell_task.noise_max = std::max(noise_level * 1.2, cell_task.noise_min + 1e-6);
+            cell_task.repetitions = config.repetitions;
+            dnn_modeler.adapt(cell_task);
+        }
+
+        const double threshold = config.thresholds.threshold_for(config.parameters);
+        auto cell_rng = master.split();
+        for (std::size_t t = 0; t < config.functions_per_cell; ++t) {
+            TaskConfig task_config;
+            task_config.parameters = config.parameters;
+            task_config.noise = noise_level;
+            task_config.repetitions = config.repetitions;
+            const SyntheticTask task = make_task(task_config, cell_rng);
+
+            // Regression baseline (always evaluated for the comparison).
+            const auto regression_result = baseline.model(task.experiments);
+
+            // Adaptive path: per-task noise estimate decides whether the
+            // regression candidate competes with the DNN candidate.
+            if (!config.amortize_adaptation) {
+                dnn_modeler.adapt(dnn::TaskProperties::from_experiment(task.experiments));
+            }
+            const auto dnn_result = dnn_modeler.model(task.experiments);
+            const double estimated = noise::estimate_noise(task.experiments);
+            const bool regression_competes = estimated < threshold;
+            const auto& adaptive_result =
+                (regression_competes && regression_result.cv_smape <= dnn_result.cv_smape)
+                    ? regression_result
+                    : dnn_result;
+
+            cell.regression.lead_distances.push_back(
+                regression_result.model.lead_exponent_distance(task.truth, config.parameters));
+            cell.adaptive.lead_distances.push_back(
+                adaptive_result.model.lead_exponent_distance(task.truth, config.parameters));
+
+            const auto regression_errors = prediction_errors(task, regression_result.model);
+            const auto adaptive_errors = prediction_errors(task, adaptive_result.model);
+            for (std::size_t k = 0; k < 4 && k < regression_errors.size(); ++k) {
+                cell.regression.errors[k].push_back(regression_errors[k]);
+                cell.adaptive.errors[k].push_back(adaptive_errors[k]);
+            }
+        }
+        outcomes.push_back(std::move(cell));
+    }
+    return outcomes;
+}
+
+}  // namespace eval

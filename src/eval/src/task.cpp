@@ -1,0 +1,96 @@
+#include "eval/task.hpp"
+
+#include <stdexcept>
+
+#include "measure/sequences.hpp"
+#include "noise/injector.hpp"
+#include "pmnf/exponents.hpp"
+#include "regression/search.hpp"
+#include "xpcore/metrics.hpp"
+
+namespace eval {
+
+SyntheticTask make_task(const TaskConfig& config, xpcore::Rng& rng) {
+    if (config.parameters == 0) throw std::invalid_argument("make_task: parameters must be >= 1");
+    const std::size_t m = config.parameters;
+    const auto classes = pmnf::exponent_set();
+
+    // Parameter-value sequences, one family draw per parameter.
+    std::vector<std::vector<double>> sequences(m);
+    for (auto& seq : sequences) {
+        seq = measure::random_sequence(config.points_per_parameter, rng);
+    }
+
+    // Ground truth: one random class per parameter, combined via a random
+    // set partition, with uniform coefficients.
+    std::vector<pmnf::TermClass> param_classes(m);
+    for (auto& cls : param_classes) {
+        cls = classes[rng.uniform_int(0, static_cast<std::int64_t>(classes.size()) - 1)];
+    }
+    const auto partitions = regression::set_partitions(m);
+    const auto& partition = partitions[rng.uniform_int(
+        0, static_cast<std::int64_t>(partitions.size()) - 1)];
+
+    std::vector<pmnf::CompoundTerm> terms;
+    for (const auto& block : partition) {
+        pmnf::CompoundTerm term;
+        term.coefficient = rng.uniform(0.001, 1000.0);
+        for (std::size_t param : block) {
+            if (!param_classes[param].is_constant()) {
+                term.factors.push_back({param, param_classes[param]});
+            }
+        }
+        if (!term.factors.empty()) terms.push_back(std::move(term));
+    }
+    SyntheticTask task;
+    task.truth = pmnf::Model(rng.uniform(0.001, 1000.0), std::move(terms));
+
+    // Full 5^m grid with noisy repetitions; the median-of-repetitions is
+    // taken later by the modelers themselves.
+    std::vector<std::string> names(m);
+    for (std::size_t l = 0; l < m; ++l) {
+        names[l] = "x";
+        names[l] += std::to_string(l + 1);
+    }
+    task.experiments = measure::ExperimentSet(names);
+
+    noise::Injector injector(config.noise, rng);
+    std::vector<std::size_t> index(m, 0);
+    for (;;) {
+        measure::Coordinate point(m);
+        for (std::size_t l = 0; l < m; ++l) point[l] = sequences[l][index[l]];
+        const double truth = task.truth.evaluate(point);
+        task.experiments.add(point, injector.repetitions(truth, config.repetitions));
+        std::size_t l = 0;
+        while (l < m && ++index[l] == sequences[l].size()) {
+            index[l] = 0;
+            ++l;
+        }
+        if (l == m) break;
+    }
+
+    // Extrapolation points P+: continue every sequence simultaneously.
+    std::vector<std::vector<double>> continuations(m);
+    for (std::size_t l = 0; l < m; ++l) {
+        continuations[l] = measure::continue_sequence(sequences[l], config.extrapolation_points);
+    }
+    for (std::size_t k = 0; k < config.extrapolation_points; ++k) {
+        measure::Coordinate point(m);
+        for (std::size_t l = 0; l < m; ++l) point[l] = continuations[l][k];
+        task.eval_truths.push_back(task.truth.evaluate(point));
+        task.eval_points.push_back(std::move(point));
+    }
+    return task;
+}
+
+std::vector<double> prediction_errors(const SyntheticTask& task, const pmnf::Model& model) {
+    std::vector<double> errors;
+    errors.reserve(task.eval_points.size());
+    for (std::size_t k = 0; k < task.eval_points.size(); ++k) {
+        errors.push_back(
+            xpcore::relative_error_pct(model.evaluate(task.eval_points[k]), task.eval_truths[k]));
+    }
+    return errors;
+}
+
+}  // namespace eval

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file aggregation.hpp
+/// Representative-value selection for repeated measurements.
+///
+/// A common countermeasure against noise (Sec. II/III of the paper) is to
+/// model a robust representative of the repetitions instead of raw values.
+/// Extra-P and this library default to the median; the mean and the minimum
+/// (popular for "best-case" timing) are provided for comparison and are
+/// ablated in bench/ablation_aggregation.
+
+#include <string>
+
+#include "measure/experiment.hpp"
+
+namespace measure {
+
+/// How the repetitions of one measurement collapse into the value modeled.
+enum class Aggregation {
+    Median,   ///< robust default (the paper's choice)
+    Mean,     ///< arithmetic mean — sensitive to outliers
+    Minimum,  ///< best observed value — assumes noise only ever adds time
+};
+
+/// Human-readable name ("median", "mean", "minimum").
+std::string to_string(Aggregation aggregation);
+
+/// Parse a name produced by to_string. Throws std::invalid_argument on
+/// unknown names.
+Aggregation aggregation_from_string(const std::string& name);
+
+/// The representative value of one measurement under the policy.
+double aggregate(const Measurement& measurement, Aggregation aggregation);
+
+/// Representative values of all measurements, in insertion order.
+std::vector<double> aggregate_all(const ExperimentSet& set, Aggregation aggregation);
+
+/// Representative values along a line, sorted like the line.
+std::vector<double> aggregate_line(const Line& line, Aggregation aggregation);
+
+}  // namespace measure

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file archive.hpp
+/// Multi-kernel measurement archives.
+///
+/// A profiling run of a real application yields measurements for many
+/// kernels (Extra-P calls them call paths) and possibly several metrics.
+/// An Archive bundles one ExperimentSet per (kernel, metric) pair over a
+/// shared parameter space — the unit the batch modeler and the `xpdnn
+/// model-all` command consume.
+///
+/// Text format (an extension of the single-set format in io.hpp):
+///
+///     params: p n
+///     kernel: SweepSolver metric: time
+///     8 1024 : 1.23 1.25 1.22
+///     kernel: LTimes metric: time
+///     8 1024 : 0.40 0.41
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "measure/experiment.hpp"
+
+namespace measure {
+
+/// One named entry of an archive.
+struct ArchiveEntry {
+    std::string kernel;
+    std::string metric;
+    ExperimentSet experiments;
+};
+
+/// Ordered collection of per-kernel experiment sets sharing one parameter
+/// space.
+class Archive {
+public:
+    Archive() = default;
+    explicit Archive(std::vector<std::string> parameter_names)
+        : parameter_names_(std::move(parameter_names)) {}
+
+    const std::vector<std::string>& parameter_names() const { return parameter_names_; }
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    const std::vector<ArchiveEntry>& entries() const { return entries_; }
+
+    /// Append an entry. The experiment set's parameter names must equal the
+    /// archive's; throws std::invalid_argument otherwise or when the same
+    /// (kernel, metric) pair is already present.
+    void add(std::string kernel, std::string metric, ExperimentSet experiments);
+
+    /// Find an entry, or nullptr.
+    const ArchiveEntry* find(const std::string& kernel, const std::string& metric) const;
+
+    /// Distinct kernel names, in insertion order.
+    std::vector<std::string> kernels() const;
+
+private:
+    std::vector<std::string> parameter_names_;
+    std::vector<ArchiveEntry> entries_;
+};
+
+/// Serialize / parse the text format above. load_archive throws
+/// std::runtime_error with a line number on malformed input.
+void save_archive(const Archive& archive, std::ostream& out);
+void save_archive_file(const Archive& archive, const std::string& path);
+Archive load_archive(std::istream& in);
+Archive load_archive_file(const std::string& path);
+
+}  // namespace measure

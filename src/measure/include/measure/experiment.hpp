@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file experiment.hpp
+/// Measurement data structures.
+///
+/// An experiment set holds the raw input of the modeling pipeline: for each
+/// measurement point P(x_1..x_m) — one combination of execution-parameter
+/// values — the repeated measurements of one performance metric (typically
+/// runtime). All modelers consume this type.
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace measure {
+
+/// A measurement point: one value per execution parameter.
+using Coordinate = std::vector<double>;
+
+/// One measurement point with its repeated measurement values.
+struct Measurement {
+    Coordinate point;
+    std::vector<double> values;  ///< one entry per repetition
+
+    /// Median of the repetitions — the representative value Extra-P models.
+    double median() const;
+    /// Arithmetic mean of the repetitions.
+    double mean() const;
+    /// Smallest repetition value.
+    double minimum() const;
+};
+
+/// A line through the measurement space: the measurements whose coordinates
+/// differ only in parameter `parameter`, sorted by that parameter's value.
+struct Line {
+    std::size_t parameter = 0;
+    Coordinate base;                            ///< fixed values of the other parameters
+    std::vector<const Measurement*> points;     ///< sorted by point[parameter]
+
+    /// Parameter values along the line.
+    std::vector<double> xs() const;
+    /// Median measurement values along the line.
+    std::vector<double> medians() const;
+};
+
+/// The full set of experiments for one modeling task.
+class ExperimentSet {
+public:
+    ExperimentSet() = default;
+    explicit ExperimentSet(std::vector<std::string> parameter_names)
+        : parameter_names_(std::move(parameter_names)) {}
+
+    std::size_t parameter_count() const { return parameter_names_.size(); }
+    const std::vector<std::string>& parameter_names() const { return parameter_names_; }
+
+    /// Add a measurement point with its repetitions. The coordinate's size
+    /// must equal parameter_count(); throws std::invalid_argument otherwise.
+    void add(Coordinate point, std::vector<double> values);
+
+    const std::vector<Measurement>& measurements() const { return measurements_; }
+    bool empty() const { return measurements_.empty(); }
+    std::size_t size() const { return measurements_.size(); }
+
+    /// Find the measurement at exactly `point` (component-wise equal).
+    const Measurement* find(std::span<const double> point) const;
+
+    /// Distinct values of parameter `l`, sorted ascending.
+    std::vector<double> unique_values(std::size_t parameter) const;
+
+    /// All maximal lines along parameter `parameter` (grouped by the values
+    /// of the remaining parameters), each sorted by the varying parameter.
+    std::vector<Line> lines(std::size_t parameter) const;
+
+    /// The single best line along `parameter` for single-parameter analysis:
+    /// the line with the most points; ties are broken toward the smallest
+    /// fixed values of the other parameters (the cheapest experiments, which
+    /// is where the paper's case studies place their modeling lines).
+    /// Returns std::nullopt if no line has at least two points.
+    std::optional<Line> best_line(std::size_t parameter) const;
+
+    /// Median values of all measurements, in insertion order.
+    std::vector<double> all_medians() const;
+
+    /// New set containing only the measurements whose point satisfies the
+    /// predicate (e.g. Kripke's "everything except d = 12" modeling set).
+    ExperimentSet filtered(const std::function<bool(const Coordinate&)>& keep) const;
+
+    /// New set with this set's measurements followed by `other`'s.
+    /// Parameter names must match; throws std::invalid_argument otherwise.
+    ExperimentSet merged(const ExperimentSet& other) const;
+
+private:
+    std::vector<std::string> parameter_names_;
+    std::vector<Measurement> measurements_;
+};
+
+}  // namespace measure

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file io.hpp
+/// Plain-text persistence for experiment sets.
+///
+/// Format (one experiment set per file):
+///
+///     # comment lines start with '#'
+///     params: p n
+///     8 1024 : 1.23 1.25 1.22
+///     16 1024 : 2.41 2.39
+///
+/// Each data row lists the coordinate values, a ':' separator, and the
+/// repetition values. This mirrors the spirit of Extra-P's text input format
+/// while staying trivially parseable.
+
+#include <iosfwd>
+#include <string>
+
+#include "measure/experiment.hpp"
+
+namespace measure {
+
+/// Serialize to the text format above.
+void save_text(const ExperimentSet& set, std::ostream& out);
+void save_text_file(const ExperimentSet& set, const std::string& path);
+
+/// Parse the text format. Throws std::runtime_error with a line number on
+/// malformed input.
+ExperimentSet load_text(std::istream& in);
+ExperimentSet load_text_file(const std::string& path);
+
+}  // namespace measure

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file sequences.hpp
+/// Parameter-value sequence generators.
+///
+/// The DNN is trained on synthetic measurement points whose parameter-value
+/// sets imitate how real applications are scaled (Sec. IV-D): linear
+/// (10, 20, 30, ...), small linear (2, 3, 4, ...), small exponential
+/// (4, 8, 16, ...), steep exponential (8, 64, 512, ... as Kripke requires),
+/// and randomly spaced increasing sequences.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xpcore {
+class Rng;
+}
+
+namespace measure {
+
+/// The sequence families used for synthetic training and evaluation data.
+enum class SequenceKind {
+    Linear,            ///< a, 2a, 3a, ... with a in [8, 64]
+    SmallLinear,       ///< a, a+s, a+2s, ... with small start and step
+    SmallExponential,  ///< a * 2^k, e.g. 4, 8, 16, 32, 64
+    Exponential,       ///< a * b^k with b in [4, 8], e.g. 8, 64, 512, ...
+    Random,            ///< strictly increasing with random gaps
+};
+
+/// All kinds, for parameterized sweeps.
+std::vector<SequenceKind> all_sequence_kinds();
+
+/// Human-readable kind name.
+std::string to_string(SequenceKind kind);
+
+/// Generate a strictly increasing sequence of `length` parameter values of
+/// the given family. length must be >= 2.
+std::vector<double> generate_sequence(SequenceKind kind, std::size_t length, xpcore::Rng& rng);
+
+/// Generate a sequence of a uniformly random family.
+std::vector<double> random_sequence(std::size_t length, xpcore::Rng& rng);
+
+/// Continue a sequence beyond its last element by `extra` steps, following
+/// the sequence's own spacing pattern (ratio for geometric-looking inputs,
+/// last difference otherwise). Used to place the extrapolation evaluation
+/// points P+ (Fig. 2 of the paper).
+std::vector<double> continue_sequence(const std::vector<double>& seq, std::size_t extra);
+
+}  // namespace measure

@@ -1,0 +1,46 @@
+#include "measure/aggregation.hpp"
+
+#include <stdexcept>
+
+namespace measure {
+
+std::string to_string(Aggregation aggregation) {
+    switch (aggregation) {
+        case Aggregation::Median: return "median";
+        case Aggregation::Mean: return "mean";
+        case Aggregation::Minimum: return "minimum";
+    }
+    return "unknown";
+}
+
+Aggregation aggregation_from_string(const std::string& name) {
+    if (name == "median") return Aggregation::Median;
+    if (name == "mean") return Aggregation::Mean;
+    if (name == "minimum" || name == "min") return Aggregation::Minimum;
+    throw std::invalid_argument("aggregation_from_string: unknown policy '" + name + "'");
+}
+
+double aggregate(const Measurement& measurement, Aggregation aggregation) {
+    switch (aggregation) {
+        case Aggregation::Median: return measurement.median();
+        case Aggregation::Mean: return measurement.mean();
+        case Aggregation::Minimum: return measurement.minimum();
+    }
+    return measurement.median();
+}
+
+std::vector<double> aggregate_all(const ExperimentSet& set, Aggregation aggregation) {
+    std::vector<double> out;
+    out.reserve(set.size());
+    for (const auto& m : set.measurements()) out.push_back(aggregate(m, aggregation));
+    return out;
+}
+
+std::vector<double> aggregate_line(const Line& line, Aggregation aggregation) {
+    std::vector<double> out;
+    out.reserve(line.points.size());
+    for (const auto* m : line.points) out.push_back(aggregate(*m, aggregation));
+    return out;
+}
+
+}  // namespace measure

@@ -1,0 +1,140 @@
+#include "measure/archive.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace measure {
+
+void Archive::add(std::string kernel, std::string metric, ExperimentSet experiments) {
+    if (experiments.parameter_names() != parameter_names_) {
+        throw std::invalid_argument("Archive::add: parameter names of '" + kernel +
+                                    "' do not match the archive");
+    }
+    if (find(kernel, metric) != nullptr) {
+        throw std::invalid_argument("Archive::add: duplicate entry " + kernel + "/" + metric);
+    }
+    entries_.push_back({std::move(kernel), std::move(metric), std::move(experiments)});
+}
+
+const ArchiveEntry* Archive::find(const std::string& kernel, const std::string& metric) const {
+    for (const auto& entry : entries_) {
+        if (entry.kernel == kernel && entry.metric == metric) return &entry;
+    }
+    return nullptr;
+}
+
+std::vector<std::string> Archive::kernels() const {
+    std::vector<std::string> names;
+    for (const auto& entry : entries_) {
+        if (std::find(names.begin(), names.end(), entry.kernel) == names.end()) {
+            names.push_back(entry.kernel);
+        }
+    }
+    return names;
+}
+
+void save_archive(const Archive& archive, std::ostream& out) {
+    out << "params:";
+    for (const auto& name : archive.parameter_names()) out << ' ' << name;
+    out << '\n';
+    out.precision(17);
+    for (const auto& entry : archive.entries()) {
+        out << "kernel: " << entry.kernel << " metric: " << entry.metric << '\n';
+        for (const auto& m : entry.experiments.measurements()) {
+            for (std::size_t l = 0; l < m.point.size(); ++l) {
+                if (l != 0) out << ' ';
+                out << m.point[l];
+            }
+            out << " :";
+            for (double v : m.values) out << ' ' << v;
+            out << '\n';
+        }
+    }
+}
+
+void save_archive_file(const Archive& archive, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("save_archive_file: cannot open " + path);
+    save_archive(archive, out);
+}
+
+Archive load_archive(std::istream& in) {
+    std::string line;
+    std::size_t line_no = 0;
+    auto fail = [&](const std::string& what) {
+        throw std::runtime_error("load_archive: line " + std::to_string(line_no) + ": " + what);
+    };
+
+    std::vector<std::string> names;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream header(line);
+        std::string tag;
+        header >> tag;
+        if (tag != "params:") fail("expected 'params:' header, got '" + tag + "'");
+        std::string name;
+        while (header >> name) names.push_back(name);
+        break;
+    }
+    if (names.empty()) throw std::runtime_error("load_archive: missing 'params:' header");
+
+    Archive archive(names);
+    std::string kernel, metric;
+    ExperimentSet current(names);
+    bool have_entry = false;
+    auto flush = [&]() {
+        if (!have_entry) return;
+        if (current.empty()) fail("entry '" + kernel + "' has no measurements");
+        archive.add(kernel, metric, std::move(current));
+        current = ExperimentSet(names);
+    };
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        if (line.rfind("kernel:", 0) == 0) {
+            flush();
+            std::istringstream header(line);
+            std::string tag, metric_tag;
+            header >> tag >> kernel >> metric_tag >> metric;
+            if (kernel.empty() || metric_tag != "metric:" || metric.empty()) {
+                fail("malformed kernel header");
+            }
+            have_entry = true;
+            continue;
+        }
+        if (!have_entry) fail("measurement before the first 'kernel:' header");
+        const auto colon = line.find(':');
+        if (colon == std::string::npos) fail("missing ':' separator");
+        Coordinate point;
+        {
+            std::istringstream coords(line.substr(0, colon));
+            double x = 0.0;
+            while (coords >> x) point.push_back(x);
+            if (!coords.eof()) fail("malformed coordinate value");
+        }
+        std::vector<double> values;
+        {
+            std::istringstream reps(line.substr(colon + 1));
+            double v = 0.0;
+            while (reps >> v) values.push_back(v);
+            if (!reps.eof()) fail("malformed repetition value");
+        }
+        if (point.size() != names.size()) fail("coordinate arity does not match header");
+        if (values.empty()) fail("no repetition values");
+        current.add(std::move(point), std::move(values));
+    }
+    flush();
+    return archive;
+}
+
+Archive load_archive_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("load_archive_file: cannot open " + path);
+    return load_archive(in);
+}
+
+}  // namespace measure

@@ -1,0 +1,120 @@
+#include "measure/experiment.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "xpcore/stats.hpp"
+
+namespace measure {
+
+double Measurement::median() const { return xpcore::median(values); }
+double Measurement::mean() const { return xpcore::mean(values); }
+double Measurement::minimum() const { return xpcore::min_value(values); }
+
+std::vector<double> Line::xs() const {
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (const auto* m : points) out.push_back(m->point[parameter]);
+    return out;
+}
+
+std::vector<double> Line::medians() const {
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (const auto* m : points) out.push_back(m->median());
+    return out;
+}
+
+void ExperimentSet::add(Coordinate point, std::vector<double> values) {
+    if (point.size() != parameter_count()) {
+        throw std::invalid_argument("ExperimentSet::add: coordinate has " +
+                                    std::to_string(point.size()) + " values, expected " +
+                                    std::to_string(parameter_count()));
+    }
+    if (values.empty()) {
+        throw std::invalid_argument("ExperimentSet::add: a measurement needs at least one value");
+    }
+    measurements_.push_back({std::move(point), std::move(values)});
+}
+
+const Measurement* ExperimentSet::find(std::span<const double> point) const {
+    for (const auto& m : measurements_) {
+        if (std::equal(m.point.begin(), m.point.end(), point.begin(), point.end())) return &m;
+    }
+    return nullptr;
+}
+
+std::vector<double> ExperimentSet::unique_values(std::size_t parameter) const {
+    std::vector<double> values;
+    for (const auto& m : measurements_) values.push_back(m.point[parameter]);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    return values;
+}
+
+std::vector<Line> ExperimentSet::lines(std::size_t parameter) const {
+    // Group by the coordinate with `parameter` removed.
+    std::map<Coordinate, Line> groups;
+    for (const auto& m : measurements_) {
+        Coordinate base;
+        base.reserve(m.point.size() - 1);
+        for (std::size_t l = 0; l < m.point.size(); ++l) {
+            if (l != parameter) base.push_back(m.point[l]);
+        }
+        auto [it, inserted] = groups.try_emplace(base);
+        if (inserted) {
+            it->second.parameter = parameter;
+            it->second.base = base;
+        }
+        it->second.points.push_back(&m);
+    }
+    std::vector<Line> result;
+    result.reserve(groups.size());
+    for (auto& [base, line] : groups) {
+        std::sort(line.points.begin(), line.points.end(),
+                  [parameter](const Measurement* a, const Measurement* b) {
+                      return a->point[parameter] < b->point[parameter];
+                  });
+        result.push_back(std::move(line));
+    }
+    return result;
+}
+
+std::optional<Line> ExperimentSet::best_line(std::size_t parameter) const {
+    std::optional<Line> best;
+    for (auto& line : lines(parameter)) {
+        if (line.points.size() < 2) continue;
+        // More points wins; ties go to the lexicographically smallest base,
+        // which std::map iteration already delivers first.
+        if (!best || line.points.size() > best->points.size()) best = std::move(line);
+    }
+    return best;
+}
+
+ExperimentSet ExperimentSet::filtered(
+    const std::function<bool(const Coordinate&)>& keep) const {
+    ExperimentSet subset(parameter_names_);
+    for (const auto& m : measurements_) {
+        if (keep(m.point)) subset.add(m.point, m.values);
+    }
+    return subset;
+}
+
+ExperimentSet ExperimentSet::merged(const ExperimentSet& other) const {
+    if (other.parameter_names() != parameter_names_) {
+        throw std::invalid_argument("ExperimentSet::merged: parameter names differ");
+    }
+    ExperimentSet combined = *this;
+    for (const auto& m : other.measurements_) combined.add(m.point, m.values);
+    return combined;
+}
+
+std::vector<double> ExperimentSet::all_medians() const {
+    std::vector<double> out;
+    out.reserve(measurements_.size());
+    for (const auto& m : measurements_) out.push_back(m.median());
+    return out;
+}
+
+}  // namespace measure

@@ -1,0 +1,89 @@
+#include "measure/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace measure {
+
+void save_text(const ExperimentSet& set, std::ostream& out) {
+    out << "params:";
+    for (const auto& name : set.parameter_names()) out << ' ' << name;
+    out << '\n';
+    out.precision(17);
+    for (const auto& m : set.measurements()) {
+        for (std::size_t l = 0; l < m.point.size(); ++l) {
+            if (l != 0) out << ' ';
+            out << m.point[l];
+        }
+        out << " :";
+        for (double v : m.values) out << ' ' << v;
+        out << '\n';
+    }
+}
+
+void save_text_file(const ExperimentSet& set, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("save_text_file: cannot open " + path);
+    save_text(set, out);
+}
+
+ExperimentSet load_text(std::istream& in) {
+    std::string line;
+    std::size_t line_no = 0;
+    auto fail = [&](const std::string& what) {
+        throw std::runtime_error("load_text: line " + std::to_string(line_no) + ": " + what);
+    };
+
+    // Header
+    std::vector<std::string> names;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream header(line);
+        std::string tag;
+        header >> tag;
+        if (tag != "params:") fail("expected 'params:' header, got '" + tag + "'");
+        std::string name;
+        while (header >> name) names.push_back(name);
+        break;
+    }
+    if (names.empty()) {
+        throw std::runtime_error("load_text: missing or empty 'params:' header");
+    }
+
+    ExperimentSet set(names);
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        const auto colon = line.find(':');
+        if (colon == std::string::npos) fail("missing ':' separator");
+
+        Coordinate point;
+        {
+            std::istringstream coords(line.substr(0, colon));
+            double x = 0.0;
+            while (coords >> x) point.push_back(x);
+            if (!coords.eof()) fail("malformed coordinate value");
+        }
+        std::vector<double> values;
+        {
+            std::istringstream reps(line.substr(colon + 1));
+            double v = 0.0;
+            while (reps >> v) values.push_back(v);
+            if (!reps.eof()) fail("malformed repetition value");
+        }
+        if (point.size() != names.size()) fail("coordinate arity does not match header");
+        if (values.empty()) fail("no repetition values");
+        set.add(std::move(point), std::move(values));
+    }
+    return set;
+}
+
+ExperimentSet load_text_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("load_text_file: cannot open " + path);
+    return load_text(in);
+}
+
+}  // namespace measure

@@ -1,0 +1,109 @@
+#include "measure/sequences.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "xpcore/rng.hpp"
+
+namespace measure {
+
+std::vector<SequenceKind> all_sequence_kinds() {
+    return {SequenceKind::Linear, SequenceKind::SmallLinear, SequenceKind::SmallExponential,
+            SequenceKind::Exponential, SequenceKind::Random};
+}
+
+std::string to_string(SequenceKind kind) {
+    switch (kind) {
+        case SequenceKind::Linear: return "linear";
+        case SequenceKind::SmallLinear: return "small-linear";
+        case SequenceKind::SmallExponential: return "small-exponential";
+        case SequenceKind::Exponential: return "exponential";
+        case SequenceKind::Random: return "random";
+    }
+    return "unknown";
+}
+
+std::vector<double> generate_sequence(SequenceKind kind, std::size_t length, xpcore::Rng& rng) {
+    if (length < 2) throw std::invalid_argument("generate_sequence: length must be >= 2");
+    std::vector<double> seq(length);
+    switch (kind) {
+        case SequenceKind::Linear: {
+            // e.g. 16, 32, 48, ... — step equals the start value
+            const double a = static_cast<double>(rng.uniform_int(8, 64));
+            for (std::size_t k = 0; k < length; ++k) seq[k] = a * static_cast<double>(k + 1);
+            break;
+        }
+        case SequenceKind::SmallLinear: {
+            // e.g. 10, 20, 30, ... or 5, 6, 7, ...
+            const double a = static_cast<double>(rng.uniform_int(2, 12));
+            const double s = static_cast<double>(rng.uniform_int(1, 10));
+            for (std::size_t k = 0; k < length; ++k) seq[k] = a + s * static_cast<double>(k);
+            break;
+        }
+        case SequenceKind::SmallExponential: {
+            // e.g. 4, 8, 16, 32, 64
+            const double a = static_cast<double>(rng.uniform_int(2, 8));
+            for (std::size_t k = 0; k < length; ++k) seq[k] = a * std::pow(2.0, static_cast<double>(k));
+            break;
+        }
+        case SequenceKind::Exponential: {
+            // e.g. 8, 64, 512, 4096, 32768 (Kripke's cubic process scaling)
+            const double a = static_cast<double>(rng.uniform_int(2, 8));
+            const double b = static_cast<double>(rng.uniform_int(4, 8));
+            for (std::size_t k = 0; k < length; ++k) seq[k] = a * std::pow(b, static_cast<double>(k));
+            break;
+        }
+        case SequenceKind::Random: {
+            double x = static_cast<double>(rng.uniform_int(2, 32));
+            for (std::size_t k = 0; k < length; ++k) {
+                seq[k] = x;
+                x += rng.uniform(1.0, x);  // strictly increasing, sub-geometric gaps
+                x = std::round(x);
+            }
+            break;
+        }
+    }
+    return seq;
+}
+
+std::vector<double> random_sequence(std::size_t length, xpcore::Rng& rng) {
+    const auto kinds = all_sequence_kinds();
+    return generate_sequence(rng.pick(kinds), length, rng);
+}
+
+std::vector<double> continue_sequence(const std::vector<double>& seq, std::size_t extra) {
+    if (seq.size() < 2) throw std::invalid_argument("continue_sequence: need >= 2 values");
+    std::vector<double> out;
+    out.reserve(extra);
+    const std::size_t n = seq.size();
+    const double last = seq[n - 1];
+    const double prev = seq[n - 2];
+    // Decide between geometric and arithmetic continuation by comparing the
+    // last two gap ratios (a geometric sequence has a constant ratio).
+    bool geometric = false;
+    if (n >= 3 && seq[n - 3] > 0.0 && prev > 0.0) {
+        const double r1 = prev / seq[n - 3];
+        const double r2 = last / prev;
+        geometric = r2 > 1.5 && std::abs(r1 - r2) / r2 < 0.05;
+    } else if (prev > 0.0) {
+        geometric = last / prev > 1.5;
+    }
+    double x = last;
+    if (geometric) {
+        const double ratio = last / prev;
+        for (std::size_t k = 0; k < extra; ++k) {
+            x *= ratio;
+            out.push_back(x);
+        }
+    } else {
+        const double step = last - prev;
+        for (std::size_t k = 0; k < extra; ++k) {
+            x += step;
+            out.push_back(x);
+        }
+    }
+    return out;
+}
+
+}  // namespace measure

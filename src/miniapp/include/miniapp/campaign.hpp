@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file campaign.hpp
+/// Measurement campaigns over mini-app kernels.
+///
+/// A campaign runs a kernel over a grid of configuration points with
+/// repetitions and collects the results into a measure::ExperimentSet —
+/// exactly the input the modelers consume. Two metrics are available:
+/// wall-clock runtime (real measurements with the machine's real noise)
+/// and the deterministic operation count (noise-free ground truth, used by
+/// tests and to validate recovered exponents).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "measure/experiment.hpp"
+#include "miniapp/kernels.hpp"
+
+namespace miniapp {
+
+/// Builds a kernel instance for one measurement point.
+using KernelFactory =
+    std::function<std::unique_ptr<Kernel>(const measure::Coordinate&)>;
+
+/// What a campaign records per repetition.
+enum class Metric {
+    Runtime,     ///< run() wall-clock seconds
+    Operations,  ///< deterministic operation_count() (identical repetitions)
+};
+
+struct CampaignConfig {
+    std::size_t repetitions = 5;
+    Metric metric = Metric::Runtime;
+    /// For Runtime: repeat run() until this much time accumulated, and
+    /// record the per-run average — stabilizes sub-millisecond kernels.
+    double min_seconds_per_repetition = 0.0;
+    /// For Runtime: unrecorded runs before the first repetition, so cold
+    /// caches and page faults do not masquerade as system noise.
+    std::size_t warmup_runs = 1;
+};
+
+/// Execute the campaign and collect an experiment set with the given
+/// parameter names (one per coordinate dimension).
+measure::ExperimentSet run_campaign(const std::vector<std::string>& parameter_names,
+                                    const std::vector<measure::Coordinate>& points,
+                                    const KernelFactory& factory, const CampaignConfig& config);
+
+/// Factory for SweepKernel over (directions, groups) with a fixed grid.
+KernelFactory sweep_factory(std::size_t nx = 16, std::size_t ny = 16, std::size_t nz = 16);
+
+/// Factory for StencilKernel over (n, iterations).
+KernelFactory stencil_factory();
+
+/// Factory for ConnectivityKernel over (neurons).
+KernelFactory connectivity_factory(double theta = 0.6, std::uint64_t seed = 42);
+
+}  // namespace miniapp

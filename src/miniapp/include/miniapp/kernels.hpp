@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file kernels.hpp
+/// Executable mini-application kernels.
+///
+/// The paper's case studies model measurements of real parallel codes.
+/// Beyond the statistically simulated campaigns in src/casestudy, this
+/// module provides small *actually executing* kernels in the spirit of
+/// those codes, so the full pipeline can also be exercised on genuinely
+/// measured runtimes (including the machine's real noise):
+///
+///  - SweepKernel: a KBA-style wavefront transport sweep over a 3D grid
+///    with direction sets and energy groups (Kripke's SweepSolver shape,
+///    work ~ cells * directions * groups).
+///  - StencilKernel: 7-point Jacobi iterations over a 3D grid (the CFD
+///    smoother shape, work ~ cells * iterations).
+///  - ConnectivityKernel: octree-accelerated neighborhood queries over
+///    random points (RELeARN's connectivity-update shape,
+///    work ~ n log(n)).
+///
+/// Every kernel exposes both a wall-clock-measurable run() and a
+/// deterministic operation counter, so tests can assert scaling laws
+/// without timing flakiness.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace miniapp {
+
+/// Common kernel interface: run once, report work done.
+class Kernel {
+public:
+    virtual ~Kernel() = default;
+
+    /// Execute the kernel once. Returns a checksum so the work cannot be
+    /// optimized away; the same configuration yields the same checksum.
+    virtual double run() = 0;
+
+    /// Deterministic count of inner-loop operations of one run().
+    virtual std::uint64_t operation_count() const = 0;
+};
+
+/// Wavefront sweep: for each direction octant and each energy group,
+/// propagate fluxes through an nx x ny x nz grid using the upwind
+/// neighbors — the data dependency pattern of discrete-ordinates codes.
+class SweepKernel final : public Kernel {
+public:
+    struct Config {
+        std::size_t nx = 16, ny = 16, nz = 16;
+        std::size_t directions = 4;  ///< direction sets (octant batches)
+        std::size_t groups = 8;      ///< energy groups
+    };
+
+    explicit SweepKernel(Config config);
+
+    double run() override;
+    std::uint64_t operation_count() const override;
+
+    const Config& config() const { return config_; }
+
+private:
+    Config config_;
+    std::vector<float> flux_;
+};
+
+/// 7-point Jacobi smoother over an n x n x n grid, `iterations` sweeps.
+class StencilKernel final : public Kernel {
+public:
+    struct Config {
+        std::size_t n = 32;
+        std::size_t iterations = 4;
+    };
+
+    explicit StencilKernel(Config config);
+
+    double run() override;
+    std::uint64_t operation_count() const override;
+
+    const Config& config() const { return config_; }
+
+private:
+    Config config_;
+    std::vector<float> grid_;
+    std::vector<float> scratch_;
+};
+
+/// Octree neighborhood queries: build an octree over `neurons` random 3D
+/// positions, then for each point accumulate the attraction of all cells
+/// that satisfy a Barnes-Hut opening criterion — n queries of depth
+/// O(log n) each.
+class ConnectivityKernel final : public Kernel {
+public:
+    struct Config {
+        std::size_t neurons = 2000;
+        double theta = 0.6;       ///< opening criterion (smaller = more work)
+        std::uint64_t seed = 42;  ///< positions are deterministic
+    };
+
+    explicit ConnectivityKernel(Config config);
+
+    double run() override;
+    std::uint64_t operation_count() const override;
+
+    const Config& config() const { return config_; }
+
+private:
+    Config config_;
+    std::vector<float> x_, y_, z_;
+    mutable std::uint64_t last_operations_ = 0;
+};
+
+}  // namespace miniapp

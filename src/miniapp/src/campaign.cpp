@@ -1,0 +1,101 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "miniapp/campaign.hpp"
+#include "xpcore/timer.hpp"
+
+namespace miniapp {
+
+measure::ExperimentSet run_campaign(const std::vector<std::string>& parameter_names,
+                                    const std::vector<measure::Coordinate>& points,
+                                    const KernelFactory& factory, const CampaignConfig& config) {
+    if (config.repetitions == 0) {
+        throw std::invalid_argument("run_campaign: repetitions must be > 0");
+    }
+    measure::ExperimentSet set(parameter_names);
+    for (const auto& point : points) {
+        if (point.size() != parameter_names.size()) {
+            throw std::invalid_argument("run_campaign: point arity mismatch");
+        }
+        auto kernel = factory(point);
+        if (config.metric == Metric::Runtime) {
+            for (std::size_t w = 0; w < config.warmup_runs; ++w) (void)kernel->run();
+        }
+        std::vector<double> values;
+        values.reserve(config.repetitions);
+        for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+            if (config.metric == Metric::Operations) {
+                values.push_back(static_cast<double>(kernel->operation_count()));
+            } else {
+                // Repeat until the minimum duration is reached; record the
+                // mean per-run time so short kernels stay measurable.
+                xpcore::WallTimer timer;
+                std::size_t runs = 0;
+                double sink = 0.0;
+                do {
+                    sink += kernel->run();
+                    ++runs;
+                } while (timer.seconds() < config.min_seconds_per_repetition);
+                const double elapsed = timer.seconds();
+                if (sink == 42.0e300) throw std::logic_error("unreachable");  // keep sink alive
+                values.push_back(elapsed / static_cast<double>(runs));
+            }
+        }
+        set.add(point, std::move(values));
+    }
+    return set;
+}
+
+namespace {
+
+std::size_t as_count(double value, const char* what) {
+    if (value < 1.0 || value != std::floor(value)) {
+        throw std::invalid_argument(std::string("miniapp factory: ") + what +
+                                    " must be a positive integer, got " + std::to_string(value));
+    }
+    return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+KernelFactory sweep_factory(std::size_t nx, std::size_t ny, std::size_t nz) {
+    return [nx, ny, nz](const measure::Coordinate& point) -> std::unique_ptr<Kernel> {
+        if (point.size() != 2) {
+            throw std::invalid_argument("sweep_factory: expects (directions, groups)");
+        }
+        SweepKernel::Config config;
+        config.nx = nx;
+        config.ny = ny;
+        config.nz = nz;
+        config.directions = as_count(point[0], "directions");
+        config.groups = as_count(point[1], "groups");
+        return std::make_unique<SweepKernel>(config);
+    };
+}
+
+KernelFactory stencil_factory() {
+    return [](const measure::Coordinate& point) -> std::unique_ptr<Kernel> {
+        if (point.size() != 2) {
+            throw std::invalid_argument("stencil_factory: expects (n, iterations)");
+        }
+        StencilKernel::Config config;
+        config.n = as_count(point[0], "n");
+        config.iterations = as_count(point[1], "iterations");
+        return std::make_unique<StencilKernel>(config);
+    };
+}
+
+KernelFactory connectivity_factory(double theta, std::uint64_t seed) {
+    return [theta, seed](const measure::Coordinate& point) -> std::unique_ptr<Kernel> {
+        if (point.size() != 1) {
+            throw std::invalid_argument("connectivity_factory: expects (neurons)");
+        }
+        ConnectivityKernel::Config config;
+        config.neurons = as_count(point[0], "neurons");
+        config.theta = theta;
+        config.seed = seed;
+        return std::make_unique<ConnectivityKernel>(config);
+    };
+}
+
+}  // namespace miniapp

@@ -1,0 +1,183 @@
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "miniapp/kernels.hpp"
+#include "xpcore/rng.hpp"
+
+namespace miniapp {
+
+namespace {
+
+/// One octree node over a contiguous index range of the (reordered)
+/// points. Children are stored by index into the node pool; -1 = none.
+struct OctNode {
+    float cx, cy, cz;    ///< cell center
+    float half;          ///< half edge length
+    float mx, my, mz;    ///< centroid of contained points
+    std::uint32_t count; ///< number of contained points
+    std::uint32_t begin, end;  ///< point index range (for leaves)
+    std::array<std::int32_t, 8> children;
+    bool leaf;
+};
+
+constexpr std::size_t kLeafSize = 16;
+
+class Octree {
+public:
+    Octree(std::vector<float>& xs, std::vector<float>& ys, std::vector<float>& zs)
+        : xs_(xs), ys_(ys), zs_(zs), order_(xs.size()) {
+        for (std::uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+        nodes_.reserve(xs.size() / 4 + 16);
+        build(0, static_cast<std::uint32_t>(order_.size()), 0.5f, 0.5f, 0.5f, 0.5f);
+    }
+
+    /// Barnes-Hut style traversal from one query point: accumulate
+    /// count/d^2 of every accepted cell. Returns {potential, visits}.
+    std::pair<double, std::uint64_t> query(float qx, float qy, float qz, double theta) const {
+        double potential = 0.0;
+        std::uint64_t visits = 0;
+        std::array<std::int32_t, 128> stack;
+        std::size_t top = 0;
+        stack[top++] = 0;
+        while (top > 0) {
+            const OctNode& node = nodes_[stack[--top]];
+            ++visits;
+            if (node.count == 0) continue;
+            const float dx = node.mx - qx;
+            const float dy = node.my - qy;
+            const float dz = node.mz - qz;
+            const float dist2 = dx * dx + dy * dy + dz * dz + 1e-6f;
+            const float size = 2.0f * node.half;
+            if (node.leaf || static_cast<double>(size * size) < theta * theta * dist2) {
+                potential += node.count / static_cast<double>(dist2);
+            } else {
+                for (std::int32_t child : node.children) {
+                    if (child >= 0) {
+                        assert(top < stack.size());
+                        stack[top++] = child;
+                    }
+                }
+            }
+        }
+        return {potential, visits};
+    }
+
+private:
+    std::int32_t build(std::uint32_t begin, std::uint32_t end, float cx, float cy, float cz,
+                       float half) {
+        const auto node_index = static_cast<std::int32_t>(nodes_.size());
+        nodes_.push_back({});
+        OctNode node{};
+        node.cx = cx;
+        node.cy = cy;
+        node.cz = cz;
+        node.half = half;
+        node.begin = begin;
+        node.end = end;
+        node.count = end - begin;
+        node.children.fill(-1);
+
+        // Centroid of the contained points.
+        double sx = 0, sy = 0, sz = 0;
+        for (std::uint32_t i = begin; i < end; ++i) {
+            sx += xs_[order_[i]];
+            sy += ys_[order_[i]];
+            sz += zs_[order_[i]];
+        }
+        if (node.count > 0) {
+            node.mx = static_cast<float>(sx / node.count);
+            node.my = static_cast<float>(sy / node.count);
+            node.mz = static_cast<float>(sz / node.count);
+        }
+
+        node.leaf = node.count <= kLeafSize || half < 1e-4f;
+        if (!node.leaf) {
+            // Partition the index range into the eight octants (three
+            // successive stable partitions by x, y, z).
+            std::array<std::uint32_t, 9> bounds{};
+            bounds[0] = begin;
+            bounds[8] = end;
+            const auto mid_x = static_cast<std::uint32_t>(
+                std::partition(order_.begin() + begin, order_.begin() + end,
+                               [&](std::uint32_t p) { return xs_[p] < cx; }) -
+                order_.begin());
+            bounds[4] = mid_x;
+            for (int hx = 0; hx < 2; ++hx) {
+                const std::uint32_t lo = hx == 0 ? begin : mid_x;
+                const std::uint32_t hi = hx == 0 ? mid_x : end;
+                const auto mid_y = static_cast<std::uint32_t>(
+                    std::partition(order_.begin() + lo, order_.begin() + hi,
+                                   [&](std::uint32_t p) { return ys_[p] < cy; }) -
+                    order_.begin());
+                bounds[hx * 4 + 2] = mid_y;
+                for (int hy = 0; hy < 2; ++hy) {
+                    const std::uint32_t ylo = hy == 0 ? lo : mid_y;
+                    const std::uint32_t yhi = hy == 0 ? mid_y : hi;
+                    const auto mid_z = static_cast<std::uint32_t>(
+                        std::partition(order_.begin() + ylo, order_.begin() + yhi,
+                                       [&](std::uint32_t p) { return zs_[p] < cz; }) -
+                        order_.begin());
+                    bounds[hx * 4 + hy * 2 + 1] = mid_z;
+                }
+            }
+            const float q = half / 2.0f;
+            for (int octant = 0; octant < 8; ++octant) {
+                const std::uint32_t lo = bounds[octant];
+                const std::uint32_t hi = bounds[octant + 1];
+                if (lo >= hi) continue;
+                const float ox = cx + ((octant & 4) ? q : -q);
+                const float oy = cy + ((octant & 2) ? q : -q);
+                const float oz = cz + ((octant & 1) ? q : -q);
+                node.children[octant] = build(lo, hi, ox, oy, oz, q);
+            }
+        }
+        nodes_[node_index] = node;
+        return node_index;
+    }
+
+    std::vector<float>& xs_;
+    std::vector<float>& ys_;
+    std::vector<float>& zs_;
+    std::vector<std::uint32_t> order_;
+    std::vector<OctNode> nodes_;
+};
+
+}  // namespace
+
+ConnectivityKernel::ConnectivityKernel(Config config) : config_(config) {
+    assert(config_.neurons > 0);
+    xpcore::Rng rng(config_.seed);
+    x_.resize(config_.neurons);
+    y_.resize(config_.neurons);
+    z_.resize(config_.neurons);
+    for (std::size_t i = 0; i < config_.neurons; ++i) {
+        x_[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+        y_[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+        z_[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+    }
+}
+
+double ConnectivityKernel::run() {
+    Octree tree(x_, y_, z_);
+    double total = 0.0;
+    std::uint64_t visits = 0;
+    for (std::size_t i = 0; i < config_.neurons; ++i) {
+        const auto [potential, node_visits] = tree.query(x_[i], y_[i], z_[i], config_.theta);
+        total += potential;
+        visits += node_visits;
+    }
+    last_operations_ = visits;
+    return total;
+}
+
+std::uint64_t ConnectivityKernel::operation_count() const {
+    if (last_operations_ == 0) {
+        // Deterministic given the seeded positions: a counting-only pass.
+        const_cast<ConnectivityKernel*>(this)->run();
+    }
+    return last_operations_;
+}
+
+}  // namespace miniapp

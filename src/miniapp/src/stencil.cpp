@@ -1,0 +1,52 @@
+#include <cassert>
+#include <cmath>
+
+#include "miniapp/kernels.hpp"
+
+namespace miniapp {
+
+StencilKernel::StencilKernel(Config config)
+    : config_(config),
+      grid_(config.n * config.n * config.n),
+      scratch_(config.n * config.n * config.n) {
+    assert(config_.n >= 3);
+    // Deterministic non-trivial initial condition.
+    for (std::size_t i = 0; i < grid_.size(); ++i) {
+        grid_[i] = std::sin(static_cast<float>(i) * 0.01f);
+    }
+}
+
+double StencilKernel::run() {
+    const std::size_t n = config_.n;
+    auto index = [n](std::size_t i, std::size_t j, std::size_t k) { return (i * n + j) * n + k; };
+
+    float* src = grid_.data();
+    float* dst = scratch_.data();
+    for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+        for (std::size_t i = 1; i + 1 < n; ++i) {
+            for (std::size_t j = 1; j + 1 < n; ++j) {
+                for (std::size_t k = 1; k + 1 < n; ++k) {
+                    dst[index(i, j, k)] =
+                        (src[index(i - 1, j, k)] + src[index(i + 1, j, k)] +
+                         src[index(i, j - 1, k)] + src[index(i, j + 1, k)] +
+                         src[index(i, j, k - 1)] + src[index(i, j, k + 1)] +
+                         src[index(i, j, k)]) *
+                        (1.0f / 7.0f);
+                }
+            }
+        }
+        std::swap(src, dst);
+    }
+
+    double checksum = 0.0;
+    for (std::size_t i = 0; i < grid_.size(); ++i) checksum += src[i];
+    return checksum;
+}
+
+std::uint64_t StencilKernel::operation_count() const {
+    const std::uint64_t interior = static_cast<std::uint64_t>(config_.n - 2) * (config_.n - 2) *
+                                   (config_.n - 2);
+    return interior * config_.iterations;
+}
+
+}  // namespace miniapp

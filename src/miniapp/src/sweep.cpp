@@ -1,0 +1,52 @@
+#include <cassert>
+#include <cmath>
+
+#include "miniapp/kernels.hpp"
+
+namespace miniapp {
+
+SweepKernel::SweepKernel(Config config)
+    : config_(config), flux_(config.nx * config.ny * config.nz, 0.0f) {
+    assert(config_.nx > 0 && config_.ny > 0 && config_.nz > 0);
+    assert(config_.directions > 0 && config_.groups > 0);
+}
+
+double SweepKernel::run() {
+    const std::size_t nx = config_.nx, ny = config_.ny, nz = config_.nz;
+    auto at = [&](std::size_t i, std::size_t j, std::size_t k) -> float& {
+        return flux_[(i * ny + j) * nz + k];
+    };
+
+    double checksum = 0.0;
+    for (std::size_t d = 0; d < config_.directions; ++d) {
+        for (std::size_t g = 0; g < config_.groups; ++g) {
+            // Per-(direction, group) source term; cheap but not constant so
+            // the compiler cannot hoist the whole sweep.
+            const float source =
+                0.5f + 0.25f * static_cast<float>((d * 31 + g * 17) % 13) / 13.0f;
+            // Wavefront sweep in the (+x, +y, +z) octant: each cell reads
+            // its three upwind neighbors — the transport dependency chain.
+            for (std::size_t i = 0; i < nx; ++i) {
+                for (std::size_t j = 0; j < ny; ++j) {
+                    for (std::size_t k = 0; k < nz; ++k) {
+                        const float up_x = i > 0 ? at(i - 1, j, k) : 0.0f;
+                        const float up_y = j > 0 ? at(i, j - 1, k) : 0.0f;
+                        const float up_z = k > 0 ? at(i, j, k - 1) : 0.0f;
+                        at(i, j, k) = 0.2f * (source + up_x + up_y + up_z);
+                    }
+                }
+            }
+            checksum += at(nx - 1, ny - 1, nz - 1);
+        }
+    }
+    return checksum;
+}
+
+std::uint64_t SweepKernel::operation_count() const {
+    // One cell update (3 loads + 4 flops counted as one operation) per
+    // cell, direction, and group.
+    return static_cast<std::uint64_t>(config_.nx) * config_.ny * config_.nz *
+           config_.directions * config_.groups;
+}
+
+}  // namespace miniapp

@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file layers.hpp
+/// Network layers: fully-connected (dense) and tanh activation — the two
+/// building blocks of the paper's classifier (Sec. IV-D).
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace xpcore {
+class Rng;
+}
+
+namespace nn {
+
+/// A trainable parameter: value tensor plus its gradient accumulator.
+struct Param {
+    Tensor* value = nullptr;
+    Tensor* grad = nullptr;
+};
+
+/// Abstract layer. Layers are stateless across batches except for trainable
+/// parameters; all per-batch activations are owned by the Network so one
+/// layer instance can be shared by training and inference paths.
+class Layer {
+public:
+    virtual ~Layer() = default;
+
+    /// Compute out = f(in). `in` is [batch x input_size()].
+    virtual void forward(const Tensor& in, Tensor& out) const = 0;
+
+    /// Given the batch inputs/outputs of forward and the loss gradient
+    /// w.r.t. the outputs, compute grad_in and accumulate parameter grads.
+    virtual void backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
+                          Tensor& grad_in) = 0;
+
+    virtual std::size_t input_size() const = 0;
+    virtual std::size_t output_size() const = 0;
+
+    /// Trainable parameters (empty for activations).
+    virtual std::vector<Param> params() { return {}; }
+
+    /// Serialization tag ("dense", "tanh").
+    virtual std::string kind() const = 0;
+    /// Write layer configuration + weights.
+    virtual void save(std::ostream& out) const = 0;
+};
+
+/// Fully-connected layer: out = in * W + b, W is [in x out].
+class Dense final : public Layer {
+public:
+    /// Glorot-uniform weights, zero bias.
+    Dense(std::size_t in, std::size_t out, xpcore::Rng& rng);
+    /// Uninitialized (for deserialization).
+    Dense(std::size_t in, std::size_t out);
+
+    void forward(const Tensor& in, Tensor& out) const override;
+    void backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
+                  Tensor& grad_in) override;
+    std::size_t input_size() const override { return weights_.rows(); }
+    std::size_t output_size() const override { return weights_.cols(); }
+    std::vector<Param> params() override;
+    std::string kind() const override { return "dense"; }
+    void save(std::ostream& out) const override;
+    static std::unique_ptr<Dense> load(std::istream& in);
+
+    Tensor& weights() { return weights_; }
+    Tensor& bias() { return bias_; }
+
+private:
+    Tensor weights_;       // [in x out]
+    Tensor bias_;          // [1 x out]
+    Tensor weights_grad_;  // same shapes
+    Tensor bias_grad_;
+};
+
+/// Elementwise rectified linear unit: max(0, x). An alternative to the
+/// paper's tanh, ablated in bench/ablation_adaptation-style sweeps.
+class Relu final : public Layer {
+public:
+    explicit Relu(std::size_t size) : size_(size) {}
+
+    void forward(const Tensor& in, Tensor& out) const override;
+    void backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
+                  Tensor& grad_in) override;
+    std::size_t input_size() const override { return size_; }
+    std::size_t output_size() const override { return size_; }
+    std::string kind() const override { return "relu"; }
+    void save(std::ostream& out) const override;
+    static std::unique_ptr<Relu> load(std::istream& in);
+
+private:
+    std::size_t size_;
+};
+
+/// Elementwise hyperbolic tangent.
+class Tanh final : public Layer {
+public:
+    explicit Tanh(std::size_t size) : size_(size) {}
+
+    void forward(const Tensor& in, Tensor& out) const override;
+    void backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
+                  Tensor& grad_in) override;
+    std::size_t input_size() const override { return size_; }
+    std::size_t output_size() const override { return size_; }
+    std::string kind() const override { return "tanh"; }
+    void save(std::ostream& out) const override;
+    static std::unique_ptr<Tanh> load(std::istream& in);
+
+private:
+    std::size_t size_;
+};
+
+}  // namespace nn

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file loss.hpp
+/// Softmax + cross-entropy, fused for numerical stability.
+
+#include <cstdint>
+#include <span>
+
+#include "nn/tensor.hpp"
+
+namespace nn {
+
+/// Fused softmax activation and cross-entropy loss over integer class
+/// labels. The paper's output layer is softmax over 43 classes.
+class SoftmaxCrossEntropy {
+public:
+    /// Row-wise softmax of `logits` into `probs` (max-subtracted, stable).
+    static void softmax(const Tensor& logits, Tensor& probs);
+
+    /// Mean cross-entropy of `probs` against `labels` (one label per row).
+    static double loss(const Tensor& probs, std::span<const std::int32_t> labels);
+
+    /// Gradient of the mean cross-entropy w.r.t. the logits:
+    /// (probs - onehot(labels)) / batch. Writes into grad_logits.
+    static void backward(const Tensor& probs, std::span<const std::int32_t> labels,
+                         Tensor& grad_logits);
+};
+
+}  // namespace nn

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file network.hpp
+/// A feed-forward network as an ordered list of layers, with binary
+/// serialization so pretrained classifiers can be cached on disk and
+/// reloaded for domain adaptation (Sec. IV-E).
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace xpcore {
+class Rng;
+}
+
+namespace nn {
+
+/// Hidden-layer activation choice for Network::mlp.
+enum class Activation {
+    Tanh,  ///< the paper's choice
+    Relu,
+};
+
+/// Ordered layer stack. The Network owns the layers and the per-layer
+/// activation buffers used during forward/backward.
+class Network {
+public:
+    Network() = default;
+
+    /// Build a dense MLP: sizes = {in, h1, ..., out}, the chosen activation
+    /// after every hidden layer, linear output (softmax lives in the loss).
+    static Network mlp(const std::vector<std::size_t>& sizes, xpcore::Rng& rng,
+                       Activation activation = Activation::Tanh);
+
+    void add(std::unique_ptr<Layer> layer);
+
+    std::size_t layer_count() const { return layers_.size(); }
+    Layer& layer(std::size_t i) { return *layers_[i]; }
+
+    std::size_t input_size() const;
+    std::size_t output_size() const;
+
+    /// Forward pass; returns the output activations [batch x output_size].
+    /// Keeps all intermediate activations for a subsequent backward().
+    const Tensor& forward(const Tensor& input);
+
+    /// Backward pass from the loss gradient w.r.t. the network output
+    /// (shape like forward's result). Must follow a forward() on the same
+    /// batch. Accumulates parameter gradients.
+    void backward(const Tensor& grad_output);
+
+    /// All trainable parameters.
+    std::vector<Param> params();
+
+    /// Total number of trainable scalars.
+    std::size_t parameter_count();
+
+    /// Binary serialization (magic + version + layer list).
+    void save(std::ostream& out) const;
+    void save_file(const std::string& path) const;
+    static Network load(std::istream& in);
+    static Network load_file(const std::string& path);
+
+private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+    std::vector<Tensor> activations_;  // activations_[i] = output of layer i
+    Tensor input_;                     // copy of the last forward input
+    std::vector<Tensor> grads_;        // scratch gradient buffers
+};
+
+}  // namespace nn

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file optimizer.hpp
+/// Gradient-descent optimizers. The paper trains with AdaMax (the
+/// infinity-norm variant of Adam); plain SGD is provided as a baseline and
+/// for tests.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace nn {
+
+/// Optimizer interface: owns per-parameter state, applies one update step
+/// from the accumulated gradients, then zeroes them.
+class Optimizer {
+public:
+    virtual ~Optimizer() = default;
+
+    /// Register the parameters to optimize (resets internal state).
+    virtual void attach(std::vector<Param> params) = 0;
+
+    /// Apply one update from the current gradients and clear them.
+    virtual void step() = 0;
+
+    /// Discard accumulated gradients without updating.
+    void zero_grad();
+
+protected:
+    std::vector<Param> params_;
+};
+
+/// AdaMax (Kingma & Ba 2015, Sec. 7.1):
+///   m_t = b1 * m + (1 - b1) * g
+///   u_t = max(b2 * u, |g|)
+///   w  -= lr / (1 - b1^t) * m_t / (u_t + eps)
+class AdaMax final : public Optimizer {
+public:
+    struct Config {
+        float learning_rate = 0.002f;
+        float beta1 = 0.9f;
+        float beta2 = 0.999f;
+        float epsilon = 1e-8f;
+    };
+
+    AdaMax() : AdaMax(Config{}) {}
+    explicit AdaMax(Config config) : config_(config) {}
+
+    void attach(std::vector<Param> params) override;
+    void step() override;
+
+private:
+    Config config_;
+    std::vector<Tensor> m_;  // first moment per parameter
+    std::vector<Tensor> u_;  // infinity-norm second moment per parameter
+    std::size_t t_ = 0;      // step counter
+};
+
+/// Plain stochastic gradient descent: w -= lr * g.
+class Sgd final : public Optimizer {
+public:
+    explicit Sgd(float learning_rate) : learning_rate_(learning_rate) {}
+
+    void attach(std::vector<Param> params) override;
+    void step() override;
+
+private:
+    float learning_rate_;
+};
+
+}  // namespace nn

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file tensor.hpp
+/// Dense 2-D float tensor and the GEMM kernels the network is built on.
+///
+/// The paper's classifier is a small dense MLP, so a row-major f32 matrix
+/// with cache-friendly loop ordering (i-k-j, unit-stride inner loops that
+/// the compiler auto-vectorizes with FMA) is all the tensor substrate the
+/// library needs. No external BLAS or ML framework is required.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace xpcore {
+class Rng;
+}
+
+namespace nn {
+
+/// Row-major matrix of floats. A vector is a 1 x n or n x 1 tensor.
+class Tensor {
+public:
+    Tensor() = default;
+    Tensor(std::size_t rows, std::size_t cols, float fill = 0.0f)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    float operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+    std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+    std::span<const float> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+    /// Resize without preserving contents; reuses capacity when possible.
+    void resize(std::size_t rows, std::size_t cols);
+
+    /// Set every element to `value`.
+    void fill(float value);
+
+    /// Glorot/Xavier uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+    void glorot_uniform(std::size_t fan_in, std::size_t fan_out, xpcore::Rng& rng);
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/// c = a * b (+ c if accumulate). Dimensions: a[m x k], b[k x n], c[m x n].
+void gemm_nn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+
+/// c = a * b^T. Dimensions: a[m x k], b[n x k], c[m x n].
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+
+/// c = a^T * b. Dimensions: a[k x m], b[k x n], c[m x n].
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+
+/// y += alpha * x, elementwise over equal-shaped tensors.
+void axpy(float alpha, const Tensor& x, Tensor& y);
+
+}  // namespace nn

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file trainer.hpp
+/// Mini-batch training loop for classification networks.
+
+#include <cstdint>
+#include <span>
+
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+
+namespace xpcore {
+class Rng;
+}
+
+namespace nn {
+
+/// A labeled classification data set: one sample per row of `inputs`,
+/// `labels[i]` is the class index of row i.
+struct Dataset {
+    Tensor inputs;                     // [samples x input_size]
+    std::vector<std::int32_t> labels;  // [samples]
+
+    std::size_t size() const { return labels.size(); }
+};
+
+/// Metrics of one epoch or evaluation pass.
+struct EpochStats {
+    double loss = 0.0;      ///< mean cross-entropy
+    double accuracy = 0.0;  ///< fraction of correct argmax predictions
+};
+
+/// Split a data set into (train, holdout): the last `fraction` of a random
+/// permutation becomes the holdout. Deterministic given the Rng state.
+std::pair<Dataset, Dataset> split_dataset(const Dataset& data, double fraction,
+                                          xpcore::Rng& rng);
+
+/// Outcome of a validated training run.
+struct FitReport {
+    EpochStats train;         ///< stats of the last executed epoch
+    EpochStats validation;    ///< holdout stats of the best epoch
+    std::size_t epochs_run = 0;
+    bool early_stopped = false;
+};
+
+/// Mini-batch trainer with shuffling.
+class Trainer {
+public:
+    struct Config {
+        std::size_t epochs = 1;
+        std::size_t batch_size = 128;
+        bool shuffle = true;
+        /// With early_stop_patience > 0, fit_validated() stops once the
+        /// holdout loss has not improved for this many consecutive epochs.
+        std::size_t early_stop_patience = 0;
+    };
+
+    Trainer(Network& network, Optimizer& optimizer, Config config)
+        : network_(network), optimizer_(optimizer), config_(config) {
+        optimizer_.attach(network_.params());
+    }
+
+    /// Train on the data set; returns the stats of the final epoch.
+    EpochStats fit(const Dataset& data, xpcore::Rng& rng);
+
+    /// Train with per-epoch holdout evaluation and optional early stopping
+    /// (config.early_stop_patience). The network keeps the weights of the
+    /// last executed epoch; the report carries the best holdout stats.
+    FitReport fit_validated(const Dataset& train, const Dataset& holdout, xpcore::Rng& rng);
+
+    /// Forward-only evaluation.
+    EpochStats evaluate(const Dataset& data);
+
+    /// Class-probability prediction for a batch of inputs.
+    Tensor predict_proba(const Tensor& inputs);
+
+private:
+    /// One pass over the data with parameter updates.
+    EpochStats run_epoch(const Dataset& data, xpcore::Rng& rng);
+
+    Network& network_;
+    Optimizer& optimizer_;
+    Config config_;
+};
+
+/// Indices of the k largest entries of a probability row, best first.
+std::vector<std::size_t> top_k_indices(std::span<const float> probabilities, std::size_t k);
+
+}  // namespace nn

@@ -1,0 +1,144 @@
+#include "nn/layers.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "xpcore/rng.hpp"
+
+namespace nn {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+    T value{};
+    in.read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (!in) throw std::runtime_error("nn: truncated layer data");
+    return value;
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+    write_pod<std::uint64_t>(out, t.rows());
+    write_pod<std::uint64_t>(out, t.cols());
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& in) {
+    const auto rows = read_pod<std::uint64_t>(in);
+    const auto cols = read_pod<std::uint64_t>(in);
+    Tensor t(rows, cols);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("nn: truncated tensor data");
+    return t;
+}
+
+}  // namespace
+
+Dense::Dense(std::size_t in, std::size_t out, xpcore::Rng& rng) : Dense(in, out) {
+    weights_.glorot_uniform(in, out, rng);
+}
+
+Dense::Dense(std::size_t in, std::size_t out)
+    : weights_(in, out), bias_(1, out), weights_grad_(in, out), bias_grad_(1, out) {}
+
+void Dense::forward(const Tensor& in, Tensor& out) const {
+    assert(in.cols() == weights_.rows());
+    out.resize(in.rows(), weights_.cols());
+    gemm_nn(in, weights_, out);
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        float* row = out.data() + r * out.cols();
+        const float* b = bias_.data();
+        for (std::size_t c = 0; c < out.cols(); ++c) row[c] += b[c];
+    }
+}
+
+void Dense::backward(const Tensor& in, const Tensor& /*out*/, const Tensor& grad_out,
+                     Tensor& grad_in) {
+    // dW += X^T * dY, db += colsum(dY), dX = dY * W^T
+    gemm_tn(in, grad_out, weights_grad_, /*accumulate=*/true);
+    for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+        const float* row = grad_out.data() + r * grad_out.cols();
+        float* b = bias_grad_.data();
+        for (std::size_t c = 0; c < grad_out.cols(); ++c) b[c] += row[c];
+    }
+    grad_in.resize(in.rows(), in.cols());
+    gemm_nt(grad_out, weights_, grad_in);
+}
+
+std::vector<Param> Dense::params() {
+    return {{&weights_, &weights_grad_}, {&bias_, &bias_grad_}};
+}
+
+void Dense::save(std::ostream& out) const {
+    write_tensor(out, weights_);
+    write_tensor(out, bias_);
+}
+
+std::unique_ptr<Dense> Dense::load(std::istream& in) {
+    Tensor weights = read_tensor(in);
+    Tensor bias = read_tensor(in);
+    if (bias.rows() != 1 || bias.cols() != weights.cols()) {
+        throw std::runtime_error("nn: inconsistent dense layer shapes");
+    }
+    auto layer = std::make_unique<Dense>(weights.rows(), weights.cols());
+    layer->weights_ = std::move(weights);
+    layer->bias_ = std::move(bias);
+    return layer;
+}
+
+void Relu::forward(const Tensor& in, Tensor& out) const {
+    out.resize(in.rows(), in.cols());
+    const float* src = in.data();
+    float* dst = out.data();
+    for (std::size_t i = 0; i < in.size(); ++i) dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+}
+
+void Relu::backward(const Tensor& in, const Tensor& /*out*/, const Tensor& grad_out,
+                    Tensor& grad_in) {
+    grad_in.resize(in.rows(), in.cols());
+    const float* x = in.data();
+    const float* dy = grad_out.data();
+    float* dx = grad_in.data();
+    for (std::size_t i = 0; i < in.size(); ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+void Relu::save(std::ostream& out) const { write_pod<std::uint64_t>(out, size_); }
+
+std::unique_ptr<Relu> Relu::load(std::istream& in) {
+    return std::make_unique<Relu>(read_pod<std::uint64_t>(in));
+}
+
+void Tanh::forward(const Tensor& in, Tensor& out) const {
+    out.resize(in.rows(), in.cols());
+    const float* src = in.data();
+    float* dst = out.data();
+    for (std::size_t i = 0; i < in.size(); ++i) dst[i] = std::tanh(src[i]);
+}
+
+void Tanh::backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
+                    Tensor& grad_in) {
+    // d tanh(x)/dx = 1 - tanh(x)^2, and `out` already holds tanh(x).
+    grad_in.resize(in.rows(), in.cols());
+    const float* y = out.data();
+    const float* dy = grad_out.data();
+    float* dx = grad_in.data();
+    for (std::size_t i = 0; i < out.size(); ++i) dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+}
+
+void Tanh::save(std::ostream& out) const { write_pod<std::uint64_t>(out, size_); }
+
+std::unique_ptr<Tanh> Tanh::load(std::istream& in) {
+    return std::make_unique<Tanh>(read_pod<std::uint64_t>(in));
+}
+
+}  // namespace nn

@@ -1,0 +1,49 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nn {
+
+void SoftmaxCrossEntropy::softmax(const Tensor& logits, Tensor& probs) {
+    probs.resize(logits.rows(), logits.cols());
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        const float* in = logits.data() + r * logits.cols();
+        float* out = probs.data() + r * probs.cols();
+        float max_logit = in[0];
+        for (std::size_t c = 1; c < logits.cols(); ++c) max_logit = std::max(max_logit, in[c]);
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < logits.cols(); ++c) {
+            out[c] = std::exp(in[c] - max_logit);
+            sum += out[c];
+        }
+        const float inv = 1.0f / sum;
+        for (std::size_t c = 0; c < logits.cols(); ++c) out[c] *= inv;
+    }
+}
+
+double SoftmaxCrossEntropy::loss(const Tensor& probs, std::span<const std::int32_t> labels) {
+    assert(probs.rows() == labels.size());
+    double total = 0.0;
+    for (std::size_t r = 0; r < probs.rows(); ++r) {
+        const float p = probs(r, static_cast<std::size_t>(labels[r]));
+        total += -std::log(std::max(p, 1e-12f));
+    }
+    return total / static_cast<double>(probs.rows());
+}
+
+void SoftmaxCrossEntropy::backward(const Tensor& probs, std::span<const std::int32_t> labels,
+                                   Tensor& grad_logits) {
+    assert(probs.rows() == labels.size());
+    grad_logits.resize(probs.rows(), probs.cols());
+    const float scale = 1.0f / static_cast<float>(probs.rows());
+    for (std::size_t r = 0; r < probs.rows(); ++r) {
+        const float* p = probs.data() + r * probs.cols();
+        float* g = grad_logits.data() + r * probs.cols();
+        for (std::size_t c = 0; c < probs.cols(); ++c) g[c] = p[c] * scale;
+        g[static_cast<std::size_t>(labels[r])] -= scale;
+    }
+}
+
+}  // namespace nn

@@ -1,0 +1,148 @@
+#include "nn/network.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "xpcore/rng.hpp"
+
+namespace nn {
+
+namespace {
+constexpr char kMagic[4] = {'X', 'P', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+Network Network::mlp(const std::vector<std::size_t>& sizes, xpcore::Rng& rng,
+                     Activation activation) {
+    if (sizes.size() < 2) throw std::invalid_argument("Network::mlp: need input and output size");
+    Network net;
+    for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+        net.add(std::make_unique<Dense>(sizes[i], sizes[i + 1], rng));
+        const bool is_output = (i + 2 == sizes.size());
+        if (!is_output) {
+            if (activation == Activation::Relu) {
+                net.add(std::make_unique<Relu>(sizes[i + 1]));
+            } else {
+                net.add(std::make_unique<Tanh>(sizes[i + 1]));
+            }
+        }
+    }
+    return net;
+}
+
+void Network::add(std::unique_ptr<Layer> layer) {
+    if (!layers_.empty() && layers_.back()->output_size() != layer->input_size()) {
+        throw std::invalid_argument("Network::add: layer size mismatch");
+    }
+    layers_.push_back(std::move(layer));
+    activations_.emplace_back();
+    grads_.emplace_back();
+}
+
+std::size_t Network::input_size() const {
+    if (layers_.empty()) return 0;
+    return layers_.front()->input_size();
+}
+
+std::size_t Network::output_size() const {
+    if (layers_.empty()) return 0;
+    return layers_.back()->output_size();
+}
+
+const Tensor& Network::forward(const Tensor& input) {
+    if (layers_.empty()) throw std::logic_error("Network::forward: no layers");
+    input_ = input;
+    const Tensor* current = &input_;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        layers_[i]->forward(*current, activations_[i]);
+        current = &activations_[i];
+    }
+    return activations_.back();
+}
+
+void Network::backward(const Tensor& grad_output) {
+    if (layers_.empty()) throw std::logic_error("Network::backward: no layers");
+    const Tensor* grad = &grad_output;
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+        const Tensor& in = (i == 0) ? input_ : activations_[i - 1];
+        layers_[i]->backward(in, activations_[i], *grad, grads_[i]);
+        grad = &grads_[i];
+    }
+}
+
+std::vector<Param> Network::params() {
+    std::vector<Param> all;
+    for (auto& layer : layers_) {
+        for (auto& p : layer->params()) all.push_back(p);
+    }
+    return all;
+}
+
+std::size_t Network::parameter_count() {
+    std::size_t count = 0;
+    for (const auto& p : params()) count += p.value->size();
+    return count;
+}
+
+void Network::save(std::ostream& out) const {
+    out.write(kMagic, sizeof(kMagic));
+    out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+    const std::uint64_t count = layers_.size();
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto& layer : layers_) {
+        const std::string kind = layer->kind();
+        const std::uint32_t len = static_cast<std::uint32_t>(kind.size());
+        out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+        out.write(kind.data(), len);
+        layer->save(out);
+    }
+    if (!out) throw std::runtime_error("Network::save: write failed");
+}
+
+void Network::save_file(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("Network::save_file: cannot open " + path);
+    save(out);
+}
+
+Network Network::load(std::istream& in) {
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::string(magic, 4) != std::string(kMagic, 4)) {
+        throw std::runtime_error("Network::load: bad magic");
+    }
+    std::uint32_t version = 0;
+    in.read(reinterpret_cast<char*>(&version), sizeof(version));
+    if (version != kVersion) {
+        throw std::runtime_error("Network::load: unsupported version " + std::to_string(version));
+    }
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+    Network net;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint32_t len = 0;
+        in.read(reinterpret_cast<char*>(&len), sizeof(len));
+        if (!in || len > 64) throw std::runtime_error("Network::load: bad layer tag");
+        std::string kind(len, '\0');
+        in.read(kind.data(), len);
+        if (kind == "dense") {
+            net.add(Dense::load(in));
+        } else if (kind == "tanh") {
+            net.add(Tanh::load(in));
+        } else if (kind == "relu") {
+            net.add(Relu::load(in));
+        } else {
+            throw std::runtime_error("Network::load: unknown layer kind '" + kind + "'");
+        }
+    }
+    return net;
+}
+
+Network Network::load_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("Network::load_file: cannot open " + path);
+    return load(in);
+}
+
+}  // namespace nn

@@ -1,0 +1,57 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace nn {
+
+void Optimizer::zero_grad() {
+    for (auto& p : params_) p.grad->fill(0.0f);
+}
+
+void AdaMax::attach(std::vector<Param> params) {
+    params_ = std::move(params);
+    m_.clear();
+    u_.clear();
+    m_.reserve(params_.size());
+    u_.reserve(params_.size());
+    for (const auto& p : params_) {
+        m_.emplace_back(p.value->rows(), p.value->cols());
+        u_.emplace_back(p.value->rows(), p.value->cols());
+    }
+    t_ = 0;
+}
+
+void AdaMax::step() {
+    ++t_;
+    const float bias_correction =
+        1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+    const float rate = config_.learning_rate / bias_correction;
+    for (std::size_t p = 0; p < params_.size(); ++p) {
+        float* w = params_[p].value->data();
+        float* g = params_[p].grad->data();
+        float* m = m_[p].data();
+        float* u = u_[p].data();
+        const std::size_t n = params_[p].value->size();
+        for (std::size_t i = 0; i < n; ++i) {
+            m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g[i];
+            u[i] = std::max(config_.beta2 * u[i], std::abs(g[i]));
+            w[i] -= rate * m[i] / (u[i] + config_.epsilon);
+            g[i] = 0.0f;
+        }
+    }
+}
+
+void Sgd::attach(std::vector<Param> params) { params_ = std::move(params); }
+
+void Sgd::step() {
+    for (auto& p : params_) {
+        float* w = p.value->data();
+        float* g = p.grad->data();
+        for (std::size_t i = 0; i < p.value->size(); ++i) {
+            w[i] -= learning_rate_ * g[i];
+            g[i] = 0.0f;
+        }
+    }
+}
+
+}  // namespace nn

@@ -1,0 +1,92 @@
+#include "nn/tensor.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "xpcore/rng.hpp"
+
+namespace nn {
+
+void Tensor::resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+}
+
+void Tensor::fill(float value) {
+    for (auto& v : data_) v = value;
+}
+
+void Tensor::glorot_uniform(std::size_t fan_in, std::size_t fan_out, xpcore::Rng& rng) {
+    const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    for (auto& v : data_) v = static_cast<float>(rng.uniform(-a, a));
+}
+
+void gemm_nn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    assert(b.rows() == k && c.rows() == m && c.cols() == n);
+    if (!accumulate) c.fill(0.0f);
+    // i-k-j ordering: the inner loop is unit-stride over both b and c, so
+    // the compiler vectorizes it into FMA over the row of c.
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = a.data() + i * k;
+        float* crow = c.data() + i * n;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float aik = arow[kk];
+            if (aik == 0.0f) continue;
+            const float* brow = b.data() + kk * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        }
+    }
+}
+
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    assert(b.cols() == k && c.rows() == m && c.cols() == n);
+    // Dot products of rows, four independent accumulators per product so
+    // the reduction pipelines instead of serializing on one FMA chain.
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = a.data() + i * k;
+        float* crow = c.data() + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float* brow = b.data() + j * k;
+            float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+            std::size_t kk = 0;
+            for (; kk + 4 <= k; kk += 4) {
+                s0 += arow[kk] * brow[kk];
+                s1 += arow[kk + 1] * brow[kk + 1];
+                s2 += arow[kk + 2] * brow[kk + 2];
+                s3 += arow[kk + 3] * brow[kk + 3];
+            }
+            float sum = (s0 + s1) + (s2 + s3);
+            for (; kk < k; ++kk) sum += arow[kk] * brow[kk];
+            crow[j] = accumulate ? crow[j] + sum : sum;
+        }
+    }
+}
+
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+    assert(b.rows() == k && c.rows() == m && c.cols() == n);
+    if (!accumulate) c.fill(0.0f);
+    // Outer products: for each sample kk, c += a_row^T * b_row.
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* arow = a.data() + kk * m;
+        const float* brow = b.data() + kk * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float aki = arow[i];
+            if (aki == 0.0f) continue;
+            float* crow = c.data() + i * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+        }
+    }
+}
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+    assert(x.rows() == y.rows() && x.cols() == y.cols());
+    const float* xs = x.data();
+    float* ys = y.data();
+    for (std::size_t i = 0; i < x.size(); ++i) ys[i] += alpha * xs[i];
+}
+
+}  // namespace nn

@@ -1,0 +1,144 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "xpcore/rng.hpp"
+
+namespace nn {
+
+EpochStats Trainer::run_epoch(const Dataset& data, xpcore::Rng& rng) {
+    const std::size_t n = data.size();
+    if (n == 0) return {};
+    const std::size_t input_size = data.inputs.cols();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    if (config_.shuffle) rng.shuffle(order);
+
+    EpochStats stats;
+    Tensor batch;
+    Tensor probs;
+    Tensor grad;
+    std::vector<std::int32_t> batch_labels;
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+
+    for (std::size_t begin = 0; begin < n; begin += config_.batch_size) {
+        const std::size_t end = std::min(begin + config_.batch_size, n);
+        const std::size_t batch_n = end - begin;
+        batch.resize(batch_n, input_size);
+        batch_labels.resize(batch_n);
+        for (std::size_t i = 0; i < batch_n; ++i) {
+            const std::size_t src = order[begin + i];
+            std::copy_n(data.inputs.data() + src * input_size, input_size,
+                        batch.data() + i * input_size);
+            batch_labels[i] = data.labels[src];
+        }
+
+        const Tensor& logits = network_.forward(batch);
+        SoftmaxCrossEntropy::softmax(logits, probs);
+        loss_sum += SoftmaxCrossEntropy::loss(probs, batch_labels) * static_cast<double>(batch_n);
+        for (std::size_t i = 0; i < batch_n; ++i) {
+            const auto row = probs.row(i);
+            const auto best = std::max_element(row.begin(), row.end()) - row.begin();
+            if (best == batch_labels[i]) ++correct;
+        }
+        SoftmaxCrossEntropy::backward(probs, batch_labels, grad);
+        network_.backward(grad);
+        optimizer_.step();
+    }
+    stats.loss = loss_sum / static_cast<double>(n);
+    stats.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+    return stats;
+}
+
+EpochStats Trainer::fit(const Dataset& data, xpcore::Rng& rng) {
+    EpochStats stats;
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        stats = run_epoch(data, rng);
+    }
+    return stats;
+}
+
+FitReport Trainer::fit_validated(const Dataset& train, const Dataset& holdout,
+                                 xpcore::Rng& rng) {
+    FitReport report;
+    double best_loss = std::numeric_limits<double>::infinity();
+    std::size_t epochs_since_best = 0;
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        report.train = run_epoch(train, rng);
+        ++report.epochs_run;
+        const EpochStats holdout_stats = evaluate(holdout);
+        if (holdout_stats.loss < best_loss) {
+            best_loss = holdout_stats.loss;
+            report.validation = holdout_stats;
+            epochs_since_best = 0;
+        } else if (config_.early_stop_patience > 0 &&
+                   ++epochs_since_best >= config_.early_stop_patience) {
+            report.early_stopped = true;
+            break;
+        }
+    }
+    return report;
+}
+
+std::pair<Dataset, Dataset> split_dataset(const Dataset& data, double fraction,
+                                          xpcore::Rng& rng) {
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const std::size_t n = data.size();
+    const std::size_t input_size = data.inputs.cols();
+    const auto holdout_n = static_cast<std::size_t>(static_cast<double>(n) * fraction);
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    auto take = [&](std::size_t begin, std::size_t end) {
+        Dataset part;
+        part.inputs.resize(end - begin, input_size);
+        part.labels.resize(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+            std::copy_n(data.inputs.data() + order[i] * input_size, input_size,
+                        part.inputs.data() + (i - begin) * input_size);
+            part.labels[i - begin] = data.labels[order[i]];
+        }
+        return part;
+    };
+    return {take(0, n - holdout_n), take(n - holdout_n, n)};
+}
+
+EpochStats Trainer::evaluate(const Dataset& data) {
+    Tensor probs;
+    SoftmaxCrossEntropy::softmax(network_.forward(data.inputs), probs);
+    EpochStats stats;
+    stats.loss = SoftmaxCrossEntropy::loss(probs, data.labels);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto row = probs.row(i);
+        const auto best = std::max_element(row.begin(), row.end()) - row.begin();
+        if (best == data.labels[i]) ++correct;
+    }
+    stats.accuracy = static_cast<double>(correct) / static_cast<double>(data.size());
+    return stats;
+}
+
+Tensor Trainer::predict_proba(const Tensor& inputs) {
+    Tensor probs;
+    SoftmaxCrossEntropy::softmax(network_.forward(inputs), probs);
+    return probs;
+}
+
+std::vector<std::size_t> top_k_indices(std::span<const float> probabilities, std::size_t k) {
+    std::vector<std::size_t> order(probabilities.size());
+    std::iota(order.begin(), order.end(), 0);
+    k = std::min(k, order.size());
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return probabilities[a] > probabilities[b];
+                      });
+    order.resize(k);
+    return order;
+}
+
+}  // namespace nn

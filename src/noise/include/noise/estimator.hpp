@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file estimator.hpp
+/// Heuristic noise estimation (Sec. IV-B of the paper).
+///
+/// Performance variability is modeled as multiplicative uniform noise of
+/// width n around the true value: v = f(P) * (1 + U(-n/2, +n/2)); a noise
+/// level of n = 10% therefore means +-5% divergence. With at most five
+/// repetitions per point the true distribution cannot be identified, so the
+/// paper follows the principle of indifference and assumes uniformity.
+///
+/// The *range of relative deviation* (rrd) heuristic pools the relative
+/// deviations rd(v_Ps) = (v_Ps - mean_P) / mean_P of all repetitions across
+/// all measurement points and estimates the noise level as
+/// rrd = max(D_V) - min(D_V). Pooling counteracts the off-center shift of
+/// any single point's deviations (the sample mean rarely equals the true
+/// value), so the combined range approaches the full noise width.
+
+#include <span>
+#include <vector>
+
+#include "measure/experiment.hpp"
+
+namespace noise {
+
+/// Relative deviations of one measurement's repetitions from their mean.
+/// Returns an empty vector for fewer than two repetitions or a zero mean.
+std::vector<double> relative_deviations(const measure::Measurement& m);
+
+/// All relative deviations of an experiment set, pooled (the set D_V).
+std::vector<double> pooled_relative_deviations(const measure::ExperimentSet& set);
+
+/// Range of a deviation set: max - min. Zero for fewer than two entries.
+double range_of_relative_deviation(std::span<const double> deviations);
+
+/// Uncalibrated rrd estimate: the pooled range itself. Biased — it
+/// over-estimates for many pooled samples (extreme order statistics) and
+/// under-estimates for few repetitions (sample-mean shrinkage).
+double estimate_noise_raw(const measure::ExperimentSet& set);
+
+/// The paper's global noise-level estimate for a whole experiment set, as a
+/// fraction (0.10 == 10% noise == +-5% divergence).
+///
+/// The raw rrd statistic is debiased by simulation: under the uniform-noise
+/// model the relative deviations are independent of the measured function,
+/// so the expected raw rrd for a candidate level and this experiment's
+/// repetition profile can be computed by a short deterministic Monte-Carlo
+/// run, and a few fixed-point iterations invert the mapping. This keeps the
+/// average estimation error at the ~5% the paper reports (Sec. IV-B)
+/// across repetition counts and experiment sizes.
+double estimate_noise(const measure::ExperimentSet& set);
+
+/// Per-measurement-point noise estimates (used for the noise-distribution
+/// analysis of Fig. 5 and for picking the domain-adaptation noise range).
+/// With `rep` repetitions the expected range of uniform samples is only
+/// (rep-1)/(rep+1) of the true width; `bias_correct` rescales accordingly.
+std::vector<double> per_point_noise(const measure::ExperimentSet& set, bool bias_correct = true);
+
+/// Summary statistics over per-point noise levels, all as fractions.
+struct NoiseStats {
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double median = 0.0;
+};
+
+/// Fig. 5 style distribution summary of an experiment set's noise.
+NoiseStats analyze_noise(const measure::ExperimentSet& set, bool bias_correct = true);
+
+}  // namespace noise

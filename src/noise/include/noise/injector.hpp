@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file injector.hpp
+/// Synthetic noise injection matching the paper's noise semantics.
+
+#include <cstddef>
+#include <vector>
+
+#include "xpcore/rng.hpp"
+
+namespace noise {
+
+/// Applies multiplicative uniform noise of level `n` (fraction of the true
+/// value; n = 0.10 means +-5%) to synthetic measurements.
+class Injector {
+public:
+    /// `level` must be >= 0.
+    Injector(double level, xpcore::Rng& rng);
+
+    double level() const { return level_; }
+
+    /// One noisy sample of the true value.
+    double sample(double true_value);
+
+    /// `repetitions` noisy samples of the true value.
+    std::vector<double> repetitions(double true_value, std::size_t repetitions);
+
+private:
+    double level_;
+    xpcore::Rng& rng_;
+};
+
+}  // namespace noise

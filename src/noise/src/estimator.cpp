@@ -1,0 +1,130 @@
+#include "noise/estimator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "xpcore/rng.hpp"
+#include "xpcore/stats.hpp"
+
+namespace noise {
+
+std::vector<double> relative_deviations(const measure::Measurement& m) {
+    if (m.values.size() < 2) return {};
+    const double mean = m.mean();
+    if (mean == 0.0) return {};
+    std::vector<double> rd;
+    rd.reserve(m.values.size());
+    for (double v : m.values) rd.push_back((v - mean) / mean);
+    return rd;
+}
+
+std::vector<double> pooled_relative_deviations(const measure::ExperimentSet& set) {
+    std::vector<double> pooled;
+    for (const auto& m : set.measurements()) {
+        const auto rd = relative_deviations(m);
+        pooled.insert(pooled.end(), rd.begin(), rd.end());
+    }
+    return pooled;
+}
+
+double range_of_relative_deviation(std::span<const double> deviations) {
+    if (deviations.size() < 2) return 0.0;
+    const auto [lo, hi] = std::minmax_element(deviations.begin(), deviations.end());
+    return *hi - *lo;
+}
+
+double estimate_noise_raw(const measure::ExperimentSet& set) {
+    return range_of_relative_deviation(pooled_relative_deviations(set));
+}
+
+namespace {
+
+/// Expected raw rrd for a given noise level and repetition profile, by
+/// Monte-Carlo over the same protocol (deterministic seed). Relative
+/// deviations do not depend on the measured values under multiplicative
+/// noise, so simulating with unit true values is exact.
+double expected_raw_rrd(const std::vector<std::size_t>& repetition_profile, double level,
+                        std::size_t trials) {
+    xpcore::Rng rng(0x5EEDCA11);
+    double sum = 0.0;
+    std::vector<double> values;
+    for (std::size_t t = 0; t < trials; ++t) {
+        double lo = 0.0, hi = 0.0;
+        bool first = true;
+        for (std::size_t reps : repetition_profile) {
+            values.clear();
+            double mean_v = 0.0;
+            for (std::size_t s = 0; s < reps; ++s) {
+                values.push_back(1.0 + rng.uniform(-level / 2.0, level / 2.0));
+                mean_v += values.back();
+            }
+            mean_v /= static_cast<double>(reps);
+            for (double v : values) {
+                const double rd = (v - mean_v) / mean_v;
+                if (first) {
+                    lo = hi = rd;
+                    first = false;
+                } else {
+                    lo = std::min(lo, rd);
+                    hi = std::max(hi, rd);
+                }
+            }
+        }
+        sum += hi - lo;
+    }
+    return sum / static_cast<double>(trials);
+}
+
+}  // namespace
+
+double estimate_noise(const measure::ExperimentSet& set) {
+    const double raw = estimate_noise_raw(set);
+    if (raw <= 0.0) return 0.0;
+
+    std::vector<std::size_t> repetition_profile;
+    for (const auto& m : set.measurements()) {
+        if (m.values.size() >= 2) repetition_profile.push_back(m.values.size());
+    }
+    if (repetition_profile.empty()) return 0.0;
+
+    // Invert level -> E[raw rrd | level] by fixed-point iteration. The
+    // mapping is close to linear, so three iterations converge well below
+    // the Monte-Carlo noise floor.
+    double level = raw;
+    for (int iteration = 0; iteration < 3; ++iteration) {
+        const double expected = expected_raw_rrd(repetition_profile, level, 48);
+        if (expected <= 0.0) break;
+        level = raw * (level / expected);
+    }
+    return level;
+}
+
+std::vector<double> per_point_noise(const measure::ExperimentSet& set, bool bias_correct) {
+    std::vector<double> levels;
+    levels.reserve(set.size());
+    for (const auto& m : set.measurements()) {
+        const auto rd = relative_deviations(m);
+        if (rd.size() < 2) continue;
+        double level = range_of_relative_deviation(rd);
+        if (bias_correct) {
+            // E[range of k uniform samples] = (k-1)/(k+1) * width
+            const double k = static_cast<double>(rd.size());
+            level *= (k + 1.0) / (k - 1.0);
+        }
+        levels.push_back(level);
+    }
+    return levels;
+}
+
+NoiseStats analyze_noise(const measure::ExperimentSet& set, bool bias_correct) {
+    const auto levels = per_point_noise(set, bias_correct);
+    NoiseStats stats;
+    if (levels.empty()) return stats;
+    stats.min = xpcore::min_value(levels);
+    stats.max = xpcore::max_value(levels);
+    stats.mean = xpcore::mean(levels);
+    stats.median = xpcore::median(levels);
+    return stats;
+}
+
+}  // namespace noise

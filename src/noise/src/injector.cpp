@@ -1,0 +1,22 @@
+#include "noise/injector.hpp"
+
+#include <stdexcept>
+
+namespace noise {
+
+Injector::Injector(double level, xpcore::Rng& rng) : level_(level), rng_(rng) {
+    if (level < 0.0) throw std::invalid_argument("noise::Injector: negative noise level");
+}
+
+double Injector::sample(double true_value) {
+    if (level_ == 0.0) return true_value;
+    return true_value * (1.0 + rng_.uniform(-level_ / 2.0, level_ / 2.0));
+}
+
+std::vector<double> Injector::repetitions(double true_value, std::size_t repetitions) {
+    std::vector<double> out(repetitions);
+    for (auto& v : out) v = sample(true_value);
+    return out;
+}
+
+}  // namespace noise

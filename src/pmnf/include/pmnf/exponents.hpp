@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file exponents.hpp
+/// The PMNF exponent search space (Eq. 2 of the paper).
+///
+/// Extra-P restricts the exponents of the performance model normal form to a
+/// fixed set E of (i, j) pairs derived from the complexity classes observed
+/// in real parallel algorithms. Instantiating Eq. 1 with every element of E
+/// yields exactly 43 single-parameter term classes, which are both the
+/// regression modeler's hypothesis space and the DNN's classification target.
+
+#include <cmath>
+#include <compare>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pmnf {
+
+/// Exact rational number for polynomial exponents, so models print as the
+/// paper writes them (x^(4/5), not x^0.8) and class comparisons are exact.
+class Rational {
+public:
+    constexpr Rational() = default;
+    /// Construct num/den in lowest terms; den must be positive.
+    constexpr Rational(int num, int den = 1) : num_(num), den_(den) { normalize(); }
+
+    constexpr int num() const { return num_; }
+    constexpr int den() const { return den_; }
+    constexpr double value() const { return static_cast<double>(num_) / den_; }
+
+    friend constexpr bool operator==(const Rational& a, const Rational& b) {
+        return a.num_ == b.num_ && a.den_ == b.den_;
+    }
+    friend constexpr auto operator<=>(const Rational& a, const Rational& b) {
+        return static_cast<long>(a.num_) * b.den_ <=> static_cast<long>(b.num_) * a.den_;
+    }
+
+    /// "0", "2", or "4/5".
+    std::string to_string() const;
+
+private:
+    constexpr void normalize() {
+        if (den_ < 0) {
+            num_ = -num_;
+            den_ = -den_;
+        }
+        int a = num_ < 0 ? -num_ : num_;
+        int b = den_;
+        while (b != 0) {
+            const int t = a % b;
+            a = b;
+            b = t;
+        }
+        if (a != 0) {
+            num_ /= a;
+            den_ /= a;
+        } else {
+            den_ = 1;
+        }
+    }
+
+    int num_ = 0;
+    int den_ = 1;
+};
+
+/// One single-parameter term class: x^i * log2(x)^j.
+struct TermClass {
+    Rational i;  ///< polynomial exponent
+    int j = 0;   ///< logarithm exponent (0, 1, or 2)
+
+    friend bool operator==(const TermClass&, const TermClass&) = default;
+
+    /// Evaluate x^i * log2(x)^j for x > 0.
+    double evaluate(double x) const {
+        double result = std::pow(x, i.value());
+        if (j != 0) {
+            const double lg = std::log2(x);
+            for (int k = 0; k < j; ++k) result *= lg;
+        }
+        return result;
+    }
+
+    /// True for the constant class (i == 0, j == 0).
+    bool is_constant() const { return i == Rational(0) && j == 0; }
+
+    /// Effective asymptotic exponent i + j/4: a log2 factor behaves like a
+    /// small polynomial power over practical parameter ranges, making the
+    /// lead-exponent distance buckets (<= 1/4, 1/3, 1/2) meaningful for both
+    /// polynomial and logarithmic mispredictions (see DESIGN.md).
+    double effective_exponent() const { return i.value() + static_cast<double>(j) / 4.0; }
+
+    /// "x^(2/3) * log2(x)^2" with a custom variable name.
+    std::string to_string(const std::string& var = "x") const;
+};
+
+/// The full exponent set E (Eq. 2): all 43 term classes, in a fixed,
+/// deterministic order that defines the DNN's class indices.
+std::span<const TermClass> exponent_set();
+
+/// Number of classes in E (== 43).
+std::size_t class_count();
+
+/// Index of `cls` within exponent_set(), or class_count() if not a member.
+std::size_t class_index(const TermClass& cls);
+
+/// The class in E closest to the given effective exponent (used by tests
+/// and by the synthetic ground-truth bucketing).
+const TermClass& nearest_class(double effective_exponent);
+
+}  // namespace pmnf

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file model.hpp
+/// Multi-parameter PMNF performance models.
+///
+/// A model is f(x_1..x_m) = c_0 + sum_k c_k * prod_l x_l^{i_kl} log2^{j_kl}(x_l),
+/// with (per the paper) at most one term class per parameter inside a
+/// compound term. Models are the common output type of the regression, DNN,
+/// and adaptive modelers.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pmnf/exponents.hpp"
+
+namespace pmnf {
+
+/// One factor of a compound term: which parameter, and its term class.
+struct TermFactor {
+    std::size_t parameter = 0;  ///< index into the model's parameter list
+    TermClass cls;
+
+    friend bool operator==(const TermFactor&, const TermFactor&) = default;
+};
+
+/// A product of per-parameter factors with a multiplicative coefficient,
+/// e.g. 0.11 * x1^(1/3) * x2 * x3^(4/5).
+struct CompoundTerm {
+    double coefficient = 0.0;
+    std::vector<TermFactor> factors;
+
+    /// Evaluate coefficient * prod_l factor_l(point[parameter_l]).
+    double evaluate(std::span<const double> point) const;
+};
+
+/// A complete performance model: constant + compound terms.
+class Model {
+public:
+    Model() = default;
+    Model(double constant, std::vector<CompoundTerm> terms)
+        : constant_(constant), terms_(std::move(terms)) {}
+
+    /// Constant-only model.
+    static Model constant_model(double c) { return Model(c, {}); }
+
+    double constant() const { return constant_; }
+    const std::vector<CompoundTerm>& terms() const { return terms_; }
+
+    /// Evaluate the model at a measurement point (one value per parameter).
+    double evaluate(std::span<const double> point) const;
+
+    /// Effective lead exponent of the model with respect to parameter `l`:
+    /// the largest effective exponent of `l`'s factor over all terms with a
+    /// non-negligible coefficient; 0 when the parameter does not appear.
+    double lead_exponent(std::size_t parameter) const;
+
+    /// Lead-exponent distance to another model over `parameters` parameters:
+    /// d = max_l |lead_this(l) - lead_other(l)| (see DESIGN.md).
+    double lead_exponent_distance(const Model& other, std::size_t parameters) const;
+
+    /// Human-readable form, e.g. "8.51 + 0.11 * p^(1/3) * d * g^(4/5)".
+    /// `names` supplies one variable name per parameter; missing names
+    /// default to x1, x2, ...
+    std::string to_string(std::span<const std::string> names = {}) const;
+
+    /// Copy without the terms whose relative contribution at `reference` is
+    /// below `epsilon` (fraction of the value at that point). Useful to
+    /// present fitted models without numerically-irrelevant clutter.
+    Model simplified(std::span<const double> reference, double epsilon = 1e-3) const;
+
+private:
+    double constant_ = 0.0;
+    std::vector<CompoundTerm> terms_;
+};
+
+}  // namespace pmnf

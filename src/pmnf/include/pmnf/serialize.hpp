@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file serialize.hpp
+/// JSON (de)serialization of PMNF models.
+///
+/// Models are exchanged as a small fixed-schema JSON document so they can
+/// be stored next to the measurements, diffed, and consumed by other tools:
+///
+///     {
+///       "constant": 8.51,
+///       "terms": [
+///         { "coefficient": 0.11,
+///           "factors": [ { "parameter": 0, "i": [1, 3], "j": 0 },
+///                        { "parameter": 1, "i": [1, 1], "j": 0 } ] }
+///       ]
+///     }
+///
+/// The exponent "i" is the exact rational [numerator, denominator], so a
+/// round trip is lossless.
+
+#include <string>
+
+#include "pmnf/model.hpp"
+
+namespace pmnf {
+
+/// Serialize a model to the JSON schema above (single line, no trailing
+/// newline).
+std::string to_json(const Model& model);
+
+/// Parse a model from the JSON schema above. Whitespace-tolerant; throws
+/// std::runtime_error with a byte offset on malformed input.
+Model from_json(const std::string& json);
+
+}  // namespace pmnf

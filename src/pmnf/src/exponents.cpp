@@ -1,0 +1,108 @@
+#include "pmnf/exponents.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace pmnf {
+
+std::string Rational::to_string() const {
+    char buf[32];
+    if (den_ == 1) {
+        std::snprintf(buf, sizeof(buf), "%d", num_);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%d/%d", num_, den_);
+    }
+    return buf;
+}
+
+std::string TermClass::to_string(const std::string& var) const {
+    std::string out;
+    const bool has_poly = !(i == Rational(0));
+    if (has_poly) {
+        out += var;
+        if (!(i == Rational(1))) {
+            out += "^";
+            if (i.den() != 1) {
+                out += "(";
+                out += i.to_string();
+                out += ")";
+            } else {
+                out += i.to_string();
+            }
+        }
+    }
+    if (j != 0) {
+        if (has_poly) out += " * ";
+        out += "log2(";
+        out += var;
+        out += ")";
+        if (j != 1) {
+            out += "^";
+            out += std::to_string(j);
+        }
+    }
+    if (out.empty()) out = "1";
+    return out;
+}
+
+namespace {
+
+std::vector<TermClass> build_exponent_set() {
+    std::vector<TermClass> classes;
+    classes.reserve(43);
+    // Eq. 2, first block: {0,1/4,1/3,1/2,2/3,3/4,1,3/2,2,5/2} x {0,1,2}
+    const std::array<Rational, 10> block1 = {Rational(0),    Rational(1, 4), Rational(1, 3),
+                                             Rational(1, 2), Rational(2, 3), Rational(3, 4),
+                                             Rational(1),    Rational(3, 2), Rational(2),
+                                             Rational(5, 2)};
+    for (const auto& i : block1) {
+        for (int j = 0; j <= 2; ++j) classes.push_back({i, j});
+    }
+    // Second block: {5/4,4/3,3} x {0,1}
+    const std::array<Rational, 3> block2 = {Rational(5, 4), Rational(4, 3), Rational(3)};
+    for (const auto& i : block2) {
+        for (int j = 0; j <= 1; ++j) classes.push_back({i, j});
+    }
+    // Third block: {4/5,5/3,7/4,9/4,7/3,8/3,11/4} x {0}
+    const std::array<Rational, 7> block3 = {Rational(4, 5), Rational(5, 3), Rational(7, 4),
+                                            Rational(9, 4), Rational(7, 3), Rational(8, 3),
+                                            Rational(11, 4)};
+    for (const auto& i : block3) classes.push_back({i, 0});
+    return classes;
+}
+
+const std::vector<TermClass>& exponent_set_storage() {
+    static const std::vector<TermClass> classes = build_exponent_set();
+    return classes;
+}
+
+}  // namespace
+
+std::span<const TermClass> exponent_set() { return exponent_set_storage(); }
+
+std::size_t class_count() { return exponent_set_storage().size(); }
+
+std::size_t class_index(const TermClass& cls) {
+    const auto& classes = exponent_set_storage();
+    for (std::size_t k = 0; k < classes.size(); ++k) {
+        if (classes[k] == cls) return k;
+    }
+    return classes.size();
+}
+
+const TermClass& nearest_class(double effective_exponent) {
+    const auto& classes = exponent_set_storage();
+    std::size_t best = 0;
+    double best_dist = std::abs(classes[0].effective_exponent() - effective_exponent);
+    for (std::size_t k = 1; k < classes.size(); ++k) {
+        const double dist = std::abs(classes[k].effective_exponent() - effective_exponent);
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = k;
+        }
+    }
+    return classes[best];
+}
+
+}  // namespace pmnf

@@ -1,0 +1,97 @@
+#include "pmnf/model.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace pmnf {
+
+namespace {
+
+/// Coefficients with magnitude below this play no role in the model's
+/// asymptotic behavior and are excluded from lead-exponent analysis.
+constexpr double kNegligibleCoefficient = 1e-9;
+
+std::string format_coefficient(double c) {
+    char buf[64];
+    const double mag = std::abs(c);
+    if (mag != 0.0 && (mag >= 1e5 || mag < 1e-3)) {
+        std::snprintf(buf, sizeof(buf), "%.3e", c);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.4g", c);
+    }
+    return buf;
+}
+
+}  // namespace
+
+double CompoundTerm::evaluate(std::span<const double> point) const {
+    double product = coefficient;
+    for (const auto& factor : factors) {
+        assert(factor.parameter < point.size());
+        product *= factor.cls.evaluate(point[factor.parameter]);
+    }
+    return product;
+}
+
+double Model::evaluate(std::span<const double> point) const {
+    double sum = constant_;
+    for (const auto& term : terms_) sum += term.evaluate(point);
+    return sum;
+}
+
+double Model::lead_exponent(std::size_t parameter) const {
+    double lead = 0.0;
+    for (const auto& term : terms_) {
+        if (std::abs(term.coefficient) < kNegligibleCoefficient) continue;
+        for (const auto& factor : term.factors) {
+            if (factor.parameter == parameter) {
+                lead = std::max(lead, factor.cls.effective_exponent());
+            }
+        }
+    }
+    return lead;
+}
+
+double Model::lead_exponent_distance(const Model& other, std::size_t parameters) const {
+    double d = 0.0;
+    for (std::size_t l = 0; l < parameters; ++l) {
+        d = std::max(d, std::abs(lead_exponent(l) - other.lead_exponent(l)));
+    }
+    return d;
+}
+
+Model Model::simplified(std::span<const double> reference, double epsilon) const {
+    const double total = std::abs(evaluate(reference));
+    if (total == 0.0) return *this;
+    std::vector<CompoundTerm> kept;
+    for (const auto& term : terms_) {
+        if (std::abs(term.evaluate(reference)) >= epsilon * total) kept.push_back(term);
+    }
+    return Model(constant_, std::move(kept));
+}
+
+std::string Model::to_string(std::span<const std::string> names) const {
+    auto name_of = [&](std::size_t l) -> std::string {
+        if (l < names.size()) return names[l];
+        std::string fallback = "x";
+        fallback += std::to_string(l + 1);
+        return fallback;
+    };
+
+    std::string out = format_coefficient(constant_);
+    for (const auto& term : terms_) {
+        if (term.coefficient < 0) {
+            out += " - " + format_coefficient(-term.coefficient);
+        } else {
+            out += " + " + format_coefficient(term.coefficient);
+        }
+        for (const auto& factor : term.factors) {
+            if (factor.cls.is_constant()) continue;
+            out += " * " + factor.cls.to_string(name_of(factor.parameter));
+        }
+    }
+    return out;
+}
+
+}  // namespace pmnf

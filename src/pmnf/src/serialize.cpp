@@ -1,0 +1,209 @@
+#include "pmnf/serialize.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pmnf {
+
+namespace {
+
+std::string format_double(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+/// Minimal recursive-descent parser for the fixed model schema.
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Model parse_model() {
+        expect('{');
+        double constant = 0.0;
+        std::vector<CompoundTerm> terms;
+        bool saw_constant = false;
+        for (;;) {
+            const std::string key = parse_string();
+            expect(':');
+            if (key == "constant") {
+                constant = parse_number();
+                saw_constant = true;
+            } else if (key == "terms") {
+                terms = parse_terms();
+            } else {
+                fail("unknown key '" + key + "'");
+            }
+            if (!consume(',')) break;
+        }
+        expect('}');
+        skip_whitespace();
+        if (pos_ != text_.size()) fail("trailing characters");
+        if (!saw_constant) fail("missing 'constant'");
+        return Model(constant, std::move(terms));
+    }
+
+private:
+    std::vector<CompoundTerm> parse_terms() {
+        std::vector<CompoundTerm> terms;
+        expect('[');
+        if (consume(']')) return terms;
+        do {
+            terms.push_back(parse_term());
+        } while (consume(','));
+        expect(']');
+        return terms;
+    }
+
+    CompoundTerm parse_term() {
+        expect('{');
+        CompoundTerm term;
+        bool saw_coefficient = false;
+        for (;;) {
+            const std::string key = parse_string();
+            expect(':');
+            if (key == "coefficient") {
+                term.coefficient = parse_number();
+                saw_coefficient = true;
+            } else if (key == "factors") {
+                term.factors = parse_factors();
+            } else {
+                fail("unknown key '" + key + "'");
+            }
+            if (!consume(',')) break;
+        }
+        expect('}');
+        if (!saw_coefficient) fail("term missing 'coefficient'");
+        return term;
+    }
+
+    std::vector<TermFactor> parse_factors() {
+        std::vector<TermFactor> factors;
+        expect('[');
+        if (consume(']')) return factors;
+        do {
+            factors.push_back(parse_factor());
+        } while (consume(','));
+        expect(']');
+        return factors;
+    }
+
+    TermFactor parse_factor() {
+        expect('{');
+        TermFactor factor;
+        bool saw_i = false;
+        for (;;) {
+            const std::string key = parse_string();
+            expect(':');
+            if (key == "parameter") {
+                const double value = parse_number();
+                if (value < 0 || value != static_cast<double>(static_cast<long>(value))) {
+                    fail("'parameter' must be a non-negative integer");
+                }
+                factor.parameter = static_cast<std::size_t>(value);
+            } else if (key == "i") {
+                expect('[');
+                const int num = parse_int();
+                expect(',');
+                const int den = parse_int();
+                expect(']');
+                if (den == 0) fail("rational denominator must not be zero");
+                factor.cls.i = Rational(num, den);
+                saw_i = true;
+            } else if (key == "j") {
+                factor.cls.j = parse_int();
+            } else {
+                fail("unknown key '" + key + "'");
+            }
+            if (!consume(',')) break;
+        }
+        expect('}');
+        if (!saw_i) fail("factor missing 'i'");
+        return factor;
+    }
+
+    std::string parse_string() {
+        skip_whitespace();
+        if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected string");
+        ++pos_;
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') out += text_[pos_++];
+        if (pos_ >= text_.size()) fail("unterminated string");
+        ++pos_;
+        return out;
+    }
+
+    double parse_number() {
+        skip_whitespace();
+        std::size_t consumed = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(text_.substr(pos_), &consumed);
+        } catch (const std::exception&) {
+            fail("expected number");
+        }
+        pos_ += consumed;
+        return value;
+    }
+
+    int parse_int() {
+        const double value = parse_number();
+        if (value != static_cast<double>(static_cast<int>(value))) fail("expected integer");
+        return static_cast<int>(value);
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool consume(char c) {
+        skip_whitespace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char c) {
+        if (!consume(c)) fail(std::string("expected '") + c + "'");
+    }
+
+    [[noreturn]] void fail(const std::string& what) {
+        throw std::runtime_error("pmnf::from_json: " + what + " at offset " +
+                                 std::to_string(pos_));
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_json(const Model& model) {
+    std::string out = "{\"constant\": " + format_double(model.constant()) + ", \"terms\": [";
+    bool first_term = true;
+    for (const auto& term : model.terms()) {
+        if (!first_term) out += ", ";
+        first_term = false;
+        out += "{\"coefficient\": " + format_double(term.coefficient) + ", \"factors\": [";
+        bool first_factor = true;
+        for (const auto& factor : term.factors) {
+            if (!first_factor) out += ", ";
+            first_factor = false;
+            out += "{\"parameter\": " + std::to_string(factor.parameter) + ", \"i\": [" +
+                   std::to_string(factor.cls.i.num()) + ", " + std::to_string(factor.cls.i.den()) +
+                   "], \"j\": " + std::to_string(factor.cls.j) + "}";
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
+}
+
+Model from_json(const std::string& json) { return Parser(json).parse_model(); }
+
+}  // namespace pmnf

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file fit.hpp
+/// Coefficient fitting and cross-validation for PMNF hypotheses.
+///
+/// A *candidate shape* is a PMNF hypothesis with its exponents fixed but its
+/// coefficients free: constant + one or more compound terms, each a product
+/// of per-parameter term classes. Shapes are fitted to measurement medians
+/// by linear least squares (the coefficients enter Eq. 1 linearly) and
+/// ranked by cross-validated SMAPE, exactly as Extra-P does. The DNN modeler
+/// reuses this machinery for its top-3 hypotheses.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "measure/experiment.hpp"
+#include "pmnf/model.hpp"
+
+namespace regression {
+
+/// A hypothesis with free coefficients: each entry is the factor list of one
+/// compound term (constant c_0 is always implied).
+struct CandidateShape {
+    std::vector<std::vector<pmnf::TermFactor>> terms;
+
+    /// Number of free coefficients (terms + constant).
+    std::size_t coefficient_count() const { return terms.size() + 1; }
+};
+
+/// Least-squares fit of a shape to (points, values). Columns are scaled to
+/// unit max magnitude before solving the normal equations, which keeps the
+/// system well-conditioned even when term values span many orders of
+/// magnitude (e.g. x^3 at x = 32768). Returns std::nullopt if the system is
+/// unsolvable or the fit produces non-finite values.
+std::optional<pmnf::Model> fit_shape(const CandidateShape& shape,
+                                     std::span<const measure::Coordinate> points,
+                                     std::span<const double> values);
+
+/// SMAPE of a fitted model on (points, values), in percent.
+double model_smape(const pmnf::Model& model, std::span<const measure::Coordinate> points,
+                   std::span<const double> values);
+
+/// Cross-validated SMAPE of a shape on (points, values), in percent.
+///
+/// Uses leave-one-out when the number of points is at most `max_folds`,
+/// otherwise `max_folds`-fold cross-validation with a round-robin split.
+/// Folds whose training fit fails contribute a worst-case error, so broken
+/// hypotheses rank last instead of being silently skipped.
+double cross_validated_smape(const CandidateShape& shape,
+                             std::span<const measure::Coordinate> points,
+                             std::span<const double> values, std::size_t max_folds = 25);
+
+}  // namespace regression

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file modeler.hpp
+/// The regression-based performance modeler (the Extra-P baseline).
+
+#include <cstddef>
+
+#include "measure/experiment.hpp"
+#include "regression/search.hpp"
+
+namespace regression {
+
+/// Extra-P's purely regression-based modeler: per-parameter hypothesis
+/// ranking on measurement lines, followed by combination search and
+/// SMAPE/cross-validation selection.
+class RegressionModeler {
+public:
+    struct Config {
+        /// Per-parameter finalists carried into the combination search.
+        std::size_t top_k = 3;
+        /// Cross-validation fold cap (leave-one-out below this).
+        std::size_t max_folds = 25;
+        /// Representative value of the measurement repetitions.
+        measure::Aggregation aggregation = measure::Aggregation::Median;
+    };
+
+    RegressionModeler() : RegressionModeler(Config{}) {}
+    explicit RegressionModeler(Config config) : config_(config) {}
+
+    const Config& config() const { return config_; }
+
+    /// Create a performance model for the experiment set. Requires at least
+    /// one line of >= 2 points per parameter; throws std::invalid_argument
+    /// otherwise.
+    ModelResult model(const measure::ExperimentSet& set) const;
+
+    /// The `keep` best-ranked models (best first) — competing explanations
+    /// of the same measurements with their cross-validation scores.
+    std::vector<ModelResult> model_alternatives(const measure::ExperimentSet& set,
+                                                std::size_t keep) const;
+
+private:
+    Config config_;
+};
+
+}  // namespace regression

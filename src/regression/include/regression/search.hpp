@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file search.hpp
+/// The PMNF hypothesis search space.
+///
+/// Single-parameter search: all 43 term classes of the exponent set E are
+/// fitted to a measurement line and ranked by cross-validated SMAPE.
+///
+/// Multi-parameter search: per-parameter finalists are combined into full
+/// models by enumerating every set partition of the parameters — each block
+/// of a partition becomes one compound (multiplicative) term, the blocks
+/// add up. For m = 2 this yields the paper's additive and multiplicative
+/// combinations; for m = 3 additionally the mixed forms.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "measure/aggregation.hpp"
+#include "measure/experiment.hpp"
+#include "pmnf/exponents.hpp"
+#include "regression/fit.hpp"
+
+namespace regression {
+
+/// A single-parameter hypothesis with its cross-validation score.
+struct RankedCandidate {
+    pmnf::TermClass cls;
+    double cv_smape = 0.0;
+};
+
+/// Rank all 43 single-parameter hypotheses on a line (xs strictly positive,
+/// ys the measurement medians), best first.
+std::vector<RankedCandidate> rank_single_parameter(std::span<const double> xs,
+                                                   std::span<const double> ys,
+                                                   std::size_t max_folds = 25);
+
+/// All set partitions of {0, .., m-1}; each partition is a list of blocks.
+/// Exposed for tests; m is expected to be small (Bell(4) == 15).
+std::vector<std::vector<std::vector<std::size_t>>> set_partitions(std::size_t m);
+
+/// Build all candidate shapes from per-parameter class choices:
+/// every cross-product choice of one class per parameter x every partition.
+/// Parameters whose chosen class is constant are left out of the shape, and
+/// duplicate shapes are pruned.
+std::vector<CandidateShape> build_combinations(
+    std::span<const std::vector<pmnf::TermClass>> per_parameter_choices);
+
+/// Result of a complete modeling run.
+struct ModelResult {
+    pmnf::Model model;
+    double cv_smape = 0.0;   ///< cross-validated SMAPE of the winning shape
+    double fit_smape = 0.0;  ///< SMAPE of the final fit on all points
+};
+
+/// Fit every shape built from `per_parameter_choices` to the full experiment
+/// set and return the cross-validation winner (final coefficients are
+/// refitted on all points). Shared by the regression and DNN modelers.
+/// `aggregation` selects the representative value of the repetitions.
+ModelResult select_best_combination(
+    const measure::ExperimentSet& set,
+    std::span<const std::vector<pmnf::TermClass>> per_parameter_choices,
+    std::size_t max_folds = 25,
+    measure::Aggregation aggregation = measure::Aggregation::Median);
+
+/// Like select_best_combination, but also returns the `keep` best-scoring
+/// distinct hypotheses (ranked, best first) — useful for showing the user
+/// competing explanations of the same data.
+std::vector<ModelResult> rank_combinations(
+    const measure::ExperimentSet& set,
+    std::span<const std::vector<pmnf::TermClass>> per_parameter_choices, std::size_t keep,
+    std::size_t max_folds = 25,
+    measure::Aggregation aggregation = measure::Aggregation::Median);
+
+}  // namespace regression

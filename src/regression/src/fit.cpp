@@ -1,0 +1,113 @@
+#include "regression/fit.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "xpcore/linalg.hpp"
+#include "xpcore/metrics.hpp"
+
+namespace regression {
+
+namespace {
+
+/// Evaluate the factor product of one term at a point (coefficient-free).
+double term_value(const std::vector<pmnf::TermFactor>& factors,
+                  std::span<const double> point) {
+    double product = 1.0;
+    for (const auto& factor : factors) {
+        assert(factor.parameter < point.size());
+        product *= factor.cls.evaluate(point[factor.parameter]);
+    }
+    return product;
+}
+
+}  // namespace
+
+std::optional<pmnf::Model> fit_shape(const CandidateShape& shape,
+                                     std::span<const measure::Coordinate> points,
+                                     std::span<const double> values) {
+    const std::size_t rows = points.size();
+    const std::size_t cols = shape.coefficient_count();
+    if (rows < cols) return std::nullopt;  // under-determined
+
+    // Design matrix: column 0 is the constant, one column per term.
+    xpcore::MatrixD a(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        a(r, 0) = 1.0;
+        for (std::size_t t = 0; t < shape.terms.size(); ++t) {
+            const double v = term_value(shape.terms[t], points[r]);
+            if (!std::isfinite(v)) return std::nullopt;
+            a(r, t + 1) = v;
+        }
+    }
+
+    // Column scaling for conditioning: term values span many orders of
+    // magnitude (x^3 at x = 32768), which would wreck the normal equations.
+    std::vector<double> scale(cols, 1.0);
+    for (std::size_t c = 0; c < cols; ++c) {
+        double max_mag = 0.0;
+        for (std::size_t r = 0; r < rows; ++r) max_mag = std::max(max_mag, std::abs(a(r, c)));
+        if (max_mag > 0.0) {
+            scale[c] = max_mag;
+            for (std::size_t r = 0; r < rows; ++r) a(r, c) /= max_mag;
+        }
+    }
+
+    const auto solution = xpcore::least_squares(a, values);
+    if (!solution) return std::nullopt;
+
+    std::vector<pmnf::CompoundTerm> terms;
+    terms.reserve(shape.terms.size());
+    for (std::size_t t = 0; t < shape.terms.size(); ++t) {
+        const double coeff = (*solution)[t + 1] / scale[t + 1];
+        if (!std::isfinite(coeff)) return std::nullopt;
+        terms.push_back({coeff, shape.terms[t]});
+    }
+    const double constant = (*solution)[0] / scale[0];
+    if (!std::isfinite(constant)) return std::nullopt;
+    return pmnf::Model(constant, std::move(terms));
+}
+
+double model_smape(const pmnf::Model& model, std::span<const measure::Coordinate> points,
+                   std::span<const double> values) {
+    std::vector<double> predicted(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) predicted[i] = model.evaluate(points[i]);
+    return xpcore::smape(predicted, values);
+}
+
+double cross_validated_smape(const CandidateShape& shape,
+                             std::span<const measure::Coordinate> points,
+                             std::span<const double> values, std::size_t max_folds) {
+    const std::size_t n = points.size();
+    if (n <= shape.coefficient_count()) return 200.0;  // cannot leave anything out
+
+    const std::size_t folds = std::min(max_folds, n);
+    std::vector<double> predicted;
+    std::vector<double> actual;
+    predicted.reserve(n);
+    actual.reserve(n);
+
+    std::vector<measure::Coordinate> train_points;
+    std::vector<double> train_values;
+    for (std::size_t fold = 0; fold < folds; ++fold) {
+        train_points.clear();
+        train_values.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i % folds == fold) continue;  // held out
+            train_points.push_back(points[i]);
+            train_values.push_back(values[i]);
+        }
+        const auto fitted = fit_shape(shape, train_points, train_values);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i % folds != fold) continue;
+            actual.push_back(values[i]);
+            // A failed training fit scores the worst possible prediction so
+            // degenerate hypotheses rank last.
+            predicted.push_back(fitted ? fitted->evaluate(points[i])
+                                       : -values[i]);
+        }
+    }
+    return xpcore::smape(predicted, actual);
+}
+
+}  // namespace regression

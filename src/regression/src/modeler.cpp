@@ -1,0 +1,55 @@
+#include "regression/modeler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace regression {
+
+namespace {
+
+/// Per-parameter hypothesis ranking on the best measurement lines.
+std::vector<std::vector<pmnf::TermClass>> rank_finalists(
+    const measure::ExperimentSet& set, const RegressionModeler::Config& config) {
+    const std::size_t m = set.parameter_count();
+    std::vector<std::vector<pmnf::TermClass>> finalists(m);
+    for (std::size_t l = 0; l < m; ++l) {
+        const auto line = set.best_line(l);
+        if (!line) {
+            throw std::invalid_argument(
+                "RegressionModeler::model: parameter '" + set.parameter_names()[l] +
+                "' has no measurement line with >= 2 points");
+        }
+        const auto ranked = rank_single_parameter(
+            line->xs(), measure::aggregate_line(*line, config.aggregation), config.max_folds);
+        const std::size_t keep = std::min(config.top_k, ranked.size());
+        for (std::size_t k = 0; k < keep; ++k) finalists[l].push_back(ranked[k].cls);
+        // The constant class must always be available so an irrelevant
+        // parameter can drop out of the combined model.
+        const pmnf::TermClass constant{};
+        if (std::find(finalists[l].begin(), finalists[l].end(), constant) == finalists[l].end()) {
+            finalists[l].push_back(constant);
+        }
+    }
+    return finalists;
+}
+
+}  // namespace
+
+ModelResult RegressionModeler::model(const measure::ExperimentSet& set) const {
+    if (set.parameter_count() == 0 || set.empty()) {
+        throw std::invalid_argument("RegressionModeler::model: empty experiment set");
+    }
+    return select_best_combination(set, rank_finalists(set, config_), config_.max_folds,
+                                   config_.aggregation);
+}
+
+std::vector<ModelResult> RegressionModeler::model_alternatives(
+    const measure::ExperimentSet& set, std::size_t keep) const {
+    if (set.parameter_count() == 0 || set.empty()) {
+        throw std::invalid_argument("RegressionModeler::model_alternatives: empty experiment set");
+    }
+    return rank_combinations(set, rank_finalists(set, config_), keep, config_.max_folds,
+                             config_.aggregation);
+}
+
+}  // namespace regression

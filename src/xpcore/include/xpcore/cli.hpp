@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal command-line option parsing for the bench/example binaries.
+/// Accepts `--key=value` and `--flag`; anything else is a positional.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace xpcore {
+
+/// Parsed command line. Typed getters fall back to a default when the key
+/// is absent; malformed numeric values throw std::invalid_argument so typos
+/// in experiment sweeps fail loudly instead of silently running defaults.
+class CliArgs {
+public:
+    CliArgs(int argc, const char* const* argv);
+
+    bool has(const std::string& key) const { return options_.count(key) != 0; }
+
+    std::string get(const std::string& key, const std::string& fallback) const;
+    long get_int(const std::string& key, long fallback) const;
+    double get_double(const std::string& key, double fallback) const;
+    bool get_bool(const std::string& key, bool fallback) const;
+
+    const std::vector<std::string>& positionals() const { return positionals_; }
+
+private:
+    std::unordered_map<std::string, std::string> options_;
+    std::vector<std::string> positionals_;
+};
+
+}  // namespace xpcore

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file linalg.hpp
+/// Small dense linear algebra: the coefficient fits in the modelers solve
+/// least-squares problems with at most a handful of unknowns, so a compact
+/// normal-equation solver with partial pivoting is sufficient and fast.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace xpcore {
+
+/// Dense row-major matrix of doubles for the tiny systems solved here.
+/// (The neural-network substrate has its own cache-optimized f32 tensor.)
+class MatrixD {
+public:
+    MatrixD() = default;
+    MatrixD(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+    std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+    std::span<const double> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Solve the square system A x = b by Gaussian elimination with partial
+/// pivoting. Returns std::nullopt when A is (numerically) singular.
+std::optional<std::vector<double>> solve_linear(MatrixD a, std::vector<double> b);
+
+/// Solve min_x ||A x - b||_2 through the normal equations A^T A x = A^T b.
+/// A tiny Tikhonov ridge (relative to the diagonal magnitude) is added when
+/// the plain normal equations are singular, which happens when hypothesis
+/// terms are collinear on the sampled points. Returns std::nullopt only if
+/// even the regularized system cannot be solved.
+std::optional<std::vector<double>> least_squares(const MatrixD& a, std::span<const double> b);
+
+}  // namespace xpcore

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Error metrics used for model selection and evaluation.
+
+#include <cmath>
+#include <span>
+
+namespace xpcore {
+
+/// Symmetric mean absolute percentage error in percent, the selection
+/// metric used by Extra-P and by this library's modelers.
+///
+/// SMAPE = 100/N * sum |pred - actual| / ((|actual| + |pred|) / 2),
+/// with the convention that a term is 0 when both values are 0.
+/// Result lies in [0, 200].
+double smape(std::span<const double> predicted, std::span<const double> actual);
+
+/// Mean absolute percentage error in percent. Terms with actual == 0 are
+/// skipped (they would be undefined).
+double mape(std::span<const double> predicted, std::span<const double> actual);
+
+/// Relative error |pred - actual| / |actual| in percent for a single value.
+/// Returns |pred| * 100 when actual == 0 (graceful degenerate case).
+inline double relative_error_pct(double predicted, double actual) {
+    if (actual == 0.0) return std::abs(predicted) * 100.0;
+    return std::abs(predicted - actual) / std::abs(actual) * 100.0;
+}
+
+}  // namespace xpcore

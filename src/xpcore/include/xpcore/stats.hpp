@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file stats.hpp
+/// Descriptive statistics and bootstrap confidence intervals.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace xpcore {
+class Rng;
+
+/// Arithmetic mean. Returns 0 for an empty range.
+double mean(std::span<const double> xs);
+
+/// Population variance (divides by N). Returns 0 for fewer than 2 samples.
+double variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Median (average of the two middle elements for even sizes).
+/// Returns 0 for an empty range. Does not modify the input.
+double median(std::span<const double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. Returns 0 for empty input.
+double quantile(std::span<const double> xs, double q);
+
+/// Minimum / maximum. Return 0 for empty input.
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Two-sided bootstrap percentile confidence interval for a statistic.
+struct ConfidenceInterval {
+    double lower = 0.0;
+    double upper = 0.0;
+    double point = 0.0;  ///< statistic on the original sample
+};
+
+/// Bootstrap CI for the median at the given confidence level (e.g. 0.99).
+ConfidenceInterval bootstrap_median_ci(std::span<const double> xs, double confidence,
+                                       std::size_t resamples, Rng& rng);
+
+/// Bootstrap CI for the mean at the given confidence level.
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> xs, double confidence,
+                                     std::size_t resamples, Rng& rng);
+
+/// Bootstrap CI for a proportion of successes (accuracy percentages).
+/// `successes` out of `total`; returned values are fractions in [0, 1].
+ConfidenceInterval bootstrap_proportion_ci(std::size_t successes, std::size_t total,
+                                           double confidence, std::size_t resamples, Rng& rng);
+
+}  // namespace xpcore

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned console tables for the reproduction harnesses, which print the
+/// same rows/series the paper's figures report.
+
+#include <string>
+#include <vector>
+
+namespace xpcore {
+
+/// Builds and prints a fixed-column text table with automatic width
+/// computation. Cells are strings; numeric helpers format with a fixed
+/// number of decimals.
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Append a row; it must have exactly as many cells as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Format a double with `decimals` fraction digits.
+    static std::string num(double value, int decimals = 2);
+
+    /// Render the table (header, separator, rows) as a string.
+    std::string to_string() const;
+
+    /// Print to stdout.
+    void print() const;
+
+    std::size_t row_count() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xpcore

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A minimal work-sharing thread pool with a blocking parallel_for.
+///
+/// The library is written to run efficiently on a single core (where the
+/// pool degrades to serial execution without spawning threads) and to scale
+/// to many cores when they are available.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace xpcore {
+
+/// Fixed-size thread pool. Tasks are std::function<void()>; exceptions
+/// escaping a task terminate the program (tasks are expected to handle
+/// their own errors — performance-modeling work items do not throw).
+class ThreadPool {
+public:
+    /// Create a pool with `threads` workers; 0 means "serial" (run tasks
+    /// inline on the caller's thread).
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Number of worker threads (0 for a serial pool).
+    std::size_t size() const { return workers_.size(); }
+
+    /// Enqueue a task. For a serial pool the task runs immediately.
+    void submit(std::function<void()> task);
+
+    /// Block until all submitted tasks have finished.
+    void wait_idle();
+
+    /// Process-wide default pool, sized from XPDNN_THREADS (if set) or
+    /// hardware_concurrency() - 1. On a single-core machine this is a
+    /// serial pool, avoiding oversubscription.
+    static ThreadPool& global();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable task_available_;
+    std::condition_variable idle_;
+    std::size_t in_flight_ = 0;
+    bool stop_ = false;
+};
+
+/// Split [0, n) into contiguous chunks and run `body(begin, end)` on the
+/// pool. Blocks until every chunk finished. With a serial pool (or n below
+/// `grain`) the body runs inline.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace xpcore

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing for the modeling-overhead experiments (Fig. 6).
+
+#include <chrono>
+
+namespace xpcore {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+public:
+    WallTimer() : start_(clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() { start_ = clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace xpcore

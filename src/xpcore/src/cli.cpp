@@ -1,0 +1,59 @@
+#include "xpcore/cli.hpp"
+
+#include <stdexcept>
+
+namespace xpcore {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            const auto eq = arg.find('=');
+            if (eq == std::string::npos) {
+                options_[arg.substr(2)] = "true";
+            } else {
+                options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            }
+        } else {
+            positionals_.push_back(arg);
+        }
+    }
+}
+
+std::string CliArgs::get(const std::string& key, const std::string& fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+}
+
+long CliArgs::get_int(const std::string& key, long fallback) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    std::size_t consumed = 0;
+    const long value = std::stol(it->second, &consumed);
+    if (consumed != it->second.size()) {
+        throw std::invalid_argument("CliArgs: option --" + key + " is not an integer: " + it->second);
+    }
+    return value;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) {
+        throw std::invalid_argument("CliArgs: option --" + key + " is not a number: " + it->second);
+    }
+    return value;
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    const std::string& v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+    throw std::invalid_argument("CliArgs: option --" + key + " is not a boolean: " + v);
+}
+
+}  // namespace xpcore

@@ -1,0 +1,77 @@
+#include "xpcore/linalg.hpp"
+
+#include <cmath>
+
+namespace xpcore {
+
+std::optional<std::vector<double>> solve_linear(MatrixD a, std::vector<double> b) {
+    const std::size_t n = a.rows();
+    if (n == 0 || a.cols() != n || b.size() != n) return std::nullopt;
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting: bring the largest remaining entry to the diagonal.
+        std::size_t pivot = col;
+        double best = std::abs(a(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double mag = std::abs(a(r, col));
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        if (best < 1e-12) return std::nullopt;
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+            std::swap(b[pivot], b[col]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a(r, col) / a(col, col);
+            if (factor == 0.0) continue;
+            for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+            b[r] -= factor * b[col];
+        }
+    }
+
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double sum = b[ri];
+        for (std::size_t c = ri + 1; c < n; ++c) sum -= a(ri, c) * x[c];
+        x[ri] = sum / a(ri, ri);
+    }
+    for (double v : x) {
+        if (!std::isfinite(v)) return std::nullopt;
+    }
+    return x;
+}
+
+std::optional<std::vector<double>> least_squares(const MatrixD& a, std::span<const double> b) {
+    const std::size_t rows = a.rows();
+    const std::size_t cols = a.cols();
+    if (rows == 0 || cols == 0 || b.size() != rows) return std::nullopt;
+
+    MatrixD ata(cols, cols);
+    std::vector<double> atb(cols, 0.0);
+    for (std::size_t i = 0; i < cols; ++i) {
+        for (std::size_t j = i; j < cols; ++j) {
+            double sum = 0.0;
+            for (std::size_t r = 0; r < rows; ++r) sum += a(r, i) * a(r, j);
+            ata(i, j) = sum;
+            ata(j, i) = sum;
+        }
+        double sum = 0.0;
+        for (std::size_t r = 0; r < rows; ++r) sum += a(r, i) * b[r];
+        atb[i] = sum;
+    }
+
+    if (auto solution = solve_linear(ata, atb)) return solution;
+
+    // Collinear hypothesis terms on the sampled points: regularize with a
+    // ridge proportional to the diagonal scale and retry.
+    double diag_scale = 0.0;
+    for (std::size_t i = 0; i < cols; ++i) diag_scale = std::max(diag_scale, std::abs(ata(i, i)));
+    const double ridge = std::max(diag_scale, 1.0) * 1e-10;
+    for (std::size_t i = 0; i < cols; ++i) ata(i, i) += ridge;
+    return solve_linear(ata, atb);
+}
+
+}  // namespace xpcore

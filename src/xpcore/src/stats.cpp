@@ -1,0 +1,123 @@
+#include "xpcore/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xpcore/rng.hpp"
+
+namespace xpcore {
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double sum = 0.0;
+    for (double x : xs) sum += (x - m) * (x - m);
+    return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    std::vector<double> copy(xs.begin(), xs.end());
+    const std::size_t mid = copy.size() / 2;
+    std::nth_element(copy.begin(), copy.begin() + mid, copy.end());
+    const double hi = copy[mid];
+    if (copy.size() % 2 == 1) return hi;
+    const double lo = *std::max_element(copy.begin(), copy.begin() + mid);
+    return 0.5 * (lo + hi);
+}
+
+double quantile(std::span<const double> xs, double q) {
+    if (xs.empty()) return 0.0;
+    std::vector<double> copy(xs.begin(), xs.end());
+    std::sort(copy.begin(), copy.end());
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(copy.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, copy.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return copy[lo] * (1.0 - frac) + copy[hi] * frac;
+}
+
+double min_value(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+namespace {
+
+template <typename Statistic>
+ConfidenceInterval bootstrap_ci(std::span<const double> xs, double confidence,
+                                std::size_t resamples, Rng& rng, Statistic stat) {
+    ConfidenceInterval ci;
+    ci.point = stat(xs);
+    if (xs.size() < 2 || resamples == 0) {
+        ci.lower = ci.upper = ci.point;
+        return ci;
+    }
+    std::vector<double> stats(resamples);
+    std::vector<double> sample(xs.size());
+    for (std::size_t r = 0; r < resamples; ++r) {
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            sample[i] = xs[rng.uniform_int(0, static_cast<std::int64_t>(xs.size()) - 1)];
+        }
+        stats[r] = stat(std::span<const double>(sample));
+    }
+    const double alpha = 1.0 - confidence;
+    ci.lower = quantile(stats, alpha / 2.0);
+    ci.upper = quantile(stats, 1.0 - alpha / 2.0);
+    return ci;
+}
+
+}  // namespace
+
+ConfidenceInterval bootstrap_median_ci(std::span<const double> xs, double confidence,
+                                       std::size_t resamples, Rng& rng) {
+    return bootstrap_ci(xs, confidence, resamples, rng,
+                        [](std::span<const double> s) { return median(s); });
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> xs, double confidence,
+                                     std::size_t resamples, Rng& rng) {
+    return bootstrap_ci(xs, confidence, resamples, rng,
+                        [](std::span<const double> s) { return mean(s); });
+}
+
+ConfidenceInterval bootstrap_proportion_ci(std::size_t successes, std::size_t total,
+                                           double confidence, std::size_t resamples, Rng& rng) {
+    ConfidenceInterval ci;
+    if (total == 0) return ci;
+    const double p = static_cast<double>(successes) / static_cast<double>(total);
+    ci.point = p;
+    if (resamples == 0) {
+        ci.lower = ci.upper = p;
+        return ci;
+    }
+    std::vector<double> stats(resamples);
+    for (std::size_t r = 0; r < resamples; ++r) {
+        std::size_t hits = 0;
+        for (std::size_t i = 0; i < total; ++i) {
+            if (rng.chance(p)) ++hits;
+        }
+        stats[r] = static_cast<double>(hits) / static_cast<double>(total);
+    }
+    const double alpha = 1.0 - confidence;
+    ci.lower = quantile(stats, alpha / 2.0);
+    ci.upper = quantile(stats, 1.0 - alpha / 2.0);
+    return ci;
+}
+
+}  // namespace xpcore

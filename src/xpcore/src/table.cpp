@@ -1,0 +1,51 @@
+#include "xpcore/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace xpcore {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != header_.size()) {
+        throw std::invalid_argument("Table::add_row: cell count does not match header");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string Table::to_string() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "| " : " | ");
+            out << row[c];
+            out << std::string(widths[c] - row[c].size(), ' ');
+        }
+        out << " |\n";
+    };
+    emit_row(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+    }
+    out << "-|\n";
+    for (const auto& row : rows_) emit_row(row);
+    return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace xpcore

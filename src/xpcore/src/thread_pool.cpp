@@ -1,0 +1,90 @@
+#include "xpcore/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace xpcore {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    task_available_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    if (workers_.empty()) {
+        task();  // serial pool: run inline
+        return;
+    }
+    {
+        std::lock_guard lock(mutex_);
+        tasks_.push(std::move(task));
+        ++in_flight_;
+    }
+    task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    if (workers_.empty()) return;
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            task_available_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty()) return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard lock(mutex_);
+            if (--in_flight_ == 0) idle_.notify_all();
+        }
+    }
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool([] {
+        if (const char* env = std::getenv("XPDNN_THREADS")) {
+            const long requested = std::strtol(env, nullptr, 10);
+            return static_cast<std::size_t>(std::max(0L, requested));
+        }
+        const unsigned hw = std::thread::hardware_concurrency();
+        return static_cast<std::size_t>(hw > 1 ? hw - 1 : 0);
+    }());
+    return pool;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body, std::size_t grain) {
+    if (n == 0) return;
+    const std::size_t workers = pool.size();
+    if (workers == 0 || n <= grain) {
+        body(0, n);
+        return;
+    }
+    const std::size_t chunks = std::min(workers * 4, std::max<std::size_t>(1, n / grain));
+    const std::size_t chunk = (n + chunks - 1) / chunks;
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+        const std::size_t end = std::min(begin + chunk, n);
+        pool.submit([&body, begin, end] { body(begin, end); });
+    }
+    pool.wait_idle();
+}
+
+}  // namespace xpcore

@@ -1,0 +1,141 @@
+// Tests for the adaptive modeler: threshold policy, modeler arbitration,
+// and diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "adaptive/modeler.hpp"
+#include "noise/injector.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace adaptive;
+using Config = adaptive::AdaptiveModeler::Config;
+
+dnn::DnnConfig tiny_config() {
+    dnn::DnnConfig config;
+    config.hidden = {96, 48};
+    config.pretrain_samples_per_class = 250;
+    config.pretrain_epochs = 4;
+    config.adapt_samples_per_class = 120;
+    config.adapt_epochs = 1;
+    return config;
+}
+
+class AdaptiveTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        dnn_ = new dnn::DnnModeler(tiny_config(), /*seed=*/23);
+        dnn_->pretrain();
+    }
+    static void TearDownTestSuite() {
+        delete dnn_;
+        dnn_ = nullptr;
+    }
+
+    static measure::ExperimentSet linear_set(double noise_level, std::uint64_t seed) {
+        xpcore::Rng rng(seed);
+        noise::Injector injector(noise_level, rng);
+        measure::ExperimentSet set({"p"});
+        for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+            set.add({p}, injector.repetitions(5.0 + 2.0 * p, 5));
+        }
+        return set;
+    }
+
+    static dnn::DnnModeler* dnn_;
+};
+
+dnn::DnnModeler* AdaptiveTest::dnn_ = nullptr;
+
+TEST(ThresholdPolicy, PerParameterDefaults) {
+    const ThresholdPolicy policy;
+    EXPECT_DOUBLE_EQ(policy.threshold_for(1), 0.50);
+    EXPECT_DOUBLE_EQ(policy.threshold_for(2), 0.80);
+    EXPECT_DOUBLE_EQ(policy.threshold_for(3), 0.50);
+    EXPECT_DOUBLE_EQ(policy.threshold_for(7), 0.50);
+    EXPECT_DOUBLE_EQ(policy.threshold_for(0), 0.50);
+}
+
+TEST_F(AdaptiveTest, CalmDataRunsBothModelers) {
+    AdaptiveModeler modeler(*dnn_, {});
+    const auto outcome = modeler.model(linear_set(0.02, 1));
+    EXPECT_TRUE(outcome.used_dnn);
+    EXPECT_TRUE(outcome.used_regression);
+    EXPECT_LT(outcome.estimated_noise, 0.20);
+    EXPECT_GT(outcome.regression_seconds, 0.0);
+    EXPECT_TRUE(outcome.winner == "regression" || outcome.winner == "dnn");
+}
+
+TEST_F(AdaptiveTest, NoisyDataSwitchesRegressionOff) {
+    AdaptiveModeler modeler(*dnn_, {});
+    const auto outcome = modeler.model(linear_set(0.90, 2));
+    EXPECT_TRUE(outcome.used_dnn);
+    EXPECT_FALSE(outcome.used_regression);
+    EXPECT_EQ(outcome.winner, "dnn");
+    EXPECT_GT(outcome.estimated_noise, 0.50);
+    EXPECT_DOUBLE_EQ(outcome.regression_seconds, 0.0);
+}
+
+TEST_F(AdaptiveTest, CalmDataModelIsAccurate) {
+    AdaptiveModeler modeler(*dnn_, {});
+    const auto outcome = modeler.model(linear_set(0.01, 3));
+    EXPECT_LE(std::abs(outcome.result.model.lead_exponent(0) - 1.0), 0.25 + 1e-9);
+    EXPECT_NEAR(outcome.result.model.evaluate({{128.0}}), 5.0 + 256.0, 30.0);
+}
+
+TEST_F(AdaptiveTest, SelectionPicksCrossValidationWinner) {
+    AdaptiveModeler modeler(*dnn_, {});
+    const auto set = linear_set(0.02, 4);
+    const auto outcome = modeler.model(set);
+    // On practically clean linear data, whichever candidate was selected
+    // must have a near-zero cross-validated SMAPE.
+    EXPECT_LT(outcome.result.cv_smape, 5.0);
+}
+
+TEST_F(AdaptiveTest, TimingsRecorded) {
+    AdaptiveModeler modeler(*dnn_, {});
+    const auto outcome = modeler.model(linear_set(0.02, 5));
+    EXPECT_GT(outcome.dnn_seconds, 0.0);
+    EXPECT_GT(outcome.regression_seconds, 0.0);
+    // Domain adaptation dominates the cost (Fig. 6's claim).
+    EXPECT_GT(outcome.dnn_seconds, outcome.regression_seconds);
+}
+
+TEST_F(AdaptiveTest, CustomThresholdForcesDnnOnly) {
+    Config config;
+    config.thresholds.one_parameter = 0.0;  // always above threshold
+    AdaptiveModeler modeler(*dnn_, config);
+    const auto outcome = modeler.model(linear_set(0.01, 6));
+    EXPECT_FALSE(outcome.used_regression);
+    EXPECT_EQ(outcome.winner, "dnn");
+}
+
+TEST_F(AdaptiveTest, DisablingAdaptationStillModels) {
+    Config config;
+    config.domain_adaptation = false;
+    AdaptiveModeler modeler(*dnn_, config);
+    const auto outcome = modeler.model(linear_set(0.05, 7));
+    EXPECT_TRUE(outcome.used_dnn);
+    EXPECT_LT(outcome.result.cv_smape, 50.0);
+}
+
+TEST_F(AdaptiveTest, TwoParameterThresholdIsMoreLenient) {
+    // ~60% noise: above the 50% one-parameter threshold but below the 80%
+    // two-parameter threshold, so regression still competes for m = 2.
+    xpcore::Rng rng(8);
+    noise::Injector injector(0.60, rng);
+    measure::ExperimentSet set({"p", "n"});
+    for (double p : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        for (double n : {10.0, 20.0, 30.0, 40.0, 50.0}) {
+            set.add({p, n}, injector.repetitions(1.0 + p * n, 5));
+        }
+    }
+    AdaptiveModeler modeler(*dnn_, {});
+    const auto outcome = modeler.model(set);
+    EXPECT_TRUE(outcome.used_regression);
+    EXPECT_GT(outcome.estimated_noise, 0.50);
+    EXPECT_LT(outcome.estimated_noise, 0.80);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Tests for the repetition-aggregation policies.
+
+#include <gtest/gtest.h>
+
+#include "measure/aggregation.hpp"
+#include "regression/modeler.hpp"
+
+namespace {
+
+using namespace measure;
+
+Measurement sample() { return {{1.0}, {5.0, 1.0, 3.0, 9.0}}; }
+
+TEST(Aggregation, PolicyValues) {
+    const auto m = sample();
+    EXPECT_DOUBLE_EQ(aggregate(m, Aggregation::Median), 4.0);
+    EXPECT_DOUBLE_EQ(aggregate(m, Aggregation::Mean), 4.5);
+    EXPECT_DOUBLE_EQ(aggregate(m, Aggregation::Minimum), 1.0);
+}
+
+TEST(Aggregation, Names) {
+    EXPECT_EQ(to_string(Aggregation::Median), "median");
+    EXPECT_EQ(to_string(Aggregation::Mean), "mean");
+    EXPECT_EQ(to_string(Aggregation::Minimum), "minimum");
+}
+
+TEST(Aggregation, FromStringRoundTrip) {
+    for (auto policy : {Aggregation::Median, Aggregation::Mean, Aggregation::Minimum}) {
+        EXPECT_EQ(aggregation_from_string(to_string(policy)), policy);
+    }
+    EXPECT_EQ(aggregation_from_string("min"), Aggregation::Minimum);
+    EXPECT_THROW(aggregation_from_string("mode"), std::invalid_argument);
+}
+
+TEST(Aggregation, AggregateAllOrder) {
+    ExperimentSet set({"p"});
+    set.add({1.0}, {2.0, 4.0});
+    set.add({2.0}, {10.0, 20.0, 30.0});
+    EXPECT_EQ(aggregate_all(set, Aggregation::Median), (std::vector<double>{3.0, 20.0}));
+    EXPECT_EQ(aggregate_all(set, Aggregation::Minimum), (std::vector<double>{2.0, 10.0}));
+}
+
+TEST(Aggregation, AggregateLine) {
+    ExperimentSet set({"p"});
+    set.add({2.0}, {8.0, 6.0});
+    set.add({1.0}, {3.0, 5.0});
+    const auto line = set.best_line(0);
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(aggregate_line(*line, Aggregation::Mean), (std::vector<double>{4.0, 7.0}));
+}
+
+TEST(Aggregation, MinimumPolicyModelsLowerEnvelope) {
+    // With one-sided positive outliers the minimum recovers the clean
+    // function exactly while the mean is pulled upward.
+    ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+        const double truth = 1.0 + 2.0 * p;
+        set.add({p}, {truth, truth * 1.8, truth * 2.1});  // outliers upward
+    }
+    regression::RegressionModeler::Config config;
+    config.aggregation = Aggregation::Minimum;
+    const regression::RegressionModeler modeler(config);
+    const auto result = modeler.model(set);
+    EXPECT_NEAR(result.model.evaluate({{128.0}}), 257.0, 1.0);
+}
+
+TEST(Aggregation, PolicyChangesTheFit) {
+    ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+        const double truth = 1.0 + 2.0 * p;
+        set.add({p}, {truth, truth * 3.0});
+    }
+    regression::RegressionModeler::Config min_config;
+    min_config.aggregation = Aggregation::Minimum;
+    regression::RegressionModeler::Config mean_config;
+    mean_config.aggregation = Aggregation::Mean;
+    const auto min_fit = regression::RegressionModeler(min_config).model(set);
+    const auto mean_fit = regression::RegressionModeler(mean_config).model(set);
+    EXPECT_LT(min_fit.model.evaluate({{64.0}}), mean_fit.model.evaluate({{64.0}}));
+}
+
+}  // namespace

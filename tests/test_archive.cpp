@@ -1,0 +1,111 @@
+// Tests for multi-kernel measurement archives.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "casestudy/casestudy.hpp"
+#include "measure/archive.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace measure;
+
+ExperimentSet small_set(double scale) {
+    ExperimentSet set({"p", "n"});
+    set.add({2.0, 10.0}, {scale * 1.0, scale * 1.1});
+    set.add({4.0, 10.0}, {scale * 2.0});
+    return set;
+}
+
+Archive sample_archive() {
+    Archive archive({"p", "n"});
+    archive.add("SweepSolver", "time", small_set(1.0));
+    archive.add("LTimes", "time", small_set(0.5));
+    archive.add("SweepSolver", "visits", small_set(100.0));
+    return archive;
+}
+
+TEST(Archive, AddAndFind) {
+    const Archive archive = sample_archive();
+    EXPECT_EQ(archive.size(), 3u);
+    ASSERT_NE(archive.find("LTimes", "time"), nullptr);
+    EXPECT_EQ(archive.find("LTimes", "time")->experiments.size(), 2u);
+    EXPECT_EQ(archive.find("LTimes", "visits"), nullptr);
+    EXPECT_EQ(archive.find("NoSuchKernel", "time"), nullptr);
+}
+
+TEST(Archive, KernelsDistinctInOrder) {
+    const Archive archive = sample_archive();
+    EXPECT_EQ(archive.kernels(), (std::vector<std::string>{"SweepSolver", "LTimes"}));
+}
+
+TEST(Archive, DuplicateEntryThrows) {
+    Archive archive({"p", "n"});
+    archive.add("k", "time", small_set(1.0));
+    EXPECT_THROW(archive.add("k", "time", small_set(2.0)), std::invalid_argument);
+}
+
+TEST(Archive, ParameterMismatchThrows) {
+    Archive archive({"p"});
+    EXPECT_THROW(archive.add("k", "time", small_set(1.0)), std::invalid_argument);
+}
+
+TEST(Archive, RoundTrip) {
+    const Archive original = sample_archive();
+    std::stringstream buffer;
+    save_archive(original, buffer);
+    const Archive loaded = load_archive(buffer);
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.parameter_names(), original.parameter_names());
+    for (const auto& entry : original.entries()) {
+        const auto* found = loaded.find(entry.kernel, entry.metric);
+        ASSERT_NE(found, nullptr) << entry.kernel << "/" << entry.metric;
+        ASSERT_EQ(found->experiments.size(), entry.experiments.size());
+        for (std::size_t i = 0; i < entry.experiments.size(); ++i) {
+            EXPECT_EQ(found->experiments.measurements()[i].values,
+                      entry.experiments.measurements()[i].values);
+        }
+    }
+}
+
+TEST(Archive, LoadRejectsMeasurementBeforeKernel) {
+    std::stringstream in("params: p\n2 : 1.0\n");
+    EXPECT_THROW(load_archive(in), std::runtime_error);
+}
+
+TEST(Archive, LoadRejectsMalformedKernelHeader) {
+    std::stringstream in("params: p\nkernel: foo\n2 : 1.0\n");
+    EXPECT_THROW(load_archive(in), std::runtime_error);
+}
+
+TEST(Archive, LoadRejectsEmptyEntry) {
+    std::stringstream in("params: p\nkernel: a metric: time\nkernel: b metric: time\n2 : 1.0\n");
+    EXPECT_THROW(load_archive(in), std::runtime_error);
+}
+
+TEST(Archive, LoadSkipsCommentsAndBlankLines) {
+    std::stringstream in(
+        "# archive\nparams: p\n\nkernel: a metric: time\n# data below\n2 : 1.0\n\n4 : 2.0\n");
+    const Archive archive = load_archive(in);
+    EXPECT_EQ(archive.size(), 1u);
+    EXPECT_EQ(archive.entries()[0].experiments.size(), 2u);
+}
+
+TEST(Archive, MissingFileThrows) {
+    EXPECT_THROW(load_archive_file("/nonexistent/archive.txt"), std::runtime_error);
+}
+
+TEST(Archive, CaseStudyGeneratesFullArchive) {
+    const auto study = casestudy::kripke();
+    xpcore::Rng rng(3);
+    const auto archive = study.generate_archive(rng);
+    EXPECT_EQ(archive.size(), study.kernels.size());
+    EXPECT_EQ(archive.parameter_names(), study.parameters);
+    const auto* sweep = archive.find("SweepSolver", "time");
+    ASSERT_NE(sweep, nullptr);
+    EXPECT_EQ(sweep->experiments.size(), study.modeling_points.size());
+}
+
+}  // namespace

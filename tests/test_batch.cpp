@@ -1,0 +1,143 @@
+// Tests for the batch modeler with amortized domain adaptation.
+
+#include <gtest/gtest.h>
+
+#include "adaptive/batch.hpp"
+#include "casestudy/casestudy.hpp"
+#include "noise/injector.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace adaptive;
+
+dnn::DnnConfig tiny_config() {
+    dnn::DnnConfig config;
+    config.hidden = {96, 48};
+    config.pretrain_samples_per_class = 250;
+    config.pretrain_epochs = 4;
+    config.adapt_samples_per_class = 100;
+    return config;
+}
+
+class BatchTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        dnn_ = new dnn::DnnModeler(tiny_config(), /*seed=*/61);
+        dnn_->pretrain();
+    }
+    static void TearDownTestSuite() {
+        delete dnn_;
+        dnn_ = nullptr;
+    }
+
+    static BatchTask make_task(const std::string& name, double slope, double noise_level,
+                               std::uint64_t seed) {
+        xpcore::Rng rng(seed);
+        noise::Injector injector(noise_level, rng);
+        measure::ExperimentSet set({"p"});
+        for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+            set.add({p}, injector.repetitions(2.0 + slope * p, 5));
+        }
+        return {name, std::move(set)};
+    }
+
+    static dnn::DnnModeler* dnn_;
+};
+
+dnn::DnnModeler* BatchTest::dnn_ = nullptr;
+
+TEST_F(BatchTest, EmptyBatchIsEmpty) {
+    BatchModeler modeler(*dnn_, {});
+    EXPECT_TRUE(modeler.model({}).empty());
+    EXPECT_EQ(modeler.adaptations_performed(), 0u);
+}
+
+TEST_F(BatchTest, ResultsComeBackInInputOrder) {
+    std::vector<BatchTask> tasks;
+    tasks.push_back(make_task("noisy", 2.0, 0.8, 1));   // high noise first
+    tasks.push_back(make_task("calm", 3.0, 0.02, 2));   // calm second
+    BatchModeler modeler(*dnn_, {});
+    const auto results = modeler.model(tasks);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].name, "noisy");
+    EXPECT_EQ(results[1].name, "calm");
+}
+
+TEST_F(BatchTest, SimilarNoiseSharesOneAdaptation) {
+    std::vector<BatchTask> tasks;
+    for (int i = 0; i < 4; ++i) {
+        tasks.push_back(make_task("k" + std::to_string(i), 1.0 + i, 0.30, 10 + i));
+    }
+    BatchModeler::Config config;
+    config.group_tolerance = 0.15;
+    BatchModeler modeler(*dnn_, config);
+    const auto results = modeler.model(tasks);
+    EXPECT_EQ(modeler.adaptations_performed(), 1u);
+    for (const auto& r : results) EXPECT_EQ(r.cluster, results[0].cluster);
+}
+
+TEST_F(BatchTest, DistinctNoiseLevelsSplitClusters) {
+    std::vector<BatchTask> tasks;
+    tasks.push_back(make_task("calm", 2.0, 0.02, 1));
+    tasks.push_back(make_task("noisy", 2.0, 0.90, 2));
+    BatchModeler::Config config;
+    config.group_tolerance = 0.10;
+    BatchModeler modeler(*dnn_, config);
+    const auto results = modeler.model(tasks);
+    EXPECT_EQ(modeler.adaptations_performed(), 2u);
+    EXPECT_NE(results[0].cluster, results[1].cluster);
+}
+
+TEST_F(BatchTest, ZeroToleranceMatchesPaperBehavior) {
+    std::vector<BatchTask> tasks;
+    tasks.push_back(make_task("a", 1.0, 0.30, 1));
+    tasks.push_back(make_task("b", 2.0, 0.35, 2));
+    tasks.push_back(make_task("c", 3.0, 0.50, 3));
+    BatchModeler::Config config;
+    config.group_tolerance = 0.0;
+    BatchModeler modeler(*dnn_, config);
+    modeler.model(tasks);
+    EXPECT_EQ(modeler.adaptations_performed(), 3u);
+}
+
+TEST_F(BatchTest, AdaptationOffSkipsRetraining) {
+    std::vector<BatchTask> tasks;
+    tasks.push_back(make_task("a", 1.0, 0.30, 1));
+    BatchModeler::Config config;
+    config.adaptive.domain_adaptation = false;
+    BatchModeler modeler(*dnn_, config);
+    modeler.model(tasks);
+    EXPECT_EQ(modeler.adaptations_performed(), 0u);
+}
+
+TEST_F(BatchTest, ModelsAreAsGoodAsIndividualAdaptiveRuns) {
+    // On calm data both paths reduce to the regression candidate, so the
+    // batch result must match the plain adaptive modeler's model.
+    std::vector<BatchTask> tasks;
+    tasks.push_back(make_task("calm", 3.0, 0.02, 7));
+    BatchModeler modeler(*dnn_, {});
+    const auto batch_results = modeler.model(tasks);
+
+    AdaptiveModeler reference(*dnn_, {});
+    const auto direct = reference.model(tasks[0].experiments);
+    EXPECT_EQ(batch_results[0].outcome.result.model.to_string(),
+              direct.result.model.to_string());
+}
+
+TEST_F(BatchTest, KripkeKernelsClusterEfficiently) {
+    // All Kripke kernels share one noise profile: far fewer adaptations
+    // than kernels.
+    const auto study = casestudy::kripke();
+    xpcore::Rng rng(5);
+    std::vector<BatchTask> tasks;
+    for (const auto* kernel : study.relevant_kernels()) {
+        tasks.push_back({kernel->name, study.generate_modeling(*kernel, rng)});
+    }
+    BatchModeler modeler(*dnn_, {});
+    const auto results = modeler.model(tasks);
+    EXPECT_EQ(results.size(), 6u);
+    EXPECT_LT(modeler.adaptations_performed(), results.size());
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Tests for the simulated application case studies (Sec. VI).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "casestudy/casestudy.hpp"
+#include "noise/estimator.hpp"
+#include "xpcore/stats.hpp"
+
+namespace {
+
+using namespace casestudy;
+
+TEST(NoiseProfileTest, MeanFormula) {
+    const NoiseProfile uniform{0.1, 0.5, 1.0};
+    EXPECT_NEAR(uniform.mean(), 0.3, 1e-12);
+    const NoiseProfile skewed{0.0366, 0.5367, 2.63};
+    EXPECT_NEAR(skewed.mean(), 0.1744, 0.002);  // Kripke's published mean
+}
+
+TEST(NoiseProfileTest, SamplesWithinBounds) {
+    xpcore::Rng rng(1);
+    const NoiseProfile profile{0.05, 0.80, 2.0};
+    for (int i = 0; i < 2000; ++i) {
+        const double level = profile.sample_level(rng);
+        EXPECT_GE(level, 0.05);
+        EXPECT_LE(level, 0.80);
+    }
+}
+
+TEST(NoiseProfileTest, EmpiricalMeanMatchesAnalytic) {
+    xpcore::Rng rng(2);
+    const NoiseProfile profile{0.0751, 1.6027, 2.63};  // FASTEST
+    std::vector<double> samples;
+    for (int i = 0; i < 20000; ++i) samples.push_back(profile.sample_level(rng));
+    EXPECT_NEAR(xpcore::mean(samples), profile.mean(), 0.01);
+    EXPECT_NEAR(profile.mean(), 0.4956, 0.005);  // the paper's 49.56%
+}
+
+TEST(Kripke, Layout) {
+    const auto study = kripke();
+    EXPECT_EQ(study.parameters.size(), 3u);
+    EXPECT_EQ(study.modeling_points.size(), 125u);   // 5x5x5, d != 12
+    EXPECT_EQ(study.analysis_points.size(), 150u);   // 5x6x5
+    EXPECT_EQ(study.repetitions, 5u);
+    EXPECT_EQ(study.evaluation_point, (measure::Coordinate{32768, 12, 160}));
+    for (const auto& point : study.modeling_points) EXPECT_NE(point[1], 12.0);
+}
+
+TEST(Kripke, SweepSolverTruthMatchesPaperModel) {
+    const auto study = kripke();
+    const auto& sweep = study.kernels.front();
+    EXPECT_EQ(sweep.name, "SweepSolver");
+    const double expected = 8.51 + 0.11 * std::cbrt(8.0) * 2.0 * std::pow(32.0, 0.8);
+    EXPECT_NEAR(sweep.truth.evaluate({{8, 2, 32}}), expected, 1e-9);
+    EXPECT_EQ(sweep.truth.to_string(study.parameters), "8.51 + 0.11 * p^(1/3) * d * g^(4/5)");
+}
+
+TEST(Kripke, SixPerformanceRelevantKernels) {
+    const auto study = kripke();
+    EXPECT_EQ(study.relevant_kernels().size(), 6u);
+}
+
+TEST(Fastest, Layout) {
+    const auto study = fastest();
+    EXPECT_EQ(study.parameters.size(), 2u);
+    EXPECT_EQ(study.modeling_points.size(), 9u);  // two overlapping 5-point lines
+    EXPECT_EQ(study.analysis_points.size(), 40u);
+    EXPECT_EQ(study.evaluation_point, (measure::Coordinate{2048, 8192}));
+    // The overlap point (256, 131072) appears exactly once.
+    std::set<std::pair<double, double>> unique_points;
+    for (const auto& p : study.modeling_points) {
+        EXPECT_TRUE(unique_points.emplace(p[0], p[1]).second);
+    }
+}
+
+TEST(Fastest, TwentyRelevantKernelsPlusIrrelevantOnes) {
+    const auto study = fastest();
+    EXPECT_EQ(study.relevant_kernels().size(), 20u);  // the paper's 20
+    EXPECT_GT(study.kernels.size(), 20u);             // plus sub-1% kernels
+}
+
+TEST(Relearn, Layout) {
+    const auto study = relearn();
+    EXPECT_EQ(study.modeling_points.size(), 9u);
+    EXPECT_EQ(study.analysis_points.size(), 25u);
+    EXPECT_EQ(study.repetitions, 2u);
+    EXPECT_EQ(study.evaluation_point, (measure::Coordinate{512, 9000}));
+}
+
+TEST(Relearn, ConnectivityUpdateFollowsLiterature) {
+    const auto study = relearn();
+    const auto& kernel = study.kernels.front();
+    EXPECT_EQ(kernel.name, "connectivity_update");
+    // O(n log^2 n + p): lead exponents 1 (p) and 1.5 (n with log^2).
+    EXPECT_DOUBLE_EQ(kernel.truth.lead_exponent(0), 1.0);
+    EXPECT_DOUBLE_EQ(kernel.truth.lead_exponent(1), 1.5);
+}
+
+TEST(Generate, DeterministicGivenSeed) {
+    const auto study = relearn();
+    xpcore::Rng a(5), b(5);
+    const auto s1 = study.generate_modeling(study.kernels[0], a);
+    const auto s2 = study.generate_modeling(study.kernels[0], b);
+    ASSERT_EQ(s1.size(), s2.size());
+    for (std::size_t i = 0; i < s1.size(); ++i) {
+        EXPECT_EQ(s1.measurements()[i].values, s2.measurements()[i].values);
+    }
+}
+
+TEST(Generate, RepetitionCountAndPositivity) {
+    const auto study = kripke();
+    xpcore::Rng rng(6);
+    const auto set = study.generate_modeling(study.kernels[0], rng);
+    EXPECT_EQ(set.size(), 125u);
+    for (const auto& m : set.measurements()) {
+        EXPECT_EQ(m.values.size(), 5u);
+        for (double v : m.values) EXPECT_GT(v, 0.0);
+    }
+}
+
+TEST(Generate, NoiseMatchesProfileStatistics) {
+    const auto study = kripke();
+    xpcore::Rng rng(7);
+    const auto set = study.generate(study.kernels[0], study.analysis_points, rng);
+    const auto stats = noise::analyze_noise(set);
+    // Mean per-point noise should land near the published 17.44% (generous
+    // tolerance: 150 points, 5 reps).
+    EXPECT_NEAR(stats.mean, 0.1744, 0.05);
+    EXPECT_GT(stats.max, stats.mean);
+}
+
+TEST(Generate, RelearnIsCalm) {
+    const auto study = relearn();
+    xpcore::Rng rng(8);
+    const auto set = study.generate(study.kernels[0], study.analysis_points, rng);
+    EXPECT_LT(noise::estimate_noise(set), 0.02);
+}
+
+TEST(Generate, ArityMismatchThrows) {
+    const auto study = relearn();
+    xpcore::Rng rng(9);
+    const std::vector<measure::Coordinate> bad_points = {{1.0, 2.0, 3.0}};
+    EXPECT_THROW(study.generate(study.kernels[0], bad_points, rng), std::invalid_argument);
+}
+
+TEST(AllCaseStudies, ThreeStudiesWithSharesBelowOne) {
+    const auto studies = all_case_studies();
+    ASSERT_EQ(studies.size(), 3u);
+    for (const auto& study : studies) {
+        double total_share = 0.0;
+        for (const auto& kernel : study.kernels) {
+            EXPECT_GT(kernel.runtime_share, 0.0);
+            total_share += kernel.runtime_share;
+        }
+        EXPECT_LE(total_share, 1.0 + 1e-9) << study.application;
+    }
+}
+
+TEST(AllCaseStudies, TruthsArePositiveOverTheirDomains) {
+    for (const auto& study : all_case_studies()) {
+        for (const auto& kernel : study.kernels) {
+            for (const auto& point : study.analysis_points) {
+                EXPECT_GT(kernel.truth.evaluate(point), 0.0)
+                    << study.application << "/" << kernel.name;
+            }
+            EXPECT_GT(kernel.truth.evaluate(study.evaluation_point), 0.0);
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,237 @@
+// Tests for the xpdnn command-line driver (src/cli).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cli/commands.hpp"
+#include "measure/io.hpp"
+#include "noise/injector.hpp"
+#include "pmnf/serialize.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+struct CliResult {
+    int code;
+    std::string out;
+    std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> argv_strings) {
+    argv_strings.insert(argv_strings.begin(), "xpdnn");
+    std::vector<const char*> argv;
+    for (const auto& s : argv_strings) argv.push_back(s.c_str());
+    std::ostringstream out, err;
+    const int code = cli::run(static_cast<int>(argv.size()), argv.data(), out, err);
+    return {code, out.str(), err.str()};
+}
+
+/// Writes a measurement file of f(p) = 2 + 3p with mild noise.
+std::string write_linear_measurements() {
+    const std::string path = ::testing::TempDir() + "/xpdnn_cli_linear.txt";
+    xpcore::Rng rng(1);
+    noise::Injector injector(0.05, rng);
+    measure::ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+        set.add({p}, injector.repetitions(2.0 + 3.0 * p, 5));
+    }
+    measure::save_text_file(set, path);
+    return path;
+}
+
+TEST(Cli, NoArgumentsPrintsUsage) {
+    const auto result = run_cli({});
+    EXPECT_EQ(result.code, 1);
+    EXPECT_NE(result.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpPrintsUsageToStdout) {
+    const auto result = run_cli({"help"});
+    EXPECT_EQ(result.code, 0);
+    EXPECT_NE(result.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+    const auto result = run_cli({"frobnicate"});
+    EXPECT_EQ(result.code, 1);
+    EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, ModelRegressionRecoversLinear) {
+    const auto result = run_cli({"model", write_linear_measurements(), "--modeler=regression"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("model:"), std::string::npos);
+    EXPECT_NE(result.out.find("* p"), std::string::npos);  // linear term present
+    EXPECT_NE(result.out.find("estimated noise"), std::string::npos);
+}
+
+TEST(Cli, ModelMissingFileFails) {
+    const auto result = run_cli({"model"});
+    EXPECT_EQ(result.code, 1);
+}
+
+TEST(Cli, ModelNonexistentFileFailsGracefully) {
+    const auto result = run_cli({"model", "/nonexistent.txt", "--modeler=regression"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_FALSE(result.err.empty());
+}
+
+TEST(Cli, ModelUnknownModelerFails) {
+    const auto result = run_cli({"model", write_linear_measurements(), "--modeler=psychic"});
+    EXPECT_EQ(result.code, 1);
+}
+
+TEST(Cli, ModelJsonOutputIsLoadable) {
+    const auto result =
+        run_cli({"model", write_linear_measurements(), "--modeler=regression", "--json"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    const auto model = pmnf::from_json(result.out.substr(0, result.out.find('\n')));
+    EXPECT_NEAR(model.evaluate({{128.0}}), 2.0 + 3.0 * 128.0, 40.0);
+}
+
+TEST(Cli, ModelAlternativesPrintsRunnersUp) {
+    const auto result = run_cli(
+        {"model", write_linear_measurements(), "--modeler=regression", "--alternatives=2"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("alternative:"), std::string::npos);
+}
+
+TEST(Cli, ModelEvalPointPrintsPrediction) {
+    const auto result = run_cli({"model", write_linear_measurements(), "--modeler=regression",
+                                 "--eval=128"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("prediction at (128)"), std::string::npos);
+}
+
+TEST(Cli, ModelEvalArityMismatchFails) {
+    const auto result = run_cli({"model", write_linear_measurements(), "--modeler=regression",
+                                 "--eval=128,256"});
+    EXPECT_EQ(result.code, 1);
+}
+
+TEST(Cli, ModelSimplifyOptionAccepted) {
+    const auto result = run_cli(
+        {"model", write_linear_measurements(), "--modeler=regression", "--simplify"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("model:"), std::string::npos);
+}
+
+TEST(Cli, ModelAggregationOptionAccepted) {
+    for (const char* agg : {"median", "mean", "minimum"}) {
+        const auto result = run_cli({"model", write_linear_measurements(),
+                                     "--modeler=regression",
+                                     std::string("--aggregation=") + agg});
+        EXPECT_EQ(result.code, 0) << agg << ": " << result.err;
+    }
+}
+
+TEST(Cli, ModelBadAggregationFails) {
+    const auto result = run_cli(
+        {"model", write_linear_measurements(), "--modeler=regression", "--aggregation=mode"});
+    EXPECT_EQ(result.code, 2);
+}
+
+TEST(Cli, NoiseReportsLevels) {
+    const auto result = run_cli({"noise", write_linear_measurements()});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("noise estimate:"), std::string::npos);
+    EXPECT_NE(result.out.find("per-point noise:"), std::string::npos);
+}
+
+TEST(Cli, PredictEvaluatesStoredModel) {
+    const std::string path = ::testing::TempDir() + "/xpdnn_cli_model.json";
+    pmnf::CompoundTerm term{3.0, {{0, {pmnf::Rational(1), 0}}}};
+    std::ofstream(path) << pmnf::to_json(pmnf::Model(2.0, {term}));
+    const auto result = run_cli({"predict", path, "10"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NEAR(std::stod(result.out), 32.0, 1e-9);
+}
+
+TEST(Cli, PredictMissingArgsFails) {
+    EXPECT_EQ(run_cli({"predict"}).code, 1);
+    EXPECT_EQ(run_cli({"predict", "model.json"}).code, 1);
+}
+
+TEST(Cli, PredictMissingFileFails) {
+    const auto result = run_cli({"predict", "/nonexistent.json", "1"});
+    EXPECT_EQ(result.code, 2);
+}
+
+TEST(Cli, SimulateWritesLoadableCampaign) {
+    const std::string path = ::testing::TempDir() + "/xpdnn_cli_sim.txt";
+    const auto result = run_cli({"simulate", "relearn", "--out=" + path, "--seed=5"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    const auto set = measure::load_text_file(path);
+    EXPECT_EQ(set.size(), 9u);  // RELeARN's two overlapping lines
+    EXPECT_EQ(set.parameter_count(), 2u);
+}
+
+TEST(Cli, SimulateToStdout) {
+    const auto result = run_cli({"simulate", "relearn"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("params: p n"), std::string::npos);
+}
+
+TEST(Cli, SimulateSelectsKernel) {
+    const auto result = run_cli({"simulate", "kripke", "LTimes"});
+    EXPECT_EQ(result.code, 0) << result.err;
+}
+
+TEST(Cli, SimulateUnknownAppOrKernelFails) {
+    EXPECT_EQ(run_cli({"simulate", "doom"}).code, 1);
+    const auto result = run_cli({"simulate", "kripke", "NoSuchKernel"});
+    EXPECT_EQ(result.code, 1);
+    EXPECT_NE(result.err.find("SweepSolver"), std::string::npos);  // lists kernels
+}
+
+TEST(Cli, SimulateDeterministicWithSeed) {
+    const auto a = run_cli({"simulate", "fastest", "--seed=9"});
+    const auto b = run_cli({"simulate", "fastest", "--seed=9"});
+    EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Cli, SimulateAllKernelsEmitsArchive) {
+    const auto result = run_cli({"simulate", "relearn", "--all-kernels"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("kernel: connectivity_update metric: time"), std::string::npos);
+    EXPECT_NE(result.out.find("kernel: gather_neurons metric: time"), std::string::npos);
+}
+
+TEST(Cli, ModelAllModelsArchiveWithBatchAdaptation) {
+    const std::string dir = ::testing::TempDir() + "/xpdnn_cli_modelall";
+    std::filesystem::create_directories(dir);
+    ::setenv("XPDNN_CACHE_DIR", dir.c_str(), 1);
+    const std::string path = dir + "/archive.txt";
+    ASSERT_EQ(run_cli({"simulate", "relearn", "--all-kernels", "--out=" + path}).code, 0);
+
+    const auto result = run_cli({"model-all", path, "--net=tiny"});
+    ::unsetenv("XPDNN_CACHE_DIR");
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("connectivity_update/time"), std::string::npos);
+    EXPECT_NE(result.out.find("domain adaptation(s)"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, ModelAllMissingFileFails) {
+    EXPECT_EQ(run_cli({"model-all"}).code, 1);
+    EXPECT_EQ(run_cli({"model-all", "/nonexistent.txt"}).code, 2);
+}
+
+TEST(Cli, ModelRoundTripThroughSimulate) {
+    // simulate -> model --modeler=regression: the full user workflow.
+    const std::string path = ::testing::TempDir() + "/xpdnn_cli_roundtrip.txt";
+    ASSERT_EQ(run_cli({"simulate", "relearn", "update_electrical_activity",
+                       "--out=" + path, "--seed=3"})
+                  .code,
+              0);
+    const auto result = run_cli({"model", path, "--modeler=regression"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("model:"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Tests for the ensemble DNN modeler extension.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dnn/ensemble.hpp"
+#include "noise/injector.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace dnn;
+
+DnnConfig tiny_config() {
+    DnnConfig config;
+    config.hidden = {64, 32};
+    config.pretrain_samples_per_class = 150;
+    config.pretrain_epochs = 3;
+    config.adapt_samples_per_class = 80;
+    return config;
+}
+
+class EnsembleTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        ensemble_ = new EnsembleModeler(tiny_config(), /*seed=*/51, /*members=*/3);
+        for (std::size_t i = 0; i < ensemble_->member_count(); ++i) {
+            ensemble_->member(i).pretrain();
+        }
+    }
+    static void TearDownTestSuite() {
+        delete ensemble_;
+        ensemble_ = nullptr;
+    }
+    void TearDown() override { ensemble_->reset_adaptation(); }
+
+    static EnsembleModeler* ensemble_;
+};
+
+EnsembleModeler* EnsembleTest::ensemble_ = nullptr;
+
+TEST(EnsembleConstruction, ZeroMembersThrows) {
+    EXPECT_THROW(EnsembleModeler(tiny_config(), 1, 0), std::invalid_argument);
+}
+
+TEST(EnsembleConstruction, MemberCount) {
+    EnsembleModeler ensemble(tiny_config(), 1, 4);
+    EXPECT_EQ(ensemble.member_count(), 4u);
+}
+
+TEST_F(EnsembleTest, MembersAreIndependentlyInitialized) {
+    const std::vector<double> xs = {4, 8, 16, 32, 64};
+    std::vector<double> vs;
+    for (double x : xs) vs.push_back(1.0 + x * x);
+    const auto p0 = ensemble_->member(0).classify_line(xs, vs);
+    const auto p1 = ensemble_->member(1).classify_line(xs, vs);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < p0.size(); ++i) diff += std::abs(p0[i] - p1[i]);
+    EXPECT_GT(diff, 1e-6);
+}
+
+TEST_F(EnsembleTest, CandidateUnionCoversEveryMember) {
+    measure::ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) set.add({p}, {2.0 + 3.0 * p});
+    const auto merged = ensemble_->candidate_classes(set);
+    ASSERT_EQ(merged.size(), 1u);
+    for (std::size_t i = 0; i < ensemble_->member_count(); ++i) {
+        const auto member_candidates = ensemble_->member(i).candidate_classes(set);
+        for (const auto& cls : member_candidates[0]) {
+            EXPECT_NE(std::find(merged[0].begin(), merged[0].end(), cls), merged[0].end());
+        }
+    }
+    // No duplicates.
+    std::set<std::size_t> indices;
+    for (const auto& cls : merged[0]) {
+        EXPECT_TRUE(indices.insert(pmnf::class_index(cls)).second);
+    }
+}
+
+TEST_F(EnsembleTest, UnionIsAtLeastAsGoodAsAnyMemberOnCv) {
+    xpcore::Rng rng(3);
+    noise::Injector injector(0.4, rng);
+    measure::ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+        set.add({p}, injector.repetitions(2.0 + 3.0 * p, 5));
+    }
+    const auto ensemble_result = ensemble_->model(set);
+    for (std::size_t i = 0; i < ensemble_->member_count(); ++i) {
+        const auto member_result = ensemble_->member(i).model(set);
+        // The union contains every member's candidates, so the CV winner
+        // cannot score worse than any member's winner.
+        EXPECT_LE(ensemble_result.cv_smape, member_result.cv_smape + 1e-9);
+    }
+}
+
+TEST_F(EnsembleTest, AdaptAffectsAllMembers) {
+    const std::vector<double> xs = {4, 8, 16, 32, 64};
+    std::vector<double> vs;
+    for (double x : xs) vs.push_back(5.0 + x);
+    std::vector<std::vector<float>> before;
+    for (std::size_t i = 0; i < ensemble_->member_count(); ++i) {
+        before.push_back(ensemble_->member(i).classify_line(xs, vs));
+    }
+    TaskProperties task;
+    task.noise_min = 0.1;
+    task.noise_max = 0.3;
+    ensemble_->adapt(task);
+    for (std::size_t i = 0; i < ensemble_->member_count(); ++i) {
+        const auto after = ensemble_->member(i).classify_line(xs, vs);
+        double diff = 0.0;
+        for (std::size_t k = 0; k < after.size(); ++k) diff += std::abs(after[k] - before[i][k]);
+        EXPECT_GT(diff, 1e-7) << "member " << i << " unchanged by adapt";
+    }
+}
+
+TEST_F(EnsembleTest, ModelsCleanLinearKernel) {
+    measure::ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) set.add({p}, {5.0 + 2.0 * p});
+    const auto result = ensemble_->model(set);
+    EXPECT_LE(std::abs(result.model.lead_exponent(0) - 1.0), 0.5);
+}
+
+TEST_F(EnsembleTest, EmptySetThrows) {
+    measure::ExperimentSet set({"p"});
+    EXPECT_THROW(ensemble_->model(set), std::invalid_argument);
+}
+
+}  // namespace

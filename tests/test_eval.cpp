@@ -1,0 +1,201 @@
+// Tests for the synthetic-evaluation harness (tasks + runner, Sec. V).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dnn/modeler.hpp"
+#include "eval/runner.hpp"
+#include "eval/task.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace eval;
+
+TEST(MakeTask, OneParameterLayout) {
+    TaskConfig config;
+    config.parameters = 1;
+    xpcore::Rng rng(1);
+    const auto task = make_task(config, rng);
+    EXPECT_EQ(task.experiments.size(), 5u);
+    EXPECT_EQ(task.eval_points.size(), 4u);
+    EXPECT_EQ(task.eval_truths.size(), 4u);
+    for (const auto& m : task.experiments.measurements()) {
+        EXPECT_EQ(m.values.size(), 5u);  // repetitions
+    }
+}
+
+TEST(MakeTask, GridSizesGrowAsPowers) {
+    xpcore::Rng rng(2);
+    for (std::size_t m = 1; m <= 3; ++m) {
+        TaskConfig config;
+        config.parameters = m;
+        const auto task = make_task(config, rng);
+        std::size_t expected = 1;
+        for (std::size_t l = 0; l < m; ++l) expected *= 5;
+        EXPECT_EQ(task.experiments.size(), expected);
+        EXPECT_EQ(task.experiments.parameter_count(), m);
+    }
+}
+
+TEST(MakeTask, EvalPointsBeyondMeasuredRange) {
+    xpcore::Rng rng(3);
+    TaskConfig config;
+    config.parameters = 2;
+    const auto task = make_task(config, rng);
+    std::vector<double> max_measured(2, 0.0);
+    for (const auto& m : task.experiments.measurements()) {
+        for (std::size_t l = 0; l < 2; ++l) {
+            max_measured[l] = std::max(max_measured[l], m.point[l]);
+        }
+    }
+    for (const auto& p : task.eval_points) {
+        for (std::size_t l = 0; l < 2; ++l) EXPECT_GT(p[l], max_measured[l]);
+    }
+    // P+ points scale simultaneously: strictly increasing in every dim.
+    for (std::size_t k = 1; k < task.eval_points.size(); ++k) {
+        for (std::size_t l = 0; l < 2; ++l) {
+            EXPECT_GT(task.eval_points[k][l], task.eval_points[k - 1][l]);
+        }
+    }
+}
+
+TEST(MakeTask, EvalTruthsMatchModel) {
+    xpcore::Rng rng(4);
+    TaskConfig config;
+    const auto task = make_task(config, rng);
+    for (std::size_t k = 0; k < task.eval_points.size(); ++k) {
+        EXPECT_DOUBLE_EQ(task.eval_truths[k], task.truth.evaluate(task.eval_points[k]));
+    }
+}
+
+TEST(MakeTask, ZeroNoiseMeansExactMedians) {
+    xpcore::Rng rng(5);
+    TaskConfig config;
+    config.noise = 0.0;
+    const auto task = make_task(config, rng);
+    for (const auto& m : task.experiments.measurements()) {
+        EXPECT_DOUBLE_EQ(m.median(), task.truth.evaluate(m.point));
+    }
+}
+
+TEST(MakeTask, DeterministicGivenSeed) {
+    TaskConfig config;
+    config.parameters = 2;
+    xpcore::Rng a(6), b(6);
+    const auto t1 = make_task(config, a);
+    const auto t2 = make_task(config, b);
+    EXPECT_EQ(t1.truth.to_string(), t2.truth.to_string());
+    EXPECT_EQ(t1.eval_points, t2.eval_points);
+}
+
+TEST(MakeTask, ZeroParametersThrows) {
+    xpcore::Rng rng(7);
+    TaskConfig config;
+    config.parameters = 0;
+    EXPECT_THROW(make_task(config, rng), std::invalid_argument);
+}
+
+TEST(PredictionErrors, PerfectModelIsZero) {
+    xpcore::Rng rng(8);
+    TaskConfig config;
+    config.noise = 0.0;
+    const auto task = make_task(config, rng);
+    const auto errors = prediction_errors(task, task.truth);
+    for (double e : errors) EXPECT_NEAR(e, 0.0, 1e-9);
+}
+
+TEST(CellData, AccuracyBuckets) {
+    ModelerCellData data;
+    data.lead_distances = {0.0, 0.25, 0.3, 0.5, 1.0};
+    EXPECT_DOUBLE_EQ(data.accuracy(0.25), 0.4);
+    EXPECT_DOUBLE_EQ(data.accuracy(1.0 / 3.0), 0.6);
+    EXPECT_DOUBLE_EQ(data.accuracy(0.5), 0.8);
+}
+
+TEST(CellData, AccuracyEmptyIsZero) {
+    ModelerCellData data;
+    EXPECT_DOUBLE_EQ(data.accuracy(0.25), 0.0);
+}
+
+TEST(CellData, MedianError) {
+    ModelerCellData data;
+    data.errors[2] = {1.0, 9.0, 5.0};
+    EXPECT_DOUBLE_EQ(data.median_error(2), 5.0);
+}
+
+TEST(Runner, SmokeTestTinyConfig) {
+    dnn::DnnConfig net_config;
+    net_config.hidden = {64, 32};
+    net_config.pretrain_samples_per_class = 100;
+    net_config.pretrain_epochs = 2;
+    net_config.adapt_samples_per_class = 60;
+    dnn::DnnModeler modeler(net_config, 31);
+    modeler.pretrain();
+
+    EvalConfig config;
+    config.parameters = 1;
+    config.noise_levels = {0.02, 0.60};
+    config.functions_per_cell = 6;
+    const auto cells = run_synthetic_evaluation(modeler, config);
+
+    ASSERT_EQ(cells.size(), 2u);
+    for (const auto& cell : cells) {
+        EXPECT_EQ(cell.parameters, 1u);
+        EXPECT_EQ(cell.regression.lead_distances.size(), 6u);
+        EXPECT_EQ(cell.adaptive.lead_distances.size(), 6u);
+        for (std::size_t k = 0; k < 4; ++k) {
+            EXPECT_EQ(cell.regression.errors[k].size(), 6u);
+            EXPECT_EQ(cell.adaptive.errors[k].size(), 6u);
+        }
+    }
+    // At 2% noise the regression baseline must be nearly always right.
+    EXPECT_GE(cells[0].regression.accuracy(0.5), 0.8);
+    // On calm data the adaptive modeler may not be (much) worse: it can
+    // always fall back to the competing regression candidate.
+    EXPECT_GE(cells[0].adaptive.accuracy(0.5) + 0.2, cells[0].regression.accuracy(0.5));
+}
+
+TEST(Runner, PerTaskAdaptationPathWorks) {
+    dnn::DnnConfig net_config;
+    net_config.hidden = {64, 32};
+    net_config.pretrain_samples_per_class = 60;
+    net_config.pretrain_epochs = 1;
+    net_config.adapt_samples_per_class = 40;
+    dnn::DnnModeler modeler(net_config, 41);
+    modeler.pretrain();
+
+    EvalConfig config;
+    config.parameters = 1;
+    config.noise_levels = {0.40};
+    config.functions_per_cell = 3;
+    config.amortize_adaptation = false;  // the paper's one-per-task behavior
+    const auto cells = run_synthetic_evaluation(modeler, config);
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].adaptive.lead_distances.size(), 3u);
+}
+
+TEST(Runner, AccuracyBucketsAreMonotone) {
+    dnn::DnnConfig net_config;
+    net_config.hidden = {64, 32};
+    net_config.pretrain_samples_per_class = 80;
+    net_config.pretrain_epochs = 2;
+    net_config.adapt_samples_per_class = 50;
+    dnn::DnnModeler modeler(net_config, 37);
+    modeler.pretrain();
+
+    EvalConfig config;
+    config.parameters = 1;
+    config.noise_levels = {0.30};
+    config.functions_per_cell = 8;
+    const auto cells = run_synthetic_evaluation(modeler, config);
+    for (const auto& cell : cells) {
+        for (const auto* data : {&cell.regression, &cell.adaptive}) {
+            EXPECT_LE(data->accuracy(0.25), data->accuracy(1.0 / 3.0) + 1e-12);
+            EXPECT_LE(data->accuracy(1.0 / 3.0), data->accuracy(0.5) + 1e-12);
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Tests for measurement data structures.
+
+#include <gtest/gtest.h>
+
+#include "measure/experiment.hpp"
+
+namespace {
+
+using namespace measure;
+
+ExperimentSet grid_2x3() {
+    ExperimentSet set({"p", "n"});
+    for (double p : {2.0, 4.0}) {
+        for (double n : {10.0, 20.0, 30.0}) {
+            set.add({p, n}, {p * n, p * n + 1.0});
+        }
+    }
+    return set;
+}
+
+TEST(Measurement, MedianMeanMin) {
+    Measurement m{{1.0}, {3.0, 1.0, 2.0}};
+    EXPECT_DOUBLE_EQ(m.median(), 2.0);
+    EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(m.minimum(), 1.0);
+}
+
+TEST(ExperimentSet, AddAndSize) {
+    ExperimentSet set({"p"});
+    EXPECT_TRUE(set.empty());
+    set.add({8.0}, {1.0});
+    EXPECT_EQ(set.size(), 1u);
+    EXPECT_EQ(set.parameter_count(), 1u);
+}
+
+TEST(ExperimentSet, AddRejectsWrongArity) {
+    ExperimentSet set({"p", "n"});
+    EXPECT_THROW(set.add({1.0}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(set.add({1.0, 2.0, 3.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(ExperimentSet, AddRejectsEmptyValues) {
+    ExperimentSet set({"p"});
+    EXPECT_THROW(set.add({1.0}, {}), std::invalid_argument);
+}
+
+TEST(ExperimentSet, FindExactPoint) {
+    const auto set = grid_2x3();
+    const auto* m = set.find(std::vector<double>{4.0, 20.0});
+    ASSERT_NE(m, nullptr);
+    EXPECT_DOUBLE_EQ(m->values[0], 80.0);
+    EXPECT_EQ(set.find(std::vector<double>{5.0, 20.0}), nullptr);
+}
+
+TEST(ExperimentSet, UniqueValuesSorted) {
+    const auto set = grid_2x3();
+    EXPECT_EQ(set.unique_values(0), (std::vector<double>{2.0, 4.0}));
+    EXPECT_EQ(set.unique_values(1), (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST(ExperimentSet, LinesGroupByOtherParameters) {
+    const auto set = grid_2x3();
+    const auto lines_p = set.lines(0);
+    EXPECT_EQ(lines_p.size(), 3u);  // one line per n value
+    for (const auto& line : lines_p) EXPECT_EQ(line.points.size(), 2u);
+    const auto lines_n = set.lines(1);
+    EXPECT_EQ(lines_n.size(), 2u);  // one line per p value
+    for (const auto& line : lines_n) EXPECT_EQ(line.points.size(), 3u);
+}
+
+TEST(ExperimentSet, LinesSortedByVaryingParameter) {
+    ExperimentSet set({"p"});
+    set.add({64.0}, {3.0});
+    set.add({8.0}, {1.0});
+    set.add({32.0}, {2.0});
+    const auto lines = set.lines(0);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].xs(), (std::vector<double>{8.0, 32.0, 64.0}));
+}
+
+TEST(ExperimentSet, LineAccessors) {
+    const auto set = grid_2x3();
+    const auto lines = set.lines(1);
+    const auto& line = lines[0];  // p = 2 fixed
+    EXPECT_EQ(line.parameter, 1u);
+    EXPECT_EQ(line.base, (Coordinate{2.0}));
+    EXPECT_EQ(line.xs(), (std::vector<double>{10.0, 20.0, 30.0}));
+    EXPECT_EQ(line.medians(), (std::vector<double>{20.5, 40.5, 60.5}));
+}
+
+TEST(ExperimentSet, BestLinePrefersMostPoints) {
+    ExperimentSet set({"p", "n"});
+    // Long line along p at n = 10, short line at n = 20.
+    for (double p : {1.0, 2.0, 3.0, 4.0}) set.add({p, 10.0}, {p});
+    for (double p : {1.0, 2.0}) set.add({p, 20.0}, {p});
+    const auto best = set.best_line(0);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->points.size(), 4u);
+    EXPECT_EQ(best->base, (Coordinate{10.0}));
+}
+
+TEST(ExperimentSet, BestLineTieBreaksTowardSmallBase) {
+    ExperimentSet set({"p", "n"});
+    for (double p : {1.0, 2.0}) set.add({p, 30.0}, {p});
+    for (double p : {1.0, 2.0}) set.add({p, 10.0}, {p});
+    const auto best = set.best_line(0);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->base, (Coordinate{10.0}));
+}
+
+TEST(ExperimentSet, BestLineNoneWithoutTwoPoints) {
+    ExperimentSet set({"p", "n"});
+    set.add({1.0, 10.0}, {1.0});
+    set.add({2.0, 20.0}, {2.0});  // different n: two 1-point lines
+    EXPECT_FALSE(set.best_line(0).has_value());
+}
+
+TEST(ExperimentSet, FilteredKeepsMatchingPoints) {
+    const auto set = grid_2x3();
+    const auto subset = set.filtered([](const Coordinate& p) { return p[1] != 20.0; });
+    EXPECT_EQ(subset.size(), 4u);
+    EXPECT_EQ(subset.parameter_names(), set.parameter_names());
+    for (const auto& m : subset.measurements()) EXPECT_NE(m.point[1], 20.0);
+}
+
+TEST(ExperimentSet, FilteredCanBeEmpty) {
+    const auto set = grid_2x3();
+    EXPECT_TRUE(set.filtered([](const Coordinate&) { return false; }).empty());
+}
+
+TEST(ExperimentSet, MergedConcatenates) {
+    ExperimentSet a({"p"});
+    a.add({1.0}, {1.0});
+    ExperimentSet b({"p"});
+    b.add({2.0}, {2.0});
+    const auto merged = a.merged(b);
+    EXPECT_EQ(merged.size(), 2u);
+    EXPECT_NE(merged.find(std::vector<double>{2.0}), nullptr);
+}
+
+TEST(ExperimentSet, MergedRejectsDifferentParameters) {
+    ExperimentSet a({"p"});
+    ExperimentSet b({"q"});
+    EXPECT_THROW(a.merged(b), std::invalid_argument);
+}
+
+TEST(ExperimentSet, AllMediansInInsertionOrder) {
+    ExperimentSet set({"p"});
+    set.add({1.0}, {5.0, 1.0, 3.0});
+    set.add({2.0}, {4.0});
+    EXPECT_EQ(set.all_medians(), (std::vector<double>{3.0, 4.0}));
+}
+
+}  // namespace

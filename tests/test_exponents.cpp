@@ -1,0 +1,165 @@
+// Tests for the PMNF exponent set E and term classes (Eq. 2 of the paper).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "pmnf/exponents.hpp"
+
+namespace {
+
+using namespace pmnf;
+
+TEST(Rational, NormalizesToLowestTerms) {
+    const Rational r(4, 8);
+    EXPECT_EQ(r.num(), 1);
+    EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, HandlesNegativeDenominator) {
+    const Rational r(1, -2);
+    EXPECT_EQ(r.num(), -1);
+    EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroCanonical) {
+    const Rational r(0, 5);
+    EXPECT_EQ(r.num(), 0);
+    EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, ValueAndComparisons) {
+    EXPECT_DOUBLE_EQ(Rational(3, 4).value(), 0.75);
+    EXPECT_EQ(Rational(1, 2), Rational(2, 4));
+    EXPECT_LT(Rational(1, 3), Rational(1, 2));
+    EXPECT_GT(Rational(5, 2), Rational(2));
+}
+
+TEST(Rational, ToString) {
+    EXPECT_EQ(Rational(0).to_string(), "0");
+    EXPECT_EQ(Rational(2).to_string(), "2");
+    EXPECT_EQ(Rational(4, 5).to_string(), "4/5");
+}
+
+TEST(ExponentSet, HasExactly43Classes) {
+    EXPECT_EQ(class_count(), 43u);
+    EXPECT_EQ(exponent_set().size(), 43u);
+}
+
+TEST(ExponentSet, AllClassesDistinct) {
+    std::set<std::pair<double, int>> seen;
+    for (const auto& cls : exponent_set()) {
+        EXPECT_TRUE(seen.emplace(cls.i.value(), cls.j).second)
+            << "duplicate class " << cls.to_string();
+    }
+}
+
+TEST(ExponentSet, MatchesEquationTwoStructure) {
+    // Block 1: 10 poly exponents x {0,1,2}; block 2: 3 x {0,1}; block 3: 7 x {0}.
+    int with_j2 = 0, with_j1 = 0, with_j0 = 0;
+    for (const auto& cls : exponent_set()) {
+        if (cls.j == 2) ++with_j2;
+        if (cls.j == 1) ++with_j1;
+        if (cls.j == 0) ++with_j0;
+    }
+    EXPECT_EQ(with_j2, 10);
+    EXPECT_EQ(with_j1, 13);
+    EXPECT_EQ(with_j0, 20);
+}
+
+TEST(ExponentSet, ContainsPaperExamples) {
+    EXPECT_LT(class_index({Rational(4, 5), 0}), 43u);
+    EXPECT_LT(class_index({Rational(1, 3), 2}), 43u);
+    EXPECT_LT(class_index({Rational(3), 1}), 43u);
+    EXPECT_LT(class_index({Rational(0), 0}), 43u);
+}
+
+TEST(ExponentSet, ExcludesOutOfSetCombinations) {
+    // x^3 log^2 and x^(4/5) log are not in E.
+    EXPECT_EQ(class_index({Rational(3), 2}), 43u);
+    EXPECT_EQ(class_index({Rational(4, 5), 1}), 43u);
+    EXPECT_EQ(class_index({Rational(8), 0}), 43u);
+}
+
+TEST(ExponentSet, ClassIndexRoundTrip) {
+    const auto classes = exponent_set();
+    for (std::size_t k = 0; k < classes.size(); ++k) {
+        EXPECT_EQ(class_index(classes[k]), k);
+    }
+}
+
+TEST(TermClass, EvaluatePolynomial) {
+    const TermClass cls{Rational(2), 0};
+    EXPECT_DOUBLE_EQ(cls.evaluate(3.0), 9.0);
+}
+
+TEST(TermClass, EvaluateLogarithm) {
+    const TermClass cls{Rational(0), 2};
+    EXPECT_DOUBLE_EQ(cls.evaluate(8.0), 9.0);  // log2(8)^2
+}
+
+TEST(TermClass, EvaluateMixed) {
+    const TermClass cls{Rational(1, 2), 1};
+    EXPECT_DOUBLE_EQ(cls.evaluate(16.0), 4.0 * 4.0);  // sqrt(16) * log2(16)
+}
+
+TEST(TermClass, EvaluateFractionalExponent) {
+    const TermClass cls{Rational(4, 5), 0};
+    EXPECT_NEAR(cls.evaluate(32.0), std::pow(32.0, 0.8), 1e-12);
+}
+
+TEST(TermClass, ConstantClass) {
+    const TermClass cls{Rational(0), 0};
+    EXPECT_TRUE(cls.is_constant());
+    EXPECT_DOUBLE_EQ(cls.evaluate(123.0), 1.0);
+    EXPECT_FALSE((TermClass{Rational(1), 0}).is_constant());
+    EXPECT_FALSE((TermClass{Rational(0), 1}).is_constant());
+}
+
+TEST(TermClass, EffectiveExponent) {
+    EXPECT_DOUBLE_EQ((TermClass{Rational(2), 0}).effective_exponent(), 2.0);
+    EXPECT_DOUBLE_EQ((TermClass{Rational(1), 1}).effective_exponent(), 1.25);
+    EXPECT_DOUBLE_EQ((TermClass{Rational(0), 2}).effective_exponent(), 0.5);
+}
+
+TEST(TermClass, ToString) {
+    EXPECT_EQ((TermClass{Rational(1), 0}).to_string("p"), "p");
+    EXPECT_EQ((TermClass{Rational(2), 0}).to_string(), "x^2");
+    EXPECT_EQ((TermClass{Rational(4, 5), 0}).to_string(), "x^(4/5)");
+    EXPECT_EQ((TermClass{Rational(0), 1}).to_string(), "log2(x)");
+    EXPECT_EQ((TermClass{Rational(1), 2}).to_string("n"), "n * log2(n)^2");
+    EXPECT_EQ((TermClass{Rational(0), 0}).to_string(), "1");
+}
+
+TEST(NearestClass, ExactMatches) {
+    for (const auto& cls : exponent_set()) {
+        const auto& nearest = nearest_class(cls.effective_exponent());
+        EXPECT_DOUBLE_EQ(nearest.effective_exponent(), cls.effective_exponent());
+    }
+}
+
+TEST(NearestClass, ClampsAboveRange) {
+    const auto& cls = nearest_class(100.0);
+    EXPECT_DOUBLE_EQ(cls.effective_exponent(), 3.25);  // x^3 * log2(x)
+}
+
+/// Property sweep: every class evaluates positively for x > 1 and is
+/// monotonically non-decreasing over doubling steps (all exponents in E are
+/// non-negative).
+class AllClasses : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AllClasses, PositiveAndMonotoneBeyondTwo) {
+    const auto& cls = exponent_set()[GetParam()];
+    double prev = cls.evaluate(2.0);
+    EXPECT_GT(prev, 0.0);
+    for (double x = 4.0; x <= 4096.0; x *= 2.0) {
+        const double value = cls.evaluate(x);
+        EXPECT_GE(value, prev) << cls.to_string() << " at x=" << x;
+        prev = value;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ExponentSweep, AllClasses, ::testing::Range<std::size_t>(0, 43));
+
+}  // namespace

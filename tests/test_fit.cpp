@@ -1,0 +1,145 @@
+// Tests for PMNF coefficient fitting and cross-validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "regression/fit.hpp"
+
+namespace {
+
+using namespace regression;
+using pmnf::Rational;
+
+std::vector<measure::Coordinate> points_1d(const std::vector<double>& xs) {
+    std::vector<measure::Coordinate> points;
+    for (double x : xs) points.push_back({x});
+    return points;
+}
+
+TEST(FitShape, RecoversLinearCoefficients) {
+    CandidateShape shape;
+    shape.terms.push_back({{0, {Rational(1), 0}}});  // c0 + c1 * x
+    const auto points = points_1d({2, 4, 8, 16, 32});
+    std::vector<double> values;
+    for (const auto& p : points) values.push_back(3.0 + 0.5 * p[0]);
+    const auto model = fit_shape(shape, points, values);
+    ASSERT_TRUE(model.has_value());
+    EXPECT_NEAR(model->constant(), 3.0, 1e-9);
+    ASSERT_EQ(model->terms().size(), 1u);
+    EXPECT_NEAR(model->terms()[0].coefficient, 0.5, 1e-9);
+}
+
+TEST(FitShape, RecoversLogModel) {
+    CandidateShape shape;
+    shape.terms.push_back({{0, {Rational(0), 1}}});  // c0 + c1 * log2(x)
+    const auto points = points_1d({2, 4, 8, 16, 32});
+    std::vector<double> values;
+    for (const auto& p : points) values.push_back(1.0 + 7.0 * std::log2(p[0]));
+    const auto model = fit_shape(shape, points, values);
+    ASSERT_TRUE(model.has_value());
+    EXPECT_NEAR(model->constant(), 1.0, 1e-8);
+    EXPECT_NEAR(model->terms()[0].coefficient, 7.0, 1e-8);
+}
+
+TEST(FitShape, HandlesHugeDynamicRange) {
+    // x^3 at x = 32768 is ~3.5e13; column scaling must keep this stable.
+    CandidateShape shape;
+    shape.terms.push_back({{0, {Rational(3), 0}}});
+    const auto points = points_1d({8, 64, 512, 4096, 32768});
+    std::vector<double> values;
+    for (const auto& p : points) values.push_back(5.0 + 1e-6 * std::pow(p[0], 3));
+    const auto model = fit_shape(shape, points, values);
+    ASSERT_TRUE(model.has_value());
+    EXPECT_NEAR(model->terms()[0].coefficient, 1e-6, 1e-12);
+}
+
+TEST(FitShape, MultiParameterMultiplicative) {
+    CandidateShape shape;
+    shape.terms.push_back({{0, {Rational(1), 0}}, {1, {Rational(1, 2), 0}}});
+    std::vector<measure::Coordinate> points;
+    std::vector<double> values;
+    for (double x : {2.0, 4.0, 8.0}) {
+        for (double y : {16.0, 64.0, 256.0}) {
+            points.push_back({x, y});
+            values.push_back(2.0 + 0.25 * x * std::sqrt(y));
+        }
+    }
+    const auto model = fit_shape(shape, points, values);
+    ASSERT_TRUE(model.has_value());
+    EXPECT_NEAR(model->constant(), 2.0, 1e-8);
+    EXPECT_NEAR(model->terms()[0].coefficient, 0.25, 1e-9);
+}
+
+TEST(FitShape, ConstantOnlyShape) {
+    CandidateShape shape;  // just c0
+    const auto points = points_1d({1, 2, 3});
+    const std::vector<double> values = {5.0, 5.0, 5.0};
+    const auto model = fit_shape(shape, points, values);
+    ASSERT_TRUE(model.has_value());
+    EXPECT_NEAR(model->constant(), 5.0, 1e-12);
+}
+
+TEST(FitShape, UnderdeterminedReturnsNullopt) {
+    CandidateShape shape;
+    shape.terms.push_back({{0, {Rational(1), 0}}});
+    const auto points = points_1d({4});
+    const std::vector<double> values = {1.0};
+    EXPECT_FALSE(fit_shape(shape, points, values).has_value());
+}
+
+TEST(ModelSmape, ZeroForExactFit) {
+    CandidateShape shape;
+    shape.terms.push_back({{0, {Rational(1), 0}}});
+    const auto points = points_1d({1, 2, 3, 4});
+    std::vector<double> values;
+    for (const auto& p : points) values.push_back(2.0 * p[0]);
+    const auto model = fit_shape(shape, points, values);
+    ASSERT_TRUE(model.has_value());
+    EXPECT_NEAR(model_smape(*model, points, values), 0.0, 1e-9);
+}
+
+TEST(CrossValidation, TrueShapeScoresBetterThanWrongShape) {
+    const auto points = points_1d({2, 4, 8, 16, 32, 64});
+    std::vector<double> values;
+    for (const auto& p : points) values.push_back(1.0 + 0.3 * p[0] * p[0]);
+
+    CandidateShape quadratic;
+    quadratic.terms.push_back({{0, {Rational(2), 0}}});
+    CandidateShape logarithmic;
+    logarithmic.terms.push_back({{0, {Rational(0), 1}}});
+
+    const double good = cross_validated_smape(quadratic, points, values);
+    const double bad = cross_validated_smape(logarithmic, points, values);
+    EXPECT_LT(good, bad);
+    EXPECT_NEAR(good, 0.0, 1e-6);
+}
+
+TEST(CrossValidation, TooFewPointsIsWorstScore) {
+    CandidateShape shape;
+    shape.terms.push_back({{0, {Rational(1), 0}}});
+    const auto points = points_1d({1, 2});
+    const std::vector<double> values = {1.0, 2.0};
+    EXPECT_DOUBLE_EQ(cross_validated_smape(shape, points, values), 200.0);
+}
+
+TEST(CrossValidation, FoldCapKeepsAllPointsEvaluated) {
+    const auto points = points_1d({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+    std::vector<double> values;
+    for (const auto& p : points) values.push_back(3.0 + p[0]);
+    CandidateShape shape;
+    shape.terms.push_back({{0, {Rational(1), 0}}});
+    // k-fold with 3 folds still evaluates every point once; with an exact
+    // linear relationship the score stays ~0.
+    EXPECT_NEAR(cross_validated_smape(shape, points, values, 3), 0.0, 1e-8);
+}
+
+TEST(CandidateShape, CoefficientCount) {
+    CandidateShape shape;
+    EXPECT_EQ(shape.coefficient_count(), 1u);
+    shape.terms.push_back({{0, {Rational(1), 0}}});
+    shape.terms.push_back({{1, {Rational(1), 0}}});
+    EXPECT_EQ(shape.coefficient_count(), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Integration tests across the full pipeline: measurement I/O -> noise
+// estimation -> modeling -> extrapolation, plus small-scale versions of the
+// paper's experiments as regression anchors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "adaptive/modeler.hpp"
+#include "casestudy/casestudy.hpp"
+#include "dnn/modeler.hpp"
+#include "measure/io.hpp"
+#include "noise/estimator.hpp"
+#include "noise/injector.hpp"
+#include "regression/modeler.hpp"
+#include "xpcore/metrics.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+dnn::DnnConfig tiny_config() {
+    dnn::DnnConfig config;
+    config.hidden = {96, 48};
+    config.pretrain_samples_per_class = 250;
+    config.pretrain_epochs = 4;
+    config.adapt_samples_per_class = 150;
+    return config;
+}
+
+class IntegrationTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        dnn_ = new dnn::DnnModeler(tiny_config(), /*seed=*/41);
+        dnn_->pretrain();
+    }
+    static void TearDownTestSuite() {
+        delete dnn_;
+        dnn_ = nullptr;
+    }
+    static dnn::DnnModeler* dnn_;
+};
+
+dnn::DnnModeler* IntegrationTest::dnn_ = nullptr;
+
+TEST_F(IntegrationTest, IoRoundTripThroughModelingPipeline) {
+    // Serialize noisy measurements, load them back, model the result.
+    xpcore::Rng rng(1);
+    noise::Injector injector(0.10, rng);
+    measure::ExperimentSet original({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+        original.add({p}, injector.repetitions(2.0 + 3.0 * p, 5));
+    }
+    std::stringstream buffer;
+    measure::save_text(original, buffer);
+    const auto loaded = measure::load_text(buffer);
+
+    regression::RegressionModeler baseline;
+    const auto from_original = baseline.model(original);
+    const auto from_loaded = baseline.model(loaded);
+    EXPECT_EQ(from_original.model.to_string(), from_loaded.model.to_string());
+}
+
+TEST_F(IntegrationTest, CalmPipelineRecoversTruthAndExtrapolates) {
+    xpcore::Rng rng(2);
+    noise::Injector injector(0.02, rng);
+    measure::ExperimentSet set({"p"});
+    auto truth = [](double p) { return 10.0 + 0.5 * p * std::log2(p); };
+    for (double p : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+        set.add({p}, injector.repetitions(truth(p), 5));
+    }
+
+    adaptive::AdaptiveModeler modeler(*dnn_, {});
+    const auto outcome = modeler.model(set);
+    EXPECT_LT(outcome.estimated_noise, 0.05);
+    const double predicted = outcome.result.model.evaluate({{1024.0}});
+    EXPECT_LT(xpcore::relative_error_pct(predicted, truth(1024.0)), 25.0);
+}
+
+TEST_F(IntegrationTest, NoisyPipelineStillProducesUsableModel) {
+    xpcore::Rng rng(3);
+    noise::Injector injector(0.60, rng);
+    measure::ExperimentSet set({"p"});
+    auto truth = [](double p) { return 5.0 + 2.0 * p; };
+    for (double p : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+        set.add({p}, injector.repetitions(truth(p), 5));
+    }
+    adaptive::AdaptiveModeler modeler(*dnn_, {});
+    const auto outcome = modeler.model(set);
+    EXPECT_EQ(outcome.winner, "dnn");
+    // Extrapolate 4x beyond the range: must stay within ~2x of truth even
+    // at 60% noise.
+    const double predicted = outcome.result.model.evaluate({{512.0}});
+    EXPECT_GT(predicted, truth(512.0) * 0.4);
+    EXPECT_LT(predicted, truth(512.0) * 2.5);
+}
+
+TEST_F(IntegrationTest, RelearnCaseStudyEndToEnd) {
+    // The calm case study: both modelers must land close to the truth at
+    // the paper's evaluation point, like the paper's identical 7.12%.
+    const auto study = casestudy::relearn();
+    xpcore::Rng rng(4);
+    const auto& kernel = study.kernels[1];  // update_electrical_activity: O(n)
+    const auto set = study.generate_modeling(kernel, rng);
+
+    regression::RegressionModeler baseline;
+    const auto regression_result = baseline.model(set);
+    adaptive::AdaptiveModeler adaptive_modeler(*dnn_, {});
+    const auto adaptive_result = adaptive_modeler.model(set);
+
+    const double truth = kernel.truth.evaluate(study.evaluation_point);
+    EXPECT_LT(xpcore::relative_error_pct(
+                  regression_result.model.evaluate(study.evaluation_point), truth),
+              15.0);
+    EXPECT_LT(xpcore::relative_error_pct(
+                  adaptive_result.result.model.evaluate(study.evaluation_point), truth),
+              25.0);
+}
+
+TEST_F(IntegrationTest, KripkeNoiseEstimateMatchesProfile) {
+    const auto study = casestudy::kripke();
+    xpcore::Rng rng(5);
+    const auto set = study.generate_modeling(study.kernels[0], rng);
+    const auto stats = noise::analyze_noise(set);
+    EXPECT_GT(stats.mean, 0.08);
+    EXPECT_LT(stats.mean, 0.30);
+}
+
+TEST_F(IntegrationTest, AdaptiveNeverFarWorseThanRegressionOnCalmData) {
+    // Property over several calm tasks: adaptive's CV-selected model should
+    // track the regression baseline (it sees the same candidate).
+    xpcore::Rng rng(6);
+    for (int trial = 0; trial < 5; ++trial) {
+        noise::Injector injector(0.03, rng);
+        measure::ExperimentSet set({"p"});
+        const double a = rng.uniform(1.0, 10.0);
+        const double b = rng.uniform(0.1, 2.0);
+        for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+            set.add({p}, injector.repetitions(a + b * p, 5));
+        }
+        regression::RegressionModeler baseline;
+        const auto reg = baseline.model(set);
+        adaptive::AdaptiveModeler modeler(*dnn_, {});
+        const auto ada = modeler.model(set);
+        EXPECT_LE(ada.result.cv_smape, reg.cv_smape + 1.0);
+    }
+}
+
+TEST_F(IntegrationTest, ModelStringsAreParseableShapes) {
+    // The printed model of a fitted pipeline contains the parameter names.
+    xpcore::Rng rng(7);
+    noise::Injector injector(0.05, rng);
+    measure::ExperimentSet set({"procs", "size"});
+    for (double p : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        for (double s : {10.0, 20.0, 30.0, 40.0, 50.0}) {
+            set.add({p, s}, injector.repetitions(1.0 + 0.3 * p * s, 3));
+        }
+    }
+    regression::RegressionModeler baseline;
+    const auto result = baseline.model(set);
+    const std::string text = result.model.to_string(set.parameter_names());
+    EXPECT_NE(text.find("procs"), std::string::npos);
+    EXPECT_NE(text.find("size"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Tests for the experiment-set text format.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "measure/io.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace measure;
+
+TEST(Io, RoundTrip) {
+    ExperimentSet set({"p", "n"});
+    set.add({8.0, 1024.0}, {1.25, 1.5, 1.125});
+    set.add({16.0, 1024.0}, {2.5});
+    std::stringstream buffer;
+    save_text(set, buffer);
+    const auto loaded = load_text(buffer);
+    ASSERT_EQ(loaded.parameter_names(), set.parameter_names());
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.measurements()[0].point, (Coordinate{8.0, 1024.0}));
+    EXPECT_EQ(loaded.measurements()[0].values, (std::vector<double>{1.25, 1.5, 1.125}));
+    EXPECT_EQ(loaded.measurements()[1].values, (std::vector<double>{2.5}));
+}
+
+TEST(Io, RoundTripPreservesPrecision) {
+    ExperimentSet set({"x"});
+    set.add({3.0}, {0.1234567890123456789, 1e-17});
+    std::stringstream buffer;
+    save_text(set, buffer);
+    const auto loaded = load_text(buffer);
+    EXPECT_DOUBLE_EQ(loaded.measurements()[0].values[0], 0.1234567890123456789);
+    EXPECT_DOUBLE_EQ(loaded.measurements()[0].values[1], 1e-17);
+}
+
+TEST(Io, IgnoresCommentsAndBlankLines) {
+    std::stringstream in("# heading\n\nparams: p\n# a data comment\n2 : 1.5\n\n4 : 2.5\n");
+    const auto set = load_text(in);
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Io, MissingHeaderThrows) {
+    std::stringstream in("2 : 1.5\n");
+    EXPECT_THROW(load_text(in), std::runtime_error);
+}
+
+TEST(Io, EmptyInputThrows) {
+    std::stringstream in("");
+    EXPECT_THROW(load_text(in), std::runtime_error);
+}
+
+TEST(Io, MissingColonThrows) {
+    std::stringstream in("params: p\n2 1.5\n");
+    EXPECT_THROW(load_text(in), std::runtime_error);
+}
+
+TEST(Io, ArityMismatchThrows) {
+    std::stringstream in("params: p n\n2 : 1.5\n");
+    EXPECT_THROW(load_text(in), std::runtime_error);
+}
+
+TEST(Io, MalformedNumberThrows) {
+    std::stringstream in("params: p\n2x : 1.5\n");
+    EXPECT_THROW(load_text(in), std::runtime_error);
+}
+
+TEST(Io, NoRepetitionsThrows) {
+    std::stringstream in("params: p\n2 :\n");
+    EXPECT_THROW(load_text(in), std::runtime_error);
+}
+
+TEST(Io, ErrorMessageCarriesLineNumber) {
+    std::stringstream in("params: p\n2 : 1.0\nbroken-line\n");
+    try {
+        load_text(in);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+/// Property: arbitrary generated experiment sets survive a round trip.
+class IoRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IoRoundTripProperty, RandomSetsAreStable) {
+    xpcore::Rng rng(GetParam());
+    const std::size_t params = 1 + GetParam() % 3;
+    std::vector<std::string> names;
+    for (std::size_t l = 0; l < params; ++l) names.push_back("p" + std::to_string(l));
+    ExperimentSet set(names);
+    const std::size_t points = 1 + static_cast<std::size_t>(rng.uniform_int(1, 20));
+    for (std::size_t i = 0; i < points; ++i) {
+        Coordinate point(params);
+        for (auto& x : point) x = std::round(rng.uniform(1, 1e6));
+        std::vector<double> values(1 + static_cast<std::size_t>(rng.uniform_int(0, 4)));
+        for (auto& v : values) v = rng.uniform(1e-9, 1e9);
+        set.add(std::move(point), std::move(values));
+    }
+
+    std::stringstream buffer;
+    save_text(set, buffer);
+    const auto loaded = load_text(buffer);
+    ASSERT_EQ(loaded.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        EXPECT_EQ(loaded.measurements()[i].point, set.measurements()[i].point);
+        EXPECT_EQ(loaded.measurements()[i].values, set.measurements()[i].values);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoRoundTripProperty, ::testing::Range(1, 11));
+
+TEST(Io, FileRoundTrip) {
+    ExperimentSet set({"p"});
+    set.add({2.0}, {1.0, 2.0});
+    const std::string path = ::testing::TempDir() + "/xpdnn_io_test.txt";
+    save_text_file(set, path);
+    const auto loaded = load_text_file(path);
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded.parameter_names(), std::vector<std::string>{"p"});
+}
+
+TEST(Io, MissingFileThrows) {
+    EXPECT_THROW(load_text_file("/nonexistent/path/file.txt"), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Tests for network layers, including finite-difference gradient checks —
+// the canonical correctness test for hand-written backprop.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace nn;
+
+TEST(Dense, ForwardKnownValues) {
+    Dense layer(2, 2);
+    layer.weights()(0, 0) = 1;
+    layer.weights()(0, 1) = 2;
+    layer.weights()(1, 0) = 3;
+    layer.weights()(1, 1) = 4;
+    layer.bias()(0, 0) = 10;
+    layer.bias()(0, 1) = 20;
+    Tensor in(1, 2);
+    in(0, 0) = 1;
+    in(0, 1) = 1;
+    Tensor out;
+    layer.forward(in, out);
+    EXPECT_FLOAT_EQ(out(0, 0), 14);  // 1*1 + 1*3 + 10
+    EXPECT_FLOAT_EQ(out(0, 1), 26);  // 1*2 + 1*4 + 20
+}
+
+TEST(Dense, ShapesAndParams) {
+    xpcore::Rng rng(1);
+    Dense layer(5, 3, rng);
+    EXPECT_EQ(layer.input_size(), 5u);
+    EXPECT_EQ(layer.output_size(), 3u);
+    const auto params = layer.params();
+    ASSERT_EQ(params.size(), 2u);
+    EXPECT_EQ(params[0].value->size(), 15u);
+    EXPECT_EQ(params[1].value->size(), 3u);
+}
+
+TEST(Tanh, ForwardValues) {
+    Tanh layer(3);
+    Tensor in(1, 3);
+    in(0, 0) = 0.0f;
+    in(0, 1) = 1.0f;
+    in(0, 2) = -20.0f;
+    Tensor out;
+    layer.forward(in, out);
+    EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+    EXPECT_NEAR(out(0, 1), std::tanh(1.0f), 1e-6);
+    EXPECT_NEAR(out(0, 2), -1.0f, 1e-6);
+}
+
+/// Finite-difference gradient check helper: perturbs each input (and
+/// parameter) and compares the numeric gradient of a scalar loss
+/// L = sum(out * seed) against the analytic backward pass.
+void check_gradients(Layer& layer, Tensor in, float tolerance = 2e-2f) {
+    Tensor out;
+    layer.forward(in, out);
+
+    // Seed gradient: dL/dout with distinct entries.
+    Tensor grad_out(out.rows(), out.cols());
+    for (std::size_t i = 0; i < grad_out.size(); ++i) {
+        grad_out.data()[i] = 0.1f + 0.05f * static_cast<float>(i % 7);
+    }
+
+    for (auto& p : layer.params()) p.grad->fill(0.0f);
+    Tensor grad_in;
+    layer.backward(in, out, grad_out, grad_in);
+
+    auto loss = [&](const Tensor& input) {
+        Tensor o;
+        layer.forward(input, o);
+        double l = 0.0;
+        for (std::size_t i = 0; i < o.size(); ++i) l += o.data()[i] * grad_out.data()[i];
+        return l;
+    };
+
+    // Input gradients.
+    const float eps = 1e-2f;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const float saved = in.data()[i];
+        in.data()[i] = saved + eps;
+        const double up = loss(in);
+        in.data()[i] = saved - eps;
+        const double down = loss(in);
+        in.data()[i] = saved;
+        const double numeric = (up - down) / (2.0 * eps);
+        EXPECT_NEAR(grad_in.data()[i], numeric, tolerance) << "input grad " << i;
+    }
+
+    // Parameter gradients.
+    for (auto& p : layer.params()) {
+        for (std::size_t i = 0; i < p.value->size(); ++i) {
+            const float saved = p.value->data()[i];
+            p.value->data()[i] = saved + eps;
+            const double up = loss(in);
+            p.value->data()[i] = saved - eps;
+            const double down = loss(in);
+            p.value->data()[i] = saved;
+            const double numeric = (up - down) / (2.0 * eps);
+            EXPECT_NEAR(p.grad->data()[i], numeric, tolerance) << "param grad " << i;
+        }
+    }
+}
+
+TEST(GradientCheck, DenseLayer) {
+    xpcore::Rng rng(7);
+    Dense layer(4, 3, rng);
+    Tensor in(2, 4);
+    for (std::size_t i = 0; i < in.size(); ++i) in.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+    check_gradients(layer, in);
+}
+
+TEST(GradientCheck, TanhLayer) {
+    xpcore::Rng rng(8);
+    Tanh layer(5);
+    Tensor in(3, 5);
+    for (std::size_t i = 0; i < in.size(); ++i) in.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+    check_gradients(layer, in);
+}
+
+TEST(Dense, BackwardAccumulatesAcrossCalls) {
+    xpcore::Rng rng(9);
+    Dense layer(2, 2, rng);
+    Tensor in(1, 2, 1.0f);
+    Tensor out, grad_in;
+    layer.forward(in, out);
+    Tensor grad_out(1, 2, 1.0f);
+    for (auto& p : layer.params()) p.grad->fill(0.0f);
+    layer.backward(in, out, grad_out, grad_in);
+    const float first = layer.params()[0].grad->data()[0];
+    layer.backward(in, out, grad_out, grad_in);
+    EXPECT_FLOAT_EQ(layer.params()[0].grad->data()[0], 2.0f * first);
+}
+
+TEST(Layers, KindTags) {
+    xpcore::Rng rng(1);
+    Dense dense(2, 2, rng);
+    Tanh tanh_layer(2);
+    Relu relu_layer(2);
+    EXPECT_EQ(dense.kind(), "dense");
+    EXPECT_EQ(tanh_layer.kind(), "tanh");
+    EXPECT_EQ(relu_layer.kind(), "relu");
+}
+
+TEST(Relu, ForwardClampsNegatives) {
+    Relu layer(4);
+    Tensor in(1, 4);
+    in(0, 0) = -2.0f;
+    in(0, 1) = 0.0f;
+    in(0, 2) = 3.0f;
+    in(0, 3) = -0.5f;
+    Tensor out;
+    layer.forward(in, out);
+    EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(out(0, 2), 3.0f);
+    EXPECT_FLOAT_EQ(out(0, 3), 0.0f);
+}
+
+TEST(Relu, BackwardGatesGradient) {
+    Relu layer(2);
+    Tensor in(1, 2);
+    in(0, 0) = -1.0f;
+    in(0, 1) = 2.0f;
+    Tensor out, grad_in;
+    layer.forward(in, out);
+    Tensor grad_out(1, 2, 5.0f);
+    layer.backward(in, out, grad_out, grad_in);
+    EXPECT_FLOAT_EQ(grad_in(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(grad_in(0, 1), 5.0f);
+}
+
+TEST(GradientCheck, ReluLayerAwayFromKink) {
+    xpcore::Rng rng(10);
+    Relu layer(5);
+    Tensor in(3, 5);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        // Keep inputs away from 0 where the derivative is undefined.
+        const double v = rng.uniform(0.2, 1.0);
+        in.data()[i] = static_cast<float>(rng.chance(0.5) ? v : -v);
+    }
+    check_gradients(layer, in);
+}
+
+}  // namespace

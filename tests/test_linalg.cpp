@@ -1,0 +1,144 @@
+// Tests for the dense linear solver and least squares.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xpcore/linalg.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace xpcore;
+
+TEST(SolveLinear, Identity) {
+    MatrixD a(2, 2);
+    a(0, 0) = 1;
+    a(1, 1) = 1;
+    const auto x = solve_linear(a, {3, -4});
+    ASSERT_TRUE(x.has_value());
+    EXPECT_DOUBLE_EQ((*x)[0], 3.0);
+    EXPECT_DOUBLE_EQ((*x)[1], -4.0);
+}
+
+TEST(SolveLinear, Known3x3) {
+    MatrixD a(3, 3);
+    const double rows[3][3] = {{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}};
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c) a(r, c) = rows[r][c];
+    const auto x = solve_linear(a, {8, -11, -3});
+    ASSERT_TRUE(x.has_value());
+    EXPECT_NEAR((*x)[0], 2.0, 1e-10);
+    EXPECT_NEAR((*x)[1], 3.0, 1e-10);
+    EXPECT_NEAR((*x)[2], -1.0, 1e-10);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+    // Zero on the initial diagonal: only solvable with row exchange.
+    MatrixD a(2, 2);
+    a(0, 0) = 0;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 0;
+    const auto x = solve_linear(a, {5, 7});
+    ASSERT_TRUE(x.has_value());
+    EXPECT_DOUBLE_EQ((*x)[0], 7.0);
+    EXPECT_DOUBLE_EQ((*x)[1], 5.0);
+}
+
+TEST(SolveLinear, SingularReturnsNullopt) {
+    MatrixD a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 2;
+    a(1, 1) = 4;
+    EXPECT_FALSE(solve_linear(a, {1, 2}).has_value());
+}
+
+TEST(SolveLinear, DimensionMismatchReturnsNullopt) {
+    MatrixD a(2, 3);
+    EXPECT_FALSE(solve_linear(a, {1, 2}).has_value());
+    MatrixD square(2, 2);
+    EXPECT_FALSE(solve_linear(square, {1, 2, 3}).has_value());
+}
+
+TEST(SolveLinear, EmptyReturnsNullopt) {
+    EXPECT_FALSE(solve_linear(MatrixD{}, {}).has_value());
+}
+
+/// Property: random well-conditioned systems are solved to high accuracy.
+class SolveLinearRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveLinearRandom, RoundTrip) {
+    xpcore::Rng rng(GetParam());
+    const std::size_t n = 1 + static_cast<std::size_t>(GetParam()) % 6;
+    MatrixD a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1, 1);
+        a(r, r) += static_cast<double>(n);  // diagonally dominant
+    }
+    std::vector<double> truth(n);
+    for (auto& v : truth) v = rng.uniform(-10, 10);
+    std::vector<double> b(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) b[r] += a(r, c) * truth[c];
+    const auto x = solve_linear(a, b);
+    ASSERT_TRUE(x.has_value());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], truth[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveLinearRandom, ::testing::Range(1, 21));
+
+TEST(LeastSquares, ExactFitLine) {
+    // y = 2 + 3x on 4 points.
+    MatrixD a(4, 2);
+    std::vector<double> b(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double x = static_cast<double>(i);
+        a(i, 0) = 1.0;
+        a(i, 1) = x;
+        b[i] = 2.0 + 3.0 * x;
+    }
+    const auto coeffs = least_squares(a, b);
+    ASSERT_TRUE(coeffs.has_value());
+    EXPECT_NEAR((*coeffs)[0], 2.0, 1e-10);
+    EXPECT_NEAR((*coeffs)[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquares, OverdeterminedMinimizesResidual) {
+    // Points not on a line: solution must be the classic OLS fit.
+    MatrixD a(3, 2);
+    const double xs[3] = {0, 1, 2};
+    const double ys[3] = {0, 2, 3};
+    for (std::size_t i = 0; i < 3; ++i) {
+        a(i, 0) = 1.0;
+        a(i, 1) = xs[i];
+    }
+    const auto coeffs = least_squares(a, {ys, 3});
+    ASSERT_TRUE(coeffs.has_value());
+    EXPECT_NEAR((*coeffs)[0], 1.0 / 6.0, 1e-10);
+    EXPECT_NEAR((*coeffs)[1], 1.5, 1e-10);
+}
+
+TEST(LeastSquares, CollinearColumnsHandledByRidge) {
+    // Two identical columns: plain normal equations are singular, the ridge
+    // fallback must still return finite coefficients reproducing the data.
+    MatrixD a(4, 2);
+    std::vector<double> b(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double x = static_cast<double>(i + 1);
+        a(i, 0) = x;
+        a(i, 1) = x;
+        b[i] = 10.0 * x;
+    }
+    const auto coeffs = least_squares(a, b);
+    ASSERT_TRUE(coeffs.has_value());
+    EXPECT_NEAR((*coeffs)[0] + (*coeffs)[1], 10.0, 1e-4);
+}
+
+TEST(LeastSquares, SizeMismatchReturnsNullopt) {
+    MatrixD a(3, 2);
+    EXPECT_FALSE(least_squares(a, std::vector<double>{1, 2}).has_value());
+}
+
+}  // namespace

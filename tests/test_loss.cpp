@@ -1,0 +1,135 @@
+// Tests for the fused softmax + cross-entropy loss.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace nn;
+
+TEST(Softmax, RowsSumToOne) {
+    xpcore::Rng rng(1);
+    Tensor logits(4, 6);
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        logits.data()[i] = static_cast<float>(rng.uniform(-5, 5));
+    }
+    Tensor probs;
+    SoftmaxCrossEntropy::softmax(logits, probs);
+    for (std::size_t r = 0; r < probs.rows(); ++r) {
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < probs.cols(); ++c) {
+            EXPECT_GE(probs(r, c), 0.0f);
+            sum += probs(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+}
+
+TEST(Softmax, StableForLargeLogits) {
+    Tensor logits(1, 3);
+    logits(0, 0) = 1000.0f;
+    logits(0, 1) = 1001.0f;
+    logits(0, 2) = 999.0f;
+    Tensor probs;
+    SoftmaxCrossEntropy::softmax(logits, probs);
+    EXPECT_TRUE(std::isfinite(probs(0, 0)));
+    EXPECT_GT(probs(0, 1), probs(0, 0));
+    EXPECT_GT(probs(0, 0), probs(0, 2));
+}
+
+TEST(Softmax, UniformLogitsUniformProbs) {
+    Tensor logits(1, 4, 2.5f);
+    Tensor probs;
+    SoftmaxCrossEntropy::softmax(logits, probs);
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_NEAR(probs(0, c), 0.25f, 1e-6);
+}
+
+TEST(Loss, PerfectPredictionNearZero) {
+    Tensor probs(1, 3);
+    probs(0, 0) = 1.0f - 2e-7f;
+    probs(0, 1) = 1e-7f;
+    probs(0, 2) = 1e-7f;
+    const std::vector<std::int32_t> labels = {0};
+    EXPECT_NEAR(SoftmaxCrossEntropy::loss(probs, labels), 0.0, 1e-5);
+}
+
+TEST(Loss, UniformPredictionIsLogC) {
+    Tensor probs(2, 4, 0.25f);
+    const std::vector<std::int32_t> labels = {1, 3};
+    EXPECT_NEAR(SoftmaxCrossEntropy::loss(probs, labels), std::log(4.0), 1e-6);
+}
+
+TEST(Loss, ClampsZeroProbability) {
+    Tensor probs(1, 2);
+    probs(0, 0) = 0.0f;
+    probs(0, 1) = 1.0f;
+    const std::vector<std::int32_t> labels = {0};
+    EXPECT_TRUE(std::isfinite(SoftmaxCrossEntropy::loss(probs, labels)));
+}
+
+TEST(Backward, GradientIsProbsMinusOnehotOverBatch) {
+    Tensor probs(2, 3);
+    probs(0, 0) = 0.5f;
+    probs(0, 1) = 0.3f;
+    probs(0, 2) = 0.2f;
+    probs(1, 0) = 0.1f;
+    probs(1, 1) = 0.1f;
+    probs(1, 2) = 0.8f;
+    const std::vector<std::int32_t> labels = {1, 2};
+    Tensor grad;
+    SoftmaxCrossEntropy::backward(probs, labels, grad);
+    EXPECT_NEAR(grad(0, 0), 0.25f, 1e-6);
+    EXPECT_NEAR(grad(0, 1), (0.3f - 1.0f) / 2.0f, 1e-6);
+    EXPECT_NEAR(grad(1, 2), (0.8f - 1.0f) / 2.0f, 1e-6);
+}
+
+TEST(Backward, GradientRowsSumToZero) {
+    xpcore::Rng rng(3);
+    Tensor logits(3, 5);
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        logits.data()[i] = static_cast<float>(rng.uniform(-2, 2));
+    }
+    Tensor probs, grad;
+    SoftmaxCrossEntropy::softmax(logits, probs);
+    const std::vector<std::int32_t> labels = {0, 2, 4};
+    SoftmaxCrossEntropy::backward(probs, labels, grad);
+    for (std::size_t r = 0; r < grad.rows(); ++r) {
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < grad.cols(); ++c) sum += grad(r, c);
+        EXPECT_NEAR(sum, 0.0f, 1e-6);
+    }
+}
+
+TEST(Backward, NumericGradientOfLogits) {
+    // End-to-end finite-difference check through softmax + CE.
+    xpcore::Rng rng(4);
+    Tensor logits(2, 4);
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        logits.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+    }
+    const std::vector<std::int32_t> labels = {2, 0};
+
+    Tensor probs, grad;
+    SoftmaxCrossEntropy::softmax(logits, probs);
+    SoftmaxCrossEntropy::backward(probs, labels, grad);
+
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        const float saved = logits.data()[i];
+        Tensor p;
+        logits.data()[i] = saved + eps;
+        SoftmaxCrossEntropy::softmax(logits, p);
+        const double up = SoftmaxCrossEntropy::loss(p, labels);
+        logits.data()[i] = saved - eps;
+        SoftmaxCrossEntropy::softmax(logits, p);
+        const double down = SoftmaxCrossEntropy::loss(p, labels);
+        logits.data()[i] = saved;
+        EXPECT_NEAR(grad.data()[i], (up - down) / (2 * eps), 2e-3);
+    }
+}
+
+}  // namespace

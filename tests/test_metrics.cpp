@@ -1,0 +1,79 @@
+// Tests for SMAPE / MAPE / relative error.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xpcore/metrics.hpp"
+
+namespace {
+
+using namespace xpcore;
+
+TEST(Smape, ZeroForPerfectPrediction) {
+    const std::vector<double> a = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(smape(a, a), 0.0);
+}
+
+TEST(Smape, KnownValue) {
+    // |2-1| / ((1+2)/2) = 2/3 -> 100 * 2/3.
+    const std::vector<double> pred = {2};
+    const std::vector<double> actual = {1};
+    EXPECT_NEAR(smape(pred, actual), 100.0 * 2.0 / 3.0, 1e-12);
+}
+
+TEST(Smape, SymmetricInArguments) {
+    const std::vector<double> a = {1, 5, 9};
+    const std::vector<double> b = {2, 4, 10};
+    EXPECT_DOUBLE_EQ(smape(a, b), smape(b, a));
+}
+
+TEST(Smape, UpperBound200) {
+    const std::vector<double> pred = {1, 1};
+    const std::vector<double> actual = {-1, -1};
+    EXPECT_DOUBLE_EQ(smape(pred, actual), 200.0);
+}
+
+TEST(Smape, BothZeroCountsAsPerfect) {
+    const std::vector<double> pred = {0, 2};
+    const std::vector<double> actual = {0, 2};
+    EXPECT_DOUBLE_EQ(smape(pred, actual), 0.0);
+}
+
+TEST(Smape, EmptyIsZero) {
+    EXPECT_DOUBLE_EQ(smape({}, {}), 0.0);
+}
+
+TEST(Mape, KnownValue) {
+    const std::vector<double> pred = {110, 90};
+    const std::vector<double> actual = {100, 100};
+    EXPECT_DOUBLE_EQ(mape(pred, actual), 10.0);
+}
+
+TEST(Mape, SkipsZeroActuals) {
+    const std::vector<double> pred = {5, 110};
+    const std::vector<double> actual = {0, 100};
+    EXPECT_DOUBLE_EQ(mape(pred, actual), 10.0);
+}
+
+TEST(Mape, AllZeroActualsIsZero) {
+    const std::vector<double> pred = {5};
+    const std::vector<double> actual = {0};
+    EXPECT_DOUBLE_EQ(mape(pred, actual), 0.0);
+}
+
+TEST(RelativeError, Basics) {
+    EXPECT_DOUBLE_EQ(relative_error_pct(110, 100), 10.0);
+    EXPECT_DOUBLE_EQ(relative_error_pct(90, 100), 10.0);
+    EXPECT_DOUBLE_EQ(relative_error_pct(100, 100), 0.0);
+}
+
+TEST(RelativeError, NegativeActual) {
+    EXPECT_DOUBLE_EQ(relative_error_pct(-90, -100), 10.0);
+}
+
+TEST(RelativeError, ZeroActualGraceful) {
+    EXPECT_DOUBLE_EQ(relative_error_pct(0.5, 0.0), 50.0);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Tests for PMNF models: evaluation, lead exponents, printing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pmnf/model.hpp"
+
+namespace {
+
+using namespace pmnf;
+
+Model sweep_solver_model() {
+    // The paper's Kripke model: 8.51 + 0.11 * p^(1/3) * d * g^(4/5).
+    CompoundTerm term;
+    term.coefficient = 0.11;
+    term.factors = {{0, {Rational(1, 3), 0}}, {1, {Rational(1), 0}}, {2, {Rational(4, 5), 0}}};
+    return Model(8.51, {term});
+}
+
+TEST(Model, ConstantModel) {
+    const Model m = Model::constant_model(5.0);
+    EXPECT_DOUBLE_EQ(m.evaluate({{10.0}}), 5.0);
+    EXPECT_TRUE(m.terms().empty());
+}
+
+TEST(Model, EvaluateSingleParameter) {
+    CompoundTerm term{2.0, {{0, {Rational(2), 0}}}};
+    const Model m(1.0, {term});
+    EXPECT_DOUBLE_EQ(m.evaluate({{3.0}}), 1.0 + 2.0 * 9.0);
+}
+
+TEST(Model, EvaluateMultiplicativeTerm) {
+    const Model m = sweep_solver_model();
+    const std::vector<double> point = {8.0, 4.0, 32.0};
+    const double expected = 8.51 + 0.11 * 2.0 * 4.0 * std::pow(32.0, 0.8);
+    EXPECT_NEAR(m.evaluate(point), expected, 1e-9);
+}
+
+TEST(Model, EvaluateAdditiveTerms) {
+    CompoundTerm t1{2.0, {{0, {Rational(1), 0}}}};
+    CompoundTerm t2{3.0, {{1, {Rational(0), 1}}}};
+    const Model m(1.0, {t1, t2});
+    EXPECT_DOUBLE_EQ(m.evaluate({{5.0, 8.0}}), 1.0 + 10.0 + 9.0);
+}
+
+TEST(Model, LeadExponentSimple) {
+    CompoundTerm term{1.0, {{0, {Rational(3, 2), 0}}}};
+    const Model m(0.0, {term});
+    EXPECT_DOUBLE_EQ(m.lead_exponent(0), 1.5);
+    EXPECT_DOUBLE_EQ(m.lead_exponent(1), 0.0);  // parameter absent
+}
+
+TEST(Model, LeadExponentTakesMaxOverTerms) {
+    CompoundTerm small{1.0, {{0, {Rational(1), 0}}}};
+    CompoundTerm large{1.0, {{0, {Rational(2), 1}}}};
+    const Model m(0.0, {small, large});
+    EXPECT_DOUBLE_EQ(m.lead_exponent(0), 2.25);
+}
+
+TEST(Model, LeadExponentIgnoresNegligibleCoefficients) {
+    CompoundTerm ghost{1e-15, {{0, {Rational(3), 0}}}};
+    CompoundTerm real{2.0, {{0, {Rational(1), 0}}}};
+    const Model m(0.0, {ghost, real});
+    EXPECT_DOUBLE_EQ(m.lead_exponent(0), 1.0);
+}
+
+TEST(Model, LeadExponentCountsLogAsQuarter) {
+    CompoundTerm term{1.0, {{0, {Rational(1), 2}}}};
+    const Model m(0.0, {term});
+    EXPECT_DOUBLE_EQ(m.lead_exponent(0), 1.5);
+}
+
+TEST(Model, DistanceToItselfIsZero) {
+    const Model m = sweep_solver_model();
+    EXPECT_DOUBLE_EQ(m.lead_exponent_distance(m, 3), 0.0);
+}
+
+TEST(Model, DistanceIsMaxOverParameters) {
+    CompoundTerm a{1.0, {{0, {Rational(1), 0}}, {1, {Rational(2), 0}}}};
+    CompoundTerm b{1.0, {{0, {Rational(1, 2), 0}}, {1, {Rational(7, 4), 0}}}};
+    const Model ma(0.0, {a});
+    const Model mb(0.0, {b});
+    // |1 - 1/2| = 0.5 for x1, |2 - 7/4| = 0.25 for x2 -> max 0.5.
+    EXPECT_DOUBLE_EQ(ma.lead_exponent_distance(mb, 2), 0.5);
+    EXPECT_DOUBLE_EQ(mb.lead_exponent_distance(ma, 2), 0.5);  // symmetric
+}
+
+TEST(Model, DistanceLogMismatch) {
+    CompoundTerm linear{1.0, {{0, {Rational(1), 0}}}};
+    CompoundTerm linlog{1.0, {{0, {Rational(1), 1}}}};
+    const Model ma(0.0, {linear});
+    const Model mb(0.0, {linlog});
+    EXPECT_DOUBLE_EQ(ma.lead_exponent_distance(mb, 1), 0.25);
+}
+
+TEST(Model, ToStringMatchesPaperStyle) {
+    const Model m = sweep_solver_model();
+    const std::vector<std::string> names = {"p", "d", "g"};
+    EXPECT_EQ(m.to_string(names), "8.51 + 0.11 * p^(1/3) * d * g^(4/5)");
+}
+
+TEST(Model, ToStringDefaultNames) {
+    CompoundTerm term{2.0, {{0, {Rational(1), 0}}, {1, {Rational(0), 1}}}};
+    const Model m(1.0, {term});
+    EXPECT_EQ(m.to_string(), "1 + 2 * x1 * log2(x2)");
+}
+
+TEST(Model, ToStringNegativeCoefficient) {
+    CompoundTerm term{-3.5, {{0, {Rational(1), 0}}}};
+    const Model m(10.0, {term});
+    EXPECT_EQ(m.to_string(), "10 - 3.5 * x1");
+}
+
+TEST(Model, ToStringScientificForExtremes) {
+    CompoundTerm term{1.234e-6, {{0, {Rational(1), 0}}}};
+    const Model m(0.0, {term});
+    EXPECT_NE(m.to_string().find("e-06"), std::string::npos);
+}
+
+TEST(Model, SimplifiedDropsNegligibleTerms) {
+    CompoundTerm big{10.0, {{0, {Rational(1), 0}}}};
+    CompoundTerm tiny{1e-9, {{0, {Rational(2), 0}}}};
+    const Model m(1.0, {big, tiny});
+    const std::vector<double> reference = {100.0};
+    const Model simple = m.simplified(reference);
+    ASSERT_EQ(simple.terms().size(), 1u);
+    EXPECT_DOUBLE_EQ(simple.terms()[0].coefficient, 10.0);
+    EXPECT_DOUBLE_EQ(simple.constant(), 1.0);
+}
+
+TEST(Model, SimplifiedKeepsEverythingAboveThreshold) {
+    CompoundTerm a{5.0, {{0, {Rational(1), 0}}}};
+    CompoundTerm b{4.0, {{0, {Rational(0), 1}}}};
+    const Model m(1.0, {a, b});
+    const std::vector<double> reference = {16.0};
+    EXPECT_EQ(m.simplified(reference).terms().size(), 2u);
+}
+
+TEST(Model, SimplifiedZeroReferenceIsIdentity) {
+    CompoundTerm a{5.0, {{0, {Rational(1), 0}}}};
+    const Model m(-5.0, {a});  // evaluates to 0 at x = 1
+    const std::vector<double> reference = {1.0};
+    EXPECT_EQ(m.simplified(reference).terms().size(), 1u);
+}
+
+TEST(CompoundTermStruct, EvaluateProduct) {
+    CompoundTerm term{2.0, {{0, {Rational(1), 0}}, {1, {Rational(1), 0}}}};
+    EXPECT_DOUBLE_EQ(term.evaluate({{3.0, 4.0}}), 24.0);
+}
+
+}  // namespace

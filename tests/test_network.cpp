@@ -1,0 +1,165 @@
+// Tests for the Network container: structure, forward/backward plumbing,
+// and binary serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/network.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace nn;
+
+TEST(Network, MlpStructure) {
+    xpcore::Rng rng(1);
+    Network net = Network::mlp({11, 32, 16, 43}, rng);
+    // dense-tanh-dense-tanh-dense: 5 layers, linear output.
+    EXPECT_EQ(net.layer_count(), 5u);
+    EXPECT_EQ(net.input_size(), 11u);
+    EXPECT_EQ(net.output_size(), 43u);
+}
+
+TEST(Network, MlpTooFewSizesThrows) {
+    xpcore::Rng rng(1);
+    EXPECT_THROW(Network::mlp({11}, rng), std::invalid_argument);
+}
+
+TEST(Network, AddRejectsMismatchedLayers) {
+    xpcore::Rng rng(1);
+    Network net;
+    net.add(std::make_unique<Dense>(4, 8, rng));
+    EXPECT_THROW(net.add(std::make_unique<Dense>(9, 2, rng)), std::invalid_argument);
+}
+
+TEST(Network, ForwardShape) {
+    xpcore::Rng rng(2);
+    Network net = Network::mlp({3, 5, 2}, rng);
+    Tensor in(7, 3, 0.5f);
+    const Tensor& out = net.forward(in);
+    EXPECT_EQ(out.rows(), 7u);
+    EXPECT_EQ(out.cols(), 2u);
+}
+
+TEST(Network, ForwardDeterministic) {
+    xpcore::Rng rng(3);
+    Network net = Network::mlp({3, 4, 2}, rng);
+    Tensor in(1, 3, 0.25f);
+    const Tensor out1 = net.forward(in);
+    const Tensor out2 = net.forward(in);
+    for (std::size_t i = 0; i < out1.size(); ++i) {
+        EXPECT_FLOAT_EQ(out1.data()[i], out2.data()[i]);
+    }
+}
+
+TEST(Network, ParamsCollectsAllLayers) {
+    xpcore::Rng rng(4);
+    Network net = Network::mlp({3, 4, 2}, rng);
+    // Two dense layers x (weights + bias).
+    EXPECT_EQ(net.params().size(), 4u);
+    EXPECT_EQ(net.parameter_count(), 3u * 4 + 4 + 4u * 2 + 2);
+}
+
+TEST(Network, BackwardProducesFiniteParamGrads) {
+    xpcore::Rng rng(5);
+    Network net = Network::mlp({3, 4, 2}, rng);
+    for (auto& p : net.params()) p.grad->fill(0.0f);
+    Tensor in(2, 3, 0.5f);
+    const Tensor& out = net.forward(in);
+    Tensor grad(out.rows(), out.cols(), 1.0f);
+    net.backward(grad);
+    bool any_nonzero = false;
+    for (auto& p : net.params()) {
+        for (std::size_t i = 0; i < p.grad->size(); ++i) {
+            EXPECT_TRUE(std::isfinite(p.grad->data()[i]));
+            if (p.grad->data()[i] != 0.0f) any_nonzero = true;
+        }
+    }
+    EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Network, EmptyForwardThrows) {
+    Network net;
+    Tensor in(1, 1);
+    EXPECT_THROW(net.forward(in), std::logic_error);
+}
+
+TEST(Serialization, RoundTripPreservesOutputs) {
+    xpcore::Rng rng(6);
+    Network net = Network::mlp({4, 8, 3}, rng);
+    Tensor in(2, 4);
+    for (std::size_t i = 0; i < in.size(); ++i) in.data()[i] = static_cast<float>(i) * 0.1f;
+    const Tensor expected = net.forward(in);
+
+    std::stringstream buffer;
+    net.save(buffer);
+    Network loaded = Network::load(buffer);
+    const Tensor& actual = loaded.forward(in);
+
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_FLOAT_EQ(actual.data()[i], expected.data()[i]);  // bitwise identical weights
+    }
+}
+
+TEST(Serialization, RoundTripPreservesStructure) {
+    xpcore::Rng rng(7);
+    Network net = Network::mlp({11, 64, 32, 43}, rng);
+    std::stringstream buffer;
+    net.save(buffer);
+    Network loaded = Network::load(buffer);
+    EXPECT_EQ(loaded.layer_count(), net.layer_count());
+    EXPECT_EQ(loaded.input_size(), 11u);
+    EXPECT_EQ(loaded.output_size(), 43u);
+}
+
+TEST(Network, ReluMlpStructure) {
+    xpcore::Rng rng(10);
+    Network net = Network::mlp({4, 8, 2}, rng, Activation::Relu);
+    EXPECT_EQ(net.layer(1).kind(), "relu");
+}
+
+TEST(Serialization, ReluNetworkRoundTrip) {
+    xpcore::Rng rng(11);
+    Network net = Network::mlp({3, 6, 2}, rng, Activation::Relu);
+    Tensor in(1, 3, 0.4f);
+    const Tensor expected = net.forward(in);
+    std::stringstream buffer;
+    net.save(buffer);
+    Network loaded = Network::load(buffer);
+    const Tensor& actual = loaded.forward(in);
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_FLOAT_EQ(actual.data()[i], expected.data()[i]);
+    }
+}
+
+TEST(Serialization, BadMagicThrows) {
+    std::stringstream buffer("not-a-network-file");
+    EXPECT_THROW(Network::load(buffer), std::runtime_error);
+}
+
+TEST(Serialization, TruncatedFileThrows) {
+    xpcore::Rng rng(8);
+    Network net = Network::mlp({3, 4, 2}, rng);
+    std::stringstream buffer;
+    net.save(buffer);
+    const std::string full = buffer.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    EXPECT_THROW(Network::load(truncated), std::runtime_error);
+}
+
+TEST(Serialization, FileRoundTrip) {
+    xpcore::Rng rng(9);
+    Network net = Network::mlp({2, 3, 2}, rng);
+    const std::string path = ::testing::TempDir() + "/xpdnn_net_test.bin";
+    net.save_file(path);
+    Network loaded = Network::load_file(path);
+    EXPECT_EQ(loaded.input_size(), 2u);
+}
+
+TEST(Serialization, MissingFileThrows) {
+    EXPECT_THROW(Network::load_file("/nonexistent/net.bin"), std::runtime_error);
+}
+
+}  // namespace

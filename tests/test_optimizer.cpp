@@ -1,0 +1,127 @@
+// Tests for AdaMax and SGD.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.hpp"
+
+namespace {
+
+using namespace nn;
+
+/// Minimal quadratic "model": loss = 0.5 * sum w_i^2, gradient = w.
+struct Quadratic {
+    Tensor w{1, 4};
+    Tensor g{1, 4};
+
+    Quadratic() {
+        for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = 1.0f + static_cast<float>(i);
+    }
+    double loss() const {
+        double l = 0.0;
+        for (std::size_t i = 0; i < w.size(); ++i) l += 0.5 * w.data()[i] * w.data()[i];
+        return l;
+    }
+    void compute_grad() {
+        for (std::size_t i = 0; i < w.size(); ++i) g.data()[i] = w.data()[i];
+    }
+    std::vector<Param> params() { return {{&w, &g}}; }
+};
+
+TEST(Sgd, SingleStepMatchesFormula) {
+    Quadratic q;
+    Sgd opt(0.1f);
+    opt.attach(q.params());
+    q.compute_grad();
+    opt.step();
+    for (std::size_t i = 0; i < q.w.size(); ++i) {
+        EXPECT_FLOAT_EQ(q.w.data()[i], (1.0f + static_cast<float>(i)) * 0.9f);
+    }
+}
+
+TEST(Sgd, ClearsGradientsAfterStep) {
+    Quadratic q;
+    Sgd opt(0.1f);
+    opt.attach(q.params());
+    q.compute_grad();
+    opt.step();
+    for (std::size_t i = 0; i < q.g.size(); ++i) EXPECT_FLOAT_EQ(q.g.data()[i], 0.0f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+    Quadratic q;
+    Sgd opt(0.2f);
+    opt.attach(q.params());
+    const double initial = q.loss();
+    for (int i = 0; i < 50; ++i) {
+        q.compute_grad();
+        opt.step();
+    }
+    EXPECT_LT(q.loss(), initial * 1e-4);
+}
+
+TEST(AdaMax, ConvergesOnQuadratic) {
+    Quadratic q;
+    AdaMax opt(AdaMax::Config{.learning_rate = 0.05f});
+    opt.attach(q.params());
+    const double initial = q.loss();
+    for (int i = 0; i < 300; ++i) {
+        q.compute_grad();
+        opt.step();
+    }
+    EXPECT_LT(q.loss(), initial * 1e-3);
+}
+
+TEST(AdaMax, FirstStepSizeIsLearningRate) {
+    // With m = g, u = |g|, bias correction (1 - b1): first update is
+    // exactly lr * sign(g) (up to epsilon).
+    Quadratic q;
+    const float lr = 0.01f;
+    AdaMax opt(AdaMax::Config{.learning_rate = lr});
+    opt.attach(q.params());
+    q.compute_grad();
+    const float before = q.w.data()[0];
+    opt.step();
+    EXPECT_NEAR(q.w.data()[0], before - lr, 1e-5);
+}
+
+TEST(AdaMax, StepIsBoundedByLearningRate) {
+    // AdaMax's update magnitude is bounded by lr / (1 - b1^t) * |m|/u <= ~lr,
+    // regardless of gradient scale — a key stability property.
+    Quadratic q;
+    for (std::size_t i = 0; i < q.w.size(); ++i) q.w.data()[i] = 1000.0f;
+    AdaMax opt(AdaMax::Config{.learning_rate = 0.002f});
+    opt.attach(q.params());
+    q.compute_grad();  // gradient = 1000
+    const float before = q.w.data()[0];
+    opt.step();
+    // Tolerance covers float quantization at w = 1000 (ulp ~6e-5).
+    EXPECT_NEAR(std::abs(q.w.data()[0] - before), 0.002f, 1e-4);
+}
+
+TEST(AdaMax, AttachResetsState) {
+    Quadratic q;
+    AdaMax opt;
+    opt.attach(q.params());
+    q.compute_grad();
+    opt.step();
+    const float after_first = q.w.data()[0];
+    // Re-attach: state (t, m, u) resets, so the next step behaves like a
+    // first step again.
+    opt.attach(q.params());
+    q.compute_grad();
+    opt.step();
+    EXPECT_NEAR(after_first - q.w.data()[0], 0.002f, 1e-4);
+}
+
+TEST(Optimizer, ZeroGradClears) {
+    Quadratic q;
+    Sgd opt(0.1f);
+    opt.attach(q.params());
+    q.compute_grad();
+    opt.zero_grad();
+    for (std::size_t i = 0; i < q.g.size(); ++i) EXPECT_FLOAT_EQ(q.g.data()[i], 0.0f);
+}
+
+}  // namespace

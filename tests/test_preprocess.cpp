@@ -1,0 +1,152 @@
+// Tests for the DNN input preprocessing (Sec. IV-C of the paper).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dnn/preprocess.hpp"
+
+namespace {
+
+using namespace dnn;
+
+TEST(SamplePositions, MatchPaperList) {
+    const auto positions = sample_positions();
+    ASSERT_EQ(positions.size(), 11u);
+    EXPECT_DOUBLE_EQ(positions[0], 1.0 / 64);
+    EXPECT_DOUBLE_EQ(positions[1], 1.0 / 32);
+    EXPECT_DOUBLE_EQ(positions[2], 1.0 / 16);
+    EXPECT_DOUBLE_EQ(positions[3], 1.0 / 8);
+    EXPECT_DOUBLE_EQ(positions[4], 2.0 / 8);
+    EXPECT_DOUBLE_EQ(positions[10], 1.0);
+}
+
+TEST(AssignSlots, EachSlotUsedAtMostOnce) {
+    const std::vector<double> xs = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110};
+    const auto slots = assign_slots(xs);
+    std::set<std::size_t> used;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_TRUE(used.insert(slots[i]).second) << "slot reused";
+    }
+}
+
+TEST(AssignSlots, ElevenPointsFillAllSlots) {
+    const std::vector<double> xs = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110};
+    const auto slots = assign_slots(xs);
+    std::set<std::size_t> used(slots.begin(), slots.begin() + xs.size());
+    EXPECT_EQ(used.size(), 11u);
+}
+
+TEST(AssignSlots, LastPointMapsToLastSlot) {
+    const std::vector<double> xs = {4, 8, 16, 32, 64};
+    const auto slots = assign_slots(xs);
+    EXPECT_EQ(slots[4], 10u);  // normalized position 1.0 -> slot "1"
+}
+
+TEST(AssignSlots, LinearSequenceSpreadsAcrossUpperSlots) {
+    // 0.2, 0.4, 0.6, 0.8, 1.0 -> nearest positions 0.25, 0.375, 0.625, 0.75, 1.
+    const std::vector<double> xs = {20, 40, 60, 80, 100};
+    const auto slots = assign_slots(xs);
+    EXPECT_EQ(slots[0], 4u);
+    EXPECT_EQ(slots[1], 5u);
+    EXPECT_EQ(slots[2], 7u);
+    EXPECT_EQ(slots[3], 8u);
+    EXPECT_EQ(slots[4], 10u);
+}
+
+TEST(AssignSlots, ExponentialSequenceUsesLowSlots) {
+    // 8/32768 etc.: tiny normalized positions cluster in the low slots.
+    const std::vector<double> xs = {8, 64, 512, 4096, 32768};
+    const auto slots = assign_slots(xs);
+    EXPECT_LE(slots[0], 1u);
+    EXPECT_LE(slots[1], 2u);
+    EXPECT_EQ(slots[4], 10u);
+}
+
+TEST(AssignSlots, ValidationErrors) {
+    EXPECT_THROW(assign_slots(std::vector<double>{1.0}), std::invalid_argument);
+    EXPECT_THROW(assign_slots(std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}),
+                 std::invalid_argument);
+    EXPECT_THROW(assign_slots(std::vector<double>{2, 1}), std::invalid_argument);   // decreasing
+    EXPECT_THROW(assign_slots(std::vector<double>{0, 1}), std::invalid_argument);   // non-positive
+    EXPECT_THROW(assign_slots(std::vector<double>{1, 1}), std::invalid_argument);   // duplicate
+}
+
+TEST(PreprocessLine, EnrichmentDividesByPosition) {
+    // Constant v/x: f(x) = x gives enriched values all 1 -> normalized all 1.
+    const std::vector<double> xs = {10, 20, 30, 40, 50};
+    const std::vector<double> vs = {10, 20, 30, 40, 50};
+    const auto input = preprocess_line(xs, vs);
+    const auto slots = assign_slots(xs);
+    for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_FLOAT_EQ(input[slots[i]], 1.0f);
+}
+
+TEST(PreprocessLine, UnusedSlotsAreZeroMasked) {
+    const std::vector<double> xs = {4, 8, 16, 32, 64};
+    const std::vector<double> vs = {1, 2, 3, 4, 5};
+    const auto input = preprocess_line(xs, vs);
+    const auto slots = assign_slots(xs);
+    std::set<std::size_t> used(slots.begin(), slots.begin() + xs.size());
+    for (std::size_t s = 0; s < kInputNeurons; ++s) {
+        if (!used.count(s)) EXPECT_FLOAT_EQ(input[s], 0.0f);
+    }
+}
+
+TEST(PreprocessLine, ValuesNormalizedToUnitMagnitude) {
+    const std::vector<double> xs = {2, 4, 8, 16, 32};
+    std::vector<double> vs;
+    for (double x : xs) vs.push_back(100.0 * x * x);  // huge values
+    const auto input = preprocess_line(xs, vs);
+    float max_abs = 0.0f;
+    for (float v : input) max_abs = std::max(max_abs, std::abs(v));
+    EXPECT_NEAR(max_abs, 1.0f, 1e-6);
+}
+
+TEST(PreprocessLine, ScaleInvariant) {
+    // Multiplying all measurements by a constant must not change the input.
+    const std::vector<double> xs = {2, 4, 8, 16, 32};
+    std::vector<double> vs1, vs2;
+    for (double x : xs) {
+        vs1.push_back(3.0 + x * std::log2(x));
+        vs2.push_back(1000.0 * (3.0 + x * std::log2(x)));
+    }
+    const auto a = preprocess_line(xs, vs1);
+    const auto b = preprocess_line(xs, vs2);
+    for (std::size_t i = 0; i < kInputNeurons; ++i) EXPECT_NEAR(a[i], b[i], 1e-6);
+}
+
+TEST(PreprocessLine, PositionScaleInvariant) {
+    // The paper's normalization makes the input independent of the range of
+    // the sequence: (10,20,40,80,160) and (1,2,4,8,16) with v proportional
+    // to x give identical inputs.
+    const std::vector<double> xs1 = {10, 20, 40, 80, 160};
+    const std::vector<double> xs2 = {1, 2, 4, 8, 16};
+    std::vector<double> vs1, vs2;
+    for (double x : xs1) vs1.push_back(2.0 * x);
+    for (double x : xs2) vs2.push_back(2.0 * x);
+    const auto a = preprocess_line(xs1, vs1);
+    const auto b = preprocess_line(xs2, vs2);
+    for (std::size_t i = 0; i < kInputNeurons; ++i) EXPECT_NEAR(a[i], b[i], 1e-6);
+}
+
+TEST(PreprocessLine, SizeMismatchThrows) {
+    EXPECT_THROW(preprocess_line(std::vector<double>{1, 2, 3}, std::vector<double>{1, 2}),
+                 std::invalid_argument);
+}
+
+TEST(PreprocessLine, DifferentClassesGiveDifferentInputs) {
+    const std::vector<double> xs = {4, 8, 16, 32, 64};
+    std::vector<double> constant_v, quadratic_v;
+    for (double x : xs) {
+        constant_v.push_back(5.0);
+        quadratic_v.push_back(5.0 * x * x);
+    }
+    const auto a = preprocess_line(xs, constant_v);
+    const auto b = preprocess_line(xs, quadratic_v);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < kInputNeurons; ++i) diff += std::abs(a[i] - b[i]);
+    EXPECT_GT(diff, 0.1);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// End-to-end tests for the regression (Extra-P baseline) modeler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noise/injector.hpp"
+#include "regression/modeler.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace regression;
+using pmnf::Rational;
+using pmnf::TermClass;
+
+TEST(RegressionModeler, RecoversSingleParameterModel) {
+    measure::ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+        set.add({p}, {3.0 + 0.5 * p * std::log2(p)});
+    }
+    RegressionModeler modeler;
+    const auto result = modeler.model(set);
+    EXPECT_NEAR(result.fit_smape, 0.0, 1e-6);
+    EXPECT_DOUBLE_EQ(result.model.lead_exponent(0), 1.25);
+    EXPECT_NEAR(result.model.evaluate({{128.0}}), 3.0 + 0.5 * 128.0 * 7.0, 1e-3);
+}
+
+TEST(RegressionModeler, RecoversTwoParameterMultiplicativeModel) {
+    measure::ExperimentSet set({"p", "n"});
+    for (double p : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        for (double n : {10.0, 20.0, 30.0, 40.0, 50.0}) {
+            set.add({p, n}, {1.0 + 0.2 * std::sqrt(p) * n});
+        }
+    }
+    RegressionModeler modeler;
+    const auto result = modeler.model(set);
+    EXPECT_NEAR(result.fit_smape, 0.0, 1e-5);
+    EXPECT_DOUBLE_EQ(result.model.lead_exponent(0), 0.5);
+    EXPECT_DOUBLE_EQ(result.model.lead_exponent(1), 1.0);
+}
+
+TEST(RegressionModeler, RecoversKripkeSweepModelFromCleanData) {
+    // The paper's model on a noise-free 125-point grid.
+    measure::ExperimentSet set({"p", "d", "g"});
+    for (double p : {8.0, 64.0, 512.0, 4096.0, 32768.0}) {
+        for (double d : {2.0, 4.0, 6.0, 8.0, 10.0}) {
+            for (double g : {32.0, 64.0, 96.0, 128.0, 160.0}) {
+                set.add({p, d, g}, {8.51 + 0.11 * std::cbrt(p) * d * std::pow(g, 0.8)});
+            }
+        }
+    }
+    RegressionModeler modeler;
+    const auto result = modeler.model(set);
+    EXPECT_NEAR(result.fit_smape, 0.0, 0.01);
+    EXPECT_NEAR(result.model.lead_exponent(0), 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(result.model.lead_exponent(1), 1.0, 1e-9);
+    EXPECT_NEAR(result.model.lead_exponent(2), 0.8, 1e-9);
+}
+
+TEST(RegressionModeler, ToleratesMildNoise) {
+    xpcore::Rng rng(3);
+    noise::Injector injector(0.05, rng);
+    measure::ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+        set.add({p}, injector.repetitions(10.0 + 2.0 * p, 5));
+    }
+    RegressionModeler modeler;
+    const auto result = modeler.model(set);
+    EXPECT_NEAR(result.model.lead_exponent(0), 1.0, 0.25 + 1e-12);
+}
+
+TEST(RegressionModeler, ConstantKernel) {
+    measure::ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) set.add({p}, {42.0});
+    RegressionModeler modeler;
+    const auto result = modeler.model(set);
+    EXPECT_DOUBLE_EQ(result.model.lead_exponent(0), 0.0);
+    EXPECT_NEAR(result.model.evaluate({{1024.0}}), 42.0, 1e-9);
+}
+
+TEST(RegressionModeler, TwoLinesLayoutLikeCaseStudies) {
+    // FASTEST/RELeARN style: two overlapping lines instead of a full grid.
+    measure::ExperimentSet set({"p", "s"});
+    for (double p : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+        set.add({p, 1000.0}, {5.0 + 2.0 * std::log2(p) + 0.01 * 1000.0});
+    }
+    for (double s : {2000.0, 4000.0, 8000.0, 16000.0}) {
+        set.add({256.0, s}, {5.0 + 2.0 * std::log2(256.0) + 0.01 * s});
+    }
+    RegressionModeler modeler;
+    const auto result = modeler.model(set);
+    EXPECT_NEAR(result.fit_smape, 0.0, 1e-4);
+    EXPECT_DOUBLE_EQ(result.model.lead_exponent(0), 0.25);  // log2(p)
+    EXPECT_DOUBLE_EQ(result.model.lead_exponent(1), 1.0);   // s
+}
+
+TEST(RegressionModeler, EmptySetThrows) {
+    measure::ExperimentSet set({"p"});
+    RegressionModeler modeler;
+    EXPECT_THROW(modeler.model(set), std::invalid_argument);
+}
+
+TEST(RegressionModeler, MissingLineThrows) {
+    measure::ExperimentSet set({"p", "n"});
+    set.add({1.0, 10.0}, {1.0});
+    set.add({2.0, 20.0}, {2.0});  // no line with >= 2 points for either param
+    RegressionModeler modeler;
+    EXPECT_THROW(modeler.model(set), std::invalid_argument);
+}
+
+TEST(RegressionModeler, ConfigDefaults) {
+    RegressionModeler modeler;
+    EXPECT_EQ(modeler.config().top_k, 3u);
+    EXPECT_EQ(modeler.config().max_folds, 25u);
+    EXPECT_EQ(modeler.config().aggregation, measure::Aggregation::Median);
+}
+
+TEST(RegressionModeler, AlternativesAreRankedAndDistinct) {
+    measure::ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) set.add({p}, {3.0 + 2.0 * p});
+    RegressionModeler modeler;
+    const auto ranked = modeler.model_alternatives(set, 4);
+    ASSERT_GE(ranked.size(), 2u);
+    ASSERT_LE(ranked.size(), 4u);
+    for (std::size_t i = 1; i < ranked.size(); ++i) {
+        EXPECT_LE(ranked[i - 1].cv_smape, ranked[i].cv_smape);
+        EXPECT_NE(ranked[i - 1].model.to_string(), ranked[i].model.to_string());
+    }
+    // The first alternative must agree with the single-model API.
+    EXPECT_EQ(ranked.front().model.to_string(), modeler.model(set).model.to_string());
+}
+
+TEST(RegressionModeler, AlternativesKeepOneAtMinimum) {
+    measure::ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) set.add({p}, {7.0});
+    RegressionModeler modeler;
+    EXPECT_GE(modeler.model_alternatives(set, 1).size(), 1u);
+}
+
+}  // namespace

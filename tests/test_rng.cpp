@@ -1,0 +1,127 @@
+// Tests for xpcore::Rng: determinism, distribution ranges, splitting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "xpcore/rng.hpp"
+
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+    xpcore::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    xpcore::Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform(0, 1) == b.uniform(0, 1)) ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformWithinBounds) {
+    xpcore::Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-3.5, 2.5);
+        EXPECT_GE(v, -3.5);
+        EXPECT_LT(v, 2.5);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+    xpcore::Rng rng(7);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniform_int(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformMeanApproximately) {
+    xpcore::Rng rng(99);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += rng.uniform(0, 10);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+    xpcore::Rng rng(5);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(2.0, 3.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 2.0, 0.1);
+    EXPECT_NEAR(sq / n - mean * mean, 9.0, 0.3);
+}
+
+TEST(Rng, ChanceFrequency) {
+    xpcore::Rng rng(11);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.chance(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, PickCoversAllElements) {
+    xpcore::Rng rng(13);
+    const std::vector<int> items = {10, 20, 30};
+    std::set<int> seen;
+    for (int i = 0; i < 300; ++i) seen.insert(rng.pick(items));
+    EXPECT_EQ(seen.size(), items.size());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    xpcore::Rng rng(17);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+    xpcore::Rng rng(19);
+    std::vector<int> v(20);
+    for (int i = 0; i < 20; ++i) v[i] = i;
+    const auto original = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, original);  // 1/20! chance of failing
+}
+
+TEST(Rng, SplitIndependentStreams) {
+    xpcore::Rng parent(23);
+    xpcore::Rng c1 = parent.split();
+    xpcore::Rng c2 = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (c1.uniform(0, 1) == c2.uniform(0, 1)) ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitDeterministic) {
+    xpcore::Rng a(31), b(31);
+    xpcore::Rng ca = a.split();
+    xpcore::Rng cb = b.split();
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_DOUBLE_EQ(ca.uniform(0, 1), cb.uniform(0, 1));
+    }
+}
+
+}  // namespace

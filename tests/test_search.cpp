@@ -1,0 +1,181 @@
+// Tests for the hypothesis search space: single-parameter ranking, set
+// partitions, combination building, and combination selection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "regression/search.hpp"
+
+namespace {
+
+using namespace regression;
+using pmnf::Rational;
+using pmnf::TermClass;
+
+TEST(SetPartitions, BellNumbers) {
+    EXPECT_EQ(set_partitions(1).size(), 1u);
+    EXPECT_EQ(set_partitions(2).size(), 2u);
+    EXPECT_EQ(set_partitions(3).size(), 5u);
+    EXPECT_EQ(set_partitions(4).size(), 15u);
+}
+
+TEST(SetPartitions, EveryElementExactlyOnce) {
+    for (const auto& partition : set_partitions(3)) {
+        std::set<std::size_t> seen;
+        for (const auto& block : partition) {
+            for (std::size_t e : block) EXPECT_TRUE(seen.insert(e).second);
+        }
+        EXPECT_EQ(seen.size(), 3u);
+    }
+}
+
+TEST(RankSingle, IdentifiesExactClassOnCleanData) {
+    const std::vector<double> xs = {2, 4, 8, 16, 32, 64};
+    std::vector<double> ys;
+    for (double x : xs) ys.push_back(4.0 + 2.5 * x * std::log2(x));
+    const auto ranked = rank_single_parameter(xs, ys);
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_EQ(ranked.front().cls, (TermClass{Rational(1), 1}));
+    EXPECT_NEAR(ranked.front().cv_smape, 0.0, 1e-6);
+}
+
+TEST(RankSingle, ConstantDataPrefersConstantClass) {
+    const std::vector<double> xs = {2, 4, 8, 16, 32};
+    const std::vector<double> ys = {7, 7, 7, 7, 7};
+    const auto ranked = rank_single_parameter(xs, ys);
+    EXPECT_TRUE(ranked.front().cls.is_constant());
+}
+
+TEST(RankSingle, ReturnsAll43Ranked) {
+    const std::vector<double> xs = {2, 4, 8, 16, 32};
+    std::vector<double> ys;
+    for (double x : xs) ys.push_back(x);
+    const auto ranked = rank_single_parameter(xs, ys);
+    EXPECT_EQ(ranked.size(), 43u);
+    for (std::size_t i = 1; i < ranked.size(); ++i) {
+        EXPECT_LE(ranked[i - 1].cv_smape, ranked[i].cv_smape);
+    }
+}
+
+TEST(RankSingle, TooFewPointsThrows) {
+    EXPECT_THROW(rank_single_parameter(std::vector<double>{1.0}, std::vector<double>{1.0}),
+                 std::invalid_argument);
+}
+
+/// Property sweep: on clean data every one of the 43 classes must be
+/// recovered within a quarter of an effective exponent.
+class RankRecovery : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RankRecovery, TopCandidateWithinQuarterDistance) {
+    const TermClass truth = pmnf::exponent_set()[GetParam()];
+    const std::vector<double> xs = {4, 8, 16, 32, 64, 128};
+    std::vector<double> ys;
+    for (double x : xs) ys.push_back(2.0 + 3.0 * truth.evaluate(x));
+    const auto ranked = rank_single_parameter(xs, ys);
+    const double distance =
+        std::abs(ranked.front().cls.effective_exponent() - truth.effective_exponent());
+    EXPECT_LE(distance, 0.25) << "truth " << truth.to_string() << " got "
+                              << ranked.front().cls.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, RankRecovery, ::testing::Range<std::size_t>(0, 43));
+
+TEST(BuildCombinations, SingleParameterShapes) {
+    std::vector<std::vector<TermClass>> choices = {{TermClass{Rational(1), 0}}};
+    const auto shapes = build_combinations(choices);
+    // One partition of {0}: the term itself.
+    ASSERT_EQ(shapes.size(), 1u);
+    EXPECT_EQ(shapes[0].terms.size(), 1u);
+}
+
+TEST(BuildCombinations, ConstantChoiceCollapsesToConstantShape) {
+    std::vector<std::vector<TermClass>> choices = {{TermClass{}}};
+    const auto shapes = build_combinations(choices);
+    ASSERT_EQ(shapes.size(), 1u);
+    EXPECT_TRUE(shapes[0].terms.empty());
+}
+
+TEST(BuildCombinations, TwoParametersAdditiveAndMultiplicative) {
+    std::vector<std::vector<TermClass>> choices = {{TermClass{Rational(1), 0}},
+                                                   {TermClass{Rational(2), 0}}};
+    const auto shapes = build_combinations(choices);
+    // Partitions of {0,1}: {{0,1}} (multiplicative) and {{0},{1}} (additive).
+    ASSERT_EQ(shapes.size(), 2u);
+    std::set<std::size_t> term_counts;
+    for (const auto& shape : shapes) term_counts.insert(shape.terms.size());
+    EXPECT_EQ(term_counts, (std::set<std::size_t>{1u, 2u}));
+}
+
+TEST(BuildCombinations, DeduplicatesAcrossChoices) {
+    // Two identical choices for one parameter must not double the shapes.
+    std::vector<std::vector<TermClass>> choices = {
+        {TermClass{Rational(1), 0}, TermClass{Rational(1), 0}}};
+    EXPECT_EQ(build_combinations(choices).size(), 1u);
+}
+
+TEST(BuildCombinations, CrossProductOfChoices) {
+    std::vector<std::vector<TermClass>> choices = {
+        {TermClass{Rational(1), 0}, TermClass{Rational(2), 0}},
+        {TermClass{Rational(0), 1}, TermClass{Rational(1), 0}}};
+    // 2x2 choices x 2 partitions = 8 distinct shapes.
+    EXPECT_EQ(build_combinations(choices).size(), 8u);
+}
+
+measure::ExperimentSet make_set_2d(const std::function<double(double, double)>& f) {
+    measure::ExperimentSet set({"x", "y"});
+    for (double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        for (double y : {10.0, 20.0, 30.0, 40.0, 50.0}) {
+            set.add({x, y}, {f(x, y)});
+        }
+    }
+    return set;
+}
+
+TEST(SelectBest, RecoversAdditiveModel) {
+    const auto set = make_set_2d([](double x, double y) { return 5.0 + 2.0 * x + 3.0 * y; });
+    std::vector<std::vector<TermClass>> choices = {
+        {TermClass{Rational(1), 0}, TermClass{}},
+        {TermClass{Rational(1), 0}, TermClass{}}};
+    const auto result = select_best_combination(set, choices);
+    EXPECT_NEAR(result.cv_smape, 0.0, 1e-6);
+    EXPECT_EQ(result.model.terms().size(), 2u);
+    EXPECT_NEAR(result.model.evaluate({{64.0, 100.0}}), 5.0 + 128.0 + 300.0, 1e-6);
+}
+
+TEST(SelectBest, RecoversMultiplicativeModel) {
+    const auto set = make_set_2d([](double x, double y) { return 1.0 + 0.5 * x * y; });
+    std::vector<std::vector<TermClass>> choices = {
+        {TermClass{Rational(1), 0}, TermClass{}},
+        {TermClass{Rational(1), 0}, TermClass{}}};
+    const auto result = select_best_combination(set, choices);
+    EXPECT_NEAR(result.cv_smape, 0.0, 1e-6);
+    ASSERT_EQ(result.model.terms().size(), 1u);
+    EXPECT_EQ(result.model.terms()[0].factors.size(), 2u);
+}
+
+TEST(SelectBest, DropsIrrelevantParameter) {
+    const auto set = make_set_2d([](double x, double) { return 2.0 + 4.0 * x; });
+    std::vector<std::vector<TermClass>> choices = {
+        {TermClass{Rational(1), 0}, TermClass{}},
+        {TermClass{Rational(1), 0}, TermClass{}}};
+    const auto result = select_best_combination(set, choices);
+    EXPECT_DOUBLE_EQ(result.model.lead_exponent(1), 0.0);
+    EXPECT_NEAR(result.model.lead_exponent(0), 1.0, 1e-12);
+}
+
+TEST(SelectBest, ArityMismatchThrows) {
+    const auto set = make_set_2d([](double x, double y) { return x + y; });
+    std::vector<std::vector<TermClass>> one_choice = {{TermClass{Rational(1), 0}}};
+    EXPECT_THROW(select_best_combination(set, one_choice), std::invalid_argument);
+}
+
+TEST(SelectBest, EmptyChoiceSetThrows) {
+    const auto set = make_set_2d([](double x, double y) { return x + y; });
+    std::vector<std::vector<TermClass>> choices = {{TermClass{Rational(1), 0}}, {}};
+    EXPECT_THROW(select_best_combination(set, choices), std::invalid_argument);
+}
+
+}  // namespace

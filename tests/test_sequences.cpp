@@ -1,0 +1,129 @@
+// Tests for parameter-value sequence generators.
+
+#include <gtest/gtest.h>
+
+#include "measure/sequences.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace measure;
+
+class SequenceKinds : public ::testing::TestWithParam<SequenceKind> {};
+
+TEST_P(SequenceKinds, StrictlyIncreasingAndPositive) {
+    xpcore::Rng rng(123);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto seq = generate_sequence(GetParam(), 7, rng);
+        ASSERT_EQ(seq.size(), 7u);
+        EXPECT_GT(seq[0], 0.0);
+        for (std::size_t i = 1; i < seq.size(); ++i) {
+            EXPECT_GT(seq[i], seq[i - 1]) << to_string(GetParam());
+        }
+    }
+}
+
+TEST_P(SequenceKinds, RespectsRequestedLength) {
+    xpcore::Rng rng(7);
+    for (std::size_t length : {2u, 5u, 11u}) {
+        EXPECT_EQ(generate_sequence(GetParam(), length, rng).size(), length);
+    }
+}
+
+TEST_P(SequenceKinds, DeterministicGivenSeed) {
+    xpcore::Rng a(42), b(42);
+    EXPECT_EQ(generate_sequence(GetParam(), 6, a), generate_sequence(GetParam(), 6, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SequenceKinds,
+                         ::testing::ValuesIn(all_sequence_kinds()),
+                         [](const auto& info) {
+                             std::string name = to_string(info.param);
+                             for (auto& c : name) {
+                                 if (c == '-') c = '_';
+                             }
+                             return name;
+                         });
+
+TEST(Sequences, LengthBelowTwoThrows) {
+    xpcore::Rng rng(1);
+    EXPECT_THROW(generate_sequence(SequenceKind::Linear, 1, rng), std::invalid_argument);
+}
+
+TEST(Sequences, LinearHasConstantStep) {
+    xpcore::Rng rng(5);
+    const auto seq = generate_sequence(SequenceKind::Linear, 5, rng);
+    const double step = seq[1] - seq[0];
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+        EXPECT_DOUBLE_EQ(seq[i] - seq[i - 1], step);
+    }
+}
+
+TEST(Sequences, SmallExponentialDoubles) {
+    xpcore::Rng rng(5);
+    const auto seq = generate_sequence(SequenceKind::SmallExponential, 5, rng);
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+        EXPECT_DOUBLE_EQ(seq[i] / seq[i - 1], 2.0);
+    }
+}
+
+TEST(Sequences, ExponentialConstantRatio) {
+    xpcore::Rng rng(5);
+    const auto seq = generate_sequence(SequenceKind::Exponential, 5, rng);
+    const double ratio = seq[1] / seq[0];
+    EXPECT_GE(ratio, 4.0);
+    EXPECT_LE(ratio, 8.0);
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+        EXPECT_NEAR(seq[i] / seq[i - 1], ratio, 1e-9);
+    }
+}
+
+TEST(Sequences, RandomSequenceSamplesAnyKind) {
+    xpcore::Rng rng(9);
+    const auto seq = random_sequence(5, rng);
+    EXPECT_EQ(seq.size(), 5u);
+}
+
+TEST(ContinueSequence, GeometricContinuation) {
+    const std::vector<double> seq = {8, 64, 512, 4096, 32768};
+    const auto next = continue_sequence(seq, 3);
+    ASSERT_EQ(next.size(), 3u);
+    EXPECT_DOUBLE_EQ(next[0], 262144.0);
+    EXPECT_DOUBLE_EQ(next[1], 2097152.0);
+    EXPECT_DOUBLE_EQ(next[2], 16777216.0);
+}
+
+TEST(ContinueSequence, ArithmeticContinuation) {
+    const std::vector<double> seq = {10, 20, 30, 40, 50};
+    const auto next = continue_sequence(seq, 4);
+    EXPECT_EQ(next, (std::vector<double>{60, 70, 80, 90}));
+}
+
+TEST(ContinueSequence, PowersOfTwo) {
+    const std::vector<double> seq = {4, 8, 16, 32, 64};
+    const auto next = continue_sequence(seq, 2);
+    EXPECT_DOUBLE_EQ(next[0], 128.0);
+    EXPECT_DOUBLE_EQ(next[1], 256.0);
+}
+
+TEST(ContinueSequence, ValuesAreBeyondRange) {
+    xpcore::Rng rng(31);
+    for (const auto kind : all_sequence_kinds()) {
+        const auto seq = generate_sequence(kind, 5, rng);
+        const auto next = continue_sequence(seq, 4);
+        for (double v : next) EXPECT_GT(v, seq.back());
+        for (std::size_t i = 1; i < next.size(); ++i) EXPECT_GT(next[i], next[i - 1]);
+    }
+}
+
+TEST(ContinueSequence, TooShortThrows) {
+    EXPECT_THROW(continue_sequence({1.0}, 2), std::invalid_argument);
+}
+
+TEST(Sequences, KindNames) {
+    EXPECT_EQ(to_string(SequenceKind::Linear), "linear");
+    EXPECT_EQ(to_string(SequenceKind::Exponential), "exponential");
+    EXPECT_EQ(all_sequence_kinds().size(), 5u);
+}
+
+}  // namespace

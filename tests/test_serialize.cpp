@@ -1,0 +1,136 @@
+// Tests for PMNF model JSON (de)serialization.
+
+#include <gtest/gtest.h>
+
+#include "pmnf/exponents.hpp"
+#include "pmnf/serialize.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace pmnf;
+
+Model sample_model() {
+    CompoundTerm t1{0.11,
+                    {{0, {Rational(1, 3), 0}}, {1, {Rational(1), 0}}, {2, {Rational(4, 5), 0}}}};
+    CompoundTerm t2{-3.5e-4, {{2, {Rational(0), 2}}}};
+    return Model(8.51, {t1, t2});
+}
+
+TEST(ModelJson, RoundTripPreservesEvaluation) {
+    const Model original = sample_model();
+    const Model loaded = from_json(to_json(original));
+    const std::vector<double> points[] = {{8, 2, 32}, {512, 10, 96}, {32768, 12, 160}};
+    for (const auto& p : points) {
+        EXPECT_DOUBLE_EQ(loaded.evaluate(p), original.evaluate(p));
+    }
+}
+
+TEST(ModelJson, RoundTripPreservesStructure) {
+    const Model loaded = from_json(to_json(sample_model()));
+    ASSERT_EQ(loaded.terms().size(), 2u);
+    EXPECT_DOUBLE_EQ(loaded.constant(), 8.51);
+    EXPECT_EQ(loaded.terms()[0].factors.size(), 3u);
+    EXPECT_EQ(loaded.terms()[0].factors[0].cls.i, Rational(1, 3));
+    EXPECT_EQ(loaded.terms()[1].factors[0].cls.j, 2);
+    EXPECT_DOUBLE_EQ(loaded.terms()[1].coefficient, -3.5e-4);
+}
+
+TEST(ModelJson, ConstantModel) {
+    const Model loaded = from_json(to_json(Model::constant_model(42.0)));
+    EXPECT_DOUBLE_EQ(loaded.constant(), 42.0);
+    EXPECT_TRUE(loaded.terms().empty());
+}
+
+TEST(ModelJson, ToJsonIsStable) {
+    EXPECT_EQ(to_json(sample_model()), to_json(sample_model()));
+}
+
+TEST(ModelJson, ExpectedShape) {
+    const std::string json = to_json(Model::constant_model(1.0));
+    EXPECT_EQ(json, "{\"constant\": 1, \"terms\": []}");
+}
+
+TEST(ModelJson, ParsesWhitespaceTolerantInput) {
+    const std::string json = R"({
+        "constant" : 2.0 ,
+        "terms" : [
+            { "coefficient": 3.0,
+              "factors": [ { "parameter": 0, "i": [ 1 , 2 ], "j": 1 } ] }
+        ]
+    })";
+    const Model model = from_json(json);
+    EXPECT_DOUBLE_EQ(model.constant(), 2.0);
+    ASSERT_EQ(model.terms().size(), 1u);
+    EXPECT_EQ(model.terms()[0].factors[0].cls.i, Rational(1, 2));
+}
+
+TEST(ModelJson, RationalIsNormalizedOnLoad) {
+    const std::string json =
+        R"({"constant": 0, "terms": [{"coefficient": 1, "factors": [{"parameter": 0, "i": [2, 4], "j": 0}]}]})";
+    const Model model = from_json(json);
+    EXPECT_EQ(model.terms()[0].factors[0].cls.i, Rational(1, 2));
+}
+
+TEST(ModelJson, MalformedInputsThrow) {
+    EXPECT_THROW(from_json(""), std::runtime_error);
+    EXPECT_THROW(from_json("{}"), std::runtime_error);            // no keys at all
+    EXPECT_THROW(from_json("{\"terms\": []}"), std::runtime_error);  // missing constant
+    EXPECT_THROW(from_json("{\"constant\": }"), std::runtime_error);
+    EXPECT_THROW(from_json("{\"constant\": 1, \"bogus\": 2}"), std::runtime_error);
+    EXPECT_THROW(from_json("{\"constant\": 1} trailing"), std::runtime_error);
+    EXPECT_THROW(from_json(R"({"constant": 1, "terms": [{"factors": []}]})"),
+                 std::runtime_error);  // term without coefficient
+    EXPECT_THROW(
+        from_json(
+            R"({"constant": 0, "terms": [{"coefficient": 1, "factors": [{"parameter": 0, "i": [1, 0], "j": 0}]}]})"),
+        std::runtime_error);  // zero denominator
+    EXPECT_THROW(
+        from_json(
+            R"({"constant": 0, "terms": [{"coefficient": 1, "factors": [{"parameter": -1, "i": [1, 1], "j": 0}]}]})"),
+        std::runtime_error);  // negative parameter index
+}
+
+/// Property: random PMNF models survive a JSON round trip bit-exactly.
+class JsonRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonRoundTripProperty, RandomModelsAreStable) {
+    xpcore::Rng rng(GetParam() * 7919);
+    const std::size_t params = 1 + GetParam() % 3;
+    const auto classes = pmnf::exponent_set();
+    std::vector<CompoundTerm> terms;
+    const std::size_t term_count = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    for (std::size_t t = 0; t < term_count; ++t) {
+        CompoundTerm term;
+        term.coefficient = rng.uniform(-1000.0, 1000.0);
+        for (std::size_t l = 0; l < params; ++l) {
+            if (rng.chance(0.7)) {
+                term.factors.push_back(
+                    {l, classes[rng.uniform_int(0, static_cast<std::int64_t>(classes.size()) - 1)]});
+            }
+        }
+        terms.push_back(std::move(term));
+    }
+    const Model original(rng.uniform(-100.0, 100.0), std::move(terms));
+    const Model loaded = from_json(to_json(original));
+
+    for (int trial = 0; trial < 5; ++trial) {
+        std::vector<double> point(params);
+        for (auto& x : point) x = rng.uniform(2.0, 1e5);
+        EXPECT_DOUBLE_EQ(loaded.evaluate(point), original.evaluate(point));
+    }
+    EXPECT_EQ(loaded.to_string(), original.to_string());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripProperty, ::testing::Range(1, 11));
+
+TEST(ModelJson, ErrorCarriesOffset) {
+    try {
+        from_json("{\"constant\": oops}");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Tests for xpcore statistics and bootstrap confidence intervals.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xpcore/rng.hpp"
+#include "xpcore/stats.hpp"
+
+namespace {
+
+using namespace xpcore;
+
+TEST(Stats, MeanBasic) {
+    const std::vector<double> xs = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stats, MedianOddCount) {
+    const std::vector<double> xs = {5, 1, 3};
+    EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Stats, MedianEvenCount) {
+    const std::vector<double> xs = {4, 1, 3, 2};
+    EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, MedianSingleElement) {
+    const std::vector<double> xs = {7.5};
+    EXPECT_DOUBLE_EQ(median(xs), 7.5);
+}
+
+TEST(Stats, MedianDoesNotModifyInput) {
+    const std::vector<double> xs = {3, 1, 2};
+    const auto copy = xs;
+    median(xs);
+    EXPECT_EQ(xs, copy);
+}
+
+TEST(Stats, MedianRobustToOutlier) {
+    const std::vector<double> xs = {1, 2, 3, 4, 1e9};
+    EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Stats, VarianceAndStddev) {
+    const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, VarianceFewSamplesIsZero) {
+    const std::vector<double> one = {3.0};
+    EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Stats, QuantileEndpoints) {
+    const std::vector<double> xs = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+    const std::vector<double> xs = {0, 10};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+TEST(Stats, QuantileClampsOutOfRange) {
+    const std::vector<double> xs = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(quantile(xs, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.5), 3.0);
+}
+
+TEST(Stats, MinMax) {
+    const std::vector<double> xs = {3, -1, 4, 1, 5};
+    EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+    EXPECT_DOUBLE_EQ(max_value(xs), 5.0);
+}
+
+TEST(Stats, BootstrapMedianCiContainsPoint) {
+    xpcore::Rng rng(1);
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i) xs.push_back(rng.uniform(0, 10));
+    const auto ci = bootstrap_median_ci(xs, 0.99, 500, rng);
+    EXPECT_LE(ci.lower, ci.point);
+    EXPECT_GE(ci.upper, ci.point);
+    EXPECT_DOUBLE_EQ(ci.point, median(xs));
+}
+
+TEST(Stats, BootstrapMedianCiNarrowsWithSamples) {
+    xpcore::Rng rng(2);
+    std::vector<double> small_set, large_set;
+    for (int i = 0; i < 20; ++i) small_set.push_back(rng.uniform(0, 10));
+    for (int i = 0; i < 2000; ++i) large_set.push_back(rng.uniform(0, 10));
+    const auto ci_small = bootstrap_median_ci(small_set, 0.95, 400, rng);
+    const auto ci_large = bootstrap_median_ci(large_set, 0.95, 400, rng);
+    EXPECT_LT(ci_large.upper - ci_large.lower, ci_small.upper - ci_small.lower);
+}
+
+TEST(Stats, BootstrapMeanCiCoversTrueMean) {
+    // Property: over repeated draws, the 95% CI should usually contain the
+    // true mean (5.0 for U(0, 10)). Allow generous slack for 30 trials.
+    xpcore::Rng rng(3);
+    int covered = 0;
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<double> xs;
+        for (int i = 0; i < 200; ++i) xs.push_back(rng.uniform(0, 10));
+        const auto ci = bootstrap_mean_ci(xs, 0.95, 300, rng);
+        if (ci.lower <= 5.0 && 5.0 <= ci.upper) ++covered;
+    }
+    EXPECT_GE(covered, 24);
+}
+
+TEST(Stats, BootstrapDegenerateInputs) {
+    xpcore::Rng rng(4);
+    const std::vector<double> one = {2.0};
+    const auto ci = bootstrap_median_ci(one, 0.99, 100, rng);
+    EXPECT_DOUBLE_EQ(ci.lower, 2.0);
+    EXPECT_DOUBLE_EQ(ci.upper, 2.0);
+}
+
+TEST(Stats, ProportionCiBasics) {
+    xpcore::Rng rng(5);
+    const auto ci = bootstrap_proportion_ci(80, 100, 0.99, 400, rng);
+    EXPECT_DOUBLE_EQ(ci.point, 0.8);
+    EXPECT_LE(ci.lower, 0.8);
+    EXPECT_GE(ci.upper, 0.8);
+    EXPECT_GT(ci.lower, 0.6);
+    EXPECT_LT(ci.upper, 0.95);
+}
+
+TEST(Stats, ProportionCiZeroTotal) {
+    xpcore::Rng rng(6);
+    const auto ci = bootstrap_proportion_ci(0, 0, 0.99, 100, rng);
+    EXPECT_DOUBLE_EQ(ci.point, 0.0);
+}
+
+}  // namespace

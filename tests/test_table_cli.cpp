@@ -1,0 +1,92 @@
+// Tests for the table printer and CLI argument parser.
+
+#include <gtest/gtest.h>
+
+#include "xpcore/cli.hpp"
+#include "xpcore/table.hpp"
+
+namespace {
+
+using namespace xpcore;
+
+TEST(Table, AlignsColumns) {
+    Table t({"a", "long-header"});
+    t.add_row({"wide-cell", "1"});
+    const std::string out = t.to_string();
+    EXPECT_NE(out.find("| a         | long-header |"), std::string::npos);
+    EXPECT_NE(out.find("| wide-cell | 1           |"), std::string::npos);
+}
+
+TEST(Table, SeparatorLinePresent) {
+    Table t({"x"});
+    t.add_row({"1"});
+    EXPECT_NE(t.to_string().find("|---|"), std::string::npos);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, RowCount) {
+    Table t({"x"});
+    EXPECT_EQ(t.row_count(), 0u);
+    t.add_row({"1"});
+    t.add_row({"2"});
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+    const char* argv[] = {"prog", "--alpha=3", "--flag", "positional"};
+    CliArgs args(4, argv);
+    EXPECT_TRUE(args.has("alpha"));
+    EXPECT_EQ(args.get_int("alpha", 0), 3);
+    EXPECT_TRUE(args.get_bool("flag", false));
+    ASSERT_EQ(args.positionals().size(), 1u);
+    EXPECT_EQ(args.positionals()[0], "positional");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+    const char* argv[] = {"prog"};
+    CliArgs args(1, argv);
+    EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+    EXPECT_EQ(args.get_int("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+    EXPECT_FALSE(args.get_bool("missing", false));
+}
+
+TEST(Cli, ParsesDoubles) {
+    const char* argv[] = {"prog", "--noise=0.75"};
+    CliArgs args(2, argv);
+    EXPECT_DOUBLE_EQ(args.get_double("noise", 0), 0.75);
+}
+
+TEST(Cli, MalformedNumbersThrow) {
+    const char* argv[] = {"prog", "--n=12abc", "--x=1.5.2"};
+    CliArgs args(3, argv);
+    EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+    EXPECT_THROW(args.get_double("x", 0), std::invalid_argument);
+}
+
+TEST(Cli, BooleanSpellings) {
+    const char* argv[] = {"prog", "--a=yes", "--b=off", "--c=1", "--d=false"};
+    CliArgs args(5, argv);
+    EXPECT_TRUE(args.get_bool("a", false));
+    EXPECT_FALSE(args.get_bool("b", true));
+    EXPECT_TRUE(args.get_bool("c", false));
+    EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(Cli, MalformedBooleanThrows) {
+    const char* argv[] = {"prog", "--a=maybe"};
+    CliArgs args(2, argv);
+    EXPECT_THROW(args.get_bool("a", false), std::invalid_argument);
+}
+
+}  // namespace

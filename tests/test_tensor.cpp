@@ -1,0 +1,155 @@
+// Tests for the f32 tensor and GEMM kernels, validated against a naive
+// reference implementation over random shapes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "nn/tensor.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using nn::Tensor;
+
+Tensor random_tensor(std::size_t rows, std::size_t cols, xpcore::Rng& rng) {
+    Tensor t(rows, cols);
+    for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+    return t;
+}
+
+Tensor naive_nn(const Tensor& a, const Tensor& b) {
+    Tensor c(a.rows(), b.cols(), 0.0f);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j)
+            for (std::size_t k = 0; k < a.cols(); ++k) c(i, j) += a(i, k) * b(k, j);
+    return c;
+}
+
+void expect_near(const Tensor& actual, const Tensor& expected, float tol = 1e-4f) {
+    ASSERT_EQ(actual.rows(), expected.rows());
+    ASSERT_EQ(actual.cols(), expected.cols());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_NEAR(actual.data()[i], expected.data()[i], tol);
+    }
+}
+
+TEST(Tensor, ConstructAndIndex) {
+    Tensor t(2, 3, 1.5f);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.cols(), 3u);
+    EXPECT_EQ(t.size(), 6u);
+    t(1, 2) = 7.0f;
+    EXPECT_FLOAT_EQ(t(1, 2), 7.0f);
+    EXPECT_FLOAT_EQ(t(0, 0), 1.5f);
+}
+
+TEST(Tensor, RowSpan) {
+    Tensor t(2, 3);
+    for (std::size_t c = 0; c < 3; ++c) t(1, c) = static_cast<float>(c);
+    const auto row = t.row(1);
+    EXPECT_EQ(row.size(), 3u);
+    EXPECT_FLOAT_EQ(row[2], 2.0f);
+}
+
+TEST(Tensor, FillAndResize) {
+    Tensor t(2, 2);
+    t.fill(3.0f);
+    EXPECT_FLOAT_EQ(t(1, 1), 3.0f);
+    t.resize(4, 5);
+    EXPECT_EQ(t.rows(), 4u);
+    EXPECT_EQ(t.size(), 20u);
+}
+
+TEST(Tensor, GlorotUniformBounds) {
+    xpcore::Rng rng(1);
+    Tensor t(100, 100);
+    t.glorot_uniform(100, 100, rng);
+    const float bound = std::sqrt(6.0f / 200.0f);
+    float max_abs = 0.0f;
+    for (std::size_t i = 0; i < t.size(); ++i) max_abs = std::max(max_abs, std::abs(t.data()[i]));
+    EXPECT_LE(max_abs, bound);
+    EXPECT_GT(max_abs, bound * 0.9f);  // actually fills the range
+}
+
+TEST(Gemm, KnownSmallProduct) {
+    Tensor a(2, 2), b(2, 2), c(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 3;
+    a(1, 1) = 4;
+    b(0, 0) = 5;
+    b(0, 1) = 6;
+    b(1, 0) = 7;
+    b(1, 1) = 8;
+    gemm_nn(a, b, c);
+    EXPECT_FLOAT_EQ(c(0, 0), 19);
+    EXPECT_FLOAT_EQ(c(0, 1), 22);
+    EXPECT_FLOAT_EQ(c(1, 0), 43);
+    EXPECT_FLOAT_EQ(c(1, 1), 50);
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, NnMatchesNaive) {
+    const auto [m, k, n] = GetParam();
+    xpcore::Rng rng(m * 100 + k * 10 + n);
+    const Tensor a = random_tensor(m, k, rng);
+    const Tensor b = random_tensor(k, n, rng);
+    Tensor c(m, n);
+    gemm_nn(a, b, c);
+    expect_near(c, naive_nn(a, b));
+}
+
+TEST_P(GemmShapes, NtMatchesNaive) {
+    const auto [m, k, n] = GetParam();
+    xpcore::Rng rng(m * 100 + k * 10 + n + 1);
+    const Tensor a = random_tensor(m, k, rng);
+    const Tensor bt = random_tensor(n, k, rng);  // b^T stored
+    Tensor c(m, n);
+    gemm_nt(a, bt, c);
+    // reference: transpose bt then multiply
+    Tensor b(k, n);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(k); ++i)
+        for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) b(i, j) = bt(j, i);
+    expect_near(c, naive_nn(a, b));
+}
+
+TEST_P(GemmShapes, TnMatchesNaive) {
+    const auto [m, k, n] = GetParam();
+    xpcore::Rng rng(m * 100 + k * 10 + n + 2);
+    const Tensor at = random_tensor(k, m, rng);  // a^T stored
+    const Tensor b = random_tensor(k, n, rng);
+    Tensor c(m, n);
+    gemm_tn(at, b, c);
+    Tensor a(m, k);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(m); ++i)
+        for (std::size_t j = 0; j < static_cast<std::size_t>(k); ++j) a(i, j) = at(j, i);
+    expect_near(c, naive_nn(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapes,
+                         ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                                           std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                                           std::make_tuple(1, 32, 8), std::make_tuple(33, 17, 9)));
+
+TEST(Gemm, AccumulateAddsToExisting) {
+    xpcore::Rng rng(9);
+    const Tensor a = random_tensor(3, 4, rng);
+    const Tensor b = random_tensor(4, 2, rng);
+    Tensor c(3, 2, 1.0f);
+    gemm_nn(a, b, c, /*accumulate=*/true);
+    Tensor expected = naive_nn(a, b);
+    for (std::size_t i = 0; i < expected.size(); ++i) expected.data()[i] += 1.0f;
+    expect_near(c, expected);
+}
+
+TEST(Axpy, AddsScaled) {
+    Tensor x(2, 2, 2.0f);
+    Tensor y(2, 2, 1.0f);
+    axpy(0.5f, x, y);
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y.data()[i], 2.0f);
+}
+
+}  // namespace

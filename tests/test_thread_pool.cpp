@@ -1,0 +1,88 @@
+// Tests for the thread pool and parallel_for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "xpcore/thread_pool.hpp"
+
+namespace {
+
+using namespace xpcore;
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 0u);
+    int value = 0;
+    pool.submit([&] { value = 42; });
+    EXPECT_EQ(value, 42);  // already executed
+    pool.wait_idle();      // must not hang
+}
+
+TEST(ThreadPool, ParallelPoolExecutesAllTasks) {
+    ThreadPool pool(3);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i) pool.submit([&] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&] {
+            for (volatile int spin = 0; spin < 100000; ++spin) {
+            }
+            done.fetch_add(1);
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(pool, hits.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SerialFallback) {
+    ThreadPool pool(0);
+    std::vector<int> hits(64, 0);
+    parallel_for(pool, hits.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+    });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+    ThreadPool pool(2);
+    bool called = false;
+    parallel_for(pool, 0, [&](std::size_t, std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, GrainForcesInline) {
+    ThreadPool pool(2);
+    // n <= grain must run inline as one chunk.
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    parallel_for(
+        pool, 10, [&](std::size_t begin, std::size_t end) { chunks.emplace_back(begin, end); },
+        /*grain=*/16);
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0], std::make_pair(std::size_t{0}, std::size_t{10}));
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+    ThreadPool& a = ThreadPool::global();
+    ThreadPool& b = ThreadPool::global();
+    EXPECT_EQ(&a, &b);
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+// Tests for the mini-batch trainer: it must actually learn.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace nn;
+
+/// Two-class toy problem: label = (x0 + x1 > 0), linearly separable.
+Dataset linear_toy(std::size_t n, xpcore::Rng& rng) {
+    Dataset data;
+    data.inputs.resize(n, 2);
+    data.labels.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float a = static_cast<float>(rng.uniform(-1, 1));
+        const float b = static_cast<float>(rng.uniform(-1, 1));
+        data.inputs(i, 0) = a;
+        data.inputs(i, 1) = b;
+        data.labels[i] = (a + b > 0) ? 1 : 0;
+    }
+    return data;
+}
+
+/// XOR-style problem: label = (x0 > 0) != (x1 > 0); needs the hidden layer.
+Dataset xor_toy(std::size_t n, xpcore::Rng& rng) {
+    Dataset data;
+    data.inputs.resize(n, 2);
+    data.labels.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float a = static_cast<float>(rng.uniform(-1, 1));
+        const float b = static_cast<float>(rng.uniform(-1, 1));
+        data.inputs(i, 0) = a;
+        data.inputs(i, 1) = b;
+        data.labels[i] = ((a > 0) != (b > 0)) ? 1 : 0;
+    }
+    return data;
+}
+
+TEST(Trainer, LearnsLinearlySeparableData) {
+    xpcore::Rng rng(1);
+    const Dataset data = linear_toy(500, rng);
+    Network net = Network::mlp({2, 8, 2}, rng);
+    AdaMax opt(AdaMax::Config{.learning_rate = 0.01f});
+    Trainer trainer(net, opt, {20, 32, true});
+    trainer.fit(data, rng);
+    EXPECT_GT(trainer.evaluate(data).accuracy, 0.95);
+}
+
+TEST(Trainer, LearnsXorWithHiddenLayer) {
+    xpcore::Rng rng(2);
+    const Dataset data = xor_toy(800, rng);
+    Network net = Network::mlp({2, 16, 16, 2}, rng);
+    AdaMax opt(AdaMax::Config{.learning_rate = 0.01f});
+    Trainer trainer(net, opt, {40, 32, true});
+    trainer.fit(data, rng);
+    EXPECT_GT(trainer.evaluate(data).accuracy, 0.93);
+}
+
+TEST(Trainer, LossDecreasesOverEpochs) {
+    xpcore::Rng rng(3);
+    const Dataset data = linear_toy(400, rng);
+    Network net = Network::mlp({2, 8, 2}, rng);
+    AdaMax opt;
+    Trainer first(net, opt, {1, 32, true});
+    const double loss_after_1 = first.fit(data, rng).loss;
+    Trainer more(net, opt, {10, 32, true});
+    const double loss_after_more = more.fit(data, rng).loss;
+    EXPECT_LT(loss_after_more, loss_after_1);
+}
+
+TEST(Trainer, GeneralizesToFreshSamples) {
+    xpcore::Rng rng(4);
+    const Dataset train = linear_toy(600, rng);
+    const Dataset test = linear_toy(200, rng);
+    Network net = Network::mlp({2, 8, 2}, rng);
+    AdaMax opt(AdaMax::Config{.learning_rate = 0.01f});
+    Trainer trainer(net, opt, {20, 32, true});
+    trainer.fit(train, rng);
+    EXPECT_GT(trainer.evaluate(test).accuracy, 0.9);
+}
+
+TEST(Trainer, PredictProbaRowsSumToOne) {
+    xpcore::Rng rng(5);
+    const Dataset data = linear_toy(10, rng);
+    Network net = Network::mlp({2, 4, 2}, rng);
+    AdaMax opt;
+    Trainer trainer(net, opt, {1, 4, true});
+    const Tensor probs = trainer.predict_proba(data.inputs);
+    ASSERT_EQ(probs.rows(), 10u);
+    for (std::size_t r = 0; r < probs.rows(); ++r) {
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < probs.cols(); ++c) sum += probs(r, c);
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+}
+
+TEST(Trainer, BatchLargerThanDatasetWorks) {
+    xpcore::Rng rng(6);
+    const Dataset data = linear_toy(10, rng);
+    Network net = Network::mlp({2, 4, 2}, rng);
+    AdaMax opt;
+    Trainer trainer(net, opt, {2, 512, true});
+    const auto stats = trainer.fit(data, rng);
+    EXPECT_GE(stats.accuracy, 0.0);
+    EXPECT_TRUE(std::isfinite(stats.loss));
+}
+
+TEST(Trainer, EmptyDatasetIsNoop) {
+    xpcore::Rng rng(20);
+    Network net = Network::mlp({2, 4, 2}, rng);
+    AdaMax opt;
+    Trainer trainer(net, opt, {3, 8, true});
+    Dataset empty;
+    empty.inputs.resize(0, 2);
+    const auto stats = trainer.fit(empty, rng);
+    EXPECT_DOUBLE_EQ(stats.loss, 0.0);
+    EXPECT_DOUBLE_EQ(stats.accuracy, 0.0);
+}
+
+TEST(SplitDataset, SizesAndContentPreserved) {
+    xpcore::Rng rng(7);
+    const Dataset data = linear_toy(100, rng);
+    const auto [train, holdout] = split_dataset(data, 0.2, rng);
+    EXPECT_EQ(train.size(), 80u);
+    EXPECT_EQ(holdout.size(), 20u);
+    EXPECT_EQ(train.inputs.cols(), 2u);
+    // Label multiset is preserved across the split.
+    std::size_t ones_before = 0, ones_after = 0;
+    for (auto l : data.labels) ones_before += (l == 1);
+    for (auto l : train.labels) ones_after += (l == 1);
+    for (auto l : holdout.labels) ones_after += (l == 1);
+    EXPECT_EQ(ones_before, ones_after);
+}
+
+TEST(SplitDataset, ZeroFractionKeepsEverything) {
+    xpcore::Rng rng(8);
+    const Dataset data = linear_toy(10, rng);
+    const auto [train, holdout] = split_dataset(data, 0.0, rng);
+    EXPECT_EQ(train.size(), 10u);
+    EXPECT_EQ(holdout.size(), 0u);
+}
+
+TEST(FitValidated, ReportsHoldoutStats) {
+    xpcore::Rng rng(9);
+    const Dataset data = linear_toy(500, rng);
+    const auto [train, holdout] = split_dataset(data, 0.2, rng);
+    Network net = Network::mlp({2, 8, 2}, rng);
+    AdaMax opt(AdaMax::Config{.learning_rate = 0.01f});
+    Trainer trainer(net, opt, {15, 32, true, 0});
+    const auto report = trainer.fit_validated(train, holdout, rng);
+    EXPECT_EQ(report.epochs_run, 15u);
+    EXPECT_FALSE(report.early_stopped);
+    EXPECT_GT(report.validation.accuracy, 0.9);
+}
+
+TEST(FitValidated, EarlyStoppingTriggersOnPlateau) {
+    xpcore::Rng rng(10);
+    // Random labels: no generalizable signal, so holdout loss plateaus
+    // (and degrades from overfitting) almost immediately.
+    Dataset data = linear_toy(200, rng);
+    for (auto& label : data.labels) label = rng.chance(0.5) ? 1 : 0;
+    const auto [train, holdout] = split_dataset(data, 0.3, rng);
+    Network net = Network::mlp({2, 16, 2}, rng);
+    AdaMax opt(AdaMax::Config{.learning_rate = 0.02f});
+    Trainer trainer(net, opt, {200, 32, true, 3});
+    const auto report = trainer.fit_validated(train, holdout, rng);
+    EXPECT_TRUE(report.early_stopped);
+    EXPECT_LT(report.epochs_run, 200u);
+}
+
+TEST(ReluNetwork, AlsoLearns) {
+    xpcore::Rng rng(11);
+    const Dataset data = xor_toy(800, rng);
+    Network net = Network::mlp({2, 16, 16, 2}, rng, Activation::Relu);
+    AdaMax opt(AdaMax::Config{.learning_rate = 0.01f});
+    Trainer trainer(net, opt, {40, 32, true});
+    trainer.fit(data, rng);
+    EXPECT_GT(trainer.evaluate(data).accuracy, 0.9);
+}
+
+TEST(TopK, OrdersByProbability) {
+    const std::vector<float> probs = {0.1f, 0.5f, 0.2f, 0.15f, 0.05f};
+    const auto top = top_k_indices(probs, 3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0], 1u);
+    EXPECT_EQ(top[1], 2u);
+    EXPECT_EQ(top[2], 3u);
+}
+
+TEST(TopK, ClampsKToSize) {
+    const std::vector<float> probs = {0.6f, 0.4f};
+    EXPECT_EQ(top_k_indices(probs, 10).size(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Tests for the synthetic training-data generator (Sec. IV-D/E).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dnn/preprocess.hpp"
+#include "dnn/training_data.hpp"
+#include "pmnf/exponents.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace dnn;
+
+TEST(TrainingData, ShapeAndBalance) {
+    GeneratorConfig config;
+    config.samples_per_class = 5;
+    xpcore::Rng rng(1);
+    const auto data = generate_training_data(config, rng);
+    EXPECT_EQ(data.size(), 43u * 5);
+    EXPECT_EQ(data.inputs.rows(), 43u * 5);
+    EXPECT_EQ(data.inputs.cols(), kInputNeurons);
+    std::vector<int> counts(43, 0);
+    for (auto label : data.labels) {
+        ASSERT_GE(label, 0);
+        ASSERT_LT(label, 43);
+        ++counts[label];
+    }
+    for (int c : counts) EXPECT_EQ(c, 5);
+}
+
+TEST(TrainingData, DeterministicGivenSeed) {
+    GeneratorConfig config;
+    config.samples_per_class = 3;
+    xpcore::Rng a(7), b(7);
+    const auto d1 = generate_training_data(config, a);
+    const auto d2 = generate_training_data(config, b);
+    ASSERT_EQ(d1.size(), d2.size());
+    for (std::size_t i = 0; i < d1.inputs.size(); ++i) {
+        EXPECT_FLOAT_EQ(d1.inputs.data()[i], d2.inputs.data()[i]);
+    }
+}
+
+TEST(TrainingData, InputsWithinUnitMagnitude) {
+    GeneratorConfig config;
+    config.samples_per_class = 10;
+    xpcore::Rng rng(2);
+    const auto data = generate_training_data(config, rng);
+    for (std::size_t i = 0; i < data.inputs.size(); ++i) {
+        EXPECT_LE(std::abs(data.inputs.data()[i]), 1.0f + 1e-6f);
+    }
+}
+
+TEST(TrainingData, ZeroNoiseRangeSupported) {
+    GeneratorConfig config;
+    config.samples_per_class = 2;
+    config.noise_min = 0.0;
+    config.noise_max = 0.0;
+    xpcore::Rng rng(3);
+    EXPECT_NO_THROW(generate_training_data(config, rng));
+}
+
+TEST(TrainingData, SequencePoolIsRespected) {
+    GeneratorConfig config;
+    config.samples_per_class = 4;
+    config.sequence_pool = {{8, 64, 512, 4096, 32768}};
+    config.noise_min = config.noise_max = 0.0;
+    xpcore::Rng rng(4);
+    const auto data = generate_training_data(config, rng);
+    // With a single pooled sequence, the slot pattern of every sample is
+    // identical: exactly 5 non-zero-capable slots.
+    const auto slots = assign_slots(config.sequence_pool[0]);
+    std::set<std::size_t> allowed(slots.begin(), slots.begin() + 5);
+    for (std::size_t r = 0; r < data.size(); ++r) {
+        for (std::size_t c = 0; c < kInputNeurons; ++c) {
+            if (!allowed.count(c)) {
+                EXPECT_FLOAT_EQ(data.inputs(r, c), 0.0f)
+                    << "unexpected value in masked slot " << c;
+            }
+        }
+    }
+}
+
+TEST(TrainingData, FixedRepetitions) {
+    GeneratorConfig config;
+    config.samples_per_class = 2;
+    config.random_repetitions = false;
+    config.max_repetitions = 1;
+    xpcore::Rng rng(5);
+    EXPECT_NO_THROW(generate_training_data(config, rng));
+}
+
+TEST(TrainingData, InvalidConfigThrows) {
+    xpcore::Rng rng(6);
+    GeneratorConfig zero_samples;
+    zero_samples.samples_per_class = 0;
+    EXPECT_THROW(generate_training_data(zero_samples, rng), std::invalid_argument);
+
+    GeneratorConfig bad_noise;
+    bad_noise.noise_min = 0.5;
+    bad_noise.noise_max = 0.1;
+    EXPECT_THROW(generate_training_data(bad_noise, rng), std::invalid_argument);
+
+    GeneratorConfig negative_noise;
+    negative_noise.noise_min = -0.1;
+    EXPECT_THROW(generate_training_data(negative_noise, rng), std::invalid_argument);
+}
+
+TEST(TrainingData, PointCountsClampedToValidRange) {
+    GeneratorConfig config;
+    config.samples_per_class = 3;
+    config.min_points = 0;   // clamped up to 2
+    config.max_points = 99;  // clamped down to 11
+    xpcore::Rng rng(8);
+    EXPECT_NO_THROW(generate_training_data(config, rng));
+}
+
+TEST(TrainingData, CleanSamplesOfDistinctClassesDiffer) {
+    // At zero noise with a fixed sequence, a constant and a cubic function
+    // must produce visibly different inputs (sanity of label information).
+    GeneratorConfig config;
+    config.samples_per_class = 1;
+    config.noise_min = config.noise_max = 0.0;
+    config.sequence_pool = {{4, 8, 16, 32, 64}};
+    xpcore::Rng rng(9);
+    const auto data = generate_training_data(config, rng);
+    const std::size_t constant_row = pmnf::class_index({pmnf::Rational(0), 0});
+    const std::size_t cubic_row = pmnf::class_index({pmnf::Rational(3), 0});
+    double diff = 0.0;
+    for (std::size_t c = 0; c < kInputNeurons; ++c) {
+        diff += std::abs(data.inputs(constant_row, c) - data.inputs(cubic_row, c));
+    }
+    EXPECT_GT(diff, 0.05);
+}
+
+}  // namespace

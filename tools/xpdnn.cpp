@@ -1,0 +1,10 @@
+/// \file xpdnn.cpp
+/// The xpdnn command-line tool: model measurements, analyze noise, evaluate
+/// stored models, and generate simulated case-study campaigns. All logic
+/// lives in the `cli` library (src/cli) so it is unit tested.
+
+#include <iostream>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) { return cli::run(argc, argv, std::cout, std::cerr); }
