@@ -17,6 +17,7 @@
 #include "xpcore/cli.hpp"
 #include "xpcore/rng.hpp"
 #include "xpcore/table.hpp"
+#include "xpcore/thread_pool.hpp"
 #include "xpcore/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -97,5 +98,40 @@ int main(int argc, char** argv) {
              xpcore::Table::num((1.0 - batch_seconds / per_kernel_seconds) * 100, 0) + "%"});
     }
     batch_table.print();
+
+    // Before/after: the same end-to-end adaptive modeling runs with the
+    // parallel compute layer disabled (the seed's serial behavior) and
+    // enabled, so the threading speedup is measured, not asserted.
+    std::printf("\n-- threading before/after: serial vs %zu pool workers --\n\n",
+                xpcore::ThreadPool::global().size());
+    xpcore::Table thread_table({"application", "serial s", "parallel s", "speedup"});
+    xpcore::Rng serial_rng(seed), parallel_rng(seed);
+    for (const auto& study : casestudy::all_case_studies()) {
+        double serial_seconds = 0.0;
+        {
+            xpcore::SerialGuard guard;
+            for (const auto* kernel : study.relevant_kernels()) {
+                const auto experiments = study.generate_modeling(*kernel, serial_rng);
+                xpcore::WallTimer timer;
+                (void)adaptive_modeler.model(experiments);
+                serial_seconds += timer.seconds();
+            }
+        }
+        double parallel_seconds = 0.0;
+        for (const auto* kernel : study.relevant_kernels()) {
+            const auto experiments = study.generate_modeling(*kernel, parallel_rng);
+            xpcore::WallTimer timer;
+            (void)adaptive_modeler.model(experiments);
+            parallel_seconds += timer.seconds();
+        }
+        thread_table.add_row(
+            {study.application, xpcore::Table::num(serial_seconds, 2),
+             xpcore::Table::num(parallel_seconds, 2),
+             xpcore::Table::num(parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0, 2) +
+                 "x"});
+    }
+    thread_table.print();
+    std::printf("\n(identical models either way: the parallel kernels partition rows only\n"
+                "and keep every accumulation order; see tests/test_determinism.cpp)\n");
     return 0;
 }

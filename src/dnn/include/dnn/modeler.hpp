@@ -66,6 +66,35 @@ struct DnnConfig {
     static DnnConfig fast();
 };
 
+/// One measurement line (parameter values plus aggregated measurements)
+/// prepared for classification. The batched inference entry points take
+/// spans of these so many lines share a single forward pass.
+struct LineSample {
+    std::vector<double> xs;
+    std::vector<double> values;
+};
+
+/// Flattened per-parameter line selection of an experiment set: the up-to
+/// max_lines longest lines of parameter l occupy rows
+/// [offsets[l], offsets[l + 1]) of `lines`.
+struct LineBatch {
+    std::vector<LineSample> lines;
+    std::vector<std::size_t> offsets;  ///< size parameter_count() + 1
+};
+
+/// Select and aggregate the classification lines of every parameter (the
+/// longest lines first, at most `config.max_lines` per parameter). Throws
+/// std::invalid_argument when a parameter has no line with >= 2 points.
+LineBatch collect_lines(const measure::ExperimentSet& set, const DnnConfig& config);
+
+/// Reduce batched class probabilities (one row per line of `batch`) to the
+/// per-parameter top-k candidate classes: probabilities are averaged over
+/// each parameter's lines, the config.top_k best classes are kept, and the
+/// constant class is appended when missing (it keeps irrelevant parameters
+/// droppable). Shared by the single modeler and the ensemble voting path.
+std::vector<std::vector<pmnf::TermClass>> candidates_from_probabilities(
+    const nn::Tensor& probabilities, const LineBatch& batch, const DnnConfig& config);
+
 /// Properties of a modeling task that drive domain adaptation.
 struct TaskProperties {
     std::vector<std::vector<double>> sequences;  ///< per-parameter value sets
@@ -113,6 +142,11 @@ public:
     /// Class probabilities for one measurement line.
     std::vector<float> classify_line(std::span<const double> xs,
                                      std::span<const double> values);
+
+    /// Class probabilities for a batch of measurement lines: row r of the
+    /// result is the softmax distribution of lines[r]. One multi-row
+    /// forward pass instead of per-line passes — the inference hot path.
+    nn::Tensor classify_lines(std::span<const LineSample> lines);
 
     /// Top-k classes per parameter for the experiment set (probabilities
     /// averaged over up to config.max_lines full-length lines).

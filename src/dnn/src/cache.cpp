@@ -28,7 +28,11 @@ struct Fnv1a {
 }  // namespace
 
 std::uint64_t pretrain_config_hash(const DnnConfig& config, std::uint64_t seed) {
+    // Bumped when the synthetic-data generator's stream layout changes, so
+    // stale caches from older binaries are regenerated instead of reused.
+    constexpr std::uint64_t kGeneratorVersion = 2;
     Fnv1a hash;
+    hash.mix_value(kGeneratorVersion);
     hash.mix_value(seed);
     hash.mix_value(static_cast<int>(config.activation));
     for (std::size_t width : config.hidden) hash.mix_value(width);

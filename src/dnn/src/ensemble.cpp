@@ -32,9 +32,15 @@ void EnsembleModeler::reset_adaptation() {
 
 std::vector<std::vector<pmnf::TermClass>> EnsembleModeler::candidate_classes(
     const measure::ExperimentSet& set) {
+    // Select and aggregate the lines once; every member then votes with a
+    // single batched forward pass over the shared line batch.
+    const auto& config = members_.front()->config();
+    const LineBatch batch = collect_lines(set, config);
+
     std::vector<std::vector<pmnf::TermClass>> merged(set.parameter_count());
     for (auto& member : members_) {
-        const auto candidates = member->candidate_classes(set);
+        const auto candidates =
+            candidates_from_probabilities(member->classify_lines(batch.lines), batch, config);
         for (std::size_t l = 0; l < merged.size(); ++l) {
             for (const auto& cls : candidates[l]) {
                 if (std::find(merged[l].begin(), merged[l].end(), cls) == merged[l].end()) {

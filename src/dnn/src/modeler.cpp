@@ -1,7 +1,6 @@
 #include "dnn/modeler.hpp"
 
 #include <algorithm>
-#include <sstream>
 #include <stdexcept>
 
 #include "dnn/preprocess.hpp"
@@ -103,9 +102,7 @@ void DnnModeler::adapt(const TaskProperties& task) {
 
     // Retrain a copy so the generic network stays available for the next
     // adaptation (domain adaptation always starts from the pretrained state).
-    std::stringstream buffer;
-    pretrained_network_.save(buffer);
-    adapted_network_ = nn::Network::load(buffer);
+    adapted_network_ = pretrained_network_.clone();
 
     nn::AdaMax::Config opt_config;
     opt_config.learning_rate = config_.learning_rate;
@@ -134,25 +131,13 @@ double DnnModeler::top_k_accuracy(const nn::Dataset& data, std::size_t k) {
     return static_cast<double>(hits) / static_cast<double>(data.size());
 }
 
-std::vector<float> DnnModeler::classify_line(std::span<const double> xs,
-                                             std::span<const double> values) {
-    if (!pretrained_) throw std::logic_error("DnnModeler::classify_line: pretrain or load first");
-    const auto input = preprocess_line(xs, values);
-    nn::Tensor batch(1, kInputNeurons);
-    std::copy(input.begin(), input.end(), batch.data());
-    nn::Tensor probs;
-    nn::SoftmaxCrossEntropy::softmax(active_network().forward(batch), probs);
-    return {probs.data(), probs.data() + probs.cols()};
-}
-
-std::vector<std::vector<pmnf::TermClass>> DnnModeler::candidate_classes(
-    const measure::ExperimentSet& set) {
+LineBatch collect_lines(const measure::ExperimentSet& set, const DnnConfig& config) {
     const std::size_t m = set.parameter_count();
-    const auto classes = pmnf::exponent_set();
-
-    std::vector<std::vector<pmnf::TermClass>> candidates(m);
+    LineBatch batch;
+    batch.offsets.reserve(m + 1);
+    batch.offsets.push_back(0);
     for (std::size_t l = 0; l < m; ++l) {
-        // Average the class probabilities over the longest lines along l.
+        // The longest lines along l carry the most class information.
         auto lines = set.lines(l);
         std::erase_if(lines, [](const measure::Line& line) { return line.points.size() < 2; });
         if (lines.empty()) {
@@ -163,23 +148,40 @@ std::vector<std::vector<pmnf::TermClass>> DnnModeler::candidate_classes(
                          [](const measure::Line& a, const measure::Line& b) {
                              return a.points.size() > b.points.size();
                          });
-        const std::size_t use = std::min<std::size_t>(std::max<std::size_t>(config_.max_lines, 1),
+        const std::size_t use = std::min<std::size_t>(std::max<std::size_t>(config.max_lines, 1),
                                                       lines.size());
-        std::vector<double> mean_probs(classes.size(), 0.0);
         for (std::size_t i = 0; i < use; ++i) {
-            const auto probs = classify_line(
-                lines[i].xs(), measure::aggregate_line(lines[i], config_.aggregation));
-            for (std::size_t c = 0; c < mean_probs.size(); ++c) mean_probs[c] += probs[c];
+            batch.lines.push_back(
+                {lines[i].xs(), measure::aggregate_line(lines[i], config.aggregation)});
+        }
+        batch.offsets.push_back(batch.lines.size());
+    }
+    return batch;
+}
+
+std::vector<std::vector<pmnf::TermClass>> candidates_from_probabilities(
+    const nn::Tensor& probabilities, const LineBatch& batch, const DnnConfig& config) {
+    const auto classes = pmnf::exponent_set();
+    const std::size_t m = batch.offsets.size() - 1;
+
+    std::vector<std::vector<pmnf::TermClass>> candidates(m);
+    std::vector<double> mean_probs(classes.size());
+    for (std::size_t l = 0; l < m; ++l) {
+        // Average the class probabilities over the parameter's lines.
+        std::fill(mean_probs.begin(), mean_probs.end(), 0.0);
+        for (std::size_t r = batch.offsets[l]; r < batch.offsets[l + 1]; ++r) {
+            const auto row = probabilities.row(r);
+            for (std::size_t c = 0; c < mean_probs.size(); ++c) mean_probs[c] += row[c];
         }
 
         std::vector<std::size_t> order(mean_probs.size());
         for (std::size_t c = 0; c < order.size(); ++c) order[c] = c;
         std::partial_sort(order.begin(),
-                          order.begin() + std::min(config_.top_k, order.size()), order.end(),
+                          order.begin() + std::min(config.top_k, order.size()), order.end(),
                           [&](std::size_t a, std::size_t b) {
                               return mean_probs[a] > mean_probs[b];
                           });
-        for (std::size_t k = 0; k < std::min(config_.top_k, order.size()); ++k) {
+        for (std::size_t k = 0; k < std::min(config.top_k, order.size()); ++k) {
             candidates[l].push_back(classes[order[k]]);
         }
         // The constant class keeps irrelevant parameters droppable.
@@ -190,6 +192,31 @@ std::vector<std::vector<pmnf::TermClass>> DnnModeler::candidate_classes(
         }
     }
     return candidates;
+}
+
+std::vector<float> DnnModeler::classify_line(std::span<const double> xs,
+                                             std::span<const double> values) {
+    const LineSample sample{{xs.begin(), xs.end()}, {values.begin(), values.end()}};
+    const nn::Tensor probs = classify_lines({&sample, 1});
+    return {probs.data(), probs.data() + probs.cols()};
+}
+
+nn::Tensor DnnModeler::classify_lines(std::span<const LineSample> lines) {
+    if (!pretrained_) throw std::logic_error("DnnModeler::classify_lines: pretrain or load first");
+    nn::Tensor batch(lines.size(), kInputNeurons);
+    for (std::size_t r = 0; r < lines.size(); ++r) {
+        const auto input = preprocess_line(lines[r].xs, lines[r].values);
+        std::copy(input.begin(), input.end(), batch.data() + r * kInputNeurons);
+    }
+    nn::Tensor probs;
+    nn::SoftmaxCrossEntropy::softmax(active_network().forward(batch), probs);
+    return probs;
+}
+
+std::vector<std::vector<pmnf::TermClass>> DnnModeler::candidate_classes(
+    const measure::ExperimentSet& set) {
+    const LineBatch batch = collect_lines(set, config_);
+    return candidates_from_probabilities(classify_lines(batch.lines), batch, config_);
 }
 
 regression::ModelResult DnnModeler::model(const measure::ExperimentSet& set) {

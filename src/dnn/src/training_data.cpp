@@ -9,6 +9,7 @@
 #include "pmnf/exponents.hpp"
 #include "xpcore/rng.hpp"
 #include "xpcore/stats.hpp"
+#include "xpcore/thread_pool.hpp"
 
 namespace dnn {
 
@@ -29,52 +30,67 @@ nn::Dataset generate_training_data(const GeneratorConfig& config, xpcore::Rng& r
     data.inputs.resize(total, kInputNeurons);
     data.labels.resize(total);
 
-    std::vector<double> xs;
-    std::vector<double> truths;
-    std::vector<double> medians;
-    std::size_t row = 0;
-    for (std::size_t cls = 0; cls < classes.size(); ++cls) {
-        for (std::size_t s = 0; s < config.samples_per_class; ++s, ++row) {
-            // Measurement-point sequence: task-specific pool when adapting,
-            // generic families when pretraining.
-            if (!config.sequence_pool.empty()) {
-                xs = rng.pick(config.sequence_pool);
-            } else {
-                const std::size_t length =
-                    static_cast<std::size_t>(rng.uniform_int(
-                        static_cast<std::int64_t>(min_points),
-                        static_cast<std::int64_t>(max_points)));
-                xs = measure::random_sequence(length, rng);
-            }
+    // Per-class generation is embarrassingly parallel: each class gets its
+    // own rng stream split off the caller's generator *sequentially up
+    // front*, so the produced samples are identical for a fixed seed no
+    // matter how the classes are distributed over threads.
+    std::vector<xpcore::Rng> class_rngs;
+    class_rngs.reserve(classes.size());
+    for (std::size_t cls = 0; cls < classes.size(); ++cls) class_rngs.push_back(rng.split());
 
-            // Synthetic function f(x) = c0 + c1 * x^i * log2^j(x).
-            const double c0 = rng.uniform(config.coeff_min, config.coeff_max);
-            const double c1 = rng.uniform(config.coeff_min, config.coeff_max);
-            truths.resize(xs.size());
-            for (std::size_t p = 0; p < xs.size(); ++p) {
-                truths[p] = c0 + c1 * classes[cls].evaluate(xs[p]);
-            }
+    xpcore::parallel_for(
+        xpcore::ThreadPool::global(), classes.size(),
+        [&](std::size_t cls_begin, std::size_t cls_end) {
+            std::vector<double> xs;
+            std::vector<double> truths;
+            std::vector<double> medians;
+            for (std::size_t cls = cls_begin; cls < cls_end; ++cls) {
+                xpcore::Rng& class_rng = class_rngs[cls];
+                std::size_t row = cls * config.samples_per_class;
+                for (std::size_t s = 0; s < config.samples_per_class; ++s, ++row) {
+                    // Measurement-point sequence: task-specific pool when
+                    // adapting, generic families when pretraining.
+                    if (!config.sequence_pool.empty()) {
+                        xs = class_rng.pick(config.sequence_pool);
+                    } else {
+                        const std::size_t length =
+                            static_cast<std::size_t>(class_rng.uniform_int(
+                                static_cast<std::int64_t>(min_points),
+                                static_cast<std::int64_t>(max_points)));
+                        xs = measure::random_sequence(length, class_rng);
+                    }
 
-            // Noise + repetitions, modeling the experiment protocol.
-            const double level = rng.uniform(config.noise_min, config.noise_max);
-            noise::Injector injector(level, rng);
-            const std::size_t reps =
-                config.random_repetitions
-                    ? static_cast<std::size_t>(rng.uniform_int(
-                          1, static_cast<std::int64_t>(std::max<std::size_t>(
-                                 1, config.max_repetitions))))
-                    : std::max<std::size_t>(1, config.max_repetitions);
-            medians.resize(xs.size());
-            for (std::size_t p = 0; p < xs.size(); ++p) {
-                const auto values = injector.repetitions(truths[p], reps);
-                medians[p] = xpcore::median(values);
-            }
+                    // Synthetic function f(x) = c0 + c1 * x^i * log2^j(x).
+                    const double c0 = class_rng.uniform(config.coeff_min, config.coeff_max);
+                    const double c1 = class_rng.uniform(config.coeff_min, config.coeff_max);
+                    truths.resize(xs.size());
+                    for (std::size_t p = 0; p < xs.size(); ++p) {
+                        truths[p] = c0 + c1 * classes[cls].evaluate(xs[p]);
+                    }
 
-            const auto input = preprocess_line(xs, medians);
-            std::copy(input.begin(), input.end(), data.inputs.data() + row * kInputNeurons);
-            data.labels[row] = static_cast<std::int32_t>(cls);
-        }
-    }
+                    // Noise + repetitions, modeling the experiment protocol.
+                    const double level =
+                        class_rng.uniform(config.noise_min, config.noise_max);
+                    noise::Injector injector(level, class_rng);
+                    const std::size_t reps =
+                        config.random_repetitions
+                            ? static_cast<std::size_t>(class_rng.uniform_int(
+                                  1, static_cast<std::int64_t>(std::max<std::size_t>(
+                                         1, config.max_repetitions))))
+                            : std::max<std::size_t>(1, config.max_repetitions);
+                    medians.resize(xs.size());
+                    for (std::size_t p = 0; p < xs.size(); ++p) {
+                        const auto values = injector.repetitions(truths[p], reps);
+                        medians[p] = xpcore::median(values);
+                    }
+
+                    const auto input = preprocess_line(xs, medians);
+                    std::copy(input.begin(), input.end(),
+                              data.inputs.data() + row * kInputNeurons);
+                    data.labels[row] = static_cast<std::int32_t>(cls);
+                }
+            }
+        });
     return data;
 }
 

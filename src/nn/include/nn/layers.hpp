@@ -45,6 +45,10 @@ public:
     /// Trainable parameters (empty for activations).
     virtual std::vector<Param> params() { return {}; }
 
+    /// Deep copy of the layer's configuration and weights. Gradient
+    /// accumulators start zeroed in the copy.
+    virtual std::unique_ptr<Layer> clone() const = 0;
+
     /// Serialization tag ("dense", "tanh").
     virtual std::string kind() const = 0;
     /// Write layer configuration + weights.
@@ -65,6 +69,7 @@ public:
     std::size_t input_size() const override { return weights_.rows(); }
     std::size_t output_size() const override { return weights_.cols(); }
     std::vector<Param> params() override;
+    std::unique_ptr<Layer> clone() const override;
     std::string kind() const override { return "dense"; }
     void save(std::ostream& out) const override;
     static std::unique_ptr<Dense> load(std::istream& in);
@@ -90,6 +95,7 @@ public:
                   Tensor& grad_in) override;
     std::size_t input_size() const override { return size_; }
     std::size_t output_size() const override { return size_; }
+    std::unique_ptr<Layer> clone() const override { return std::make_unique<Relu>(size_); }
     std::string kind() const override { return "relu"; }
     void save(std::ostream& out) const override;
     static std::unique_ptr<Relu> load(std::istream& in);
@@ -108,6 +114,7 @@ public:
                   Tensor& grad_in) override;
     std::size_t input_size() const override { return size_; }
     std::size_t output_size() const override { return size_; }
+    std::unique_ptr<Layer> clone() const override { return std::make_unique<Tanh>(size_); }
     std::string kind() const override { return "tanh"; }
     void save(std::ostream& out) const override;
     static std::unique_ptr<Tanh> load(std::istream& in);

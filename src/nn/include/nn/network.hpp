@@ -53,6 +53,12 @@ public:
     /// batch. Accumulates parameter gradients.
     void backward(const Tensor& grad_output);
 
+    /// Deep copy: clones every layer's configuration and weights. The copy
+    /// starts with empty activation buffers and zeroed gradients — the
+    /// cheap path for "retrain a copy" workflows like domain adaptation
+    /// (no serialization round-trip).
+    Network clone() const;
+
     /// All trainable parameters.
     std::vector<Param> params();
 

@@ -4,9 +4,14 @@
 /// Dense 2-D float tensor and the GEMM kernels the network is built on.
 ///
 /// The paper's classifier is a small dense MLP, so a row-major f32 matrix
-/// with cache-friendly loop ordering (i-k-j, unit-stride inner loops that
-/// the compiler auto-vectorizes with FMA) is all the tensor substrate the
-/// library needs. No external BLAS or ML framework is required.
+/// with cache-blocked loop ordering (K panels x N blocks, unit-stride inner
+/// loops that the compiler auto-vectorizes with FMA) is all the tensor
+/// substrate the library needs. No external BLAS or ML framework is
+/// required. Products large enough to amortize synchronization are split
+/// into row ranges and dispatched onto the xpcore thread pool; the split is
+/// over output rows only, so every element is accumulated in the same order
+/// regardless of thread count and results are bit-identical for 0..N
+/// threads.
 
 #include <cstddef>
 #include <span>
@@ -14,6 +19,7 @@
 
 namespace xpcore {
 class Rng;
+class ThreadPool;
 }
 
 namespace nn {
@@ -53,14 +59,31 @@ private:
     std::vector<float> data_;
 };
 
+/// Work threshold (m * n * k multiply-adds) above which the GEMM kernels
+/// dispatch row ranges onto the thread pool; below it they stay serial so
+/// tiny products (1 x 11 inference lines) pay no synchronization. The
+/// default (1 << 17) can be overridden with the XPDNN_GEMM_THRESHOLD
+/// environment variable or, at runtime, with set_gemm_parallel_threshold
+/// (0 restores the environment/default value).
+std::size_t gemm_parallel_threshold();
+void set_gemm_parallel_threshold(std::size_t flops);
+
 /// c = a * b (+ c if accumulate). Dimensions: a[m x k], b[k x n], c[m x n].
+/// The default overload runs on xpcore::ThreadPool::global(); the explicit
+/// overload exists so tests can pin the worker count in-process.
 void gemm_nn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+void gemm_nn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
+             xpcore::ThreadPool& pool);
 
 /// c = a * b^T. Dimensions: a[m x k], b[n x k], c[m x n].
 void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
+             xpcore::ThreadPool& pool);
 
 /// c = a^T * b. Dimensions: a[k x m], b[k x n], c[m x n].
 void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
+             xpcore::ThreadPool& pool);
 
 /// y += alpha * x, elementwise over equal-shaped tensors.
 void axpy(float alpha, const Tensor& x, Tensor& y);

@@ -79,6 +79,13 @@ std::vector<Param> Dense::params() {
     return {{&weights_, &weights_grad_}, {&bias_, &bias_grad_}};
 }
 
+std::unique_ptr<Layer> Dense::clone() const {
+    auto copy = std::make_unique<Dense>(weights_.rows(), weights_.cols());
+    copy->weights_ = weights_;
+    copy->bias_ = bias_;
+    return copy;
+}
+
 void Dense::save(std::ostream& out) const {
     write_tensor(out, weights_);
     write_tensor(out, bias_);

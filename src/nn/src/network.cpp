@@ -71,6 +71,12 @@ void Network::backward(const Tensor& grad_output) {
     }
 }
 
+Network Network::clone() const {
+    Network copy;
+    for (const auto& layer : layers_) copy.add(layer->clone());
+    return copy;
+}
+
 std::vector<Param> Network::params() {
     std::vector<Param> all;
     for (auto& layer : layers_) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "xpcore/stats.hpp"
+#include "xpcore/thread_pool.hpp"
 
 namespace regression {
 
@@ -18,14 +19,20 @@ std::vector<RankedCandidate> rank_single_parameter(std::span<const double> xs,
     points.reserve(xs.size());
     for (double x : xs) points.push_back({x});
 
-    std::vector<RankedCandidate> ranked;
-    ranked.reserve(pmnf::class_count());
-    for (const auto& cls : pmnf::exponent_set()) {
-        CandidateShape shape;
-        if (!cls.is_constant()) shape.terms.push_back({{0, cls}});
-        const double score = cross_validated_smape(shape, points, ys, max_folds);
-        ranked.push_back({cls, score});
-    }
+    // The 43 hypotheses are independent; score them across the pool. Each
+    // index writes its own slot, so the result is order-deterministic.
+    const auto classes = pmnf::exponent_set();
+    std::vector<RankedCandidate> ranked(classes.size());
+    xpcore::parallel_for(
+        xpcore::ThreadPool::global(), classes.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                CandidateShape shape;
+                if (!classes[i].is_constant()) shape.terms.push_back({{0, classes[i]}});
+                ranked[i] = {classes[i], cross_validated_smape(shape, points, ys, max_folds)};
+            }
+        },
+        /*grain=*/8);
     std::stable_sort(ranked.begin(), ranked.end(),
                      [](const RankedCandidate& a, const RankedCandidate& b) {
                          if (a.cv_smape != b.cv_smape) return a.cv_smape < b.cv_smape;
@@ -139,13 +146,21 @@ std::vector<ModelResult> rank_combinations(
         std::size_t coefficients;
         const CandidateShape* shape;
     };
+    // Cross-validating the candidate shapes fans out over independent
+    // hypothesis combinations — the dominant cost of model selection for
+    // multi-parameter sets. Slot-indexed writes keep the ranking (and the
+    // stable_sort tie-breaks below) identical for any thread count.
     const auto shapes = build_combinations(per_parameter_choices);
-    std::vector<Scored> scored;
-    scored.reserve(shapes.size());
-    for (const auto& shape : shapes) {
-        scored.push_back({cross_validated_smape(shape, points, values, max_folds),
-                          shape.coefficient_count(), &shape});
-    }
+    std::vector<Scored> scored(shapes.size());
+    xpcore::parallel_for(
+        xpcore::ThreadPool::global(), shapes.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                scored[i] = {cross_validated_smape(shapes[i], points, values, max_folds),
+                             shapes[i].coefficient_count(), &shapes[i]};
+            }
+        },
+        /*grain=*/4);
     std::stable_sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
         if (a.cv_smape != b.cv_smape) return a.cv_smape < b.cv_smape;
         // Equal CV score: prefer the simpler shape (fewer coefficients).

@@ -5,10 +5,14 @@
 ///
 /// The library is written to run efficiently on a single core (where the
 /// pool degrades to serial execution without spawning threads) and to scale
-/// to many cores when they are available.
+/// to many cores when they are available. parallel_for calls are safe from
+/// multiple threads at once (each call tracks completion with its own
+/// latch), may nest (waiting callers help drain the queue instead of
+/// blocking a worker), and propagate the first exception a body throws.
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -17,9 +21,10 @@
 
 namespace xpcore {
 
-/// Fixed-size thread pool. Tasks are std::function<void()>; exceptions
-/// escaping a task terminate the program (tasks are expected to handle
-/// their own errors — performance-modeling work items do not throw).
+/// Fixed-size thread pool. Tasks are std::function<void()>. An exception
+/// escaping a submitted task is captured; wait_idle() rethrows the first
+/// one after the queue drained. (parallel_for wraps its chunks and handles
+/// exceptions per call instead.)
 class ThreadPool {
 public:
     /// Create a pool with `threads` workers; 0 means "serial" (run tasks
@@ -33,19 +38,36 @@ public:
     /// Number of worker threads (0 for a serial pool).
     std::size_t size() const { return workers_.size(); }
 
-    /// Enqueue a task. For a serial pool the task runs immediately.
+    /// Enqueue a task. For a serial pool the task runs immediately (an
+    /// exception then propagates directly to the caller).
     void submit(std::function<void()> task);
 
-    /// Block until all submitted tasks have finished.
+    /// Block until all submitted tasks have finished. Rethrows the first
+    /// exception captured from a task since the last wait_idle().
     void wait_idle();
+
+    /// Dequeue and run one pending task on the calling thread. Returns
+    /// false when the queue is empty. Lets blocked parallel_for callers
+    /// help instead of idling, which also makes nested calls deadlock-free.
+    bool try_run_one();
 
     /// Process-wide default pool, sized from XPDNN_THREADS (if set) or
     /// hardware_concurrency() - 1. On a single-core machine this is a
     /// serial pool, avoiding oversubscription.
     static ThreadPool& global();
 
+    /// Replace the global pool with one of `threads` workers. The previous
+    /// pool is drained and joined first. Intended for tests and benches
+    /// that compare thread counts in-process; not safe while other threads
+    /// still use the old pool.
+    static void reset_global(std::size_t threads);
+
+    /// Restore the global pool to its environment-derived default size.
+    static void reset_global();
+
 private:
     void worker_loop();
+    void run_task(std::function<void()>& task);
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;
@@ -54,11 +76,31 @@ private:
     std::condition_variable idle_;
     std::size_t in_flight_ = 0;
     bool stop_ = false;
+    std::exception_ptr first_error_;
+};
+
+/// When false, parallel_for runs every body inline regardless of the pool —
+/// a measurement switch for serial-vs-parallel A/B timing (fig6), not a
+/// correctness knob (results are identical either way).
+bool parallel_enabled();
+void set_parallel_enabled(bool enabled);
+
+/// RAII scope that disables parallel_for dispatch (see set_parallel_enabled).
+class SerialGuard {
+public:
+    SerialGuard() : previous_(parallel_enabled()) { set_parallel_enabled(false); }
+    ~SerialGuard() { set_parallel_enabled(previous_); }
+    SerialGuard(const SerialGuard&) = delete;
+    SerialGuard& operator=(const SerialGuard&) = delete;
+
+private:
+    bool previous_;
 };
 
 /// Split [0, n) into contiguous chunks and run `body(begin, end)` on the
-/// pool. Blocks until every chunk finished. With a serial pool (or n below
-/// `grain`) the body runs inline.
+/// pool. Blocks until every chunk finished; the first exception thrown by
+/// any chunk is rethrown to the caller once all chunks have stopped. With a
+/// serial pool (or n below `grain`) the body runs inline.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t grain = 1);

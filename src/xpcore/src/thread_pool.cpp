@@ -1,7 +1,10 @@
 #include "xpcore/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <memory>
+#include <utility>
 
 namespace xpcore {
 
@@ -36,8 +39,39 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::wait_idle() {
     if (workers_.empty()) return;
-    std::unique_lock lock(mutex_);
-    idle_.wait(lock, [this] { return in_flight_ == 0; });
+    std::exception_ptr error;
+    {
+        std::unique_lock lock(mutex_);
+        idle_.wait(lock, [this] { return in_flight_ == 0; });
+        error = std::exchange(first_error_, nullptr);
+    }
+    if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::run_task(std::function<void()>& task) {
+    std::exception_ptr error;
+    try {
+        task();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    {
+        std::lock_guard lock(mutex_);
+        if (error && !first_error_) first_error_ = error;
+        if (--in_flight_ == 0) idle_.notify_all();
+    }
+}
+
+bool ThreadPool::try_run_one() {
+    std::function<void()> task;
+    {
+        std::lock_guard lock(mutex_);
+        if (tasks_.empty()) return false;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+    }
+    run_task(task);
+    return true;
 }
 
 void ThreadPool::worker_loop() {
@@ -50,41 +84,110 @@ void ThreadPool::worker_loop() {
             task = std::move(tasks_.front());
             tasks_.pop();
         }
-        task();
-        {
-            std::lock_guard lock(mutex_);
-            if (--in_flight_ == 0) idle_.notify_all();
-        }
+        run_task(task);
     }
 }
 
-ThreadPool& ThreadPool::global() {
-    static ThreadPool pool([] {
-        if (const char* env = std::getenv("XPDNN_THREADS")) {
-            const long requested = std::strtol(env, nullptr, 10);
-            return static_cast<std::size_t>(std::max(0L, requested));
-        }
-        const unsigned hw = std::thread::hardware_concurrency();
-        return static_cast<std::size_t>(hw > 1 ? hw - 1 : 0);
-    }());
+namespace {
+
+std::size_t default_global_threads() {
+    if (const char* env = std::getenv("XPDNN_THREADS")) {
+        const long requested = std::strtol(env, nullptr, 10);
+        return static_cast<std::size_t>(std::max(0L, requested));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw > 1 ? hw - 1 : 0);
+}
+
+std::mutex& global_pool_mutex() {
+    static std::mutex m;
+    return m;
+}
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+    static std::unique_ptr<ThreadPool> pool;
     return pool;
+}
+
+std::atomic<bool> g_parallel_enabled{true};
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+    std::lock_guard lock(global_pool_mutex());
+    auto& slot = global_pool_slot();
+    if (!slot) slot = std::make_unique<ThreadPool>(default_global_threads());
+    return *slot;
+}
+
+void ThreadPool::reset_global(std::size_t threads) {
+    std::lock_guard lock(global_pool_mutex());
+    auto& slot = global_pool_slot();
+    slot.reset();  // drain and join the old pool before the new one spawns
+    slot = std::make_unique<ThreadPool>(threads);
+}
+
+void ThreadPool::reset_global() { reset_global(default_global_threads()); }
+
+bool parallel_enabled() { return g_parallel_enabled.load(std::memory_order_relaxed); }
+
+void set_parallel_enabled(bool enabled) {
+    g_parallel_enabled.store(enabled, std::memory_order_relaxed);
 }
 
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body, std::size_t grain) {
     if (n == 0) return;
     const std::size_t workers = pool.size();
-    if (workers == 0 || n <= grain) {
+    if (workers == 0 || n <= grain || !parallel_enabled()) {
         body(0, n);
         return;
     }
+
+    // Per-call completion latch: concurrent parallel_for calls (from
+    // different threads, or nested from inside a chunk) each wait on their
+    // own counter instead of a shared pool-wide one.
+    struct Latch {
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t remaining = 0;
+        std::exception_ptr error;
+    } latch;
+
     const std::size_t chunks = std::min(workers * 4, std::max<std::size_t>(1, n / grain));
     const std::size_t chunk = (n + chunks - 1) / chunks;
+    latch.remaining = (n + chunk - 1) / chunk;
+
     for (std::size_t begin = 0; begin < n; begin += chunk) {
         const std::size_t end = std::min(begin + chunk, n);
-        pool.submit([&body, begin, end] { body(begin, end); });
+        pool.submit([&body, &latch, begin, end] {
+            std::exception_ptr error;
+            try {
+                body(begin, end);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            std::lock_guard lock(latch.mutex);
+            if (error && !latch.error) latch.error = error;
+            if (--latch.remaining == 0) latch.done.notify_all();
+        });
     }
-    pool.wait_idle();
+
+    // Help drain the queue while waiting: the tasks run may belong to this
+    // call or to another one — either way progress is made, and a nested
+    // parallel_for can never deadlock on a fully-blocked worker set.
+    for (;;) {
+        {
+            std::lock_guard lock(latch.mutex);
+            if (latch.remaining == 0) break;
+        }
+        if (!pool.try_run_one()) {
+            std::unique_lock lock(latch.mutex);
+            latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+            break;
+        }
+    }
+    if (latch.error) std::rethrow_exception(latch.error);
 }
 
 }  // namespace xpcore

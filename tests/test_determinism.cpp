@@ -1,0 +1,150 @@
+// Thread-count invariance of the whole modeling pipeline: the parallel
+// compute layer (blocked GEMM, parallel data generation, parallel CV
+// ranking) must produce bit-identical results at 0, 1, and 4 workers —
+// XPDNN_THREADS is a speed knob, never a results knob.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dnn/modeler.hpp"
+#include "dnn/training_data.hpp"
+#include "nn/tensor.hpp"
+#include "regression/search.hpp"
+#include "xpcore/rng.hpp"
+#include "xpcore/thread_pool.hpp"
+
+namespace {
+
+/// Runs the body once per global worker count and restores the default
+/// global pool afterwards (the data-generation and CV paths use
+/// ThreadPool::global(), so the test has to swap the singleton).
+class GlobalPoolSweep : public ::testing::Test {
+protected:
+    void TearDown() override {
+        xpcore::ThreadPool::reset_global();
+        nn::set_gemm_parallel_threshold(0);
+    }
+};
+
+dnn::GeneratorConfig tiny_generator() {
+    dnn::GeneratorConfig config;
+    config.samples_per_class = 12;
+    return config;
+}
+
+dnn::DnnConfig tiny_config() {
+    dnn::DnnConfig config;
+    config.hidden = {32, 16};
+    config.pretrain_samples_per_class = 40;
+    config.pretrain_epochs = 1;
+    config.adapt_samples_per_class = 20;
+    config.adapt_epochs = 1;
+    return config;
+}
+
+measure::ExperimentSet linear_kernel_set() {
+    measure::ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) set.add({p}, {5.0 + 2.0 * p});
+    return set;
+}
+
+TEST_F(GlobalPoolSweep, TrainingDataBitIdenticalAcrossThreadCounts) {
+    const dnn::GeneratorConfig config = tiny_generator();
+
+    xpcore::ThreadPool::reset_global(0);
+    xpcore::Rng rng_serial(42);
+    const nn::Dataset serial = dnn::generate_training_data(config, rng_serial);
+
+    for (std::size_t workers : {1u, 4u}) {
+        xpcore::ThreadPool::reset_global(workers);
+        xpcore::Rng rng(42);
+        const nn::Dataset parallel = dnn::generate_training_data(config, rng);
+        ASSERT_EQ(parallel.size(), serial.size());
+        EXPECT_EQ(parallel.labels, serial.labels) << workers << " workers";
+        ASSERT_EQ(parallel.inputs.size(), serial.inputs.size());
+        EXPECT_EQ(std::memcmp(parallel.inputs.data(), serial.inputs.data(),
+                              serial.inputs.size() * sizeof(float)),
+                  0)
+            << workers << " workers";
+    }
+}
+
+TEST_F(GlobalPoolSweep, TrainingDataRngStateMatchesAfterGeneration) {
+    // The caller's Rng must advance identically regardless of the worker
+    // count (streams are split off sequentially before the parallel loop).
+    const dnn::GeneratorConfig config = tiny_generator();
+
+    xpcore::ThreadPool::reset_global(0);
+    xpcore::Rng rng_serial(7);
+    (void)dnn::generate_training_data(config, rng_serial);
+    const double next_serial = rng_serial.uniform(0, 1);
+
+    xpcore::ThreadPool::reset_global(4);
+    xpcore::Rng rng_parallel(7);
+    (void)dnn::generate_training_data(config, rng_parallel);
+    EXPECT_EQ(rng_parallel.uniform(0, 1), next_serial);
+}
+
+TEST_F(GlobalPoolSweep, PretrainAndModelIdenticalAcrossThreadCounts) {
+    // End-to-end acceptance: pretrain + model() selects the exact same
+    // model (terms and scores) at 0, 1, and 4 workers. The GEMM parallel
+    // threshold is forced to 1 so even the tiny test matrices take the
+    // parallel dispatch path.
+    nn::set_gemm_parallel_threshold(1);
+    const measure::ExperimentSet set = linear_kernel_set();
+
+    std::string baseline_model;
+    double baseline_cv = 0.0, baseline_fit = 0.0;
+    for (std::size_t workers : {0u, 1u, 4u}) {
+        xpcore::ThreadPool::reset_global(workers);
+        dnn::DnnModeler modeler(tiny_config(), /*seed=*/11);
+        modeler.pretrain();
+        const regression::ModelResult result = modeler.model(set);
+        const std::string description = result.model.to_string();
+        if (workers == 0) {
+            baseline_model = description;
+            baseline_cv = result.cv_smape;
+            baseline_fit = result.fit_smape;
+            EXPECT_FALSE(baseline_model.empty());
+        } else {
+            EXPECT_EQ(description, baseline_model) << workers << " workers";
+            EXPECT_EQ(result.cv_smape, baseline_cv) << workers << " workers";
+            EXPECT_EQ(result.fit_smape, baseline_fit) << workers << " workers";
+        }
+    }
+}
+
+TEST_F(GlobalPoolSweep, CandidateClassesIdenticalAcrossThreadCounts) {
+    nn::set_gemm_parallel_threshold(1);
+    measure::ExperimentSet set({"p", "n"});
+    for (double p : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        for (double n : {10.0, 20.0, 30.0, 40.0, 50.0}) {
+            set.add({p, n}, {1.0 + 0.5 * p * n});
+        }
+    }
+
+    std::vector<std::vector<pmnf::TermClass>> baseline;
+    for (std::size_t workers : {0u, 4u}) {
+        xpcore::ThreadPool::reset_global(workers);
+        dnn::DnnModeler modeler(tiny_config(), /*seed=*/3);
+        modeler.pretrain();
+        const auto candidates = modeler.candidate_classes(set);
+        ASSERT_EQ(candidates.size(), 2u);
+        if (workers == 0) {
+            baseline = candidates;
+        } else {
+            ASSERT_EQ(candidates.size(), baseline.size());
+            for (std::size_t param = 0; param < candidates.size(); ++param) {
+                ASSERT_EQ(candidates[param].size(), baseline[param].size()) << param;
+                for (std::size_t c = 0; c < candidates[param].size(); ++c) {
+                    EXPECT_TRUE(candidates[param][c] == baseline[param][c]) << param << "/" << c;
+                }
+            }
+        }
+    }
+}
+
+}  // namespace

@@ -79,6 +79,30 @@ TEST(Network, BackwardProducesFiniteParamGrads) {
     EXPECT_TRUE(any_nonzero);
 }
 
+TEST(Network, CloneIsDeepAndBitIdentical) {
+    xpcore::Rng rng(12);
+    Network net = Network::mlp({4, 8, 3}, rng, Activation::Relu);
+    Tensor in(2, 4);
+    for (std::size_t i = 0; i < in.size(); ++i) in.data()[i] = static_cast<float>(i) * 0.1f;
+    const Tensor expected = net.forward(in);
+
+    Network copy = net.clone();
+    EXPECT_EQ(copy.layer_count(), net.layer_count());
+    EXPECT_EQ(copy.layer(1).kind(), "relu");
+    const Tensor cloned_out = copy.forward(in);
+    ASSERT_EQ(cloned_out.size(), expected.size());
+    for (std::size_t i = 0; i < cloned_out.size(); ++i) {
+        EXPECT_FLOAT_EQ(cloned_out.data()[i], expected.data()[i]);
+    }
+
+    // Deep copy: mutating the clone's weights leaves the original intact.
+    for (auto& p : copy.params()) p.value->fill(0.0f);
+    const Tensor& after = net.forward(in);
+    for (std::size_t i = 0; i < after.size(); ++i) {
+        EXPECT_FLOAT_EQ(after.data()[i], expected.data()[i]);
+    }
+}
+
 TEST(Network, EmptyForwardThrows) {
     Network net;
     Tensor in(1, 1);

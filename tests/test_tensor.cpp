@@ -1,13 +1,18 @@
 // Tests for the f32 tensor and GEMM kernels, validated against a naive
-// reference implementation over random shapes.
+// triple-loop reference oracle over random shapes — including degenerate
+// inference shapes (m=1, k=11), sizes straddling the parallel-dispatch
+// threshold, and accumulate on/off for all three variants — and pinned to
+// be bit-identical between a serial pool and a 4-worker pool.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <tuple>
 
 #include "nn/tensor.hpp"
 #include "xpcore/rng.hpp"
+#include "xpcore/thread_pool.hpp"
 
 namespace {
 
@@ -19,12 +24,21 @@ Tensor random_tensor(std::size_t rows, std::size_t cols, xpcore::Rng& rng) {
     return t;
 }
 
+// Reference oracle: naive i-j-k triple loop in double precision accumulation
+// order-independent enough for the 1e-4 tolerance below.
 Tensor naive_nn(const Tensor& a, const Tensor& b) {
     Tensor c(a.rows(), b.cols(), 0.0f);
     for (std::size_t i = 0; i < a.rows(); ++i)
         for (std::size_t j = 0; j < b.cols(); ++j)
             for (std::size_t k = 0; k < a.cols(); ++k) c(i, j) += a(i, k) * b(k, j);
     return c;
+}
+
+Tensor transpose(const Tensor& t) {
+    Tensor out(t.cols(), t.rows());
+    for (std::size_t i = 0; i < t.rows(); ++i)
+        for (std::size_t j = 0; j < t.cols(); ++j) out(j, i) = t(i, j);
+    return out;
 }
 
 void expect_near(const Tensor& actual, const Tensor& expected, float tol = 1e-4f) {
@@ -34,6 +48,19 @@ void expect_near(const Tensor& actual, const Tensor& expected, float tol = 1e-4f
         EXPECT_NEAR(actual.data()[i], expected.data()[i], tol);
     }
 }
+
+void expect_identical(const Tensor& actual, const Tensor& expected) {
+    ASSERT_EQ(actual.rows(), expected.rows());
+    ASSERT_EQ(actual.cols(), expected.cols());
+    EXPECT_EQ(std::memcmp(actual.data(), expected.data(), actual.size() * sizeof(float)), 0);
+}
+
+/// Forces the parallel dispatch path for the guarded scope (and restores
+/// the default threshold on exit).
+struct ThresholdOverride {
+    explicit ThresholdOverride(std::size_t flops) { nn::set_gemm_parallel_threshold(flops); }
+    ~ThresholdOverride() { nn::set_gemm_parallel_threshold(0); }
+};
 
 TEST(Tensor, ConstructAndIndex) {
     Tensor t(2, 3, 1.5f);
@@ -90,49 +117,123 @@ TEST(Gemm, KnownSmallProduct) {
     EXPECT_FLOAT_EQ(c(1, 1), 50);
 }
 
+// (m, k, n) shapes: degenerate vectors, the 1 x 11 inference line, odd
+// primes that break tile boundaries, and sizes straddling the parallel
+// threshold (forced low in the threaded suite below).
 class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
 
 TEST_P(GemmShapes, NnMatchesNaive) {
     const auto [m, k, n] = GetParam();
-    xpcore::Rng rng(m * 100 + k * 10 + n);
-    const Tensor a = random_tensor(m, k, rng);
-    const Tensor b = random_tensor(k, n, rng);
-    Tensor c(m, n);
-    gemm_nn(a, b, c);
-    expect_near(c, naive_nn(a, b));
+    for (const bool accumulate : {false, true}) {
+        xpcore::Rng rng(m * 100 + k * 10 + n + (accumulate ? 7 : 0));
+        const Tensor a = random_tensor(m, k, rng);
+        const Tensor b = random_tensor(k, n, rng);
+        Tensor c = random_tensor(m, n, rng);
+        Tensor expected = naive_nn(a, b);
+        if (accumulate) {
+            for (std::size_t i = 0; i < expected.size(); ++i) expected.data()[i] += c.data()[i];
+        }
+        gemm_nn(a, b, c, accumulate);
+        expect_near(c, expected);
+    }
 }
 
 TEST_P(GemmShapes, NtMatchesNaive) {
     const auto [m, k, n] = GetParam();
-    xpcore::Rng rng(m * 100 + k * 10 + n + 1);
-    const Tensor a = random_tensor(m, k, rng);
-    const Tensor bt = random_tensor(n, k, rng);  // b^T stored
-    Tensor c(m, n);
-    gemm_nt(a, bt, c);
-    // reference: transpose bt then multiply
-    Tensor b(k, n);
-    for (std::size_t i = 0; i < static_cast<std::size_t>(k); ++i)
-        for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) b(i, j) = bt(j, i);
-    expect_near(c, naive_nn(a, b));
+    for (const bool accumulate : {false, true}) {
+        xpcore::Rng rng(m * 100 + k * 10 + n + (accumulate ? 8 : 1));
+        const Tensor a = random_tensor(m, k, rng);
+        const Tensor bt = random_tensor(n, k, rng);  // b^T stored
+        Tensor c = random_tensor(m, n, rng);
+        Tensor expected = naive_nn(a, transpose(bt));
+        if (accumulate) {
+            for (std::size_t i = 0; i < expected.size(); ++i) expected.data()[i] += c.data()[i];
+        }
+        gemm_nt(a, bt, c, accumulate);
+        expect_near(c, expected);
+    }
 }
 
 TEST_P(GemmShapes, TnMatchesNaive) {
     const auto [m, k, n] = GetParam();
-    xpcore::Rng rng(m * 100 + k * 10 + n + 2);
-    const Tensor at = random_tensor(k, m, rng);  // a^T stored
-    const Tensor b = random_tensor(k, n, rng);
-    Tensor c(m, n);
-    gemm_tn(at, b, c);
-    Tensor a(m, k);
-    for (std::size_t i = 0; i < static_cast<std::size_t>(m); ++i)
-        for (std::size_t j = 0; j < static_cast<std::size_t>(k); ++j) a(i, j) = at(j, i);
-    expect_near(c, naive_nn(a, b));
+    for (const bool accumulate : {false, true}) {
+        xpcore::Rng rng(m * 100 + k * 10 + n + (accumulate ? 9 : 2));
+        const Tensor at = random_tensor(k, m, rng);  // a^T stored
+        const Tensor b = random_tensor(k, n, rng);
+        Tensor c = random_tensor(m, n, rng);
+        Tensor expected = naive_nn(transpose(at), b);
+        if (accumulate) {
+            for (std::size_t i = 0; i < expected.size(); ++i) expected.data()[i] += c.data()[i];
+        }
+        gemm_tn(at, b, c, accumulate);
+        expect_near(c, expected);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapes,
                          ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
                                            std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
-                                           std::make_tuple(1, 32, 8), std::make_tuple(33, 17, 9)));
+                                           std::make_tuple(1, 32, 8), std::make_tuple(33, 17, 9),
+                                           std::make_tuple(1, 11, 43),   // one inference line
+                                           std::make_tuple(48, 48, 48),  // below 2^17 threshold
+                                           std::make_tuple(64, 65, 66),  // above 2^17 threshold
+                                           std::make_tuple(5, 300, 37)   // K-panel straddle
+                                           ));
+
+// Bit-exact determinism across worker counts: the kernels partition output
+// rows only, so a 4-worker pool must reproduce the serial pool exactly —
+// this is what makes XPDNN_THREADS=0/1/4 model selection identical.
+class GemmThreaded : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmThreaded, SerialAndParallelPoolsBitIdentical) {
+    const auto [m, k, n] = GetParam();
+    ThresholdOverride force_parallel(1);  // everything above 1 madd parallelizes
+    xpcore::ThreadPool serial_pool(0);
+    xpcore::ThreadPool parallel_pool(4);
+
+    for (const bool accumulate : {false, true}) {
+        xpcore::Rng rng(m * 1000 + k * 100 + n + (accumulate ? 3 : 0));
+        const Tensor a = random_tensor(m, k, rng);
+        const Tensor b = random_tensor(k, n, rng);
+        const Tensor bt = transpose(b);
+        const Tensor at = transpose(a);
+        const Tensor init = random_tensor(m, n, rng);
+
+        Tensor c_serial = init, c_parallel = init;
+        gemm_nn(a, b, c_serial, accumulate, serial_pool);
+        gemm_nn(a, b, c_parallel, accumulate, parallel_pool);
+        expect_identical(c_parallel, c_serial);
+        expect_near(c_serial, c_parallel);  // shape check side effect
+
+        c_serial = init;
+        c_parallel = init;
+        gemm_nt(a, bt, c_serial, accumulate, serial_pool);
+        gemm_nt(a, bt, c_parallel, accumulate, parallel_pool);
+        expect_identical(c_parallel, c_serial);
+
+        c_serial = init;
+        c_parallel = init;
+        gemm_tn(at, b, c_serial, accumulate, serial_pool);
+        gemm_tn(at, b, c_parallel, accumulate, parallel_pool);
+        expect_identical(c_parallel, c_serial);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmThreaded,
+                         ::testing::Values(std::make_tuple(2, 3, 4), std::make_tuple(16, 16, 16),
+                                           std::make_tuple(48, 48, 48),
+                                           std::make_tuple(64, 65, 66),
+                                           std::make_tuple(128, 11, 43),  // training batch
+                                           std::make_tuple(97, 300, 31)));
+
+TEST(Gemm, ParallelThresholdKnob) {
+    EXPECT_GT(nn::gemm_parallel_threshold(), 0u);
+    const std::size_t before = nn::gemm_parallel_threshold();
+    nn::set_gemm_parallel_threshold(12345);
+    EXPECT_EQ(nn::gemm_parallel_threshold(), 12345u);
+    nn::set_gemm_parallel_threshold(0);  // restore default
+    EXPECT_EQ(nn::gemm_parallel_threshold(), before);
+}
 
 TEST(Gemm, AccumulateAddsToExisting) {
     xpcore::Rng rng(9);

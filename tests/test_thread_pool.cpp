@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "xpcore/thread_pool.hpp"
@@ -34,7 +36,8 @@ TEST(ThreadPool, WaitIdleBlocksUntilDone) {
     std::atomic<int> done{0};
     for (int i = 0; i < 8; ++i) {
         pool.submit([&] {
-            for (volatile int spin = 0; spin < 100000; ++spin) {
+            std::atomic<int> spin{0};
+            while (spin.fetch_add(1) < 100000) {
             }
             done.fetch_add(1);
         });
@@ -83,6 +86,104 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
     ThreadPool& a = ThreadPool::global();
     ThreadPool& b = ThreadPool::global();
     EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPool, ResetGlobalChangesWorkerCount) {
+    ThreadPool::reset_global(2);
+    EXPECT_EQ(ThreadPool::global().size(), 2u);
+    ThreadPool::reset_global(0);
+    EXPECT_EQ(ThreadPool::global().size(), 0u);
+    ThreadPool::reset_global();  // back to the env/hardware default
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+    ThreadPool pool(3);
+    EXPECT_THROW(parallel_for(pool, 256,
+                              [&](std::size_t begin, std::size_t) {
+                                  if (begin == 0) throw std::runtime_error("boom");
+                              },
+                              /*grain=*/1),
+                 std::runtime_error);
+    // The pool must stay usable after an exception escaped a chunk.
+    std::atomic<int> counter{0};
+    parallel_for(pool, 100, [&](std::size_t begin, std::size_t end) {
+        counter.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, SerialFallbackPropagatesException) {
+    ThreadPool pool(0);
+    EXPECT_THROW(
+        parallel_for(pool, 8, [](std::size_t, std::size_t) { throw std::logic_error("serial"); }),
+        std::logic_error);
+}
+
+TEST(ParallelFor, ConcurrentCallsFromMultipleThreads) {
+    // Per-call completion latches: two callers sharing one pool must each
+    // see exactly their own indices, never the other call's completion.
+    ThreadPool pool(3);
+    constexpr std::size_t kN = 5000;
+    std::vector<std::atomic<int>> hits_a(kN), hits_b(kN);
+    auto run = [&pool](std::vector<std::atomic<int>>& hits) {
+        for (int round = 0; round < 5; ++round) {
+            parallel_for(pool, kN, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+            });
+        }
+    };
+    std::thread caller_a(run, std::ref(hits_a));
+    std::thread caller_b(run, std::ref(hits_b));
+    caller_a.join();
+    caller_b.join();
+    for (const auto& h : hits_a) ASSERT_EQ(h.load(), 5);
+    for (const auto& h : hits_b) ASSERT_EQ(h.load(), 5);
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+    ThreadPool pool(2);
+    std::atomic<int> inner_total{0};
+    parallel_for(
+        pool, 8,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                parallel_for(
+                    pool, 16,
+                    [&](std::size_t b, std::size_t e) {
+                        inner_total.fetch_add(static_cast<int>(e - b));
+                    },
+                    /*grain=*/1);
+            }
+        },
+        /*grain=*/1);
+    EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsSubmitException) {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    // First error is consumed; the pool keeps working.
+    std::atomic<int> counter{0};
+    pool.submit([&] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, SerialGuardDisablesParallelDispatch) {
+    EXPECT_TRUE(parallel_enabled());
+    {
+        SerialGuard guard;
+        EXPECT_FALSE(parallel_enabled());
+        // parallel_for still covers all indices, just inline.
+        ThreadPool pool(2);
+        std::vector<int> hits(64, 0);
+        parallel_for(pool, hits.size(), [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) ++hits[i];
+        });
+        EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+    }
+    EXPECT_TRUE(parallel_enabled());
 }
 
 }  // namespace
