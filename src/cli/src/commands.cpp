@@ -98,12 +98,23 @@ void print_result(const regression::ModelResult& result, const measure::Experime
     }
 }
 
+/// Print every structured diagnostic of a failed load, one per line.
+template <typename Result>
+int report_load_failure(const Result& result, const char* command, std::ostream& err) {
+    for (const auto& diagnostic : result.diagnostics) {
+        err << "xpdnn " << command << ": " << diagnostic.format() << "\n";
+    }
+    return 2;
+}
+
 int cmd_model(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
     if (args.positionals().size() < 2) {
         err << "xpdnn model: missing measurement file\n";
         return 1;
     }
-    const auto set = measure::load_text_file(args.positionals()[1]);
+    auto loaded = measure::try_load_text_file(args.positionals()[1]);
+    if (!loaded.ok()) return report_load_failure(loaded, "model", err);
+    const auto set = std::move(*loaded.set);
     const auto aggregation =
         measure::aggregation_from_string(args.get("aggregation", "median"));
     const std::string modeler_name = args.get("modeler", "adaptive");
@@ -192,7 +203,9 @@ int cmd_model_all(const xpcore::CliArgs& args, std::ostream& out, std::ostream& 
         err << "xpdnn model-all: missing archive file\n";
         return 1;
     }
-    const auto archive = measure::load_archive_file(args.positionals()[1]);
+    auto loaded = measure::try_load_archive_file(args.positionals()[1]);
+    if (!loaded.ok()) return report_load_failure(loaded, "model-all", err);
+    const auto archive = std::move(*loaded.archive);
     if (archive.empty()) {
         err << "xpdnn model-all: archive has no entries\n";
         return 1;
@@ -232,7 +245,9 @@ int cmd_noise(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err)
         err << "xpdnn noise: missing measurement file\n";
         return 1;
     }
-    const auto set = measure::load_text_file(args.positionals()[1]);
+    auto loaded = measure::try_load_text_file(args.positionals()[1]);
+    if (!loaded.ok()) return report_load_failure(loaded, "noise", err);
+    const auto set = std::move(*loaded.set);
     const auto stats = noise::analyze_noise(set);
     out << "points:          " << set.size() << "\n";
     out << "noise estimate:  " << xpcore::Table::num(noise::estimate_noise(set) * 100) << "%\n";

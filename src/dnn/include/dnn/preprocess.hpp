@@ -34,15 +34,17 @@ std::span<const double> sample_positions();
 /// Preprocess one measurement line into the 11 network inputs.
 ///
 /// `xs` are the strictly positive, strictly increasing parameter values and
-/// `values` the corresponding measurement values (typically medians over the
-/// repetitions); both must have equal size in [2, 11]. Throws
-/// std::invalid_argument on malformed input.
+/// `values` the corresponding finite measurement values (typically medians
+/// over the repetitions); both must have equal size in [2, 11]. Throws
+/// xpcore::ValidationError on malformed input.
 std::array<float, kInputNeurons> preprocess_line(std::span<const double> xs,
                                                  std::span<const double> values);
 
 /// The slot each measurement is assigned to (same algorithm as
 /// preprocess_line); exposed for tests. Result[i] is the input-neuron index
-/// of measurement i.
+/// of measurement i. The assignment is the order-preserving one with
+/// minimum total distance, so slots are strictly increasing across the
+/// measurements of a line.
 std::array<std::size_t, kInputNeurons> assign_slots(std::span<const double> xs);
 
 }  // namespace dnn

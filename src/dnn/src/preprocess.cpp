@@ -4,7 +4,9 @@
 #include <array>
 #include <cmath>
 #include <limits>
-#include <stdexcept>
+#include <string>
+
+#include "xpcore/error.hpp"
 
 namespace dnn {
 
@@ -13,14 +15,21 @@ constexpr std::array<double, kInputNeurons> kPositions = {
     1.0 / 64, 1.0 / 32, 1.0 / 16, 1.0 / 8, 2.0 / 8, 3.0 / 8,
     4.0 / 8,  5.0 / 8,  6.0 / 8,  7.0 / 8, 1.0};
 
+[[noreturn]] void invalid(std::string message) {
+    throw xpcore::ValidationError({"preprocess_line", 0, 0, std::move(message)});
+}
+
 void validate(std::span<const double> xs) {
     if (xs.size() < 2 || xs.size() > kInputNeurons) {
-        throw std::invalid_argument("preprocess_line: need between 2 and 11 points");
+        invalid("need between 2 and " + std::to_string(kInputNeurons) + " points, got " +
+                std::to_string(xs.size()));
     }
     for (std::size_t i = 0; i < xs.size(); ++i) {
-        if (!(xs[i] > 0.0)) throw std::invalid_argument("preprocess_line: x values must be > 0");
+        if (!(xs[i] > 0.0) || !std::isfinite(xs[i])) {
+            invalid("x values must be finite and > 0 (index " + std::to_string(i) + ")");
+        }
         if (i > 0 && xs[i] <= xs[i - 1]) {
-            throw std::invalid_argument("preprocess_line: x values must be strictly increasing");
+            invalid("x values must be strictly increasing (index " + std::to_string(i) + ")");
         }
     }
 }
@@ -30,26 +39,59 @@ std::span<const double> sample_positions() { return kPositions; }
 
 std::array<std::size_t, kInputNeurons> assign_slots(std::span<const double> xs) {
     validate(xs);
-    std::array<std::size_t, kInputNeurons> assignment{};
-    std::array<bool, kInputNeurons> taken{};
+    const std::size_t n = xs.size();
     const double x_max = xs.back();
 
-    // Greedy nearest-neighbor assignment in order of increasing position;
-    // each sampling position (input neuron) accepts at most one value.
-    for (std::size_t i = 0; i < xs.size(); ++i) {
-        const double p = xs[i] / x_max;
-        std::size_t best = kInputNeurons;
-        double best_dist = std::numeric_limits<double>::infinity();
+    // Order-preserving minimum-total-distance assignment of the n normalized
+    // positions to n of the 11 sampling positions (both sequences are
+    // strictly increasing). A greedy nearest-free-neuron pass can invert the
+    // order when points cluster — e.g. xs = {60, 62, 64} normalized near 1.0
+    // maps the largest x to a *lower* slot than its predecessor, which
+    // scrambles the line shape the network classifies. The monotone optimum
+    // is a tiny DP: cost[i][s] = |p_i - position_s|, slots strictly
+    // increasing across points.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::array<double, kInputNeurons> p{};
+    for (std::size_t i = 0; i < n; ++i) p[i] = xs[i] / x_max;
+
+    std::array<std::array<double, kInputNeurons>, kInputNeurons> best{};
+    std::array<std::array<std::size_t, kInputNeurons>, kInputNeurons> parent{};
+    for (std::size_t i = 0; i < n; ++i) {
+        // prefix_best tracks min over best[i-1][0..s-1] while s advances.
+        double prefix_best = kInf;
+        std::size_t prefix_arg = 0;
         for (std::size_t s = 0; s < kInputNeurons; ++s) {
-            if (taken[s]) continue;
-            const double dist = std::abs(p - kPositions[s]);
-            if (dist < best_dist) {
-                best_dist = dist;
-                best = s;
+            best[i][s] = kInf;
+            // Slot s is feasible for point i iff enough slots remain below
+            // for the i predecessors and above for the n-1-i successors.
+            if (s >= i && s <= kInputNeurons - n + i) {
+                const double cost = std::abs(p[i] - kPositions[s]);
+                if (i == 0) {
+                    best[i][s] = cost;
+                } else if (prefix_best < kInf) {
+                    best[i][s] = prefix_best + cost;
+                    parent[i][s] = prefix_arg;
+                }
+            }
+            if (i > 0 && best[i - 1][s] < prefix_best) {
+                prefix_best = best[i - 1][s];
+                prefix_arg = s;
             }
         }
-        taken[best] = true;
-        assignment[i] = best;
+    }
+
+    std::array<std::size_t, kInputNeurons> assignment{};
+    std::size_t s = kInputNeurons - 1;
+    double total = std::numeric_limits<double>::infinity();
+    for (std::size_t c = n - 1; c < kInputNeurons; ++c) {
+        if (best[n - 1][c] < total) {
+            total = best[n - 1][c];
+            s = c;
+        }
+    }
+    for (std::size_t i = n; i-- > 0;) {
+        assignment[i] = s;
+        s = parent[i][s];
     }
     return assignment;
 }
@@ -58,7 +100,13 @@ std::array<float, kInputNeurons> preprocess_line(std::span<const double> xs,
                                                  std::span<const double> values) {
     validate(xs);
     if (values.size() != xs.size()) {
-        throw std::invalid_argument("preprocess_line: xs and values differ in size");
+        invalid("xs and values differ in size (" + std::to_string(xs.size()) + " vs " +
+                std::to_string(values.size()) + ")");
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (!std::isfinite(values[i])) {
+            invalid("values must be finite (index " + std::to_string(i) + ")");
+        }
     }
 
     // Enrichment: implicit position information via v / x.

@@ -18,10 +18,12 @@
 ///     8 1024 : 0.40 0.41
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "measure/experiment.hpp"
+#include "xpcore/error.hpp"
 
 namespace measure {
 
@@ -63,10 +65,22 @@ private:
 };
 
 /// Serialize / parse the text format above. load_archive throws
-/// std::runtime_error with a line number on malformed input.
+/// xpcore::ParseError / xpcore::ValidationError (both std::runtime_error)
+/// whose Diagnostic carries source, line, and column; the same strictness
+/// rules as measure::load_text apply (CRLF accepted, non-finite rejected).
 void save_archive(const Archive& archive, std::ostream& out);
 void save_archive_file(const Archive& archive, const std::string& path);
-Archive load_archive(std::istream& in);
+Archive load_archive(std::istream& in, const std::string& source = "<stream>");
 Archive load_archive_file(const std::string& path);
+
+/// Non-throwing variant for batch ingestion; mirrors measure::try_load_text.
+struct ArchiveLoadResult {
+    std::optional<Archive> archive;
+    std::vector<xpcore::Diagnostic> diagnostics;
+
+    bool ok() const { return archive.has_value(); }
+};
+ArchiveLoadResult try_load_archive(std::istream& in, const std::string& source = "<stream>");
+ArchiveLoadResult try_load_archive_file(const std::string& path);
 
 }  // namespace measure

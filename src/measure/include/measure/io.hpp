@@ -13,11 +13,19 @@
 /// Each data row lists the coordinate values, a ':' separator, and the
 /// repetition values. This mirrors the spirit of Extra-P's text input format
 /// while staying trivially parseable.
+///
+/// Strictness (see docs/FILE_FORMATS.md "Strictness and diagnostics"):
+/// LF and CRLF line endings are both accepted; numbers are parsed
+/// locale-independently; NaN/Inf/out-of-range values are rejected. Every
+/// rejection carries an xpcore::Diagnostic with source, line, and column.
 
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "measure/experiment.hpp"
+#include "xpcore/error.hpp"
 
 namespace measure {
 
@@ -25,9 +33,28 @@ namespace measure {
 void save_text(const ExperimentSet& set, std::ostream& out);
 void save_text_file(const ExperimentSet& set, const std::string& path);
 
-/// Parse the text format. Throws std::runtime_error with a line number on
-/// malformed input.
-ExperimentSet load_text(std::istream& in);
+/// Parse the text format. Throws xpcore::ParseError on undecodable input
+/// and xpcore::ValidationError on semantic rule violations (both derive
+/// from std::runtime_error); the attached Diagnostic carries `source`
+/// (the file path for load_text_file), line, and column.
+ExperimentSet load_text(std::istream& in, const std::string& source = "<stream>");
 ExperimentSet load_text_file(const std::string& path);
+
+/// Result of a non-throwing load: either a complete experiment set, or the
+/// full list of diagnostics found in the input (never a partial set — a
+/// file is ingested all-or-nothing so bad rows cannot be silently dropped).
+struct LoadResult {
+    std::optional<ExperimentSet> set;           ///< engaged iff the input is clean
+    std::vector<xpcore::Diagnostic> diagnostics;  ///< empty iff the input is clean
+
+    bool ok() const { return set.has_value(); }
+};
+
+/// Non-throwing variants for batch ingestion: parse the whole input,
+/// collecting a diagnostic per malformed row instead of stopping at the
+/// first (a header failure ends the scan — without the parameter list the
+/// remaining rows cannot be interpreted).
+LoadResult try_load_text(std::istream& in, const std::string& source = "<stream>");
+LoadResult try_load_text_file(const std::string& path);
 
 }  // namespace measure

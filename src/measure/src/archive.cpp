@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "parse_util.hpp"
+
 namespace measure {
 
 void Archive::add(std::string kernel, std::string metric, ExperimentSet experiments) {
@@ -60,26 +62,43 @@ void save_archive_file(const Archive& archive, const std::string& path) {
     save_archive(archive, out);
 }
 
-Archive load_archive(std::istream& in) {
+namespace {
+
+/// Shared driver, mirroring io.cpp's parse_text. In collecting mode,
+/// row/header errors are recorded and the scan continues (a 'params:'
+/// failure still ends the scan — nothing downstream is interpretable).
+ArchiveLoadResult parse_archive(std::istream& in, const std::string& source, bool collect) {
+    ArchiveLoadResult result;
+    detail::ParseContext ctx{source, 0};
     std::string line;
-    std::size_t line_no = 0;
-    auto fail = [&](const std::string& what) {
-        throw std::runtime_error("load_archive: line " + std::to_string(line_no) + ": " + what);
+
+    auto report = [&](const xpcore::Error& e) {
+        if (!collect) throw;
+        result.diagnostics.push_back(e.diagnostic());
     };
 
     std::vector<std::string> names;
     while (std::getline(in, line)) {
-        ++line_no;
-        if (line.empty() || line[0] == '#') continue;
-        std::istringstream header(line);
+        ++ctx.line;
+        const auto stripped = detail::strip_line(line);
+        if (detail::is_blank_or_comment(stripped)) continue;
+        std::istringstream header{std::string(stripped)};
         std::string tag;
         header >> tag;
-        if (tag != "params:") fail("expected 'params:' header, got '" + tag + "'");
+        if (tag != "params:") {
+            throw xpcore::ParseError(
+                ctx.diag(1, "expected 'params:' header, got '" + tag + "'"));
+        }
         std::string name;
         while (header >> name) names.push_back(name);
+        if (names.empty()) {
+            throw xpcore::ValidationError(ctx.diag(1, "'params:' header names no parameters"));
+        }
         break;
     }
-    if (names.empty()) throw std::runtime_error("load_archive: missing 'params:' header");
+    if (names.empty()) {
+        throw xpcore::ParseError({source, 0, 0, "missing or empty 'params:' header"});
+    }
 
     Archive archive(names);
     std::string kernel, metric;
@@ -87,54 +106,88 @@ Archive load_archive(std::istream& in) {
     bool have_entry = false;
     auto flush = [&]() {
         if (!have_entry) return;
-        if (current.empty()) fail("entry '" + kernel + "' has no measurements");
+        if (current.empty()) {
+            throw xpcore::ValidationError(
+                ctx.diag(0, "entry '" + kernel + "/" + metric + "' has no measurements"));
+        }
         archive.add(kernel, metric, std::move(current));
         current = ExperimentSet(names);
     };
 
     while (std::getline(in, line)) {
-        ++line_no;
-        if (line.empty() || line[0] == '#') continue;
-        if (line.rfind("kernel:", 0) == 0) {
-            flush();
-            std::istringstream header(line);
-            std::string tag, metric_tag;
-            header >> tag >> kernel >> metric_tag >> metric;
-            if (kernel.empty() || metric_tag != "metric:" || metric.empty()) {
-                fail("malformed kernel header");
+        ++ctx.line;
+        const auto stripped = detail::strip_line(line);
+        if (detail::is_blank_or_comment(stripped)) continue;
+        try {
+            if (stripped.substr(0, 7) == "kernel:") {
+                flush();
+                std::istringstream header{std::string(stripped)};
+                std::string tag, metric_tag;
+                header >> tag >> kernel >> metric_tag >> metric;
+                if (kernel.empty() || metric_tag != "metric:" || metric.empty()) {
+                    throw xpcore::ParseError(
+                        ctx.diag(1, "malformed kernel header (want 'kernel: <name> "
+                                    "metric: <name>')"));
+                }
+                if (archive.find(kernel, metric) != nullptr) {
+                    throw xpcore::ValidationError(
+                        ctx.diag(1, "duplicate entry '" + kernel + "/" + metric + "'"));
+                }
+                have_entry = true;
+                continue;
             }
-            have_entry = true;
-            continue;
+            if (!have_entry) {
+                throw xpcore::ParseError(
+                    ctx.diag(1, "measurement before the first 'kernel:' header"));
+            }
+            auto row = detail::parse_data_row(stripped, names.size(), ctx);
+            current.add(std::move(row.point), std::move(row.values));
+        } catch (const xpcore::Error& e) {
+            report(e);
         }
-        if (!have_entry) fail("measurement before the first 'kernel:' header");
-        const auto colon = line.find(':');
-        if (colon == std::string::npos) fail("missing ':' separator");
-        Coordinate point;
-        {
-            std::istringstream coords(line.substr(0, colon));
-            double x = 0.0;
-            while (coords >> x) point.push_back(x);
-            if (!coords.eof()) fail("malformed coordinate value");
-        }
-        std::vector<double> values;
-        {
-            std::istringstream reps(line.substr(colon + 1));
-            double v = 0.0;
-            while (reps >> v) values.push_back(v);
-            if (!reps.eof()) fail("malformed repetition value");
-        }
-        if (point.size() != names.size()) fail("coordinate arity does not match header");
-        if (values.empty()) fail("no repetition values");
-        current.add(std::move(point), std::move(values));
     }
-    flush();
-    return archive;
+    try {
+        flush();
+    } catch (const xpcore::Error& e) {
+        report(e);
+    }
+    if (result.diagnostics.empty()) result.archive = std::move(archive);
+    return result;
+}
+
+}  // namespace
+
+Archive load_archive(std::istream& in, const std::string& source) {
+    auto result = parse_archive(in, source, /*collect=*/false);
+    return std::move(*result.archive);
 }
 
 Archive load_archive_file(const std::string& path) {
     std::ifstream in(path);
-    if (!in) throw std::runtime_error("load_archive_file: cannot open " + path);
-    return load_archive(in);
+    if (!in) {
+        throw xpcore::Error({path, 0, 0, "cannot open file"});
+    }
+    return load_archive(in, path);
+}
+
+ArchiveLoadResult try_load_archive(std::istream& in, const std::string& source) {
+    try {
+        return parse_archive(in, source, /*collect=*/true);
+    } catch (const xpcore::Error& e) {
+        ArchiveLoadResult result;
+        result.diagnostics.push_back(e.diagnostic());
+        return result;
+    }
+}
+
+ArchiveLoadResult try_load_archive_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        ArchiveLoadResult result;
+        result.diagnostics.push_back({path, 0, 0, "cannot open file"});
+        return result;
+    }
+    return try_load_archive(in, path);
 }
 
 }  // namespace measure

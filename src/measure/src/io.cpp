@@ -4,7 +4,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "parse_util.hpp"
+
 namespace measure {
+
 
 void save_text(const ExperimentSet& set, std::ostream& out) {
     out << "params:";
@@ -24,66 +27,108 @@ void save_text(const ExperimentSet& set, std::ostream& out) {
 
 void save_text_file(const ExperimentSet& set, const std::string& path) {
     std::ofstream out(path);
-    if (!out) throw std::runtime_error("save_text_file: cannot open " + path);
+    if (!out) {
+        throw xpcore::Error({path, 0, 0, "cannot open file for writing"});
+    }
     save_text(set, out);
 }
 
-ExperimentSet load_text(std::istream& in) {
+namespace {
+
+/// Parse the 'params:' header; returns the names or throws.
+std::vector<std::string> parse_header(std::string_view stripped,
+                                      const detail::ParseContext& ctx) {
+    std::istringstream header{std::string(stripped)};
+    std::string tag;
+    header >> tag;
+    if (tag != "params:") {
+        throw xpcore::ParseError(
+            ctx.diag(1, "expected 'params:' header, got '" + tag + "'"));
+    }
+    std::vector<std::string> names;
+    std::string name;
+    while (header >> name) names.push_back(name);
+    if (names.empty()) {
+        throw xpcore::ValidationError(ctx.diag(1, "'params:' header names no parameters"));
+    }
+    return names;
+}
+
+/// Shared driver: parse the whole stream. In collecting mode, data-row
+/// errors are recorded and the scan continues; otherwise the first error
+/// propagates.
+LoadResult parse_text(std::istream& in, const std::string& source, bool collect) {
+    LoadResult result;
+    detail::ParseContext ctx{source, 0};
     std::string line;
-    std::size_t line_no = 0;
-    auto fail = [&](const std::string& what) {
-        throw std::runtime_error("load_text: line " + std::to_string(line_no) + ": " + what);
-    };
 
     // Header
     std::vector<std::string> names;
     while (std::getline(in, line)) {
-        ++line_no;
-        if (line.empty() || line[0] == '#') continue;
-        std::istringstream header(line);
-        std::string tag;
-        header >> tag;
-        if (tag != "params:") fail("expected 'params:' header, got '" + tag + "'");
-        std::string name;
-        while (header >> name) names.push_back(name);
+        ++ctx.line;
+        const auto stripped = detail::strip_line(line);
+        if (detail::is_blank_or_comment(stripped)) continue;
+        names = parse_header(stripped, ctx);
         break;
     }
     if (names.empty()) {
-        throw std::runtime_error("load_text: missing or empty 'params:' header");
+        throw xpcore::ParseError({source, 0, 0, "missing or empty 'params:' header"});
     }
 
     ExperimentSet set(names);
     while (std::getline(in, line)) {
-        ++line_no;
-        if (line.empty() || line[0] == '#') continue;
-        const auto colon = line.find(':');
-        if (colon == std::string::npos) fail("missing ':' separator");
-
-        Coordinate point;
-        {
-            std::istringstream coords(line.substr(0, colon));
-            double x = 0.0;
-            while (coords >> x) point.push_back(x);
-            if (!coords.eof()) fail("malformed coordinate value");
+        ++ctx.line;
+        const auto stripped = detail::strip_line(line);
+        if (detail::is_blank_or_comment(stripped)) continue;
+        if (collect) {
+            try {
+                auto row = detail::parse_data_row(stripped, names.size(), ctx);
+                set.add(std::move(row.point), std::move(row.values));
+            } catch (const xpcore::Error& e) {
+                result.diagnostics.push_back(e.diagnostic());
+            }
+        } else {
+            auto row = detail::parse_data_row(stripped, names.size(), ctx);
+            set.add(std::move(row.point), std::move(row.values));
         }
-        std::vector<double> values;
-        {
-            std::istringstream reps(line.substr(colon + 1));
-            double v = 0.0;
-            while (reps >> v) values.push_back(v);
-            if (!reps.eof()) fail("malformed repetition value");
-        }
-        if (point.size() != names.size()) fail("coordinate arity does not match header");
-        if (values.empty()) fail("no repetition values");
-        set.add(std::move(point), std::move(values));
     }
-    return set;
+    if (result.diagnostics.empty()) result.set = std::move(set);
+    return result;
+}
+
+}  // namespace
+
+ExperimentSet load_text(std::istream& in, const std::string& source) {
+    auto result = parse_text(in, source, /*collect=*/false);
+    return std::move(*result.set);
 }
 
 ExperimentSet load_text_file(const std::string& path) {
     std::ifstream in(path);
-    if (!in) throw std::runtime_error("load_text_file: cannot open " + path);
-    return load_text(in);
+    if (!in) {
+        throw xpcore::Error({path, 0, 0, "cannot open file"});
+    }
+    return load_text(in, path);
+}
+
+LoadResult try_load_text(std::istream& in, const std::string& source) {
+    try {
+        return parse_text(in, source, /*collect=*/true);
+    } catch (const xpcore::Error& e) {
+        LoadResult result;
+        result.diagnostics.push_back(e.diagnostic());
+        return result;
+    }
+}
+
+LoadResult try_load_text_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        LoadResult result;
+        result.diagnostics.push_back({path, 0, 0, "cannot open file"});
+        return result;
+    }
+    return try_load_text(in, path);
 }
 
 }  // namespace measure

@@ -1,0 +1,88 @@
+#include "parse_util.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <system_error>
+
+namespace measure::detail {
+
+namespace {
+
+bool is_blank(char c) { return c == ' ' || c == '\t'; }
+
+}  // namespace
+
+std::string_view strip_line(std::string_view line) {
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    while (!line.empty() && is_blank(line.back())) line.remove_suffix(1);
+    return line;
+}
+
+bool is_blank_or_comment(std::string_view stripped) {
+    std::size_t i = 0;
+    while (i < stripped.size() && is_blank(stripped[i])) ++i;
+    return i == stripped.size() || stripped[i] == '#';
+}
+
+std::vector<double> parse_numbers(std::string_view text, std::size_t base_column,
+                                  const ParseContext& ctx) {
+    std::vector<double> numbers;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        if (is_blank(text[i])) {
+            ++i;
+            continue;
+        }
+        const std::size_t start = i;
+        while (i < text.size() && !is_blank(text[i])) ++i;
+        const std::string_view token = text.substr(start, i - start);
+        const std::size_t column = base_column + start;
+
+        // std::from_chars does not accept a leading '+', which streams did;
+        // keep accepting it for compatibility with hand-written files.
+        std::string_view digits = token;
+        if (!digits.empty() && digits.front() == '+') digits.remove_prefix(1);
+
+        double value = 0.0;
+        const auto [ptr, ec] =
+            std::from_chars(digits.data(), digits.data() + digits.size(), value);
+        if (ec == std::errc::invalid_argument || ptr != digits.data() + digits.size()) {
+            throw xpcore::ParseError(
+                ctx.diag(column, "malformed numeric value '" + std::string(token) + "'"));
+        }
+        if (ec == std::errc::result_out_of_range) {
+            throw xpcore::ValidationError(
+                ctx.diag(column, "numeric value out of range '" + std::string(token) + "'"));
+        }
+        if (!std::isfinite(value)) {
+            throw xpcore::ValidationError(
+                ctx.diag(column, "non-finite value '" + std::string(token) + "'"));
+        }
+        numbers.push_back(value);
+    }
+    return numbers;
+}
+
+DataRow parse_data_row(std::string_view stripped, std::size_t arity, const ParseContext& ctx) {
+    const std::size_t colon = stripped.find(':');
+    if (colon == std::string_view::npos) {
+        throw xpcore::ParseError(ctx.diag(1, "missing ':' separator between coordinate and "
+                                             "repetition values"));
+    }
+    DataRow row;
+    row.point = parse_numbers(stripped.substr(0, colon), 1, ctx);
+    row.values = parse_numbers(stripped.substr(colon + 1), colon + 2, ctx);
+    if (row.point.size() != arity) {
+        throw xpcore::ValidationError(
+            ctx.diag(1, "coordinate arity " + std::to_string(row.point.size()) +
+                            " does not match the " + std::to_string(arity) +
+                            " parameter(s) of the 'params:' header"));
+    }
+    if (row.values.empty()) {
+        throw xpcore::ValidationError(
+            ctx.diag(colon + 1, "no repetition values after ':'"));
+    }
+    return row;
+}
+
+}  // namespace measure::detail

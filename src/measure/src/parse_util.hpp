@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file parse_util.hpp
+/// Internal helpers shared by the text-format parsers (io.cpp, archive.cpp).
+///
+/// All tokenization is locale-independent (std::from_chars) and column
+/// aware: every rejection produces an xpcore::ParseError or
+/// xpcore::ValidationError whose Diagnostic pinpoints source, line, and
+/// 1-based column of the offending token in the *original* line (before
+/// line-ending normalization).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "measure/experiment.hpp"
+#include "xpcore/error.hpp"
+
+namespace measure::detail {
+
+/// Identifies the input and current line for diagnostics.
+struct ParseContext {
+    std::string source;    ///< file path or stream label
+    std::size_t line = 0;  ///< 1-based line number
+
+    xpcore::Diagnostic diag(std::size_t column, std::string message) const {
+        return {source, line, column, std::move(message)};
+    }
+};
+
+/// Strip a trailing '\r' (CRLF input) plus any trailing blanks/tabs.
+std::string_view strip_line(std::string_view line);
+
+/// True if the (stripped) line carries no data: empty, whitespace-only, or
+/// a '#' comment (leading blanks allowed).
+bool is_blank_or_comment(std::string_view stripped);
+
+/// Parse whitespace-separated finite doubles from `text`, which starts at
+/// 1-based column `base_column` of the current line. Throws ParseError on a
+/// lexically bad token and ValidationError on non-finite / out-of-range
+/// values; diagnostics carry the token's column.
+std::vector<double> parse_numbers(std::string_view text, std::size_t base_column,
+                                  const ParseContext& ctx);
+
+/// Parse one data row "x1 .. xm : v1 .. vk" into (point, values). `arity`
+/// is the expected coordinate count from the 'params:' header. Throws with
+/// structured diagnostics on any malformation (missing ':', bad number,
+/// arity mismatch, empty repetition list).
+struct DataRow {
+    Coordinate point;
+    std::vector<double> values;
+};
+DataRow parse_data_row(std::string_view stripped, std::size_t arity, const ParseContext& ctx);
+
+}  // namespace measure::detail

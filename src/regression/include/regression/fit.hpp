@@ -45,8 +45,11 @@ double model_smape(const pmnf::Model& model, std::span<const measure::Coordinate
 ///
 /// Uses leave-one-out when the number of points is at most `max_folds`,
 /// otherwise `max_folds`-fold cross-validation with a round-robin split.
-/// Folds whose training fit fails contribute a worst-case error, so broken
-/// hypotheses rank last instead of being silently skipped.
+/// Folds whose training fit fails contribute the worst-case error (200%)
+/// for every held-out point — even points whose value is 0 — so broken
+/// hypotheses rank last instead of being silently skipped. Held-out pairs
+/// where both value and prediction are exactly 0 are perfect agreement and
+/// are excluded from the average, matching xpcore::smape.
 double cross_validated_smape(const CandidateShape& shape,
                              std::span<const measure::Coordinate> points,
                              std::span<const double> values, std::size_t max_folds = 25);

@@ -82,10 +82,8 @@ double cross_validated_smape(const CandidateShape& shape,
     if (n <= shape.coefficient_count()) return 200.0;  // cannot leave anything out
 
     const std::size_t folds = std::min(max_folds, n);
-    std::vector<double> predicted;
-    std::vector<double> actual;
-    predicted.reserve(n);
-    actual.reserve(n);
+    double sum = 0.0;
+    std::size_t counted = 0;
 
     std::vector<measure::Coordinate> train_points;
     std::vector<double> train_values;
@@ -100,14 +98,24 @@ double cross_validated_smape(const CandidateShape& shape,
         const auto fitted = fit_shape(shape, train_points, train_values);
         for (std::size_t i = 0; i < n; ++i) {
             if (i % folds != fold) continue;
-            actual.push_back(values[i]);
-            // A failed training fit scores the worst possible prediction so
-            // degenerate hypotheses rank last.
-            predicted.push_back(fitted ? fitted->evaluate(points[i])
-                                       : -values[i]);
+            if (fitted) {
+                const double pred = fitted->evaluate(points[i]);
+                const double denom = (std::abs(values[i]) + std::abs(pred)) / 2.0;
+                if (denom == 0.0) continue;  // both zero: perfect, uncounted
+                sum += xpcore::smape_term(pred, values[i]);
+                ++counted;
+            } else {
+                // A failed training fit scores the worst possible error for
+                // every held-out point — explicitly, not via a sign-flipped
+                // prediction, which would rate a held-out value of 0 as a
+                // perfect prediction and let degenerate hypotheses win.
+                sum += 200.0;
+                ++counted;
+            }
         }
     }
-    return xpcore::smape(predicted, actual);
+    if (counted == 0) return 0.0;
+    return sum / static_cast<double>(counted);
 }
 
 }  // namespace regression

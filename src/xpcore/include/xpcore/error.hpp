@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file error.hpp
+/// Structured error taxonomy for input ingestion and validation.
+///
+/// Anything that consumes user-supplied data (measurement files, archives,
+/// preprocessing inputs) reports problems through this taxonomy instead of
+/// bare std::runtime_error strings:
+///
+///  - ParseError      — the input could not be decoded at all (bad numeric
+///                      token, missing separator, truncated construct).
+///  - ValidationError — the input decodes but violates a semantic rule
+///                      (non-finite value, arity mismatch, empty repetition
+///                      list, out-of-range magnitude).
+///
+/// Both carry a Diagnostic with source/line/column context, so callers can
+/// render compiler-style messages ("file.txt:3:7: ...") or collect them in
+/// batch without string-parsing what(). All types derive from
+/// std::runtime_error, so legacy catch sites keep working.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace xpcore {
+
+/// Where in an input a problem was detected.
+///
+/// `line` and `column` are 1-based; 0 means "not applicable" (e.g. a
+/// file-open failure has no line, an in-memory validation no column).
+struct Diagnostic {
+    std::string source;    ///< file path or stream label (e.g. "<stream>")
+    std::size_t line = 0;
+    std::size_t column = 0;
+    std::string message;
+
+    /// Compiler-style rendering: "source:line:column: message", omitting
+    /// unset location parts.
+    std::string format() const;
+};
+
+/// Base of all structured input errors. what() == diagnostic().format().
+class Error : public std::runtime_error {
+public:
+    explicit Error(Diagnostic diagnostic);
+
+    const Diagnostic& diagnostic() const noexcept { return diagnostic_; }
+    const std::string& source() const noexcept { return diagnostic_.source; }
+    std::size_t line() const noexcept { return diagnostic_.line; }
+    std::size_t column() const noexcept { return diagnostic_.column; }
+
+private:
+    Diagnostic diagnostic_;
+};
+
+/// Input that cannot be decoded (lexical/structural failure).
+class ParseError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Input that decodes but violates a semantic rule.
+class ValidationError : public Error {
+public:
+    using Error::Error;
+};
+
+}  // namespace xpcore

@@ -8,12 +8,22 @@
 
 namespace xpcore {
 
+/// Per-pair SMAPE contribution in percent, in [0, 200]; a both-zero pair
+/// contributes 0 (perfect agreement).
+inline double smape_term(double predicted, double actual) {
+    const double denom = (std::abs(actual) + std::abs(predicted)) / 2.0;
+    if (denom == 0.0) return 0.0;
+    return 100.0 * std::abs(predicted - actual) / denom;
+}
+
 /// Symmetric mean absolute percentage error in percent, the selection
 /// metric used by Extra-P and by this library's modelers.
 ///
 /// SMAPE = 100/N * sum |pred - actual| / ((|actual| + |pred|) / 2),
-/// with the convention that a term is 0 when both values are 0.
-/// Result lies in [0, 200].
+/// where N counts only the pairs with a nonzero denominator: both-zero
+/// pairs are perfect agreement and are excluded from sum *and* count (the
+/// same convention mape uses), so they cannot deflate the average. Returns
+/// 0 when no pair is countable. Result lies in [0, 200].
 double smape(std::span<const double> predicted, std::span<const double> actual);
 
 /// Mean absolute percentage error in percent. Terms with actual == 0 are

@@ -1,0 +1,27 @@
+#include "xpcore/error.hpp"
+
+namespace xpcore {
+
+std::string Diagnostic::format() const {
+    std::string text;
+    if (!source.empty()) {
+        text += source;
+        text += ':';
+        if (line > 0) {
+            text += std::to_string(line);
+            text += ':';
+            if (column > 0) {
+                text += std::to_string(column);
+                text += ':';
+            }
+        }
+        text += ' ';
+    }
+    text += message;
+    return text;
+}
+
+Error::Error(Diagnostic diagnostic)
+    : std::runtime_error(diagnostic.format()), diagnostic_(std::move(diagnostic)) {}
+
+}  // namespace xpcore

@@ -7,14 +7,16 @@ namespace xpcore {
 
 double smape(std::span<const double> predicted, std::span<const double> actual) {
     assert(predicted.size() == actual.size());
-    if (predicted.empty()) return 0.0;
     double sum = 0.0;
+    std::size_t counted = 0;
     for (std::size_t i = 0; i < predicted.size(); ++i) {
         const double denom = (std::abs(actual[i]) + std::abs(predicted[i])) / 2.0;
         if (denom == 0.0) continue;  // both zero: perfect agreement
         sum += std::abs(predicted[i] - actual[i]) / denom;
+        ++counted;
     }
-    return 100.0 * sum / static_cast<double>(predicted.size());
+    if (counted == 0) return 0.0;
+    return 100.0 * sum / static_cast<double>(counted);
 }
 
 double mape(std::span<const double> predicted, std::span<const double> actual) {

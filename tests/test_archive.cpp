@@ -97,6 +97,63 @@ TEST(Archive, MissingFileThrows) {
     EXPECT_THROW(load_archive_file("/nonexistent/archive.txt"), std::runtime_error);
 }
 
+TEST(Archive, CrlfArchiveLoads) {
+    std::stringstream in(
+        "params: p\r\n\r\nkernel: a metric: time\r\n2 : 1.0\r\n\r\n4 : 2.0\r\n");
+    const Archive archive = load_archive(in);
+    EXPECT_EQ(archive.size(), 1u);
+    EXPECT_EQ(archive.entries()[0].experiments.size(), 2u);
+}
+
+TEST(Archive, ErrorsCarryStructuredDiagnostics) {
+    std::stringstream in("params: p\nkernel: a metric: time\n2 : 1.0\n4 : oops\n");
+    try {
+        load_archive(in, "profile.txt");
+        FAIL() << "expected xpcore::ParseError";
+    } catch (const xpcore::ParseError& e) {
+        EXPECT_EQ(e.source(), "profile.txt");
+        EXPECT_EQ(e.line(), 4u);
+        EXPECT_EQ(e.column(), 5u);
+        EXPECT_NE(std::string(e.what()).find("oops"), std::string::npos);
+    }
+}
+
+TEST(Archive, DuplicateEntryInFileIsValidationError) {
+    std::stringstream in(
+        "params: p\nkernel: a metric: time\n2 : 1.0\nkernel: a metric: time\n4 : 2.0\n");
+    EXPECT_THROW(load_archive(in), xpcore::ValidationError);
+}
+
+TEST(Archive, NonFiniteMeasurementRejected) {
+    std::stringstream in("params: p\nkernel: a metric: time\n2 : inf\n");
+    EXPECT_THROW(load_archive(in), xpcore::ValidationError);
+}
+
+TEST(Archive, TryLoadCollectsDiagnosticsAcrossEntries) {
+    std::stringstream in(
+        "params: p\n"
+        "kernel: a metric: time\n"
+        "2 : 1.0\n"
+        "4 : nan\n"        // bad row in entry a
+        "kernel: b metric: time\n"
+        "broken\n"         // bad row in entry b
+        "8 : 3.0\n");
+    const auto result = try_load_archive(in, "multi.txt");
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.diagnostics.size(), 2u);
+    EXPECT_EQ(result.diagnostics[0].line, 4u);
+    EXPECT_EQ(result.diagnostics[1].line, 6u);
+    EXPECT_EQ(result.diagnostics[0].source, "multi.txt");
+}
+
+TEST(Archive, TryLoadOkOnCleanInput) {
+    std::stringstream buffer;
+    save_archive(sample_archive(), buffer);
+    const auto result = try_load_archive(buffer);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.archive->size(), 3u);
+}
+
 TEST(Archive, CaseStudyGeneratesFullArchive) {
     const auto study = casestudy::kripke();
     xpcore::Rng rng(3);

@@ -123,6 +123,46 @@ TEST(CrossValidation, TooFewPointsIsWorstScore) {
     EXPECT_DOUBLE_EQ(cross_validated_smape(shape, points, values), 200.0);
 }
 
+TEST(CrossValidation, FailedFitScoresWorstCaseOnZeroValues) {
+    // Regression: a failed training fit used to "predict" -value, which
+    // rates a held-out value of 0 as perfect (denominator 0, pair skipped).
+    // A shape with more coefficients than any fold's training rows never
+    // fits, so on all-zero data it must score 200, not 0.
+    CandidateShape overparameterized;
+    for (int t = 0; t < 4; ++t) {
+        overparameterized.terms.push_back({{0, {Rational(t + 1), 0}}});
+    }
+    ASSERT_EQ(overparameterized.coefficient_count(), 5u);
+    const auto points = points_1d({1, 2, 3, 4, 5, 6, 7});
+    const std::vector<double> zeros(7, 0.0);
+    // 2 folds: each training split has 3-4 rows < 5 coefficients.
+    EXPECT_DOUBLE_EQ(cross_validated_smape(overparameterized, points, zeros, 2), 200.0);
+}
+
+TEST(CrossValidation, FailedFitStillWorstCaseOnNonzeroValues) {
+    CandidateShape overparameterized;
+    for (int t = 0; t < 4; ++t) {
+        overparameterized.terms.push_back({{0, {Rational(t + 1), 0}}});
+    }
+    const auto points = points_1d({1, 2, 3, 4, 5, 6, 7});
+    std::vector<double> values;
+    for (const auto& p : points) values.push_back(1.0 + p[0]);
+    EXPECT_DOUBLE_EQ(cross_validated_smape(overparameterized, points, values, 2), 200.0);
+}
+
+TEST(CrossValidation, DegenerateShapeCannotBeatFittableShapeOnZeros) {
+    // The misranking the sentinel fix prevents: on data containing zeros, a
+    // never-fitting hypothesis must rank behind one that fits.
+    CandidateShape linear;
+    linear.terms.push_back({{0, {Rational(1), 0}}});
+    CandidateShape degenerate;
+    for (int t = 0; t < 4; ++t) degenerate.terms.push_back({{0, {Rational(t + 1), 0}}});
+    const auto points = points_1d({1, 2, 3, 4, 5, 6, 7});
+    const std::vector<double> zeros(7, 0.0);
+    EXPECT_LT(cross_validated_smape(linear, points, zeros, 2),
+              cross_validated_smape(degenerate, points, zeros, 2));
+}
+
 TEST(CrossValidation, FoldCapKeepsAllPointsEvaluated) {
     const auto points = points_1d({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
     std::vector<double> values;

@@ -40,8 +40,39 @@ TEST(Smape, BothZeroCountsAsPerfect) {
     EXPECT_DOUBLE_EQ(smape(pred, actual), 0.0);
 }
 
+TEST(Smape, BothZeroPairsExcludedFromDenominator) {
+    // Regression: both-zero pairs were skipped from the sum but still
+    // divided into it, deflating the score. The (2,1) pair contributes
+    // 100*2/3; averaged over the one counted pair, not both.
+    const std::vector<double> pred = {0, 2};
+    const std::vector<double> actual = {0, 1};
+    EXPECT_NEAR(smape(pred, actual), 100.0 * 2.0 / 3.0, 1e-12);
+}
+
+TEST(Smape, AllPairsBothZeroIsZero) {
+    const std::vector<double> zeros = {0, 0, 0};
+    EXPECT_DOUBLE_EQ(smape(zeros, zeros), 0.0);
+}
+
+TEST(Smape, MatchesMapeCountingConvention) {
+    // smape and mape must agree on which pairs are "uncountable": with one
+    // degenerate pair and one 10%-off pair, both average over one pair.
+    const std::vector<double> pred = {0, 110};
+    const std::vector<double> actual = {0, 100};
+    EXPECT_GT(smape(pred, actual), 0.0);
+    EXPECT_DOUBLE_EQ(mape(pred, actual), 10.0);
+}
+
 TEST(Smape, EmptyIsZero) {
     EXPECT_DOUBLE_EQ(smape({}, {}), 0.0);
+}
+
+TEST(SmapeTerm, PerPairContributions) {
+    EXPECT_DOUBLE_EQ(smape_term(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(smape_term(2.0, 2.0), 0.0);
+    EXPECT_NEAR(smape_term(2.0, 1.0), 100.0 * 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(smape_term(1.0, -1.0), 200.0);  // worst case
+    EXPECT_DOUBLE_EQ(smape_term(0.0, 5.0), 200.0);   // zero prediction, nonzero actual
 }
 
 TEST(Mape, KnownValue) {

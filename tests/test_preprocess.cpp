@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
 #include "dnn/preprocess.hpp"
+#include "xpcore/error.hpp"
+#include "xpcore/rng.hpp"
 
 namespace {
 
@@ -65,12 +68,70 @@ TEST(AssignSlots, ExponentialSequenceUsesLowSlots) {
 }
 
 TEST(AssignSlots, ValidationErrors) {
-    EXPECT_THROW(assign_slots(std::vector<double>{1.0}), std::invalid_argument);
+    EXPECT_THROW(assign_slots(std::vector<double>{1.0}), xpcore::ValidationError);
     EXPECT_THROW(assign_slots(std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}),
-                 std::invalid_argument);
-    EXPECT_THROW(assign_slots(std::vector<double>{2, 1}), std::invalid_argument);   // decreasing
-    EXPECT_THROW(assign_slots(std::vector<double>{0, 1}), std::invalid_argument);   // non-positive
-    EXPECT_THROW(assign_slots(std::vector<double>{1, 1}), std::invalid_argument);   // duplicate
+                 xpcore::ValidationError);
+    EXPECT_THROW(assign_slots(std::vector<double>{2, 1}), xpcore::ValidationError);  // decreasing
+    EXPECT_THROW(assign_slots(std::vector<double>{0, 1}), xpcore::ValidationError);  // non-positive
+    EXPECT_THROW(assign_slots(std::vector<double>{1, 1}), xpcore::ValidationError);  // duplicate
+    const std::vector<double> with_nan = {1, std::nan(""), 3};
+    EXPECT_THROW(assign_slots(with_nan), xpcore::ValidationError);
+}
+
+TEST(AssignSlots, ValidationErrorsCarryContext) {
+    try {
+        assign_slots(std::vector<double>{2, 1});
+        FAIL() << "expected xpcore::ValidationError";
+    } catch (const xpcore::ValidationError& e) {
+        EXPECT_EQ(e.source(), "preprocess_line");
+        EXPECT_NE(std::string(e.what()).find("strictly increasing"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("index 1"), std::string::npos);
+    }
+}
+
+TEST(AssignSlots, ClusteredPointsKeepOrder) {
+    // Regression: the greedy nearest-free-neuron pass mapped {60, 62, 64}
+    // (normalized 0.9375, 0.96875, 1.0) to slots 9, 10, 8 — the largest x
+    // landed on a *lower* slot than its predecessors, scrambling the line
+    // shape. The monotone assignment must keep slots strictly increasing.
+    const std::vector<double> xs = {60, 62, 64};
+    const auto slots = assign_slots(xs);
+    EXPECT_LT(slots[0], slots[1]);
+    EXPECT_LT(slots[1], slots[2]);
+    EXPECT_EQ(slots[2], 10u);  // normalized 1.0 is exactly the last position
+}
+
+TEST(AssignSlots, SlotsStrictlyIncreasingForEveryValidInput) {
+    // Property over random strictly-increasing positive sequences of every
+    // admissible length, including tightly clustered ones.
+    xpcore::Rng rng(20240806);
+    for (int iter = 0; iter < 500; ++iter) {
+        const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 9));
+        std::vector<double> xs;
+        double x = rng.uniform(0.1, 100.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            x += rng.chance(0.5) ? rng.uniform(0.01, 2.0) : rng.uniform(2.0, 500.0);
+            xs.push_back(x);
+        }
+        const auto slots = assign_slots(xs);
+        for (std::size_t i = 1; i < n; ++i) {
+            ASSERT_LT(slots[i - 1], slots[i])
+                << "order inverted at i=" << i << " for n=" << n << " iter=" << iter;
+        }
+        ASSERT_LT(slots[n - 1], kInputNeurons);
+    }
+}
+
+TEST(AssignSlots, MonotoneAssignmentIsDistanceOptimal) {
+    // The DP must not trade order preservation for extra distance when the
+    // identity-like assignment is available: exact matches stay exact.
+    const std::vector<double> xs = {4, 8, 16, 32, 64};  // 1/16, 1/8, 1/4, 1/2, 1
+    const auto slots = assign_slots(xs);
+    EXPECT_EQ(slots[0], 2u);
+    EXPECT_EQ(slots[1], 3u);
+    EXPECT_EQ(slots[2], 4u);
+    EXPECT_EQ(slots[3], 6u);
+    EXPECT_EQ(slots[4], 10u);
 }
 
 TEST(PreprocessLine, EnrichmentDividesByPosition) {
@@ -132,7 +193,36 @@ TEST(PreprocessLine, PositionScaleInvariant) {
 
 TEST(PreprocessLine, SizeMismatchThrows) {
     EXPECT_THROW(preprocess_line(std::vector<double>{1, 2, 3}, std::vector<double>{1, 2}),
-                 std::invalid_argument);
+                 xpcore::ValidationError);
+}
+
+TEST(PreprocessLine, NonFiniteValuesRejected) {
+    const std::vector<double> xs = {1, 2, 3};
+    const std::vector<double> with_nan = {1.0, std::nan(""), 3.0};
+    const std::vector<double> with_inf = {1.0, 2.0, INFINITY};
+    EXPECT_THROW(preprocess_line(xs, with_nan), xpcore::ValidationError);
+    EXPECT_THROW(preprocess_line(xs, with_inf), xpcore::ValidationError);
+}
+
+TEST(PreprocessLine, InputsAlwaysFinite) {
+    // Hardening property: whatever valid measurements come in, the network
+    // never sees a non-finite input.
+    xpcore::Rng rng(7);
+    for (int iter = 0; iter < 200; ++iter) {
+        const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 9));
+        std::vector<double> xs, vs;
+        double x = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            x += rng.uniform(1e-6, 1e5);
+            xs.push_back(x);
+            vs.push_back(rng.uniform(-1e12, 1e12));
+        }
+        const auto input = preprocess_line(xs, vs);
+        for (float v : input) {
+            ASSERT_TRUE(std::isfinite(v));
+            ASSERT_LE(std::abs(v), 1.0f + 1e-6f);
+        }
+    }
 }
 
 TEST(PreprocessLine, DifferentClassesGiveDifferentInputs) {

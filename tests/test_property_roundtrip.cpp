@@ -1,0 +1,186 @@
+// Property tests for the text-input pipeline (the in-process counterpart of
+// tools/fuzz_inputs.cpp): serializer output must load back bit-exactly, and
+// every rejection must carry a structured diagnostic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "measure/archive.hpp"
+#include "measure/io.hpp"
+#include "xpcore/error.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+using namespace measure;
+
+ExperimentSet random_set(xpcore::Rng& rng) {
+    const std::size_t arity = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < arity; ++i) names.push_back("p" + std::to_string(i));
+    ExperimentSet set(names);
+    const int rows = static_cast<int>(rng.uniform_int(1, 10));
+    for (int r = 0; r < rows; ++r) {
+        Coordinate point;
+        for (std::size_t i = 0; i < arity; ++i) point.push_back(rng.uniform(1.0, 1e6));
+        std::vector<double> values;
+        const int reps = static_cast<int>(rng.uniform_int(1, 4));
+        for (int v = 0; v < reps; ++v) {
+            // Mix magnitudes, signs, zeros, and subnormal-ish values.
+            switch (rng.uniform_int(0, 3)) {
+                case 0: values.push_back(rng.uniform(-1e9, 1e9)); break;
+                case 1: values.push_back(rng.uniform(-1e-9, 1e-9)); break;
+                case 2: values.push_back(0.0); break;
+                default: values.push_back(rng.normal(0.0, 1.0)); break;
+            }
+        }
+        set.add(point, values);
+    }
+    return set;
+}
+
+std::string to_text(const ExperimentSet& set) {
+    std::ostringstream out;
+    save_text(set, out);
+    return out.str();
+}
+
+TEST(PropertyRoundTrip, SetValuesSurviveBitExactly) {
+    xpcore::Rng rng(42);
+    for (int iter = 0; iter < 100; ++iter) {
+        const ExperimentSet original = random_set(rng);
+        std::istringstream in(to_text(original));
+        const ExperimentSet loaded = load_text(in);
+        ASSERT_EQ(loaded.parameter_names(), original.parameter_names());
+        ASSERT_EQ(loaded.size(), original.size());
+        for (std::size_t i = 0; i < original.size(); ++i) {
+            // Bit-exact: precision-17 text representation is lossless for
+            // IEEE doubles, so == (not NEAR) is the contract.
+            EXPECT_EQ(loaded.measurements()[i].point, original.measurements()[i].point)
+                << "iter " << iter << " row " << i;
+            EXPECT_EQ(loaded.measurements()[i].values, original.measurements()[i].values)
+                << "iter " << iter << " row " << i;
+        }
+    }
+}
+
+TEST(PropertyRoundTrip, SerializedFormIsAFixedPoint) {
+    // save(load(save(x))) == save(x): the text form is stable after one trip.
+    xpcore::Rng rng(7);
+    for (int iter = 0; iter < 100; ++iter) {
+        const std::string first = to_text(random_set(rng));
+        std::istringstream in(first);
+        const std::string second = to_text(load_text(in));
+        EXPECT_EQ(first, second) << "iter " << iter;
+    }
+}
+
+TEST(PropertyRoundTrip, CrlfVariantLoadsIdentically) {
+    xpcore::Rng rng(11);
+    for (int iter = 0; iter < 50; ++iter) {
+        const std::string lf = to_text(random_set(rng));
+        std::string crlf;
+        for (char c : lf) {
+            if (c == '\n') crlf += '\r';
+            crlf += c;
+        }
+        std::istringstream in_lf(lf), in_crlf(crlf);
+        const ExperimentSet a = load_text(in_lf);
+        const ExperimentSet b = load_text(in_crlf);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a.measurements()[i].point, b.measurements()[i].point);
+            EXPECT_EQ(a.measurements()[i].values, b.measurements()[i].values);
+        }
+    }
+}
+
+TEST(PropertyRoundTrip, ArchiveSurvivesBitExactly) {
+    xpcore::Rng rng(3);
+    for (int iter = 0; iter < 40; ++iter) {
+        Archive archive({"p", "n"});
+        const int entries = static_cast<int>(rng.uniform_int(1, 4));
+        for (int e = 0; e < entries; ++e) {
+            ExperimentSet set({"p", "n"});
+            const int rows = static_cast<int>(rng.uniform_int(1, 5));
+            for (int r = 0; r < rows; ++r) {
+                set.add({rng.uniform(1.0, 64.0), rng.uniform(16.0, 65536.0)},
+                        {rng.normal(1.0, 0.3), rng.normal(1.0, 0.3)});
+            }
+            archive.add("k" + std::to_string(e), "time", std::move(set));
+        }
+        std::ostringstream out1;
+        save_archive(archive, out1);
+        std::istringstream in(out1.str());
+        const Archive loaded = load_archive(in);
+        std::ostringstream out2;
+        save_archive(loaded, out2);
+        EXPECT_EQ(out1.str(), out2.str()) << "iter " << iter;
+    }
+}
+
+TEST(PropertyRoundTrip, PoisonedRowsAlwaysYieldStructuredDiagnostics) {
+    // Injecting any poison token into a value field must produce a rejection
+    // whose diagnostic points at the exact row, never a partial set.
+    const std::vector<std::string> poison = {"nan",  "-nan", "inf",  "-inf",
+                                             "1e999", "4x7",  "--3",  "1.2.3"};
+    xpcore::Rng rng(99);
+    for (int iter = 0; iter < 100; ++iter) {
+        const ExperimentSet set = random_set(rng);
+        std::vector<std::string> lines;
+        {
+            std::istringstream in(to_text(set));
+            std::string line;
+            while (std::getline(in, line)) lines.push_back(line);
+        }
+        // Rows are everything after the params: header (line index 0).
+        const auto row = 1 + static_cast<std::size_t>(
+                                 rng.uniform_int(0, static_cast<std::int64_t>(lines.size()) - 2));
+        lines[row] += " " + rng.pick(poison);
+        std::string text;
+        for (const auto& l : lines) text += l + "\n";
+        std::istringstream in(text);
+        const auto result = try_load_text(in, "poisoned.txt");
+        ASSERT_FALSE(result.ok()) << "iter " << iter << ": accepted " << lines[row];
+        ASSERT_FALSE(result.diagnostics.empty());
+        EXPECT_EQ(result.diagnostics[0].source, "poisoned.txt");
+        EXPECT_EQ(result.diagnostics[0].line, row + 1);
+        EXPECT_GT(result.diagnostics[0].column, 0u);
+        EXPECT_FALSE(result.diagnostics[0].message.empty());
+    }
+}
+
+TEST(PropertyRoundTrip, ThrowingAndCollectingLoadersAgree) {
+    // load_text throws iff try_load_text rejects, and the thrown diagnostic
+    // equals the first collected one.
+    const std::vector<std::string> cases = {
+        "params: p\n2 : 1.0\n",
+        "params: p\n2 : nan\n",
+        "params: p\n2 2 : 1.0\n",
+        "params: p\nno colon here\n",
+        "params:\n",
+        "",
+        "params: p\n2 : 1e999\n",
+    };
+    for (const auto& text : cases) {
+        std::istringstream in1(text), in2(text);
+        const auto result = try_load_text(in1, "agree.txt");
+        if (result.ok()) {
+            EXPECT_NO_THROW(load_text(in2, "agree.txt"));
+            continue;
+        }
+        try {
+            load_text(in2, "agree.txt");
+            FAIL() << "try_load rejected but load_text accepted: " << text;
+        } catch (const xpcore::Error& e) {
+            ASSERT_FALSE(result.diagnostics.empty());
+            EXPECT_EQ(e.diagnostic().format(), result.diagnostics[0].format());
+        }
+    }
+}
+
+}  // namespace

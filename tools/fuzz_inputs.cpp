@@ -1,0 +1,330 @@
+// Deterministic mutation fuzzer for the text-input pipeline.
+//
+// Exercises measure::try_load_text / try_load_archive and dnn::preprocess_line
+// with three kinds of input per iteration:
+//
+//   1. Clean, serializer-produced files: must load, and must round-trip
+//      bit-exactly (save -> load -> save yields identical bytes).
+//   2. Mutated files (byte flips, truncation, NaN/Inf/overflow tokens,
+//      CRLF conversion, locale-style commas, line shuffles, ...): must
+//      either load or be rejected with a structured xpcore::Diagnostic.
+//      No other exception type and no crash is acceptable.
+//   3. Random (mostly invalid) preprocess_line inputs: must either produce
+//      an all-finite network input or throw xpcore::ValidationError.
+//
+// The run is fully deterministic for a given --seed, so any failure is
+// reproducible with the printed iteration number.
+//
+// Usage: fuzz_inputs [--iterations=N] [--seed=S] [--verbose]
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dnn/preprocess.hpp"
+#include "measure/archive.hpp"
+#include "measure/io.hpp"
+#include "xpcore/error.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t violations = 0;
+};
+
+std::string param_name(xpcore::Rng& rng) {
+    static const std::vector<std::string> names = {"p", "n", "d", "g", "size", "ranks"};
+    return rng.pick(names);
+}
+
+/// A syntactically valid experiment file straight from the serializer.
+std::string clean_set_text(xpcore::Rng& rng) {
+    const std::size_t arity = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < arity; ++i) names.push_back(param_name(rng) + std::to_string(i));
+    measure::ExperimentSet set(names);
+    const int rows = static_cast<int>(rng.uniform_int(1, 12));
+    for (int r = 0; r < rows; ++r) {
+        measure::Coordinate point;
+        for (std::size_t i = 0; i < arity; ++i) point.push_back(rng.uniform(1.0, 1e5));
+        std::vector<double> values;
+        const int reps = static_cast<int>(rng.uniform_int(1, 5));
+        for (int v = 0; v < reps; ++v) {
+            double value = rng.uniform(-1e3, 1e6);
+            if (rng.chance(0.05)) value = 0.0;
+            if (rng.chance(0.05)) value = rng.uniform(-1e-12, 1e-12);
+            values.push_back(value);
+        }
+        set.add(point, values);
+    }
+    std::ostringstream out;
+    measure::save_text(set, out);
+    return out.str();
+}
+
+std::string clean_archive_text(xpcore::Rng& rng) {
+    measure::Archive archive({"p", "n"});
+    const int entries = static_cast<int>(rng.uniform_int(1, 4));
+    for (int e = 0; e < entries; ++e) {
+        measure::ExperimentSet set({"p", "n"});
+        const int rows = static_cast<int>(rng.uniform_int(1, 6));
+        for (int r = 0; r < rows; ++r) {
+            set.add({rng.uniform(1.0, 64.0), rng.uniform(1.0, 4096.0)},
+                    {rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+        }
+        archive.add("kernel" + std::to_string(e), "time", std::move(set));
+    }
+    std::ostringstream out;
+    measure::save_archive(archive, out);
+    return out.str();
+}
+
+/// Apply 1..4 random structural mutations to a well-formed file.
+std::string mutate(std::string text, xpcore::Rng& rng) {
+    static const std::vector<std::string> poison = {
+        "nan", "-nan", "inf", "-inf", "1e999", "-1e999", "1e-999", "0x1p4",
+        "4x7",  "--3",  ":",   "",    "\t",    "params:", "kernel:"};
+    const int mutations = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+        if (text.empty()) break;
+        switch (rng.uniform_int(0, 8)) {
+            case 0: {  // flip one byte to a random printable (or NUL) char
+                const auto pos = static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+                text[pos] = static_cast<char>(rng.uniform_int(0, 126));
+                break;
+            }
+            case 1: {  // truncate
+                text.resize(static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(text.size()))));
+                break;
+            }
+            case 2: {  // inject a poison token at a random position
+                const auto pos = static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(text.size())));
+                text.insert(pos, " " + rng.pick(poison) + " ");
+                break;
+            }
+            case 3: {  // convert to CRLF line endings
+                std::string crlf;
+                for (char c : text) {
+                    if (c == '\n') crlf += '\r';
+                    crlf += c;
+                }
+                text = crlf;
+                break;
+            }
+            case 4: {  // locale-style decimal commas
+                for (char& c : text) {
+                    if (c == '.' && rng.chance(0.5)) c = ',';
+                }
+                break;
+            }
+            case 5: {  // duplicate a random line
+                std::vector<std::string> lines;
+                std::istringstream in(text);
+                std::string line;
+                while (std::getline(in, line)) lines.push_back(line);
+                if (lines.empty()) break;
+                const auto i = static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(lines.size()) - 1));
+                lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i), lines[i]);
+                text.clear();
+                for (const auto& l : lines) text += l + "\n";
+                break;
+            }
+            case 6: {  // shuffle all lines
+                std::vector<std::string> lines;
+                std::istringstream in(text);
+                std::string line;
+                while (std::getline(in, line)) lines.push_back(line);
+                rng.shuffle(lines);
+                text.clear();
+                for (const auto& l : lines) text += l + "\n";
+                break;
+            }
+            case 7: {  // drop the trailing newline / append junk whitespace
+                if (rng.chance(0.5) && !text.empty() && text.back() == '\n') {
+                    text.pop_back();
+                } else {
+                    text += rng.chance(0.5) ? "   \t " : "\r\n\r\n";
+                }
+                break;
+            }
+            case 8: {  // insert blank/comment noise lines at the front
+                text.insert(0, rng.chance(0.5) ? "# fuzz comment\n\n" : "\n   \n");
+                break;
+            }
+        }
+    }
+    return text;
+}
+
+void violation(Stats& stats, std::uint64_t iter, const std::string& what,
+               const std::string& input) {
+    ++stats.violations;
+    std::cerr << "VIOLATION at iteration " << iter << ": " << what << "\n";
+    std::cerr << "--- input (" << input.size() << " bytes) ---\n" << input << "\n---\n";
+}
+
+/// Clean inputs must parse and round-trip bit-exactly.
+template <typename LoadFn, typename SaveFn>
+void check_clean(Stats& stats, std::uint64_t iter, const std::string& text, LoadFn load,
+                 SaveFn save) {
+    try {
+        auto first = load(text);
+        std::ostringstream out1;
+        save(first, out1);
+        auto second = load(out1.str());
+        std::ostringstream out2;
+        save(second, out2);
+        if (out1.str() != out2.str()) {
+            violation(stats, iter, "clean input does not round-trip bit-exactly", text);
+            return;
+        }
+        ++stats.accepted;
+    } catch (const xpcore::Error& e) {
+        violation(stats, iter, std::string("clean input rejected: ") + e.what(), text);
+    } catch (const std::exception& e) {
+        violation(stats, iter, std::string("clean input raised non-taxonomy exception: ") + e.what(),
+                  text);
+    }
+}
+
+/// Mutated inputs must load or yield structured diagnostics — nothing else.
+template <typename TryLoadFn>
+void check_mutated(Stats& stats, std::uint64_t iter, const std::string& text, TryLoadFn try_load) {
+    try {
+        const auto result = try_load(text);
+        if (result.ok()) {
+            if (!result.diagnostics.empty()) {
+                violation(stats, iter, "ok() load carries diagnostics", text);
+                return;
+            }
+            ++stats.accepted;
+            return;
+        }
+        if (result.diagnostics.empty()) {
+            violation(stats, iter, "rejected input carries no diagnostics", text);
+            return;
+        }
+        for (const auto& d : result.diagnostics) {
+            if (d.message.empty() || d.source != "<fuzz>") {
+                violation(stats, iter, "diagnostic missing message or source", text);
+                return;
+            }
+        }
+        ++stats.rejected;
+    } catch (const std::exception& e) {
+        violation(stats, iter, std::string("try_load threw: ") + e.what(), text);
+    } catch (...) {
+        violation(stats, iter, "try_load threw a non-std exception", text);
+    }
+}
+
+void check_preprocess(Stats& stats, std::uint64_t iter, xpcore::Rng& rng) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(0, 13));
+    std::vector<double> xs, vs;
+    double x = rng.uniform(-10.0, 10.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        x += rng.uniform(-1.0, 100.0);  // occasionally non-increasing / negative
+        double xi = x;
+        double vi = rng.uniform(-1e9, 1e9);
+        if (rng.chance(0.05)) xi = std::nan("");
+        if (rng.chance(0.05)) vi = std::numeric_limits<double>::infinity();
+        if (rng.chance(0.05)) xi = 0.0;
+        xs.push_back(xi);
+        vs.push_back(vi);
+    }
+    if (rng.chance(0.1) && !vs.empty()) vs.pop_back();  // size mismatch
+    std::ostringstream desc;
+    desc << "preprocess_line n=" << xs.size() << "/" << vs.size();
+    try {
+        const auto input = dnn::preprocess_line(xs, vs);
+        for (float v : input) {
+            if (!std::isfinite(v)) {
+                violation(stats, iter, "preprocess_line produced a non-finite input", desc.str());
+                return;
+            }
+        }
+        ++stats.accepted;
+    } catch (const xpcore::ValidationError&) {
+        ++stats.rejected;  // structured rejection is the contract
+    } catch (const std::exception& e) {
+        violation(stats, iter, std::string("preprocess_line raised non-taxonomy exception: ") + e.what(),
+                  desc.str());
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t iterations = 10000;
+    std::uint64_t seed = 1;
+    bool verbose = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--iterations=", 0) == 0) {
+            iterations = std::strtoull(arg.c_str() + 13, nullptr, 10);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else {
+            std::cerr << "usage: fuzz_inputs [--iterations=N] [--seed=S] [--verbose]\n";
+            return 2;
+        }
+    }
+
+    Stats stats;
+    xpcore::Rng master(seed);
+    const auto load_set = [](const std::string& text) {
+        std::istringstream in(text);
+        return measure::load_text(in, "<fuzz>");
+    };
+    const auto save_set = [](const measure::ExperimentSet& set, std::ostringstream& out) {
+        measure::save_text(set, out);
+    };
+    const auto load_arch = [](const std::string& text) {
+        std::istringstream in(text);
+        return measure::load_archive(in, "<fuzz>");
+    };
+    const auto save_arch = [](const measure::Archive& archive, std::ostringstream& out) {
+        measure::save_archive(archive, out);
+    };
+    const auto try_set = [](const std::string& text) {
+        std::istringstream in(text);
+        return measure::try_load_text(in, "<fuzz>");
+    };
+    const auto try_arch = [](const std::string& text) {
+        std::istringstream in(text);
+        return measure::try_load_archive(in, "<fuzz>");
+    };
+
+    for (std::uint64_t iter = 0; iter < iterations; ++iter) {
+        xpcore::Rng rng = master.split();
+        switch (iter % 5) {
+            case 0: check_clean(stats, iter, clean_set_text(rng), load_set, save_set); break;
+            case 1: check_clean(stats, iter, clean_archive_text(rng), load_arch, save_arch); break;
+            case 2: check_mutated(stats, iter, mutate(clean_set_text(rng), rng), try_set); break;
+            case 3: check_mutated(stats, iter, mutate(clean_archive_text(rng), rng), try_arch); break;
+            case 4: check_preprocess(stats, iter, rng); break;
+        }
+        if (verbose && (iter + 1) % 1000 == 0) {
+            std::cerr << "  " << (iter + 1) << "/" << iterations << " iterations\n";
+        }
+    }
+
+    std::cout << "fuzz_inputs: " << iterations << " iterations, seed " << seed << ": "
+              << stats.accepted << " accepted, " << stats.rejected
+              << " rejected with diagnostics, " << stats.violations << " violations\n";
+    return stats.violations == 0 ? 0 : 1;
+}
