@@ -1,10 +1,15 @@
 /// \file micro_gemm.cpp
 /// Before/after micro-benchmark of the GEMM kernels: the seed's unblocked
 /// single-threaded loops (reimplemented locally as the "before" baseline)
-/// vs. the cache-blocked kernels, serial and pool-parallel. Every variant
-/// is also checked for bit-identical results against the baseline — the
-/// kernels only re-block and re-partition, they never reorder the per-
-/// element accumulation.
+/// vs. the cache-blocked scalar kernels vs. the packed AVX2/FMA microkernel,
+/// serial and pool-parallel.
+///
+/// Correctness gates (exit 1 on violation):
+///   * the scalar blocked kernels must be bit-identical to the seed loops —
+///     they only re-block and re-partition, never reorder the per-element
+///     accumulation;
+///   * the SIMD kernels use FMA and a different summation tree, so they are
+///     tolerance-checked instead: max |simd - seed| / max|C| <= 1e-5.
 ///
 /// Options:
 ///   --sizes=N1,N2,..  square problem sizes (default 256,512,1024,1500)
@@ -14,6 +19,7 @@
 ///   --smoke           tiny sizes + 1 iteration (CI bit-rot gate)
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +30,7 @@
 #include "nn/tensor.hpp"
 #include "xpcore/cli.hpp"
 #include "xpcore/rng.hpp"
+#include "xpcore/simd.hpp"
 #include "xpcore/table.hpp"
 #include "xpcore/thread_pool.hpp"
 #include "xpcore/timer.hpp"
@@ -98,9 +105,14 @@ struct Result {
     std::size_t m, k, n;
     double gflops_seed = 0.0;
     double gflops_blocked = 0.0;
+    double gflops_simd = 0.0;
     double gflops_parallel = 0.0;
-    bool bit_identical = true;
+    bool bit_identical = true;       ///< scalar blocked vs seed
+    double simd_rel_err = 0.0;       ///< max |simd - seed| / max|C|
+    bool simd_within_tol = true;
 };
+
+constexpr double kSimdRelTol = 1e-5;
 
 template <typename Fn>
 double time_gflops(std::size_t flops, std::size_t iters, const Fn& fn) {
@@ -117,6 +129,16 @@ bool identical(const Tensor& a, const Tensor& b) {
            std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
 }
 
+double max_rel_error(const Tensor& reference, const Tensor& candidate) {
+    double max_abs = 0.0, max_err = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        max_abs = std::max(max_abs, std::abs(static_cast<double>(reference.data()[i])));
+        max_err = std::max(max_err, std::abs(static_cast<double>(reference.data()[i]) -
+                                             static_cast<double>(candidate.data()[i])));
+    }
+    return max_abs > 0 ? max_err / max_abs : max_err;
+}
+
 Result run_shape(const char* kernel, std::size_t m, std::size_t k, std::size_t n,
                  std::size_t iters_override) {
     xpcore::Rng rng(m * 7919 + k * 131 + n);
@@ -126,14 +148,33 @@ Result run_shape(const char* kernel, std::size_t m, std::size_t k, std::size_t n
             ? iters_override
             : std::max<std::size_t>(1, (std::size_t{1} << 30) / std::max<std::size_t>(1, flops));
 
-    Result result{kernel, m, k, n, 0, 0, 0, true};
-    Tensor reference;
-    auto bench = [&](auto&& seed_fn, auto&& new_fn) {
+    const bool have_simd = xpcore::simd::max_level() >= xpcore::simd::Level::Avx2;
+
+    Result result;
+    result.kernel = kernel;
+    result.m = m;
+    result.k = k;
+    result.n = n;
+    auto bench = [&](auto&& seed_fn, auto&& new_fn, const Tensor& c, Tensor& c2) {
         result.gflops_seed = time_gflops(flops, iters, seed_fn);
         {
+            // Scalar blocked, serial: must reproduce the seed bit for bit.
+            xpcore::simd::LevelGuard scalar(xpcore::simd::Level::Scalar);
             xpcore::SerialGuard serial;
             result.gflops_blocked = time_gflops(flops, iters, new_fn);
+            result.bit_identical = identical(c, c2);
         }
+        if (have_simd) {
+            xpcore::simd::LevelGuard simd(xpcore::simd::Level::Avx2);
+            {
+                xpcore::SerialGuard serial;
+                result.gflops_simd = time_gflops(flops, iters, new_fn);
+            }
+            result.simd_rel_err = max_rel_error(c, c2);
+            result.simd_within_tol = result.simd_rel_err <= kSimdRelTol;
+        }
+        // Whatever the environment selected (SIMD unless XPDNN_SIMD=0), plus
+        // the thread pool: the configuration the library actually runs with.
         result.gflops_parallel = time_gflops(flops, iters, new_fn);
     };
 
@@ -141,20 +182,17 @@ Result run_shape(const char* kernel, std::size_t m, std::size_t k, std::size_t n
         Tensor a(m, k), b(k, n), c(m, n), c2(m, n);
         fill_random(a, rng);
         fill_random(b, rng);
-        bench([&] { seed_gemm_nn(a, b, c); }, [&] { nn::gemm_nn(a, b, c2); });
-        result.bit_identical = identical(c, c2);
+        bench([&] { seed_gemm_nn(a, b, c); }, [&] { nn::gemm_nn(a, b, c2); }, c, c2);
     } else if (std::strcmp(kernel, "nt") == 0) {
         Tensor a(m, k), b(n, k), c(m, n), c2(m, n);
         fill_random(a, rng);
         fill_random(b, rng);
-        bench([&] { seed_gemm_nt(a, b, c); }, [&] { nn::gemm_nt(a, b, c2); });
-        result.bit_identical = identical(c, c2);
+        bench([&] { seed_gemm_nt(a, b, c); }, [&] { nn::gemm_nt(a, b, c2); }, c, c2);
     } else {
         Tensor a(k, m), b(k, n), c(m, n), c2(m, n);
         fill_random(a, rng);
         fill_random(b, rng);
-        bench([&] { seed_gemm_tn(a, b, c); }, [&] { nn::gemm_tn(a, b, c2); });
-        result.bit_identical = identical(c, c2);
+        bench([&] { seed_gemm_tn(a, b, c); }, [&] { nn::gemm_tn(a, b, c2); }, c, c2);
     }
     return result;
 }
@@ -196,10 +234,13 @@ int main(int argc, char** argv) {
         parse_sizes(args.get("sizes", smoke ? "64,96" : "256,512,1024,1500"));
 
     const std::size_t threads = xpcore::ThreadPool::global().size();
-    std::printf("== micro_gemm: seed (unblocked serial) vs blocked vs blocked+parallel ==\n");
+    std::printf("== micro_gemm: seed (unblocked serial) vs blocked vs SIMD vs parallel ==\n");
     std::printf("pool workers: %zu  (XPDNN_THREADS)  parallel threshold: %zu m*n*k"
-                "  (XPDNN_GEMM_THRESHOLD)\n\n",
+                "  (XPDNN_GEMM_THRESHOLD)\n",
                 threads, nn::gemm_parallel_threshold());
+    std::printf("simd: max=%s active=%s  (XPDNN_SIMD)\n\n",
+                xpcore::simd::level_name(xpcore::simd::max_level()),
+                xpcore::simd::level_name(xpcore::simd::active_level()));
 
     std::vector<Result> results;
     for (std::size_t n : sizes) {
@@ -213,37 +254,49 @@ int main(int argc, char** argv) {
         results.push_back(run_shape("tn", n, batch, n, iters));
     }
 
-    xpcore::Table table({"kernel", "m x k x n", "seed GF/s", "blocked GF/s", "parallel GF/s",
-                         "speedup", "bit-identical"});
-    bool all_identical = true;
+    xpcore::Table table({"kernel", "m x k x n", "seed GF/s", "blocked GF/s", "simd GF/s",
+                         "active GF/s", "speedup", "scalar-bits", "simd rel err"});
+    bool all_ok = true;
     for (const auto& r : results) {
-        all_identical = all_identical && r.bit_identical;
-        const double speedup = r.gflops_seed > 0 ? r.gflops_parallel / r.gflops_seed : 0.0;
+        all_ok = all_ok && r.bit_identical && r.simd_within_tol;
+        const double best = std::max(r.gflops_simd, r.gflops_parallel);
+        const double speedup = r.gflops_seed > 0 ? best / r.gflops_seed : 0.0;
+        char err[32];
+        std::snprintf(err, sizeof(err), "%.1e%s", r.simd_rel_err,
+                      r.simd_within_tol ? "" : " BAD");
         table.add_row({r.kernel,
                        std::to_string(r.m) + "x" + std::to_string(r.k) + "x" + std::to_string(r.n),
                        xpcore::Table::num(r.gflops_seed, 2), xpcore::Table::num(r.gflops_blocked, 2),
+                       xpcore::Table::num(r.gflops_simd, 2),
                        xpcore::Table::num(r.gflops_parallel, 2),
-                       xpcore::Table::num(speedup, 2) + "x", r.bit_identical ? "yes" : "NO"});
+                       xpcore::Table::num(speedup, 2) + "x", r.bit_identical ? "yes" : "NO", err});
     }
     table.print();
-    std::printf("\nspeedup = parallel vs seed. Results are bit-identical by construction\n"
-                "(row-partitioned dispatch preserves per-element accumulation order).\n");
+    std::printf("\nspeedup = best(simd, active) vs seed. The scalar blocked kernels are\n"
+                "bit-identical to the seed by construction (row-partitioned dispatch\n"
+                "preserves accumulation order); the SIMD kernels use FMA and are\n"
+                "tolerance-checked (max rel err <= %.0e).\n", kSimdRelTol);
 
     const std::string json_path = args.get("json", "");
     if (!json_path.empty()) {
         std::ofstream out(json_path);
-        out << "{\n  \"threads\": " << threads << ",\n  \"results\": [\n";
+        out << "{\n  \"threads\": " << threads
+            << ",\n  \"simd_active\": \""
+            << xpcore::simd::level_name(xpcore::simd::active_level())
+            << "\",\n  \"results\": [\n";
         for (std::size_t i = 0; i < results.size(); ++i) {
             const auto& r = results[i];
             out << "    {\"kernel\": \"" << r.kernel << "\", \"m\": " << r.m << ", \"k\": " << r.k
                 << ", \"n\": " << r.n << ", \"gflops_seed\": " << r.gflops_seed
                 << ", \"gflops_blocked\": " << r.gflops_blocked
+                << ", \"gflops_simd\": " << r.gflops_simd
                 << ", \"gflops_parallel\": " << r.gflops_parallel
-                << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false") << "}"
+                << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false")
+                << ", \"simd_rel_err\": " << r.simd_rel_err << "}"
                 << (i + 1 < results.size() ? "," : "") << "\n";
         }
         out << "  ]\n}\n";
         std::printf("wrote %s\n", json_path.c_str());
     }
-    return all_identical ? 0 : 1;
+    return all_ok ? 0 : 1;
 }

@@ -148,6 +148,13 @@ public:
     /// forward pass instead of per-line passes — the inference hot path.
     nn::Tensor classify_lines(std::span<const LineSample> lines);
 
+    /// Allocation-free variant of classify_lines: writes into `probs`
+    /// (resized to [lines x class_count]) and reuses the modeler's member
+    /// input batch and network workspace. Repeated calls with
+    /// same-or-smaller batches never touch the heap, which makes batched
+    /// inference in modeling sweeps allocation-free in steady state.
+    void classify_lines_into(std::span<const LineSample> lines, nn::Tensor& probs);
+
     /// Top-k classes per parameter for the experiment set (probabilities
     /// averaged over up to config.max_lines full-length lines).
     std::vector<std::vector<pmnf::TermClass>> candidate_classes(
@@ -169,6 +176,10 @@ private:
     nn::Network pretrained_network_;
     std::optional<nn::Network> adapted_network_;
     bool pretrained_ = false;
+    // Inference scratch, reused across classify calls (see workspace.hpp).
+    nn::Workspace inference_ws_;
+    nn::Tensor line_batch_;   ///< preprocessed input rows
+    nn::Tensor probs_scratch_;  ///< classify result for candidate_classes()
 };
 
 }  // namespace dnn

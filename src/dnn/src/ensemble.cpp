@@ -38,9 +38,10 @@ std::vector<std::vector<pmnf::TermClass>> EnsembleModeler::candidate_classes(
     const LineBatch batch = collect_lines(set, config);
 
     std::vector<std::vector<pmnf::TermClass>> merged(set.parameter_count());
+    nn::Tensor probs;  // shared across members; each member's call resizes in place
     for (auto& member : members_) {
-        const auto candidates =
-            candidates_from_probabilities(member->classify_lines(batch.lines), batch, config);
+        member->classify_lines_into(batch.lines, probs);
+        const auto candidates = candidates_from_probabilities(probs, batch, config);
         for (std::size_t l = 0; l < merged.size(); ++l) {
             for (const auto& cls : candidates[l]) {
                 if (std::find(merged[l].begin(), merged[l].end(), cls) == merged[l].end()) {

@@ -118,8 +118,8 @@ void DnnModeler::reset_adaptation() { adapted_network_.reset(); }
 double DnnModeler::top_k_accuracy(const nn::Dataset& data, std::size_t k) {
     if (!pretrained_) throw std::logic_error("DnnModeler::top_k_accuracy: pretrain first");
     if (data.size() == 0) return 0.0;
-    nn::Tensor probs;
-    nn::SoftmaxCrossEntropy::softmax(active_network().forward(data.inputs), probs);
+    nn::Tensor& probs = probs_scratch_;
+    nn::SoftmaxCrossEntropy::softmax(active_network().forward(data.inputs, inference_ws_), probs);
     std::size_t hits = 0;
     for (std::size_t r = 0; r < data.size(); ++r) {
         const auto top = nn::top_k_indices(probs.row(r), k);
@@ -197,26 +197,32 @@ std::vector<std::vector<pmnf::TermClass>> candidates_from_probabilities(
 std::vector<float> DnnModeler::classify_line(std::span<const double> xs,
                                              std::span<const double> values) {
     const LineSample sample{{xs.begin(), xs.end()}, {values.begin(), values.end()}};
-    const nn::Tensor probs = classify_lines({&sample, 1});
-    return {probs.data(), probs.data() + probs.cols()};
+    classify_lines_into({&sample, 1}, probs_scratch_);
+    return {probs_scratch_.data(), probs_scratch_.data() + probs_scratch_.cols()};
 }
 
 nn::Tensor DnnModeler::classify_lines(std::span<const LineSample> lines) {
+    nn::Tensor probs;
+    classify_lines_into(lines, probs);
+    return probs;
+}
+
+void DnnModeler::classify_lines_into(std::span<const LineSample> lines, nn::Tensor& probs) {
     if (!pretrained_) throw std::logic_error("DnnModeler::classify_lines: pretrain or load first");
-    nn::Tensor batch(lines.size(), kInputNeurons);
+    line_batch_.resize(lines.size(), kInputNeurons);
     for (std::size_t r = 0; r < lines.size(); ++r) {
         const auto input = preprocess_line(lines[r].xs, lines[r].values);
-        std::copy(input.begin(), input.end(), batch.data() + r * kInputNeurons);
+        std::copy(input.begin(), input.end(), line_batch_.data() + r * kInputNeurons);
     }
-    nn::Tensor probs;
-    nn::SoftmaxCrossEntropy::softmax(active_network().forward(batch), probs);
-    return probs;
+    nn::SoftmaxCrossEntropy::softmax(active_network().forward(line_batch_, inference_ws_),
+                                     probs);
 }
 
 std::vector<std::vector<pmnf::TermClass>> DnnModeler::candidate_classes(
     const measure::ExperimentSet& set) {
     const LineBatch batch = collect_lines(set, config_);
-    return candidates_from_probabilities(classify_lines(batch.lines), batch, config_);
+    classify_lines_into(batch.lines, probs_scratch_);
+    return candidates_from_probabilities(probs_scratch_, batch, config_);
 }
 
 regression::ModelResult DnnModeler::model(const measure::ExperimentSet& set) {

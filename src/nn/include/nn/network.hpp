@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nn/layers.hpp"
+#include "nn/workspace.hpp"
 
 namespace xpcore {
 class Rng;
@@ -45,13 +46,17 @@ public:
     std::size_t output_size() const;
 
     /// Forward pass; returns the output activations [batch x output_size].
-    /// Keeps all intermediate activations for a subsequent backward().
+    /// Keeps all intermediate activations (in the given workspace) for a
+    /// subsequent backward(). The workspace-less overload uses a private
+    /// member workspace, so repeated calls reuse the same buffers.
     const Tensor& forward(const Tensor& input);
+    const Tensor& forward(const Tensor& input, Workspace& ws);
 
     /// Backward pass from the loss gradient w.r.t. the network output
     /// (shape like forward's result). Must follow a forward() on the same
-    /// batch. Accumulates parameter gradients.
+    /// batch *and the same workspace*. Accumulates parameter gradients.
     void backward(const Tensor& grad_output);
+    void backward(const Tensor& grad_output, Workspace& ws);
 
     /// Deep copy: clones every layer's configuration and weights. The copy
     /// starts with empty activation buffers and zeroed gradients — the
@@ -73,9 +78,7 @@ public:
 
 private:
     std::vector<std::unique_ptr<Layer>> layers_;
-    std::vector<Tensor> activations_;  // activations_[i] = output of layer i
-    Tensor input_;                     // copy of the last forward input
-    std::vector<Tensor> grads_;        // scratch gradient buffers
+    Workspace ws_;  // backs the workspace-less forward()/backward() overloads
 };
 
 }  // namespace nn

@@ -14,6 +14,13 @@ namespace nn {
 
 /// Optimizer interface: owns per-parameter state, applies one update step
 /// from the accumulated gradients, then zeroes them.
+///
+/// Gradient-clearing ownership: step() is the *single* owner of clearing
+/// the gradient accumulators — every implementation fuses `g = 0` into its
+/// update loop (one pass over the parameter memory instead of two). Callers
+/// must NOT pair step() with zero_grad() per batch; zero_grad() exists only
+/// for the rare "discard accumulated gradients without updating" case
+/// (e.g. abandoning a partially accumulated batch).
 class Optimizer {
 public:
     virtual ~Optimizer() = default;
@@ -21,10 +28,12 @@ public:
     /// Register the parameters to optimize (resets internal state).
     virtual void attach(std::vector<Param> params) = 0;
 
-    /// Apply one update from the current gradients and clear them.
+    /// Apply one update from the current gradients and clear them
+    /// (postcondition: every grad tensor is all zeros).
     virtual void step() = 0;
 
-    /// Discard accumulated gradients without updating.
+    /// Discard accumulated gradients without updating. Not needed after
+    /// step() — see the class comment on clearing ownership.
     void zero_grad();
 
 protected:

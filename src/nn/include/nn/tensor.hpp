@@ -12,6 +12,14 @@
 /// over output rows only, so every element is accumulated in the same order
 /// regardless of thread count and results are bit-identical for 0..N
 /// threads.
+///
+/// Below the thread layer sits a data-parallel layer: when
+/// xpcore::simd::avx2_active() the kernels dispatch to the packed AVX2/FMA
+/// microkernel in xpcore (see xpcore/simd_kernels.hpp); otherwise they run
+/// the blocked scalar loops below, which are bit-identical to the pre-SIMD
+/// library. The SIMD results differ from scalar only by FMA contraction
+/// and summation-tree shape (tolerance-pinned in tests/test_simd_parity.cpp)
+/// and remain bit-identical across thread counts at any fixed level.
 
 #include <cstddef>
 #include <span>
@@ -44,8 +52,15 @@ public:
     std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
     std::span<const float> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
 
-    /// Resize without preserving contents; reuses capacity when possible.
+    /// Resize without preserving contents. Shrinking (or growing within
+    /// capacity()) never touches the heap; growing beyond capacity()
+    /// allocates without copying the old contents (they are not preserved
+    /// anyway). This is what makes reused workspace tensors allocation-free
+    /// in steady state.
     void resize(std::size_t rows, std::size_t cols);
+
+    /// Number of elements the current buffer can hold without reallocating.
+    std::size_t capacity() const { return data_.capacity(); }
 
     /// Set every element to `value`.
     void fill(float value);

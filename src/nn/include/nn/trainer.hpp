@@ -82,6 +82,10 @@ private:
     Network& network_;
     Optimizer& optimizer_;
     Config config_;
+    /// All mini-batch and forward/backward scratch. Reused across batches
+    /// and epochs so the steady-state training step performs zero heap
+    /// allocations (see nn/workspace.hpp).
+    Workspace ws_;
 };
 
 /// Indices of the k largest entries of a probability row, best first.

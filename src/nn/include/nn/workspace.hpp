@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file workspace.hpp
+/// Reusable scratch buffers for training and batched inference.
+///
+/// Every buffer the forward/backward pass and the mini-batch loop need is
+/// collected in one Workspace so steady-state training steps and repeated
+/// batched inference touch the heap zero times: Tensor::resize keeps
+/// capacity when shrinking, so after the first (largest) batch every
+/// subsequent resize is a pointer-arithmetic no-op. tests/test_zero_alloc.cpp
+/// pins this with a counting global allocator.
+///
+/// A Workspace belongs to one thread of execution at a time. Network keeps a
+/// private Workspace for the convenience overloads of forward()/backward();
+/// callers that manage their own (Trainer, DnnModeler) pass it explicitly.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace nn {
+
+struct Workspace {
+    // --- Network pass state -------------------------------------------
+    Tensor input;                    ///< copy of the last forward() input
+    std::vector<Tensor> activations; ///< activations[i] = output of layer i
+    std::vector<Tensor> grads;       ///< per-layer input-gradient scratch
+
+    // --- Mini-batch loop scratch (Trainer) ----------------------------
+    Tensor batch;                      ///< gathered mini-batch inputs
+    Tensor probs;                      ///< softmax probabilities
+    Tensor grad_logits;                ///< loss gradient w.r.t. logits
+    std::vector<std::int32_t> labels;  ///< gathered mini-batch labels
+    std::vector<std::size_t> order;    ///< shuffled sample permutation
+};
+
+}  // namespace nn

@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "xpcore/rng.hpp"
+#include "xpcore/simd.hpp"
+#include "xpcore/simd_kernels.hpp"
 
 namespace nn {
 
@@ -129,6 +131,13 @@ void Tanh::forward(const Tensor& in, Tensor& out) const {
     out.resize(in.rows(), in.cols());
     const float* src = in.data();
     float* dst = out.data();
+    if (xpcore::simd::avx2_active()) {
+        // Vectorized rational approximation (max abs error < 5e-7, see
+        // xpcore/simd_kernels.hpp) — libm tanh per element is one of the
+        // dominant scalar training costs at the paper's layer widths.
+        xpcore::simd::tanh_f32_avx2(src, dst, in.size());
+        return;
+    }
     for (std::size_t i = 0; i < in.size(); ++i) dst[i] = std::tanh(src[i]);
 }
 

@@ -4,10 +4,20 @@
 #include <cassert>
 #include <cmath>
 
+#include "xpcore/simd.hpp"
+#include "xpcore/simd_kernels.hpp"
+
 namespace nn {
 
 void SoftmaxCrossEntropy::softmax(const Tensor& logits, Tensor& probs) {
     probs.resize(logits.rows(), logits.cols());
+    if (xpcore::simd::avx2_active() && logits.cols() > 0) {
+        // Vectorized max/exp/normalize per row (exp approximation bounds in
+        // xpcore/simd_kernels.hpp); the scalar loop below stays bit-exact.
+        xpcore::simd::softmax_rows_avx2(logits.data(), probs.data(), logits.rows(),
+                                        logits.cols());
+        return;
+    }
     for (std::size_t r = 0; r < logits.rows(); ++r) {
         const float* in = logits.data() + r * logits.cols();
         float* out = probs.data() + r * probs.cols();

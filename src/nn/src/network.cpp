@@ -1,5 +1,6 @@
 #include "nn/network.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -36,8 +37,6 @@ void Network::add(std::unique_ptr<Layer> layer) {
         throw std::invalid_argument("Network::add: layer size mismatch");
     }
     layers_.push_back(std::move(layer));
-    activations_.emplace_back();
-    grads_.emplace_back();
 }
 
 std::size_t Network::input_size() const {
@@ -50,24 +49,34 @@ std::size_t Network::output_size() const {
     return layers_.back()->output_size();
 }
 
-const Tensor& Network::forward(const Tensor& input) {
+const Tensor& Network::forward(const Tensor& input) { return forward(input, ws_); }
+
+const Tensor& Network::forward(const Tensor& input, Workspace& ws) {
     if (layers_.empty()) throw std::logic_error("Network::forward: no layers");
-    input_ = input;
-    const Tensor* current = &input_;
+    // Grows the per-layer buffer lists once; the Tensors inside keep their
+    // capacity across calls (Tensor::resize), so steady-state passes over
+    // same-or-smaller batches are allocation-free.
+    if (ws.activations.size() < layers_.size()) ws.activations.resize(layers_.size());
+    if (ws.grads.size() < layers_.size()) ws.grads.resize(layers_.size());
+    ws.input.resize(input.rows(), input.cols());
+    std::copy_n(input.data(), input.size(), ws.input.data());
+    const Tensor* current = &ws.input;
     for (std::size_t i = 0; i < layers_.size(); ++i) {
-        layers_[i]->forward(*current, activations_[i]);
-        current = &activations_[i];
+        layers_[i]->forward(*current, ws.activations[i]);
+        current = &ws.activations[i];
     }
-    return activations_.back();
+    return ws.activations[layers_.size() - 1];
 }
 
-void Network::backward(const Tensor& grad_output) {
+void Network::backward(const Tensor& grad_output) { backward(grad_output, ws_); }
+
+void Network::backward(const Tensor& grad_output, Workspace& ws) {
     if (layers_.empty()) throw std::logic_error("Network::backward: no layers");
     const Tensor* grad = &grad_output;
     for (std::size_t i = layers_.size(); i-- > 0;) {
-        const Tensor& in = (i == 0) ? input_ : activations_[i - 1];
-        layers_[i]->backward(in, activations_[i], *grad, grads_[i]);
-        grad = &grads_[i];
+        const Tensor& in = (i == 0) ? ws.input : ws.activations[i - 1];
+        layers_[i]->backward(in, ws.activations[i], *grad, ws.grads[i]);
+        grad = &ws.grads[i];
     }
 }
 

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "xpcore/simd.hpp"
+#include "xpcore/simd_kernels.hpp"
+
 namespace nn {
 
 void Optimizer::zero_grad() {
@@ -26,12 +29,20 @@ void AdaMax::step() {
     const float bias_correction =
         1.0f - std::pow(config_.beta1, static_cast<float>(t_));
     const float rate = config_.learning_rate / bias_correction;
+    const bool use_simd = xpcore::simd::avx2_active();
     for (std::size_t p = 0; p < params_.size(); ++p) {
         float* w = params_[p].value->data();
         float* g = params_[p].grad->data();
         float* m = m_[p].data();
         float* u = u_[p].data();
         const std::size_t n = params_[p].value->size();
+        if (use_simd) {
+            // Fused vector update; clears g in the same pass (step() owns
+            // gradient clearing — see Optimizer's class comment).
+            xpcore::simd::adamax_update_avx2(w, g, m, u, n, rate, config_.beta1,
+                                             config_.beta2, config_.epsilon);
+            continue;
+        }
         for (std::size_t i = 0; i < n; ++i) {
             m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g[i];
             u[i] = std::max(config_.beta2 * u[i], std::abs(g[i]));

@@ -7,6 +7,8 @@
 #include <cstring>
 
 #include "xpcore/rng.hpp"
+#include "xpcore/simd.hpp"
+#include "xpcore/simd_kernels.hpp"
 #include "xpcore/thread_pool.hpp"
 
 namespace nn {
@@ -14,7 +16,12 @@ namespace nn {
 void Tensor::resize(std::size_t rows, std::size_t cols) {
     rows_ = rows;
     cols_ = cols;
-    data_.resize(rows * cols);
+    const std::size_t n = rows * cols;
+    // Contents are not preserved, so when the buffer must grow, drop the old
+    // elements first — vector::resize alone would copy them into the new
+    // allocation for nothing. Shrinking keeps the capacity.
+    if (n > data_.capacity()) data_.clear();
+    data_.resize(n);
 }
 
 void Tensor::fill(float value) {
@@ -171,8 +178,17 @@ void gemm_nn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
              xpcore::ThreadPool& pool) {
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
     assert(b.rows() == k && c.rows() == m && c.cols() == n);
+    // The SIMD/scalar choice is sampled once per product so every row range
+    // of one call runs the same kernel even if the level changes
+    // concurrently (tests flip it between calls, never mid-call).
+    const bool use_simd = xpcore::simd::avx2_active();
     dispatch_rows(pool, m, m * n * k, [&](std::size_t begin, std::size_t end) {
-        gemm_nn_range(a, b, c, accumulate, begin, end);
+        if (use_simd) {
+            xpcore::simd::gemm_f32_avx2(m, n, k, a.data(), k, false, b.data(), n, false,
+                                        c.data(), n, accumulate, begin, end);
+        } else {
+            gemm_nn_range(a, b, c, accumulate, begin, end);
+        }
     });
 }
 
@@ -184,8 +200,15 @@ void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
              xpcore::ThreadPool& pool) {
     const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
     assert(b.cols() == k && c.rows() == m && c.cols() == n);
+    const bool use_simd = xpcore::simd::avx2_active();
     dispatch_rows(pool, m, m * n * k, [&](std::size_t begin, std::size_t end) {
-        gemm_nt_range(a, b, c, accumulate, begin, end);
+        if (use_simd) {
+            // op(B) = B^T of the [n x k]-stored b.
+            xpcore::simd::gemm_f32_avx2(m, n, k, a.data(), k, false, b.data(), k, true,
+                                        c.data(), n, accumulate, begin, end);
+        } else {
+            gemm_nt_range(a, b, c, accumulate, begin, end);
+        }
     });
 }
 
@@ -197,8 +220,15 @@ void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
              xpcore::ThreadPool& pool) {
     const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
     assert(b.rows() == k && c.rows() == m && c.cols() == n);
+    const bool use_simd = xpcore::simd::avx2_active();
     dispatch_rows(pool, m, m * n * k, [&](std::size_t begin, std::size_t end) {
-        gemm_tn_range(a, b, c, accumulate, begin, end);
+        if (use_simd) {
+            // op(A) = A^T of the [k x m]-stored a.
+            xpcore::simd::gemm_f32_avx2(m, n, k, a.data(), m, true, b.data(), n, false,
+                                        c.data(), n, accumulate, begin, end);
+        } else {
+            gemm_tn_range(a, b, c, accumulate, begin, end);
+        }
     });
 }
 

@@ -12,40 +12,39 @@ EpochStats Trainer::run_epoch(const Dataset& data, xpcore::Rng& rng) {
     const std::size_t n = data.size();
     if (n == 0) return {};
     const std::size_t input_size = data.inputs.cols();
-    std::vector<std::size_t> order(n);
-    std::iota(order.begin(), order.end(), 0);
-    if (config_.shuffle) rng.shuffle(order);
+    // Everything below works out of the member workspace: after the first
+    // epoch sizes the buffers, further batches/epochs are allocation-free.
+    ws_.order.resize(n);
+    std::iota(ws_.order.begin(), ws_.order.end(), 0);
+    if (config_.shuffle) rng.shuffle(ws_.order);
 
     EpochStats stats;
-    Tensor batch;
-    Tensor probs;
-    Tensor grad;
-    std::vector<std::int32_t> batch_labels;
     double loss_sum = 0.0;
     std::size_t correct = 0;
 
     for (std::size_t begin = 0; begin < n; begin += config_.batch_size) {
         const std::size_t end = std::min(begin + config_.batch_size, n);
         const std::size_t batch_n = end - begin;
-        batch.resize(batch_n, input_size);
-        batch_labels.resize(batch_n);
+        ws_.batch.resize(batch_n, input_size);
+        ws_.labels.resize(batch_n);
         for (std::size_t i = 0; i < batch_n; ++i) {
-            const std::size_t src = order[begin + i];
+            const std::size_t src = ws_.order[begin + i];
             std::copy_n(data.inputs.data() + src * input_size, input_size,
-                        batch.data() + i * input_size);
-            batch_labels[i] = data.labels[src];
+                        ws_.batch.data() + i * input_size);
+            ws_.labels[i] = data.labels[src];
         }
 
-        const Tensor& logits = network_.forward(batch);
-        SoftmaxCrossEntropy::softmax(logits, probs);
-        loss_sum += SoftmaxCrossEntropy::loss(probs, batch_labels) * static_cast<double>(batch_n);
+        const Tensor& logits = network_.forward(ws_.batch, ws_);
+        SoftmaxCrossEntropy::softmax(logits, ws_.probs);
+        loss_sum +=
+            SoftmaxCrossEntropy::loss(ws_.probs, ws_.labels) * static_cast<double>(batch_n);
         for (std::size_t i = 0; i < batch_n; ++i) {
-            const auto row = probs.row(i);
+            const auto row = ws_.probs.row(i);
             const auto best = std::max_element(row.begin(), row.end()) - row.begin();
-            if (best == batch_labels[i]) ++correct;
+            if (best == ws_.labels[i]) ++correct;
         }
-        SoftmaxCrossEntropy::backward(probs, batch_labels, grad);
-        network_.backward(grad);
+        SoftmaxCrossEntropy::backward(ws_.probs, ws_.labels, ws_.grad_logits);
+        network_.backward(ws_.grad_logits, ws_);
         optimizer_.step();
     }
     stats.loss = loss_sum / static_cast<double>(n);
@@ -109,8 +108,9 @@ std::pair<Dataset, Dataset> split_dataset(const Dataset& data, double fraction,
 }
 
 EpochStats Trainer::evaluate(const Dataset& data) {
-    Tensor probs;
-    SoftmaxCrossEntropy::softmax(network_.forward(data.inputs), probs);
+    // Reuses the training workspace (never live at the same time as a batch).
+    Tensor& probs = ws_.probs;
+    SoftmaxCrossEntropy::softmax(network_.forward(data.inputs, ws_), probs);
     EpochStats stats;
     stats.loss = SoftmaxCrossEntropy::loss(probs, data.labels);
     std::size_t correct = 0;
@@ -125,7 +125,7 @@ EpochStats Trainer::evaluate(const Dataset& data) {
 
 Tensor Trainer::predict_proba(const Tensor& inputs) {
     Tensor probs;
-    SoftmaxCrossEntropy::softmax(network_.forward(inputs), probs);
+    SoftmaxCrossEntropy::softmax(network_.forward(inputs, ws_), probs);
     return probs;
 }
 

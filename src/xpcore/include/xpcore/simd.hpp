@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file simd.hpp
+/// Runtime SIMD dispatch for the data-parallel compute kernels.
+///
+/// The library ships two implementations of every hot inner loop: the
+/// portable scalar kernels (bit-for-bit identical to the pre-SIMD code, the
+/// only path on non-x86 builds) and AVX2/FMA kernels selected at runtime
+/// when the CPU supports them. Selection order:
+///
+///   1. a programmatic override installed with set_level() (tests, benches),
+///   2. the XPDNN_SIMD environment variable
+///      ("0"/"scalar" force the scalar path, "1"/"auto"/"avx2" allow SIMD),
+///   3. CPUID: AVX2 + FMA support detected at first use.
+///
+/// SIMD is a speed knob with *bounded* numerical differences, not a results
+/// knob in the bit-exact sense: the AVX2 kernels use FMA contraction and
+/// polynomial approximations of tanh/exp (max errors documented in
+/// simd_kernels.hpp and pinned by tests/test_simd_parity.cpp), so their
+/// output differs from the scalar path at the last-ulp level. For any fixed
+/// level, results remain bit-identical across thread counts: the kernels
+/// partition output rows only and never reorder a per-element accumulation.
+
+namespace xpcore::simd {
+
+/// Instruction-set level of the compute kernels.
+enum class Level {
+    Scalar = 0,  ///< portable scalar kernels (pre-SIMD behavior, bit-exact)
+    Avx2 = 1,    ///< AVX2 + FMA microkernels
+};
+
+/// Highest level this binary can run on this CPU (compile-time support
+/// intersected with CPUID). Never affected by overrides or XPDNN_SIMD.
+Level max_level();
+
+/// The level the kernels dispatch on right now (override > env > CPUID).
+Level active_level();
+
+/// True when the AVX2 kernels are the active dispatch target.
+bool avx2_active();
+
+/// Install a runtime override (clamped to max_level()).
+void set_level(Level level);
+
+/// Drop the override and return to the XPDNN_SIMD / CPUID default.
+void reset_level();
+
+/// Human-readable level name ("scalar", "avx2").
+const char* level_name(Level level);
+
+/// RAII scope that pins the dispatch level and restores the previous state
+/// on exit — used by the parity tests and the scalar-vs-SIMD benches.
+class LevelGuard {
+public:
+    explicit LevelGuard(Level level) : previous_(active_level()) { set_level(level); }
+    ~LevelGuard() { set_level(previous_); }
+    LevelGuard(const LevelGuard&) = delete;
+    LevelGuard& operator=(const LevelGuard&) = delete;
+
+private:
+    Level previous_;
+};
+
+}  // namespace xpcore::simd

@@ -1,0 +1,82 @@
+#include "xpcore/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "xpcore/simd_kernels.hpp"
+
+#include "simd_poly.hpp"
+
+namespace xpcore::simd {
+
+// Portable scalar references for the SIMD approximations. Defined in this
+// translation unit (baseline compile flags) so they are callable on CPUs
+// without AVX2 — simd_avx2.cpp is compiled with -mavx2 and must never be
+// entered unless avx2_active().
+float tanh_approx(float x) { return detail::tanh_approx_scalar(x); }
+float exp_approx(float x) { return detail::exp_approx_scalar(x); }
+
+namespace {
+
+bool cpu_supports_avx2_fma() {
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+Level env_default_level() {
+    static const Level value = [] {
+        const Level best = max_level();
+        const char* env = std::getenv("XPDNN_SIMD");
+        if (env != nullptr) {
+            if (std::strcmp(env, "0") == 0 || std::strcmp(env, "scalar") == 0 ||
+                std::strcmp(env, "off") == 0) {
+                return Level::Scalar;
+            }
+            // "1" / "auto" / "avx2" (and anything else) mean "best available":
+            // requesting a level the CPU lacks must not crash, so unknown or
+            // too-high values clamp to the detected maximum.
+        }
+        return best;
+    }();
+    return value;
+}
+
+// -1 = no override installed; otherwise the Level value.
+std::atomic<int> g_override{-1};
+
+}  // namespace
+
+Level max_level() {
+    static const Level value =
+        (compiled_with_avx2() && cpu_supports_avx2_fma()) ? Level::Avx2 : Level::Scalar;
+    return value;
+}
+
+Level active_level() {
+    const int override_value = g_override.load(std::memory_order_relaxed);
+    if (override_value >= 0) return static_cast<Level>(override_value);
+    return env_default_level();
+}
+
+bool avx2_active() { return active_level() == Level::Avx2; }
+
+void set_level(Level level) {
+    if (level > max_level()) level = max_level();
+    g_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void reset_level() { g_override.store(-1, std::memory_order_relaxed); }
+
+const char* level_name(Level level) {
+    switch (level) {
+        case Level::Scalar: return "scalar";
+        case Level::Avx2: return "avx2";
+    }
+    return "?";
+}
+
+}  // namespace xpcore::simd

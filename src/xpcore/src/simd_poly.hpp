@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file simd_poly.hpp (internal)
+/// Shared polynomial/rational approximation coefficients for the fast tanh
+/// and exp kernels, plus portable scalar reference implementations. The
+/// AVX2 kernels in simd_avx2.cpp evaluate exactly these polynomials with
+/// vector FMA; the scalar versions here use plain multiply-add, so the two
+/// agree to within one or two ulps (the parity tests bound both against
+/// std::tanh / std::exp instead of against each other).
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace xpcore::simd::detail {
+
+// ---- tanh: R(x) = x * P(x^2) / Q(x^2), clamped to [-9, 9] ----------------
+//
+// The classic float-precision rational fit (13th/6th order, the same
+// minimax coefficients used by Eigen, XNNPACK and friends). |tanh(9)| is
+// within 1.5e-8 of 1, so clamping loses nothing at f32 precision. Max
+// absolute error vs. std::tanh over [-20, 20]: measured 6e-8..2e-7
+// depending on FMA contraction (pinned < 5e-7 by tests).
+inline constexpr float kTanhClamp = 9.0f;
+inline constexpr float kTanhAlpha1 = 4.89352455891786e-03f;
+inline constexpr float kTanhAlpha3 = 6.37261928875436e-04f;
+inline constexpr float kTanhAlpha5 = 1.48572235717979e-05f;
+inline constexpr float kTanhAlpha7 = 5.12229709037114e-08f;
+inline constexpr float kTanhAlpha9 = -8.60467152213735e-11f;
+inline constexpr float kTanhAlpha11 = 2.00018790482477e-13f;
+inline constexpr float kTanhAlpha13 = -2.76076847742355e-16f;
+inline constexpr float kTanhBeta0 = 4.89352518554385e-03f;
+inline constexpr float kTanhBeta2 = 2.26843463243900e-03f;
+inline constexpr float kTanhBeta4 = 1.18534705686654e-04f;
+inline constexpr float kTanhBeta6 = 1.19825839466702e-06f;
+
+inline float tanh_approx_scalar(float x) {
+    const float clamped = x < -kTanhClamp ? -kTanhClamp : (x > kTanhClamp ? kTanhClamp : x);
+    const float x2 = clamped * clamped;
+    float p = kTanhAlpha13;
+    p = p * x2 + kTanhAlpha11;
+    p = p * x2 + kTanhAlpha9;
+    p = p * x2 + kTanhAlpha7;
+    p = p * x2 + kTanhAlpha5;
+    p = p * x2 + kTanhAlpha3;
+    p = p * x2 + kTanhAlpha1;
+    p = clamped * p;
+    float q = kTanhBeta6;
+    q = q * x2 + kTanhBeta4;
+    q = q * x2 + kTanhBeta2;
+    q = q * x2 + kTanhBeta0;
+    return p / q;
+}
+
+// ---- exp: 2^n * P(r), x = n * ln2 + r, r in [-ln2/2, ln2/2] --------------
+//
+// Cephes-style expf: round x/ln2 to the nearest integer n (via floor of
+// x*log2(e) + 0.5), subtract n*ln2 in two parts to keep r accurate, then a
+// degree-5 polynomial for e^r and an exponent-bits multiply for 2^n.
+// Inputs clamp to [kExpLo, kExpHi]: below, the result saturates at
+// exp(kExpLo) ~ 1.2e-38 (the smallest normal neighborhood); above, at
+// exp(kExpHi) ~ 2.3e38 (finite). Max relative error vs. std::exp over
+// [-87, 87]: measured ~1.2e-7 (pinned < 5e-7 by tests).
+inline constexpr float kExpHi = 88.3762626647950f;
+inline constexpr float kExpLo = -87.3365478515625f;
+inline constexpr float kLog2E = 1.44269504088896341f;
+inline constexpr float kExpC1 = 0.693359375f;          // ln2 high part
+inline constexpr float kExpC2 = -2.12194440e-4f;       // ln2 low part
+inline constexpr float kExpP0 = 1.9875691500e-4f;
+inline constexpr float kExpP1 = 1.3981999507e-3f;
+inline constexpr float kExpP2 = 8.3334519073e-3f;
+inline constexpr float kExpP3 = 4.1665795894e-2f;
+inline constexpr float kExpP4 = 1.6666665459e-1f;
+inline constexpr float kExpP5 = 5.0000001201e-1f;
+
+inline float exp_approx_scalar(float x) {
+    const float clamped = x < kExpLo ? kExpLo : (x > kExpHi ? kExpHi : x);
+    float fx = std::floor(clamped * kLog2E + 0.5f);
+    const float r = clamped - fx * kExpC1 - fx * kExpC2;
+    const float z = r * r;
+    float p = kExpP0;
+    p = p * r + kExpP1;
+    p = p * r + kExpP2;
+    p = p * r + kExpP3;
+    p = p * r + kExpP4;
+    p = p * r + kExpP5;
+    p = p * z + r + 1.0f;
+    // 2^n through the exponent bits (n is in [-127, 127] after clamping).
+    const auto n = static_cast<std::int32_t>(fx);
+    std::uint32_t bits;
+    const float scale_src = 1.0f;
+    std::memcpy(&bits, &scale_src, sizeof(bits));
+    bits += static_cast<std::uint32_t>(n) << 23;
+    float scale;
+    std::memcpy(&scale, &bits, sizeof(scale));
+    return p * scale;
+}
+
+}  // namespace xpcore::simd::detail

@@ -8,6 +8,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "cli/commands.hpp"
 #include "measure/io.hpp"
 #include "noise/injector.hpp"
@@ -31,9 +33,13 @@ CliResult run_cli(std::vector<std::string> argv_strings) {
     return {code, out.str(), err.str()};
 }
 
-/// Writes a measurement file of f(p) = 2 + 3p with mild noise.
+/// Writes a measurement file of f(p) = 2 + 3p with mild noise. The path is
+/// per-process: ctest runs each discovered test in its own process, possibly
+/// in parallel, and a shared fixed name lets one test read another's
+/// half-written file.
 std::string write_linear_measurements() {
-    const std::string path = ::testing::TempDir() + "/xpdnn_cli_linear.txt";
+    const std::string path = ::testing::TempDir() + "/xpdnn_cli_linear_" +
+                             std::to_string(::getpid()) + ".txt";
     xpcore::Rng rng(1);
     noise::Injector injector(0.05, rng);
     measure::ExperimentSet set({"p"});

@@ -124,4 +124,26 @@ TEST(Optimizer, ZeroGradClears) {
     for (std::size_t i = 0; i < q.g.size(); ++i) EXPECT_FLOAT_EQ(q.g.data()[i], 0.0f);
 }
 
+// step() is the single owner of gradient clearing (fused into the update
+// loop — see the Optimizer class comment); callers never pair step() with
+// zero_grad(). Pin the postcondition for both implementations.
+TEST(Optimizer, StepOwnsGradientClearing) {
+    {
+        Quadratic q;
+        Sgd opt(0.1f);
+        opt.attach(q.params());
+        q.compute_grad();
+        opt.step();
+        for (std::size_t i = 0; i < q.g.size(); ++i) EXPECT_FLOAT_EQ(q.g.data()[i], 0.0f);
+    }
+    {
+        Quadratic q;
+        AdaMax opt;
+        opt.attach(q.params());
+        q.compute_grad();
+        opt.step();
+        for (std::size_t i = 0; i < q.g.size(); ++i) EXPECT_FLOAT_EQ(q.g.data()[i], 0.0f);
+    }
+}
+
 }  // namespace

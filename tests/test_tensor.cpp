@@ -89,6 +89,29 @@ TEST(Tensor, FillAndResize) {
     EXPECT_EQ(t.size(), 20u);
 }
 
+TEST(Tensor, ResizeKeepsCapacityWhenShrinking) {
+    Tensor t(8, 16);
+    const std::size_t cap = t.capacity();
+    EXPECT_GE(cap, 128u);
+
+    // Shrink: the buffer must be kept so growing back within the old
+    // capacity cannot reallocate (the workspace-reuse contract).
+    t.resize(2, 3);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.cols(), 3u);
+    EXPECT_EQ(t.size(), 6u);
+    EXPECT_EQ(t.capacity(), cap);
+
+    const float* buffer = t.data();
+    t.resize(8, 16);  // grow back within capacity: same buffer
+    EXPECT_EQ(t.capacity(), cap);
+    EXPECT_EQ(t.data(), buffer);
+
+    t.resize(32, 32);  // grow beyond capacity: must actually grow
+    EXPECT_GE(t.capacity(), 1024u);
+    EXPECT_EQ(t.size(), 1024u);
+}
+
 TEST(Tensor, GlorotUniformBounds) {
     xpcore::Rng rng(1);
     Tensor t(100, 100);

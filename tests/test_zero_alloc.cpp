@@ -1,0 +1,121 @@
+// Zero-allocation guarantees of the workspace-backed hot paths: after a
+// warm-up pass has sized every buffer, (a) further training epochs and
+// (b) further batched classify_lines_into calls must not touch the heap.
+// Enforced with a counting global operator new — the same mechanism
+// tools/bench_record.cpp uses to *measure* allocs/step.
+//
+// The guarantee holds on the serial execution path (SerialGuard): the thread
+// pool's task dispatch allocates by design, so pool-parallel runs are out of
+// scope here.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "dnn/modeler.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "xpcore/rng.hpp"
+#include "xpcore/thread_pool.hpp"
+
+namespace {
+std::atomic<long long> g_allocs{0};
+}
+
+void* operator new(std::size_t size) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+void fill_random(nn::Tensor& t, xpcore::Rng& rng) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+    }
+}
+
+TEST(ZeroAlloc, SteadyStateTrainingEpochsAllocateNothing) {
+    xpcore::SerialGuard serial;
+    xpcore::Rng rng(1);
+    nn::Network net = nn::Network::mlp({11, 64, 32, 43}, rng);
+    nn::AdaMax opt;
+    nn::Trainer trainer(net, opt, {1, 32, true});
+    nn::Dataset data;
+    const std::size_t samples = 128;
+    data.inputs.resize(samples, 11);
+    fill_random(data.inputs, rng);
+    data.labels.resize(samples);
+    for (std::size_t i = 0; i < samples; ++i) data.labels[i] = static_cast<std::int32_t>(i % 43);
+
+    xpcore::Rng train_rng(2);
+    trainer.fit(data, train_rng);  // warm-up epoch sizes the workspace
+
+    const long long before = g_allocs.load();
+    trainer.fit(data, train_rng);
+    trainer.fit(data, train_rng);
+    const long long allocations = g_allocs.load() - before;
+    EXPECT_EQ(allocations, 0) << "steady-state training epochs must not allocate";
+}
+
+TEST(ZeroAlloc, SteadyStateBatchedInferenceAllocatesNothing) {
+    xpcore::SerialGuard serial;
+    dnn::DnnConfig config;
+    config.hidden = {32, 16};
+    config.pretrain_samples_per_class = 10;
+    config.pretrain_epochs = 1;
+    dnn::DnnModeler modeler(config, /*seed=*/3);
+    modeler.pretrain();
+
+    std::vector<dnn::LineSample> lines(10);
+    for (auto& line : lines) {
+        line.xs = {8, 16, 32, 64, 128};
+        line.values = {1.0, 2.1, 4.4, 9.0, 18.5};
+    }
+    nn::Tensor probs;
+    modeler.classify_lines_into(lines, probs);  // warm-up sizes the buffers
+
+    const long long before = g_allocs.load();
+    for (int i = 0; i < 5; ++i) modeler.classify_lines_into(lines, probs);
+    const long long allocations = g_allocs.load() - before;
+    EXPECT_EQ(allocations, 0) << "steady-state batched inference must not allocate";
+
+    // A smaller batch reuses the larger buffers (resize keeps capacity).
+    const long long before_small = g_allocs.load();
+    modeler.classify_lines_into({lines.data(), 3}, probs);
+    EXPECT_EQ(g_allocs.load() - before_small, 0)
+        << "shrinking the batch must not allocate either";
+}
+
+TEST(ZeroAlloc, EvaluateAndPredictReuseTrainerWorkspace) {
+    xpcore::SerialGuard serial;
+    xpcore::Rng rng(4);
+    nn::Network net = nn::Network::mlp({11, 32, 43}, rng);
+    nn::AdaMax opt;
+    nn::Trainer trainer(net, opt, {1, 32, false});
+    nn::Dataset data;
+    data.inputs.resize(64, 11);
+    fill_random(data.inputs, rng);
+    data.labels.resize(64);
+    for (std::size_t i = 0; i < 64; ++i) data.labels[i] = static_cast<std::int32_t>(i % 43);
+
+    trainer.evaluate(data);  // warm-up
+    const long long before = g_allocs.load();
+    trainer.evaluate(data);
+    trainer.evaluate(data);
+    EXPECT_EQ(g_allocs.load() - before, 0) << "repeated evaluate() must not allocate";
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+/// \file bench_record.cpp
+/// Records the SIMD-backend performance trajectory in BENCH_nn.json:
+/// GEMM GFLOP/s scalar vs SIMD, one-epoch training time scalar vs SIMD
+/// (single-threaded, the acceptance number for the ">= 2x" criterion),
+/// and heap allocations per steady-state training step / batched inference
+/// call (counted with an interposed global operator new).
+///
+/// Options:
+///   --json=FILE   output path (default BENCH_nn.json)
+///   --samples=N   training-set size for the epoch measurement (default 2048)
+///   --epochs=K    measured epochs per variant (default 3, best-of)
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "dnn/modeler.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "xpcore/cli.hpp"
+#include "xpcore/rng.hpp"
+#include "xpcore/simd.hpp"
+#include "xpcore/thread_pool.hpp"
+#include "xpcore/timer.hpp"
+
+// ---- allocation counting ---------------------------------------------------
+// Interpose the global allocator so allocs/step can be *measured*, not
+// asserted. tests/test_zero_alloc.cpp is the enforcing twin of this tool.
+
+namespace {
+std::atomic<long long> g_allocs{0};
+}
+
+void* operator new(std::size_t size) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using xpcore::simd::Level;
+
+void fill_random(nn::Tensor& t, xpcore::Rng& rng) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+    }
+}
+
+double gemm_gflops(Level level, std::size_t m, std::size_t k, std::size_t n) {
+    xpcore::simd::LevelGuard guard(level);
+    xpcore::SerialGuard serial;
+    xpcore::Rng rng(m + k + n);
+    nn::Tensor a(m, k), b(k, n), c(m, n);
+    fill_random(a, rng);
+    fill_random(b, rng);
+    nn::gemm_nn(a, b, c);  // warm-up
+    const std::size_t flops = 2 * m * k * n;
+    const std::size_t iters =
+        std::max<std::size_t>(3, (std::size_t{1} << 29) / std::max<std::size_t>(1, flops));
+    xpcore::WallTimer timer;
+    for (std::size_t i = 0; i < iters; ++i) nn::gemm_nn(a, b, c);
+    const double seconds = timer.seconds();
+    return seconds > 0
+               ? static_cast<double>(flops) * static_cast<double>(iters) / seconds / 1e9
+               : 0.0;
+}
+
+/// Best-of-K single-threaded epoch time over the micro_nn training problem.
+double epoch_seconds(Level level, std::size_t samples, std::size_t epochs) {
+    xpcore::simd::LevelGuard guard(level);
+    xpcore::SerialGuard serial;
+    xpcore::Rng rng(14);
+    nn::Network net = nn::Network::mlp({11, 256, 128, 64, 43}, rng);
+    nn::AdaMax opt;
+    nn::Trainer trainer(net, opt, {1, 128, true});
+    nn::Dataset data;
+    data.inputs.resize(samples, 11);
+    fill_random(data.inputs, rng);
+    data.labels.resize(samples);
+    for (std::size_t i = 0; i < samples; ++i) data.labels[i] = static_cast<std::int32_t>(i % 43);
+    xpcore::Rng train_rng(15);
+    trainer.fit(data, train_rng);  // warm-up: sizes the workspace
+    double best = 1e30;
+    for (std::size_t e = 0; e < epochs; ++e) {
+        xpcore::WallTimer timer;
+        trainer.fit(data, train_rng);
+        best = std::min(best, timer.seconds());
+    }
+    return best;
+}
+
+/// Heap allocations of one steady-state training step (after warm-up).
+long long train_step_allocs() {
+    xpcore::SerialGuard serial;
+    xpcore::Rng rng(16);
+    nn::Network net = nn::Network::mlp({11, 256, 128, 64, 43}, rng);
+    nn::AdaMax opt;
+    nn::Trainer trainer(net, opt, {1, 128, false});
+    nn::Dataset data;
+    data.inputs.resize(256, 11);
+    fill_random(data.inputs, rng);
+    data.labels.resize(256);
+    for (std::size_t i = 0; i < 256; ++i) data.labels[i] = static_cast<std::int32_t>(i % 43);
+    xpcore::Rng train_rng(17);
+    trainer.fit(data, train_rng);  // warm-up epoch sizes all buffers
+    const long long before = g_allocs.load();
+    trainer.fit(data, train_rng);
+    return g_allocs.load() - before;
+}
+
+/// Heap allocations of one steady-state batched classify call (after warm-up).
+long long classify_allocs() {
+    xpcore::SerialGuard serial;
+    dnn::DnnConfig config;
+    config.hidden = {64, 32};
+    config.pretrain_samples_per_class = 20;
+    config.pretrain_epochs = 1;
+    dnn::DnnModeler modeler(config, 1);
+    modeler.pretrain();
+    std::vector<dnn::LineSample> lines(8);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        lines[i].xs = {8, 16, 32, 64, 128};
+        lines[i].values = {1.0, 2.1, 4.4, 9.0, 18.5};
+    }
+    nn::Tensor probs;
+    modeler.classify_lines_into(lines, probs);  // warm-up
+    const long long before = g_allocs.load();
+    modeler.classify_lines_into(lines, probs);
+    return g_allocs.load() - before;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const xpcore::CliArgs args(argc, argv);
+    const std::string json_path = args.get("json", "BENCH_nn.json");
+    const auto samples = static_cast<std::size_t>(args.get_int("samples", 2048));
+    const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 3));
+
+    const bool have_simd = xpcore::simd::max_level() >= Level::Avx2;
+    struct Shape {
+        const char* name;
+        std::size_t m, k, n;
+    };
+    // Forward pass of the reduced profile (batch 128) and a square stress shape.
+    const Shape shapes[] = {{"fwd_128x256x128", 128, 256, 128}, {"square_512", 512, 512, 512}};
+
+    std::printf("== bench_record: scalar vs %s ==\n",
+                xpcore::simd::level_name(xpcore::simd::max_level()));
+    std::string gemm_json;
+    for (const auto& s : shapes) {
+        const double scalar = gemm_gflops(Level::Scalar, s.m, s.k, s.n);
+        const double simd = have_simd ? gemm_gflops(Level::Avx2, s.m, s.k, s.n) : 0.0;
+        std::printf("gemm %-16s  scalar %7.2f GF/s   simd %7.2f GF/s\n", s.name, scalar, simd);
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"kernel\": \"%s\", \"m\": %zu, \"k\": %zu, \"n\": %zu, "
+                      "\"gflops_scalar\": %.3f, \"gflops_simd\": %.3f},\n",
+                      s.name, s.m, s.k, s.n, scalar, simd);
+        gemm_json += buf;
+    }
+    if (!gemm_json.empty()) gemm_json.erase(gemm_json.size() - 2, 1);  // drop trailing comma
+
+    const double scalar_epoch = epoch_seconds(Level::Scalar, samples, epochs);
+    const double simd_epoch = have_simd ? epoch_seconds(Level::Avx2, samples, epochs) : 0.0;
+    const double speedup = (have_simd && simd_epoch > 0) ? scalar_epoch / simd_epoch : 0.0;
+    std::printf("epoch (%zu samples, 1 thread)  scalar %.4fs   simd %.4fs   speedup %.2fx\n",
+                samples, scalar_epoch, simd_epoch, speedup);
+
+    const long long step_allocs = train_step_allocs();
+    const long long infer_allocs = classify_allocs();
+    std::printf("steady-state allocs: train epoch %lld, classify_lines %lld\n", step_allocs,
+                infer_allocs);
+
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"simd_max\": \"" << xpcore::simd::level_name(xpcore::simd::max_level())
+        << "\",\n  \"gemm\": [\n"
+        << gemm_json << "  ],\n"
+        << "  \"epoch\": {\"samples\": " << samples
+        << ", \"batch\": 128, \"net\": [11, 256, 128, 64, 43], \"threads\": 1"
+        << ", \"seconds_scalar\": " << scalar_epoch << ", \"seconds_simd\": " << simd_epoch
+        << ", \"speedup\": " << speedup << "},\n"
+        << "  \"allocs\": {\"steady_train_epoch\": " << step_allocs
+        << ", \"steady_classify_lines\": " << infer_allocs << "}\n"
+        << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+
+    // Gate: the SIMD epoch must be >= 2x faster than scalar (when available)
+    // and the steady-state paths must be allocation-free.
+    bool ok = step_allocs == 0 && infer_allocs == 0;
+    if (have_simd && speedup < 2.0) ok = false;
+    if (!ok) std::fprintf(stderr, "bench_record: acceptance gate FAILED\n");
+    return ok ? 0 : 1;
+}
