@@ -9,8 +9,8 @@
 
 #include <cstdio>
 
-#include "dnn/cache.hpp"
 #include "eval/runner.hpp"
+#include "modeling/session.hpp"
 #include "xpcore/cli.hpp"
 #include "xpcore/table.hpp"
 
@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
 
     std::printf("== Ablation: adaptive switching threshold (m = %zu) ==\n\n", parameters);
 
-    dnn::DnnModeler modeler(dnn::DnnConfig::fast(), 7);
-    dnn::ensure_pretrained(modeler, 7);
+    modeling::Session session(modeling::Options{});
+    session.classifier();  // materialize once; each sweep restores this state
 
     xpcore::Table table({"threshold", "noise %", "acc<=1/2 reg", "acc<=1/2 ada", "P4+ reg %",
                          "P4+ ada %"});
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
         config.thresholds.two_parameters = threshold;
         config.thresholds.three_or_more = threshold;
 
-        const auto cells = eval::run_synthetic_evaluation(modeler, config);
+        const auto cells = eval::run_synthetic_evaluation(session, config);
         for (const auto& cell : cells) {
             table.add_row({xpcore::Table::num(threshold, 2),
                            xpcore::Table::num(cell.noise * 100, 0),

@@ -12,18 +12,15 @@
 #include <cmath>
 #include <cstdio>
 
-#include "adaptive/modeler.hpp"
 #include "casestudy/casestudy.hpp"
-#include "dnn/cache.hpp"
 #include "eval/runner.hpp"
 #include "measure/sequences.hpp"
+#include "modeling/session.hpp"
 #include "noise/estimator.hpp"
 #include "noise/injector.hpp"
-#include "regression/modeler.hpp"
 #include "xpcore/cli.hpp"
 #include "xpcore/metrics.hpp"
 #include "xpcore/stats.hpp"
-#include "xpcore/timer.hpp"
 
 namespace {
 
@@ -49,8 +46,8 @@ int main(int argc, char** argv) {
 
     std::printf("== claims check: qualitative reproduction targets ==\n\n");
 
-    dnn::DnnModeler classifier(dnn::DnnConfig::fast(), 7);
-    dnn::ensure_pretrained(classifier, 7);
+    modeling::Session session(modeling::Options{});
+    session.classifier();
 
     // ---- Fig. 3, m = 1 ----
     {
@@ -59,7 +56,7 @@ int main(int argc, char** argv) {
         config.noise_levels = {0.02, 0.10, 0.75, 1.00};
         config.functions_per_cell = functions;
         config.seed = seed + 1;
-        auto cells = eval::run_synthetic_evaluation(classifier, config);
+        auto cells = eval::run_synthetic_evaluation(session, config);
 
         // Pool the two high-noise cells: single-seed 30-task cells are too
         // small to pin down the gain margin, the pooled direction is stable.
@@ -132,8 +129,6 @@ int main(int argc, char** argv) {
     // ---- Fig. 4 / Fig. 5: case studies ----
     {
         xpcore::Rng rng(seed + 3);
-        regression::RegressionModeler baseline;
-        adaptive::AdaptiveModeler adaptive_modeler(classifier, {});
 
         double gains[3] = {0, 0, 0};
         std::size_t index = 0;
@@ -143,9 +138,12 @@ int main(int argc, char** argv) {
                 const auto set = study.generate_modeling(*kernel, rng);
                 const double truth = kernel->truth.evaluate(study.evaluation_point);
                 reg_errors.push_back(xpcore::relative_error_pct(
-                    baseline.model(set).model.evaluate(study.evaluation_point), truth));
+                    session.run("regression", set).selected.model.evaluate(
+                        study.evaluation_point),
+                    truth));
                 ada_errors.push_back(xpcore::relative_error_pct(
-                    adaptive_modeler.model(set).result.model.evaluate(study.evaluation_point),
+                    session.run("adaptive", set).selected.model.evaluate(
+                        study.evaluation_point),
                     truth));
             }
             gains[index] = xpcore::median(reg_errors) - xpcore::median(ada_errors);
@@ -177,16 +175,14 @@ int main(int argc, char** argv) {
         xpcore::Rng rng(seed + 5);
         const auto study = casestudy::relearn();
         const auto set = study.generate_modeling(study.kernels.front(), rng);
-        regression::RegressionModeler baseline;
-        adaptive::AdaptiveModeler adaptive_modeler(classifier, {});
 
-        xpcore::WallTimer reg_timer;
-        (void)baseline.model(set);
-        const double reg_seconds = reg_timer.seconds();
-        const auto outcome = adaptive_modeler.model(set);
-        check(outcome.dnn_seconds > reg_seconds * 5.0,
+        // Timings read straight from the Reports, not re-measured.
+        const double reg_seconds =
+            session.run("regression", set).timings.regression_seconds;
+        const double dnn_seconds = session.run("adaptive", set).timings.dnn_seconds;
+        check(dnn_seconds > reg_seconds * 5.0,
               "fig6: adaptive path >= 5x slower than regression (retraining dominates)",
-              std::to_string(outcome.dnn_seconds) + "s vs " + std::to_string(reg_seconds) + "s");
+              std::to_string(dnn_seconds) + "s vs " + std::to_string(reg_seconds) + "s");
     }
 
     std::printf("\n%s (%d failing claim%s)\n", failures == 0 ? "ALL CLAIMS PASS" : "CLAIMS FAILED",

@@ -11,8 +11,11 @@
 #include <fstream>
 #include <string>
 
+#include <filesystem>
+
 #include "dnn/cache.hpp"
 #include "eval/runner.hpp"
+#include "modeling/session.hpp"
 #include "xpcore/cli.hpp"
 #include "xpcore/rng.hpp"
 #include "xpcore/stats.hpp"
@@ -42,7 +45,7 @@ void append_csv(const std::string& path, std::size_t parameters,
     }
 }
 
-void run_for_parameters(dnn::DnnModeler& modeler, std::size_t parameters,
+void run_for_parameters(modeling::Session& session, std::size_t parameters,
                         std::size_t functions, std::uint64_t seed,
                         const std::string& csv_path) {
     eval::EvalConfig config;
@@ -51,7 +54,7 @@ void run_for_parameters(dnn::DnnModeler& modeler, std::size_t parameters,
     config.seed = seed + parameters;
 
     xpcore::WallTimer timer;
-    const auto cells = eval::run_synthetic_evaluation(modeler, config);
+    const auto cells = eval::run_synthetic_evaluation(session, config);
 
     std::printf("\nFig. 3(%c): model accuracy, %zu parameter%s (%zu functions/cell, %.1fs)\n",
                 static_cast<char>('a' + parameters - 1), parameters, parameters > 1 ? "s" : "",
@@ -91,16 +94,20 @@ int main(int argc, char** argv) {
     std::printf("paper expectation: both >90%% correct for n <= 10%%; adaptive wins for\n");
     std::printf("n >= 20%%, up to +22pp (m=1), +25pp (m=2) at n = 100%% for d <= 1/4.\n");
 
-    dnn::DnnConfig net_config = paper_scale ? dnn::DnnConfig::paper() : dnn::DnnConfig::fast();
-    dnn::DnnModeler modeler(net_config, 7);
+    modeling::Options options;
+    options.net_profile = paper_scale ? "paper" : "fast";
+    options.net = modeling::Options::profile(options.net_profile);
+    modeling::Session session(options);
     xpcore::WallTimer pretrain_timer;
-    const bool cached = dnn::ensure_pretrained(modeler, 7);
+    const bool cached = std::filesystem::exists(
+        dnn::pretrained_cache_path(options.net, options.seed));
+    session.classifier();
     std::printf("pretrained network: %s (%.1fs)\n", cached ? "loaded from cache" : "trained",
                 pretrain_timer.seconds());
 
     const std::string csv_path = args.get("csv", "");
     if (args.has("params")) {
-        run_for_parameters(modeler, static_cast<std::size_t>(args.get_int("params", 1)),
+        run_for_parameters(session, static_cast<std::size_t>(args.get_int("params", 1)),
                            functions, seed, csv_path);
     } else {
         for (std::size_t m = 1; m <= 3; ++m) {
@@ -108,7 +115,7 @@ int main(int argc, char** argv) {
             const std::size_t cell_functions = (m == 3 && !args.has("functions") && !paper_scale)
                                                    ? functions / 2
                                                    : functions;
-            run_for_parameters(modeler, m, cell_functions, seed, csv_path);
+            run_for_parameters(session, m, cell_functions, seed, csv_path);
         }
     }
     return 0;

@@ -10,8 +10,11 @@
 #include <fstream>
 #include <string>
 
+#include <filesystem>
+
 #include "dnn/cache.hpp"
 #include "eval/runner.hpp"
+#include "modeling/session.hpp"
 #include "xpcore/cli.hpp"
 #include "xpcore/rng.hpp"
 #include "xpcore/stats.hpp"
@@ -40,7 +43,7 @@ void append_csv(const std::string& path, std::size_t parameters,
     }
 }
 
-void run_for_parameters(dnn::DnnModeler& modeler, std::size_t parameters,
+void run_for_parameters(modeling::Session& session, std::size_t parameters,
                         std::size_t functions, std::uint64_t seed,
                         const std::string& csv_path) {
     eval::EvalConfig config;
@@ -49,7 +52,7 @@ void run_for_parameters(dnn::DnnModeler& modeler, std::size_t parameters,
     config.seed = seed + parameters;
 
     xpcore::WallTimer timer;
-    const auto cells = eval::run_synthetic_evaluation(modeler, config);
+    const auto cells = eval::run_synthetic_evaluation(session, config);
 
     std::printf("\nFig. 3(%c): median relative error %% at P+_1..P+_4, %zu parameter%s "
                 "(%zu functions/cell, %.1fs)\n",
@@ -87,21 +90,25 @@ int main(int argc, char** argv) {
     std::printf("paper expectation: errors < 2%% at low noise; the adaptive modeler roughly\n");
     std::printf("halves the P4+ error at high noise (e.g. m=2, n=100%%: 54.6%% -> 28.1%%).\n");
 
-    dnn::DnnConfig net_config = paper_scale ? dnn::DnnConfig::paper() : dnn::DnnConfig::fast();
-    dnn::DnnModeler modeler(net_config, 7);
-    const bool cached = dnn::ensure_pretrained(modeler, 7);
+    modeling::Options options;
+    options.net_profile = paper_scale ? "paper" : "fast";
+    options.net = modeling::Options::profile(options.net_profile);
+    modeling::Session session(options);
+    const bool cached = std::filesystem::exists(
+        dnn::pretrained_cache_path(options.net, options.seed));
+    session.classifier();
     std::printf("pretrained network: %s\n", cached ? "loaded from cache" : "trained");
 
     const std::string csv_path = args.get("csv", "");
     if (args.has("params")) {
-        run_for_parameters(modeler, static_cast<std::size_t>(args.get_int("params", 1)),
+        run_for_parameters(session, static_cast<std::size_t>(args.get_int("params", 1)),
                            functions, seed, csv_path);
     } else {
         for (std::size_t m = 1; m <= 3; ++m) {
             const std::size_t cell_functions = (m == 3 && !args.has("functions") && !paper_scale)
                                                    ? functions / 2
                                                    : functions;
-            run_for_parameters(modeler, m, cell_functions, seed, csv_path);
+            run_for_parameters(session, m, cell_functions, seed, csv_path);
         }
     }
     return 0;

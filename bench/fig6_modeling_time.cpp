@@ -5,20 +5,19 @@
 /// adaptive modeler is ~54-65x slower because it retrains the DNN per
 /// modeling task (domain adaptation), and that dominates all other costs.
 ///
+/// All timings are read from the modeling Reports the session produces,
+/// not re-measured around the calls.
+///
 /// Options: --seed=S, --paper-scale.
 
 #include <cstdio>
 
-#include "adaptive/batch.hpp"
-#include "adaptive/modeler.hpp"
 #include "casestudy/casestudy.hpp"
-#include "dnn/cache.hpp"
-#include "regression/modeler.hpp"
+#include "modeling/session.hpp"
 #include "xpcore/cli.hpp"
 #include "xpcore/rng.hpp"
 #include "xpcore/table.hpp"
 #include "xpcore/thread_pool.hpp"
-#include "xpcore/timer.hpp"
 
 int main(int argc, char** argv) {
     const xpcore::CliArgs args(argc, argv);
@@ -27,12 +26,11 @@ int main(int argc, char** argv) {
 
     std::printf("== Fig. 6: modeling time, regression vs. adaptive ==\n\n");
 
-    dnn::DnnConfig net_config = paper_scale ? dnn::DnnConfig::paper() : dnn::DnnConfig::fast();
-    dnn::DnnModeler classifier(net_config, 7);
-    dnn::ensure_pretrained(classifier, 7);
-
-    regression::RegressionModeler baseline;
-    adaptive::AdaptiveModeler adaptive_modeler(classifier, {});
+    modeling::Options options;
+    options.net_profile = paper_scale ? "paper" : "fast";
+    options.net = modeling::Options::profile(options.net_profile);
+    modeling::Session session(options);
+    session.classifier();  // materialize up front so timings exclude pretraining
 
     xpcore::Table table({"application", "kernels", "regression s", "adaptive s", "ratio",
                          "paper ratio"});
@@ -46,15 +44,12 @@ int main(int argc, char** argv) {
         for (const auto* kernel : kernels) {
             const auto experiments = study.generate_modeling(*kernel, rng);
 
-            xpcore::WallTimer regression_timer;
-            (void)baseline.model(experiments);
-            regression_seconds += regression_timer.seconds();
+            regression_seconds +=
+                session.run("regression", experiments).timings.total_seconds;
 
             // The adaptive path re-runs domain adaptation per kernel, just
             // like the paper's per-kernel modeling workflow.
-            xpcore::WallTimer adaptive_timer;
-            (void)adaptive_modeler.model(experiments);
-            adaptive_seconds += adaptive_timer.seconds();
+            adaptive_seconds += session.run("adaptive", experiments).timings.total_seconds;
         }
         const double ratio = regression_seconds > 0 ? adaptive_seconds / regression_seconds : 0;
         table.add_row({study.application, std::to_string(kernels.size()),
@@ -69,33 +64,27 @@ int main(int argc, char** argv) {
                 "(paper: Kripke 61.99s total, RELeARN 85.66s on their hardware)\n");
 
     // Extension: batch modeling clusters kernels by noise level and adapts
-    // once per cluster instead of once per kernel (adaptive/batch.hpp).
-    std::printf("\n-- extension: amortized adaptation via adaptive::BatchModeler --\n\n");
+    // once per cluster instead of once per kernel (Session::run_batch).
+    std::printf("\n-- extension: amortized adaptation via Session::run_batch --\n\n");
     xpcore::Table batch_table(
         {"application", "kernels", "adaptations", "batch s", "per-kernel s", "saving"});
     xpcore::Rng batch_rng(seed);
     for (const auto& study : casestudy::all_case_studies()) {
-        std::vector<adaptive::BatchTask> tasks;
+        std::vector<modeling::Session::Task> tasks;
         for (const auto* kernel : study.relevant_kernels()) {
             tasks.push_back({kernel->name, study.generate_modeling(*kernel, batch_rng)});
         }
-        adaptive::BatchModeler batch(classifier, {});
-        xpcore::WallTimer batch_timer;
-        (void)batch.model(tasks);
-        const double batch_seconds = batch_timer.seconds();
-
-        adaptive::BatchModeler::Config per_kernel_config;
-        per_kernel_config.group_tolerance = 0.0;  // the paper's one-per-kernel behavior
-        adaptive::BatchModeler per_kernel(classifier, per_kernel_config);
-        xpcore::WallTimer per_kernel_timer;
-        (void)per_kernel.model(tasks);
-        const double per_kernel_seconds = per_kernel_timer.seconds();
+        const auto batch = session.run_batch(tasks);
+        // 0 tolerance = the paper's one-adaptation-per-kernel behavior.
+        const auto per_kernel = session.run_batch(tasks, 0.0);
 
         batch_table.add_row(
             {study.application, std::to_string(tasks.size()),
-             std::to_string(batch.adaptations_performed()),
-             xpcore::Table::num(batch_seconds, 2), xpcore::Table::num(per_kernel_seconds, 2),
-             xpcore::Table::num((1.0 - batch_seconds / per_kernel_seconds) * 100, 0) + "%"});
+             std::to_string(batch.adaptations), xpcore::Table::num(batch.total_seconds, 2),
+             xpcore::Table::num(per_kernel.total_seconds, 2),
+             xpcore::Table::num((1.0 - batch.total_seconds / per_kernel.total_seconds) * 100,
+                                0) +
+                 "%"});
     }
     batch_table.print();
 
@@ -112,17 +101,13 @@ int main(int argc, char** argv) {
             xpcore::SerialGuard guard;
             for (const auto* kernel : study.relevant_kernels()) {
                 const auto experiments = study.generate_modeling(*kernel, serial_rng);
-                xpcore::WallTimer timer;
-                (void)adaptive_modeler.model(experiments);
-                serial_seconds += timer.seconds();
+                serial_seconds += session.run("adaptive", experiments).timings.total_seconds;
             }
         }
         double parallel_seconds = 0.0;
         for (const auto* kernel : study.relevant_kernels()) {
             const auto experiments = study.generate_modeling(*kernel, parallel_rng);
-            xpcore::WallTimer timer;
-            (void)adaptive_modeler.model(experiments);
-            parallel_seconds += timer.seconds();
+            parallel_seconds += session.run("adaptive", experiments).timings.total_seconds;
         }
         thread_table.add_row(
             {study.application, xpcore::Table::num(serial_seconds, 2),

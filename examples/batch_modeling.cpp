@@ -1,48 +1,40 @@
 /// \file batch_modeling.cpp
 /// Models all performance-relevant kernels of the simulated Kripke campaign
-/// in one batch. The batch modeler clusters kernels by their estimated
+/// in one batch. Session::run_batch clusters kernels by their estimated
 /// noise level and runs domain adaptation once per cluster instead of once
 /// per kernel — the same models as the paper's per-kernel workflow at a
-/// fraction of the retraining cost (an extension; see adaptive/batch.hpp).
+/// fraction of the retraining cost (an extension; see modeling/session.hpp).
 
 #include <cstdio>
 
-#include "adaptive/batch.hpp"
 #include "casestudy/casestudy.hpp"
-#include "dnn/cache.hpp"
+#include "modeling/session.hpp"
 #include "xpcore/rng.hpp"
 #include "xpcore/table.hpp"
-#include "xpcore/timer.hpp"
 
 int main() {
     std::printf("== batch modeling of the Kripke kernels ==\n\n");
     const casestudy::CaseStudy study = casestudy::kripke();
     xpcore::Rng rng(2021);
 
-    std::vector<adaptive::BatchTask> tasks;
+    std::vector<modeling::Session::Task> tasks;
     for (const auto* kernel : study.relevant_kernels()) {
         tasks.push_back({kernel->name, study.generate_modeling(*kernel, rng)});
     }
 
-    dnn::DnnModeler classifier(dnn::DnnConfig::fast(), 7);
-    dnn::ensure_pretrained(classifier, 7);
-
-    adaptive::BatchModeler batch(classifier, {});
-    xpcore::WallTimer timer;
-    const auto results = batch.model(tasks);
-    const double seconds = timer.seconds();
+    modeling::Session session(modeling::Options{});
+    const auto batch = session.run_batch(tasks);
 
     xpcore::Table table({"kernel", "cluster", "noise %", "path", "model"});
-    for (const auto& result : results) {
-        table.add_row({result.name, std::to_string(result.cluster),
-                       xpcore::Table::num(result.outcome.estimated_noise * 100, 1),
-                       result.outcome.winner,
-                       result.outcome.result.model.to_string(study.parameters)});
+    for (const auto& report : batch.reports) {
+        table.add_row({report.task, std::to_string(report.cluster),
+                       xpcore::Table::num(report.noise.estimate * 100, 1), report.winner,
+                       report.selected.model.to_string(study.parameters)});
     }
     table.print();
-    std::printf("\n%zu kernels modeled with %zu adaptation(s) in %.2fs\n", results.size(),
-                batch.adaptations_performed(), seconds);
+    std::printf("\n%zu kernels modeled with %zu adaptation(s) in %.2fs\n",
+                batch.reports.size(), batch.adaptations, batch.total_seconds);
     std::printf("(the paper's workflow retrains once per kernel: %zu adaptations)\n",
-                results.size());
+                batch.reports.size());
     return 0;
 }

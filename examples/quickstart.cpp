@@ -2,22 +2,21 @@
 /// Minimal end-to-end tour of the library:
 ///   1. collect (or here: synthesize) noisy performance measurements,
 ///   2. estimate the noise level with the rrd heuristic,
-///   3. model with the regression baseline and with the adaptive modeler,
+///   3. model through a modeling::Session — the regression baseline and
+///      the adaptive modeler, both behind the same Report interface,
 ///   4. compare the models and their extrapolation.
 ///
 /// The "application" is a fictitious stencil solver whose runtime behaves
 /// like f(p) = 4 + 0.08 * p * log2(p) for p processes; measurements carry
 /// 40% noise, which is where regression models start to derail.
 
+#include <cmath>
 #include <cstdio>
 
-#include "adaptive/modeler.hpp"
-#include "dnn/cache.hpp"
-#include "dnn/modeler.hpp"
 #include "measure/experiment.hpp"
+#include "modeling/session.hpp"
 #include "noise/estimator.hpp"
 #include "noise/injector.hpp"
-#include "regression/modeler.hpp"
 #include "xpcore/rng.hpp"
 
 namespace {
@@ -41,29 +40,29 @@ int main() {
     const double estimated = noise::estimate_noise(experiments);
     std::printf("estimated noise level: %.1f%% (injected: 40%%)\n\n", estimated * 100.0);
 
-    // --- 3a. Regression baseline (Extra-P). ---
-    regression::RegressionModeler baseline;
-    const auto regression_result = baseline.model(experiments);
-    std::printf("regression model: %s\n",
-                regression_result.model.to_string(experiments.parameter_names()).c_str());
+    // --- 3. One Session owns the expensive shared state (the pretrained
+    // classifier, cached on disk after the first run) and dispatches to any
+    // registered modeler by name. Every path returns the same Report type,
+    // and the session restores the pretrained state after each task, so
+    // results never depend on what ran before. ---
+    modeling::Session session{modeling::Options{}};
 
-    // --- 3b. Adaptive modeler: pretrained DNN + domain adaptation. ---
-    dnn::DnnModeler classifier(dnn::DnnConfig::fast(), /*seed=*/7);
-    dnn::ensure_pretrained(classifier, /*seed=*/7);  // cached on disk after the first run
-    adaptive::AdaptiveModeler adaptive_modeler(classifier, {});
-    const auto adaptive_result = adaptive_modeler.model(experiments);
-    std::printf("adaptive model:   %s\n", adaptive_result.result.model
-                                              .to_string(experiments.parameter_names())
-                                              .c_str());
+    const auto regression = session.run("regression", experiments);
+    std::printf("regression model: %s\n",
+                regression.selected.model.to_string(experiments.parameter_names()).c_str());
+
+    const auto adaptive = session.run("adaptive", experiments);
+    std::printf("adaptive model:   %s\n",
+                adaptive.selected.model.to_string(experiments.parameter_names()).c_str());
     std::printf("adaptive path:    %s (noise %.1f%%, regression %s)\n\n",
-                adaptive_result.winner.c_str(), adaptive_result.estimated_noise * 100.0,
-                adaptive_result.used_regression ? "competed" : "switched off");
+                adaptive.winner.c_str(), adaptive.noise.estimate * 100.0,
+                adaptive.used_regression ? "competed" : "switched off");
 
     // --- 4. Compare extrapolation at p = 4096, far outside the data. ---
     const double p_big = 4096.0;
     const double truth = true_runtime(p_big);
-    const double reg = regression_result.model.evaluate({{p_big}});
-    const double ada = adaptive_result.result.model.evaluate({{p_big}});
+    const double reg = regression.selected.model.evaluate({{p_big}});
+    const double ada = adaptive.selected.model.evaluate({{p_big}});
     std::printf("extrapolation to p = %.0f:\n", p_big);
     std::printf("  truth:      %10.2f s\n", truth);
     std::printf("  regression: %10.2f s (%+.1f%%)\n", reg, (reg - truth) / truth * 100.0);

@@ -7,18 +7,14 @@
 #include <string>
 #include <vector>
 
-#include "adaptive/batch.hpp"
-#include "adaptive/modeler.hpp"
 #include "casestudy/casestudy.hpp"
 #include "measure/archive.hpp"
-#include "dnn/cache.hpp"
-#include "dnn/ensemble.hpp"
-#include "dnn/modeler.hpp"
-#include "measure/aggregation.hpp"
 #include "measure/io.hpp"
+#include "modeling/modeler.hpp"
+#include "modeling/report.hpp"
+#include "modeling/session.hpp"
 #include "noise/estimator.hpp"
 #include "pmnf/serialize.hpp"
-#include "regression/modeler.hpp"
 #include "xpcore/cli.hpp"
 #include "xpcore/rng.hpp"
 #include "xpcore/table.hpp"
@@ -30,14 +26,17 @@ namespace {
 constexpr const char* kUsage = R"(xpdnn - noise-resilient empirical performance modeling
 
 usage:
-  xpdnn model <measurements.txt> [--modeler=adaptive|regression|dnn]
+  xpdnn model <measurements.txt> [--modeler=adaptive|regression|dnn|...]
         [--aggregation=median|mean|minimum] [--alternatives=N]
-        [--eval=x1,x2,...] [--json] [--net=tiny|fast|paper] [--seed=S]
+        [--eval=x1,x2,...] [--json] [--report=json] [--net=tiny|fast|paper]
+        [--seed=S]
         [--ensemble=N]   (dnn modeler only: N-member committee)
         [--simplify]     (drop terms irrelevant at the largest point)
   xpdnn model-all <archive.txt> [--group-tolerance=T] [--net=...] [--seed=S]
-  xpdnn noise <measurements.txt>
-  xpdnn predict <model.json> x1 [x2 ...]
+        [--report=json]
+  xpdnn modelers       (list the registered modeling paths)
+  xpdnn noise <measurements.txt> [--report=json]
+  xpdnn predict <model.json|report.json> x1 [x2 ...]
   xpdnn simulate <kripke|fastest|relearn> [kernel] --out=<file> [--seed=S]
         [--all-kernels]   (emit a multi-kernel archive for model-all)
   xpdnn help
@@ -46,20 +45,6 @@ measurement file format (see measure/io.hpp):
   params: p n
   8 1024 : 1.23 1.25 1.22
 )";
-
-dnn::DnnConfig net_profile(const std::string& name) {
-    if (name == "paper") return dnn::DnnConfig::paper();
-    if (name == "fast") return dnn::DnnConfig::fast();
-    if (name == "tiny") {
-        dnn::DnnConfig config;
-        config.hidden = {96, 48};
-        config.pretrain_samples_per_class = 250;
-        config.pretrain_epochs = 3;
-        config.adapt_samples_per_class = 120;
-        return config;
-    }
-    throw std::invalid_argument("unknown --net profile '" + name + "'");
-}
 
 std::vector<double> parse_point(const std::string& spec) {
     std::vector<double> point;
@@ -75,7 +60,7 @@ std::vector<double> parse_point(const std::string& spec) {
     return point;
 }
 
-void print_result(const regression::ModelResult& result, const measure::ExperimentSet& set,
+void print_result(const modeling::ReportEntry& result, const measure::ExperimentSet& set,
                   const char* label, bool as_json, bool simplify, std::ostream& out) {
     pmnf::Model model = result.model;
     if (simplify && !set.empty()) {
@@ -115,85 +100,60 @@ int cmd_model(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err)
     auto loaded = measure::try_load_text_file(args.positionals()[1]);
     if (!loaded.ok()) return report_load_failure(loaded, "model", err);
     const auto set = std::move(*loaded.set);
-    const auto aggregation =
-        measure::aggregation_from_string(args.get("aggregation", "median"));
-    const std::string modeler_name = args.get("modeler", "adaptive");
+
+    std::string modeler_name = args.get("modeler", "adaptive");
+    if (!modeling::is_registered(modeler_name)) {
+        err << "xpdnn model: unknown --modeler '" << modeler_name << "'\n";
+        return 1;
+    }
     const auto alternatives = static_cast<std::size_t>(args.get_int("alternatives", 0));
     const bool as_json = args.get_bool("json", false);
+    const bool as_report = args.get("report", "") == "json";
     const bool simplify = args.get_bool("simplify", false);
-    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
 
-    if (!as_json) {
+    modeling::Session session(modeling::Options::from_args(args));
+    // An N-member committee is its own registered path; `--modeler=dnn
+    // --ensemble=N` is the backward-compatible spelling.
+    if (modeler_name == "dnn" && session.options().ensemble_members > 1) {
+        modeler_name = "ensemble";
+    }
+
+    if (!as_json && !as_report) {
         out << "measurements: " << set.size() << " points, "
             << set.parameter_count() << " parameter(s)\n";
         out << "estimated noise: " << xpcore::Table::num(noise::estimate_noise(set) * 100, 1)
             << "%\n";
     }
 
-    regression::RegressionModeler::Config regression_config;
-    regression_config.aggregation = aggregation;
+    modeling::Context context;
+    context.alternatives = alternatives;
+    const modeling::Report report = session.run(modeler_name, set, context);
 
-    regression::ModelResult best;
-    if (modeler_name == "regression") {
-        const regression::RegressionModeler modeler(regression_config);
-        best = modeler.model(set);
-        print_result(best, set, "model", as_json, simplify, out);
-        if (alternatives > 0) {
-            const auto ranked = modeler.model_alternatives(set, alternatives + 1);
-            for (std::size_t i = 1; i < ranked.size(); ++i) {
-                print_result(ranked[i], set, "alternative", as_json, simplify, out);
-            }
+    if (as_report) {
+        out << modeling::to_json(report) << "\n";
+    } else if (report.has_model) {
+        print_result(report.selected, set, "model", as_json, simplify, out);
+        for (const auto& alternative : report.alternatives) {
+            print_result(alternative, set, "alternative", as_json, simplify, out);
         }
-    } else if (modeler_name == "dnn" || modeler_name == "adaptive") {
-        dnn::DnnConfig net_config = net_profile(args.get("net", "fast"));
-        net_config.aggregation = aggregation;
-        dnn::DnnModeler classifier(net_config, seed);
-        dnn::ensure_pretrained(classifier, seed);
-
-        if (modeler_name == "dnn") {
-            const auto ensemble_size = static_cast<std::size_t>(args.get_int("ensemble", 1));
-            if (ensemble_size > 1) {
-                dnn::EnsembleModeler ensemble(net_config, seed, ensemble_size);
-                ensemble.ensure_pretrained();
-                ensemble.adapt(dnn::TaskProperties::from_experiment(set));
-                best = ensemble.model(set);
-                print_result(best, set, "model", as_json, simplify, out);
-            } else {
-                classifier.adapt(dnn::TaskProperties::from_experiment(set));
-                best = classifier.model(set);
-                print_result(best, set, "model", as_json, simplify, out);
-                if (alternatives > 0) {
-                    const auto ranked = classifier.model_alternatives(set, alternatives + 1);
-                    for (std::size_t i = 1; i < ranked.size(); ++i) {
-                        print_result(ranked[i], set, "alternative", as_json, simplify, out);
-                    }
-                }
-            }
-        } else {
-            adaptive::AdaptiveModeler::Config config;
-            config.regression = regression_config;
-            adaptive::AdaptiveModeler modeler(classifier, config);
-            auto outcome = modeler.model(set);
-            best = std::move(outcome.result);
-            print_result(best, set, "model", as_json, simplify, out);
-            if (!as_json) {
-                out << "selected path: " << outcome.winner << " (regression "
-                    << (outcome.used_regression ? "competed" : "switched off") << ")\n";
-            }
+        if (!as_json && modeler_name == "adaptive") {
+            out << "selected path: " << report.winner << " (regression "
+                << (report.used_regression ? "competed" : "switched off") << ")\n";
         }
-    } else {
-        err << "xpdnn model: unknown --modeler '" << modeler_name << "'\n";
-        return 1;
     }
 
     if (args.has("eval")) {
+        if (!report.has_model) {
+            err << "xpdnn model: --modeler=" << modeler_name << " produces no model\n";
+            return 1;
+        }
         const auto point = parse_point(args.get("eval", ""));
         if (point.size() != set.parameter_count()) {
             err << "xpdnn model: --eval expects " << set.parameter_count() << " coordinates\n";
             return 1;
         }
-        out << "prediction at (" << args.get("eval", "") << "): " << best.model.evaluate(point)
-            << "\n";
+        out << "prediction at (" << args.get("eval", "")
+            << "): " << report.selected.model.evaluate(point) << "\n";
     }
     return 0;
 }
@@ -210,33 +170,48 @@ int cmd_model_all(const xpcore::CliArgs& args, std::ostream& out, std::ostream& 
         err << "xpdnn model-all: archive has no entries\n";
         return 1;
     }
-    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
-    const double tolerance = args.get_double("group-tolerance", 0.10);
+    const bool as_report = args.get("report", "") == "json";
 
-    dnn::DnnConfig net_config = net_profile(args.get("net", "fast"));
-    net_config.aggregation = measure::aggregation_from_string(args.get("aggregation", "median"));
-    dnn::DnnModeler classifier(net_config, seed);
-    dnn::ensure_pretrained(classifier, seed);
-
-    std::vector<adaptive::BatchTask> tasks;
+    modeling::Session session(modeling::Options::from_args(args));
+    std::vector<modeling::Session::Task> tasks;
     for (const auto& entry : archive.entries()) {
         tasks.push_back({entry.kernel + "/" + entry.metric, entry.experiments});
     }
-    adaptive::BatchModeler::Config batch_config;
-    batch_config.group_tolerance = tolerance;
-    adaptive::BatchModeler batch(classifier, batch_config);
-    const auto results = batch.model(tasks);
+    const auto batch = session.run_batch(tasks);
 
+    if (as_report) {
+        for (const auto& report : batch.reports) out << modeling::to_json(report) << "\n";
+        return 0;
+    }
     xpcore::Table table({"kernel", "noise %", "path", "cv-smape %", "model"});
-    for (const auto& result : results) {
-        table.add_row({result.name,
-                       xpcore::Table::num(result.outcome.estimated_noise * 100, 1),
-                       result.outcome.winner, xpcore::Table::num(result.outcome.result.cv_smape),
-                       result.outcome.result.model.to_string(archive.parameter_names())});
+    for (const auto& report : batch.reports) {
+        table.add_row({report.task, xpcore::Table::num(report.noise.estimate * 100, 1),
+                       report.winner, xpcore::Table::num(report.selected.cv_smape),
+                       report.selected.model.to_string(archive.parameter_names())});
     }
     out << table.to_string();
-    out << results.size() << " kernels modeled with " << batch.adaptations_performed()
+    out << batch.reports.size() << " kernels modeled with " << batch.adaptations
         << " domain adaptation(s)\n";
+    return 0;
+}
+
+int cmd_modelers(std::ostream& out) {
+    // Capabilities come from throw-away instances; expensive state is lazy,
+    // so listing stays cheap.
+    modeling::Session session(modeling::Options{});
+    xpcore::Table table({"name", "kind", "paths", "alternatives"});
+    for (const auto& name : modeling::registered_modelers()) {
+        const auto modeler = modeling::create_modeler(name, session);
+        const auto caps = modeler->capabilities();
+        std::string paths;
+        if (caps.uses_regression) paths = "regression";
+        if (caps.uses_dnn) paths += paths.empty() ? "dnn" : "+dnn";
+        if (paths.empty()) paths = "-";
+        table.add_row({name,
+                       caps.produces_model ? (caps.batch ? "batch" : "model") : "diagnostic",
+                       paths, caps.alternatives ? "yes" : "no"});
+    }
+    out << table.to_string();
     return 0;
 }
 
@@ -248,13 +223,19 @@ int cmd_noise(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err)
     auto loaded = measure::try_load_text_file(args.positionals()[1]);
     if (!loaded.ok()) return report_load_failure(loaded, "noise", err);
     const auto set = std::move(*loaded.set);
-    const auto stats = noise::analyze_noise(set);
+
+    modeling::Session session(modeling::Options::from_args(args));
+    const auto report = session.run("noise", set);
+    if (args.get("report", "") == "json") {
+        out << modeling::to_json(report) << "\n";
+        return 0;
+    }
     out << "points:          " << set.size() << "\n";
-    out << "noise estimate:  " << xpcore::Table::num(noise::estimate_noise(set) * 100) << "%\n";
-    out << "per-point noise: min " << xpcore::Table::num(stats.min * 100) << "%, max "
-        << xpcore::Table::num(stats.max * 100) << "%, mean "
-        << xpcore::Table::num(stats.mean * 100) << "%, median "
-        << xpcore::Table::num(stats.median * 100) << "%\n";
+    out << "noise estimate:  " << xpcore::Table::num(report.noise.estimate * 100) << "%\n";
+    out << "per-point noise: min " << xpcore::Table::num(report.noise.min * 100) << "%, max "
+        << xpcore::Table::num(report.noise.max * 100) << "%, mean "
+        << xpcore::Table::num(report.noise.mean * 100) << "%, median "
+        << xpcore::Table::num(report.noise.median * 100) << "%\n";
     return 0;
 }
 
@@ -270,7 +251,9 @@ int cmd_predict(const xpcore::CliArgs& args, std::ostream& out, std::ostream& er
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
-    const pmnf::Model model = pmnf::from_json(buffer.str());
+    // Accepts both a bare pmnf model document and a full report document.
+    const pmnf::Model model =
+        modeling::model_from_json_document(buffer.str(), args.positionals()[1]);
 
     std::vector<double> point;
     for (std::size_t i = 2; i < args.positionals().size(); ++i) {
@@ -353,6 +336,7 @@ int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err)
     try {
         if (command == "model") return cmd_model(args, out, err);
         if (command == "model-all") return cmd_model_all(args, out, err);
+        if (command == "modelers") return cmd_modelers(out);
         if (command == "noise") return cmd_noise(args, out, err);
         if (command == "predict") return cmd_predict(args, out, err);
         if (command == "simulate") return cmd_simulate(args, out, err);

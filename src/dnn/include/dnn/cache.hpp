@@ -17,13 +17,19 @@
 namespace dnn {
 
 /// Stable hash of the configuration fields that influence pretraining.
+/// Covers a cache format version and the full architecture fingerprint
+/// (activation, layer count, input/hidden/output widths), so a binary with
+/// a different network shape or serialization layout never reuses a stale
+/// file.
 std::uint64_t pretrain_config_hash(const DnnConfig& config, std::uint64_t seed);
 
 /// Cache file path for a configuration (directory resolution as above).
 std::string pretrained_cache_path(const DnnConfig& config, std::uint64_t seed);
 
 /// Load the pretrained network from cache if present, otherwise pretrain
-/// and store it. Returns true when the cache was hit.
+/// and store it. Returns true when the cache was hit. A truncated or
+/// corrupt cache file counts as a miss: the network is re-pretrained and
+/// the bad file overwritten, instead of surfacing a load error.
 bool ensure_pretrained(DnnModeler& modeler, std::uint64_t seed);
 
 }  // namespace dnn

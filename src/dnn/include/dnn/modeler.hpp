@@ -134,6 +134,26 @@ public:
     /// Drop the adapted network and return to the pretrained weights.
     void reset_adaptation();
 
+    /// The complete mutable modeling state: the pretrained weights (deep
+    /// copy via Network::clone) and the RNG stream position. Capturing it
+    /// right after pretraining and restoring it after every modeling task
+    /// makes back-to-back tasks order-independent — adapt() both replaces
+    /// the active network and advances the RNG, so without a restore task
+    /// B's outcome would depend on whether task A ran first
+    /// (modeling::Session relies on this).
+    struct StateSnapshot {
+        nn::Network pretrained;
+        xpcore::Rng rng;
+        bool is_pretrained = false;
+    };
+
+    /// Capture the current pretrained network and RNG state.
+    StateSnapshot snapshot_state() const;
+
+    /// Restore a snapshot: reinstates the pretrained weights and RNG stream
+    /// and drops any active adaptation.
+    void restore_state(const StateSnapshot& snapshot);
+
     /// Fraction of samples whose true class is among the network's top-k
     /// predictions (top-1 == plain accuracy). Used by tests and the
     /// ablation benches to quantify classifier quality.

@@ -4,38 +4,33 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "dnn/preprocess.hpp"
+#include "pmnf/exponents.hpp"
+#include "xpcore/hash.hpp"
+
 namespace dnn {
-
-namespace {
-
-/// FNV-1a over a byte sequence.
-struct Fnv1a {
-    std::uint64_t state = 0xCBF29CE484222325ull;
-
-    void mix(const void* data, std::size_t size) {
-        const auto* bytes = static_cast<const unsigned char*>(data);
-        for (std::size_t i = 0; i < size; ++i) {
-            state ^= bytes[i];
-            state *= 0x100000001B3ull;
-        }
-    }
-    template <typename T>
-    void mix_value(const T& value) {
-        mix(&value, sizeof(T));
-    }
-};
-
-}  // namespace
 
 std::uint64_t pretrain_config_hash(const DnnConfig& config, std::uint64_t seed) {
     // Bumped when the synthetic-data generator's stream layout changes, so
     // stale caches from older binaries are regenerated instead of reused.
     constexpr std::uint64_t kGeneratorVersion = 2;
-    Fnv1a hash;
+    // Bumped when the on-disk cache format itself changes (network
+    // serialization layout, fingerprint composition). Distinct from the
+    // generator version: a format bump invalidates caches even when the
+    // training data they were produced from is unchanged.
+    constexpr std::uint64_t kCacheFormatVersion = 1;
+    xpcore::Fnv1a hash;
     hash.mix_value(kGeneratorVersion);
+    hash.mix_value(kCacheFormatVersion);
     hash.mix_value(seed);
+    // Full architecture fingerprint: activation, layer count, and every
+    // width including the fixed input/output sizes, so {25, 664} and
+    // {256, 64} or a changed class count can never collide.
     hash.mix_value(static_cast<int>(config.activation));
+    hash.mix_value(config.hidden.size() + 2);
+    hash.mix_value(kInputNeurons);
     for (std::size_t width : config.hidden) hash.mix_value(width);
+    hash.mix_value(pmnf::class_count());
     hash.mix_value(config.pretrain_samples_per_class);
     hash.mix_value(config.pretrain_epochs);
     hash.mix_value(config.batch_size);
@@ -58,8 +53,13 @@ bool ensure_pretrained(DnnModeler& modeler, std::uint64_t seed) {
     const std::string path = pretrained_cache_path(modeler.config(), seed);
     std::error_code ec;
     if (std::filesystem::exists(path, ec)) {
-        modeler.load_pretrained(path);
-        return true;
+        try {
+            modeler.load_pretrained(path);
+            return true;
+        } catch (const std::exception&) {
+            // Truncated or corrupt cache file: treat as a miss. Re-pretrain
+            // below and overwrite the bad file with a fresh network.
+        }
     }
     modeler.pretrain();
     modeler.save_pretrained(path);

@@ -115,6 +115,17 @@ void DnnModeler::adapt(const TaskProperties& task) {
 
 void DnnModeler::reset_adaptation() { adapted_network_.reset(); }
 
+DnnModeler::StateSnapshot DnnModeler::snapshot_state() const {
+    return {pretrained_network_.clone(), rng_, pretrained_};
+}
+
+void DnnModeler::restore_state(const StateSnapshot& snapshot) {
+    pretrained_network_ = snapshot.pretrained.clone();
+    rng_ = snapshot.rng;
+    pretrained_ = snapshot.is_pretrained;
+    adapted_network_.reset();
+}
+
 double DnnModeler::top_k_accuracy(const nn::Dataset& data, std::size_t k) {
     if (!pretrained_) throw std::logic_error("DnnModeler::top_k_accuracy: pretrain first");
     if (data.size() == 0) return 0.0;

@@ -21,8 +21,8 @@
 #include <vector>
 
 #include "adaptive/modeler.hpp"
-#include "dnn/modeler.hpp"
 #include "eval/task.hpp"
+#include "modeling/session.hpp"
 
 namespace eval {
 
@@ -62,9 +62,10 @@ struct EvalConfig {
     bool amortize_adaptation = true;
 };
 
-/// Run the sweep for one parameter count. The DnnModeler must already be
-/// pretrained (see dnn::ensure_pretrained).
-std::vector<CellOutcome> run_synthetic_evaluation(dnn::DnnModeler& dnn_modeler,
+/// Run the sweep for one parameter count on the session's classifier
+/// (materialized and pretrained on demand). The pretrained state is
+/// restored before returning, so back-to-back sweeps are order-independent.
+std::vector<CellOutcome> run_synthetic_evaluation(modeling::Session& session,
                                                   const EvalConfig& config);
 
 }  // namespace eval

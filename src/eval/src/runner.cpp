@@ -19,8 +19,9 @@ double ModelerCellData::median_error(std::size_t k) const {
     return xpcore::median(errors.at(k));
 }
 
-std::vector<CellOutcome> run_synthetic_evaluation(dnn::DnnModeler& dnn_modeler,
+std::vector<CellOutcome> run_synthetic_evaluation(modeling::Session& session,
                                                   const EvalConfig& config) {
+    dnn::DnnModeler& dnn_modeler = session.classifier();
     std::vector<CellOutcome> outcomes;
     outcomes.reserve(config.noise_levels.size());
 
@@ -82,6 +83,7 @@ std::vector<CellOutcome> run_synthetic_evaluation(dnn::DnnModeler& dnn_modeler,
         }
         outcomes.push_back(std::move(cell));
     }
+    session.restore_pretrained();
     return outcomes;
 }
 

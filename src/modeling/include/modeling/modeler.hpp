@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file modeler.hpp
+/// The polymorphic modeler interface and its string-keyed registry.
+///
+/// Every modeling path of the repository — the regression baseline, the raw
+/// DNN, the ensemble committee, the adaptive arbiter, the batch path, and
+/// the noise diagnostic — is exposed behind one interface: a Modeler takes
+/// an experiment set and returns a provenance-rich Report
+/// (modeling/report.hpp). Concrete modelers are created by name through the
+/// registry; they never own expensive state themselves but borrow it from
+/// the modeling::Session passed to their factory, so a pretrained network
+/// is materialized exactly once per session no matter how many modelers
+/// run.
+///
+/// Consumers (CLI, eval runner, benches) normally do not use this header
+/// directly — Session::run(name, set) creates the modeler, runs it, stamps
+/// the report with session provenance, and restores the pretrained state.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "modeling/report.hpp"
+
+namespace measure {
+class ExperimentSet;
+}
+
+namespace modeling {
+
+class Session;
+
+/// What a modeler can do; lets generic consumers (the CLI `modelers`
+/// listing, dispatch code) reason about paths without hard-coding names.
+struct Capabilities {
+    bool produces_model = true;    ///< false for diagnostic-only paths (noise)
+    bool uses_regression = false;  ///< may run the regression path
+    bool uses_dnn = false;         ///< may run the DNN path
+    bool alternatives = false;     ///< honors Context::alternatives
+    bool batch = false;            ///< amortizes adaptation across tasks
+};
+
+/// Per-invocation request options, set by the caller of Session::run.
+struct Context {
+    std::size_t alternatives = 0;  ///< runner-up models to rank (when supported)
+    std::string task;              ///< task label stamped into the report
+};
+
+/// One modeling path. Implementations live in modeler.cpp and adapt the
+/// concrete modelers (regression::RegressionModeler, dnn::DnnModeler, ...)
+/// to the uniform Report result.
+class Modeler {
+public:
+    virtual ~Modeler() = default;
+
+    /// The registry name this modeler was created under.
+    virtual std::string name() const = 0;
+
+    virtual Capabilities capabilities() const = 0;
+
+    /// Model the experiment set. May mutate session-owned state (domain
+    /// adaptation advances the classifier); Session::run restores the
+    /// pretrained snapshot afterwards so tasks stay order-independent.
+    virtual Report model(const measure::ExperimentSet& set, Context& context) = 0;
+};
+
+/// Factory signature: modelers borrow session-owned resources, so creation
+/// requires the session they will run under.
+using ModelerFactory = std::function<std::unique_ptr<Modeler>(Session&)>;
+
+/// Register a modeler under `name`, replacing any existing registration.
+/// The built-in paths (regression, dnn, ensemble, adaptive, batch, noise)
+/// are pre-registered.
+void register_modeler(const std::string& name, ModelerFactory factory);
+
+/// Whether `name` is registered.
+bool is_registered(const std::string& name);
+
+/// All registered names, sorted.
+std::vector<std::string> registered_modelers();
+
+/// Create the modeler registered under `name`. Throws std::invalid_argument
+/// for an unknown name.
+std::unique_ptr<Modeler> create_modeler(const std::string& name, Session& session);
+
+}  // namespace modeling

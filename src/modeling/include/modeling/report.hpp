@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file report.hpp
+/// The unified, provenance-rich result of one modeling task.
+///
+/// Every registered modeler (modeling/modeler.hpp) returns a Report, and
+/// every consumer — the CLI, the eval runner, the batch path, benches —
+/// reads results from it instead of from modeler-specific structs. A Report
+/// carries the selected model with its scores, the runner-up alternatives,
+/// the noise analysis, the arbitration outcome (winner, which paths ran),
+/// per-path wall-clock timings, and a stable hash of the session
+/// configuration that produced it.
+///
+/// Reports serialize to a versioned JSON schema (documented in
+/// docs/FILE_FORMATS.md) that embeds the pmnf model schema:
+///
+///     { "schema": "xpdnn.report", "version": 1,
+///       "modeler": "adaptive", "config_hash": "9f2c...",
+///       "noise": { "estimate": 0.07, ... },
+///       "selection": { "winner": "dnn", ... },
+///       "timings": { "regression_seconds": ..., ... },
+///       "model": { "cv_smape": ..., "fit_smape": ..., "pmnf": { ... } },
+///       "alternatives": [ ... ] }
+///
+/// `xpdnn predict` accepts both this schema and a bare pmnf model document
+/// (model_from_json_document below); the "schema" key, which the serializer
+/// always emits first, is the discriminator.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmnf/model.hpp"
+#include "pmnf/serialize.hpp"
+
+namespace measure {
+class ExperimentSet;
+}
+
+namespace modeling {
+
+/// Version of the report JSON schema emitted by to_json. Bump on any
+/// incompatible change; report_from_json rejects other versions.
+inline constexpr int kReportSchemaVersion = 1;
+
+/// The "schema" discriminator string of report documents.
+inline constexpr const char* kReportSchemaName = "xpdnn.report";
+
+/// One scored model: the selection or a runner-up alternative.
+struct ReportEntry {
+    pmnf::Model model;
+    double cv_smape = 0.0;   ///< cross-validated SMAPE of the winning shape
+    double fit_smape = 0.0;  ///< SMAPE of the final fit on all points
+};
+
+/// Noise analysis of the modeled experiment set (fractions; 0.10 == 10%).
+struct NoiseSummary {
+    double estimate = 0.0;  ///< the rrd global estimate (noise/estimator.hpp)
+    double min = 0.0;       ///< per-point minimum
+    double max = 0.0;       ///< per-point maximum
+    double mean = 0.0;      ///< per-point mean
+    double median = 0.0;    ///< per-point median
+};
+
+/// Full per-path timing breakdown. `total_seconds` covers the entire
+/// modeler invocation (on a session's first task it includes materializing
+/// the pretrained classifier).
+struct Timings {
+    double regression_seconds = 0.0;  ///< regression path (when it ran)
+    double dnn_seconds = 0.0;         ///< domain adaptation + DNN path
+    double total_seconds = 0.0;       ///< whole modeler invocation
+};
+
+/// The unified modeling result.
+struct Report {
+    int version = kReportSchemaVersion;
+    std::string modeler;            ///< registry name that produced this
+    std::string task;               ///< task label (batch), "" otherwise
+    std::uint64_t config_hash = 0;  ///< modeling::Session configuration hash
+
+    NoiseSummary noise;
+
+    std::string winner;            ///< "regression", "dnn", or "" (no model)
+    bool used_regression = false;  ///< the regression path was evaluated
+    bool used_dnn = false;         ///< the DNN path was evaluated
+    std::size_t cluster = 0;       ///< batch adaptation cluster index
+
+    bool has_model = false;  ///< false for diagnostic-only reports (noise)
+    ReportEntry selected;
+    std::vector<ReportEntry> alternatives;  ///< runners-up, best first
+
+    Timings timings;
+};
+
+/// Summarize an experiment set's noise (estimate + per-point statistics).
+NoiseSummary summarize_noise(const measure::ExperimentSet& set);
+
+/// Serialize to the versioned report schema (single line, no trailing
+/// newline). to_json(report_from_json(s)) == s for serializer output.
+std::string to_json(const Report& report);
+
+/// Parse a report document. Throws xpcore::ParseError (with source and a
+/// line:column location) on malformed input or an unsupported version.
+Report report_from_json(const std::string& text, const std::string& source = "<report>");
+
+/// Extract the performance model from either a bare pmnf model document or
+/// a report document (discriminated by the leading "schema" key). Throws
+/// xpcore::ParseError on malformed input and xpcore::ValidationError for a
+/// report that carries no model.
+pmnf::Model model_from_json_document(const std::string& text,
+                                     const std::string& source = "<json>");
+
+}  // namespace modeling

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file session.hpp
+/// Session-owned modeling resources and the unified entry point.
+///
+/// A Session owns everything expensive that modeling paths share — above
+/// all the pretrained DNN classifier (and, when requested, the ensemble
+/// committee), materialized lazily and exactly once, optionally through the
+/// disk cache. Right after pretraining it snapshots the classifier state
+/// (network weights, RNG, pretrained flag) and restores that snapshot after
+/// every task, because domain adaptation both replaces the active network
+/// and advances the classifier's RNG: without the restore, a task's result
+/// would depend on which tasks ran before it. With it, back-to-back tasks
+/// are order-independent — each behaves exactly like the first.
+///
+/// All entry points go through here: Session::run(name, set) dispatches
+/// through the modeler registry (modeling/modeler.hpp) and stamps the
+/// resulting Report with the session's configuration hash; run_batch models
+/// a task list with amortized adaptation.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adaptive/batch.hpp"
+#include "adaptive/modeler.hpp"
+#include "dnn/ensemble.hpp"
+#include "dnn/modeler.hpp"
+#include "modeling/modeler.hpp"
+#include "modeling/report.hpp"
+#include "regression/modeler.hpp"
+
+namespace xpcore {
+class CliArgs;
+}
+
+namespace modeling {
+
+/// Everything that influences modeling results, gathered in one place.
+/// Hashed into Report::config_hash so a report records the exact
+/// configuration that produced it.
+struct Options {
+    std::uint64_t seed = 7;
+    std::string net_profile = "fast";  ///< provenance only; `net` is authoritative
+    dnn::DnnConfig net;                ///< classifier architecture + training
+    regression::RegressionModeler::Config regression;
+    adaptive::ThresholdPolicy thresholds;
+    bool domain_adaptation = true;
+    std::size_t ensemble_members = 1;  ///< >1 routes "dnn" to the ensemble
+    double group_tolerance = 0.10;     ///< batch noise-clustering tolerance
+    bool use_cache = true;             ///< pretrain through the disk cache
+
+    /// The named network profile ("tiny", "fast", "paper"). Throws
+    /// std::invalid_argument for an unknown name.
+    static dnn::DnnConfig profile(const std::string& name);
+
+    /// Options from parsed CLI arguments (--seed, --net, --aggregation,
+    /// --ensemble, --group-tolerance), defaults as above.
+    static Options from_args(const xpcore::CliArgs& args);
+};
+
+/// Stable FNV-1a hash of every result-relevant Options field.
+std::uint64_t options_hash(const Options& options);
+
+class Session {
+public:
+    /// One batch task; re-exported so batch consumers need only this header.
+    using Task = adaptive::BatchTask;
+
+    /// Result of run_batch: per-task reports in input order plus the
+    /// batch-level provenance an individual Report cannot carry.
+    struct BatchReport {
+        std::vector<Report> reports;
+        std::size_t adaptations = 0;  ///< domain adaptations performed
+        double total_seconds = 0.0;   ///< wall-clock of the whole batch
+    };
+
+    explicit Session(Options options);
+
+    const Options& options() const { return options_; }
+
+    /// Hash stamped into every report this session produces.
+    std::uint64_t config_hash() const { return config_hash_; }
+
+    /// The session's pretrained classifier. Materialized on first use:
+    /// constructed from Options::net and seed, pretrained (through the disk
+    /// cache when Options::use_cache), then snapshot for restore_pretrained.
+    dnn::DnnModeler& classifier();
+
+    /// The ensemble committee (Options::ensemble_members members, member i
+    /// seeded seed+i). Materialized on first use, like classifier().
+    dnn::EnsembleModeler& ensemble();
+
+    /// Restore every materialized modeler to its post-pretraining snapshot,
+    /// dropping adaptations and rewinding RNG state. Called automatically
+    /// after run()/run_batch(); idempotent.
+    void restore_pretrained();
+
+    /// Run the registered modeler `name` on `set`: create it through the
+    /// registry, model, stamp provenance (modeler name, task label, config
+    /// hash, total wall-clock), restore the pretrained state. Throws
+    /// std::invalid_argument for an unknown name.
+    Report run(const std::string& name, const measure::ExperimentSet& set,
+               Context context = {});
+
+    /// Model a task list with adaptation amortized across noise clusters
+    /// (adaptive::BatchModeler) using Options::group_tolerance.
+    BatchReport run_batch(const std::vector<Task>& tasks);
+
+    /// Same with an explicit tolerance (0 = one adaptation per task).
+    BatchReport run_batch(const std::vector<Task>& tasks, double group_tolerance);
+
+private:
+    Options options_;
+    std::uint64_t config_hash_ = 0;
+    std::unique_ptr<dnn::DnnModeler> classifier_;
+    std::optional<dnn::DnnModeler::StateSnapshot> classifier_snapshot_;
+    std::unique_ptr<dnn::EnsembleModeler> ensemble_;
+    std::vector<dnn::DnnModeler::StateSnapshot> ensemble_snapshots_;
+};
+
+}  // namespace modeling

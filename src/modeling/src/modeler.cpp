@@ -1,0 +1,249 @@
+#include "modeling/modeler.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "measure/experiment.hpp"
+#include "modeling/session.hpp"
+#include "xpcore/timer.hpp"
+
+namespace modeling {
+
+namespace {
+
+ReportEntry to_entry(const regression::ModelResult& result) {
+    return {result.model, result.cv_smape, result.fit_smape};
+}
+
+/// The regression baseline. Owns its (cheap) modeler; ranks runner-up
+/// alternatives on request.
+class RegressionAdapter final : public Modeler {
+public:
+    explicit RegressionAdapter(Session& session) : modeler_(session.options().regression) {}
+
+    std::string name() const override { return "regression"; }
+
+    Capabilities capabilities() const override {
+        Capabilities caps;
+        caps.uses_regression = true;
+        caps.alternatives = true;
+        return caps;
+    }
+
+    Report model(const measure::ExperimentSet& set, Context& context) override {
+        Report report;
+        report.noise = summarize_noise(set);
+        xpcore::WallTimer timer;
+        const auto best = modeler_.model(set);
+        report.timings.regression_seconds = timer.seconds();
+        report.winner = "regression";
+        report.used_regression = true;
+        report.has_model = true;
+        report.selected = to_entry(best);
+        if (context.alternatives > 0) {
+            const auto ranked = modeler_.model_alternatives(set, context.alternatives + 1);
+            for (std::size_t i = 1; i < ranked.size(); ++i) {
+                report.alternatives.push_back(to_entry(ranked[i]));
+            }
+        }
+        return report;
+    }
+
+private:
+    regression::RegressionModeler modeler_;
+};
+
+/// The raw DNN path: domain-adapt the session classifier, then model.
+class DnnAdapter final : public Modeler {
+public:
+    explicit DnnAdapter(Session& session) : session_(session) {}
+
+    std::string name() const override { return "dnn"; }
+
+    Capabilities capabilities() const override {
+        Capabilities caps;
+        caps.uses_dnn = true;
+        caps.alternatives = true;
+        return caps;
+    }
+
+    Report model(const measure::ExperimentSet& set, Context& context) override {
+        Report report;
+        report.noise = summarize_noise(set);
+        auto& classifier = session_.classifier();
+        xpcore::WallTimer timer;
+        classifier.adapt(dnn::TaskProperties::from_experiment(set));
+        const auto best = classifier.model(set);
+        report.timings.dnn_seconds = timer.seconds();
+        report.winner = "dnn";
+        report.used_dnn = true;
+        report.has_model = true;
+        report.selected = to_entry(best);
+        if (context.alternatives > 0) {
+            const auto ranked = classifier.model_alternatives(set, context.alternatives + 1);
+            for (std::size_t i = 1; i < ranked.size(); ++i) {
+                report.alternatives.push_back(to_entry(ranked[i]));
+            }
+        }
+        return report;
+    }
+
+private:
+    Session& session_;
+};
+
+/// The ensemble committee: every member adapts, the unioned hypothesis set
+/// is arbitrated by cross-validation.
+class EnsembleAdapter final : public Modeler {
+public:
+    explicit EnsembleAdapter(Session& session) : session_(session) {}
+
+    std::string name() const override { return "ensemble"; }
+
+    Capabilities capabilities() const override {
+        Capabilities caps;
+        caps.uses_dnn = true;
+        return caps;
+    }
+
+    Report model(const measure::ExperimentSet& set, Context&) override {
+        Report report;
+        report.noise = summarize_noise(set);
+        auto& ensemble = session_.ensemble();
+        xpcore::WallTimer timer;
+        ensemble.adapt(dnn::TaskProperties::from_experiment(set));
+        const auto best = ensemble.model(set);
+        report.timings.dnn_seconds = timer.seconds();
+        report.winner = "dnn";
+        report.used_dnn = true;
+        report.has_model = true;
+        report.selected = to_entry(best);
+        return report;
+    }
+
+private:
+    Session& session_;
+};
+
+/// The paper's adaptive pipeline: noise-gated arbitration between the DNN
+/// and the regression baseline.
+class AdaptiveAdapter final : public Modeler {
+public:
+    explicit AdaptiveAdapter(Session& session) : session_(session) {}
+
+    std::string name() const override { return "adaptive"; }
+
+    Capabilities capabilities() const override {
+        Capabilities caps;
+        caps.uses_regression = true;
+        caps.uses_dnn = true;
+        return caps;
+    }
+
+    Report model(const measure::ExperimentSet& set, Context&) override {
+        Report report;
+        report.noise = summarize_noise(set);
+        adaptive::AdaptiveModeler::Config config;
+        config.thresholds = session_.options().thresholds;
+        config.domain_adaptation = session_.options().domain_adaptation;
+        config.regression = session_.options().regression;
+        adaptive::AdaptiveModeler modeler(session_.classifier(), config);
+        const auto outcome = modeler.model(set);
+        report.winner = outcome.winner;
+        report.used_regression = outcome.used_regression;
+        report.used_dnn = outcome.used_dnn;
+        report.timings.regression_seconds = outcome.regression_seconds;
+        report.timings.dnn_seconds = outcome.dnn_seconds;
+        report.has_model = true;
+        report.selected = to_entry(outcome.result);
+        return report;
+    }
+
+private:
+    Session& session_;
+};
+
+/// The batch path as a single-task modeler: delegates to Session::run_batch
+/// so a lone task still goes through noise clustering and the amortized
+/// adaptation machinery.
+class BatchAdapter final : public Modeler {
+public:
+    explicit BatchAdapter(Session& session) : session_(session) {}
+
+    std::string name() const override { return "batch"; }
+
+    Capabilities capabilities() const override {
+        Capabilities caps;
+        caps.uses_regression = true;
+        caps.uses_dnn = true;
+        caps.batch = true;
+        return caps;
+    }
+
+    Report model(const measure::ExperimentSet& set, Context& context) override {
+        auto batch = session_.run_batch({Session::Task{context.task, set}});
+        return std::move(batch.reports.front());
+    }
+
+private:
+    Session& session_;
+};
+
+/// Diagnostic-only path: noise analysis without modeling.
+class NoiseAdapter final : public Modeler {
+public:
+    explicit NoiseAdapter(Session&) {}
+
+    std::string name() const override { return "noise"; }
+
+    Capabilities capabilities() const override {
+        Capabilities caps;
+        caps.produces_model = false;
+        return caps;
+    }
+
+    Report model(const measure::ExperimentSet& set, Context&) override {
+        Report report;
+        report.noise = summarize_noise(set);
+        return report;
+    }
+};
+
+std::map<std::string, ModelerFactory>& registry() {
+    static std::map<std::string, ModelerFactory> map = [] {
+        std::map<std::string, ModelerFactory> builtins;
+        builtins["regression"] = [](Session& s) { return std::make_unique<RegressionAdapter>(s); };
+        builtins["dnn"] = [](Session& s) { return std::make_unique<DnnAdapter>(s); };
+        builtins["ensemble"] = [](Session& s) { return std::make_unique<EnsembleAdapter>(s); };
+        builtins["adaptive"] = [](Session& s) { return std::make_unique<AdaptiveAdapter>(s); };
+        builtins["batch"] = [](Session& s) { return std::make_unique<BatchAdapter>(s); };
+        builtins["noise"] = [](Session& s) { return std::make_unique<NoiseAdapter>(s); };
+        return builtins;
+    }();
+    return map;
+}
+
+}  // namespace
+
+void register_modeler(const std::string& name, ModelerFactory factory) {
+    registry()[name] = std::move(factory);
+}
+
+bool is_registered(const std::string& name) { return registry().count(name) != 0; }
+
+std::vector<std::string> registered_modelers() {
+    std::vector<std::string> names;
+    for (const auto& [name, factory] : registry()) names.push_back(name);
+    return names;  // std::map iterates sorted
+}
+
+std::unique_ptr<Modeler> create_modeler(const std::string& name, Session& session) {
+    const auto it = registry().find(name);
+    if (it == registry().end()) {
+        throw std::invalid_argument("unknown modeler '" + name + "'");
+    }
+    return it->second(session);
+}
+
+}  // namespace modeling

@@ -1,0 +1,475 @@
+#include "modeling/report.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <string_view>
+
+#include "measure/experiment.hpp"
+#include "noise/estimator.hpp"
+#include "xpcore/error.hpp"
+
+namespace modeling {
+
+namespace {
+
+std::string format_double(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::string format_hash(std::uint64_t hash) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+void append_escaped(std::string& out, std::string_view text) {
+    out += '"';
+    for (char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void append_entry(std::string& out, const ReportEntry& entry) {
+    out += "{\"cv_smape\": " + format_double(entry.cv_smape) +
+           ", \"fit_smape\": " + format_double(entry.fit_smape) +
+           ", \"pmnf\": " + pmnf::to_json(entry.model) + "}";
+}
+
+/// Recursive-descent parser for the report schema. Location-aware: every
+/// failure is an xpcore::ParseError carrying source:line:column.
+class Parser {
+public:
+    Parser(const std::string& text, const std::string& source)
+        : text_(text), source_(source) {}
+
+    Report parse() {
+        Report report;
+        report.version = -1;
+        bool saw_schema = false;
+        expect('{');
+        for (;;) {
+            skip_whitespace();
+            const std::size_t key_pos = pos_;
+            const std::string key = parse_string();
+            expect(':');
+            if (key == "schema") {
+                if (parse_string() != kReportSchemaName) {
+                    fail_at(key_pos, std::string("'schema' must be \"") + kReportSchemaName +
+                                         "\"");
+                }
+                saw_schema = true;
+            } else if (key == "version") {
+                report.version = parse_int();
+                if (report.version != kReportSchemaVersion) {
+                    fail_at(key_pos, "unsupported report version " +
+                                         std::to_string(report.version) + " (expected " +
+                                         std::to_string(kReportSchemaVersion) + ")");
+                }
+            } else if (key == "modeler") {
+                report.modeler = parse_string();
+            } else if (key == "task") {
+                report.task = parse_string();
+            } else if (key == "config_hash") {
+                report.config_hash = parse_hash();
+            } else if (key == "noise") {
+                parse_noise(report.noise);
+            } else if (key == "selection") {
+                parse_selection(report);
+            } else if (key == "timings") {
+                parse_timings(report.timings);
+            } else if (key == "model") {
+                report.selected = parse_entry();
+                report.has_model = true;
+            } else if (key == "alternatives") {
+                expect('[');
+                if (!consume(']')) {
+                    do {
+                        report.alternatives.push_back(parse_entry());
+                    } while (consume(','));
+                    expect(']');
+                }
+            } else {
+                fail_at(key_pos, "unknown key '" + key + "'");
+            }
+            if (!consume(',')) break;
+        }
+        expect('}');
+        skip_whitespace();
+        if (pos_ != text_.size()) fail("trailing characters");
+        if (!saw_schema) fail("missing 'schema'");
+        if (report.version < 0) fail("missing 'version'");
+        return report;
+    }
+
+private:
+    void parse_noise(NoiseSummary& noise) {
+        parse_object([&](const std::string& key, std::size_t key_pos) {
+            if (key == "estimate") noise.estimate = parse_number();
+            else if (key == "min") noise.min = parse_number();
+            else if (key == "max") noise.max = parse_number();
+            else if (key == "mean") noise.mean = parse_number();
+            else if (key == "median") noise.median = parse_number();
+            else fail_at(key_pos, "unknown noise key '" + key + "'");
+        });
+    }
+
+    void parse_selection(Report& report) {
+        parse_object([&](const std::string& key, std::size_t key_pos) {
+            if (key == "winner") report.winner = parse_string();
+            else if (key == "used_regression") report.used_regression = parse_bool();
+            else if (key == "used_dnn") report.used_dnn = parse_bool();
+            else if (key == "cluster") report.cluster = parse_size();
+            else fail_at(key_pos, "unknown selection key '" + key + "'");
+        });
+    }
+
+    void parse_timings(Timings& timings) {
+        parse_object([&](const std::string& key, std::size_t key_pos) {
+            if (key == "regression_seconds") timings.regression_seconds = parse_number();
+            else if (key == "dnn_seconds") timings.dnn_seconds = parse_number();
+            else if (key == "total_seconds") timings.total_seconds = parse_number();
+            else fail_at(key_pos, "unknown timings key '" + key + "'");
+        });
+    }
+
+    ReportEntry parse_entry() {
+        ReportEntry entry;
+        bool saw_model = false;
+        parse_object([&](const std::string& key, std::size_t key_pos) {
+            if (key == "cv_smape") {
+                entry.cv_smape = parse_number();
+            } else if (key == "fit_smape") {
+                entry.fit_smape = parse_number();
+            } else if (key == "pmnf") {
+                const std::size_t model_pos = pos_;
+                const std::string raw = raw_value();
+                try {
+                    entry.model = pmnf::from_json(raw);
+                } catch (const std::exception& e) {
+                    fail_at(model_pos, std::string("embedded model: ") + e.what());
+                }
+                saw_model = true;
+            } else {
+                fail_at(key_pos, "unknown model key '" + key + "'");
+            }
+        });
+        if (!saw_model) fail("model entry missing 'pmnf'");
+        return entry;
+    }
+
+    template <typename MemberFn>
+    void parse_object(MemberFn member) {
+        expect('{');
+        if (consume('}')) return;
+        do {
+            skip_whitespace();
+            const std::size_t key_pos = pos_;
+            const std::string key = parse_string();
+            expect(':');
+            member(key, key_pos);
+        } while (consume(','));
+        expect('}');
+    }
+
+    std::string parse_string() {
+        skip_whitespace();
+        if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected string");
+        ++pos_;
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char escape = text_[pos_++];
+            switch (escape) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    unsigned value = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const int digit = hex_digit(text_[pos_++]);
+                        if (digit < 0) fail("invalid \\u escape");
+                        value = value * 16 + static_cast<unsigned>(digit);
+                    }
+                    if (value > 0x7F) fail("unsupported non-ASCII \\u escape");
+                    out += static_cast<char>(value);
+                    break;
+                }
+                default: fail("invalid escape sequence");
+            }
+        }
+        if (pos_ >= text_.size()) fail("unterminated string");
+        ++pos_;
+        return out;
+    }
+
+    double parse_number() {
+        skip_whitespace();
+        std::size_t consumed = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(text_.substr(pos_), &consumed);
+        } catch (const std::exception&) {
+            fail("expected number");
+        }
+        pos_ += consumed;
+        return value;
+    }
+
+    int parse_int() {
+        const double value = parse_number();
+        if (value != static_cast<double>(static_cast<int>(value))) fail("expected integer");
+        return static_cast<int>(value);
+    }
+
+    std::size_t parse_size() {
+        const double value = parse_number();
+        if (value < 0 || value != static_cast<double>(static_cast<long long>(value))) {
+            fail("expected non-negative integer");
+        }
+        return static_cast<std::size_t>(value);
+    }
+
+    bool parse_bool() {
+        skip_whitespace();
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            return false;
+        }
+        fail("expected boolean");
+    }
+
+    std::uint64_t parse_hash() {
+        const std::string hex = parse_string();
+        if (hex.empty() || hex.size() > 16) fail("config_hash must be 1-16 hex digits");
+        std::uint64_t value = 0;
+        for (char c : hex) {
+            const int digit = hex_digit(c);
+            if (digit < 0) fail("config_hash must be hexadecimal");
+            value = (value << 4) | static_cast<std::uint64_t>(digit);
+        }
+        return value;
+    }
+
+    /// The raw text of one JSON value (object/array/string/scalar), consumed
+    /// but not interpreted — used to delegate the embedded pmnf model to
+    /// pmnf::from_json without re-implementing its grammar here.
+    std::string raw_value() {
+        skip_whitespace();
+        const std::size_t start = pos_;
+        skip_value();
+        return text_.substr(start, pos_ - start);
+    }
+
+    void skip_value() {
+        skip_whitespace();
+        if (pos_ >= text_.size()) fail("unexpected end of document");
+        const char c = text_[pos_];
+        if (c == '{' || c == '[') {
+            const bool object = c == '{';
+            const char close = object ? '}' : ']';
+            ++pos_;
+            if (consume(close)) return;
+            do {
+                if (object) {
+                    parse_string();
+                    expect(':');
+                }
+                skip_value();
+            } while (consume(','));
+            expect(close);
+        } else if (c == '"') {
+            parse_string();
+        } else {
+            const std::size_t start = pos_;
+            while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+                   text_[pos_] != ']' &&
+                   !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+            if (pos_ == start) fail("expected value");
+        }
+    }
+
+    static int hex_digit(char c) {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool consume(char c) {
+        skip_whitespace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char c) {
+        if (!consume(c)) fail(std::string("expected '") + c + "'");
+    }
+
+    [[noreturn]] void fail(const std::string& what) { fail_at(pos_, what); }
+
+    [[noreturn]] void fail_at(std::size_t offset, const std::string& what) {
+        xpcore::Diagnostic diagnostic;
+        diagnostic.source = source_;
+        diagnostic.line = 1;
+        std::size_t line_start = 0;
+        for (std::size_t i = 0; i < offset && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++diagnostic.line;
+                line_start = i + 1;
+            }
+        }
+        diagnostic.column = offset - line_start + 1;
+        diagnostic.message = what;
+        throw xpcore::ParseError(std::move(diagnostic));
+    }
+
+    const std::string& text_;
+    const std::string& source_;
+    std::size_t pos_ = 0;
+};
+
+/// First key of the top-level object, or "" when the document does not
+/// start with `{ "..."`. Used to discriminate report vs bare-model docs.
+std::string peek_first_key(const std::string& text) {
+    std::size_t pos = 0;
+    const auto skip_ws = [&] {
+        while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+    };
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '{') return "";
+    ++pos;
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') return "";
+    ++pos;
+    std::string key;
+    while (pos < text.size() && text[pos] != '"' && text[pos] != '\\') key += text[pos++];
+    if (pos >= text.size() || text[pos] != '"') return "";
+    return key;
+}
+
+}  // namespace
+
+NoiseSummary summarize_noise(const measure::ExperimentSet& set) {
+    NoiseSummary summary;
+    summary.estimate = noise::estimate_noise(set);
+    const noise::NoiseStats stats = noise::analyze_noise(set);
+    summary.min = stats.min;
+    summary.max = stats.max;
+    summary.mean = stats.mean;
+    summary.median = stats.median;
+    return summary;
+}
+
+std::string to_json(const Report& report) {
+    std::string out = "{\"schema\": ";
+    append_escaped(out, kReportSchemaName);
+    out += ", \"version\": " + std::to_string(report.version);
+    out += ", \"modeler\": ";
+    append_escaped(out, report.modeler);
+    if (!report.task.empty()) {
+        out += ", \"task\": ";
+        append_escaped(out, report.task);
+    }
+    out += ", \"config_hash\": \"" + format_hash(report.config_hash) + "\"";
+    out += ", \"noise\": {\"estimate\": " + format_double(report.noise.estimate) +
+           ", \"min\": " + format_double(report.noise.min) +
+           ", \"max\": " + format_double(report.noise.max) +
+           ", \"mean\": " + format_double(report.noise.mean) +
+           ", \"median\": " + format_double(report.noise.median) + "}";
+    out += ", \"selection\": {\"winner\": ";
+    append_escaped(out, report.winner);
+    out += std::string(", \"used_regression\": ") + (report.used_regression ? "true" : "false");
+    out += std::string(", \"used_dnn\": ") + (report.used_dnn ? "true" : "false");
+    out += ", \"cluster\": " + std::to_string(report.cluster) + "}";
+    out += ", \"timings\": {\"regression_seconds\": " +
+           format_double(report.timings.regression_seconds) +
+           ", \"dnn_seconds\": " + format_double(report.timings.dnn_seconds) +
+           ", \"total_seconds\": " + format_double(report.timings.total_seconds) + "}";
+    if (report.has_model) {
+        out += ", \"model\": ";
+        append_entry(out, report.selected);
+    }
+    out += ", \"alternatives\": [";
+    bool first = true;
+    for (const auto& alternative : report.alternatives) {
+        if (!first) out += ", ";
+        first = false;
+        append_entry(out, alternative);
+    }
+    out += "]}";
+    return out;
+}
+
+Report report_from_json(const std::string& text, const std::string& source) {
+    return Parser(text, source).parse();
+}
+
+pmnf::Model model_from_json_document(const std::string& text, const std::string& source) {
+    if (peek_first_key(text) == "schema") {
+        Report report = report_from_json(text, source);
+        if (!report.has_model) {
+            xpcore::Diagnostic diagnostic;
+            diagnostic.source = source;
+            diagnostic.message =
+                "report carries no model (a '" + report.modeler + "' diagnostic report)";
+            throw xpcore::ValidationError(std::move(diagnostic));
+        }
+        return std::move(report.selected.model);
+    }
+    try {
+        return pmnf::from_json(text);
+    } catch (const xpcore::Error&) {
+        throw;
+    } catch (const std::exception& e) {
+        xpcore::Diagnostic diagnostic;
+        diagnostic.source = source;
+        diagnostic.message = e.what();
+        throw xpcore::ParseError(std::move(diagnostic));
+    }
+}
+
+}  // namespace modeling

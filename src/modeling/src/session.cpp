@@ -1,0 +1,175 @@
+#include "modeling/session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "dnn/cache.hpp"
+#include "measure/aggregation.hpp"
+#include "measure/experiment.hpp"
+#include "xpcore/cli.hpp"
+#include "xpcore/hash.hpp"
+#include "xpcore/timer.hpp"
+
+namespace modeling {
+
+dnn::DnnConfig Options::profile(const std::string& name) {
+    if (name == "paper") return dnn::DnnConfig::paper();
+    if (name == "fast") return dnn::DnnConfig::fast();
+    if (name == "tiny") {
+        dnn::DnnConfig config;
+        config.hidden = {96, 48};
+        config.pretrain_samples_per_class = 250;
+        config.pretrain_epochs = 3;
+        config.adapt_samples_per_class = 120;
+        return config;
+    }
+    throw std::invalid_argument("unknown --net profile '" + name + "'");
+}
+
+Options Options::from_args(const xpcore::CliArgs& args) {
+    Options options;
+    options.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    options.net_profile = args.get("net", "fast");
+    options.net = profile(options.net_profile);
+    const auto aggregation =
+        measure::aggregation_from_string(args.get("aggregation", "median"));
+    options.net.aggregation = aggregation;
+    options.regression.aggregation = aggregation;
+    options.ensemble_members = static_cast<std::size_t>(args.get_int("ensemble", 1));
+    options.group_tolerance = args.get_double("group-tolerance", 0.10);
+    return options;
+}
+
+std::uint64_t options_hash(const Options& options) {
+    xpcore::Fnv1a hash;
+    hash.mix_value(options.seed);
+    hash.mix_string(options.net_profile);
+    hash.mix_value(static_cast<int>(options.net.activation));
+    hash.mix_value(options.net.hidden.size());
+    for (std::size_t width : options.net.hidden) hash.mix_value(width);
+    hash.mix_value(options.net.pretrain_samples_per_class);
+    hash.mix_value(options.net.pretrain_epochs);
+    hash.mix_value(options.net.adapt_samples_per_class);
+    hash.mix_value(options.net.adapt_epochs);
+    hash.mix_value(options.net.batch_size);
+    hash.mix_value(options.net.learning_rate);
+    hash.mix_value(options.net.top_k);
+    hash.mix_value(options.net.max_folds);
+    hash.mix_value(options.net.max_lines);
+    hash.mix_value(static_cast<int>(options.net.aggregation));
+    hash.mix_value(options.regression.top_k);
+    hash.mix_value(options.regression.max_folds);
+    hash.mix_value(static_cast<int>(options.regression.aggregation));
+    hash.mix_value(options.thresholds.one_parameter);
+    hash.mix_value(options.thresholds.two_parameters);
+    hash.mix_value(options.thresholds.three_or_more);
+    hash.mix_value(options.domain_adaptation);
+    hash.mix_value(options.ensemble_members);
+    hash.mix_value(options.group_tolerance);
+    return hash.state;
+}
+
+Session::Session(Options options)
+    : options_(std::move(options)), config_hash_(options_hash(options_)) {}
+
+dnn::DnnModeler& Session::classifier() {
+    if (!classifier_) {
+        classifier_ = std::make_unique<dnn::DnnModeler>(options_.net, options_.seed);
+        if (options_.use_cache) {
+            dnn::ensure_pretrained(*classifier_, options_.seed);
+        } else {
+            classifier_->pretrain();
+        }
+        classifier_snapshot_ = classifier_->snapshot_state();
+    }
+    return *classifier_;
+}
+
+dnn::EnsembleModeler& Session::ensemble() {
+    if (!ensemble_) {
+        ensemble_ = std::make_unique<dnn::EnsembleModeler>(options_.net, options_.seed,
+                                                           options_.ensemble_members);
+        if (options_.use_cache) {
+            ensemble_->ensure_pretrained();
+        } else {
+            for (std::size_t i = 0; i < ensemble_->member_count(); ++i) {
+                ensemble_->member(i).pretrain();
+            }
+        }
+        for (std::size_t i = 0; i < ensemble_->member_count(); ++i) {
+            ensemble_snapshots_.push_back(ensemble_->member(i).snapshot_state());
+        }
+    }
+    return *ensemble_;
+}
+
+void Session::restore_pretrained() {
+    if (classifier_ && classifier_snapshot_) {
+        classifier_->restore_state(*classifier_snapshot_);
+    }
+    if (ensemble_) {
+        for (std::size_t i = 0; i < ensemble_->member_count(); ++i) {
+            ensemble_->member(i).restore_state(ensemble_snapshots_[i]);
+        }
+    }
+}
+
+Report Session::run(const std::string& name, const measure::ExperimentSet& set,
+                    Context context) {
+    xpcore::WallTimer total;
+    auto modeler = create_modeler(name, *this);
+    Report report = modeler->model(set, context);
+    report.modeler = name;
+    report.task = context.task;
+    report.config_hash = config_hash_;
+    restore_pretrained();
+    report.timings.total_seconds = total.seconds();
+    return report;
+}
+
+Session::BatchReport Session::run_batch(const std::vector<Task>& tasks) {
+    return run_batch(tasks, options_.group_tolerance);
+}
+
+Session::BatchReport Session::run_batch(const std::vector<Task>& tasks,
+                                        double group_tolerance) {
+    xpcore::WallTimer total;
+    adaptive::BatchModeler::Config config;
+    config.adaptive.thresholds = options_.thresholds;
+    config.adaptive.domain_adaptation = options_.domain_adaptation;
+    config.adaptive.regression = options_.regression;
+    config.group_tolerance = group_tolerance;
+    adaptive::BatchModeler batch(classifier(), config);
+    const auto results = batch.model(tasks);
+
+    BatchReport out;
+    out.adaptations = batch.adaptations_performed();
+    out.reports.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& result = results[i];
+        Report report;
+        report.modeler = "batch";
+        report.task = result.name;
+        report.config_hash = config_hash_;
+        report.noise = summarize_noise(tasks[i].experiments);
+        report.winner = result.outcome.winner;
+        report.used_regression = result.outcome.used_regression;
+        report.used_dnn = result.outcome.used_dnn;
+        report.cluster = result.cluster;
+        report.has_model = true;
+        report.selected = {result.outcome.result.model, result.outcome.result.cv_smape,
+                           result.outcome.result.fit_smape};
+        report.timings.regression_seconds = result.outcome.regression_seconds;
+        report.timings.dnn_seconds = result.outcome.dnn_seconds;
+        // Per-task totals cover the measured paths; the batch-level
+        // wall-clock (noise clustering included) is BatchReport::total_seconds.
+        report.timings.total_seconds =
+            result.outcome.regression_seconds + result.outcome.dnn_seconds;
+        out.reports.push_back(std::move(report));
+    }
+    restore_pretrained();
+    out.total_seconds = total.seconds();
+    return out;
+}
+
+}  // namespace modeling

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file hash.hpp
+/// Small stable hashing utilities.
+///
+/// FNV-1a is used wherever the repo needs a *stable* fingerprint that must
+/// not change across processes or builds (pretrain cache keys, the config
+/// hash reported in modeling::Report). std::hash gives no such guarantee.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+namespace xpcore {
+
+/// Incremental FNV-1a over a byte stream.
+struct Fnv1a {
+    std::uint64_t state = 0xCBF29CE484222325ull;
+
+    void mix(const void* data, std::size_t size) {
+        const auto* bytes = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            state ^= bytes[i];
+            state *= 0x100000001B3ull;
+        }
+    }
+
+    /// Mix a trivially-copyable value by its object representation. Only
+    /// use with types whose representation is stable (integers, floats,
+    /// enums) — never with structs that may contain padding.
+    template <typename T>
+    void mix_value(const T& value) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        mix(&value, sizeof(T));
+    }
+
+    void mix_string(std::string_view text) {
+        // Length-prefix so {"ab", "c"} and {"a", "bc"} hash differently.
+        mix_value(text.size());
+        mix(text.data(), text.size());
+    }
+};
+
+}  // namespace xpcore

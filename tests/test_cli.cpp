@@ -228,6 +228,22 @@ TEST(Cli, ModelAllMissingFileFails) {
     EXPECT_EQ(run_cli({"model-all", "/nonexistent.txt"}).code, 2);
 }
 
+TEST(Cli, ModelersListsRegisteredNames) {
+    const auto result = run_cli({"modelers"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    for (const char* name : {"regression", "dnn", "ensemble", "adaptive", "batch", "noise"}) {
+        EXPECT_NE(result.out.find(name), std::string::npos) << name;
+    }
+    EXPECT_NE(result.out.find("diagnostic"), std::string::npos);  // noise's kind
+}
+
+TEST(Cli, ModelReportJsonEmitsSchemaDocument) {
+    const auto result =
+        run_cli({"model", write_linear_measurements(), "--modeler=regression", "--report=json"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_EQ(result.out.rfind("{\"schema\": \"xpdnn.report\"", 0), 0u);
+}
+
 TEST(Cli, ModelRoundTripThroughSimulate) {
     // simulate -> model --modeler=regression: the full user workflow.
     const std::string path = ::testing::TempDir() + "/xpdnn_cli_roundtrip.txt";

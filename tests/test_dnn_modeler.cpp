@@ -7,6 +7,10 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
 
 #include "dnn/cache.hpp"
 #include "dnn/modeler.hpp"
@@ -202,6 +206,63 @@ TEST(CacheTest, HashIsStableAndConfigSensitive) {
     b = tiny_config();
     b.pretrain_epochs += 1;
     EXPECT_NE(pretrain_config_hash(a, 1), pretrain_config_hash(b, 1));
+}
+
+TEST(CacheTest, HashCoversActivationAndAdaptation) {
+    const DnnConfig a = tiny_config();
+    DnnConfig b = tiny_config();
+    b.activation = nn::Activation::Relu;
+    EXPECT_NE(pretrain_config_hash(a, 1), pretrain_config_hash(b, 1));
+    b = tiny_config();
+    b.pretrain_samples_per_class += 1;
+    EXPECT_NE(pretrain_config_hash(a, 1), pretrain_config_hash(b, 1));
+}
+
+TEST(CacheTest, CorruptOrTruncatedFileIsAMiss) {
+    const std::string dir =
+        ::testing::TempDir() + "/xpdnn_cache_corrupt_" + std::to_string(::getpid());
+    std::filesystem::create_directories(dir);
+    ::setenv("XPDNN_CACHE_DIR", dir.c_str(), 1);
+
+    DnnConfig config = tiny_config();
+    config.pretrain_samples_per_class = 40;
+    config.pretrain_epochs = 1;
+    const std::string path = pretrained_cache_path(config, 99);
+
+    {
+        DnnModeler seedling(config, 99);
+        EXPECT_FALSE(ensure_pretrained(seedling, 99));  // cold: pretrains + stores
+    }
+    // Garbage contents: the load fails, which must count as a miss — the
+    // network is re-pretrained and the bad file silently overwritten.
+    std::ofstream(path, std::ios::trunc) << "this is not a serialized network";
+    {
+        DnnModeler repaired(config, 99);
+        EXPECT_FALSE(ensure_pretrained(repaired, 99));
+        EXPECT_TRUE(repaired.is_pretrained());
+    }
+    {
+        DnnModeler reader(config, 99);
+        EXPECT_TRUE(ensure_pretrained(reader, 99));  // repaired file hits again
+    }
+    // Truncation (e.g. a crashed writer): also a miss, also repaired.
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const std::string bytes = buffer.str();
+        ASSERT_GT(bytes.size(), 2u);
+        std::ofstream(path, std::ios::trunc | std::ios::binary)
+            << bytes.substr(0, bytes.size() / 2);
+    }
+    {
+        DnnModeler repaired(config, 99);
+        EXPECT_FALSE(ensure_pretrained(repaired, 99));
+        EXPECT_TRUE(repaired.is_pretrained());
+    }
+
+    ::unsetenv("XPDNN_CACHE_DIR");
+    std::filesystem::remove_all(dir);
 }
 
 TEST(CacheTest, EnsurePretrainedCreatesAndReusesCache) {

@@ -4,14 +4,27 @@
 
 #include <set>
 
-#include "dnn/modeler.hpp"
 #include "eval/runner.hpp"
 #include "eval/task.hpp"
+#include "modeling/session.hpp"
 #include "xpcore/rng.hpp"
 
 namespace {
 
 using namespace eval;
+
+/// A session over a tiny classifier (no disk cache) for the runner tests.
+modeling::Session tiny_session(std::uint64_t seed, std::size_t pretrain_samples,
+                               std::size_t pretrain_epochs, std::size_t adapt_samples) {
+    modeling::Options options;
+    options.seed = seed;
+    options.net.hidden = {64, 32};
+    options.net.pretrain_samples_per_class = pretrain_samples;
+    options.net.pretrain_epochs = pretrain_epochs;
+    options.net.adapt_samples_per_class = adapt_samples;
+    options.use_cache = false;
+    return modeling::Session(options);
+}
 
 TEST(MakeTask, OneParameterLayout) {
     TaskConfig config;
@@ -126,19 +139,13 @@ TEST(CellData, MedianError) {
 }
 
 TEST(Runner, SmokeTestTinyConfig) {
-    dnn::DnnConfig net_config;
-    net_config.hidden = {64, 32};
-    net_config.pretrain_samples_per_class = 100;
-    net_config.pretrain_epochs = 2;
-    net_config.adapt_samples_per_class = 60;
-    dnn::DnnModeler modeler(net_config, 31);
-    modeler.pretrain();
+    auto session = tiny_session(31, 100, 2, 60);
 
     EvalConfig config;
     config.parameters = 1;
     config.noise_levels = {0.02, 0.60};
     config.functions_per_cell = 6;
-    const auto cells = run_synthetic_evaluation(modeler, config);
+    const auto cells = run_synthetic_evaluation(session, config);
 
     ASSERT_EQ(cells.size(), 2u);
     for (const auto& cell : cells) {
@@ -158,38 +165,26 @@ TEST(Runner, SmokeTestTinyConfig) {
 }
 
 TEST(Runner, PerTaskAdaptationPathWorks) {
-    dnn::DnnConfig net_config;
-    net_config.hidden = {64, 32};
-    net_config.pretrain_samples_per_class = 60;
-    net_config.pretrain_epochs = 1;
-    net_config.adapt_samples_per_class = 40;
-    dnn::DnnModeler modeler(net_config, 41);
-    modeler.pretrain();
+    auto session = tiny_session(41, 60, 1, 40);
 
     EvalConfig config;
     config.parameters = 1;
     config.noise_levels = {0.40};
     config.functions_per_cell = 3;
     config.amortize_adaptation = false;  // the paper's one-per-task behavior
-    const auto cells = run_synthetic_evaluation(modeler, config);
+    const auto cells = run_synthetic_evaluation(session, config);
     ASSERT_EQ(cells.size(), 1u);
     EXPECT_EQ(cells[0].adaptive.lead_distances.size(), 3u);
 }
 
 TEST(Runner, AccuracyBucketsAreMonotone) {
-    dnn::DnnConfig net_config;
-    net_config.hidden = {64, 32};
-    net_config.pretrain_samples_per_class = 80;
-    net_config.pretrain_epochs = 2;
-    net_config.adapt_samples_per_class = 50;
-    dnn::DnnModeler modeler(net_config, 37);
-    modeler.pretrain();
+    auto session = tiny_session(37, 80, 2, 50);
 
     EvalConfig config;
     config.parameters = 1;
     config.noise_levels = {0.30};
     config.functions_per_cell = 8;
-    const auto cells = run_synthetic_evaluation(modeler, config);
+    const auto cells = run_synthetic_evaluation(session, config);
     for (const auto& cell : cells) {
         for (const auto* data : {&cell.regression, &cell.adaptive}) {
             EXPECT_LE(data->accuracy(0.25), data->accuracy(1.0 / 3.0) + 1e-12);

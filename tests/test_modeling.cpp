@@ -1,0 +1,196 @@
+// Tests for the unified modeling engine (src/modeling): the modeler
+// registry, session-owned resources with order-independent tasks, and the
+// provenance stamped into every Report.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "casestudy/casestudy.hpp"
+#include "measure/experiment.hpp"
+#include "modeling/modeler.hpp"
+#include "modeling/report.hpp"
+#include "modeling/session.hpp"
+#include "noise/injector.hpp"
+#include "pmnf/serialize.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+/// f(p) = 2 + 3p with mild noise — enough for the regression paths.
+measure::ExperimentSet linear_set() {
+    xpcore::Rng rng(1);
+    noise::Injector injector(0.05, rng);
+    measure::ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+        set.add({p}, injector.repetitions(2.0 + 3.0 * p, 5));
+    }
+    return set;
+}
+
+/// Options over a very small classifier, no disk cache: cheap to pretrain
+/// within a test, and hermetic.
+modeling::Options tiny_options(std::uint64_t seed) {
+    modeling::Options options;
+    options.seed = seed;
+    options.net_profile = "test-tiny";
+    options.net.hidden = {32, 16};
+    options.net.pretrain_samples_per_class = 40;
+    options.net.pretrain_epochs = 1;
+    options.net.adapt_samples_per_class = 40;
+    options.use_cache = false;
+    return options;
+}
+
+TEST(Registry, BuiltinsAreRegistered) {
+    for (const char* name : {"regression", "dnn", "ensemble", "adaptive", "batch", "noise"}) {
+        EXPECT_TRUE(modeling::is_registered(name)) << name;
+    }
+    EXPECT_FALSE(modeling::is_registered("psychic"));
+    const auto names = modeling::registered_modelers();
+    EXPECT_GE(names.size(), 6u);
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, CreateUnknownThrows) {
+    modeling::Session session{modeling::Options{}};
+    EXPECT_THROW((void)modeling::create_modeler("psychic", session), std::invalid_argument);
+    EXPECT_THROW((void)session.run("psychic", linear_set()), std::invalid_argument);
+}
+
+TEST(Registry, CustomModelersCanBeRegistered) {
+    struct Echo : modeling::Modeler {
+        std::string name() const override { return "echo"; }
+        modeling::Capabilities capabilities() const override { return {.produces_model = false}; }
+        modeling::Report model(const measure::ExperimentSet& set,
+                               modeling::Context&) override {
+            modeling::Report report;
+            report.noise = modeling::summarize_noise(set);
+            return report;
+        }
+    };
+    modeling::register_modeler("echo",
+                               [](modeling::Session&) { return std::make_unique<Echo>(); });
+    ASSERT_TRUE(modeling::is_registered("echo"));
+
+    modeling::Session session{modeling::Options{}};
+    const auto report = session.run("echo", linear_set());
+    EXPECT_EQ(report.modeler, "echo");  // stamped by the session, not the modeler
+    EXPECT_FALSE(report.has_model);
+    EXPECT_GT(report.noise.estimate, 0.0);
+}
+
+TEST(OptionsHash, CoversResultRelevantFields) {
+    const modeling::Options base;
+    EXPECT_EQ(modeling::options_hash(base), modeling::options_hash(modeling::Options{}));
+
+    modeling::Options changed;
+    changed.seed = base.seed + 1;
+    EXPECT_NE(modeling::options_hash(base), modeling::options_hash(changed));
+
+    changed = base;
+    changed.net.hidden = {16};
+    EXPECT_NE(modeling::options_hash(base), modeling::options_hash(changed));
+
+    changed = base;
+    changed.thresholds.one_parameter += 0.1;
+    EXPECT_NE(modeling::options_hash(base), modeling::options_hash(changed));
+
+    changed = base;
+    changed.ensemble_members = 3;
+    EXPECT_NE(modeling::options_hash(base), modeling::options_hash(changed));
+
+    changed = base;
+    changed.group_tolerance = 0.0;
+    EXPECT_NE(modeling::options_hash(base), modeling::options_hash(changed));
+}
+
+TEST(OptionsProfile, KnownAndUnknownNames) {
+    EXPECT_EQ(modeling::Options::profile("fast").hidden, dnn::DnnConfig::fast().hidden);
+    EXPECT_EQ(modeling::Options::profile("paper").hidden, dnn::DnnConfig::paper().hidden);
+    EXPECT_FALSE(modeling::Options::profile("tiny").hidden.empty());
+    EXPECT_THROW((void)modeling::Options::profile("bogus"), std::invalid_argument);
+}
+
+TEST(Session, StampsProvenanceIntoReports) {
+    const modeling::Options options;
+    modeling::Session session(options);
+    EXPECT_EQ(session.config_hash(), modeling::options_hash(options));
+
+    modeling::Context context;
+    context.task = "linear";
+    const auto report = session.run("regression", linear_set(), context);
+    EXPECT_EQ(report.modeler, "regression");
+    EXPECT_EQ(report.task, "linear");
+    EXPECT_EQ(report.config_hash, session.config_hash());
+    EXPECT_TRUE(report.has_model);
+    EXPECT_TRUE(report.used_regression);
+    EXPECT_FALSE(report.used_dnn);
+    EXPECT_EQ(report.winner, "regression");
+    EXPECT_GT(report.timings.total_seconds, 0.0);
+    EXPECT_GT(report.noise.estimate, 0.0);
+}
+
+TEST(Session, RegressionAlternativesAreRanked) {
+    modeling::Session session{modeling::Options{}};
+    modeling::Context context;
+    context.alternatives = 2;
+    const auto report = session.run("regression", linear_set(), context);
+    ASSERT_GE(report.alternatives.size(), 1u);
+    EXPECT_LE(report.alternatives.size(), 2u);
+    for (const auto& alternative : report.alternatives) {
+        EXPECT_GE(alternative.cv_smape, report.selected.cv_smape);
+    }
+}
+
+TEST(Session, NoiseIsDiagnosticOnly) {
+    modeling::Session session{modeling::Options{}};
+    const auto report = session.run("noise", linear_set());
+    EXPECT_FALSE(report.has_model);
+    EXPECT_TRUE(report.winner.empty());
+    EXPECT_GT(report.noise.estimate, 0.0);
+    EXPECT_LE(report.noise.min, report.noise.median);
+    EXPECT_LE(report.noise.median, report.noise.max);
+}
+
+// The adaptation-state leak regression test: domain adaptation replaces the
+// classifier's active network and advances its RNG, so without the
+// session's snapshot/restore a task's result would depend on which tasks
+// ran before it. Running task A alone in one session and after an unrelated
+// task B in another must produce byte-identical selections.
+TEST(Session, TasksAreOrderIndependent) {
+    const auto study = casestudy::relearn();
+    xpcore::Rng rng_a(101), rng_b(202);
+    const auto set_a = study.generate_modeling(study.kernels[0], rng_a);
+    const auto set_b = study.generate_modeling(study.kernels[1], rng_b);
+
+    modeling::Session first(tiny_options(11));
+    const auto alone = first.run("adaptive", set_a);
+
+    modeling::Session second(tiny_options(11));
+    (void)second.run("adaptive", set_b);  // must not leak into the next task
+    const auto after_b = second.run("adaptive", set_a);
+
+    EXPECT_EQ(pmnf::to_json(alone.selected.model), pmnf::to_json(after_b.selected.model));
+    EXPECT_EQ(alone.selected.cv_smape, after_b.selected.cv_smape);
+    EXPECT_EQ(alone.winner, after_b.winner);
+    EXPECT_EQ(alone.noise.estimate, after_b.noise.estimate);
+}
+
+TEST(Session, RepeatedRunsOfTheSameTaskAreIdentical) {
+    const auto study = casestudy::relearn();
+    xpcore::Rng rng(303);
+    const auto set = study.generate_modeling(study.kernels.front(), rng);
+
+    modeling::Session session(tiny_options(12));
+    const auto first = session.run("adaptive", set);
+    const auto second = session.run("adaptive", set);
+    EXPECT_EQ(pmnf::to_json(first.selected.model), pmnf::to_json(second.selected.model));
+    EXPECT_EQ(first.selected.cv_smape, second.selected.cv_smape);
+    EXPECT_EQ(first.winner, second.winner);
+}
+
+}  // namespace

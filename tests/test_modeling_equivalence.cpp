@@ -1,0 +1,240 @@
+// Equivalence suite for the unified modeling engine: running every path
+// through modeling::Session must select byte-identical models to calling
+// the concrete modelers directly, the way consumers did before the
+// refactor (a fresh modeler per task, as in one CLI invocation per file).
+//
+// The 17-kernel case-study snapshot (Kripke + FASTEST + RELeARN) is the
+// shared workload. The DNN-backed tests pre-warm the pretrain disk cache in
+// a private XPDNN_CACHE_DIR so the session and every fresh direct modeler
+// take the exact same load path (a cache hit draws nothing from the RNG).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "adaptive/batch.hpp"
+#include "adaptive/modeler.hpp"
+#include "casestudy/casestudy.hpp"
+#include "cli/commands.hpp"
+#include "dnn/cache.hpp"
+#include "dnn/modeler.hpp"
+#include "measure/io.hpp"
+#include "modeling/session.hpp"
+#include "pmnf/serialize.hpp"
+#include "regression/modeler.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+/// Points XPDNN_CACHE_DIR at a test-private directory for the lifetime of
+/// one test (discovered tests run in separate processes, so tests never
+/// race on a shared cache file).
+struct CacheDirGuard {
+    std::string dir;
+
+    explicit CacheDirGuard(const std::string& tag) {
+        dir = ::testing::TempDir() + "/xpdnn_equiv_" + tag + "_" +
+              std::to_string(::getpid());
+        std::filesystem::create_directories(dir);
+        ::setenv("XPDNN_CACHE_DIR", dir.c_str(), 1);
+    }
+    ~CacheDirGuard() {
+        ::unsetenv("XPDNN_CACHE_DIR");
+        std::filesystem::remove_all(dir);
+    }
+};
+
+modeling::Options equivalence_options() {
+    modeling::Options options;
+    options.seed = 7;
+    options.net_profile = "equiv-tiny";
+    options.net.hidden = {32, 16};
+    options.net.pretrain_samples_per_class = 60;
+    options.net.pretrain_epochs = 1;
+    options.net.adapt_samples_per_class = 40;
+    return options;  // use_cache stays on: both paths load the warmed cache
+}
+
+/// The repo's 17-kernel selection snapshot (EXPERIMENTS.md): Kripke's 6
+/// and FASTEST's first 11 performance-relevant kernels, one deterministic
+/// experiment set each.
+std::vector<modeling::Session::Task> case_study_tasks() {
+    std::vector<modeling::Session::Task> tasks;
+    std::uint64_t seed = 1000;
+    for (const auto& study : {casestudy::kripke(), casestudy::fastest()}) {
+        std::size_t taken = 0;
+        for (const auto* kernel : study.relevant_kernels()) {
+            if (study.application == "FASTEST" && taken == 11) break;
+            xpcore::Rng rng(seed++);
+            tasks.push_back({study.application + "/" + kernel->name,
+                             study.generate_modeling(*kernel, rng)});
+            ++taken;
+        }
+    }
+    return tasks;
+}
+
+void warm_cache(const modeling::Options& options) {
+    dnn::DnnModeler modeler(options.net, options.seed);
+    dnn::ensure_pretrained(modeler, options.seed);
+}
+
+TEST(Equivalence, CaseStudySnapshotHasSeventeenKernels) {
+    EXPECT_EQ(case_study_tasks().size(), 17u);
+}
+
+TEST(Equivalence, RegressionMatchesDirectModeler) {
+    const auto options = equivalence_options();
+    modeling::Session session(options);
+    const regression::RegressionModeler direct(options.regression);
+    for (const auto& task : case_study_tasks()) {
+        const auto expected = direct.model(task.experiments);
+        const auto report = session.run("regression", task.experiments);
+        EXPECT_EQ(pmnf::to_json(report.selected.model), pmnf::to_json(expected.model))
+            << task.name;
+        EXPECT_EQ(report.selected.cv_smape, expected.cv_smape) << task.name;
+        EXPECT_EQ(report.selected.fit_smape, expected.fit_smape) << task.name;
+    }
+}
+
+TEST(Equivalence, DnnMatchesFreshModelerPerKernel) {
+    CacheDirGuard cache("dnn");
+    const auto options = equivalence_options();
+    warm_cache(options);
+    modeling::Session session(options);
+    for (const auto& task : case_study_tasks()) {
+        dnn::DnnModeler direct(options.net, options.seed);
+        ASSERT_TRUE(dnn::ensure_pretrained(direct, options.seed)) << task.name;
+        direct.adapt(dnn::TaskProperties::from_experiment(task.experiments));
+        const auto expected = direct.model(task.experiments);
+
+        const auto report = session.run("dnn", task.experiments);
+        EXPECT_EQ(pmnf::to_json(report.selected.model), pmnf::to_json(expected.model))
+            << task.name;
+        EXPECT_EQ(report.selected.cv_smape, expected.cv_smape) << task.name;
+    }
+}
+
+TEST(Equivalence, AdaptiveMatchesFreshModelerPerKernel) {
+    CacheDirGuard cache("adaptive");
+    const auto options = equivalence_options();
+    warm_cache(options);
+    modeling::Session session(options);
+    const adaptive::AdaptiveModeler::Config config{options.thresholds,
+                                                   options.domain_adaptation,
+                                                   options.regression};
+    for (const auto& task : case_study_tasks()) {
+        dnn::DnnModeler classifier(options.net, options.seed);
+        ASSERT_TRUE(dnn::ensure_pretrained(classifier, options.seed)) << task.name;
+        adaptive::AdaptiveModeler direct(classifier, config);
+        const auto expected = direct.model(task.experiments);
+
+        const auto report = session.run("adaptive", task.experiments);
+        EXPECT_EQ(pmnf::to_json(report.selected.model),
+                  pmnf::to_json(expected.result.model))
+            << task.name;
+        EXPECT_EQ(report.selected.cv_smape, expected.result.cv_smape) << task.name;
+        EXPECT_EQ(report.winner, expected.winner) << task.name;
+        EXPECT_EQ(report.used_regression, expected.used_regression) << task.name;
+        EXPECT_EQ(report.used_dnn, expected.used_dnn) << task.name;
+        EXPECT_EQ(report.noise.estimate, expected.estimated_noise) << task.name;
+    }
+}
+
+TEST(Equivalence, BatchMatchesDirectBatchModeler) {
+    CacheDirGuard cache("batch");
+    const auto options = equivalence_options();
+    warm_cache(options);
+    const auto tasks = case_study_tasks();
+
+    modeling::Session session(options);
+    const auto batch = session.run_batch(tasks);
+
+    dnn::DnnModeler classifier(options.net, options.seed);
+    ASSERT_TRUE(dnn::ensure_pretrained(classifier, options.seed));
+    adaptive::BatchModeler direct(
+        classifier, {{options.thresholds, options.domain_adaptation, options.regression},
+                     options.group_tolerance});
+    const auto expected = direct.model(tasks);
+
+    ASSERT_EQ(batch.reports.size(), expected.size());
+    EXPECT_EQ(batch.adaptations, direct.adaptations_performed());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(batch.reports[i].task, expected[i].name);
+        EXPECT_EQ(batch.reports[i].cluster, expected[i].cluster);
+        EXPECT_EQ(pmnf::to_json(batch.reports[i].selected.model),
+                  pmnf::to_json(expected[i].outcome.result.model))
+            << expected[i].name;
+        EXPECT_EQ(batch.reports[i].winner, expected[i].outcome.winner) << expected[i].name;
+    }
+}
+
+// ---- CLI-level equivalence -------------------------------------------------
+// The acceptance bar: a `xpdnn model` invocation selects the same model as
+// the concrete modelers called directly on the same file.
+
+struct CliResult {
+    int code;
+    std::string out;
+    std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> argv_strings) {
+    argv_strings.insert(argv_strings.begin(), "xpdnn");
+    std::vector<const char*> argv;
+    for (const auto& s : argv_strings) argv.push_back(s.c_str());
+    std::ostringstream out, err;
+    const int code = cli::run(static_cast<int>(argv.size()), argv.data(), out, err);
+    return {code, out.str(), err.str()};
+}
+
+std::string first_line(const std::string& text) {
+    return text.substr(0, text.find('\n'));
+}
+
+std::string write_kernel_measurements(const std::string& tag) {
+    const auto study = casestudy::relearn();
+    xpcore::Rng rng(4242);
+    const auto set = study.generate_modeling(study.kernels.front(), rng);
+    const std::string path = ::testing::TempDir() + "/xpdnn_equiv_cli_" + tag + "_" +
+                             std::to_string(::getpid()) + ".txt";
+    measure::save_text_file(set, path);
+    return path;
+}
+
+TEST(Equivalence, CliRegressionMatchesDirectModeler) {
+    const std::string path = write_kernel_measurements("reg");
+    const auto result = run_cli({"model", path, "--modeler=regression", "--json"});
+    ASSERT_EQ(result.code, 0) << result.err;
+
+    const auto set = measure::load_text_file(path);
+    const auto expected = regression::RegressionModeler().model(set);
+    EXPECT_EQ(first_line(result.out), pmnf::to_json(expected.model));
+}
+
+TEST(Equivalence, CliAdaptiveMatchesDirectPipeline) {
+    CacheDirGuard cache("cli");
+    const std::string path = write_kernel_measurements("ada");
+    const dnn::DnnConfig net = modeling::Options::profile("tiny");
+    warm_cache([&] {
+        modeling::Options options;
+        options.net = net;
+        return options;
+    }());
+
+    const auto result = run_cli({"model", path, "--modeler=adaptive", "--net=tiny", "--json"});
+    ASSERT_EQ(result.code, 0) << result.err;
+
+    const auto set = measure::load_text_file(path);
+    dnn::DnnModeler classifier(net, 7);
+    ASSERT_TRUE(dnn::ensure_pretrained(classifier, 7));
+    adaptive::AdaptiveModeler direct(classifier, {{}, true, {}});
+    EXPECT_EQ(first_line(result.out), pmnf::to_json(direct.model(set).result.model));
+}
+
+}  // namespace

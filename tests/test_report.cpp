@@ -1,0 +1,240 @@
+// Tests for the versioned report JSON schema (modeling/report.hpp): byte
+// round trips, structured parse diagnostics, the model extractor used by
+// `xpdnn predict`, and the CLI golden path for `xpdnn model --report=json`.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cli/commands.hpp"
+#include "measure/io.hpp"
+#include "modeling/report.hpp"
+#include "noise/injector.hpp"
+#include "pmnf/serialize.hpp"
+#include "xpcore/error.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+pmnf::Model linear_model() {
+    pmnf::CompoundTerm term{3.0, {{0, {pmnf::Rational(1), 0}}}};
+    return pmnf::Model(2.0, {term});
+}
+
+modeling::Report sample_report() {
+    modeling::Report report;
+    report.modeler = "adaptive";
+    report.task = "kernel \"a\"\n";  // exercises string escaping
+    report.config_hash = 0x9f2c0000000000ffull;
+    report.noise = {0.07, 0.01, 0.55, 0.12, 0.09};
+    report.winner = "dnn";
+    report.used_regression = true;
+    report.used_dnn = true;
+    report.cluster = 2;
+    report.has_model = true;
+    report.selected = {linear_model(), 3.25, 1.5};
+    report.alternatives.push_back({pmnf::Model::constant_model(4.5), 7.125, 6.0});
+    report.timings = {0.25, 12.5, 13.0};
+    return report;
+}
+
+TEST(ReportJson, RoundTripsByteExactly) {
+    const auto report = sample_report();
+    const std::string text = modeling::to_json(report);
+    const auto parsed = modeling::report_from_json(text);
+    EXPECT_EQ(modeling::to_json(parsed), text);
+
+    EXPECT_EQ(parsed.version, modeling::kReportSchemaVersion);
+    EXPECT_EQ(parsed.modeler, "adaptive");
+    EXPECT_EQ(parsed.task, "kernel \"a\"\n");
+    EXPECT_EQ(parsed.config_hash, 0x9f2c0000000000ffull);
+    EXPECT_EQ(parsed.winner, "dnn");
+    EXPECT_TRUE(parsed.used_regression);
+    EXPECT_TRUE(parsed.used_dnn);
+    EXPECT_EQ(parsed.cluster, 2u);
+    EXPECT_TRUE(parsed.has_model);
+    EXPECT_EQ(parsed.alternatives.size(), 1u);
+    EXPECT_DOUBLE_EQ(parsed.noise.estimate, 0.07);
+    EXPECT_DOUBLE_EQ(parsed.selected.cv_smape, 3.25);
+    EXPECT_DOUBLE_EQ(parsed.timings.dnn_seconds, 12.5);
+    EXPECT_EQ(pmnf::to_json(parsed.selected.model), pmnf::to_json(linear_model()));
+}
+
+TEST(ReportJson, DiagnosticReportRoundTrips) {
+    modeling::Report report;
+    report.modeler = "noise";
+    report.noise = {0.3, 0.1, 0.5, 0.3, 0.3};
+    const std::string text = modeling::to_json(report);
+    const auto parsed = modeling::report_from_json(text);
+    EXPECT_EQ(modeling::to_json(parsed), text);
+    EXPECT_FALSE(parsed.has_model);
+    EXPECT_TRUE(parsed.task.empty());  // empty task is omitted from the JSON
+    EXPECT_EQ(text.find("\"task\""), std::string::npos);
+}
+
+TEST(ReportJson, SchemaKeyComesFirst) {
+    const std::string text = modeling::to_json(sample_report());
+    EXPECT_EQ(text.rfind("{\"schema\": \"xpdnn.report\"", 0), 0u);
+}
+
+TEST(ReportJson, ParseErrorsCarryLineAndColumn) {
+    const std::string text =
+        "{\"schema\": \"xpdnn.report\",\n \"version\": 1,\n \"bogus\": 3}";
+    try {
+        (void)modeling::report_from_json(text, "in-memory");
+        FAIL() << "unknown key accepted";
+    } catch (const xpcore::ParseError& e) {
+        EXPECT_EQ(e.source(), "in-memory");
+        EXPECT_EQ(e.line(), 3u);
+        EXPECT_GT(e.column(), 0u);
+        EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+    }
+}
+
+TEST(ReportJson, UnsupportedVersionIsRejected) {
+    const std::string text = "{\"schema\": \"xpdnn.report\", \"version\": 2}";
+    EXPECT_THROW((void)modeling::report_from_json(text), xpcore::ParseError);
+}
+
+TEST(ReportJson, TruncatedDocumentIsRejected) {
+    const std::string text = modeling::to_json(sample_report());
+    for (std::size_t cut : {std::size_t{1}, text.size() / 2, text.size() - 1}) {
+        EXPECT_THROW((void)modeling::report_from_json(text.substr(0, cut)),
+                     xpcore::ParseError)
+            << "cut at " << cut;
+    }
+}
+
+TEST(ModelExtractor, AcceptsBareModelDocuments) {
+    const auto model = modeling::model_from_json_document(pmnf::to_json(linear_model()));
+    EXPECT_DOUBLE_EQ(model.evaluate({{10.0}}), 32.0);
+}
+
+TEST(ModelExtractor, AcceptsReportDocuments) {
+    const auto model =
+        modeling::model_from_json_document(modeling::to_json(sample_report()));
+    EXPECT_DOUBLE_EQ(model.evaluate({{10.0}}), 32.0);
+}
+
+TEST(ModelExtractor, RejectsDiagnosticReports) {
+    modeling::Report report;
+    report.modeler = "noise";
+    EXPECT_THROW((void)modeling::model_from_json_document(modeling::to_json(report)),
+                 xpcore::ValidationError);
+}
+
+TEST(ModelExtractor, WrapsEmbeddedModelErrors) {
+    // Structurally valid JSON (so the report parser extracts it) that the
+    // pmnf reader rejects: the error must surface wrapped, with location.
+    const std::string text =
+        "{\"schema\": \"xpdnn.report\", \"version\": 1, "
+        "\"model\": {\"cv_smape\": 1.0, \"fit_smape\": 1.0, \"pmnf\": {\"constant\": \"x\"}}}";
+    try {
+        (void)modeling::report_from_json(text);
+        FAIL() << "corrupt embedded model accepted";
+    } catch (const xpcore::ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("embedded model"), std::string::npos);
+    }
+}
+
+TEST(ModelExtractor, GarbageIsAParseError) {
+    EXPECT_THROW((void)modeling::model_from_json_document("not json at all"),
+                 xpcore::ParseError);
+    EXPECT_THROW((void)modeling::model_from_json_document(""), xpcore::ParseError);
+}
+
+// ---- CLI golden path -------------------------------------------------------
+
+struct CliResult {
+    int code;
+    std::string out;
+    std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> argv_strings) {
+    argv_strings.insert(argv_strings.begin(), "xpdnn");
+    std::vector<const char*> argv;
+    for (const auto& s : argv_strings) argv.push_back(s.c_str());
+    std::ostringstream out, err;
+    const int code = cli::run(static_cast<int>(argv.size()), argv.data(), out, err);
+    return {code, out.str(), err.str()};
+}
+
+std::string write_linear_measurements() {
+    const std::string path = ::testing::TempDir() + "/xpdnn_report_linear_" +
+                             std::to_string(::getpid()) + ".txt";
+    xpcore::Rng rng(1);
+    noise::Injector injector(0.05, rng);
+    measure::ExperimentSet set({"p"});
+    for (double p : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+        set.add({p}, injector.repetitions(2.0 + 3.0 * p, 5));
+    }
+    measure::save_text_file(set, path);
+    return path;
+}
+
+std::string first_line(const std::string& text) {
+    return text.substr(0, text.find('\n'));
+}
+
+TEST(ReportCli, ModelReportJsonIsGoldenRoundTrip) {
+    const std::string path = write_linear_measurements();
+    const auto result = run_cli({"model", path, "--modeler=regression", "--report=json"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    const std::string line = first_line(result.out);
+
+    const auto report = modeling::report_from_json(line, "<cli>");
+    EXPECT_EQ(modeling::to_json(report), line);  // parse -> serialize is the identity
+    EXPECT_EQ(report.modeler, "regression");
+    EXPECT_EQ(report.winner, "regression");
+    EXPECT_TRUE(report.has_model);
+    EXPECT_NE(report.config_hash, 0u);
+    EXPECT_GT(report.timings.total_seconds, 0.0);
+
+    // The report's embedded model is byte-identical to the --json output.
+    const auto json_result = run_cli({"model", path, "--modeler=regression", "--json"});
+    ASSERT_EQ(json_result.code, 0) << json_result.err;
+    EXPECT_EQ(pmnf::to_json(report.selected.model), first_line(json_result.out));
+}
+
+TEST(ReportCli, NoiseReportJsonIsDiagnosticOnly) {
+    const auto result = run_cli({"noise", write_linear_measurements(), "--report=json"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    const auto report = modeling::report_from_json(first_line(result.out), "<cli>");
+    EXPECT_EQ(report.modeler, "noise");
+    EXPECT_FALSE(report.has_model);
+    EXPECT_GT(report.noise.estimate, 0.0);
+    EXPECT_THROW((void)modeling::model_from_json_document(first_line(result.out)),
+                 xpcore::ValidationError);
+}
+
+TEST(ReportCli, PredictAcceptsReportDocuments) {
+    const std::string data = write_linear_measurements();
+    const auto modeled = run_cli({"model", data, "--modeler=regression", "--report=json"});
+    ASSERT_EQ(modeled.code, 0) << modeled.err;
+    const std::string report_path = ::testing::TempDir() + "/xpdnn_report_doc_" +
+                                    std::to_string(::getpid()) + ".json";
+    std::ofstream(report_path) << first_line(modeled.out);
+
+    const auto predicted = run_cli({"predict", report_path, "10"});
+    ASSERT_EQ(predicted.code, 0) << predicted.err;
+    EXPECT_NEAR(std::stod(predicted.out), 32.0, 5.0);
+
+    // Bare model document and report document predict identically.
+    const auto json = run_cli({"model", data, "--modeler=regression", "--json"});
+    ASSERT_EQ(json.code, 0) << json.err;
+    const std::string model_path = ::testing::TempDir() + "/xpdnn_report_model_" +
+                                   std::to_string(::getpid()) + ".json";
+    std::ofstream(model_path) << first_line(json.out);
+    const auto predicted_bare = run_cli({"predict", model_path, "10"});
+    ASSERT_EQ(predicted_bare.code, 0) << predicted_bare.err;
+    EXPECT_EQ(predicted.out, predicted_bare.out);
+}
+
+}  // namespace

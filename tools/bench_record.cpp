@@ -2,8 +2,10 @@
 /// Records the SIMD-backend performance trajectory in BENCH_nn.json:
 /// GEMM GFLOP/s scalar vs SIMD, one-epoch training time scalar vs SIMD
 /// (single-threaded, the acceptance number for the ">= 2x" criterion),
-/// and heap allocations per steady-state training step / batched inference
-/// call (counted with an interposed global operator new).
+/// heap allocations per steady-state training step / batched inference
+/// call (counted with an interposed global operator new), and end-to-end
+/// adaptive-modeling timings read from the modeling session's Report
+/// (informational, not gated).
 ///
 /// Options:
 ///   --json=FILE   output path (default BENCH_nn.json)
@@ -18,7 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "casestudy/casestudy.hpp"
 #include "dnn/modeler.hpp"
+#include "modeling/session.hpp"
 #include "nn/network.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/trainer.hpp"
@@ -142,6 +146,27 @@ long long classify_allocs() {
     return g_allocs.load() - before;
 }
 
+/// End-to-end adaptive modeling of one simulated RELeARN kernel on a tiny
+/// network. The per-path seconds come out of the session's Report — the
+/// same numbers every other consumer sees — instead of re-measuring with a
+/// separate stopwatch around the call.
+modeling::Report modeling_report() {
+    xpcore::SerialGuard serial;
+    modeling::Options options;
+    options.net_profile = "bench-tiny";
+    options.net.hidden = {64, 32};
+    options.net.pretrain_samples_per_class = 40;
+    options.net.pretrain_epochs = 1;
+    options.net.adapt_samples_per_class = 40;
+    options.use_cache = false;  // keep the bench hermetic: no cache files
+    modeling::Session session(options);
+
+    const casestudy::CaseStudy study = casestudy::relearn();
+    xpcore::Rng rng(2021);
+    const auto set = study.generate_modeling(study.kernels.front(), rng);
+    return session.run("adaptive", set);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,6 +210,11 @@ int main(int argc, char** argv) {
     std::printf("steady-state allocs: train epoch %lld, classify_lines %lld\n", step_allocs,
                 infer_allocs);
 
+    const modeling::Report report = modeling_report();
+    std::printf("adaptive modeling (tiny net): regression %.4fs, dnn %.4fs, total %.4fs\n",
+                report.timings.regression_seconds, report.timings.dnn_seconds,
+                report.timings.total_seconds);
+
     std::ofstream out(json_path);
     out << "{\n"
         << "  \"simd_max\": \"" << xpcore::simd::level_name(xpcore::simd::max_level())
@@ -195,7 +225,11 @@ int main(int argc, char** argv) {
         << ", \"seconds_scalar\": " << scalar_epoch << ", \"seconds_simd\": " << simd_epoch
         << ", \"speedup\": " << speedup << "},\n"
         << "  \"allocs\": {\"steady_train_epoch\": " << step_allocs
-        << ", \"steady_classify_lines\": " << infer_allocs << "}\n"
+        << ", \"steady_classify_lines\": " << infer_allocs << "},\n"
+        << "  \"modeling\": {\"modeler\": \"" << report.modeler << "\", \"winner\": \""
+        << report.winner << "\", \"regression_seconds\": " << report.timings.regression_seconds
+        << ", \"dnn_seconds\": " << report.timings.dnn_seconds
+        << ", \"total_seconds\": " << report.timings.total_seconds << "}\n"
         << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
 

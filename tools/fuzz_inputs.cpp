@@ -1,7 +1,8 @@
 // Deterministic mutation fuzzer for the text-input pipeline.
 //
-// Exercises measure::try_load_text / try_load_archive and dnn::preprocess_line
-// with three kinds of input per iteration:
+// Exercises measure::try_load_text / try_load_archive, dnn::preprocess_line,
+// and the report/model JSON readers (modeling/report.hpp) with five kinds of
+// input per iteration:
 //
 //   1. Clean, serializer-produced files: must load, and must round-trip
 //      bit-exactly (save -> load -> save yields identical bytes).
@@ -11,11 +12,18 @@
 //      No other exception type and no crash is acceptable.
 //   3. Random (mostly invalid) preprocess_line inputs: must either produce
 //      an all-finite network input or throw xpcore::ValidationError.
+//   4. Clean report documents from modeling::to_json: must parse back and
+//      re-serialize byte-exactly, and model_from_json_document must agree
+//      with the report's has_model flag.
+//   5. Mutated report/model JSON through model_from_json_document (the
+//      `xpdnn predict` entry point, which accepts both schemas): must
+//      either return a model or throw a typed xpcore::Error — never any
+//      other exception, never a crash.
 //
 // The run is fully deterministic for a given --seed, so any failure is
 // reproducible with the printed iteration number.
 //
-// Usage: fuzz_inputs [--iterations=N] [--seed=S] [--verbose]
+// Usage: fuzz_inputs [--iterations=N] [--seed=S] [--only=report] [--verbose]
 
 #include <cmath>
 #include <cstdint>
@@ -29,6 +37,9 @@
 #include "dnn/preprocess.hpp"
 #include "measure/archive.hpp"
 #include "measure/io.hpp"
+#include "modeling/report.hpp"
+#include "pmnf/model.hpp"
+#include "pmnf/serialize.hpp"
 #include "xpcore/error.hpp"
 #include "xpcore/rng.hpp"
 
@@ -264,22 +275,150 @@ void check_preprocess(Stats& stats, std::uint64_t iter, xpcore::Rng& rng) {
     }
 }
 
+// ---- report / model JSON --------------------------------------------------
+
+pmnf::Model random_model(xpcore::Rng& rng) {
+    std::vector<pmnf::CompoundTerm> terms;
+    const int term_count = static_cast<int>(rng.uniform_int(0, 3));
+    for (int t = 0; t < term_count; ++t) {
+        pmnf::CompoundTerm term;
+        term.coefficient = rng.uniform(-1e3, 1e3);
+        const int factor_count = static_cast<int>(rng.uniform_int(1, 3));
+        for (int f = 0; f < factor_count; ++f) {
+            pmnf::TermFactor factor;
+            factor.parameter = static_cast<std::size_t>(rng.uniform_int(0, 2));
+            factor.cls.i = pmnf::Rational(static_cast<int>(rng.uniform_int(0, 5)),
+                                          static_cast<int>(rng.uniform_int(1, 5)));
+            factor.cls.j = static_cast<int>(rng.uniform_int(0, 2));
+            term.factors.push_back(factor);
+        }
+        terms.push_back(std::move(term));
+    }
+    return pmnf::Model(rng.uniform(-10.0, 100.0), std::move(terms));
+}
+
+modeling::ReportEntry random_entry(xpcore::Rng& rng) {
+    modeling::ReportEntry entry;
+    entry.model = random_model(rng);
+    entry.cv_smape = rng.uniform(0.0, 100.0);
+    entry.fit_smape = rng.uniform(0.0, 100.0);
+    return entry;
+}
+
+modeling::Report random_report(xpcore::Rng& rng) {
+    static const std::vector<std::string> modelers = {"regression", "dnn", "ensemble",
+                                                      "adaptive", "batch", "noise"};
+    // Task labels exercise the string escaping paths (quotes, control chars).
+    static const std::vector<std::string> tasks = {
+        "", "kernel0", "update electrical activity", "with \"quotes\"",
+        "tab\there", "line\nbreak", std::string("ctrl\x01char"), "back\\slash"};
+    modeling::Report report;
+    report.modeler = rng.pick(modelers);
+    report.task = rng.pick(tasks);
+    report.config_hash = (static_cast<std::uint64_t>(rng.uniform_int(0, 0xFFFFFFFF)) << 32) |
+                         static_cast<std::uint64_t>(rng.uniform_int(0, 0xFFFFFFFF));
+    report.noise.estimate = rng.uniform(0.0, 2.0);
+    report.noise.min = rng.uniform(0.0, 0.1);
+    report.noise.max = rng.uniform(0.1, 3.0);
+    report.noise.mean = rng.uniform(0.0, 1.0);
+    report.noise.median = rng.uniform(0.0, 1.0);
+    report.winner = rng.chance(0.5) ? "regression" : "dnn";
+    report.used_regression = rng.chance(0.7);
+    report.used_dnn = rng.chance(0.7);
+    report.cluster = static_cast<std::size_t>(rng.uniform_int(0, 5));
+    report.timings.regression_seconds = rng.uniform(0.0, 1.0);
+    report.timings.dnn_seconds = rng.uniform(0.0, 60.0);
+    report.timings.total_seconds = rng.uniform(0.0, 61.0);
+    report.has_model = rng.chance(0.8);
+    if (report.has_model) {
+        report.selected = random_entry(rng);
+        const int alternatives = static_cast<int>(rng.uniform_int(0, 2));
+        for (int a = 0; a < alternatives; ++a) report.alternatives.push_back(random_entry(rng));
+    } else {
+        report.winner.clear();
+    }
+    return report;
+}
+
+/// Clean reports must round-trip byte-exactly, and the model extractor must
+/// agree with has_model (returning the selected model, or rejecting a
+/// diagnostic-only report with a ValidationError).
+void check_clean_report(Stats& stats, std::uint64_t iter, xpcore::Rng& rng) {
+    const modeling::Report report = random_report(rng);
+    const std::string text = modeling::to_json(report);
+    try {
+        const modeling::Report parsed = modeling::report_from_json(text, "<fuzz>");
+        if (modeling::to_json(parsed) != text) {
+            violation(stats, iter, "clean report does not round-trip bit-exactly", text);
+            return;
+        }
+        try {
+            const pmnf::Model model = modeling::model_from_json_document(text, "<fuzz>");
+            if (!report.has_model) {
+                violation(stats, iter, "extracted a model from a diagnostic-only report", text);
+                return;
+            }
+            if (pmnf::to_json(model) != pmnf::to_json(report.selected.model)) {
+                violation(stats, iter, "extracted model differs from the selected model", text);
+                return;
+            }
+        } catch (const xpcore::ValidationError&) {
+            if (report.has_model) {
+                violation(stats, iter, "model-bearing report rejected by the extractor", text);
+                return;
+            }
+        }
+        ++stats.accepted;
+    } catch (const xpcore::Error& e) {
+        violation(stats, iter, std::string("clean report rejected: ") + e.what(), text);
+    } catch (const std::exception& e) {
+        violation(stats, iter,
+                  std::string("clean report raised non-taxonomy exception: ") + e.what(), text);
+    }
+}
+
+/// Mutated report/model documents through the `xpdnn predict` entry point:
+/// either a model comes back or a typed xpcore::Error is thrown.
+void check_mutated_document(Stats& stats, std::uint64_t iter, const std::string& text) {
+    try {
+        (void)modeling::model_from_json_document(text, "<fuzz>");
+        ++stats.accepted;
+    } catch (const xpcore::Error& e) {
+        if (std::string(e.what()).empty()) {
+            violation(stats, iter, "document rejected with an empty message", text);
+            return;
+        }
+        ++stats.rejected;
+    } catch (const std::exception& e) {
+        violation(stats, iter,
+                  std::string("model_from_json_document raised non-taxonomy exception: ") +
+                      e.what(),
+                  text);
+    } catch (...) {
+        violation(stats, iter, "model_from_json_document threw a non-std exception", text);
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::uint64_t iterations = 10000;
     std::uint64_t seed = 1;
     bool verbose = false;
+    bool only_report = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--iterations=", 0) == 0) {
             iterations = std::strtoull(arg.c_str() + 13, nullptr, 10);
         } else if (arg.rfind("--seed=", 0) == 0) {
             seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        } else if (arg == "--only=report") {
+            only_report = true;
         } else if (arg == "--verbose") {
             verbose = true;
         } else {
-            std::cerr << "usage: fuzz_inputs [--iterations=N] [--seed=S] [--verbose]\n";
+            std::cerr
+                << "usage: fuzz_inputs [--iterations=N] [--seed=S] [--only=report] [--verbose]\n";
             return 2;
         }
     }
@@ -311,12 +450,20 @@ int main(int argc, char** argv) {
 
     for (std::uint64_t iter = 0; iter < iterations; ++iter) {
         xpcore::Rng rng = master.split();
-        switch (iter % 5) {
+        switch (only_report ? 5 + iter % 2 : iter % 7) {
             case 0: check_clean(stats, iter, clean_set_text(rng), load_set, save_set); break;
             case 1: check_clean(stats, iter, clean_archive_text(rng), load_arch, save_arch); break;
             case 2: check_mutated(stats, iter, mutate(clean_set_text(rng), rng), try_set); break;
             case 3: check_mutated(stats, iter, mutate(clean_archive_text(rng), rng), try_arch); break;
             case 4: check_preprocess(stats, iter, rng); break;
+            case 5: check_clean_report(stats, iter, rng); break;
+            case 6: {
+                const std::string doc = rng.chance(0.5)
+                                            ? modeling::to_json(random_report(rng))
+                                            : pmnf::to_json(random_model(rng));
+                check_mutated_document(stats, iter, mutate(doc, rng));
+                break;
+            }
         }
         if (verbose && (iter + 1) % 1000 == 0) {
             std::cerr << "  " << (iter + 1) << "/" << iterations << " iterations\n";
