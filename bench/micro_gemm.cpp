@@ -1,20 +1,28 @@
 /// \file micro_gemm.cpp
 /// Before/after micro-benchmark of the GEMM kernels: the seed's unblocked
 /// single-threaded loops (reimplemented locally as the "before" baseline)
-/// vs. the cache-blocked scalar kernels vs. the packed AVX2/FMA microkernel,
-/// serial and pool-parallel.
+/// vs. the cache-blocked scalar kernels vs. the packed AVX2/FMA and AVX-512
+/// microkernels, serial and pool-parallel.
+///
+/// Every configuration is timed --repeats times after a warm-up run; the
+/// reported rate is the *median* repeat and the run-to-run spread
+/// ((max - min) / median) is printed alongside, so a noisy measurement is
+/// visible instead of silently skewing the trajectory (the source paper is
+/// about exactly this failure mode).
 ///
 /// Correctness gates (exit 1 on violation):
 ///   * the scalar blocked kernels must be bit-identical to the seed loops —
 ///     they only re-block and re-partition, never reorder the per-element
 ///     accumulation;
 ///   * the SIMD kernels use FMA and a different summation tree, so they are
-///     tolerance-checked instead: max |simd - seed| / max|C| <= 1e-5.
+///     tolerance-checked instead: max |simd - seed| / max|C| <= 1e-5, at
+///     every vector level the host supports.
 ///
 /// Options:
 ///   --sizes=N1,N2,..  square problem sizes (default 256,512,1024,1500)
 ///   --batch=B         also run the training shapes B x N x N / N x B x N
 ///   --iters=K         fixed iteration count (default: sized to ~1 GFLOP)
+///   --repeats=R       timing repeats per configuration (default 3)
 ///   --json=FILE       machine-readable results (BENCH_gemm.json convention)
 ///   --smoke           tiny sizes + 1 iteration (CI bit-rot gate)
 
@@ -105,23 +113,41 @@ struct Result {
     std::size_t m, k, n;
     double gflops_seed = 0.0;
     double gflops_blocked = 0.0;
-    double gflops_simd = 0.0;
+    double gflops_avx2 = 0.0;
+    double gflops_avx512 = 0.0;
     double gflops_parallel = 0.0;
+    double spread_max = 0.0;         ///< worst (max-min)/median over the configs
     bool bit_identical = true;       ///< scalar blocked vs seed
-    double simd_rel_err = 0.0;       ///< max |simd - seed| / max|C|
+    double simd_rel_err = 0.0;       ///< max |simd - seed| / max|C|, worst level
     bool simd_within_tol = true;
 };
 
 constexpr double kSimdRelTol = 1e-5;
 
+// Timing repeats per configuration (--repeats); median reported, spread kept.
+std::size_t g_repeats = 3;
+
+/// Median-of-g_repeats GF/s after one warm-up run. `spread_max` is raised to
+/// the run-to-run spread (max - min) / median when that is larger.
 template <typename Fn>
-double time_gflops(std::size_t flops, std::size_t iters, const Fn& fn) {
+double time_gflops(std::size_t flops, std::size_t iters, double& spread_max, const Fn& fn) {
     fn();  // warm-up (also populates caches and the pool)
-    xpcore::WallTimer timer;
-    for (std::size_t it = 0; it < iters; ++it) fn();
-    const double seconds = timer.seconds();
-    return seconds > 0 ? static_cast<double>(flops) * static_cast<double>(iters) / seconds / 1e9
-                       : 0.0;
+    std::vector<double> rates;
+    rates.reserve(g_repeats);
+    for (std::size_t rep = 0; rep < std::max<std::size_t>(g_repeats, 1); ++rep) {
+        xpcore::WallTimer timer;
+        for (std::size_t it = 0; it < iters; ++it) fn();
+        const double seconds = timer.seconds();
+        rates.push_back(seconds > 0 ? static_cast<double>(flops) *
+                                          static_cast<double>(iters) / seconds / 1e9
+                                    : 0.0);
+    }
+    std::sort(rates.begin(), rates.end());
+    const double median = rates[rates.size() / 2];
+    if (median > 0) {
+        spread_max = std::max(spread_max, (rates.back() - rates.front()) / median);
+    }
+    return median;
 }
 
 bool identical(const Tensor& a, const Tensor& b) {
@@ -148,7 +174,8 @@ Result run_shape(const char* kernel, std::size_t m, std::size_t k, std::size_t n
             ? iters_override
             : std::max<std::size_t>(1, (std::size_t{1} << 30) / std::max<std::size_t>(1, flops));
 
-    const bool have_simd = xpcore::simd::max_level() >= xpcore::simd::Level::Avx2;
+    const bool have_avx2 = xpcore::simd::max_level() >= xpcore::simd::Level::Avx2;
+    const bool have_avx512 = xpcore::simd::max_level() >= xpcore::simd::Level::Avx512;
 
     Result result;
     result.kernel = kernel;
@@ -156,26 +183,35 @@ Result run_shape(const char* kernel, std::size_t m, std::size_t k, std::size_t n
     result.k = k;
     result.n = n;
     auto bench = [&](auto&& seed_fn, auto&& new_fn, const Tensor& c, Tensor& c2) {
-        result.gflops_seed = time_gflops(flops, iters, seed_fn);
+        result.gflops_seed = time_gflops(flops, iters, result.spread_max, seed_fn);
         {
             // Scalar blocked, serial: must reproduce the seed bit for bit.
             xpcore::simd::LevelGuard scalar(xpcore::simd::Level::Scalar);
             xpcore::SerialGuard serial;
-            result.gflops_blocked = time_gflops(flops, iters, new_fn);
+            result.gflops_blocked = time_gflops(flops, iters, result.spread_max, new_fn);
             result.bit_identical = identical(c, c2);
         }
-        if (have_simd) {
+        if (have_avx2) {
             xpcore::simd::LevelGuard simd(xpcore::simd::Level::Avx2);
             {
                 xpcore::SerialGuard serial;
-                result.gflops_simd = time_gflops(flops, iters, new_fn);
+                result.gflops_avx2 = time_gflops(flops, iters, result.spread_max, new_fn);
             }
             result.simd_rel_err = max_rel_error(c, c2);
-            result.simd_within_tol = result.simd_rel_err <= kSimdRelTol;
         }
-        // Whatever the environment selected (SIMD unless XPDNN_SIMD=0), plus
-        // the thread pool: the configuration the library actually runs with.
-        result.gflops_parallel = time_gflops(flops, iters, new_fn);
+        if (have_avx512) {
+            xpcore::simd::LevelGuard simd(xpcore::simd::Level::Avx512);
+            {
+                xpcore::SerialGuard serial;
+                result.gflops_avx512 = time_gflops(flops, iters, result.spread_max, new_fn);
+            }
+            result.simd_rel_err = std::max(result.simd_rel_err, max_rel_error(c, c2));
+        }
+        result.simd_within_tol = result.simd_rel_err <= kSimdRelTol;
+        // Whatever the environment selected (SIMD unless XPDNN_SIMD caps it),
+        // plus the thread pool: the configuration the library actually runs
+        // with.
+        result.gflops_parallel = time_gflops(flops, iters, result.spread_max, new_fn);
     };
 
     if (std::strcmp(kernel, "nn") == 0) {
@@ -230,6 +266,7 @@ int main(int argc, char** argv) {
     const bool smoke = args.get_bool("smoke", false);
     const auto iters = static_cast<std::size_t>(args.get_int("iters", smoke ? 1 : 0));
     const auto batch = static_cast<std::size_t>(args.get_int("batch", smoke ? 16 : 128));
+    g_repeats = std::max<std::size_t>(1, static_cast<std::size_t>(args.get_int("repeats", 3)));
     const std::vector<std::size_t> sizes =
         parse_sizes(args.get("sizes", smoke ? "64,96" : "256,512,1024,1500"));
 
@@ -238,9 +275,9 @@ int main(int argc, char** argv) {
     std::printf("pool workers: %zu  (XPDNN_THREADS)  parallel threshold: %zu m*n*k"
                 "  (XPDNN_GEMM_THRESHOLD)\n",
                 threads, nn::gemm_parallel_threshold());
-    std::printf("simd: max=%s active=%s  (XPDNN_SIMD)\n\n",
+    std::printf("simd: max=%s active=%s  (XPDNN_SIMD)  repeats: %zu (median reported)\n\n",
                 xpcore::simd::level_name(xpcore::simd::max_level()),
-                xpcore::simd::level_name(xpcore::simd::active_level()));
+                xpcore::simd::level_name(xpcore::simd::active_level()), g_repeats);
 
     std::vector<Result> results;
     for (std::size_t n : sizes) {
@@ -254,28 +291,36 @@ int main(int argc, char** argv) {
         results.push_back(run_shape("tn", n, batch, n, iters));
     }
 
-    xpcore::Table table({"kernel", "m x k x n", "seed GF/s", "blocked GF/s", "simd GF/s",
-                         "active GF/s", "speedup", "scalar-bits", "simd rel err"});
+    xpcore::Table table({"kernel", "m x k x n", "seed GF/s", "blocked GF/s", "avx2 GF/s",
+                         "avx512 GF/s", "active GF/s", "speedup", "spread", "scalar-bits",
+                         "simd rel err"});
     bool all_ok = true;
     for (const auto& r : results) {
         all_ok = all_ok && r.bit_identical && r.simd_within_tol;
-        const double best = std::max(r.gflops_simd, r.gflops_parallel);
+        const double best =
+            std::max({r.gflops_avx2, r.gflops_avx512, r.gflops_parallel});
         const double speedup = r.gflops_seed > 0 ? best / r.gflops_seed : 0.0;
         char err[32];
         std::snprintf(err, sizeof(err), "%.1e%s", r.simd_rel_err,
                       r.simd_within_tol ? "" : " BAD");
+        char spread[16];
+        std::snprintf(spread, sizeof(spread), "%.0f%%", r.spread_max * 100.0);
         table.add_row({r.kernel,
                        std::to_string(r.m) + "x" + std::to_string(r.k) + "x" + std::to_string(r.n),
                        xpcore::Table::num(r.gflops_seed, 2), xpcore::Table::num(r.gflops_blocked, 2),
-                       xpcore::Table::num(r.gflops_simd, 2),
+                       xpcore::Table::num(r.gflops_avx2, 2),
+                       xpcore::Table::num(r.gflops_avx512, 2),
                        xpcore::Table::num(r.gflops_parallel, 2),
-                       xpcore::Table::num(speedup, 2) + "x", r.bit_identical ? "yes" : "NO", err});
+                       xpcore::Table::num(speedup, 2) + "x", spread,
+                       r.bit_identical ? "yes" : "NO", err});
     }
     table.print();
-    std::printf("\nspeedup = best(simd, active) vs seed. The scalar blocked kernels are\n"
-                "bit-identical to the seed by construction (row-partitioned dispatch\n"
-                "preserves accumulation order); the SIMD kernels use FMA and are\n"
-                "tolerance-checked (max rel err <= %.0e).\n", kSimdRelTol);
+    std::printf("\nspeedup = best(avx2, avx512, active) vs seed; spread = worst\n"
+                "(max - min) / median over the %zu timing repeats of any configuration\n"
+                "in the row. The scalar blocked kernels are bit-identical to the seed\n"
+                "by construction (row-partitioned dispatch preserves accumulation\n"
+                "order); the SIMD kernels use FMA and are tolerance-checked at every\n"
+                "vector level (max rel err <= %.0e).\n", g_repeats, kSimdRelTol);
 
     const std::string json_path = args.get("json", "");
     if (!json_path.empty()) {
@@ -289,8 +334,10 @@ int main(int argc, char** argv) {
             out << "    {\"kernel\": \"" << r.kernel << "\", \"m\": " << r.m << ", \"k\": " << r.k
                 << ", \"n\": " << r.n << ", \"gflops_seed\": " << r.gflops_seed
                 << ", \"gflops_blocked\": " << r.gflops_blocked
-                << ", \"gflops_simd\": " << r.gflops_simd
+                << ", \"gflops_avx2\": " << r.gflops_avx2
+                << ", \"gflops_avx512\": " << r.gflops_avx512
                 << ", \"gflops_parallel\": " << r.gflops_parallel
+                << ", \"spread\": " << r.spread_max
                 << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false")
                 << ", \"simd_rel_err\": " << r.simd_rel_err << "}"
                 << (i + 1 < results.size() ? "," : "") << "\n";

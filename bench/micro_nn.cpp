@@ -19,16 +19,22 @@
 
 namespace {
 
-// range(…) == 1 selects the AVX2 path, 0 the scalar fallback; SIMD variants
-// report no iterations on hosts without AVX2 instead of failing.
+// range(…) selects the dispatch level: 0 scalar, 1 AVX2, 2 AVX-512. SIMD
+// variants report no iterations on hosts without the level instead of
+// failing, so the same benchmark list runs everywhere.
 xpcore::simd::Level level_arg(benchmark::State& state, int index) {
-    if (state.range(index) == 0) return xpcore::simd::Level::Scalar;
-    return xpcore::simd::Level::Avx2;
+    switch (state.range(index)) {
+        case 0: return xpcore::simd::Level::Scalar;
+        case 1: return xpcore::simd::Level::Avx2;
+        default: return xpcore::simd::Level::Avx512;
+    }
 }
 
 bool skip_unsupported(benchmark::State& state, xpcore::simd::Level level) {
     if (level > xpcore::simd::max_level()) {
-        state.SkipWithError("AVX2+FMA not available on this host");
+        state.SkipWithError(level == xpcore::simd::Level::Avx512
+                                ? "AVX-512 not available on this host"
+                                : "AVX2+FMA not available on this host");
         return true;
     }
     return false;
@@ -85,7 +91,13 @@ void BM_Tanh(benchmark::State& state) {
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_Tanh)->Args({1500, 0})->Args({1500, 1})->Args({128 * 1500, 0})->Args({128 * 1500, 1});
+BENCHMARK(BM_Tanh)
+    ->Args({1500, 0})
+    ->Args({1500, 1})
+    ->Args({1500, 2})
+    ->Args({128 * 1500, 0})
+    ->Args({128 * 1500, 1})
+    ->Args({128 * 1500, 2});
 
 void BM_Softmax(benchmark::State& state) {
     const auto level = level_arg(state, 1);
@@ -102,7 +114,7 @@ void BM_Softmax(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(rows));
 }
-BENCHMARK(BM_Softmax)->Args({128, 0})->Args({128, 1});
+BENCHMARK(BM_Softmax)->Args({128, 0})->Args({128, 1})->Args({128, 2});
 
 void BM_AdaMaxStep(benchmark::State& state) {
     const auto level = level_arg(state, 1);
@@ -125,7 +137,7 @@ void BM_AdaMaxStep(benchmark::State& state) {
     for (auto& p : params) scalars += static_cast<std::int64_t>(p.value->size());
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * scalars);
 }
-BENCHMARK(BM_AdaMaxStep)->Args({0, 0})->Args({0, 1});
+BENCHMARK(BM_AdaMaxStep)->Args({0, 0})->Args({0, 1})->Args({0, 2});
 
 void BM_NetworkForward(benchmark::State& state) {
     const auto batch = static_cast<std::size_t>(state.range(0));
@@ -186,7 +198,42 @@ void BM_TrainEpoch(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(samples));
 }
-BENCHMARK(BM_TrainEpoch)->Arg(0)->Arg(1);
+// 3 repetitions: google-benchmark then reports mean/median/stddev/cv, giving
+// the run-to-run spread alongside the headline number (the acceptance
+// criteria compare medians, not single runs).
+BENCHMARK(BM_TrainEpoch)->Arg(0)->Arg(1)->Arg(2)->Repetitions(3)->ReportAggregatesOnly(true);
+
+// The data-parallel training epoch (Trainer::Config::grad_shards = 4) at
+// each dispatch level — the configuration DnnModeler::pretrain() runs with.
+// Worker count comes from XPDNN_THREADS; the weights are bit-identical to
+// the serial sharded run by construction (tests/test_determinism.cpp).
+void BM_TrainEpochSharded(benchmark::State& state) {
+    const auto level = level_arg(state, 0);
+    if (skip_unsupported(state, level)) return;
+    xpcore::simd::LevelGuard guard(level);
+    xpcore::Rng rng(16);
+    nn::Network net = nn::Network::mlp({11, 256, 128, 64, 43}, rng);
+    nn::AdaMax opt;
+    nn::Trainer::Config config;
+    config.epochs = 1;
+    config.batch_size = 128;
+    config.grad_shards = 4;
+    nn::Trainer trainer(net, opt, config);
+    nn::Dataset data;
+    const std::size_t samples = 2048;
+    data.inputs.resize(samples, 11);
+    fill_random(data.inputs, rng);
+    data.labels.resize(samples);
+    for (std::size_t i = 0; i < samples; ++i) data.labels[i] = static_cast<std::int32_t>(i % 43);
+    xpcore::Rng train_rng(17);
+    for (auto _ : state) {
+        const auto stats = trainer.fit(data, train_rng);
+        benchmark::DoNotOptimize(stats.loss);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(samples));
+}
+BENCHMARK(BM_TrainEpochSharded)->Arg(0)->Arg(1)->Arg(2)->Repetitions(3)->ReportAggregatesOnly(true);
 
 void BM_Preprocess(benchmark::State& state) {
     const std::vector<double> xs = {8, 64, 512, 4096, 32768};

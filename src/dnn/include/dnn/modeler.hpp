@@ -41,6 +41,14 @@ struct DnnConfig {
     /// Pretraining (generic network).
     std::size_t pretrain_samples_per_class = 1000;
     std::size_t pretrain_epochs = 8;
+    /// Gradient shards of the pretraining mini-batches (see
+    /// nn::Trainer::Config::grad_shards). The shard count — not the worker
+    /// count — fixes the batch partition, so pretrained weights are
+    /// bit-identical across XPDNN_THREADS settings; changing it changes the
+    /// FP reduction grouping and therefore the weights, which is why it is
+    /// part of the pretrain-cache fingerprint (dnn/cache.hpp). Adaptation
+    /// batches are far fewer and stay serial.
+    std::size_t pretrain_shards = 4;
 
     /// Domain adaptation (per modeling task). Paper defaults: 2000 samples
     /// per class, 1 epoch.

@@ -1,5 +1,6 @@
 #include "dnn/cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -35,6 +36,11 @@ std::uint64_t pretrain_config_hash(const DnnConfig& config, std::uint64_t seed) 
     hash.mix_value(config.pretrain_epochs);
     hash.mix_value(config.batch_size);
     hash.mix_value(config.learning_rate);
+    // The gradient-shard count fixes the FP reduction grouping of the
+    // data-parallel pretraining epoch: different shard counts produce
+    // last-ulp-different weights, so cached networks must not be shared
+    // across them.
+    hash.mix_value(std::max<std::size_t>(config.pretrain_shards, 1));
     return hash.state;
 }
 

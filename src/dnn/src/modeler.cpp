@@ -64,8 +64,11 @@ void DnnModeler::pretrain() {
     nn::AdaMax::Config opt_config;
     opt_config.learning_rate = config_.learning_rate;
     nn::AdaMax optimizer(opt_config);
-    nn::Trainer trainer(pretrained_network_, optimizer,
-                        {config_.pretrain_epochs, config_.batch_size, true});
+    nn::Trainer::Config train_config;
+    train_config.epochs = config_.pretrain_epochs;
+    train_config.batch_size = config_.batch_size;
+    train_config.grad_shards = std::max<std::size_t>(config_.pretrain_shards, 1);
+    nn::Trainer trainer(pretrained_network_, optimizer, train_config);
     auto train_rng = rng_.split();
     trainer.fit(data, train_rng);
     adapted_network_.reset();

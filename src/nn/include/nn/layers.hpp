@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,19 @@ public:
     virtual void backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
                           Tensor& grad_in) = 0;
 
+    /// Like backward(), but accumulate parameter gradients into the caller-
+    /// provided `param_grads` (one pre-shaped tensor per params() entry, in
+    /// params() order) instead of the layer's own accumulators. This is the
+    /// hook the data-parallel trainer uses to give each gradient shard its
+    /// own sinks so concurrent shards never race on layer state. The base
+    /// implementation delegates to backward(), which is correct exactly for
+    /// parameterless layers.
+    virtual void backward_into(const Tensor& in, const Tensor& out, const Tensor& grad_out,
+                               Tensor& grad_in, std::span<Tensor> param_grads) {
+        (void)param_grads;
+        backward(in, out, grad_out, grad_in);
+    }
+
     virtual std::size_t input_size() const = 0;
     virtual std::size_t output_size() const = 0;
 
@@ -66,6 +80,8 @@ public:
     void forward(const Tensor& in, Tensor& out) const override;
     void backward(const Tensor& in, const Tensor& out, const Tensor& grad_out,
                   Tensor& grad_in) override;
+    void backward_into(const Tensor& in, const Tensor& out, const Tensor& grad_out,
+                       Tensor& grad_in, std::span<Tensor> param_grads) override;
     std::size_t input_size() const override { return weights_.rows(); }
     std::size_t output_size() const override { return weights_.cols(); }
     std::vector<Param> params() override;

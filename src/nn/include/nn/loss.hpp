@@ -24,6 +24,14 @@ public:
     /// (probs - onehot(labels)) / batch. Writes into grad_logits.
     static void backward(const Tensor& probs, std::span<const std::int32_t> labels,
                          Tensor& grad_logits);
+
+    /// Same, with an explicit gradient scale instead of 1/rows. The
+    /// data-parallel trainer passes 1/batch so a shard of the batch still
+    /// contributes gradients scaled by the *global* batch size — summing
+    /// shard gradients then equals the single-shard gradient up to FP
+    /// addition order.
+    static void backward(const Tensor& probs, std::span<const std::int32_t> labels,
+                         Tensor& grad_logits, float scale);
 };
 
 }  // namespace nn

@@ -58,6 +58,13 @@ public:
     void backward(const Tensor& grad_output);
     void backward(const Tensor& grad_output, Workspace& ws);
 
+    /// Backward pass accumulating parameter gradients into caller-provided
+    /// sinks (one pre-shaped tensor per params() entry, in params() order)
+    /// instead of the layers' own accumulators. Layer state is only read,
+    /// so concurrent calls with disjoint workspaces and sinks are safe —
+    /// this is the kernel of the data-parallel training epoch.
+    void backward(const Tensor& grad_output, Workspace& ws, std::span<Tensor> param_grads);
+
     /// Deep copy: clones every layer's configuration and weights. The copy
     /// starts with empty activation buffers and zeroed gradients — the
     /// cheap path for "retrain a copy" workflows like domain adaptation
@@ -78,6 +85,10 @@ public:
 
 private:
     std::vector<std::unique_ptr<Layer>> layers_;
+    /// params() entries contributed by each layer, maintained by add() so
+    /// the sink-directed backward() can slice its span without calling
+    /// params() (which allocates) on the hot path.
+    std::vector<std::size_t> layer_param_counts_;
     Workspace ws_;  // backs the workspace-less forward()/backward() overloads
 };
 

@@ -13,17 +13,25 @@
 /// regardless of thread count and results are bit-identical for 0..N
 /// threads.
 ///
-/// Below the thread layer sits a data-parallel layer: when
-/// xpcore::simd::avx2_active() the kernels dispatch to the packed AVX2/FMA
-/// microkernel in xpcore (see xpcore/simd_kernels.hpp); otherwise they run
-/// the blocked scalar loops below, which are bit-identical to the pre-SIMD
-/// library. The SIMD results differ from scalar only by FMA contraction
-/// and summation-tree shape (tolerance-pinned in tests/test_simd_parity.cpp)
+/// Below the thread layer sits a data-parallel layer: the kernels sample
+/// xpcore::simd::active_level() once per product and dispatch to the packed
+/// AVX-512 or AVX2/FMA microkernel in xpcore (see xpcore/simd_kernels.hpp);
+/// at Level::Scalar they run the blocked scalar loops below, which are
+/// bit-identical to the pre-SIMD library. The first vector-level product in
+/// a process triggers the startup GEMM autotuner (xpcore/gemm_tune.hpp).
+/// The SIMD results differ from scalar only by FMA contraction and
+/// summation-tree shape (tolerance-pinned in tests/test_simd_parity.cpp)
 /// and remain bit-identical across thread counts at any fixed level.
+///
+/// Tensor storage is 64-byte aligned (xpcore/aligned.hpp): cache-line and
+/// zmm-register boundaries for the vector kernels, asserted by the
+/// zero-alloc test.
 
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "xpcore/aligned.hpp"
 
 namespace xpcore {
 class Rng;
@@ -71,7 +79,7 @@ public:
 private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<float> data_;
+    std::vector<float, xpcore::AlignedAllocator<float>> data_;
 };
 
 /// Work threshold (m * n * k multiply-adds) above which the GEMM kernels

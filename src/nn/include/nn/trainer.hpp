@@ -54,10 +54,19 @@ public:
         /// With early_stop_patience > 0, fit_validated() stops once the
         /// holdout loss has not improved for this many consecutive epochs.
         std::size_t early_stop_patience = 0;
+        /// Number of gradient shards each mini-batch is split into. 1 (the
+        /// default) runs the serial training step. With R > 1, each batch
+        /// is cut into R fixed contiguous row ranges whose forward/backward
+        /// passes run concurrently on the xpcore thread pool into private
+        /// gradient sinks; the sinks are then reduced in shard order, so
+        /// the resulting weights depend only on R — never on the worker
+        /// count. R = 1 is bitwise-identical to the pre-sharding trainer.
+        std::size_t grad_shards = 1;
     };
 
     Trainer(Network& network, Optimizer& optimizer, Config config)
-        : network_(network), optimizer_(optimizer), config_(config) {
+        : network_(network), optimizer_(optimizer), config_(config),
+          params_(network_.params()) {
         optimizer_.attach(network_.params());
     }
 
@@ -79,9 +88,18 @@ private:
     /// One pass over the data with parameter updates.
     EpochStats run_epoch(const Dataset& data, xpcore::Rng& rng);
 
+    /// The data-parallel training step for one gathered batch: process
+    /// config_.grad_shards row ranges concurrently, then reduce the shard
+    /// gradient sinks into the optimizer-attached accumulators.
+    void run_batch_sharded(const Dataset& data, std::size_t begin, std::size_t batch_n,
+                           double& loss_sum, std::size_t& correct);
+
     Network& network_;
     Optimizer& optimizer_;
     Config config_;
+    /// Cached Network::params() (params() itself allocates): reduction
+    /// targets of the sharded step, in the same order as each shard's sinks.
+    std::vector<Param> params_;
     /// All mini-batch and forward/backward scratch. Reused across batches
     /// and epochs so the steady-state training step performs zero heap
     /// allocations (see nn/workspace.hpp).

@@ -13,6 +13,10 @@
 /// A Workspace belongs to one thread of execution at a time. Network keeps a
 /// private Workspace for the convenience overloads of forward()/backward();
 /// callers that manage their own (Trainer, DnnModeler) pass it explicitly.
+/// The data-parallel trainer (Trainer::Config::grad_shards > 1) extends the
+/// rule per shard: each GradShard owns a private sub-workspace plus private
+/// gradient sinks, so concurrent shards of one batch share nothing but the
+/// (read-only) network weights.
 
 #include <cstdint>
 #include <vector>
@@ -20,6 +24,8 @@
 #include "nn/tensor.hpp"
 
 namespace nn {
+
+struct GradShard;
 
 struct Workspace {
     // --- Network pass state -------------------------------------------
@@ -33,6 +39,27 @@ struct Workspace {
     Tensor grad_logits;                ///< loss gradient w.r.t. logits
     std::vector<std::int32_t> labels;  ///< gathered mini-batch labels
     std::vector<std::size_t> order;    ///< shuffled sample permutation
+
+    // --- Data-parallel training (Trainer, grad_shards > 1) -------------
+    /// One entry per gradient shard; empty on the serial path. The shard
+    /// count is fixed by Trainer::Config::grad_shards — never by the worker
+    /// count — so the batch partition, and therefore the trained weights,
+    /// are identical for any number of pool threads.
+    std::vector<GradShard> shards;
+};
+
+/// Private state of one gradient shard of a data-parallel training step:
+/// its own forward/backward scratch and one gradient sink per network
+/// parameter (Network::params() order). The trainer reduces shard sinks
+/// into the optimizer-attached accumulators in fixed shard order (shard 0
+/// copies, later shards add), which keeps the summed gradient — and hence
+/// every subsequent weight — bit-identical across thread counts and
+/// bit-identical to the serial path when grad_shards == 1.
+struct GradShard {
+    Workspace ws;               ///< per-shard pass + batch-gather scratch
+    std::vector<Tensor> grads;  ///< per-parameter gradient sinks
+    double loss_sum = 0.0;      ///< shard's summed (not averaged) loss
+    std::size_t correct = 0;    ///< shard's correct argmax predictions
 };
 
 }  // namespace nn

@@ -64,17 +64,33 @@ void Dense::forward(const Tensor& in, Tensor& out) const {
     }
 }
 
-void Dense::backward(const Tensor& in, const Tensor& /*out*/, const Tensor& grad_out,
-                     Tensor& grad_in) {
-    // dW += X^T * dY, db += colsum(dY), dX = dY * W^T
-    gemm_tn(in, grad_out, weights_grad_, /*accumulate=*/true);
+namespace {
+
+// dW += X^T * dY, db += colsum(dY), dX = dY * W^T — shared by the in-place
+// and sink-directed backward entry points.
+void dense_backward_impl(const Tensor& in, const Tensor& grad_out, const Tensor& weights,
+                         Tensor& grad_in, Tensor& weights_grad, Tensor& bias_grad) {
+    gemm_tn(in, grad_out, weights_grad, /*accumulate=*/true);
     for (std::size_t r = 0; r < grad_out.rows(); ++r) {
         const float* row = grad_out.data() + r * grad_out.cols();
-        float* b = bias_grad_.data();
+        float* b = bias_grad.data();
         for (std::size_t c = 0; c < grad_out.cols(); ++c) b[c] += row[c];
     }
     grad_in.resize(in.rows(), in.cols());
-    gemm_nt(grad_out, weights_, grad_in);
+    gemm_nt(grad_out, weights, grad_in);
+}
+
+}  // namespace
+
+void Dense::backward(const Tensor& in, const Tensor& /*out*/, const Tensor& grad_out,
+                     Tensor& grad_in) {
+    dense_backward_impl(in, grad_out, weights_, grad_in, weights_grad_, bias_grad_);
+}
+
+void Dense::backward_into(const Tensor& in, const Tensor& /*out*/, const Tensor& grad_out,
+                          Tensor& grad_in, std::span<Tensor> param_grads) {
+    assert(param_grads.size() == 2);
+    dense_backward_impl(in, grad_out, weights_, grad_in, param_grads[0], param_grads[1]);
 }
 
 std::vector<Param> Dense::params() {
@@ -131,10 +147,14 @@ void Tanh::forward(const Tensor& in, Tensor& out) const {
     out.resize(in.rows(), in.cols());
     const float* src = in.data();
     float* dst = out.data();
+    // Vectorized rational approximation (max abs error < 5e-7, see
+    // xpcore/simd_kernels.hpp) — libm tanh per element is one of the
+    // dominant scalar training costs at the paper's layer widths.
+    if (xpcore::simd::avx512_active()) {
+        xpcore::simd::tanh_f32_avx512(src, dst, in.size());
+        return;
+    }
     if (xpcore::simd::avx2_active()) {
-        // Vectorized rational approximation (max abs error < 5e-7, see
-        // xpcore/simd_kernels.hpp) — libm tanh per element is one of the
-        // dominant scalar training costs at the paper's layer widths.
         xpcore::simd::tanh_f32_avx2(src, dst, in.size());
         return;
     }

@@ -11,12 +11,19 @@ namespace nn {
 
 void SoftmaxCrossEntropy::softmax(const Tensor& logits, Tensor& probs) {
     probs.resize(logits.rows(), logits.cols());
-    if (xpcore::simd::avx2_active() && logits.cols() > 0) {
+    if (logits.cols() > 0) {
         // Vectorized max/exp/normalize per row (exp approximation bounds in
         // xpcore/simd_kernels.hpp); the scalar loop below stays bit-exact.
-        xpcore::simd::softmax_rows_avx2(logits.data(), probs.data(), logits.rows(),
-                                        logits.cols());
-        return;
+        if (xpcore::simd::avx512_active()) {
+            xpcore::simd::softmax_rows_avx512(logits.data(), probs.data(), logits.rows(),
+                                              logits.cols());
+            return;
+        }
+        if (xpcore::simd::avx2_active()) {
+            xpcore::simd::softmax_rows_avx2(logits.data(), probs.data(), logits.rows(),
+                                            logits.cols());
+            return;
+        }
     }
     for (std::size_t r = 0; r < logits.rows(); ++r) {
         const float* in = logits.data() + r * logits.cols();
@@ -45,9 +52,13 @@ double SoftmaxCrossEntropy::loss(const Tensor& probs, std::span<const std::int32
 
 void SoftmaxCrossEntropy::backward(const Tensor& probs, std::span<const std::int32_t> labels,
                                    Tensor& grad_logits) {
+    backward(probs, labels, grad_logits, 1.0f / static_cast<float>(probs.rows()));
+}
+
+void SoftmaxCrossEntropy::backward(const Tensor& probs, std::span<const std::int32_t> labels,
+                                   Tensor& grad_logits, float scale) {
     assert(probs.rows() == labels.size());
     grad_logits.resize(probs.rows(), probs.cols());
-    const float scale = 1.0f / static_cast<float>(probs.rows());
     for (std::size_t r = 0; r < probs.rows(); ++r) {
         const float* p = probs.data() + r * probs.cols();
         float* g = grad_logits.data() + r * probs.cols();

@@ -37,6 +37,7 @@ void Network::add(std::unique_ptr<Layer> layer) {
         throw std::invalid_argument("Network::add: layer size mismatch");
     }
     layers_.push_back(std::move(layer));
+    layer_param_counts_.push_back(layers_.back()->params().size());
 }
 
 std::size_t Network::input_size() const {
@@ -76,6 +77,21 @@ void Network::backward(const Tensor& grad_output, Workspace& ws) {
     for (std::size_t i = layers_.size(); i-- > 0;) {
         const Tensor& in = (i == 0) ? ws.input : ws.activations[i - 1];
         layers_[i]->backward(in, ws.activations[i], *grad, ws.grads[i]);
+        grad = &ws.grads[i];
+    }
+}
+
+void Network::backward(const Tensor& grad_output, Workspace& ws,
+                       std::span<Tensor> param_grads) {
+    if (layers_.empty()) throw std::logic_error("Network::backward: no layers");
+    std::size_t offset = param_grads.size();
+    const Tensor* grad = &grad_output;
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+        const std::size_t count = layer_param_counts_[i];
+        offset -= count;
+        const Tensor& in = (i == 0) ? ws.input : ws.activations[i - 1];
+        layers_[i]->backward_into(in, ws.activations[i], *grad, ws.grads[i],
+                                  param_grads.subspan(offset, count));
         grad = &ws.grads[i];
     }
 }

@@ -29,18 +29,23 @@ void AdaMax::step() {
     const float bias_correction =
         1.0f - std::pow(config_.beta1, static_cast<float>(t_));
     const float rate = config_.learning_rate / bias_correction;
-    const bool use_simd = xpcore::simd::avx2_active();
+    const xpcore::simd::Level level = xpcore::simd::active_level();
     for (std::size_t p = 0; p < params_.size(); ++p) {
         float* w = params_[p].value->data();
         float* g = params_[p].grad->data();
         float* m = m_[p].data();
         float* u = u_[p].data();
         const std::size_t n = params_[p].value->size();
-        if (use_simd) {
+        if (level != xpcore::simd::Level::Scalar) {
             // Fused vector update; clears g in the same pass (step() owns
             // gradient clearing — see Optimizer's class comment).
-            xpcore::simd::adamax_update_avx2(w, g, m, u, n, rate, config_.beta1,
-                                             config_.beta2, config_.epsilon);
+            if (level == xpcore::simd::Level::Avx512) {
+                xpcore::simd::adamax_update_avx512(w, g, m, u, n, rate, config_.beta1,
+                                                   config_.beta2, config_.epsilon);
+            } else {
+                xpcore::simd::adamax_update_avx2(w, g, m, u, n, rate, config_.beta1,
+                                                 config_.beta2, config_.epsilon);
+            }
             continue;
         }
         for (std::size_t i = 0; i < n; ++i) {

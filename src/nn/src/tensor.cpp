@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "xpcore/gemm_tune.hpp"
 #include "xpcore/rng.hpp"
 #include "xpcore/simd.hpp"
 #include "xpcore/simd_kernels.hpp"
@@ -163,6 +164,23 @@ void gemm_tn_range(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
     }
 }
 
+/// The packed SIMD kernel for a dispatch level, or nullptr for the scalar
+/// path. The level is sampled once per product so every row range of one
+/// call runs the same kernel even if the level changes concurrently (tests
+/// flip it between calls, never mid-call); the first vector-level call per
+/// process runs the startup autotuner before any kernel executes.
+using SimdGemmFn = void (*)(std::size_t, std::size_t, std::size_t, const float*,
+                            std::size_t, bool, const float*, std::size_t, bool, float*,
+                            std::size_t, bool, std::size_t, std::size_t);
+
+SimdGemmFn select_simd_gemm() {
+    const xpcore::simd::Level level = xpcore::simd::active_level();
+    if (level == xpcore::simd::Level::Scalar) return nullptr;
+    xpcore::simd::ensure_gemm_tuned(level);
+    return level == xpcore::simd::Level::Avx512 ? xpcore::simd::gemm_f32_avx512
+                                                : xpcore::simd::gemm_f32_avx2;
+}
+
 }  // namespace
 
 std::size_t gemm_parallel_threshold() {
@@ -178,14 +196,11 @@ void gemm_nn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
              xpcore::ThreadPool& pool) {
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
     assert(b.rows() == k && c.rows() == m && c.cols() == n);
-    // The SIMD/scalar choice is sampled once per product so every row range
-    // of one call runs the same kernel even if the level changes
-    // concurrently (tests flip it between calls, never mid-call).
-    const bool use_simd = xpcore::simd::avx2_active();
+    const SimdGemmFn simd_gemm = select_simd_gemm();
     dispatch_rows(pool, m, m * n * k, [&](std::size_t begin, std::size_t end) {
-        if (use_simd) {
-            xpcore::simd::gemm_f32_avx2(m, n, k, a.data(), k, false, b.data(), n, false,
-                                        c.data(), n, accumulate, begin, end);
+        if (simd_gemm != nullptr) {
+            simd_gemm(m, n, k, a.data(), k, false, b.data(), n, false, c.data(), n,
+                      accumulate, begin, end);
         } else {
             gemm_nn_range(a, b, c, accumulate, begin, end);
         }
@@ -200,12 +215,12 @@ void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
              xpcore::ThreadPool& pool) {
     const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
     assert(b.cols() == k && c.rows() == m && c.cols() == n);
-    const bool use_simd = xpcore::simd::avx2_active();
+    const SimdGemmFn simd_gemm = select_simd_gemm();
     dispatch_rows(pool, m, m * n * k, [&](std::size_t begin, std::size_t end) {
-        if (use_simd) {
+        if (simd_gemm != nullptr) {
             // op(B) = B^T of the [n x k]-stored b.
-            xpcore::simd::gemm_f32_avx2(m, n, k, a.data(), k, false, b.data(), k, true,
-                                        c.data(), n, accumulate, begin, end);
+            simd_gemm(m, n, k, a.data(), k, false, b.data(), k, true, c.data(), n,
+                      accumulate, begin, end);
         } else {
             gemm_nt_range(a, b, c, accumulate, begin, end);
         }
@@ -220,12 +235,12 @@ void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate,
              xpcore::ThreadPool& pool) {
     const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
     assert(b.rows() == k && c.rows() == m && c.cols() == n);
-    const bool use_simd = xpcore::simd::avx2_active();
+    const SimdGemmFn simd_gemm = select_simd_gemm();
     dispatch_rows(pool, m, m * n * k, [&](std::size_t begin, std::size_t end) {
-        if (use_simd) {
+        if (simd_gemm != nullptr) {
             // op(A) = A^T of the [k x m]-stored a.
-            xpcore::simd::gemm_f32_avx2(m, n, k, a.data(), m, true, b.data(), n, false,
-                                        c.data(), n, accumulate, begin, end);
+            simd_gemm(m, n, k, a.data(), m, true, b.data(), n, false, c.data(), n,
+                      accumulate, begin, end);
         } else {
             gemm_tn_range(a, b, c, accumulate, begin, end);
         }

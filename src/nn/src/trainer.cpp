@@ -1,10 +1,12 @@
 #include "nn/trainer.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <numeric>
 
 #include "xpcore/rng.hpp"
+#include "xpcore/thread_pool.hpp"
 
 namespace nn {
 
@@ -25,6 +27,11 @@ EpochStats Trainer::run_epoch(const Dataset& data, xpcore::Rng& rng) {
     for (std::size_t begin = 0; begin < n; begin += config_.batch_size) {
         const std::size_t end = std::min(begin + config_.batch_size, n);
         const std::size_t batch_n = end - begin;
+        if (config_.grad_shards > 1) {
+            run_batch_sharded(data, begin, batch_n, loss_sum, correct);
+            optimizer_.step();
+            continue;
+        }
         ws_.batch.resize(batch_n, input_size);
         ws_.labels.resize(batch_n);
         for (std::size_t i = 0; i < batch_n; ++i) {
@@ -50,6 +57,87 @@ EpochStats Trainer::run_epoch(const Dataset& data, xpcore::Rng& rng) {
     stats.loss = loss_sum / static_cast<double>(n);
     stats.accuracy = static_cast<double>(correct) / static_cast<double>(n);
     return stats;
+}
+
+void Trainer::run_batch_sharded(const Dataset& data, std::size_t begin, std::size_t batch_n,
+                                double& loss_sum, std::size_t& correct) {
+    const std::size_t input_size = data.inputs.cols();
+    const std::size_t shard_count = config_.grad_shards;
+    if (ws_.shards.size() < shard_count) ws_.shards.resize(shard_count);
+
+    // The batch partition is a pure function of (batch_n, shard_count):
+    // contiguous ranges, remainder rows on the leading shards. Shard 0 is
+    // never empty while batch_n > 0.
+    const std::size_t base = batch_n / shard_count;
+    const std::size_t rem = batch_n % shard_count;
+    const float scale = 1.0f / static_cast<float>(batch_n);
+
+    auto process_shard = [&](std::size_t s) {
+        GradShard& shard = ws_.shards[s];
+        shard.loss_sum = 0.0;
+        shard.correct = 0;
+        const std::size_t s0 = s * base + std::min(s, rem);
+        const std::size_t rows = base + (s < rem ? 1 : 0);
+        if (rows == 0) return;
+        if (shard.grads.size() < params_.size()) shard.grads.resize(params_.size());
+        for (std::size_t p = 0; p < params_.size(); ++p) {
+            shard.grads[p].resize(params_[p].grad->rows(), params_[p].grad->cols());
+        }
+        shard.ws.batch.resize(rows, input_size);
+        shard.ws.labels.resize(rows);
+        for (std::size_t i = 0; i < rows; ++i) {
+            const std::size_t src = ws_.order[begin + s0 + i];
+            std::copy_n(data.inputs.data() + src * input_size, input_size,
+                        shard.ws.batch.data() + i * input_size);
+            shard.ws.labels[i] = data.labels[src];
+        }
+        const Tensor& logits = network_.forward(shard.ws.batch, shard.ws);
+        SoftmaxCrossEntropy::softmax(logits, shard.ws.probs);
+        shard.loss_sum = SoftmaxCrossEntropy::loss(shard.ws.probs, shard.ws.labels) *
+                         static_cast<double>(rows);
+        for (std::size_t i = 0; i < rows; ++i) {
+            const auto row = shard.ws.probs.row(i);
+            const auto best = std::max_element(row.begin(), row.end()) - row.begin();
+            if (best == shard.ws.labels[i]) ++shard.correct;
+        }
+        // Gradients scaled by the *global* batch size so the ordered sum of
+        // shard sinks equals the whole-batch gradient up to FP grouping.
+        SoftmaxCrossEntropy::backward(shard.ws.probs, shard.ws.labels, shard.ws.grad_logits,
+                                      scale);
+        network_.backward(shard.ws.grad_logits, shard.ws, shard.grads);
+    };
+
+    xpcore::ThreadPool& pool = xpcore::ThreadPool::global();
+    if (pool.size() > 0 && xpcore::parallel_enabled()) {
+        xpcore::parallel_for(pool, shard_count, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) process_shard(s);
+        });
+    } else {
+        for (std::size_t s = 0; s < shard_count; ++s) process_shard(s);
+    }
+
+    // Fixed-order reduction: shard 0 *copies* into the optimizer-attached
+    // accumulators (a memcpy cannot flip -0.0f the way adding to a zeroed
+    // accumulator would, keeping grad_shards == 1 bitwise equal to the
+    // serial path), later shards add. The order never depends on which
+    // worker finished first — that is the whole determinism argument.
+    for (std::size_t s = 0; s < shard_count; ++s) {
+        GradShard& shard = ws_.shards[s];
+        const std::size_t rows = base + (s < rem ? 1 : 0);
+        if (rows == 0) continue;
+        for (std::size_t p = 0; p < params_.size(); ++p) {
+            Tensor& sink = shard.grads[p];
+            Tensor& grad = *params_[p].grad;
+            if (s == 0) {
+                std::memcpy(grad.data(), sink.data(), sink.size() * sizeof(float));
+            } else {
+                axpy(1.0f, sink, grad);
+            }
+            sink.fill(0.0f);  // sinks accumulate; ready them for the next batch
+        }
+        loss_sum += shard.loss_sum;
+        correct += shard.correct;
+    }
 }
 
 EpochStats Trainer::fit(const Dataset& data, xpcore::Rng& rng) {

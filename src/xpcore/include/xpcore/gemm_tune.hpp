@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file gemm_tune.hpp
+/// Startup autotuning of the packed-panel GEMM cache blocking.
+///
+/// The compiled-in KC/MC/NC defaults in simd_avx2.cpp / simd_avx512.cpp are
+/// sized for a generic 32K/1M/8M cache hierarchy. Real hosts differ (the
+/// reference machine has a 2M L2 and a 260M shared L3), and the right
+/// blocking is worth 10-30% of GEMM throughput. On first use of a vector
+/// GEMM level the tuner:
+///
+///   1. reads the cache hierarchy from sysfs
+///      (/sys/devices/system/cpu/cpu0/cache/index*), falling back to
+///      32K/1M/8M when unavailable;
+///   2. derives a small candidate set of blockings from those sizes (plus
+///      the compiled default) and times each on one representative SGEMM
+///      shape — warmup pass, then median of 3;
+///   3. installs the fastest via set_gemm_blocking_*() and caches the
+///      choice on disk (XPDNN_CACHE_DIR, default ".xpdnn_cache"), keyed by
+///      CPU model + level + cache sizes, so later processes skip the probe.
+///
+/// `XPDNN_GEMM_TUNE` overrides the behavior:
+///   - "off"        — keep the compiled defaults, never probe;
+///   - "KC:MC:NC"   — install that blocking verbatim (clamped to legal
+///                    values), never probe;
+///   - "retune"     — ignore the disk cache, probe, rewrite the cache;
+///   - "auto" / unset — use the disk cache when present, else probe.
+///
+/// Determinism: blocking changes the FP summation grouping, so two
+/// *processes* tuned differently produce last-ulp-different GEMMs. Within
+/// one process the tuner runs at most once per level (std::call_once)
+/// before the first tuned GEMM executes, so every call in a process uses
+/// one fixed blocking and the thread-count bit-identity contract holds.
+/// The probe allocates transient buffers; it runs lazily on first GEMM
+/// dispatch, which in the zero-alloc tests and benches lands inside the
+/// warmup phase, outside any counting window.
+
+#include <cstddef>
+
+#include "xpcore/simd.hpp"
+#include "xpcore/simd_kernels.hpp"
+
+namespace xpcore::simd {
+
+/// Data-cache sizes detected from sysfs (cpu0's view; per-core L1d/L2 and
+/// the shared L3). `detected` is false when sysfs was unavailable and the
+/// generic fallback sizes are reported instead.
+struct CacheHierarchy {
+    std::size_t l1d_bytes = 0;
+    std::size_t l2_bytes = 0;
+    std::size_t l3_bytes = 0;
+    bool detected = false;
+};
+
+/// The host's cache hierarchy (detected once, then cached).
+const CacheHierarchy& cache_hierarchy();
+
+/// How the active blocking of a level was chosen.
+struct GemmTuneInfo {
+    GemmBlocking blocking;  ///< the installed blocking
+    const char* source;     ///< "default" (off/scalar), "env", "cached" or "probed"
+};
+
+/// Ensure the blocking for `level` has been tuned (no-op for Scalar and
+/// for levels this binary/CPU cannot run). Thread-safe, runs at most once
+/// per level per process; every GEMM dispatch calls this before using a
+/// vector kernel.
+void ensure_gemm_tuned(Level level);
+
+/// The tuning decision for `level` (forces ensure_gemm_tuned first).
+/// Recorded by tools/bench_record as machine provenance.
+GemmTuneInfo gemm_tune_info(Level level);
+
+}  // namespace xpcore::simd

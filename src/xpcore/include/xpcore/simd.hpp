@@ -3,23 +3,26 @@
 /// \file simd.hpp
 /// Runtime SIMD dispatch for the data-parallel compute kernels.
 ///
-/// The library ships two implementations of every hot inner loop: the
+/// The library ships three implementations of every hot inner loop: the
 /// portable scalar kernels (bit-for-bit identical to the pre-SIMD code, the
-/// only path on non-x86 builds) and AVX2/FMA kernels selected at runtime
-/// when the CPU supports them. Selection order:
+/// only path on non-x86 builds), AVX2/FMA kernels, and AVX-512 kernels with
+/// a widened microkernel and masked tails. The level is selected at runtime:
 ///
 ///   1. a programmatic override installed with set_level() (tests, benches),
 ///   2. the XPDNN_SIMD environment variable
-///      ("0"/"scalar" force the scalar path, "1"/"auto"/"avx2" allow SIMD),
-///   3. CPUID: AVX2 + FMA support detected at first use.
+///      ("0"/"scalar" force the scalar path, "avx2" caps at AVX2,
+///      "1"/"auto"/"avx512" allow the best detected level),
+///   3. CPUID: AVX2+FMA and AVX-512F/VL/DQ/BW support detected at first use.
 ///
 /// SIMD is a speed knob with *bounded* numerical differences, not a results
-/// knob in the bit-exact sense: the AVX2 kernels use FMA contraction and
+/// knob in the bit-exact sense: the vector kernels use FMA contraction and
 /// polynomial approximations of tanh/exp (max errors documented in
 /// simd_kernels.hpp and pinned by tests/test_simd_parity.cpp), so their
-/// output differs from the scalar path at the last-ulp level. For any fixed
-/// level, results remain bit-identical across thread counts: the kernels
-/// partition output rows only and never reorder a per-element accumulation.
+/// output differs from the scalar path at the last-ulp level, and the two
+/// vector levels differ from each other the same way (different summation
+/// tree widths). For any fixed level, results remain bit-identical across
+/// thread counts: the kernels partition output rows only and never reorder
+/// a per-element accumulation.
 
 namespace xpcore::simd {
 
@@ -27,6 +30,7 @@ namespace xpcore::simd {
 enum class Level {
     Scalar = 0,  ///< portable scalar kernels (pre-SIMD behavior, bit-exact)
     Avx2 = 1,    ///< AVX2 + FMA microkernels
+    Avx512 = 2,  ///< AVX-512F/VL microkernels (widened tiles, masked tails)
 };
 
 /// Highest level this binary can run on this CPU (compile-time support
@@ -36,8 +40,11 @@ Level max_level();
 /// The level the kernels dispatch on right now (override > env > CPUID).
 Level active_level();
 
-/// True when the AVX2 kernels are the active dispatch target.
+/// True when the AVX2 kernels (or better) are the active dispatch target.
 bool avx2_active();
+
+/// True when the AVX-512 kernels are the active dispatch target.
+bool avx512_active();
 
 /// Install a runtime override (clamped to max_level()).
 void set_level(Level level);
@@ -45,8 +52,18 @@ void set_level(Level level);
 /// Drop the override and return to the XPDNN_SIMD / CPUID default.
 void reset_level();
 
-/// Human-readable level name ("scalar", "avx2").
+/// Human-readable level name ("scalar", "avx2", "avx512").
 const char* level_name(Level level);
+
+/// Parse a level name ("scalar"/"0"/"off", "avx2", "avx512"); anything else
+/// (including "1"/"auto") means "best available". Shared by the XPDNN_SIMD
+/// parser and the benches.
+Level parse_level(const char* name);
+
+/// The CPU brand string from CPUID (e.g. "Intel(R) Xeon(R) ..."), or
+/// "unknown" where the leaf is unavailable. Recorded by tools/bench_record
+/// so bench trajectories across machines stay interpretable.
+const char* cpu_model_string();
 
 /// RAII scope that pins the dispatch level and restores the previous state
 /// on exit — used by the parity tests and the scalar-vs-SIMD benches.

@@ -1,27 +1,32 @@
 #pragma once
 
 /// \file simd_kernels.hpp
-/// AVX2/FMA kernel entry points (defined in simd_avx2.cpp, compiled with
-/// -mavx2 -mfma on x86). Callers must check xpcore::simd::avx2_active()
-/// before calling any of them; on builds without x86 SIMD support the
-/// functions exist but terminate if reached (avx2_active() is then
-/// constantly false, so they are unreachable in correct code).
+/// Vector kernel entry points for the two SIMD dispatch levels:
+///   * _avx2 — AVX2/FMA, defined in simd_avx2.cpp (compiled with
+///     -mavx2 -mfma on x86);
+///   * _avx512 — AVX-512F/VL/BW/DQ, defined in simd_avx512.cpp (compiled
+///     with the matching -mavx512* flags on x86).
+/// Callers must check xpcore::simd::avx2_active() / avx512_active() before
+/// calling the corresponding set; on builds without x86 SIMD support the
+/// functions exist but terminate if reached (the actives are then constantly
+/// false, so they are unreachable in correct code).
 ///
 /// Numerical contracts (pinned by tests/test_simd_parity.cpp):
-///  - gemm_f32_avx2: same sum over k per output element as the scalar
-///    kernels, evaluated with FMA contraction and an 8-lane tile layout;
-///    relative error vs. the scalar kernels is O(k * eps_f32).
-///    Accumulation order per element is fixed by (k-panel, lane) position
-///    only, so results are bit-identical across thread counts and batch
-///    row counts.
-///  - tanh_f32_avx2: rational approximation R(x) = x * P(x^2) / Q(x^2) on
-///    the clamped range [-9, 9]; max absolute error vs. std::tanh over
-///    [-20, 20] is < 5e-7 (measured ~1.1e-7).
-///  - exp_f32_avx2: 2^n * P(r) range reduction with a degree-5 polynomial;
-///    max relative error vs. std::exp over [-87, 87] is < 5e-7 (measured
+///  - gemm_f32_avx2 / gemm_f32_avx512: same sum over k per output element as
+///    the scalar kernels, evaluated with FMA contraction and an 8-lane
+///    (resp. 16-lane) tile layout; relative error vs. the scalar kernels is
+///    O(k * eps_f32). Accumulation order per element is fixed by the
+///    (k-panel, lane) position only, so results are bit-identical across
+///    thread counts and batch row counts at a fixed level and blocking.
+///  - tanh_f32_*: rational approximation R(x) = x * P(x^2) / Q(x^2) on the
+///    clamped range [-9, 9]; max absolute error vs. std::tanh over [-20, 20]
+///    is < 5e-7 (measured ~1.1e-7). Both widths evaluate the identical
+///    polynomial (simd_poly.hpp).
+///  - exp_f32_*: 2^n * P(r) range reduction with a degree-5 polynomial; max
+///    relative error vs. std::exp over [-87, 87] is < 5e-7 (measured
 ///    ~1.2e-7). Inputs <= -87.3 flush to 0, inputs >= 88.7 saturate to the
 ///    largest finite float (softmax never feeds positive inputs).
-///  - softmax_rows_avx2 / adamax_update_avx2: composed from the above plus
+///  - softmax_rows_* / adamax_update_*: composed from the above plus
 ///    elementwise FMA arithmetic; tolerance-checked against the scalar
 ///    implementations.
 
@@ -29,15 +34,49 @@
 
 namespace xpcore::simd {
 
+/// Cache-blocking parameters of a packed-panel GEMM level: the k panel
+/// depth (KC), the packed row block (MC, a multiple of the microkernel
+/// row count) and the packed column block (NC, a multiple of the
+/// microkernel column width). Installed per level by the startup autotuner
+/// (xpcore/gemm_tune.hpp) or explicitly via set_gemm_blocking_*.
+///
+/// Blocking is a *within-process* constant in practice: KC changes the
+/// floating-point summation grouping, so two processes tuned differently
+/// produce last-ulp-different GEMMs — but within one process results stay
+/// bit-identical across thread counts for any fixed blocking, which is the
+/// determinism contract the library makes.
+struct GemmBlocking {
+    std::size_t kc = 0;
+    std::size_t mc = 0;
+    std::size_t nc = 0;
+};
+
+/// Register microkernel tile of a GEMM level (rows x columns).
+struct GemmTile {
+    std::size_t mr = 0;
+    std::size_t nr = 0;
+};
+
+// ---- AVX2 ------------------------------------------------------------------
+
 /// True when the binary contains the AVX2 kernels (x86 + compiler support).
 bool compiled_with_avx2();
+
+/// The AVX2 microkernel tile (6 x 16) and the active / compiled-in default
+/// blocking. set_gemm_blocking_avx2 clamps and rounds its argument to legal
+/// values (kc >= 8, mc a positive multiple of mr, nc a positive multiple
+/// of nr).
+GemmTile gemm_tile_avx2();
+GemmBlocking gemm_blocking_avx2();
+GemmBlocking default_gemm_blocking_avx2();
+void set_gemm_blocking_avx2(GemmBlocking blocking);
 
 /// General packed-panel SGEMM over an output-row range:
 ///   C[i0..i1, :] = (or +=) op_a(A) * op_b(B)
 /// with op(X) = X or X^T selected by the trans flags. Logical shapes are
 /// op_a(A) = [m x k], op_b(B) = [k x n], C = [m x n]; lda/ldb/ldc are the
 /// *storage* row strides of A, B, C. Packing buffers are per-thread scratch
-/// reused across calls (zero allocations in steady state).
+/// reused across calls (zero allocations in steady state once sized).
 void gemm_f32_avx2(std::size_t m, std::size_t n, std::size_t k, const float* a,
                    std::size_t lda, bool trans_a, const float* b, std::size_t ldb,
                    bool trans_b, float* c, std::size_t ldc, bool accumulate,
@@ -60,6 +99,34 @@ void softmax_rows_avx2(const float* in, float* out, std::size_t rows, std::size_
 ///   g = 0                      (the step owns gradient clearing)
 void adamax_update_avx2(float* w, float* g, float* m, float* u, std::size_t n,
                         float rate, float beta1, float beta2, float epsilon);
+
+// ---- AVX-512 ---------------------------------------------------------------
+
+/// True when the binary contains the AVX-512 kernels (x86 + compiler
+/// support for -mavx512f/vl/bw/dq).
+bool compiled_with_avx512();
+
+/// The AVX-512 microkernel tile (14 x 32: 28 zmm accumulators, one
+/// broadcast, two B loads — 31 of the 32 vector registers) and its
+/// blocking controls, with the same rounding rules as the AVX2 setters.
+GemmTile gemm_tile_avx512();
+GemmBlocking gemm_blocking_avx512();
+GemmBlocking default_gemm_blocking_avx512();
+void set_gemm_blocking_avx512(GemmBlocking blocking);
+
+/// AVX-512 counterparts of the AVX2 entry points above; identical calling
+/// conventions and numerical contracts, wider tiles and masked tails.
+void gemm_f32_avx512(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                     std::size_t lda, bool trans_a, const float* b, std::size_t ldb,
+                     bool trans_b, float* c, std::size_t ldc, bool accumulate,
+                     std::size_t i0, std::size_t i1);
+void tanh_f32_avx512(const float* x, float* y, std::size_t n);
+void exp_f32_avx512(const float* x, float* y, std::size_t n);
+void softmax_rows_avx512(const float* in, float* out, std::size_t rows, std::size_t cols);
+void adamax_update_avx512(float* w, float* g, float* m, float* u, std::size_t n,
+                          float rate, float beta1, float beta2, float epsilon);
+
+// ---- scalar references -----------------------------------------------------
 
 /// Scalar reference implementations of the SIMD polynomial approximations
 /// (same clamping and coefficients, no FMA guarantees). Exposed so tests

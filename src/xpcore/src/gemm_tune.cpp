@@ -1,0 +1,308 @@
+#include "xpcore/gemm_tune.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "xpcore/hash.hpp"
+#include "xpcore/timer.hpp"
+
+namespace xpcore::simd {
+
+namespace {
+
+/// Bump when the candidate-generation or probe logic changes, so stale
+/// disk-cache entries are ignored.
+constexpr std::uint32_t kTunerVersion = 1;
+
+// Probe shape: large enough to stream through every blocking level,
+// close enough in spirit to the training GEMMs (hundreds-of-rows operands).
+constexpr std::size_t kProbeM = 384;
+constexpr std::size_t kProbeK = 384;
+constexpr std::size_t kProbeN = 384;
+constexpr int kProbeIters = 3;  // median-of-3 after one warmup
+
+// ---- cache hierarchy detection ---------------------------------------------
+
+std::size_t parse_size_kib(const char* text) {
+    // sysfs "size" files read like "48K", "2048K", "1M".
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text) return 0;
+    std::size_t bytes = static_cast<std::size_t>(value);
+    if (*end == 'K' || *end == 'k') {
+        bytes *= 1024;
+    } else if (*end == 'M' || *end == 'm') {
+        bytes *= 1024 * 1024;
+    }
+    return bytes;
+}
+
+bool read_small_file(const std::string& path, char* buf, std::size_t cap) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return false;
+    const std::size_t n = std::fread(buf, 1, cap - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    return n > 0;
+}
+
+CacheHierarchy detect_cache_hierarchy() {
+    CacheHierarchy info;
+    const char* base = "/sys/devices/system/cpu/cpu0/cache";
+    for (int index = 0; index < 8; ++index) {
+        const std::string dir = std::string(base) + "/index" + std::to_string(index);
+        char level[16];
+        char type[32];
+        char size[32];
+        if (!read_small_file(dir + "/level", level, sizeof(level)) ||
+            !read_small_file(dir + "/type", type, sizeof(type)) ||
+            !read_small_file(dir + "/size", size, sizeof(size))) {
+            continue;
+        }
+        if (std::strncmp(type, "Instruction", 11) == 0) continue;
+        const long lvl = std::strtol(level, nullptr, 10);
+        const std::size_t bytes = parse_size_kib(size);
+        if (bytes == 0) continue;
+        if (lvl == 1) info.l1d_bytes = bytes;
+        if (lvl == 2) info.l2_bytes = bytes;
+        if (lvl == 3) info.l3_bytes = bytes;
+    }
+    info.detected = info.l1d_bytes != 0 && info.l2_bytes != 0;
+    // Generic fallbacks keep the candidate math meaningful everywhere.
+    if (info.l1d_bytes == 0) info.l1d_bytes = 32 * 1024;
+    if (info.l2_bytes == 0) info.l2_bytes = 1024 * 1024;
+    if (info.l3_bytes == 0) info.l3_bytes = 8 * 1024 * 1024;
+    return info;
+}
+
+// ---- per-level kernel access -----------------------------------------------
+
+struct LevelOps {
+    GemmTile tile;
+    GemmBlocking compiled_default;
+    void (*set_blocking)(GemmBlocking);
+    GemmBlocking (*get_blocking)();
+    void (*gemm)(std::size_t, std::size_t, std::size_t, const float*, std::size_t, bool,
+                 const float*, std::size_t, bool, float*, std::size_t, bool, std::size_t,
+                 std::size_t);
+};
+
+LevelOps level_ops(Level level) {
+    if (level == Level::Avx512) {
+        return {gemm_tile_avx512(), default_gemm_blocking_avx512(), set_gemm_blocking_avx512,
+                gemm_blocking_avx512, gemm_f32_avx512};
+    }
+    return {gemm_tile_avx2(), default_gemm_blocking_avx2(), set_gemm_blocking_avx2,
+            gemm_blocking_avx2, gemm_f32_avx2};
+}
+
+// ---- candidate generation ---------------------------------------------------
+
+std::size_t round_down_to(std::size_t value, std::size_t unit) {
+    value -= value % unit;
+    return value < unit ? unit : value;
+}
+
+std::vector<GemmBlocking> make_candidates(const GemmTile& tile,
+                                          const GemmBlocking& compiled_default,
+                                          const CacheHierarchy& cache) {
+    std::vector<GemmBlocking> candidates;
+    candidates.push_back(compiled_default);
+    for (const std::size_t kc : {std::size_t{128}, std::size_t{256}, std::size_t{384},
+                                 std::size_t{512}}) {
+        // The packed A block (MC x KC floats) should occupy about half of
+        // L2, leaving room for the B panel stripe and C tiles.
+        std::size_t mc = (cache.l2_bytes / 2) / (kc * sizeof(float));
+        mc = round_down_to(std::clamp<std::size_t>(mc, tile.mr, 1008), tile.mr);
+        // The packed B panel (KC x NC floats) streams from L3; an eighth of
+        // it keeps the panel resident alongside other working sets.
+        std::size_t nc = (cache.l3_bytes / 8) / (kc * sizeof(float));
+        nc = round_down_to(std::clamp<std::size_t>(nc, tile.nr, 4096), tile.nr);
+        const GemmBlocking candidate{kc, mc, nc};
+        const bool duplicate =
+            std::any_of(candidates.begin(), candidates.end(), [&](const GemmBlocking& b) {
+                return b.kc == candidate.kc && b.mc == candidate.mc && b.nc == candidate.nc;
+            });
+        if (!duplicate) candidates.push_back(candidate);
+    }
+    return candidates;
+}
+
+// ---- probing ----------------------------------------------------------------
+
+GemmBlocking probe_best(const LevelOps& ops, const std::vector<GemmBlocking>& candidates) {
+    std::vector<float> a(kProbeM * kProbeK);
+    std::vector<float> b(kProbeK * kProbeN);
+    std::vector<float> c(kProbeM * kProbeN, 0.0f);
+    // Deterministic non-trivial fill; values are irrelevant to timing but
+    // denormals must be avoided.
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = 0.5f + 0.001f * static_cast<float>(i % 97);
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = 0.25f + 0.002f * static_cast<float>(i % 89);
+
+    GemmBlocking best = candidates.front();
+    double best_seconds = -1.0;
+    for (const GemmBlocking& candidate : candidates) {
+        ops.set_blocking(candidate);
+        double samples[kProbeIters];
+        // Warmup primes the packing buffers and the caches.
+        ops.gemm(kProbeM, kProbeN, kProbeK, a.data(), kProbeK, false, b.data(), kProbeN,
+                 false, c.data(), kProbeN, false, 0, kProbeM);
+        for (int iter = 0; iter < kProbeIters; ++iter) {
+            WallTimer timer;
+            ops.gemm(kProbeM, kProbeN, kProbeK, a.data(), kProbeK, false, b.data(), kProbeN,
+                     false, c.data(), kProbeN, false, 0, kProbeM);
+            samples[iter] = timer.seconds();
+        }
+        std::sort(samples, samples + kProbeIters);
+        const double median = samples[kProbeIters / 2];
+        if (best_seconds < 0.0 || median < best_seconds) {
+            best_seconds = median;
+            best = ops.get_blocking();  // the clamped form actually installed
+        }
+    }
+    return best;
+}
+
+// ---- disk cache -------------------------------------------------------------
+
+std::filesystem::path tune_cache_path(Level level, const GemmTile& tile,
+                                      const CacheHierarchy& cache) {
+    Fnv1a hash;
+    hash.mix_value(kTunerVersion);
+    hash.mix_string(cpu_model_string());
+    hash.mix_string(level_name(level));
+    hash.mix_value(tile.mr);
+    hash.mix_value(tile.nr);
+    hash.mix_value(cache.l1d_bytes);
+    hash.mix_value(cache.l2_bytes);
+    hash.mix_value(cache.l3_bytes);
+    const char* dir = std::getenv("XPDNN_CACHE_DIR");
+    char name[64];
+    std::snprintf(name, sizeof(name), "gemm_tune_%016" PRIx64 ".txt",
+                  static_cast<std::uint64_t>(hash.state));
+    return std::filesystem::path(dir != nullptr ? dir : ".xpdnn_cache") / name;
+}
+
+bool load_cached_blocking(const std::filesystem::path& path, GemmBlocking* out) {
+    std::FILE* f = std::fopen(path.string().c_str(), "r");
+    if (f == nullptr) return false;
+    unsigned long long kc = 0;
+    unsigned long long mc = 0;
+    unsigned long long nc = 0;
+    const bool ok = std::fscanf(f, "%llu %llu %llu", &kc, &mc, &nc) == 3;
+    std::fclose(f);
+    if (!ok || kc == 0 || mc == 0 || nc == 0) return false;
+    *out = {static_cast<std::size_t>(kc), static_cast<std::size_t>(mc),
+            static_cast<std::size_t>(nc)};
+    return true;
+}
+
+unsigned long process_id() {
+#if defined(__unix__) || defined(__APPLE__)
+    return static_cast<unsigned long>(::getpid());
+#else
+    return 0;
+#endif
+}
+
+void store_cached_blocking(const std::filesystem::path& path, const GemmBlocking& blocking) {
+    // Temp-file + rename: concurrent processes (ctest -j) may tune the same
+    // level at once and must never observe a half-written cache entry.
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    if (ec) return;
+    std::filesystem::path tmp = path;
+    tmp += "." + std::to_string(process_id()) + ".tmp";
+    std::FILE* f = std::fopen(tmp.string().c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "%zu %zu %zu\n", blocking.kc, blocking.mc, blocking.nc);
+    std::fclose(f);
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) std::filesystem::remove(tmp, ec);
+}
+
+// ---- orchestration ----------------------------------------------------------
+
+bool parse_explicit_blocking(const char* text, GemmBlocking* out) {
+    unsigned long long kc = 0;
+    unsigned long long mc = 0;
+    unsigned long long nc = 0;
+    if (std::sscanf(text, "%llu:%llu:%llu", &kc, &mc, &nc) != 3) return false;
+    if (kc == 0 || mc == 0 || nc == 0) return false;
+    *out = {static_cast<std::size_t>(kc), static_cast<std::size_t>(mc),
+            static_cast<std::size_t>(nc)};
+    return true;
+}
+
+struct LevelTuneState {
+    std::once_flag once;
+    GemmTuneInfo info{GemmBlocking{}, "default"};
+};
+
+LevelTuneState g_state[2];  // [0] = Avx2, [1] = Avx512
+
+void tune_level(Level level, LevelTuneState* state) {
+    const LevelOps ops = level_ops(level);
+    state->info = {ops.compiled_default, "default"};
+
+    const bool runnable = level <= max_level();
+    const char* mode = std::getenv("XPDNN_GEMM_TUNE");
+    if (mode != nullptr && std::strcmp(mode, "off") == 0) return;
+
+    GemmBlocking explicit_blocking;
+    if (mode != nullptr && parse_explicit_blocking(mode, &explicit_blocking)) {
+        ops.set_blocking(explicit_blocking);
+        state->info = {ops.get_blocking(), "env"};
+        return;
+    }
+    if (!runnable) return;  // can't probe kernels this CPU/binary lacks
+
+    const bool retune = mode != nullptr && std::strcmp(mode, "retune") == 0;
+    const CacheHierarchy& cache = cache_hierarchy();
+    const std::filesystem::path path = tune_cache_path(level, ops.tile, cache);
+
+    GemmBlocking blocking;
+    if (!retune && load_cached_blocking(path, &blocking)) {
+        ops.set_blocking(blocking);
+        state->info = {ops.get_blocking(), "cached"};
+        return;
+    }
+
+    blocking = probe_best(ops, make_candidates(ops.tile, ops.compiled_default, cache));
+    ops.set_blocking(blocking);
+    state->info = {ops.get_blocking(), "probed"};
+    store_cached_blocking(path, state->info.blocking);
+}
+
+}  // namespace
+
+const CacheHierarchy& cache_hierarchy() {
+    static const CacheHierarchy info = detect_cache_hierarchy();
+    return info;
+}
+
+void ensure_gemm_tuned(Level level) {
+    if (level == Level::Scalar) return;
+    LevelTuneState& state = g_state[level == Level::Avx512 ? 1 : 0];
+    std::call_once(state.once, [&] { tune_level(level, &state); });
+}
+
+GemmTuneInfo gemm_tune_info(Level level) {
+    if (level == Level::Scalar) return {GemmBlocking{}, "default"};
+    ensure_gemm_tuned(level);
+    return g_state[level == Level::Avx512 ? 1 : 0].info;
+}
+
+}  // namespace xpcore::simd

@@ -1,6 +1,7 @@
 #include "xpcore/simd.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -8,12 +9,16 @@
 
 #include "simd_poly.hpp"
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
 namespace xpcore::simd {
 
 // Portable scalar references for the SIMD approximations. Defined in this
 // translation unit (baseline compile flags) so they are callable on CPUs
-// without AVX2 — simd_avx2.cpp is compiled with -mavx2 and must never be
-// entered unless avx2_active().
+// without AVX2 — simd_avx2.cpp / simd_avx512.cpp are compiled with vector
+// flags and must never be entered unless the matching level is active.
 float tanh_approx(float x) { return detail::tanh_approx_scalar(x); }
 float exp_approx(float x) { return detail::exp_approx_scalar(x); }
 
@@ -27,20 +32,23 @@ bool cpu_supports_avx2_fma() {
 #endif
 }
 
+// The AVX-512 kernels use F (foundation), VL (128/256-bit forms for the
+// packing helpers), BW and DQ (float logic ops). Every server core that
+// ships AVX-512 since Skylake-SP has all four; requiring the full set keeps
+// one detection predicate instead of per-kernel feature math.
+bool cpu_supports_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512vl") &&
+           __builtin_cpu_supports("avx512bw") && __builtin_cpu_supports("avx512dq");
+#else
+    return false;
+#endif
+}
+
 Level env_default_level() {
     static const Level value = [] {
-        const Level best = max_level();
-        const char* env = std::getenv("XPDNN_SIMD");
-        if (env != nullptr) {
-            if (std::strcmp(env, "0") == 0 || std::strcmp(env, "scalar") == 0 ||
-                std::strcmp(env, "off") == 0) {
-                return Level::Scalar;
-            }
-            // "1" / "auto" / "avx2" (and anything else) mean "best available":
-            // requesting a level the CPU lacks must not crash, so unknown or
-            // too-high values clamp to the detected maximum.
-        }
-        return best;
+        if (const char* env = std::getenv("XPDNN_SIMD")) return parse_level(env);
+        return max_level();
     }();
     return value;
 }
@@ -51,8 +59,11 @@ std::atomic<int> g_override{-1};
 }  // namespace
 
 Level max_level() {
-    static const Level value =
-        (compiled_with_avx2() && cpu_supports_avx2_fma()) ? Level::Avx2 : Level::Scalar;
+    static const Level value = [] {
+        if (compiled_with_avx512() && cpu_supports_avx512()) return Level::Avx512;
+        if (compiled_with_avx2() && cpu_supports_avx2_fma()) return Level::Avx2;
+        return Level::Scalar;
+    }();
     return value;
 }
 
@@ -62,7 +73,9 @@ Level active_level() {
     return env_default_level();
 }
 
-bool avx2_active() { return active_level() == Level::Avx2; }
+bool avx2_active() { return active_level() >= Level::Avx2; }
+
+bool avx512_active() { return active_level() == Level::Avx512; }
 
 void set_level(Level level) {
     if (level > max_level()) level = max_level();
@@ -75,8 +88,54 @@ const char* level_name(Level level) {
     switch (level) {
         case Level::Scalar: return "scalar";
         case Level::Avx2: return "avx2";
+        case Level::Avx512: return "avx512";
     }
     return "?";
+}
+
+Level parse_level(const char* name) {
+    const Level best = max_level();
+    if (name == nullptr) return best;
+    if (std::strcmp(name, "0") == 0 || std::strcmp(name, "scalar") == 0 ||
+        std::strcmp(name, "off") == 0) {
+        return Level::Scalar;
+    }
+    // "avx2" is a *cap*, not a request for the best level: on AVX-512 hosts
+    // it pins the AVX2 kernels (A/B comparisons, bug triage). Requesting a
+    // level the CPU lacks must not crash, so it still clamps to max_level().
+    if (std::strcmp(name, "avx2") == 0) return best < Level::Avx2 ? best : Level::Avx2;
+    // "1" / "auto" / "avx512" (and anything else) mean "best available".
+    return best;
+}
+
+const char* cpu_model_string() {
+    static const char* const value = [] {
+        static char brand[49] = "unknown";
+#if defined(__x86_64__) || defined(__i386__)
+        unsigned int regs[4] = {0, 0, 0, 0};
+        if (__get_cpuid(0x80000000u, &regs[0], &regs[1], &regs[2], &regs[3]) &&
+            regs[0] >= 0x80000004u) {
+            char raw[49] = {};
+            for (unsigned int leaf = 0; leaf < 3; ++leaf) {
+                __get_cpuid(0x80000002u + leaf, &regs[0], &regs[1], &regs[2], &regs[3]);
+                std::memcpy(raw + leaf * 16, regs, 16);
+            }
+            raw[48] = '\0';
+            // The brand string is right-justified with leading spaces on
+            // some parts; trim both ends for stable cache keys.
+            const char* begin = raw;
+            while (*begin == ' ') ++begin;
+            std::size_t len = std::strlen(begin);
+            while (len > 0 && begin[len - 1] == ' ') --len;
+            if (len > 0 && len < sizeof(brand)) {
+                std::memcpy(brand, begin, len);
+                brand[len] = '\0';
+            }
+        }
+#endif
+        return brand;
+    }();
+    return value;
 }
 
 }  // namespace xpcore::simd

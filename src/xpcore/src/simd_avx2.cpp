@@ -6,7 +6,7 @@
 /// compiled_with_avx2() reports false, so xpcore::simd::avx2_active()
 /// keeps every caller on the scalar path.
 ///
-/// GEMM design (BLIS-style, sized for one core's cache hierarchy):
+/// GEMM design (BLIS-style, blocked for one core's cache hierarchy):
 ///   - 6x16 register microkernel: 12 ymm accumulators, one broadcast
 ///     register for A, two loads for B — 15 of the 16 ymm registers.
 ///   - A is packed into column-major micro-panels of 6 rows, B into
@@ -17,19 +17,64 @@
 ///     element the k-accumulation order depends only on the pc split and
 ///     the microkernel's k loop, never on the row range, so results are
 ///     bit-identical for any thread partition and any batch row count.
-///   - Packing buffers are thread_local and grow once; steady-state calls
-///     perform no heap allocation.
+///   - KC/MC/NC are runtime parameters (atomics, sampled once per call):
+///     the startup autotuner (xpcore/gemm_tune.hpp) installs values probed
+///     against the host's cache hierarchy; the compiled defaults below are
+///     the fallback for XPDNN_GEMM_TUNE=off and non-tuned processes.
+///   - Packing buffers are thread_local and grow to the largest blocking
+///     seen; steady-state calls perform no heap allocation.
 ///
-/// All loads/stores are unaligned variants (loadu/storeu): the tensors
-/// come from std::vector<float> with 16-byte alignment, and on every
-/// AVX2-era core loadu on an aligned address costs the same as an aligned
-/// load while never faulting on the unaligned case.
+/// All loads/stores are unaligned variants (loadu/storeu): tensors are
+/// 64-byte aligned (xpcore/aligned.hpp) but packed-panel interiors are not,
+/// and on every AVX2-era core loadu on an aligned address costs the same as
+/// an aligned load while never faulting on the unaligned case.
 
 #include "xpcore/simd_kernels.hpp"
 
+#include <atomic>
 #include <cstdlib>
 
 #include "simd_poly.hpp"
+
+namespace xpcore::simd {
+
+namespace {
+
+constexpr std::size_t kMR = 6;           // microkernel rows
+constexpr std::size_t kNR = 16;          // microkernel cols (2 ymm)
+constexpr std::size_t kDefaultKC = 256;  // k panel
+constexpr std::size_t kDefaultMC = 96;   // row block (16 micro-panels of 6)
+constexpr std::size_t kDefaultNC = 768;  // col block (48 micro-panels of 16)
+
+static_assert(kDefaultMC % kMR == 0 && kDefaultNC % kNR == 0);
+
+std::atomic<std::size_t> g_kc{kDefaultKC};
+std::atomic<std::size_t> g_mc{kDefaultMC};
+std::atomic<std::size_t> g_nc{kDefaultNC};
+
+}  // namespace
+
+GemmTile gemm_tile_avx2() { return {kMR, kNR}; }
+
+GemmBlocking default_gemm_blocking_avx2() { return {kDefaultKC, kDefaultMC, kDefaultNC}; }
+
+GemmBlocking gemm_blocking_avx2() {
+    return {g_kc.load(std::memory_order_relaxed), g_mc.load(std::memory_order_relaxed),
+            g_nc.load(std::memory_order_relaxed)};
+}
+
+void set_gemm_blocking_avx2(GemmBlocking blocking) {
+    // Clamp to legal kernel parameters: the panel loops require kc >= 8 and
+    // MC/NC to be positive multiples of the microkernel tile.
+    const std::size_t kc = blocking.kc < 8 ? 8 : blocking.kc;
+    const std::size_t mc = blocking.mc < kMR ? kMR : blocking.mc - blocking.mc % kMR;
+    const std::size_t nc = blocking.nc < kNR ? kNR : blocking.nc - blocking.nc % kNR;
+    g_kc.store(kc, std::memory_order_relaxed);
+    g_mc.store(mc, std::memory_order_relaxed);
+    g_nc.store(nc, std::memory_order_relaxed);
+}
+
+}  // namespace xpcore::simd
 
 #if defined(__AVX2__) && defined(__FMA__)
 
@@ -46,25 +91,18 @@ bool compiled_with_avx2() { return true; }
 
 namespace {
 
-constexpr std::size_t kMR = 6;    // microkernel rows
-constexpr std::size_t kNR = 16;   // microkernel cols (2 ymm)
-constexpr std::size_t kKC = 256;  // k panel
-constexpr std::size_t kMC = 96;   // row block (16 micro-panels of 6)
-constexpr std::size_t kNC = 768;  // col block (48 micro-panels of 16)
-
-static_assert(kMC % kMR == 0 && kNC % kNR == 0);
-
-/// Per-thread packing scratch, grown once and reused (zero-allocation
-/// steady state). Holds ceil(mc/MR)*MR x kc for A and kc x nc for B.
+/// Per-thread packing scratch, grown to the largest blocking seen and
+/// reused (zero-allocation steady state). Holds ceil(mc/MR)*MR x kc for A
+/// and kc x nc for B.
 struct PackBuffers {
     std::vector<float> a;
     std::vector<float> b;
 };
 
-PackBuffers& pack_buffers() {
+PackBuffers& pack_buffers(std::size_t kc, std::size_t mc, std::size_t nc) {
     thread_local PackBuffers buffers;
-    if (buffers.a.size() < kMC * kKC) buffers.a.resize(kMC * kKC);
-    if (buffers.b.size() < kKC * kNC) buffers.b.resize(kKC * kNC);
+    if (buffers.a.size() < mc * kc) buffers.a.resize(mc * kc);
+    if (buffers.b.size() < kc * nc) buffers.b.resize(kc * nc);
     return buffers;
 }
 
@@ -248,14 +286,17 @@ void gemm_f32_avx2(std::size_t m, std::size_t n, std::size_t k, const float* a,
     }
     if (k == 0) return;
 
-    PackBuffers& buffers = pack_buffers();
-    for (std::size_t jc = 0; jc < n; jc += kNC) {
-        const std::size_t nc = std::min(kNC, n - jc);
-        for (std::size_t pc = 0; pc < k; pc += kKC) {
-            const std::size_t kc = std::min(kKC, k - pc);
+    // Sampled once per call: every row range of one logical product uses
+    // the same blocking even if the autotuner runs concurrently.
+    const GemmBlocking blk = gemm_blocking_avx2();
+    PackBuffers& buffers = pack_buffers(blk.kc, blk.mc, blk.nc);
+    for (std::size_t jc = 0; jc < n; jc += blk.nc) {
+        const std::size_t nc = std::min(blk.nc, n - jc);
+        for (std::size_t pc = 0; pc < k; pc += blk.kc) {
+            const std::size_t kc = std::min(blk.kc, k - pc);
             pack_b(buffers.b.data(), b, ldb, trans_b, pc, kc, jc, nc);
-            for (std::size_t ic = i0; ic < i1; ic += kMC) {
-                const std::size_t mc = std::min(kMC, i1 - ic);
+            for (std::size_t ic = i0; ic < i1; ic += blk.mc) {
+                const std::size_t mc = std::min(blk.mc, i1 - ic);
                 pack_a(buffers.a.data(), a, lda, trans_a, ic, mc, pc, kc);
                 for (std::size_t jr = 0; jr < nc; jr += kNR) {
                     const std::size_t nr = std::min(kNR, nc - jr);

@@ -1,16 +1,19 @@
-// Scalar-vs-SIMD parity for the AVX2 compute backend (xpcore/simd_kernels.hpp):
-//  * GEMM nn/nt/tn over odd shapes and tail sizes — SIMD results within a
-//    tight relative tolerance of the scalar blocked kernels (FMA and the
-//    summation tree are the only differences);
+// Scalar-vs-SIMD parity for the vector compute backends — AVX2 and AVX-512
+// (xpcore/simd_kernels.hpp):
+//  * GEMM nn/nt/tn over odd shapes and tail sizes — every available vector
+//    level's results within a tight relative tolerance of the scalar blocked
+//    kernels (FMA and the summation tree are the only differences);
 //  * tanh/exp approximations bounded against std::tanh/std::exp over
-//    [-20, 20] (documented max error < 5e-7);
+//    [-20, 20] (documented max error < 5e-7) at every vector width;
 //  * AdaMax — the scalar fallback is bit-identical to a hand-written
-//    reference loop, the fused SIMD step is tolerance-checked;
+//    reference loop, the fused SIMD steps are tolerance-checked;
+//  * LevelGuard behavior for the AVX-512 level (pin, nest, clamp, restore);
 //  * a full train-then-classify oracle over the case-study kernel snapshot:
-//    the scalar- and SIMD-trained classifiers must select identical top-3
-//    hypothesis class sets for every kernel.
+//    the classifiers trained at every dispatch level must select identical
+//    top-3 hypothesis class sets for every kernel.
 //
-// On hosts without AVX2+FMA the SIMD cases skip (the scalar cases still run).
+// Each vector level's cases are CPUID-gated: on hosts without AVX2+FMA all
+// SIMD cases skip; on AVX2-only hosts the AVX-512 cases skip cleanly.
 
 #include <gtest/gtest.h>
 
@@ -34,9 +37,20 @@ using xpcore::simd::Level;
 using xpcore::simd::LevelGuard;
 
 bool have_avx2() { return xpcore::simd::max_level() >= Level::Avx2; }
+bool have_avx512() { return xpcore::simd::max_level() >= Level::Avx512; }
 
 #define SKIP_WITHOUT_AVX2() \
     if (!have_avx2()) GTEST_SKIP() << "AVX2+FMA not available on this host"
+#define SKIP_WITHOUT_AVX512() \
+    if (!have_avx512()) GTEST_SKIP() << "AVX-512 not available on this host"
+
+/// The vector dispatch levels this host can run (empty on scalar-only hosts).
+std::vector<Level> vector_levels() {
+    std::vector<Level> levels;
+    if (have_avx2()) levels.push_back(Level::Avx2);
+    if (have_avx512()) levels.push_back(Level::Avx512);
+    return levels;
+}
 
 Tensor random_tensor(std::size_t rows, std::size_t cols, xpcore::Rng& rng) {
     Tensor t(rows, cols);
@@ -59,9 +73,10 @@ double max_rel_diff(const Tensor& a, const Tensor& b) {
 
 // ---- GEMM ------------------------------------------------------------------
 
-// Shapes chosen to hit every microkernel edge: full 6x16 tiles, row tails
-// (m % 6), column tails (n % 16), k tails (k % kKC), the inference shape
-// (1 x 11 x 43), and sizes crossing the KC=256 panel boundary.
+// Shapes chosen to hit every microkernel edge at both vector widths: full
+// 6x16 (AVX2) and 14x32 (AVX-512) tiles, row tails (m % 6, m % 14), column
+// tails (n % 16, n % 32), k tails, the inference shape (1 x 11 x 43), and
+// sizes crossing the KC=256 panel boundary.
 struct Shape {
     std::size_t m, k, n;
 };
@@ -75,20 +90,23 @@ void check_gemm_parity(const Gemm& gemm, bool accumulate, double tol) {
     SKIP_WITHOUT_AVX2();
     for (const auto& s : kShapes) {
         xpcore::Rng rng(s.m * 1000003 + s.k * 101 + s.n);
-        Tensor scalar_c(s.m, s.n), simd_c(s.m, s.n);
-        for (std::size_t i = 0; i < scalar_c.size(); ++i) {
-            scalar_c.data()[i] = simd_c.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+        Tensor init_c(s.m, s.n);
+        for (std::size_t i = 0; i < init_c.size(); ++i) {
+            init_c.data()[i] = static_cast<float>(rng.uniform(-1, 1));
         }
+        Tensor scalar_c = init_c;
         {
             LevelGuard guard(Level::Scalar);
             gemm(s, rng, scalar_c, accumulate);
         }
-        {
-            LevelGuard guard(Level::Avx2);
+        for (Level level : vector_levels()) {
+            Tensor simd_c = init_c;
+            LevelGuard guard(level);
             gemm(s, rng, simd_c, accumulate);
+            EXPECT_LT(max_rel_diff(scalar_c, simd_c), tol)
+                << s.m << "x" << s.k << "x" << s.n << " accumulate=" << accumulate
+                << " level=" << xpcore::simd::level_name(level);
         }
-        EXPECT_LT(max_rel_diff(scalar_c, simd_c), tol)
-            << s.m << "x" << s.k << "x" << s.n << " accumulate=" << accumulate;
     }
 }
 
@@ -149,20 +167,30 @@ TEST(SimdMathParity, TanhScalarApproxBounded) {
     EXPECT_LT(max_err, kTanhMaxAbsErr);
 }
 
-TEST(SimdMathParity, TanhVectorMatchesReference) {
-    SKIP_WITHOUT_AVX2();
+/// Bounds a vector tanh kernel against std::tanh over the dense scan.
+void check_vector_tanh(void (*tanh_fn)(const float*, float*, std::size_t)) {
     std::vector<float> xs(kScanSteps), ys(kScanSteps);
     for (int i = 0; i < kScanSteps; ++i) {
         xs[static_cast<std::size_t>(i)] =
             -20.0f + 40.0f * static_cast<float>(i) / (kScanSteps - 1);
     }
-    xpcore::simd::tanh_f32_avx2(xs.data(), ys.data(), xs.size());
+    tanh_fn(xs.data(), ys.data(), xs.size());
     float max_err = 0.0f;
     for (int i = 0; i < kScanSteps; ++i) {
         max_err = std::max(max_err, std::abs(ys[static_cast<std::size_t>(i)] -
                                              std::tanh(xs[static_cast<std::size_t>(i)])));
     }
     EXPECT_LT(max_err, kTanhMaxAbsErr);
+}
+
+TEST(SimdMathParity, TanhVectorMatchesReference) {
+    SKIP_WITHOUT_AVX2();
+    check_vector_tanh(xpcore::simd::tanh_f32_avx2);
+}
+
+TEST(SimdMathParity, TanhVectorAvx512MatchesReference) {
+    SKIP_WITHOUT_AVX512();
+    check_vector_tanh(xpcore::simd::tanh_f32_avx512);
 }
 
 TEST(SimdMathParity, ExpScalarApproxBounded) {
@@ -175,14 +203,14 @@ TEST(SimdMathParity, ExpScalarApproxBounded) {
     EXPECT_LT(max_rel, kExpMaxRelErr);
 }
 
-TEST(SimdMathParity, ExpVectorMatchesReference) {
-    SKIP_WITHOUT_AVX2();
+/// Bounds a vector exp kernel against std::exp over the dense scan.
+void check_vector_exp(void (*exp_fn)(const float*, float*, std::size_t)) {
     std::vector<float> xs(kScanSteps), ys(kScanSteps);
     for (int i = 0; i < kScanSteps; ++i) {
         xs[static_cast<std::size_t>(i)] =
             -20.0f + 40.0f * static_cast<float>(i) / (kScanSteps - 1);
     }
-    xpcore::simd::exp_f32_avx2(xs.data(), ys.data(), xs.size());
+    exp_fn(xs.data(), ys.data(), xs.size());
     float max_rel = 0.0f;
     for (int i = 0; i < kScanSteps; ++i) {
         const float exact = std::exp(xs[static_cast<std::size_t>(i)]);
@@ -192,25 +220,39 @@ TEST(SimdMathParity, ExpVectorMatchesReference) {
     EXPECT_LT(max_rel, kExpMaxRelErr);
 }
 
+TEST(SimdMathParity, ExpVectorMatchesReference) {
+    SKIP_WITHOUT_AVX2();
+    check_vector_exp(xpcore::simd::exp_f32_avx2);
+}
+
+TEST(SimdMathParity, ExpVectorAvx512MatchesReference) {
+    SKIP_WITHOUT_AVX512();
+    check_vector_exp(xpcore::simd::exp_f32_avx512);
+}
+
 TEST(SimdMathParity, SoftmaxRowsMatchScalarPath) {
     SKIP_WITHOUT_AVX2();
     xpcore::Rng rng(9);
-    // Odd row width (43 = the PMNF class count) exercises the tail handling.
+    // Odd row width (43 = the PMNF class count) exercises the tail handling
+    // of both vector widths (43 % 8 and 43 % 16 are nonzero).
     const Tensor logits = random_tensor(37, 43, rng);
-    Tensor scalar_probs, simd_probs;
+    Tensor scalar_probs;
     {
         LevelGuard guard(Level::Scalar);
         nn::SoftmaxCrossEntropy::softmax(logits, scalar_probs);
     }
-    {
-        LevelGuard guard(Level::Avx2);
+    for (Level level : vector_levels()) {
+        Tensor simd_probs;
+        LevelGuard guard(level);
         nn::SoftmaxCrossEntropy::softmax(logits, simd_probs);
-    }
-    EXPECT_LT(max_rel_diff(scalar_probs, simd_probs), 1e-5);
-    for (std::size_t r = 0; r < simd_probs.rows(); ++r) {
-        double sum = 0.0;
-        for (std::size_t c = 0; c < simd_probs.cols(); ++c) sum += simd_probs(r, c);
-        EXPECT_NEAR(sum, 1.0, 1e-5) << "row " << r;
+        EXPECT_LT(max_rel_diff(scalar_probs, simd_probs), 1e-5)
+            << xpcore::simd::level_name(level);
+        for (std::size_t r = 0; r < simd_probs.rows(); ++r) {
+            double sum = 0.0;
+            for (std::size_t c = 0; c < simd_probs.cols(); ++c) sum += simd_probs(r, c);
+            EXPECT_NEAR(sum, 1.0, 1e-5)
+                << "row " << r << " at " << xpcore::simd::level_name(level);
+        }
     }
 }
 
@@ -259,27 +301,78 @@ TEST(SimdAdaMaxParity, FusedSimdStepWithinTolerance) {
     SKIP_WITHOUT_AVX2();
     const std::size_t n = 1013;
     xpcore::Rng rng(22);
-    Tensor scalar_w(1, n), scalar_g(1, n), simd_w(1, n), simd_g(1, n);
+    Tensor init_w(1, n), init_g(1, n);
     for (std::size_t i = 0; i < n; ++i) {
-        scalar_w.data()[i] = simd_w.data()[i] = static_cast<float>(rng.uniform(-1, 1));
-        scalar_g.data()[i] = simd_g.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+        init_w.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+        init_g.data()[i] = static_cast<float>(rng.uniform(-1, 1));
     }
+    Tensor scalar_w = init_w, scalar_g = init_g;
     {
         LevelGuard guard(Level::Scalar);
         nn::AdaMax opt;
         opt.attach({{&scalar_w, &scalar_g}});
         opt.step();
     }
-    {
-        LevelGuard guard(Level::Avx2);
+    for (Level level : vector_levels()) {
+        Tensor simd_w = init_w, simd_g = init_g;
+        LevelGuard guard(level);
         nn::AdaMax opt;
         opt.attach({{&simd_w, &simd_g}});
         opt.step();
+        EXPECT_LT(max_rel_diff(scalar_w, simd_w), 1e-6) << xpcore::simd::level_name(level);
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(simd_g.data()[i], 0.0f)
+                << "grad not cleared at " << i << " (" << xpcore::simd::level_name(level)
+                << ")";
+        }
     }
-    EXPECT_LT(max_rel_diff(scalar_w, simd_w), 1e-6);
-    for (std::size_t i = 0; i < n; ++i) {
-        ASSERT_EQ(simd_g.data()[i], 0.0f) << "grad not cleared at " << i;
+}
+
+// ---- dispatch levels / LevelGuard ------------------------------------------
+
+TEST(SimdDispatch, LevelGuardPinsAndRestoresAvx512) {
+    const Level before = xpcore::simd::active_level();
+    {
+        LevelGuard guard(Level::Avx512);
+        if (have_avx512()) {
+            EXPECT_EQ(xpcore::simd::active_level(), Level::Avx512);
+            EXPECT_TRUE(xpcore::simd::avx512_active());
+            // avx2_active() is ">= AVX2": the AVX-512 level satisfies every
+            // AVX2-gated call site.
+            EXPECT_TRUE(xpcore::simd::avx2_active());
+        } else {
+            // Requesting a level the CPU lacks clamps instead of crashing.
+            EXPECT_EQ(xpcore::simd::active_level(), xpcore::simd::max_level());
+            EXPECT_FALSE(xpcore::simd::avx512_active());
+        }
+        {
+            LevelGuard inner(Level::Scalar);
+            EXPECT_EQ(xpcore::simd::active_level(), Level::Scalar);
+            EXPECT_FALSE(xpcore::simd::avx512_active());
+            EXPECT_FALSE(xpcore::simd::avx2_active());
+        }
+        if (have_avx512()) EXPECT_EQ(xpcore::simd::active_level(), Level::Avx512);
     }
+    EXPECT_EQ(xpcore::simd::active_level(), before);
+}
+
+TEST(SimdDispatch, LevelNamesAndParseSemantics) {
+    using xpcore::simd::level_name;
+    using xpcore::simd::parse_level;
+    EXPECT_STREQ(level_name(Level::Scalar), "scalar");
+    EXPECT_STREQ(level_name(Level::Avx2), "avx2");
+    EXPECT_STREQ(level_name(Level::Avx512), "avx512");
+
+    const Level best = xpcore::simd::max_level();
+    EXPECT_EQ(parse_level("0"), Level::Scalar);
+    EXPECT_EQ(parse_level("scalar"), Level::Scalar);
+    EXPECT_EQ(parse_level("off"), Level::Scalar);
+    // "avx2" caps at AVX2 (clamped to what the host can run); "avx512",
+    // "auto", and "1" all mean "best available".
+    EXPECT_EQ(parse_level("avx2"), best < Level::Avx2 ? best : Level::Avx2);
+    EXPECT_EQ(parse_level("avx512"), best);
+    EXPECT_EQ(parse_level("auto"), best);
+    EXPECT_EQ(parse_level("1"), best);
 }
 
 // ---- train-then-classify oracle -------------------------------------------
@@ -300,8 +393,10 @@ TEST(SimdClassifierOracle, Top3HypothesesMatchScalarPathOnKernelSnapshot) {
     // SIMD changes float rounding, so trained weights differ slightly — the
     // assertion is that those differences never flip a classification
     // decision on the snapshot.
+    std::vector<Level> levels = {Level::Scalar};
+    for (Level level : vector_levels()) levels.push_back(level);
     std::vector<std::vector<std::vector<pmnf::TermClass>>> per_level;
-    for (Level level : {Level::Scalar, Level::Avx2}) {
+    for (Level level : levels) {
         LevelGuard guard(level);
         dnn::DnnModeler modeler(tiny_config(), /*seed=*/11);
         modeler.pretrain();
@@ -321,12 +416,18 @@ TEST(SimdClassifierOracle, Top3HypothesesMatchScalarPathOnKernelSnapshot) {
         EXPECT_EQ(kernels_seen, 17u);
         per_level.push_back(std::move(all_candidates));
     }
-    ASSERT_EQ(per_level[0].size(), per_level[1].size());
-    for (std::size_t i = 0; i < per_level[0].size(); ++i) {
-        ASSERT_EQ(per_level[0][i].size(), per_level[1][i].size()) << "entry " << i;
-        for (std::size_t c = 0; c < per_level[0][i].size(); ++c) {
-            EXPECT_TRUE(per_level[0][i][c] == per_level[1][i][c])
-                << "candidate " << c << " of entry " << i << " differs between levels";
+    // Every vector level's selections must match the scalar baseline (and so,
+    // transitively, each other's).
+    for (std::size_t v = 1; v < per_level.size(); ++v) {
+        ASSERT_EQ(per_level[0].size(), per_level[v].size());
+        for (std::size_t i = 0; i < per_level[0].size(); ++i) {
+            ASSERT_EQ(per_level[0][i].size(), per_level[v][i].size())
+                << "entry " << i << " vs " << xpcore::simd::level_name(levels[v]);
+            for (std::size_t c = 0; c < per_level[0][i].size(); ++c) {
+                EXPECT_TRUE(per_level[0][i][c] == per_level[v][i][c])
+                    << "candidate " << c << " of entry " << i
+                    << " differs between scalar and " << xpcore::simd::level_name(levels[v]);
+            }
         }
     }
 }

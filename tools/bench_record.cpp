@@ -1,23 +1,34 @@
 /// \file bench_record.cpp
-/// Records the SIMD-backend performance trajectory in BENCH_nn.json:
-/// GEMM GFLOP/s scalar vs SIMD, one-epoch training time scalar vs SIMD
-/// (single-threaded, the acceptance number for the ">= 2x" criterion),
-/// heap allocations per steady-state training step / batched inference
-/// call (counted with an interposed global operator new), and end-to-end
-/// adaptive-modeling timings read from the modeling session's Report
-/// (informational, not gated).
+/// Records the compute-backend performance trajectory in BENCH_nn.json:
+/// machine provenance (CPU model, SIMD level, cache hierarchy, autotuned
+/// GEMM blocking), GEMM GFLOP/s at every dispatch level, one-epoch training
+/// time scalar vs vector (single-threaded, the ">= 2x" acceptance number),
+/// the cold data-parallel pretraining time (serial AVX2 baseline vs 4-worker
+/// sharded run, with the bit-identical-weights determinism check), heap
+/// allocations per steady-state training step / batched inference call
+/// (counted with an interposed global operator new, including the
+/// over-aligned forms Tensor buffers use), and end-to-end adaptive-modeling
+/// timings read from the modeling session's Report (informational).
+///
+/// All timings are the *median* of --repeats runs after a warm-up, and the
+/// run-to-run spread ((max - min) / median) is recorded next to each number
+/// — a noisy machine shows up in the trajectory instead of corrupting it.
 ///
 /// Options:
 ///   --json=FILE   output path (default BENCH_nn.json)
 ///   --samples=N   training-set size for the epoch measurement (default 2048)
-///   --epochs=K    measured epochs per variant (default 3, best-of)
+///   --epochs=K    measured epochs per variant (default 3, median-of)
+///   --repeats=R   timing repeats for GEMM/pretrain medians (default 3)
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "casestudy/casestudy.hpp"
@@ -27,14 +38,18 @@
 #include "nn/optimizer.hpp"
 #include "nn/trainer.hpp"
 #include "xpcore/cli.hpp"
+#include "xpcore/gemm_tune.hpp"
 #include "xpcore/rng.hpp"
 #include "xpcore/simd.hpp"
+#include "xpcore/simd_kernels.hpp"
 #include "xpcore/thread_pool.hpp"
 #include "xpcore/timer.hpp"
 
 // ---- allocation counting ---------------------------------------------------
 // Interpose the global allocator so allocs/step can be *measured*, not
 // asserted. tests/test_zero_alloc.cpp is the enforcing twin of this tool.
+// The over-aligned forms matter: Tensor data allocates with a 64-byte
+// alignment request (xpcore/aligned.hpp) and would otherwise go uncounted.
 
 namespace {
 std::atomic<long long> g_allocs{0};
@@ -48,14 +63,52 @@ void* operator new(std::size_t size) {
 
 void* operator new[](std::size_t size) { return ::operator new(size); }
 
+void* operator new(std::size_t size, std::align_val_t align) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    void* p = nullptr;
+    const std::size_t alignment = std::max(static_cast<std::size_t>(align), sizeof(void*));
+    if (posix_memalign(&p, alignment, size ? size : alignment) == 0) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return ::operator new(size, align);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 namespace {
 
 using xpcore::simd::Level;
+
+std::size_t g_repeats = 3;
+
+/// Median and (max - min) / median of a measurement repeated g_repeats times.
+struct Timed {
+    double median = 0.0;
+    double spread = 0.0;
+};
+
+template <typename Fn>
+Timed time_median(const Fn& measure_once) {
+    std::vector<double> xs;
+    xs.reserve(g_repeats);
+    for (std::size_t r = 0; r < std::max<std::size_t>(g_repeats, 1); ++r) {
+        xs.push_back(measure_once());
+    }
+    std::sort(xs.begin(), xs.end());
+    Timed t;
+    t.median = xs[xs.size() / 2];
+    if (t.median > 0) t.spread = (xs.back() - xs.front()) / t.median;
+    return t;
+}
 
 void fill_random(nn::Tensor& t, xpcore::Rng& rng) {
     for (std::size_t i = 0; i < t.size(); ++i) {
@@ -63,27 +116,29 @@ void fill_random(nn::Tensor& t, xpcore::Rng& rng) {
     }
 }
 
-double gemm_gflops(Level level, std::size_t m, std::size_t k, std::size_t n) {
+Timed gemm_gflops(Level level, std::size_t m, std::size_t k, std::size_t n) {
     xpcore::simd::LevelGuard guard(level);
     xpcore::SerialGuard serial;
     xpcore::Rng rng(m + k + n);
     nn::Tensor a(m, k), b(k, n), c(m, n);
     fill_random(a, rng);
     fill_random(b, rng);
-    nn::gemm_nn(a, b, c);  // warm-up
+    nn::gemm_nn(a, b, c);  // warm-up (also triggers the autotuner)
     const std::size_t flops = 2 * m * k * n;
     const std::size_t iters =
         std::max<std::size_t>(3, (std::size_t{1} << 29) / std::max<std::size_t>(1, flops));
-    xpcore::WallTimer timer;
-    for (std::size_t i = 0; i < iters; ++i) nn::gemm_nn(a, b, c);
-    const double seconds = timer.seconds();
-    return seconds > 0
-               ? static_cast<double>(flops) * static_cast<double>(iters) / seconds / 1e9
-               : 0.0;
+    return time_median([&] {
+        xpcore::WallTimer timer;
+        for (std::size_t i = 0; i < iters; ++i) nn::gemm_nn(a, b, c);
+        const double seconds = timer.seconds();
+        return seconds > 0 ? static_cast<double>(flops) * static_cast<double>(iters) /
+                                 seconds / 1e9
+                           : 0.0;
+    });
 }
 
-/// Best-of-K single-threaded epoch time over the micro_nn training problem.
-double epoch_seconds(Level level, std::size_t samples, std::size_t epochs) {
+/// Median-of-K single-threaded epoch time over the micro_nn training problem.
+Timed epoch_seconds(Level level, std::size_t samples, std::size_t epochs) {
     xpcore::simd::LevelGuard guard(level);
     xpcore::SerialGuard serial;
     xpcore::Rng rng(14);
@@ -97,13 +152,55 @@ double epoch_seconds(Level level, std::size_t samples, std::size_t epochs) {
     for (std::size_t i = 0; i < samples; ++i) data.labels[i] = static_cast<std::int32_t>(i % 43);
     xpcore::Rng train_rng(15);
     trainer.fit(data, train_rng);  // warm-up: sizes the workspace
-    double best = 1e30;
-    for (std::size_t e = 0; e < epochs; ++e) {
+    std::vector<double> times;
+    for (std::size_t e = 0; e < std::max<std::size_t>(epochs, 1); ++e) {
         xpcore::WallTimer timer;
         trainer.fit(data, train_rng);
-        best = std::min(best, timer.seconds());
+        times.push_back(timer.seconds());
     }
-    return best;
+    std::sort(times.begin(), times.end());
+    Timed t;
+    t.median = times[times.size() / 2];
+    if (t.median > 0) t.spread = (times.back() - times.front()) / t.median;
+    return t;
+}
+
+// ---- data-parallel pretraining ---------------------------------------------
+// The tentpole acceptance number: cold DnnModeler::pretrain() with the
+// sharded epoch on 4 workers vs the serial single-thread AVX2 baseline (the
+// pre-sharding configuration). Bench-sized network so the whole comparison
+// stays inside the smoke-test budget; the shape of the result is what the
+// trajectory tracks.
+
+dnn::DnnConfig pretrain_config(std::size_t shards) {
+    dnn::DnnConfig config;
+    config.hidden = {128, 64};
+    config.pretrain_samples_per_class = 100;
+    config.pretrain_epochs = 2;
+    config.pretrain_shards = shards;
+    return config;
+}
+
+double pretrain_once(Level level, std::size_t workers, std::size_t shards) {
+    xpcore::ThreadPool::reset_global(workers);
+    xpcore::simd::LevelGuard guard(level);
+    dnn::DnnModeler modeler(pretrain_config(shards), /*seed=*/7);
+    xpcore::WallTimer timer;
+    modeler.pretrain();  // cold: includes data generation, every run alike
+    return timer.seconds();
+}
+
+std::vector<float> pretrain_weights(Level level, std::size_t workers, std::size_t shards) {
+    xpcore::ThreadPool::reset_global(workers);
+    xpcore::simd::LevelGuard guard(level);
+    dnn::DnnModeler modeler(pretrain_config(shards), /*seed=*/7);
+    modeler.pretrain();
+    nn::Network net = modeler.snapshot_state().pretrained.clone();
+    std::vector<float> flat;
+    for (const nn::Param& p : net.params()) {
+        flat.insert(flat.end(), p.value->data(), p.value->data() + p.value->size());
+    }
+    return flat;
 }
 
 /// Heap allocations of one steady-state training step (after warm-up).
@@ -167,6 +264,19 @@ modeling::Report modeling_report() {
     return session.run("adaptive", set);
 }
 
+/// JSON fragment describing one level's autotuned blocking.
+std::string tune_json(Level level) {
+    xpcore::simd::ensure_gemm_tuned(level);
+    const xpcore::simd::GemmTuneInfo info = xpcore::simd::gemm_tune_info(level);
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"level\": \"%s\", \"kc\": %zu, \"mc\": %zu, \"nc\": %zu, "
+                  "\"source\": \"%s\"}",
+                  xpcore::simd::level_name(level), info.blocking.kc, info.blocking.mc,
+                  info.blocking.nc, info.source);
+    return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,8 +284,36 @@ int main(int argc, char** argv) {
     const std::string json_path = args.get("json", "BENCH_nn.json");
     const auto samples = static_cast<std::size_t>(args.get_int("samples", 2048));
     const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 3));
+    g_repeats = std::max<std::size_t>(1, static_cast<std::size_t>(args.get_int("repeats", 3)));
 
-    const bool have_simd = xpcore::simd::max_level() >= Level::Avx2;
+    const Level max = xpcore::simd::max_level();
+    const bool have_avx2 = max >= Level::Avx2;
+    const bool have_avx512 = max >= Level::Avx512;
+    const unsigned cores = std::thread::hardware_concurrency();
+
+    // ---- machine provenance ------------------------------------------------
+    const xpcore::simd::CacheHierarchy& cache = xpcore::simd::cache_hierarchy();
+    std::printf("== bench_record ==\n");
+    std::printf("cpu: %s\n", xpcore::simd::cpu_model_string());
+    std::printf("simd max: %s   hardware threads: %u\n", xpcore::simd::level_name(max), cores);
+    std::printf("cache: L1d %zu KiB, L2 %zu KiB, L3 %zu KiB (%s)\n", cache.l1d_bytes / 1024,
+                cache.l2_bytes / 1024, cache.l3_bytes / 1024,
+                cache.detected ? "detected" : "fallback");
+    std::string tune_entries;
+    if (have_avx2) tune_entries += "      " + tune_json(Level::Avx2);
+    if (have_avx512) tune_entries += ",\n      " + tune_json(Level::Avx512);
+    if (have_avx2) {
+        const auto info2 = xpcore::simd::gemm_tune_info(Level::Avx2);
+        std::printf("gemm blocking avx2: kc=%zu mc=%zu nc=%zu (%s)\n", info2.blocking.kc,
+                    info2.blocking.mc, info2.blocking.nc, info2.source);
+    }
+    if (have_avx512) {
+        const auto info5 = xpcore::simd::gemm_tune_info(Level::Avx512);
+        std::printf("gemm blocking avx512: kc=%zu mc=%zu nc=%zu (%s)\n", info5.blocking.kc,
+                    info5.blocking.mc, info5.blocking.nc, info5.source);
+    }
+
+    // ---- GEMM at every level ----------------------------------------------
     struct Shape {
         const char* name;
         std::size_t m, k, n;
@@ -183,27 +321,61 @@ int main(int argc, char** argv) {
     // Forward pass of the reduced profile (batch 128) and a square stress shape.
     const Shape shapes[] = {{"fwd_128x256x128", 128, 256, 128}, {"square_512", 512, 512, 512}};
 
-    std::printf("== bench_record: scalar vs %s ==\n",
-                xpcore::simd::level_name(xpcore::simd::max_level()));
     std::string gemm_json;
     for (const auto& s : shapes) {
-        const double scalar = gemm_gflops(Level::Scalar, s.m, s.k, s.n);
-        const double simd = have_simd ? gemm_gflops(Level::Avx2, s.m, s.k, s.n) : 0.0;
-        std::printf("gemm %-16s  scalar %7.2f GF/s   simd %7.2f GF/s\n", s.name, scalar, simd);
-        char buf[256];
+        const Timed scalar = gemm_gflops(Level::Scalar, s.m, s.k, s.n);
+        const Timed avx2 = have_avx2 ? gemm_gflops(Level::Avx2, s.m, s.k, s.n) : Timed{};
+        const Timed avx512 = have_avx512 ? gemm_gflops(Level::Avx512, s.m, s.k, s.n) : Timed{};
+        std::printf("gemm %-16s  scalar %7.2f GF/s   avx2 %7.2f GF/s   avx512 %7.2f GF/s"
+                    "   (spread %.0f%%)\n",
+                    s.name, scalar.median, avx2.median, avx512.median,
+                    std::max({scalar.spread, avx2.spread, avx512.spread}) * 100.0);
+        char buf[320];
         std::snprintf(buf, sizeof(buf),
                       "    {\"kernel\": \"%s\", \"m\": %zu, \"k\": %zu, \"n\": %zu, "
-                      "\"gflops_scalar\": %.3f, \"gflops_simd\": %.3f},\n",
-                      s.name, s.m, s.k, s.n, scalar, simd);
+                      "\"gflops_scalar\": %.3f, \"gflops_avx2\": %.3f, "
+                      "\"gflops_avx512\": %.3f, \"spread\": %.4f},\n",
+                      s.name, s.m, s.k, s.n, scalar.median, avx2.median, avx512.median,
+                      std::max({scalar.spread, avx2.spread, avx512.spread}));
         gemm_json += buf;
     }
     if (!gemm_json.empty()) gemm_json.erase(gemm_json.size() - 2, 1);  // drop trailing comma
 
-    const double scalar_epoch = epoch_seconds(Level::Scalar, samples, epochs);
-    const double simd_epoch = have_simd ? epoch_seconds(Level::Avx2, samples, epochs) : 0.0;
-    const double speedup = (have_simd && simd_epoch > 0) ? scalar_epoch / simd_epoch : 0.0;
-    std::printf("epoch (%zu samples, 1 thread)  scalar %.4fs   simd %.4fs   speedup %.2fx\n",
-                samples, scalar_epoch, simd_epoch, speedup);
+    // ---- single-thread epoch: the ">= 2x" gate ------------------------------
+    const Timed scalar_epoch = epoch_seconds(Level::Scalar, samples, epochs);
+    const Timed simd_epoch = have_avx2 ? epoch_seconds(max, samples, epochs) : Timed{};
+    const double speedup =
+        (have_avx2 && simd_epoch.median > 0) ? scalar_epoch.median / simd_epoch.median : 0.0;
+    std::printf("epoch (%zu samples, 1 thread)  scalar %.4fs   %s %.4fs   speedup %.2fx\n",
+                samples, scalar_epoch.median, xpcore::simd::level_name(max),
+                simd_epoch.median, speedup);
+
+    // ---- cold pretrain: serial AVX2 baseline vs 4-worker sharded ------------
+    const Level baseline_level = have_avx2 ? Level::Avx2 : Level::Scalar;
+    const Timed pretrain_serial =
+        time_median([&] { return pretrain_once(baseline_level, 0, 1); });
+    const Timed pretrain_sharded = time_median([&] { return pretrain_once(max, 4, 4); });
+    const double pretrain_speedup =
+        pretrain_sharded.median > 0 ? pretrain_serial.median / pretrain_sharded.median : 0.0;
+    // Determinism: the sharded pretrain must produce the exact same weight
+    // bytes at 0, 1, and 4 workers (the shard count, not the worker count,
+    // fixes the FP reduction grouping).
+    const std::vector<float> w0 = pretrain_weights(max, 0, 4);
+    const std::vector<float> w1 = pretrain_weights(max, 1, 4);
+    const std::vector<float> w4 = pretrain_weights(max, 4, 4);
+    const bool weights_identical =
+        w0.size() == w1.size() && w0.size() == w4.size() &&
+        std::memcmp(w0.data(), w1.data(), w0.size() * sizeof(float)) == 0 &&
+        std::memcmp(w0.data(), w4.data(), w0.size() * sizeof(float)) == 0;
+    // The >= 2x wall-clock gate only makes sense with real parallel hardware.
+    const bool pretrain_gate_active = cores >= 4;
+    xpcore::ThreadPool::reset_global();  // back to the XPDNN_THREADS default
+    std::printf("pretrain (cold)  serial %s %.4fs   4 workers %s/4 shards %.4fs   "
+                "speedup %.2fx%s   weights 0/1/4 workers: %s\n",
+                xpcore::simd::level_name(baseline_level), pretrain_serial.median,
+                xpcore::simd::level_name(max), pretrain_sharded.median, pretrain_speedup,
+                pretrain_gate_active ? "" : " (gate off: < 4 cores)",
+                weights_identical ? "bit-identical" : "DIFFER");
 
     const long long step_allocs = train_step_allocs();
     const long long infer_allocs = classify_allocs();
@@ -217,13 +389,31 @@ int main(int argc, char** argv) {
 
     std::ofstream out(json_path);
     out << "{\n"
-        << "  \"simd_max\": \"" << xpcore::simd::level_name(xpcore::simd::max_level())
-        << "\",\n  \"gemm\": [\n"
+        << "  \"machine\": {\n"
+        << "    \"cpu\": \"" << xpcore::simd::cpu_model_string() << "\",\n"
+        << "    \"simd_max\": \"" << xpcore::simd::level_name(max) << "\",\n"
+        << "    \"hardware_concurrency\": " << cores << ",\n"
+        << "    \"cache\": {\"l1d_bytes\": " << cache.l1d_bytes
+        << ", \"l2_bytes\": " << cache.l2_bytes << ", \"l3_bytes\": " << cache.l3_bytes
+        << ", \"detected\": " << (cache.detected ? "true" : "false") << "},\n"
+        << "    \"gemm_tune\": [\n" << tune_entries << "\n    ]\n"
+        << "  },\n"
+        << "  \"simd_max\": \"" << xpcore::simd::level_name(max) << "\",\n  \"gemm\": [\n"
         << gemm_json << "  ],\n"
         << "  \"epoch\": {\"samples\": " << samples
         << ", \"batch\": 128, \"net\": [11, 256, 128, 64, 43], \"threads\": 1"
-        << ", \"seconds_scalar\": " << scalar_epoch << ", \"seconds_simd\": " << simd_epoch
-        << ", \"speedup\": " << speedup << "},\n"
+        << ", \"seconds_scalar\": " << scalar_epoch.median
+        << ", \"seconds_simd\": " << simd_epoch.median << ", \"speedup\": " << speedup
+        << ", \"spread\": " << std::max(scalar_epoch.spread, simd_epoch.spread) << "},\n"
+        << "  \"pretrain\": {\"net_hidden\": [128, 64], \"samples_per_class\": 100"
+        << ", \"epochs\": 2, \"shards\": 4"
+        << ", \"seconds_serial_" << xpcore::simd::level_name(baseline_level)
+        << "\": " << pretrain_serial.median
+        << ", \"seconds_4workers\": " << pretrain_sharded.median
+        << ", \"speedup\": " << pretrain_speedup
+        << ", \"spread\": " << std::max(pretrain_serial.spread, pretrain_sharded.spread)
+        << ", \"weights_identical_0_1_4\": " << (weights_identical ? "true" : "false")
+        << ", \"gate_active\": " << (pretrain_gate_active ? "true" : "false") << "},\n"
         << "  \"allocs\": {\"steady_train_epoch\": " << step_allocs
         << ", \"steady_classify_lines\": " << infer_allocs << "},\n"
         << "  \"modeling\": {\"modeler\": \"" << report.modeler << "\", \"winner\": \""
@@ -233,10 +423,13 @@ int main(int argc, char** argv) {
         << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
 
-    // Gate: the SIMD epoch must be >= 2x faster than scalar (when available)
-    // and the steady-state paths must be allocation-free.
-    bool ok = step_allocs == 0 && infer_allocs == 0;
-    if (have_simd && speedup < 2.0) ok = false;
+    // Gates: the vector epoch must be >= 2x faster than scalar (when
+    // available), the steady-state paths must be allocation-free, sharded
+    // pretraining must be worker-count-deterministic, and — on hosts with
+    // >= 4 cores — the 4-worker pretrain must be >= 2x the serial baseline.
+    bool ok = step_allocs == 0 && infer_allocs == 0 && weights_identical;
+    if (have_avx2 && speedup < 2.0) ok = false;
+    if (pretrain_gate_active && pretrain_speedup < 2.0) ok = false;
     if (!ok) std::fprintf(stderr, "bench_record: acceptance gate FAILED\n");
     return ok ? 0 : 1;
 }
