@@ -1,0 +1,60 @@
+/// \file serve_throughput.cpp
+/// Closed-loop throughput/latency bench of the xpdnnd daemon.
+///
+/// Starts an in-process serve::Server, seeds its report cache with one
+/// regression-modeled task, then hammers it with concurrent client
+/// connections doing round-trip "predict" requests. Emits BENCH_serve.json
+/// (machine provenance shared with BENCH_nn.json, req/s, latency
+/// percentiles, gate verdicts) and exits non-zero when a gate fails.
+///
+/// Options:
+///   --smoke              reduced request counts for the ctest smoke run
+///   --json=FILE          output path (default BENCH_serve.json)
+///   --connections=N      concurrent clients (default 4)
+///   --requests=N         round-trips per connection (default 2000)
+///   --workers=N          daemon worker threads (default 2)
+///   --verb=predict|ping  request mix (default predict)
+///   --min-rps=X          acceptance gate (default 500; 0 disables)
+///   --max-p99-ms=X       acceptance gate (default 0 = record only)
+
+#include <cstdio>
+
+#include "serve/throughput.hpp"
+#include "xpcore/cli.hpp"
+
+int main(int argc, char** argv) {
+    const xpcore::CliArgs args(argc, argv);
+    const bool smoke = args.get_bool("smoke", false);
+
+    serve::ThroughputConfig config;
+    config.connections = static_cast<std::size_t>(args.get_int("connections", 4));
+    config.requests_per_connection =
+        static_cast<std::size_t>(args.get_int("requests", smoke ? 500 : 2000));
+    config.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+    config.verb = args.get("verb", "predict");
+    config.min_rps = args.get_double("min-rps", 500.0);
+    config.max_p99_ms = args.get_double("max-p99-ms", 0.0);
+
+    std::printf("== serve_throughput ==\n");
+    std::printf("connections %zu x %zu %s round-trips, %zu daemon worker(s)\n",
+                config.connections, config.requests_per_connection, config.verb.c_str(),
+                config.workers);
+
+    const serve::ThroughputResult result = serve::run_throughput(config);
+
+    std::printf("%zu requests in %.3fs -> %.0f req/s (%zu failures)\n", result.requests,
+                result.seconds, result.rps, result.failures);
+    std::printf("latency ms: p50 %.3f  p90 %.3f  p99 %.3f  max %.3f\n", result.p50_ms,
+                result.p90_ms, result.p99_ms, result.max_ms);
+
+    const std::string json_path = args.get("json", "BENCH_serve.json");
+    serve::write_bench_json(config, result, json_path);
+    std::printf("wrote %s\n", json_path.c_str());
+
+    if (!result.ok()) {
+        std::fprintf(stderr, "serve_throughput: acceptance gate FAILED (rps_ok=%d p99_ok=%d failures=%zu)\n",
+                     result.rps_ok, result.p99_ok, result.failures);
+        return 1;
+    }
+    return 0;
+}

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "casestudy/casestudy.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
 #include "measure/archive.hpp"
 #include "measure/io.hpp"
 #include "modeling/modeler.hpp"
@@ -16,6 +18,8 @@
 #include "noise/estimator.hpp"
 #include "pmnf/serialize.hpp"
 #include "xpcore/cli.hpp"
+#include "xpcore/error.hpp"
+#include "xpcore/parse.hpp"
 #include "xpcore/rng.hpp"
 #include "xpcore/table.hpp"
 
@@ -39,24 +43,38 @@ usage:
   xpdnn predict <model.json|report.json> x1 [x2 ...]
   xpdnn simulate <kripke|fastest|relearn> [kernel] --out=<file> [--seed=S]
         [--all-kernels]   (emit a multi-kernel archive for model-all)
+  xpdnn serve [--port=N] [--workers=N] [--queue=N] [--deadline-ms=N]
+        [--no-warm] [--net=...] [--seed=S]   (run the xpdnnd daemon)
+  xpdnn request --port=N '<json>'   (send one daemon request, print the reply)
   xpdnn help
+
+`model` also accepts --no-timings (zero the report's wall-clock block, for
+byte-reproducible --report=json output).
 
 measurement file format (see measure/io.hpp):
   params: p n
   8 1024 : 1.23 1.25 1.22
 )";
 
+/// One coordinate value. Locale-independent and strict: trailing garbage
+/// ("1.5abc") and non-finite values are rejected, with the offending token
+/// in the diagnostic.
+double parse_coordinate(const std::string& item) {
+    double value = 0.0;
+    if (!xpcore::parse_double(item, value)) {
+        xpcore::Diagnostic diagnostic;
+        diagnostic.source = "<point>";
+        diagnostic.message = "malformed coordinate '" + item + "'";
+        throw xpcore::ValidationError(std::move(diagnostic));
+    }
+    return value;
+}
+
 std::vector<double> parse_point(const std::string& spec) {
     std::vector<double> point;
     std::stringstream stream(spec);
     std::string item;
-    while (std::getline(stream, item, ',')) {
-        std::size_t consumed = 0;
-        point.push_back(std::stod(item, &consumed));
-        if (consumed != item.size()) {
-            throw std::invalid_argument("malformed coordinate '" + item + "'");
-        }
-    }
+    while (std::getline(stream, item, ',')) point.push_back(parse_coordinate(item));
     return point;
 }
 
@@ -127,7 +145,11 @@ int cmd_model(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err)
 
     modeling::Context context;
     context.alternatives = alternatives;
-    const modeling::Report report = session.run(modeler_name, set, context);
+    modeling::Report report = session.run(modeler_name, set, context);
+    // Timings are wall-clock and never reproducible; --no-timings zeroes
+    // them so --report=json output is byte-comparable across runs (and
+    // against the daemon's "timings": false responses).
+    if (args.get_bool("no-timings", false)) report.timings = modeling::Timings{};
 
     if (as_report) {
         out << modeling::to_json(report) << "\n";
@@ -257,7 +279,7 @@ int cmd_predict(const xpcore::CliArgs& args, std::ostream& out, std::ostream& er
 
     std::vector<double> point;
     for (std::size_t i = 2; i < args.positionals().size(); ++i) {
-        point.push_back(std::stod(args.positionals()[i]));
+        point.push_back(parse_coordinate(args.positionals()[i]));
     }
     out << model.evaluate(point) << "\n";
     return 0;
@@ -322,6 +344,22 @@ int cmd_simulate(const xpcore::CliArgs& args, std::ostream& out, std::ostream& e
     return 0;
 }
 
+int cmd_request(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
+    const long port = args.get_int("port", 0);
+    if (port <= 0 || port > 65535) {
+        err << "xpdnn request: --port=N is required\n";
+        return 1;
+    }
+    if (args.positionals().size() < 2) {
+        err << "xpdnn request: usage: xpdnn request --port=N '<json>'\n";
+        return 1;
+    }
+    const int timeout_ms = static_cast<int>(args.get_int("timeout-ms", 30'000));
+    serve::Client client(static_cast<std::uint16_t>(port), timeout_ms);
+    out << client.request(args.positionals()[1], timeout_ms) << "\n";
+    return 0;
+}
+
 }  // namespace
 
 int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
@@ -340,6 +378,8 @@ int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err)
         if (command == "noise") return cmd_noise(args, out, err);
         if (command == "predict") return cmd_predict(args, out, err);
         if (command == "simulate") return cmd_simulate(args, out, err);
+        if (command == "serve") return serve::daemon_main(args, out, err);
+        if (command == "request") return cmd_request(args, out, err);
         if (command == "help" || command == "--help") {
             out << kUsage;
             return 0;

@@ -1,6 +1,9 @@
 #include "dnn/cache.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -68,7 +71,20 @@ bool ensure_pretrained(DnnModeler& modeler, std::uint64_t seed) {
         }
     }
     modeler.pretrain();
-    modeler.save_pretrained(path);
+    // Write-then-rename so a concurrent reader (another session warming up
+    // against the same cache dir) can never observe a half-written network:
+    // rename(2) is atomic within a filesystem, so the final path either
+    // holds the old bytes or the complete new file. The pid+counter suffix
+    // keeps concurrent writers — other processes AND other threads of this
+    // one (daemon workers warming in parallel) — off each other's temp
+    // files; last rename wins with identical contents.
+    static std::atomic<unsigned> write_counter{0};
+    const std::string tmp = path + "." + std::to_string(
+        static_cast<unsigned long>(::getpid())) + "." +
+        std::to_string(write_counter.fetch_add(1)) + ".tmp";
+    modeler.save_pretrained(tmp);
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) std::filesystem::remove(tmp, ec);
     return false;
 }
 

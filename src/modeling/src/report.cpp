@@ -7,6 +7,7 @@
 #include "measure/experiment.hpp"
 #include "noise/estimator.hpp"
 #include "xpcore/error.hpp"
+#include "xpcore/parse.hpp"
 
 namespace modeling {
 
@@ -233,13 +234,13 @@ private:
 
     double parse_number() {
         skip_whitespace();
-        std::size_t consumed = 0;
         double value = 0.0;
-        try {
-            value = std::stod(text_.substr(pos_), &consumed);
-        } catch (const std::exception&) {
-            fail("expected number");
-        }
+        // from_chars-based: strict, locale-independent. std::stod routes
+        // through strtod and would mis-parse under an LC_NUMERIC locale
+        // with a ',' decimal point.
+        const std::size_t consumed =
+            xpcore::parse_double_prefix(std::string_view(text_).substr(pos_), value);
+        if (consumed == 0) fail("expected number");
         pos_ += consumed;
         return value;
     }

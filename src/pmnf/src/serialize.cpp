@@ -3,6 +3,9 @@
 #include <cctype>
 #include <cstdio>
 #include <stdexcept>
+#include <string_view>
+
+#include "xpcore/parse.hpp"
 
 namespace pmnf {
 
@@ -136,13 +139,13 @@ private:
 
     double parse_number() {
         skip_whitespace();
-        std::size_t consumed = 0;
         double value = 0.0;
-        try {
-            value = std::stod(text_.substr(pos_), &consumed);
-        } catch (const std::exception&) {
-            fail("expected number");
-        }
+        // from_chars-based: strict, locale-independent. std::stod routes
+        // through strtod and would mis-parse under an LC_NUMERIC locale
+        // with a ',' decimal point.
+        const std::size_t consumed =
+            xpcore::parse_double_prefix(std::string_view(text_).substr(pos_), value);
+        if (consumed == 0) fail("expected number");
         pos_ += consumed;
         return value;
     }

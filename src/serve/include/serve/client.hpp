@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file client.hpp
+/// Minimal blocking client for the xpdnnd protocol.
+///
+/// One connection, newline-delimited JSON both ways. request() is the
+/// common path (send one line, wait for one line); send()/read_response()
+/// are split out so tests and the throughput harness can pipeline several
+/// requests before reading any response.
+
+#include <cstdint>
+#include <string>
+
+#include "xpcore/net.hpp"
+
+namespace serve {
+
+class Client {
+public:
+    /// Connect to the daemon on 127.0.0.1:`port`. Throws on refusal.
+    explicit Client(std::uint16_t port, int timeout_ms = 5000);
+
+    /// Send one request line (the '\n' is appended). Throws when the
+    /// connection is gone.
+    void send(const std::string& line);
+
+    /// Read the next response line, waiting up to `timeout_ms` (-1 =
+    /// forever). Throws on EOF or timeout.
+    std::string read_response(int timeout_ms = -1);
+
+    /// send() + read_response().
+    std::string request(const std::string& line, int timeout_ms = -1);
+
+    int fd() const { return socket_.fd(); }
+
+private:
+    xpcore::net::Socket socket_;
+    xpcore::net::LineReader reader_;
+};
+
+}  // namespace serve

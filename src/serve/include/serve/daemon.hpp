@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file daemon.hpp
+/// The xpdnnd daemon entry point, shared by the standalone `xpdnnd`
+/// binary and the `xpdnn serve` CLI verb.
+///
+/// Builds a ServerConfig from CLI flags, installs SIGTERM/SIGINT handlers
+/// that begin a graceful drain (Server::request_stop is async-signal-safe),
+/// announces the bound port on stdout, and blocks until the drain
+/// completes.
+///
+/// Flags:
+///   --port=N           listening port (default 0 = ephemeral, announced)
+///   --workers=N        worker threads / resident sessions (default 1)
+///   --queue=N          request queue capacity (default 64)
+///   --deadline-ms=N    default per-request queue deadline (default 30000)
+///   --cache=N          report cache capacity for predict (default 128)
+///   --no-warm          skip pretraining the sessions before serving
+///   --seed=N, --net=PROFILE, ... (modeling::Options::from_args)
+///   --drain-after-ms=N self-initiated drain timer (tests/smoke runs)
+
+#include <iosfwd>
+
+namespace xpcore {
+class CliArgs;
+}
+
+namespace serve {
+
+/// Run the daemon until drained. Returns a process exit code.
+int daemon_main(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err);
+
+}  // namespace serve

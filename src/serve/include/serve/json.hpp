@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file json.hpp
+/// A small generic JSON value parser for the serving protocol.
+///
+/// The repository's other JSON parsers (report.hpp, pmnf/serialize.hpp)
+/// are schema-directed: they know every key up front. Protocol requests
+/// are client-authored and open-ended (ids of any scalar type, optional
+/// fields), so the daemon parses them into a generic value tree first and
+/// validates shape afterwards. Same strictness discipline as the rest of
+/// the tree: locale-independent numbers (xpcore/parse.hpp), ASCII-only
+/// \u escapes, and every failure is an xpcore::ParseError whose
+/// Diagnostic carries line:column of the offending byte.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace serve {
+
+/// One parsed JSON value. Object member order is preserved.
+class JsonValue {
+public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool bool_value = false;
+    double number_value = 0.0;
+    std::string string_value;
+    std::vector<JsonValue> items;                               ///< Kind::Array
+    std::vector<std::pair<std::string, JsonValue>> members;     ///< Kind::Object
+
+    bool is_null() const { return kind == Kind::Null; }
+    bool is_bool() const { return kind == Kind::Bool; }
+    bool is_number() const { return kind == Kind::Number; }
+    bool is_string() const { return kind == Kind::String; }
+    bool is_array() const { return kind == Kind::Array; }
+    bool is_object() const { return kind == Kind::Object; }
+
+    /// Member lookup (objects only); nullptr when absent.
+    const JsonValue* find(const std::string& key) const;
+};
+
+/// Parse one complete JSON document (trailing characters are an error).
+/// Throws xpcore::ParseError with `source` and line:column on malformed
+/// input.
+JsonValue parse_json(const std::string& text, const std::string& source = "<request>");
+
+/// Serialize a scalar value back to JSON (used to echo request ids
+/// verbatim). Arrays/objects are not supported — protocol ids are scalars.
+std::string scalar_to_json(const JsonValue& value);
+
+/// Escape + quote a string for embedding in a JSON document.
+std::string json_quote(const std::string& text);
+
+}  // namespace serve

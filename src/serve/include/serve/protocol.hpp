@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The xpdnnd wire protocol: newline-delimited JSON requests/responses.
+///
+/// One request per line, one response line per request (responses to
+/// pipelined requests may arrive out of order — correlate with "id").
+/// Documented in docs/FILE_FORMATS.md ("Serving protocol"). Verbs:
+///
+///   {"verb": "ping"}
+///   {"verb": "modelers"}
+///   {"verb": "model", "measurements": "<text format>", "modeler": "...",
+///    "task": "...", "alternatives": N, "timings": bool}
+///   {"verb": "predict", "task": "...", "point": [x1, ...]}
+///   {"verb": "sleep", "ms": N}          (diagnostics/testing)
+///   {"verb": "shutdown"}
+///
+/// Every request may carry "id" (any scalar, echoed verbatim) and
+/// "deadline_ms" (per-request deadline override, measured from arrival).
+/// Success envelope: {"ok": true, "id": ..., "verb": ..., ...payload...}.
+/// Failure envelope: {"ok": false, "id": ..., "error":
+/// {"code": "...", "message": "..."}} — codes below.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace serve {
+
+/// Version stamped into ping responses; bump on incompatible changes.
+inline constexpr int kProtocolVersion = 1;
+
+/// Machine-readable error codes of the failure envelope.
+enum class ErrorCode {
+    BadRequest,        ///< request decodes but violates protocol shape
+    ParseError,        ///< request line or measurements text undecodable
+    ValidationError,   ///< semantic rule violated (arity, no model, ...)
+    UnknownVerb,
+    UnknownModeler,
+    UnknownTask,       ///< predict against a task never modeled (or evicted)
+    Overloaded,        ///< request queue full — back off and retry (429-style)
+    DeadlineExceeded,  ///< spent its deadline queued before a worker got to it
+    ShuttingDown,      ///< daemon is draining; no new work accepted
+    Internal,
+};
+
+/// The wire name of an error code ("overloaded", "parse_error", ...).
+const char* error_code_name(ErrorCode code);
+
+/// One decoded request. `id_json` is the raw JSON of the client's "id"
+/// scalar ("" when absent) so responses echo it byte-exactly.
+struct Request {
+    std::string verb;
+    std::string id_json;
+    std::string modeler = "adaptive";   ///< model: registry name
+    std::string task;                   ///< model: cache key; predict: lookup key
+    std::string measurements;           ///< model: measurement text format
+    std::vector<double> point;          ///< predict: evaluation coordinate
+    std::size_t alternatives = 0;       ///< model: runner-up count
+    bool include_timings = true;        ///< model: emit wall-clock timings
+    long deadline_ms = -1;              ///< per-request override; -1 = server default
+    long sleep_ms = 0;                  ///< sleep: duration
+};
+
+/// Decode one request line. Throws xpcore::ParseError on malformed JSON
+/// and xpcore::ValidationError on a structurally invalid request (wrong
+/// field type, missing verb, unknown field). The verb itself is NOT
+/// validated here — dispatch owns the unknown_verb error so it can still
+/// echo the id.
+Request parse_request(const std::string& line);
+
+/// Thrown by verb handlers to select a specific error code for the
+/// failure envelope (exceptions with fixed mappings — ParseError,
+/// ValidationError — are caught directly by the dispatcher).
+struct ProtocolFault {
+    ErrorCode code;
+    std::string message;
+};
+
+/// Build the failure envelope (single line, no trailing newline).
+std::string error_response(ErrorCode code, const std::string& message,
+                           const std::string& id_json);
+
+/// Start the success envelope: `{"ok": true, "id": ..., "verb": "..."` —
+/// callers append `, "key": value` pairs and close with '}'.
+std::string ok_response_prefix(const std::string& verb, const std::string& id_json);
+
+}  // namespace serve

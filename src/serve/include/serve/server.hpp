@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file server.hpp
+/// xpdnnd: the long-lived modeling daemon.
+///
+/// One IO thread multiplexes a loopback TCP listener and all client
+/// connections with poll(); complete request lines are decoded
+/// (serve/protocol.hpp) and pushed onto a bounded queue. A fixed pool of
+/// worker threads — each owning its own modeling::Session, so the
+/// session's snapshot/restore discipline keeps results independent of
+/// request order and of which worker serves a request — pops requests,
+/// dispatches verbs, and writes one response line per request under a
+/// per-connection write mutex (responses to pipelined requests may
+/// therefore arrive out of order; clients correlate with "id").
+///
+/// Backpressure and liveness guarantees:
+///   - queue full        → "overloaded" error written immediately (429-style)
+///   - queued too long   → "deadline_exceeded" instead of stale work
+///   - request_stop()    → async-signal-safe graceful drain: stop accepting,
+///                         finish queued + in-flight requests, flush, exit
+///
+/// Reports for requests that carry a "task" key are cached (bounded, FIFO
+/// eviction) so "predict" is served without re-modeling.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "modeling/session.hpp"
+#include "serve/protocol.hpp"
+#include "xpcore/net.hpp"
+
+namespace serve {
+
+struct ServerConfig {
+    std::uint16_t port = 0;            ///< 0 = ephemeral (read back via bound_port)
+    std::size_t workers = 1;           ///< worker threads == resident Sessions
+    std::size_t queue_capacity = 64;   ///< pending requests before "overloaded"
+    long default_deadline_ms = 30'000; ///< max queue wait; overridable per request
+    std::size_t report_cache_capacity = 128;  ///< tasks kept for "predict"
+    std::size_t max_line_bytes = 8u << 20;    ///< request line cap; exceeding closes
+    bool warm_start = false;           ///< pretrain sessions before serving
+    modeling::Options options;         ///< every worker session's configuration
+};
+
+/// Counters for observability and tests. Snapshot via Server::stats().
+struct ServerStats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t requests_ok = 0;
+    std::uint64_t requests_failed = 0;     ///< error envelopes (all codes)
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t rejected_deadline = 0;
+};
+
+class Server {
+public:
+    /// Bind, listen, and start the IO + worker threads. Throws
+    /// xpcore::Error when the port cannot be bound.
+    explicit Server(ServerConfig config);
+
+    /// Drains (request_stop + wait) if still running.
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// The actually-bound listening port.
+    std::uint16_t bound_port() const { return bound_port_; }
+
+    /// Begin a graceful drain. Async-signal-safe (atomic store + pipe
+    /// write) — this is the SIGTERM/SIGINT hook. Idempotent.
+    void request_stop();
+
+    /// Block until the drain completes and all threads have exited.
+    void wait();
+
+    /// request_stop() + wait().
+    void stop();
+
+    /// True once a drain has been requested.
+    bool stopping() const { return stop_requested_.load(std::memory_order_acquire); }
+
+    ServerStats stats() const;
+
+private:
+    struct Connection {
+        explicit Connection(xpcore::net::Socket s) : socket(std::move(s)) {}
+        xpcore::net::Socket socket;
+        std::mutex write_mutex;
+        std::string input;  ///< bytes read but not yet terminated by '\n'
+        bool closed = false;
+    };
+    using ConnectionPtr = std::shared_ptr<Connection>;
+
+    struct WorkItem {
+        ConnectionPtr conn;
+        Request request;
+        std::chrono::steady_clock::time_point arrival;
+    };
+
+    /// A modeled task retained for "predict".
+    struct CachedModel {
+        pmnf::Model model;
+        std::size_t arity = 0;
+    };
+
+    void io_main();
+    void worker_main(std::size_t index);
+    void handle_line(const ConnectionPtr& conn, const std::string& line);
+    void dispatch(modeling::Session& session, const WorkItem& item);
+    void respond(const ConnectionPtr& conn, const std::string& body);
+
+    std::string handle_model(modeling::Session& session, const Request& request);
+    std::string handle_predict(const Request& request);
+    std::string handle_modelers(modeling::Session& session, const Request& request);
+
+    ServerConfig config_;
+    xpcore::net::Socket listener_;
+    std::uint16_t bound_port_ = 0;
+    xpcore::net::WakePipe wake_;
+
+    std::atomic<bool> stop_requested_{false};
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<WorkItem> queue_;
+    bool draining_ = false;  ///< set under queue_mutex_ once the IO thread stops feeding
+
+    std::mutex cache_mutex_;
+    std::deque<std::string> cache_order_;  ///< FIFO eviction order
+    std::vector<std::pair<std::string, CachedModel>> cache_;
+
+    std::mutex warm_mutex_;  ///< serializes warm-start pretraining across workers
+
+    std::atomic<std::uint64_t> connections_accepted_{0};
+    std::atomic<std::uint64_t> requests_ok_{0};
+    std::atomic<std::uint64_t> requests_failed_{0};
+    std::atomic<std::uint64_t> rejected_overload_{0};
+    std::atomic<std::uint64_t> rejected_deadline_{0};
+
+    std::thread io_thread_;
+    std::vector<std::thread> workers_;
+    std::mutex join_mutex_;  ///< wait() may be called from several threads
+    bool joined_ = false;
+};
+
+}  // namespace serve

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file throughput.hpp
+/// Closed-loop throughput/latency measurement of the xpdnnd daemon.
+///
+/// Starts an in-process Server, seeds its report cache with one modeled
+/// task, then drives it with C concurrent client connections issuing
+/// round-trip requests (predict against the cached task by default).
+/// Per-request latencies are recorded client-side; the result carries
+/// req/s plus the p50/p90/p99/max percentiles and evaluates the
+/// acceptance gates recorded in BENCH_serve.json.
+
+#include <cstddef>
+#include <string>
+
+#include "modeling/session.hpp"
+
+namespace serve {
+
+struct ThroughputConfig {
+    std::size_t connections = 4;              ///< concurrent client threads
+    std::size_t requests_per_connection = 500;
+    std::size_t workers = 2;                  ///< daemon worker threads
+    std::string verb = "predict";             ///< "predict" or "ping"
+    modeling::Options options;                ///< daemon session options
+    double min_rps = 500.0;                   ///< acceptance gate (0 = off)
+    double max_p99_ms = 0.0;                  ///< acceptance gate (0 = off)
+};
+
+struct ThroughputResult {
+    std::size_t requests = 0;   ///< completed round-trips
+    std::size_t failures = 0;   ///< non-ok responses (gate: must be 0)
+    double seconds = 0.0;       ///< wall-clock of the measurement window
+    double rps = 0.0;
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+
+    bool rps_ok = true;   ///< rps >= min_rps (or gate off)
+    bool p99_ok = true;   ///< p99 <= max_p99_ms (or gate off)
+    bool ok() const { return rps_ok && p99_ok && failures == 0; }
+};
+
+/// Run the measurement. Throws on setup failures (bind, connect, seeding
+/// the model); per-request failures are counted, not thrown.
+ThroughputResult run_throughput(const ThroughputConfig& config);
+
+/// Write BENCH_serve.json: machine provenance (shared with BENCH_nn.json),
+/// the configuration, the measured numbers, and the gate verdicts.
+void write_bench_json(const ThroughputConfig& config, const ThroughputResult& result,
+                      const std::string& path);
+
+}  // namespace serve

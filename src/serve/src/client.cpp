@@ -1,0 +1,29 @@
+#include "serve/client.hpp"
+
+#include <stdexcept>
+
+namespace serve {
+
+Client::Client(std::uint16_t port, int timeout_ms)
+    : socket_(xpcore::net::connect_tcp(port, timeout_ms)), reader_(socket_.fd()) {}
+
+void Client::send(const std::string& line) {
+    if (!xpcore::net::send_all(socket_.fd(), line + "\n")) {
+        throw std::runtime_error("serve::Client: connection closed while sending");
+    }
+}
+
+std::string Client::read_response(int timeout_ms) {
+    std::string line;
+    if (!reader_.read_line(line, timeout_ms)) {
+        throw std::runtime_error("serve::Client: no response (connection closed or timeout)");
+    }
+    return line;
+}
+
+std::string Client::request(const std::string& line, int timeout_ms) {
+    send(line);
+    return read_response(timeout_ms);
+}
+
+}  // namespace serve

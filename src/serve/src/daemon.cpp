@@ -1,0 +1,79 @@
+#include "serve/daemon.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <ostream>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "xpcore/cli.hpp"
+
+namespace serve {
+
+namespace {
+
+// The signal handler may only touch async-signal-safe state; request_stop
+// is an atomic store plus a pipe write, which qualifies.
+std::atomic<Server*> g_server{nullptr};
+
+void drain_signal_handler(int) {
+    if (Server* server = g_server.load(std::memory_order_acquire)) {
+        server->request_stop();
+    }
+}
+
+}  // namespace
+
+int daemon_main(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
+    ServerConfig config;
+    config.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+    config.workers = static_cast<std::size_t>(args.get_int("workers", 1));
+    config.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 64));
+    config.default_deadline_ms = args.get_int("deadline-ms", 30'000);
+    config.report_cache_capacity = static_cast<std::size_t>(args.get_int("cache", 128));
+    config.warm_start = !args.has("no-warm");
+    config.options = modeling::Options::from_args(args);
+
+    try {
+        Server server(config);
+        g_server.store(&server, std::memory_order_release);
+
+        struct sigaction action {};
+        action.sa_handler = drain_signal_handler;
+        sigemptyset(&action.sa_mask);
+        sigaction(SIGTERM, &action, nullptr);
+        sigaction(SIGINT, &action, nullptr);
+
+        out << "xpdnnd listening on 127.0.0.1:" << server.bound_port() << " (protocol "
+            << kProtocolVersion << ", workers " << config.workers << ")" << std::endl;
+
+        // Self-initiated drain for smoke tests: exercise the same path a
+        // SIGTERM would take, without needing process signalling.
+        std::thread drain_timer;
+        const long drain_after_ms = args.get_int("drain-after-ms", 0);
+        if (drain_after_ms > 0) {
+            drain_timer = std::thread([&server, drain_after_ms] {
+                std::this_thread::sleep_for(std::chrono::milliseconds(drain_after_ms));
+                server.request_stop();
+            });
+        }
+
+        server.wait();
+        if (drain_timer.joinable()) drain_timer.join();
+        g_server.store(nullptr, std::memory_order_release);
+
+        const ServerStats stats = server.stats();
+        out << "xpdnnd drained: " << stats.requests_ok << " ok, " << stats.requests_failed
+            << " failed (" << stats.rejected_overload << " overloaded, "
+            << stats.rejected_deadline << " past deadline), " << stats.connections_accepted
+            << " connection(s)" << std::endl;
+        return 0;
+    } catch (const std::exception& error) {
+        g_server.store(nullptr, std::memory_order_release);
+        err << "xpdnnd: " << error.what() << std::endl;
+        return 1;
+    }
+}
+
+}  // namespace serve

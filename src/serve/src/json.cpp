@@ -1,0 +1,240 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "xpcore/error.hpp"
+#include "xpcore/parse.hpp"
+
+namespace serve {
+
+namespace {
+
+class Parser {
+public:
+    Parser(const std::string& text, const std::string& source)
+        : text_(text), source_(source) {}
+
+    JsonValue parse_document() {
+        JsonValue value = parse_value(0);
+        skip_whitespace();
+        if (pos_ != text_.size()) fail("trailing characters");
+        return value;
+    }
+
+private:
+    JsonValue parse_value(int depth) {
+        if (depth > 64) fail("document nested too deeply");
+        skip_whitespace();
+        if (pos_ >= text_.size()) fail("unexpected end of document");
+        const char c = text_[pos_];
+        if (c == '{') return parse_object(depth);
+        if (c == '[') return parse_array(depth);
+        if (c == '"') {
+            JsonValue value;
+            value.kind = JsonValue::Kind::String;
+            value.string_value = parse_string();
+            return value;
+        }
+        if (c == 't' || c == 'f') {
+            JsonValue value;
+            value.kind = JsonValue::Kind::Bool;
+            value.bool_value = c == 't';
+            expect_word(c == 't' ? "true" : "false");
+            return value;
+        }
+        if (c == 'n') {
+            expect_word("null");
+            return JsonValue{};
+        }
+        JsonValue value;
+        value.kind = JsonValue::Kind::Number;
+        const std::size_t consumed =
+            xpcore::parse_double_prefix(std::string_view(text_).substr(pos_),
+                                        value.number_value);
+        if (consumed == 0) fail("expected value");
+        pos_ += consumed;
+        return value;
+    }
+
+    JsonValue parse_object(int depth) {
+        JsonValue value;
+        value.kind = JsonValue::Kind::Object;
+        expect('{');
+        if (consume('}')) return value;
+        do {
+            skip_whitespace();
+            const std::size_t key_pos = pos_;
+            std::string key = parse_string();
+            for (const auto& member : value.members) {
+                if (member.first == key) fail_at(key_pos, "duplicate key '" + key + "'");
+            }
+            expect(':');
+            value.members.emplace_back(std::move(key), parse_value(depth + 1));
+        } while (consume(','));
+        expect('}');
+        return value;
+    }
+
+    JsonValue parse_array(int depth) {
+        JsonValue value;
+        value.kind = JsonValue::Kind::Array;
+        expect('[');
+        if (consume(']')) return value;
+        do {
+            value.items.push_back(parse_value(depth + 1));
+        } while (consume(','));
+        expect(']');
+        return value;
+    }
+
+    std::string parse_string() {
+        skip_whitespace();
+        if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected string");
+        ++pos_;
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            const char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char escape = text_[pos_++];
+            switch (escape) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    unsigned value = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const int digit = hex_digit(text_[pos_++]);
+                        if (digit < 0) fail("invalid \\u escape");
+                        value = value * 16 + static_cast<unsigned>(digit);
+                    }
+                    if (value > 0x7F) fail("unsupported non-ASCII \\u escape");
+                    out += static_cast<char>(value);
+                    break;
+                }
+                default: fail("invalid escape sequence");
+            }
+        }
+        if (pos_ >= text_.size()) fail("unterminated string");
+        ++pos_;
+        return out;
+    }
+
+    static int hex_digit(char c) {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+    }
+
+    void expect_word(const char* word) {
+        const std::string_view expected(word);
+        if (text_.compare(pos_, expected.size(), expected) != 0) fail("expected value");
+        pos_ += expected.size();
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool consume(char c) {
+        skip_whitespace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char c) {
+        if (!consume(c)) fail(std::string("expected '") + c + "'");
+    }
+
+    [[noreturn]] void fail(const std::string& what) { fail_at(pos_, what); }
+
+    [[noreturn]] void fail_at(std::size_t offset, const std::string& what) {
+        xpcore::Diagnostic diagnostic;
+        diagnostic.source = source_;
+        diagnostic.line = 1;
+        std::size_t line_start = 0;
+        for (std::size_t i = 0; i < offset && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++diagnostic.line;
+                line_start = i + 1;
+            }
+        }
+        diagnostic.column = offset - line_start + 1;
+        diagnostic.message = what;
+        throw xpcore::ParseError(std::move(diagnostic));
+    }
+
+    const std::string& text_;
+    const std::string& source_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+    for (const auto& member : members) {
+        if (member.first == key) return &member.second;
+    }
+    return nullptr;
+}
+
+JsonValue parse_json(const std::string& text, const std::string& source) {
+    return Parser(text, source).parse_document();
+}
+
+std::string json_quote(const std::string& text) {
+    std::string out = "\"";
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string scalar_to_json(const JsonValue& value) {
+    switch (value.kind) {
+        case JsonValue::Kind::Null: return "null";
+        case JsonValue::Kind::Bool: return value.bool_value ? "true" : "false";
+        case JsonValue::Kind::Number: {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.17g", value.number_value);
+            return buf;
+        }
+        case JsonValue::Kind::String: return json_quote(value.string_value);
+        default: break;
+    }
+    return "null";
+}
+
+}  // namespace serve

@@ -1,0 +1,118 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+#include "serve/json.hpp"
+#include "xpcore/error.hpp"
+
+namespace serve {
+
+namespace {
+
+[[noreturn]] void invalid(std::string message) {
+    xpcore::Diagnostic diagnostic;
+    diagnostic.source = "<request>";
+    diagnostic.message = std::move(message);
+    throw xpcore::ValidationError(std::move(diagnostic));
+}
+
+std::string require_string(const JsonValue& value, const char* field) {
+    if (!value.is_string()) invalid(std::string("field '") + field + "' must be a string");
+    return value.string_value;
+}
+
+bool require_bool(const JsonValue& value, const char* field) {
+    if (!value.is_bool()) invalid(std::string("field '") + field + "' must be a boolean");
+    return value.bool_value;
+}
+
+long require_count(const JsonValue& value, const char* field, long max_value) {
+    if (!value.is_number()) invalid(std::string("field '") + field + "' must be a number");
+    const double number = value.number_value;
+    if (number < 0 || number != std::floor(number)) {
+        invalid(std::string("field '") + field + "' must be a non-negative integer");
+    }
+    if (number > static_cast<double>(max_value)) {
+        invalid(std::string("field '") + field + "' is out of range");
+    }
+    return static_cast<long>(number);
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+    switch (code) {
+        case ErrorCode::BadRequest: return "bad_request";
+        case ErrorCode::ParseError: return "parse_error";
+        case ErrorCode::ValidationError: return "validation_error";
+        case ErrorCode::UnknownVerb: return "unknown_verb";
+        case ErrorCode::UnknownModeler: return "unknown_modeler";
+        case ErrorCode::UnknownTask: return "unknown_task";
+        case ErrorCode::Overloaded: return "overloaded";
+        case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
+        case ErrorCode::ShuttingDown: return "shutting_down";
+        case ErrorCode::Internal: return "internal";
+    }
+    return "internal";
+}
+
+Request parse_request(const std::string& line) {
+    const JsonValue document = parse_json(line);
+    if (!document.is_object()) invalid("request must be a JSON object");
+
+    Request request;
+    for (const auto& [key, value] : document.members) {
+        if (key == "verb") {
+            request.verb = require_string(value, "verb");
+        } else if (key == "id") {
+            if (value.is_array() || value.is_object()) {
+                invalid("field 'id' must be a scalar");
+            }
+            request.id_json = scalar_to_json(value);
+        } else if (key == "modeler") {
+            request.modeler = require_string(value, "modeler");
+        } else if (key == "task") {
+            request.task = require_string(value, "task");
+        } else if (key == "measurements") {
+            request.measurements = require_string(value, "measurements");
+        } else if (key == "point") {
+            if (!value.is_array()) invalid("field 'point' must be an array of numbers");
+            for (const JsonValue& item : value.items) {
+                if (!item.is_number()) invalid("field 'point' must be an array of numbers");
+                request.point.push_back(item.number_value);
+            }
+        } else if (key == "alternatives") {
+            request.alternatives =
+                static_cast<std::size_t>(require_count(value, "alternatives", 64));
+        } else if (key == "timings") {
+            request.include_timings = require_bool(value, "timings");
+        } else if (key == "deadline_ms") {
+            request.deadline_ms = require_count(value, "deadline_ms", 86'400'000L);
+        } else if (key == "ms") {
+            request.sleep_ms = require_count(value, "ms", 10'000L);
+        } else {
+            invalid("unknown field '" + key + "'");
+        }
+    }
+    if (request.verb.empty()) invalid("missing required field 'verb'");
+    return request;
+}
+
+std::string error_response(ErrorCode code, const std::string& message,
+                           const std::string& id_json) {
+    std::string out = "{\"ok\": false";
+    if (!id_json.empty()) out += ", \"id\": " + id_json;
+    out += ", \"error\": {\"code\": \"";
+    out += error_code_name(code);
+    out += "\", \"message\": " + json_quote(message) + "}}";
+    return out;
+}
+
+std::string ok_response_prefix(const std::string& verb, const std::string& id_json) {
+    std::string out = "{\"ok\": true";
+    if (!id_json.empty()) out += ", \"id\": " + id_json;
+    out += ", \"verb\": " + json_quote(verb);
+    return out;
+}
+
+}  // namespace serve

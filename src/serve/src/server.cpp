@@ -1,0 +1,440 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "measure/io.hpp"
+#include "serve/json.hpp"
+#include "xpcore/error.hpp"
+
+namespace serve {
+
+namespace {
+
+std::string format_diagnostic(const xpcore::Diagnostic& diagnostic) {
+    std::string out = diagnostic.source;
+    out += ":" + std::to_string(diagnostic.line) + ":" + std::to_string(diagnostic.column);
+    out += ": " + diagnostic.message;
+    return out;
+}
+
+[[noreturn]] void invalid(std::string message) {
+    xpcore::Diagnostic diagnostic;
+    diagnostic.source = "<request>";
+    diagnostic.message = std::move(message);
+    throw xpcore::ValidationError(std::move(diagnostic));
+}
+
+std::string format_number(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+    if (config_.workers == 0) config_.workers = 1;
+    if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+    listener_ = xpcore::net::listen_tcp(config_.port, &bound_port_);
+    xpcore::net::set_nonblocking(listener_.fd());
+
+    io_thread_ = std::thread([this] { io_main(); });
+    workers_.reserve(config_.workers);
+    for (std::size_t i = 0; i < config_.workers; ++i) {
+        workers_.emplace_back([this, i] { worker_main(i); });
+    }
+}
+
+Server::~Server() { stop(); }
+
+void Server::request_stop() {
+    // Only async-signal-safe operations here: this is the body of the
+    // daemon's SIGTERM/SIGINT handlers. The IO thread translates the wakeup
+    // into the (non-signal-safe) queue_cv_ broadcast.
+    stop_requested_.store(true, std::memory_order_release);
+    wake_.notify();
+}
+
+void Server::wait() {
+    std::lock_guard<std::mutex> lock(join_mutex_);
+    if (joined_) return;
+    if (io_thread_.joinable()) io_thread_.join();
+    for (std::thread& worker : workers_) {
+        if (worker.joinable()) worker.join();
+    }
+    joined_ = true;
+}
+
+void Server::stop() {
+    request_stop();
+    wait();
+}
+
+ServerStats Server::stats() const {
+    ServerStats stats;
+    stats.connections_accepted = connections_accepted_.load();
+    stats.requests_ok = requests_ok_.load();
+    stats.requests_failed = requests_failed_.load();
+    stats.rejected_overload = rejected_overload_.load();
+    stats.rejected_deadline = rejected_deadline_.load();
+    return stats;
+}
+
+void Server::io_main() {
+    std::vector<ConnectionPtr> connections;
+    std::vector<pollfd> fds;
+
+    while (!stop_requested_.load(std::memory_order_acquire)) {
+        fds.clear();
+        fds.push_back({wake_.read_fd(), POLLIN, 0});
+        fds.push_back({listener_.fd(), POLLIN, 0});
+        for (const ConnectionPtr& conn : connections) {
+            fds.push_back({conn->socket.fd(), POLLIN, 0});
+        }
+
+        const int ready = ::poll(fds.data(), fds.size(), -1);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+
+        if (fds[0].revents != 0) wake_.drain();
+        if (stop_requested_.load(std::memory_order_acquire)) break;
+
+        // Only the connections that existed when poll() ran have a pollfd
+        // entry; connections accepted below this point wait for the next
+        // poll round, so the read loop must not index fds past this count.
+        const std::size_t polled = connections.size();
+
+        if (fds[1].revents & POLLIN) {
+            for (;;) {
+                xpcore::net::Socket accepted = xpcore::net::accept_connection(listener_.fd());
+                if (!accepted.valid()) break;
+                xpcore::net::set_nonblocking(accepted.fd());
+                connections.push_back(std::make_shared<Connection>(std::move(accepted)));
+                connections_accepted_.fetch_add(1);
+            }
+        }
+
+        for (std::size_t i = 0; i < polled; ++i) {
+            const short revents = fds[i + 2].revents;
+            if (revents == 0) continue;
+            const ConnectionPtr& conn = connections[i];
+            char buf[16384];
+            for (;;) {
+                const ssize_t n = ::read(conn->socket.fd(), buf, sizeof(buf));
+                if (n > 0) {
+                    conn->input.append(buf, static_cast<std::size_t>(n));
+                    if (conn->input.size() > config_.max_line_bytes) {
+                        respond(conn, error_response(ErrorCode::BadRequest,
+                                                     "request line too long", ""));
+                        requests_failed_.fetch_add(1);
+                        conn->closed = true;
+                        break;
+                    }
+                    continue;
+                }
+                if (n == 0) {
+                    conn->closed = true;
+                    break;
+                }
+                if (errno == EINTR) continue;
+                if (errno != EAGAIN && errno != EWOULDBLOCK) conn->closed = true;
+                break;
+            }
+
+            std::size_t start = 0;
+            for (;;) {
+                const std::size_t newline = conn->input.find('\n', start);
+                if (newline == std::string::npos) break;
+                std::string line = conn->input.substr(start, newline - start);
+                if (!line.empty() && line.back() == '\r') line.pop_back();
+                start = newline + 1;
+                if (!line.empty()) handle_line(conn, line);
+            }
+            conn->input.erase(0, start);
+        }
+
+        connections.erase(std::remove_if(connections.begin(), connections.end(),
+                                         [](const ConnectionPtr& c) { return c->closed; }),
+                          connections.end());
+    }
+
+    // Graceful drain: stop accepting and reading. Queued and in-flight
+    // requests keep their Connection alive through the WorkItem's
+    // shared_ptr, so workers still flush their responses before the
+    // sockets close.
+    listener_.close();
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        draining_ = true;
+    }
+    queue_cv_.notify_all();
+}
+
+void Server::handle_line(const ConnectionPtr& conn, const std::string& line) {
+    Request request;
+    try {
+        request = parse_request(line);
+    } catch (const xpcore::ParseError& error) {
+        respond(conn, error_response(ErrorCode::ParseError, error.what(), ""));
+        requests_failed_.fetch_add(1);
+        return;
+    } catch (const xpcore::ValidationError& error) {
+        respond(conn, error_response(ErrorCode::BadRequest, error.what(), ""));
+        requests_failed_.fetch_add(1);
+        return;
+    }
+
+    WorkItem item;
+    item.conn = conn;
+    item.request = std::move(request);
+    item.arrival = std::chrono::steady_clock::now();
+
+    bool rejected = false;
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (queue_.size() >= config_.queue_capacity) {
+            rejected = true;
+        } else {
+            queue_.push_back(std::move(item));
+        }
+    }
+    if (rejected) {
+        rejected_overload_.fetch_add(1);
+        requests_failed_.fetch_add(1);
+        respond(conn, error_response(ErrorCode::Overloaded,
+                                     "request queue is full, retry later",
+                                     item.request.id_json));
+        return;
+    }
+    queue_cv_.notify_one();
+}
+
+void Server::worker_main(std::size_t index) {
+    modeling::Session session(config_.options);
+    if (config_.warm_start) {
+        // Serialize warm-up: the first worker pretrains (and, with the
+        // cache enabled, persists the result atomically); the rest load it
+        // from disk instead of racing a redundant pretraining each.
+        std::lock_guard<std::mutex> lock(warm_mutex_);
+        try {
+            session.classifier();
+        } catch (const std::exception&) {
+            // Warm-up is an optimization; a failure here surfaces on the
+            // first real request instead.
+        }
+    }
+    (void)index;
+
+    for (;;) {
+        WorkItem item;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (draining_) return;
+                continue;
+            }
+            item = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        dispatch(session, item);
+    }
+}
+
+void Server::dispatch(modeling::Session& session, const WorkItem& item) {
+    const Request& request = item.request;
+
+    const long deadline_ms =
+        request.deadline_ms >= 0 ? request.deadline_ms : config_.default_deadline_ms;
+    if (deadline_ms > 0) {
+        const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - item.arrival);
+        if (waited.count() > deadline_ms) {
+            rejected_deadline_.fetch_add(1);
+            requests_failed_.fetch_add(1);
+            respond(item.conn,
+                    error_response(ErrorCode::DeadlineExceeded,
+                                   "request waited " + std::to_string(waited.count()) +
+                                       " ms, deadline was " + std::to_string(deadline_ms) +
+                                       " ms",
+                                   request.id_json));
+            return;
+        }
+    }
+
+    std::string response;
+    try {
+        if (request.verb == "ping") {
+            response = ok_response_prefix("ping", request.id_json) +
+                       ", \"server\": \"xpdnnd\", \"protocol\": " +
+                       std::to_string(kProtocolVersion) +
+                       ", \"workers\": " + std::to_string(config_.workers) + "}";
+        } else if (request.verb == "modelers") {
+            response = handle_modelers(session, request);
+        } else if (request.verb == "model") {
+            response = handle_model(session, request);
+        } else if (request.verb == "predict") {
+            response = handle_predict(request);
+        } else if (request.verb == "sleep") {
+            std::this_thread::sleep_for(std::chrono::milliseconds(request.sleep_ms));
+            response = ok_response_prefix("sleep", request.id_json) +
+                       ", \"slept_ms\": " + std::to_string(request.sleep_ms) + "}";
+        } else if (request.verb == "shutdown") {
+            respond(item.conn, ok_response_prefix("shutdown", request.id_json) +
+                                   ", \"draining\": true}");
+            requests_ok_.fetch_add(1);
+            request_stop();
+            return;
+        } else {
+            requests_failed_.fetch_add(1);
+            respond(item.conn, error_response(ErrorCode::UnknownVerb,
+                                              "unknown verb '" + request.verb + "'",
+                                              request.id_json));
+            return;
+        }
+    } catch (const xpcore::ValidationError& error) {
+        requests_failed_.fetch_add(1);
+        respond(item.conn,
+                error_response(ErrorCode::ValidationError, error.what(), request.id_json));
+        return;
+    } catch (const xpcore::ParseError& error) {
+        requests_failed_.fetch_add(1);
+        respond(item.conn,
+                error_response(ErrorCode::ParseError, error.what(), request.id_json));
+        return;
+    } catch (const ProtocolFault& fault) {
+        requests_failed_.fetch_add(1);
+        respond(item.conn, error_response(fault.code, fault.message, request.id_json));
+        return;
+    } catch (const std::exception& error) {
+        requests_failed_.fetch_add(1);
+        respond(item.conn,
+                error_response(ErrorCode::Internal, error.what(), request.id_json));
+        return;
+    }
+
+    requests_ok_.fetch_add(1);
+    respond(item.conn, response);
+}
+
+std::string Server::handle_model(modeling::Session& session, const Request& request) {
+    if (request.measurements.empty()) {
+        invalid("verb 'model' requires field 'measurements'");
+    }
+    if (!modeling::is_registered(request.modeler)) {
+        throw ProtocolFault{ErrorCode::UnknownModeler,
+                            "unknown modeler '" + request.modeler + "'"};
+    }
+
+    std::istringstream stream(request.measurements);
+    measure::LoadResult loaded = measure::try_load_text(stream, "<measurements>");
+    if (!loaded.ok()) {
+        throw ProtocolFault{ErrorCode::ParseError,
+                            format_diagnostic(loaded.diagnostics.front())};
+    }
+
+    modeling::Context context;
+    context.alternatives = request.alternatives;
+    context.task = request.task;
+    modeling::Report report = session.run(request.modeler, *loaded.set, context);
+    if (!request.include_timings) report.timings = modeling::Timings{};
+
+    if (!request.task.empty() && report.has_model) {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        auto existing = std::find_if(cache_.begin(), cache_.end(),
+                                     [&](const auto& e) { return e.first == request.task; });
+        if (existing != cache_.end()) {
+            existing->second = CachedModel{report.selected.model,
+                                           loaded.set->parameter_count()};
+        } else {
+            while (cache_.size() >= config_.report_cache_capacity && !cache_order_.empty()) {
+                const std::string& victim = cache_order_.front();
+                cache_.erase(std::remove_if(cache_.begin(), cache_.end(),
+                                            [&](const auto& e) { return e.first == victim; }),
+                             cache_.end());
+                cache_order_.pop_front();
+            }
+            cache_.emplace_back(request.task, CachedModel{report.selected.model,
+                                                          loaded.set->parameter_count()});
+            cache_order_.push_back(request.task);
+        }
+    }
+
+    // "report" is intentionally the last key: a client can recover the
+    // byte-exact report document by stripping the envelope prefix up to
+    // `"report": ` and the closing '}'.
+    return ok_response_prefix("model", request.id_json) + ", \"report\": " +
+           modeling::to_json(report) + "}";
+}
+
+std::string Server::handle_predict(const Request& request) {
+    if (request.task.empty()) {
+        invalid("verb 'predict' requires field 'task'");
+    }
+    if (request.point.empty()) {
+        invalid("verb 'predict' requires field 'point'");
+    }
+
+    CachedModel cached;
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        auto it = std::find_if(cache_.begin(), cache_.end(),
+                               [&](const auto& e) { return e.first == request.task; });
+        if (it == cache_.end()) {
+            throw ProtocolFault{ErrorCode::UnknownTask,
+                                "no model cached for task '" + request.task + "'"};
+        }
+        cached = it->second;
+    }
+
+    if (request.point.size() != cached.arity) {
+        invalid("task '" + request.task + "' has " + std::to_string(cached.arity) +
+                " parameter(s), point has " + std::to_string(request.point.size()));
+    }
+
+    const double prediction = cached.model.evaluate(request.point);
+    return ok_response_prefix("predict", request.id_json) +
+           ", \"task\": " + json_quote(request.task) +
+           ", \"prediction\": " + format_number(prediction) + "}";
+}
+
+std::string Server::handle_modelers(modeling::Session& session, const Request& request) {
+    std::string response = ok_response_prefix("modelers", request.id_json) +
+                           ", \"modelers\": [";
+    bool first = true;
+    for (const std::string& name : modeling::registered_modelers()) {
+        const std::unique_ptr<modeling::Modeler> modeler =
+            modeling::create_modeler(name, session);
+        const modeling::Capabilities caps = modeler->capabilities();
+        if (!first) response += ", ";
+        first = false;
+        response += "{\"name\": " + json_quote(name);
+        response += std::string(", \"model\": ") + (caps.produces_model ? "true" : "false");
+        response += std::string(", \"regression\": ") +
+                    (caps.uses_regression ? "true" : "false");
+        response += std::string(", \"dnn\": ") + (caps.uses_dnn ? "true" : "false");
+        response += std::string(", \"alternatives\": ") +
+                    (caps.alternatives ? "true" : "false");
+        response += std::string(", \"batch\": ") + (caps.batch ? "true" : "false");
+        response += "}";
+    }
+    response += "]}";
+    return response;
+}
+
+void Server::respond(const ConnectionPtr& conn, const std::string& body) {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    xpcore::net::send_all(conn->socket.fd(), body + "\n");
+}
+
+}  // namespace serve

@@ -1,0 +1,157 @@
+#include "serve/throughput.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "xpcore/provenance.hpp"
+
+namespace serve {
+
+namespace {
+
+/// Exact linear measurements (f(p) = 2 + 3p): the regression path models
+/// them instantly, so seeding the cache never trains a network.
+std::string seed_measurements() {
+    std::string text = "params: p\n";
+    for (const int p : {4, 8, 16, 32, 64}) {
+        const int value = 2 + 3 * p;  // integral, so the text needs no decimal point
+        text += std::to_string(p) + " : ";
+        for (int rep = 0; rep < 3; ++rep) {
+            text += std::to_string(value);
+            text += rep + 1 < 3 ? " " : "\n";
+        }
+    }
+    return text;
+}
+
+std::string escape_newlines(const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+        if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+ThroughputResult run_throughput(const ThroughputConfig& config) {
+    ServerConfig server_config;
+    server_config.workers = std::max<std::size_t>(1, config.workers);
+    server_config.queue_capacity = std::max<std::size_t>(16, config.connections * 4);
+    server_config.options = config.options;
+    Server server(server_config);
+
+    {
+        Client seeder(server.bound_port());
+        const std::string response = seeder.request(
+            "{\"verb\": \"model\", \"modeler\": \"regression\", \"task\": \"bench\", "
+            "\"measurements\": \"" + escape_newlines(seed_measurements()) + "\"}");
+        if (response.rfind("{\"ok\": true", 0) != 0) {
+            throw std::runtime_error("serve throughput: seeding the model failed: " + response);
+        }
+    }
+
+    const std::string request_line =
+        config.verb == "ping"
+            ? "{\"verb\": \"ping\"}"
+            : "{\"verb\": \"predict\", \"task\": \"bench\", \"point\": [128]}";
+
+    const std::size_t connections = std::max<std::size_t>(1, config.connections);
+    const std::size_t per_connection = std::max<std::size_t>(1, config.requests_per_connection);
+
+    std::vector<std::vector<double>> latencies(connections);
+    std::vector<std::size_t> failures(connections, 0);
+    std::vector<std::thread> clients;
+    clients.reserve(connections);
+
+    const auto begin = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < connections; ++c) {
+        clients.emplace_back([&, c] {
+            try {
+                Client client(server.bound_port());
+                latencies[c].reserve(per_connection);
+                for (std::size_t i = 0; i < per_connection; ++i) {
+                    const auto start = std::chrono::steady_clock::now();
+                    const std::string response = client.request(request_line, 30'000);
+                    const auto end = std::chrono::steady_clock::now();
+                    if (response.rfind("{\"ok\": true", 0) != 0) {
+                        ++failures[c];
+                        continue;
+                    }
+                    latencies[c].push_back(
+                        std::chrono::duration<double, std::milli>(end - start).count());
+                }
+            } catch (const std::exception&) {
+                ++failures[c];
+            }
+        });
+    }
+    for (std::thread& client : clients) client.join();
+    const auto finish = std::chrono::steady_clock::now();
+
+    server.stop();
+
+    ThroughputResult result;
+    std::vector<double> all;
+    for (std::size_t c = 0; c < connections; ++c) {
+        all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+        result.failures += failures[c];
+    }
+    std::sort(all.begin(), all.end());
+
+    result.requests = all.size();
+    result.seconds = std::chrono::duration<double>(finish - begin).count();
+    result.rps = result.seconds > 0
+                     ? static_cast<double>(result.requests) / result.seconds
+                     : 0.0;
+    result.p50_ms = percentile(all, 0.50);
+    result.p90_ms = percentile(all, 0.90);
+    result.p99_ms = percentile(all, 0.99);
+    result.max_ms = all.empty() ? 0.0 : all.back();
+    result.rps_ok = config.min_rps <= 0.0 || result.rps >= config.min_rps;
+    result.p99_ok = config.max_p99_ms <= 0.0 || result.p99_ms <= config.max_p99_ms;
+    return result;
+}
+
+void write_bench_json(const ThroughputConfig& config, const ThroughputResult& result,
+                      const std::string& path) {
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"machine\": " << xpcore::machine_provenance_json(2) << ",\n"
+        << "  \"config\": {\"connections\": " << config.connections
+        << ", \"requests_per_connection\": " << config.requests_per_connection
+        << ", \"workers\": " << config.workers << ", \"verb\": \"" << config.verb
+        << "\"},\n"
+        << "  \"results\": {\"requests\": " << result.requests
+        << ", \"failures\": " << result.failures << ", \"seconds\": " << result.seconds
+        << ", \"rps\": " << result.rps << ", \"p50_ms\": " << result.p50_ms
+        << ", \"p90_ms\": " << result.p90_ms << ", \"p99_ms\": " << result.p99_ms
+        << ", \"max_ms\": " << result.max_ms << "},\n"
+        << "  \"gates\": {\"min_rps\": " << config.min_rps
+        << ", \"rps_ok\": " << (result.rps_ok ? "true" : "false")
+        << ", \"max_p99_ms\": " << config.max_p99_ms
+        << ", \"p99_ok\": " << (result.p99_ok ? "true" : "false")
+        << ", \"failures_ok\": " << (result.failures == 0 ? "true" : "false") << "}\n"
+        << "}\n";
+}
+
+}  // namespace serve

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file net.hpp
+/// Minimal POSIX TCP building blocks for the serving layer.
+///
+/// Everything the xpdnnd daemon and its clients need from the OS lives
+/// here: an RAII socket, loopback listen/connect helpers, reliable
+/// send-all, a buffered newline-delimited line reader with poll-based
+/// timeouts, and a self-pipe for async-signal-safe wakeups of a poll loop.
+/// All helpers report failures with std::system_error-style messages via
+/// std::runtime_error; none of them install signal handlers (writes use
+/// MSG_NOSIGNAL instead of relying on SIGPIPE being ignored).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xpcore::net {
+
+/// RAII file-descriptor owner (socket or pipe end). Move-only.
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket& operator=(Socket&& other) noexcept;
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    void close() noexcept;
+    /// Give up ownership without closing.
+    int release();
+
+private:
+    int fd_ = -1;
+};
+
+/// Create a listening TCP socket bound to 127.0.0.1:`port` (0 = pick an
+/// ephemeral port). The actually bound port is written to *bound_port when
+/// non-null. Throws std::runtime_error on failure.
+Socket listen_tcp(std::uint16_t port, std::uint16_t* bound_port = nullptr, int backlog = 128);
+
+/// Accept one pending connection (the listener must be readable). Returns
+/// an invalid Socket when the accept would block or was interrupted.
+Socket accept_connection(int listen_fd);
+
+/// Blocking connect to 127.0.0.1:`port`, failing after `timeout_ms`.
+/// Throws std::runtime_error on refusal or timeout.
+Socket connect_tcp(std::uint16_t port, int timeout_ms = 5000);
+
+/// Put the descriptor into non-blocking mode.
+void set_nonblocking(int fd);
+
+/// poll() the descriptor for readability. -1 waits forever. Returns true
+/// when readable (or the peer hung up), false on timeout.
+bool wait_readable(int fd, int timeout_ms);
+
+/// Write the whole buffer, polling through partial writes and EAGAIN
+/// (MSG_NOSIGNAL — a dead peer yields false, never SIGPIPE).
+bool send_all(int fd, std::string_view data);
+
+/// Buffered reader of '\n'-terminated lines from a socket.
+class LineReader {
+public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /// Read the next line (without its '\n'), waiting up to `timeout_ms`
+    /// (-1 = forever) for more bytes. Returns false on EOF, error, or
+    /// timeout with no complete line buffered.
+    bool read_line(std::string& line, int timeout_ms = -1);
+
+private:
+    int fd_;
+    std::string buffer_;
+};
+
+/// Self-pipe: notify() is async-signal-safe and wakes any poll() watching
+/// read_fd(), which a drain handler needs (a SIGTERM handler may only call
+/// async-signal-safe functions — write(2) qualifies, condition variables do
+/// not).
+class WakePipe {
+public:
+    WakePipe();
+    ~WakePipe() = default;
+
+    WakePipe(const WakePipe&) = delete;
+    WakePipe& operator=(const WakePipe&) = delete;
+
+    int read_fd() const { return read_end_.fd(); }
+    /// Wake the poll loop. Safe from signal handlers and any thread.
+    void notify() noexcept;
+    /// Consume pending wakeup bytes (call after poll flags read_fd()).
+    void drain() noexcept;
+
+private:
+    Socket read_end_;
+    Socket write_end_;
+};
+
+}  // namespace xpcore::net

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file parse.hpp
+/// Locale-independent floating-point parsing.
+///
+/// std::stod delegates to strtod and therefore honors LC_NUMERIC: under a
+/// comma-decimal locale (de_DE, fr_FR, ...) it parses "3.14" as 3 and
+/// reports one consumed character. Every parser of machine-generated input
+/// in this repository — JSON documents, CLI options, measurement files —
+/// must be immune to the ambient locale, so they all go through these
+/// std::from_chars-based helpers instead (the measurement-file tokenizer in
+/// measure/parse_util.cpp applies the same discipline with column-aware
+/// diagnostics on top).
+
+#include <cstddef>
+#include <string_view>
+
+namespace xpcore {
+
+/// Parse the longest valid floating-point literal at the start of `text`
+/// (fixed or scientific form; one leading '+' is accepted for compatibility
+/// with hand-written inputs). Returns the number of characters consumed and
+/// writes the value to `out`; returns 0 — leaving `out` untouched — when
+/// `text` does not start with a number or the number is out of range or
+/// non-finite ("inf"/"nan" literals are rejected). Never consults the
+/// locale, never throws.
+std::size_t parse_double_prefix(std::string_view text, double& out);
+
+/// Full-string variant: true iff the *entire* `text` is one finite number
+/// (no surrounding whitespace, no trailing characters).
+bool parse_double(std::string_view text, double& out);
+
+}  // namespace xpcore

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file provenance.hpp
+/// The machine-provenance block shared by every BENCH_*.json emitter.
+///
+/// A benchmark number without the machine it was measured on is noise in
+/// the trajectory. tools/bench_record (BENCH_nn.json) and
+/// bench/serve_throughput (BENCH_serve.json) both stamp their output with
+/// the same JSON object: CPU model, best SIMD dispatch level, hardware
+/// thread count, detected cache hierarchy, and the autotuned GEMM blocking
+/// per level (with its source: probed, cached, env, or default).
+
+#include <string>
+
+namespace xpcore {
+
+/// The provenance object, serialized as a JSON value (no trailing
+/// newline). `indent` spaces prefix the nested lines so the block can be
+/// embedded at any depth of a pretty-printed document; the first line is
+/// not indented (it follows a `"machine": ` key).
+std::string machine_provenance_json(int indent = 2);
+
+}  // namespace xpcore

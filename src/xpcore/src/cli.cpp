@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "xpcore/parse.hpp"
+
 namespace xpcore {
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
@@ -39,9 +41,10 @@ long CliArgs::get_int(const std::string& key, long fallback) const {
 double CliArgs::get_double(const std::string& key, double fallback) const {
     const auto it = options_.find(key);
     if (it == options_.end()) return fallback;
-    std::size_t consumed = 0;
-    const double value = std::stod(it->second, &consumed);
-    if (consumed != it->second.size()) {
+    double value = 0.0;
+    // Locale-independent: std::stod would accept "3,5" as 3.0 (or reject
+    // "3.5") under an LC_NUMERIC locale with a ',' decimal point.
+    if (!parse_double(it->second, value)) {
         throw std::invalid_argument("CliArgs: option --" + key + " is not a number: " + it->second);
     }
     return value;

@@ -1,0 +1,187 @@
+#include "xpcore/net.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace xpcore::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void Socket::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+int Socket::release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+Socket listen_tcp(std::uint16_t port, std::uint16_t* bound_port, int backlog) {
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) fail("socket");
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = loopback(port);
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        fail("bind 127.0.0.1:" + std::to_string(port));
+    }
+    if (::listen(sock.fd(), backlog) != 0) fail("listen");
+    if (bound_port != nullptr) {
+        sockaddr_in actual{};
+        socklen_t len = sizeof(actual);
+        if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+            fail("getsockname");
+        }
+        *bound_port = ntohs(actual.sin_port);
+    }
+    return sock;
+}
+
+Socket accept_connection(int listen_fd) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return Socket();
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+}
+
+Socket connect_tcp(std::uint16_t port, int timeout_ms) {
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) fail("socket");
+    set_nonblocking(sock.fd());
+    sockaddr_in addr = loopback(port);
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        if (errno != EINPROGRESS) fail("connect 127.0.0.1:" + std::to_string(port));
+        pollfd pfd{sock.fd(), POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, timeout_ms);
+        if (ready <= 0) {
+            throw std::runtime_error("connect 127.0.0.1:" + std::to_string(port) +
+                                     ": timed out");
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+            throw std::runtime_error("connect 127.0.0.1:" + std::to_string(port) + ": " +
+                                     std::strerror(err));
+        }
+    }
+    const int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return sock;
+}
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) fail("fcntl O_NONBLOCK");
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+    pollfd pfd{fd, POLLIN, 0};
+    for (;;) {
+        const int ready = ::poll(&pfd, 1, timeout_ms);
+        if (ready > 0) return true;
+        if (ready == 0) return false;
+        if (errno != EINTR) return false;
+    }
+}
+
+bool send_all(int fd, std::string_view data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd{fd, POLLOUT, 0};
+            if (::poll(&pfd, 1, 10000) <= 0) return false;
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+    }
+    return true;
+}
+
+bool LineReader::read_line(std::string& line, int timeout_ms) {
+    for (;;) {
+        const std::size_t newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+            line.assign(buffer_, 0, newline);
+            buffer_.erase(0, newline + 1);
+            return true;
+        }
+        if (!wait_readable(fd_, timeout_ms)) return false;
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+        return false;  // EOF or hard error
+    }
+}
+
+WakePipe::WakePipe() {
+    int fds[2];
+    if (::pipe(fds) != 0) fail("pipe");
+    read_end_ = Socket(fds[0]);
+    write_end_ = Socket(fds[1]);
+    set_nonblocking(read_end_.fd());
+    set_nonblocking(write_end_.fd());
+}
+
+void WakePipe::notify() noexcept {
+    const char byte = 1;
+    // A full pipe already guarantees a pending wakeup; the result can be
+    // ignored either way (and must be checked to satisfy warn_unused_result).
+    [[maybe_unused]] const ssize_t n = ::write(write_end_.fd(), &byte, 1);
+}
+
+void WakePipe::drain() noexcept {
+    char sink[64];
+    while (::read(read_end_.fd(), sink, sizeof(sink)) > 0) {
+    }
+}
+
+}  // namespace xpcore::net

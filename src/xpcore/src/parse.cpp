@@ -1,0 +1,38 @@
+#include "xpcore/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <system_error>
+
+namespace xpcore {
+
+std::size_t parse_double_prefix(std::string_view text, double& out) {
+    std::string_view digits = text;
+    std::size_t plus = 0;
+    if (!digits.empty() && digits.front() == '+') {
+        digits.remove_prefix(1);
+        plus = 1;
+    }
+    // from_chars accepts "inf"/"nan" literals, which no caller's grammar
+    // does — reject them before parsing so "nan" is 0-consumed, not NaN.
+    if (!digits.empty()) {
+        const char c = digits[digits.front() == '-' ? (digits.size() > 1 ? 1 : 0) : 0];
+        if (c == 'i' || c == 'I' || c == 'n' || c == 'N') return 0;
+    }
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), value);
+    if (ec == std::errc::invalid_argument || ptr == digits.data()) return 0;
+    if (ec == std::errc::result_out_of_range || !std::isfinite(value)) return 0;
+    out = value;
+    return plus + static_cast<std::size_t>(ptr - digits.data());
+}
+
+bool parse_double(std::string_view text, double& out) {
+    double value = 0.0;
+    const std::size_t consumed = parse_double_prefix(text, value);
+    if (consumed == 0 || consumed != text.size()) return false;
+    out = value;
+    return true;
+}
+
+}  // namespace xpcore

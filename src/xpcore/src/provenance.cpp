@@ -1,0 +1,60 @@
+#include "xpcore/provenance.hpp"
+
+#include <cstdio>
+#include <thread>
+
+#include "xpcore/gemm_tune.hpp"
+#include "xpcore/simd.hpp"
+
+namespace xpcore {
+
+namespace {
+
+std::string tune_entry(simd::Level level) {
+    simd::ensure_gemm_tuned(level);
+    const simd::GemmTuneInfo info = simd::gemm_tune_info(level);
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"level\": \"%s\", \"kc\": %zu, \"mc\": %zu, \"nc\": %zu, "
+                  "\"source\": \"%s\"}",
+                  simd::level_name(level), info.blocking.kc, info.blocking.mc,
+                  info.blocking.nc, info.source);
+    return buf;
+}
+
+}  // namespace
+
+std::string machine_provenance_json(int indent) {
+    const std::string pad(indent < 0 ? 0 : static_cast<std::size_t>(indent), ' ');
+    const simd::Level max = simd::max_level();
+    const simd::CacheHierarchy& cache = simd::cache_hierarchy();
+
+    std::string tune_entries;
+    if (max >= simd::Level::Avx2) {
+        tune_entries = pad + "    " + tune_entry(simd::Level::Avx2);
+    }
+    if (max >= simd::Level::Avx512) {
+        if (!tune_entries.empty()) tune_entries += ",\n";
+        tune_entries += pad + "    " + tune_entry(simd::Level::Avx512);
+    }
+
+    std::string out = "{\n";
+    out += pad + "  \"cpu\": \"" + std::string(simd::cpu_model_string()) + "\",\n";
+    out += pad + "  \"simd_max\": \"" + std::string(simd::level_name(max)) + "\",\n";
+    out += pad + "  \"hardware_concurrency\": " +
+           std::to_string(std::thread::hardware_concurrency()) + ",\n";
+    out += pad + "  \"cache\": {\"l1d_bytes\": " + std::to_string(cache.l1d_bytes) +
+           ", \"l2_bytes\": " + std::to_string(cache.l2_bytes) +
+           ", \"l3_bytes\": " + std::to_string(cache.l3_bytes) +
+           ", \"detected\": " + (cache.detected ? "true" : "false") + "},\n";
+    out += pad + "  \"gemm_tune\": [";
+    if (tune_entries.empty()) {
+        out += "]\n";
+    } else {
+        out += "\n" + tune_entries + "\n" + pad + "  ]\n";
+    }
+    out += pad + "}";
+    return out;
+}
+
+}  // namespace xpcore

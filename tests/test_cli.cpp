@@ -158,6 +158,28 @@ TEST(Cli, PredictEvaluatesStoredModel) {
     EXPECT_NEAR(std::stod(result.out), 32.0, 1e-9);
 }
 
+TEST(Cli, PredictRejectsTrailingGarbageInCoordinates) {
+    // Regression: coordinates used to go through std::stod without a
+    // consumed-length check, so "1.5abc" silently evaluated at 1.5.
+    const std::string path = ::testing::TempDir() + "/xpdnn_cli_model_garbage.json";
+    pmnf::CompoundTerm term{3.0, {{0, {pmnf::Rational(1), 0}}}};
+    std::ofstream(path) << pmnf::to_json(pmnf::Model(2.0, {term}));
+    for (const char* bad : {"1.5abc", "abc", "", "nan", "inf", "2,5"}) {
+        const auto result = run_cli({"predict", path, bad});
+        EXPECT_EQ(result.code, 2) << "accepted coordinate '" << bad << "'";
+        EXPECT_NE(result.err.find("malformed coordinate"), std::string::npos) << result.err;
+    }
+    const auto good = run_cli({"predict", path, "10"});
+    ASSERT_EQ(good.code, 0) << good.err;
+}
+
+TEST(Cli, ModelEvalRejectsTrailingGarbage) {
+    const auto result = run_cli(
+        {"model", write_linear_measurements(), "--modeler=regression", "--eval=8,16x"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("malformed coordinate"), std::string::npos) << result.err;
+}
+
 TEST(Cli, PredictMissingArgsFails) {
     EXPECT_EQ(run_cli({"predict"}).code, 1);
     EXPECT_EQ(run_cli({"predict", "model.json"}).code, 1);

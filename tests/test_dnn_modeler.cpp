@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <unistd.h>
 
@@ -260,6 +261,50 @@ TEST(CacheTest, CorruptOrTruncatedFileIsAMiss) {
         EXPECT_FALSE(ensure_pretrained(repaired, 99));
         EXPECT_TRUE(repaired.is_pretrained());
     }
+
+    ::unsetenv("XPDNN_CACHE_DIR");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CacheTest, StoreIsAtomicNoTempLeftoversAndSafeUnderConcurrency) {
+    // Regression for the torn-write bug: ensure_pretrained used to stream
+    // the network straight into the final cache path, so a concurrent
+    // reader could open a half-written file. The store now goes through a
+    // pid-suffixed temp file plus rename (the gemm_tune cache discipline):
+    // the final path either does not exist or holds a complete network.
+    const std::string dir =
+        ::testing::TempDir() + "/xpdnn_cache_atomic_" + std::to_string(::getpid());
+    std::filesystem::create_directories(dir);
+    ::setenv("XPDNN_CACHE_DIR", dir.c_str(), 1);
+
+    DnnConfig config = tiny_config();
+    config.pretrain_samples_per_class = 40;
+    config.pretrain_epochs = 1;
+    const std::string path = pretrained_cache_path(config, 55);
+
+    // Two sessions race the cold cache. Whatever the interleaving, both
+    // must come out pretrained, and any reader that finds the file must
+    // either load it completely or re-pretrain — never crash or load junk.
+    auto warm_up = [&config] {
+        DnnModeler modeler(config, 55);
+        ensure_pretrained(modeler, 55);
+        EXPECT_TRUE(modeler.is_pretrained());
+    };
+    std::thread racer(warm_up);
+    warm_up();
+    racer.join();
+
+    // The rename either installed a complete file or failed cleanly; no
+    // temp files may survive, and the final file must be a clean hit. (The
+    // GEMM autotuner shares the cache dir and may drop a gemm_tune_*.txt —
+    // only *.tmp leftovers indicate a torn store.)
+    ASSERT_TRUE(std::filesystem::exists(path));
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        EXPECT_NE(entry.path().extension(), ".tmp")
+            << "leftover cache artifact: " << entry.path();
+    }
+    DnnModeler reader(config, 55);
+    EXPECT_TRUE(ensure_pretrained(reader, 55));
 
     ::unsetenv("XPDNN_CACHE_DIR");
     std::filesystem::remove_all(dir);

@@ -1,0 +1,113 @@
+// Locale-independence of numeric parsing (src/xpcore/parse.hpp).
+//
+// std::stod routes through strtod, whose decimal-point character comes from
+// the global LC_NUMERIC locale: under de_DE a report's "0.25" stops parsing
+// at the '.', silently truncating the value to 0. Every parser in the tree
+// (report/pmnf JSON, CLI options, measurement files) now goes through the
+// std::from_chars-based helpers, which this suite pins — first the helper
+// semantics in the default locale, then the regression with a
+// comma-decimal locale installed (skipped when the container ships none).
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <string>
+
+#include "modeling/report.hpp"
+#include "pmnf/serialize.hpp"
+#include "xpcore/cli.hpp"
+#include "xpcore/parse.hpp"
+
+namespace {
+
+TEST(ParseDouble, PrefixSemantics) {
+    double value = 0.0;
+    EXPECT_EQ(xpcore::parse_double_prefix("1.5abc", value), 3u);
+    EXPECT_DOUBLE_EQ(value, 1.5);
+    EXPECT_EQ(xpcore::parse_double_prefix("-2.25e2,", value), 7u);
+    EXPECT_DOUBLE_EQ(value, -225.0);
+    EXPECT_EQ(xpcore::parse_double_prefix("+3", value), 2u);
+    EXPECT_DOUBLE_EQ(value, 3.0);
+    EXPECT_EQ(xpcore::parse_double_prefix("abc", value), 0u);
+    EXPECT_EQ(xpcore::parse_double_prefix("", value), 0u);
+    // Strictness: non-finite and out-of-range inputs are rejected outright.
+    EXPECT_EQ(xpcore::parse_double_prefix("inf", value), 0u);
+    EXPECT_EQ(xpcore::parse_double_prefix("nan", value), 0u);
+    EXPECT_EQ(xpcore::parse_double_prefix("-inf", value), 0u);
+    EXPECT_EQ(xpcore::parse_double_prefix("1e999", value), 0u);
+}
+
+TEST(ParseDouble, FullStringRejectsTrailingGarbage) {
+    double value = 0.0;
+    EXPECT_TRUE(xpcore::parse_double("42.5", value));
+    EXPECT_DOUBLE_EQ(value, 42.5);
+    EXPECT_FALSE(xpcore::parse_double("1.5abc", value));
+    EXPECT_FALSE(xpcore::parse_double("", value));
+    EXPECT_FALSE(xpcore::parse_double("1.5 ", value));
+}
+
+/// Installs a locale whose decimal point is ',' for the lifetime of a test.
+/// Containers often ship only C/POSIX locales; then the pinned regression
+/// is skipped (the helper-semantics tests above still ran).
+class CommaLocale {
+public:
+    CommaLocale() {
+        previous_ = std::setlocale(LC_NUMERIC, nullptr);
+        for (const char* name :
+             {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR.utf8", "fr_FR"}) {
+            if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+                const lconv* conv = std::localeconv();
+                if (conv != nullptr && conv->decimal_point != nullptr &&
+                    conv->decimal_point[0] == ',') {
+                    installed_ = true;
+                    return;
+                }
+            }
+        }
+        std::setlocale(LC_NUMERIC, previous_.c_str());
+    }
+
+    ~CommaLocale() {
+        if (installed_) std::setlocale(LC_NUMERIC, previous_.c_str());
+    }
+
+    bool installed() const { return installed_; }
+
+private:
+    std::string previous_;
+    bool installed_ = false;
+};
+
+TEST(LocaleRegression, ParsersAreLocaleIndependent) {
+    CommaLocale locale;
+    if (!locale.installed()) {
+        GTEST_SKIP() << "no comma-decimal locale available in this environment";
+    }
+
+    // The raw helper is unaffected by LC_NUMERIC.
+    double value = 0.0;
+    ASSERT_TRUE(xpcore::parse_double("0.25", value));
+    EXPECT_DOUBLE_EQ(value, 0.25);
+
+    // CliArgs::get_double used to go through std::stod and would have
+    // truncated "2.5" to 2 under this locale.
+    const char* argv[] = {"prog", "--threshold=2.5"};
+    const xpcore::CliArgs args(2, argv);
+    EXPECT_DOUBLE_EQ(args.get_double("threshold", 0.0), 2.5);
+
+    // pmnf model JSON round trip: a fractional coefficient must survive.
+    const pmnf::Model model = pmnf::Model::constant_model(0.25);
+    const pmnf::Model reparsed = pmnf::from_json(pmnf::to_json(model));
+    EXPECT_DOUBLE_EQ(reparsed.constant(), 0.25);
+
+    // Report documents too (their parser shares the same discipline).
+    modeling::Report report;
+    report.modeler = "regression";
+    report.noise.estimate = 0.125;
+    report.has_model = false;
+    const modeling::Report round = modeling::report_from_json(modeling::to_json(report));
+    EXPECT_DOUBLE_EQ(round.noise.estimate, 0.125);
+    EXPECT_EQ(modeling::to_json(round), modeling::to_json(report));
+}
+
+}  // namespace

@@ -32,12 +32,14 @@
 #include <vector>
 
 #include "casestudy/casestudy.hpp"
+#include "serve/throughput.hpp"
 #include "dnn/modeler.hpp"
 #include "modeling/session.hpp"
 #include "nn/network.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/trainer.hpp"
 #include "xpcore/cli.hpp"
+#include "xpcore/provenance.hpp"
 #include "xpcore/gemm_tune.hpp"
 #include "xpcore/rng.hpp"
 #include "xpcore/simd.hpp"
@@ -264,19 +266,6 @@ modeling::Report modeling_report() {
     return session.run("adaptive", set);
 }
 
-/// JSON fragment describing one level's autotuned blocking.
-std::string tune_json(Level level) {
-    xpcore::simd::ensure_gemm_tuned(level);
-    const xpcore::simd::GemmTuneInfo info = xpcore::simd::gemm_tune_info(level);
-    char buf[192];
-    std::snprintf(buf, sizeof(buf),
-                  "{\"level\": \"%s\", \"kc\": %zu, \"mc\": %zu, \"nc\": %zu, "
-                  "\"source\": \"%s\"}",
-                  xpcore::simd::level_name(level), info.blocking.kc, info.blocking.mc,
-                  info.blocking.nc, info.source);
-    return buf;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -285,6 +274,27 @@ int main(int argc, char** argv) {
     const auto samples = static_cast<std::size_t>(args.get_int("samples", 2048));
     const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 3));
     g_repeats = std::max<std::size_t>(1, static_cast<std::size_t>(args.get_int("repeats", 3)));
+
+    if (args.has("serve-json")) {
+        // Daemon throughput mode: measure the serving path and record
+        // BENCH_serve.json (same machine-provenance block as BENCH_nn.json),
+        // gated on >= 500 req/s with zero failed round-trips.
+        serve::ThroughputConfig config;
+        config.connections = static_cast<std::size_t>(args.get_int("connections", 4));
+        config.requests_per_connection =
+            static_cast<std::size_t>(args.get_int("requests", 500));
+        config.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+        config.min_rps = args.get_double("min-rps", 500.0);
+        config.max_p99_ms = args.get_double("max-p99-ms", 0.0);
+        const serve::ThroughputResult result = serve::run_throughput(config);
+        std::printf("serve: %zu requests in %.3fs -> %.0f req/s, p99 %.3f ms\n",
+                    result.requests, result.seconds, result.rps, result.p99_ms);
+        const std::string serve_path = args.get("serve-json", "BENCH_serve.json");
+        serve::write_bench_json(config, result, serve_path);
+        std::printf("wrote %s\n", serve_path.c_str());
+        if (!result.ok()) std::fprintf(stderr, "bench_record: serve gate FAILED\n");
+        return result.ok() ? 0 : 1;
+    }
 
     const Level max = xpcore::simd::max_level();
     const bool have_avx2 = max >= Level::Avx2;
@@ -299,9 +309,6 @@ int main(int argc, char** argv) {
     std::printf("cache: L1d %zu KiB, L2 %zu KiB, L3 %zu KiB (%s)\n", cache.l1d_bytes / 1024,
                 cache.l2_bytes / 1024, cache.l3_bytes / 1024,
                 cache.detected ? "detected" : "fallback");
-    std::string tune_entries;
-    if (have_avx2) tune_entries += "      " + tune_json(Level::Avx2);
-    if (have_avx512) tune_entries += ",\n      " + tune_json(Level::Avx512);
     if (have_avx2) {
         const auto info2 = xpcore::simd::gemm_tune_info(Level::Avx2);
         std::printf("gemm blocking avx2: kc=%zu mc=%zu nc=%zu (%s)\n", info2.blocking.kc,
@@ -389,15 +396,7 @@ int main(int argc, char** argv) {
 
     std::ofstream out(json_path);
     out << "{\n"
-        << "  \"machine\": {\n"
-        << "    \"cpu\": \"" << xpcore::simd::cpu_model_string() << "\",\n"
-        << "    \"simd_max\": \"" << xpcore::simd::level_name(max) << "\",\n"
-        << "    \"hardware_concurrency\": " << cores << ",\n"
-        << "    \"cache\": {\"l1d_bytes\": " << cache.l1d_bytes
-        << ", \"l2_bytes\": " << cache.l2_bytes << ", \"l3_bytes\": " << cache.l3_bytes
-        << ", \"detected\": " << (cache.detected ? "true" : "false") << "},\n"
-        << "    \"gemm_tune\": [\n" << tune_entries << "\n    ]\n"
-        << "  },\n"
+        << "  \"machine\": " << xpcore::machine_provenance_json(2) << ",\n"
         << "  \"simd_max\": \"" << xpcore::simd::level_name(max) << "\",\n  \"gemm\": [\n"
         << gemm_json << "  ],\n"
         << "  \"epoch\": {\"samples\": " << samples

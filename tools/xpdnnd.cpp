@@ -1,0 +1,27 @@
+/// \file xpdnnd.cpp
+/// The standalone xpdnnd daemon binary: modeling-as-a-service over
+/// newline-delimited JSON on loopback TCP. Identical to `xpdnn serve`
+/// (both call serve::daemon_main); this entry point exists so deployments
+/// can ship the daemon without the rest of the CLI.
+///
+///     xpdnnd --port=7979 --workers=2
+///     xpdnn request --port=7979 '{"verb": "ping"}'
+///
+/// SIGTERM/SIGINT begin a graceful drain: stop accepting, finish queued
+/// and in-flight requests, flush responses, exit 0.
+
+#include <iostream>
+
+#include "serve/daemon.hpp"
+#include "xpcore/cli.hpp"
+
+int main(int argc, char** argv) {
+    const xpcore::CliArgs args(argc, argv);
+    if (args.has("help")) {
+        std::cout << "usage: xpdnnd [--port=N] [--workers=N] [--queue=N] "
+                     "[--deadline-ms=N] [--cache=N] [--no-warm] [--net=PROFILE] "
+                     "[--seed=S] [--drain-after-ms=N]\n";
+        return 0;
+    }
+    return serve::daemon_main(args, std::cout, std::cerr);
+}
