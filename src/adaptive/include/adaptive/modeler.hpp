@@ -48,7 +48,17 @@ struct AdaptiveResult {
     std::string winner;               ///< "regression" or "dnn"
     double regression_seconds = 0.0;  ///< wall-clock of the regression path
     double dnn_seconds = 0.0;         ///< wall-clock of adaptation + DNN path
+    /// Arbitrated noise family (Config::noise_aware; "uniform" otherwise).
+    std::string noise_family = "uniform";
+    /// Detection misfit of the arbitrated family (0 when not noise-aware).
+    double detection_score = 0.0;
 };
+
+/// Multiplier applied to the regression cut-off threshold for a detected
+/// noise family. Heavier-tailed families corrupt least-squares fits at
+/// lower nominal levels than the paper's uniform noise, so the regression
+/// path is switched off earlier for them.
+double threshold_scale_for_family(const std::string& family);
 
 /// The adaptive modeler. Holds a reference to a pretrained DnnModeler
 /// (adaptation mutates its active network) and owns a regression baseline.
@@ -59,6 +69,12 @@ public:
         /// Run domain adaptation before DNN modeling (the paper always
         /// does; disabling isolates adaptation's contribution in ablations).
         bool domain_adaptation = true;
+        /// Arbitrate the noise family (noise::detect_family) before the
+        /// threshold decision: the detected family scales the regression
+        /// cut-off (threshold_scale_for_family) and steers adaptation's
+        /// synthetic noise. Off by default — the paper's pipeline assumes
+        /// uniform noise, and the default path stays bit-identical to it.
+        bool noise_aware = false;
         regression::RegressionModeler::Config regression;
     };
 

@@ -1,25 +1,53 @@
 #include "adaptive/modeler.hpp"
 
 #include "noise/estimator.hpp"
+#include "noise/model.hpp"
 #include "xpcore/timer.hpp"
 
 namespace adaptive {
 
+double threshold_scale_for_family(const std::string& family) {
+    // Uniform is the paper's calibration point. The gaussian factor has the
+    // same variance but unbounded tails; lognormal and the contaminated
+    // mixture produce gross outliers that least squares chases, so their
+    // cut-offs shrink further. Families unknown to this table (custom
+    // registrations) get the conservative lognormal scale.
+    if (family == "uniform") return 1.0;
+    if (family == "gaussian") return 0.9;
+    if (family == "lognormal") return 0.75;
+    if (family == "mixture") return 0.6;
+    return 0.75;
+}
+
 AdaptiveResult AdaptiveModeler::model(const measure::ExperimentSet& set) {
     AdaptiveResult outcome;
 
-    // Step 1: noise estimation (rrd heuristic).
+    // Step 1: noise estimation (rrd heuristic), optionally preceded by
+    // family arbitration. The noise-aware path re-estimates the level with
+    // the detected family's own debiasing and tightens the regression
+    // cut-off for heavy-tailed families.
     outcome.estimated_noise = noise::estimate_noise(set);
+    double threshold_scale = 1.0;
+    if (config_.noise_aware) {
+        const auto detection = noise::detect_family(set);
+        outcome.noise_family = detection.family;
+        outcome.detection_score = detection.score;
+        outcome.estimated_noise = detection.level;
+        threshold_scale = threshold_scale_for_family(detection.family);
+    }
 
     // Step 2: decide which modelers run. The DNN always does; regression
     // only below the noise threshold for this parameter count.
-    const double threshold = config_.thresholds.threshold_for(set.parameter_count());
+    const double threshold =
+        config_.thresholds.threshold_for(set.parameter_count()) * threshold_scale;
     const bool run_regression = outcome.estimated_noise < threshold;
 
     // Step 3 + 4: domain adaptation and DNN modeling.
     xpcore::WallTimer dnn_timer;
     if (config_.domain_adaptation) {
-        dnn_.adapt(dnn::TaskProperties::from_experiment(set));
+        auto task = dnn::TaskProperties::from_experiment(set);
+        task.noise_family = outcome.noise_family;
+        dnn_.adapt(task);
     }
     regression::ModelResult dnn_result = dnn_.model(set);
     outcome.dnn_seconds = dnn_timer.seconds();

@@ -32,6 +32,10 @@ struct NoiseProfile {
     double min = 0.0;
     double max = 0.0;
     double skew = 1.0;
+    /// Registered noise family of the per-point noise factors. Appended
+    /// after the numeric fields so the existing positional aggregate
+    /// initializers keep their meaning (and their default family).
+    std::string family = "uniform";
 
     /// Draw one per-point noise level (fraction).
     double sample_level(xpcore::Rng& rng) const;

@@ -16,6 +16,8 @@ measure::ExperimentSet CaseStudy::generate(const KernelSpec& kernel,
                                            const std::vector<measure::Coordinate>& points,
                                            xpcore::Rng& rng) const {
     measure::ExperimentSet set(parameters);
+    // Resolve the profile's family once per set, outside the point loop.
+    const noise::NoiseModel& model = noise::noise_model(noise.family);
     for (const auto& point : points) {
         if (point.size() != parameters.size()) {
             throw std::invalid_argument("CaseStudy::generate: point arity mismatch");
@@ -23,7 +25,7 @@ measure::ExperimentSet CaseStudy::generate(const KernelSpec& kernel,
         const double truth = kernel.truth.evaluate(point);
         // Each measurement point experiences its own noise level, as on a
         // real system where congestion and OS noise vary per job.
-        noise::Injector injector(noise.sample_level(rng), rng);
+        noise::Injector injector(model, noise.sample_level(rng), rng);
         set.add(point, injector.repetitions(truth, repetitions));
     }
     return set;

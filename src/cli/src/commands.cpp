@@ -16,6 +16,7 @@
 #include "modeling/report.hpp"
 #include "modeling/session.hpp"
 #include "noise/estimator.hpp"
+#include "noise/model.hpp"
 #include "pmnf/serialize.hpp"
 #include "xpcore/cli.hpp"
 #include "xpcore/error.hpp"
@@ -36,6 +37,10 @@ usage:
         [--seed=S]
         [--ensemble=N]   (dnn modeler only: N-member committee)
         [--simplify]     (drop terms irrelevant at the largest point)
+        [--noise-aware]  (adaptive modeler: arbitrate the noise family and
+          scale the regression cut-off for heavy-tailed families)
+        [--pretrain-noise=f1,f2,...]   (noise families mixed into
+          pretraining, e.g. uniform,gaussian,lognormal,mixture)
   xpdnn model-all <archive.txt> [--group-tolerance=T] [--net=...] [--seed=S]
         [--report=json]
   xpdnn modelers       (list the registered modeling paths)
@@ -43,6 +48,10 @@ usage:
   xpdnn predict <model.json|report.json> x1 [x2 ...]
   xpdnn simulate <kripke|fastest|relearn> [kernel] --out=<file> [--seed=S]
         [--all-kernels]   (emit a multi-kernel archive for model-all)
+        [--noise=<family[:level]|level>]   (override the injected noise:
+          family is uniform|gaussian|lognormal|mixture; "gaussian:0.2" pins
+          every point to 20% gaussian noise, a bare family keeps the study's
+          published level distribution, a bare level keeps uniform)
   xpdnn serve [--port=N] [--workers=N] [--queue=N] [--deadline-ms=N]
         [--no-warm] [--net=...] [--seed=S]   (run the xpdnnd daemon)
   xpdnn request --port=N '<json>'   (send one daemon request, print the reply)
@@ -258,6 +267,9 @@ int cmd_noise(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err)
         << xpcore::Table::num(report.noise.max * 100) << "%, mean "
         << xpcore::Table::num(report.noise.mean * 100) << "%, median "
         << xpcore::Table::num(report.noise.median * 100) << "%\n";
+    out << "noise family:    " << report.noise.family << " (level "
+        << xpcore::Table::num(report.noise.family_level * 100) << "%, score "
+        << xpcore::Table::num(report.noise.detection_score) << ")\n";
     return 0;
 }
 
@@ -301,6 +313,20 @@ int cmd_simulate(const xpcore::CliArgs& args, std::ostream& out, std::ostream& e
     } else {
         err << "xpdnn simulate: unknown application '" << app << "'\n";
         return 1;
+    }
+
+    if (args.has("noise")) {
+        const std::string spec_text = args.get("noise", "");
+        const noise::NoiseSpec spec = noise::parse_noise_spec(spec_text, "--noise");
+        study.noise.family = spec.family;
+        // A spec that names a level ("0.2", "gaussian:0.2") pins every point
+        // to it; a bare family name keeps the study's published level
+        // distribution and only swaps the distribution shape.
+        if (!noise::is_registered_family(spec_text)) {
+            study.noise.min = spec.level;
+            study.noise.max = spec.level;
+            study.noise.skew = 1.0;
+        }
     }
 
     if (args.get_bool("all-kernels", false)) {

@@ -49,6 +49,11 @@ struct DnnConfig {
     /// part of the pretrain-cache fingerprint (dnn/cache.hpp). Adaptation
     /// batches are far fewer and stay serial.
     std::size_t pretrain_shards = 4;
+    /// Noise families mixed into the pretraining data (see
+    /// GeneratorConfig::noise_families). Part of the pretrain-cache
+    /// fingerprint: a network pretrained on {"uniform"} is not
+    /// interchangeable with one pretrained on the full zoo.
+    std::vector<std::string> pretrain_noise_families = {"uniform"};
 
     /// Domain adaptation (per modeling task). Paper defaults: 2000 samples
     /// per class, 1 epoch.
@@ -109,6 +114,9 @@ struct TaskProperties {
     double noise_min = 0.0;                      ///< estimated noise range (fractions)
     double noise_max = 1.0;
     std::size_t repetitions = 5;
+    /// Noise family injected into the adaptation data ("uniform" unless the
+    /// caller arbitrated a different one, e.g. via noise::detect_family).
+    std::string noise_family = "uniform";
 
     /// Extract the properties of an experiment set: parameter-value sets of
     /// each parameter's lines, per-point rrd noise range, repetition count.

@@ -15,6 +15,7 @@
 /// range, and repetition count observed in the measurements at hand).
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "nn/trainer.hpp"
@@ -36,6 +37,13 @@ struct GeneratorConfig {
     /// Noise-level range (fractions; 1.0 == 100% == +-50%).
     double noise_min = 0.0;
     double noise_max = 1.0;
+
+    /// Registered noise families the injected noise is drawn from. Each
+    /// sample picks one family uniformly (after its level draw) when more
+    /// than one is listed; a single-entry list consumes no extra random
+    /// draws, so the default is stream-identical to the pre-registry
+    /// generator. Unknown names throw xpcore::ValidationError up front.
+    std::vector<std::string> noise_families = {"uniform"};
 
     /// Repetitions per measurement point: uniformly 1..max_repetitions when
     /// random_repetitions, else exactly max_repetitions.

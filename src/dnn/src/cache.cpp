@@ -22,7 +22,7 @@ std::uint64_t pretrain_config_hash(const DnnConfig& config, std::uint64_t seed) 
     // serialization layout, fingerprint composition). Distinct from the
     // generator version: a format bump invalidates caches even when the
     // training data they were produced from is unchanged.
-    constexpr std::uint64_t kCacheFormatVersion = 1;
+    constexpr std::uint64_t kCacheFormatVersion = 2;
     xpcore::Fnv1a hash;
     hash.mix_value(kGeneratorVersion);
     hash.mix_value(kCacheFormatVersion);
@@ -44,6 +44,10 @@ std::uint64_t pretrain_config_hash(const DnnConfig& config, std::uint64_t seed) 
     // last-ulp-different weights, so cached networks must not be shared
     // across them.
     hash.mix_value(std::max<std::size_t>(config.pretrain_shards, 1));
+    // The noise-family mix changes the synthetic pretraining distribution;
+    // a network pretrained on {"uniform"} must not be reused for the zoo.
+    hash.mix_value(config.pretrain_noise_families.size());
+    for (const auto& family : config.pretrain_noise_families) hash.mix_string(family);
     return hash.state;
 }
 

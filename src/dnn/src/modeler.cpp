@@ -58,6 +58,7 @@ void DnnModeler::pretrain() {
     gen.samples_per_class = config_.pretrain_samples_per_class;
     gen.noise_min = 0.0;
     gen.noise_max = 1.0;  // the paper pretrains across n in [0, 100%]
+    gen.noise_families = config_.pretrain_noise_families;
     auto data_rng = rng_.split();
     const auto data = generate_training_data(gen, data_rng);
 
@@ -100,6 +101,7 @@ void DnnModeler::adapt(const TaskProperties& task) {
     gen.max_repetitions = task.repetitions;
     gen.random_repetitions = task.repetitions > 1;
     gen.sequence_pool = task.sequences;
+    gen.noise_families = {task.noise_family};
     auto data_rng = rng_.split();
     const auto data = generate_training_data(gen, data_rng);
 

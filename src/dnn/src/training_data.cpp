@@ -20,6 +20,16 @@ nn::Dataset generate_training_data(const GeneratorConfig& config, xpcore::Rng& r
     if (config.noise_min < 0.0 || config.noise_max < config.noise_min) {
         throw std::invalid_argument("generate_training_data: invalid noise range");
     }
+    if (config.noise_families.empty()) {
+        throw std::invalid_argument("generate_training_data: noise_families must be non-empty");
+    }
+    // Resolve family names once, before the parallel region: unknown names
+    // fail fast with a ValidationError instead of mid-generation.
+    std::vector<const noise::NoiseModel*> noise_models;
+    noise_models.reserve(config.noise_families.size());
+    for (const auto& family : config.noise_families) {
+        noise_models.push_back(&noise::noise_model(family));
+    }
     const std::size_t min_points = std::clamp(config.min_points, std::size_t{2}, kInputNeurons);
     const std::size_t max_points = std::clamp(config.max_points, min_points, kInputNeurons);
 
@@ -71,7 +81,10 @@ nn::Dataset generate_training_data(const GeneratorConfig& config, xpcore::Rng& r
                     // Noise + repetitions, modeling the experiment protocol.
                     const double level =
                         class_rng.uniform(config.noise_min, config.noise_max);
-                    noise::Injector injector(level, class_rng);
+                    const noise::NoiseModel& model = noise_models.size() == 1
+                                                         ? *noise_models.front()
+                                                         : *class_rng.pick(noise_models);
+                    noise::Injector injector(model, level, class_rng);
                     const std::size_t reps =
                         config.random_repetitions
                             ? static_cast<std::size_t>(class_rng.uniform_int(

@@ -60,6 +60,9 @@ struct EvalConfig {
     adaptive::ThresholdPolicy thresholds;
     /// Retrain once per cell instead of once per task (see above).
     bool amortize_adaptation = true;
+    /// Noise family injected into every cell's tasks; domain adaptation
+    /// trains on the same family, mirroring the task-property protocol.
+    std::string noise_family = "uniform";
 };
 
 /// Run the sweep for one parameter count on the session's classifier

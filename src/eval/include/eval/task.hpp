@@ -10,6 +10,7 @@
 /// (Fig. 2: the P+ are scaled across all dimensions simultaneously).
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "measure/experiment.hpp"
@@ -25,6 +26,9 @@ struct TaskConfig {
     std::size_t points_per_parameter = 5;
     std::size_t repetitions = 5;
     std::size_t extrapolation_points = 4;
+    /// Registered noise family injected into the repetitions. Unknown
+    /// names make make_task throw xpcore::ValidationError.
+    std::string noise_family = "uniform";
 };
 
 /// One generated task: ground truth, noisy experiments, evaluation points.

@@ -41,6 +41,7 @@ std::vector<CellOutcome> run_synthetic_evaluation(modeling::Session& session,
             cell_task.noise_min = std::max(0.0, noise_level * 0.8);
             cell_task.noise_max = std::max(noise_level * 1.2, cell_task.noise_min + 1e-6);
             cell_task.repetitions = config.repetitions;
+            cell_task.noise_family = config.noise_family;
             dnn_modeler.adapt(cell_task);
         }
 
@@ -51,6 +52,7 @@ std::vector<CellOutcome> run_synthetic_evaluation(modeling::Session& session,
             task_config.parameters = config.parameters;
             task_config.noise = noise_level;
             task_config.repetitions = config.repetitions;
+            task_config.noise_family = config.noise_family;
             const SyntheticTask task = make_task(task_config, cell_rng);
 
             // Regression baseline (always evaluated for the comparison).
@@ -59,7 +61,9 @@ std::vector<CellOutcome> run_synthetic_evaluation(modeling::Session& session,
             // Adaptive path: per-task noise estimate decides whether the
             // regression candidate competes with the DNN candidate.
             if (!config.amortize_adaptation) {
-                dnn_modeler.adapt(dnn::TaskProperties::from_experiment(task.experiments));
+                auto task_props = dnn::TaskProperties::from_experiment(task.experiments);
+                task_props.noise_family = config.noise_family;
+                dnn_modeler.adapt(task_props);
             }
             const auto dnn_result = dnn_modeler.model(task.experiments);
             const double estimated = noise::estimate_noise(task.experiments);

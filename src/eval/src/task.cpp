@@ -54,7 +54,7 @@ SyntheticTask make_task(const TaskConfig& config, xpcore::Rng& rng) {
     }
     task.experiments = measure::ExperimentSet(names);
 
-    noise::Injector injector(config.noise, rng);
+    noise::Injector injector(config.noise_family, config.noise, rng);
     std::vector<std::size_t> index(m, 0);
     for (;;) {
         measure::Coordinate point(m);

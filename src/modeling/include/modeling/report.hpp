@@ -14,9 +14,9 @@
 /// Reports serialize to a versioned JSON schema (documented in
 /// docs/FILE_FORMATS.md) that embeds the pmnf model schema:
 ///
-///     { "schema": "xpdnn.report", "version": 1,
+///     { "schema": "xpdnn.report", "version": 2,
 ///       "modeler": "adaptive", "config_hash": "9f2c...",
-///       "noise": { "estimate": 0.07, ... },
+///       "noise": { "estimate": 0.07, ..., "family": "uniform", ... },
 ///       "selection": { "winner": "dnn", ... },
 ///       "timings": { "regression_seconds": ..., ... },
 ///       "model": { "cv_smape": ..., "fit_smape": ..., "pmnf": { ... } },
@@ -40,8 +40,14 @@ class ExperimentSet;
 namespace modeling {
 
 /// Version of the report JSON schema emitted by to_json. Bump on any
-/// incompatible change; report_from_json rejects other versions.
-inline constexpr int kReportSchemaVersion = 1;
+/// incompatible change; report_from_json accepts versions in
+/// [kReportSchemaMinVersion, kReportSchemaVersion] and rejects the rest.
+/// v2 added the noise-family block ("family", "level", "score" inside
+/// "noise"); v1 documents parse with the uniform-family defaults.
+inline constexpr int kReportSchemaVersion = 2;
+
+/// Oldest report schema version report_from_json still parses.
+inline constexpr int kReportSchemaMinVersion = 1;
 
 /// The "schema" discriminator string of report documents.
 inline constexpr const char* kReportSchemaName = "xpdnn.report";
@@ -60,6 +66,12 @@ struct NoiseSummary {
     double max = 0.0;       ///< per-point maximum
     double mean = 0.0;      ///< per-point mean
     double median = 0.0;    ///< per-point median
+    /// Arbitrated noise family (noise::detect_family). "uniform" with
+    /// family_level == estimate and detection_score == 0 unless detection
+    /// actually ran (the noise diagnostic path and --noise-aware runs).
+    std::string family = "uniform";
+    double family_level = 0.0;     ///< winning family's level estimate
+    double detection_score = 0.0;  ///< winning family's misfit score
 };
 
 /// Full per-path timing breakdown. `total_seconds` covers the entire
@@ -93,7 +105,10 @@ struct Report {
 };
 
 /// Summarize an experiment set's noise (estimate + per-point statistics).
-NoiseSummary summarize_noise(const measure::ExperimentSet& set);
+/// With `detect`, additionally arbitrate the noise family (a fixed-seed
+/// Monte-Carlo comparison — deterministic but not free, so model paths only
+/// run it when asked to be noise-aware).
+NoiseSummary summarize_noise(const measure::ExperimentSet& set, bool detect = false);
 
 /// Serialize to the versioned report schema (single line, no trailing
 /// newline). to_json(report_from_json(s)) == s for serializer output.

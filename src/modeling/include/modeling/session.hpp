@@ -51,13 +51,19 @@ struct Options {
     std::size_t ensemble_members = 1;  ///< >1 routes "dnn" to the ensemble
     double group_tolerance = 0.10;     ///< batch noise-clustering tolerance
     bool use_cache = true;             ///< pretrain through the disk cache
+    /// Arbitrate the noise family before adaptive modeling
+    /// (adaptive::AdaptiveModeler::Config::noise_aware) and record it in
+    /// the report's noise block. Off by default: the uniform-only pipeline
+    /// stays bit-identical to the paper's.
+    bool noise_aware = false;
 
     /// The named network profile ("tiny", "fast", "paper"). Throws
     /// std::invalid_argument for an unknown name.
     static dnn::DnnConfig profile(const std::string& name);
 
     /// Options from parsed CLI arguments (--seed, --net, --aggregation,
-    /// --ensemble, --group-tolerance), defaults as above.
+    /// --ensemble, --group-tolerance, --noise-aware, --pretrain-noise),
+    /// defaults as above.
     static Options from_args(const xpcore::CliArgs& args);
 };
 

@@ -147,9 +147,17 @@ public:
         adaptive::AdaptiveModeler::Config config;
         config.thresholds = session_.options().thresholds;
         config.domain_adaptation = session_.options().domain_adaptation;
+        config.noise_aware = session_.options().noise_aware;
         config.regression = session_.options().regression;
         adaptive::AdaptiveModeler modeler(session_.classifier(), config);
         const auto outcome = modeler.model(set);
+        if (config.noise_aware) {
+            // The modeler already arbitrated the family; reuse its verdict
+            // instead of re-running the Monte-Carlo detection.
+            report.noise.family = outcome.noise_family;
+            report.noise.family_level = outcome.estimated_noise;
+            report.noise.detection_score = outcome.detection_score;
+        }
         report.winner = outcome.winner;
         report.used_regression = outcome.used_regression;
         report.used_dnn = outcome.used_dnn;
@@ -205,7 +213,9 @@ public:
 
     Report model(const measure::ExperimentSet& set, Context&) override {
         Report report;
-        report.noise = summarize_noise(set);
+        // The diagnostic path always arbitrates the family — identifying
+        // the noise is its entire job.
+        report.noise = summarize_noise(set, /*detect=*/true);
         return report;
     }
 };

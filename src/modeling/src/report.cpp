@@ -6,6 +6,7 @@
 
 #include "measure/experiment.hpp"
 #include "noise/estimator.hpp"
+#include "noise/model.hpp"
 #include "xpcore/error.hpp"
 #include "xpcore/parse.hpp"
 
@@ -79,9 +80,11 @@ public:
                 saw_schema = true;
             } else if (key == "version") {
                 report.version = parse_int();
-                if (report.version != kReportSchemaVersion) {
+                if (report.version < kReportSchemaMinVersion ||
+                    report.version > kReportSchemaVersion) {
                     fail_at(key_pos, "unsupported report version " +
                                          std::to_string(report.version) + " (expected " +
+                                         std::to_string(kReportSchemaMinVersion) + ".." +
                                          std::to_string(kReportSchemaVersion) + ")");
                 }
             } else if (key == "modeler") {
@@ -128,6 +131,11 @@ private:
             else if (key == "max") noise.max = parse_number();
             else if (key == "mean") noise.mean = parse_number();
             else if (key == "median") noise.median = parse_number();
+            // v2 keys; absent in v1 documents, whose defaults ("uniform",
+            // 0, 0) already say "no family detection ran".
+            else if (key == "family") noise.family = parse_string();
+            else if (key == "level") noise.family_level = parse_number();
+            else if (key == "score") noise.detection_score = parse_number();
             else fail_at(key_pos, "unknown noise key '" + key + "'");
         });
     }
@@ -394,7 +402,7 @@ std::string peek_first_key(const std::string& text) {
 
 }  // namespace
 
-NoiseSummary summarize_noise(const measure::ExperimentSet& set) {
+NoiseSummary summarize_noise(const measure::ExperimentSet& set, bool detect) {
     NoiseSummary summary;
     summary.estimate = noise::estimate_noise(set);
     const noise::NoiseStats stats = noise::analyze_noise(set);
@@ -402,6 +410,13 @@ NoiseSummary summarize_noise(const measure::ExperimentSet& set) {
     summary.max = stats.max;
     summary.mean = stats.mean;
     summary.median = stats.median;
+    summary.family_level = summary.estimate;
+    if (detect) {
+        const auto detection = noise::detect_family(set);
+        summary.family = detection.family;
+        summary.family_level = detection.level;
+        summary.detection_score = detection.score;
+    }
     return summary;
 }
 
@@ -420,7 +435,16 @@ std::string to_json(const Report& report) {
            ", \"min\": " + format_double(report.noise.min) +
            ", \"max\": " + format_double(report.noise.max) +
            ", \"mean\": " + format_double(report.noise.mean) +
-           ", \"median\": " + format_double(report.noise.median) + "}";
+           ", \"median\": " + format_double(report.noise.median);
+    if (report.version >= 2) {
+        // The family block is a v2 addition; serializing a parsed v1
+        // report stays v1 so the round-trip guarantee holds per version.
+        out += ", \"family\": ";
+        append_escaped(out, report.noise.family);
+        out += ", \"level\": " + format_double(report.noise.family_level) +
+               ", \"score\": " + format_double(report.noise.detection_score);
+    }
+    out += "}";
     out += ", \"selection\": {\"winner\": ";
     append_escaped(out, report.winner);
     out += std::string(", \"used_regression\": ") + (report.used_regression ? "true" : "false");

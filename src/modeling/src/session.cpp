@@ -6,7 +6,9 @@
 #include "dnn/cache.hpp"
 #include "measure/aggregation.hpp"
 #include "measure/experiment.hpp"
+#include "noise/model.hpp"
 #include "xpcore/cli.hpp"
+#include "xpcore/error.hpp"
 #include "xpcore/hash.hpp"
 #include "xpcore/timer.hpp"
 
@@ -37,6 +39,26 @@ Options Options::from_args(const xpcore::CliArgs& args) {
     options.regression.aggregation = aggregation;
     options.ensemble_members = static_cast<std::size_t>(args.get_int("ensemble", 1));
     options.group_tolerance = args.get_double("group-tolerance", 0.10);
+    options.noise_aware = args.get_bool("noise-aware", false);
+    if (args.has("pretrain-noise")) {
+        // Comma-separated family list, e.g. --pretrain-noise=uniform,lognormal.
+        // Validated against the registry up front: an unknown family is a
+        // ValidationError before any pretraining work starts.
+        std::vector<std::string> families;
+        const std::string spec = args.get("pretrain-noise", "");
+        std::size_t begin = 0;
+        while (begin <= spec.size()) {
+            const std::size_t end = std::min(spec.find(',', begin), spec.size());
+            std::string family = spec.substr(begin, end - begin);
+            if (!noise::is_registered_family(family)) {
+                throw xpcore::ValidationError(
+                    {"--pretrain-noise", 0, 0, "unknown noise family '" + family + "'"});
+            }
+            families.push_back(std::move(family));
+            begin = end + 1;
+        }
+        options.net.pretrain_noise_families = std::move(families);
+    }
     return options;
 }
 
@@ -66,6 +88,9 @@ std::uint64_t options_hash(const Options& options) {
     hash.mix_value(options.domain_adaptation);
     hash.mix_value(options.ensemble_members);
     hash.mix_value(options.group_tolerance);
+    hash.mix_value(options.noise_aware);
+    hash.mix_value(options.net.pretrain_noise_families.size());
+    for (const auto& family : options.net.pretrain_noise_families) hash.mix_string(family);
     return hash.state;
 }
 
@@ -137,6 +162,7 @@ Session::BatchReport Session::run_batch(const std::vector<Task>& tasks,
     adaptive::BatchModeler::Config config;
     config.adaptive.thresholds = options_.thresholds;
     config.adaptive.domain_adaptation = options_.domain_adaptation;
+    config.adaptive.noise_aware = options_.noise_aware;
     config.adaptive.regression = options_.regression;
     config.group_tolerance = group_tolerance;
     adaptive::BatchModeler batch(classifier(), config);
@@ -152,6 +178,11 @@ Session::BatchReport Session::run_batch(const std::vector<Task>& tasks,
         report.task = result.name;
         report.config_hash = config_hash_;
         report.noise = summarize_noise(tasks[i].experiments);
+        if (options_.noise_aware) {
+            report.noise.family = result.outcome.noise_family;
+            report.noise.family_level = result.outcome.estimated_noise;
+            report.noise.detection_score = result.outcome.detection_score;
+        }
         report.winner = result.outcome.winner;
         report.used_regression = result.outcome.used_regression;
         report.used_dnn = result.outcome.used_dnn;

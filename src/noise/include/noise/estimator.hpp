@@ -23,8 +23,14 @@
 
 namespace noise {
 
-/// Relative deviations of one measurement's repetitions from their mean.
-/// Returns an empty vector for fewer than two repetitions or a zero mean.
+/// Relative deviations of one repetition group from its mean. Returns an
+/// empty vector for fewer than two repetitions or a near-zero mean: means
+/// below 1e-9 of the largest magnitude in the group would turn the division
+/// into huge spurious deviations that poison the pooled rrd, so such groups
+/// are dropped entirely.
+std::vector<double> relative_deviations(std::span<const double> values);
+
+/// Relative deviations of one measurement's repetitions.
 std::vector<double> relative_deviations(const measure::Measurement& m);
 
 /// All relative deviations of an experiment set, pooled (the set D_V).

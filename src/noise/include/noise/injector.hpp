@@ -4,28 +4,46 @@
 /// Synthetic noise injection matching the paper's noise semantics.
 
 #include <cstddef>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "noise/model.hpp"
 #include "xpcore/rng.hpp"
 
 namespace noise {
 
-/// Applies multiplicative uniform noise of level `n` (fraction of the true
-/// value; n = 0.10 means +-5%) to synthetic measurements.
+/// Applies multiplicative noise of level `n` (fraction of the true value;
+/// n = 0.10 means +-5% for the default uniform family) to synthetic
+/// measurements. The distribution is any registered \ref NoiseModel; the
+/// default is the paper's uniform family.
 class Injector {
 public:
-    /// `level` must be >= 0.
+    /// Uniform-family injector (the paper's model). `level` must be >= 0;
+    /// a negative level throws xpcore::ValidationError.
     Injector(double level, xpcore::Rng& rng);
+
+    /// Injector for a specific family instance.
+    Injector(const NoiseModel& model, double level, xpcore::Rng& rng);
+
+    /// Injector for a registered family by name. Throws
+    /// xpcore::ValidationError for unknown families or a negative level.
+    Injector(std::string_view family, double level, xpcore::Rng& rng);
 
     double level() const { return level_; }
 
-    /// One noisy sample of the true value.
+    /// Name of the injected noise family.
+    const std::string& family() const { return model_->family(); }
+
+    /// One noisy sample of the true value. Level 0 returns the true value
+    /// without consuming a random draw, for every family.
     double sample(double true_value);
 
     /// `repetitions` noisy samples of the true value.
     std::vector<double> repetitions(double true_value, std::size_t repetitions);
 
 private:
+    const NoiseModel* model_;
     double level_;
     xpcore::Rng& rng_;
 };

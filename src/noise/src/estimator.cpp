@@ -1,21 +1,34 @@
 #include "noise/estimator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
-#include "xpcore/rng.hpp"
+#include "noise/model.hpp"
 #include "xpcore/stats.hpp"
 
 namespace noise {
 
-std::vector<double> relative_deviations(const measure::Measurement& m) {
-    if (m.values.size() < 2) return {};
-    const double mean = m.mean();
-    if (mean == 0.0) return {};
+std::vector<double> relative_deviations(std::span<const double> values) {
+    if (values.size() < 2) return {};
+    double mean = 0.0, max_abs = 0.0;
+    for (double v : values) {
+        mean += v;
+        max_abs = std::max(max_abs, std::abs(v));
+    }
+    mean /= static_cast<double>(values.size());
+    // Relative-epsilon cutoff: a mean this far below the group's magnitude
+    // only arises from cancellation (mixed-sign or all-zero groups), where
+    // "relative to the mean" is meaningless and the quotients explode.
+    if (std::abs(mean) <= 1e-9 * max_abs) return {};
     std::vector<double> rd;
-    rd.reserve(m.values.size());
-    for (double v : m.values) rd.push_back((v - mean) / mean);
+    rd.reserve(values.size());
+    for (double v : values) rd.push_back((v - mean) / mean);
     return rd;
+}
+
+std::vector<double> relative_deviations(const measure::Measurement& m) {
+    return relative_deviations(std::span<const double>(m.values));
 }
 
 std::vector<double> pooled_relative_deviations(const measure::ExperimentSet& set) {
@@ -37,66 +50,12 @@ double estimate_noise_raw(const measure::ExperimentSet& set) {
     return range_of_relative_deviation(pooled_relative_deviations(set));
 }
 
-namespace {
-
-/// Expected raw rrd for a given noise level and repetition profile, by
-/// Monte-Carlo over the same protocol (deterministic seed). Relative
-/// deviations do not depend on the measured values under multiplicative
-/// noise, so simulating with unit true values is exact.
-double expected_raw_rrd(const std::vector<std::size_t>& repetition_profile, double level,
-                        std::size_t trials) {
-    xpcore::Rng rng(0x5EEDCA11);
-    double sum = 0.0;
-    std::vector<double> values;
-    for (std::size_t t = 0; t < trials; ++t) {
-        double lo = 0.0, hi = 0.0;
-        bool first = true;
-        for (std::size_t reps : repetition_profile) {
-            values.clear();
-            double mean_v = 0.0;
-            for (std::size_t s = 0; s < reps; ++s) {
-                values.push_back(1.0 + rng.uniform(-level / 2.0, level / 2.0));
-                mean_v += values.back();
-            }
-            mean_v /= static_cast<double>(reps);
-            for (double v : values) {
-                const double rd = (v - mean_v) / mean_v;
-                if (first) {
-                    lo = hi = rd;
-                    first = false;
-                } else {
-                    lo = std::min(lo, rd);
-                    hi = std::max(hi, rd);
-                }
-            }
-        }
-        sum += hi - lo;
-    }
-    return sum / static_cast<double>(trials);
-}
-
-}  // namespace
-
 double estimate_noise(const measure::ExperimentSet& set) {
-    const double raw = estimate_noise_raw(set);
-    if (raw <= 0.0) return 0.0;
-
-    std::vector<std::size_t> repetition_profile;
-    for (const auto& m : set.measurements()) {
-        if (m.values.size() >= 2) repetition_profile.push_back(m.values.size());
-    }
-    if (repetition_profile.empty()) return 0.0;
-
-    // Invert level -> E[raw rrd | level] by fixed-point iteration. The
-    // mapping is close to linear, so three iterations converge well below
-    // the Monte-Carlo noise floor.
-    double level = raw;
-    for (int iteration = 0; iteration < 3; ++iteration) {
-        const double expected = expected_raw_rrd(repetition_profile, level, 48);
-        if (expected <= 0.0) break;
-        level = raw * (level / expected);
-    }
-    return level;
+    // The paper's estimator is the uniform family's: the Monte-Carlo
+    // debiasing now lives in NoiseModel::estimate_level, whose uniform
+    // sampling path is bit-identical to the pre-registry loop (pinned by
+    // the parity suite).
+    return noise_model("uniform").estimate_level(set);
 }
 
 std::vector<double> per_point_noise(const measure::ExperimentSet& set, bool bias_correct) {

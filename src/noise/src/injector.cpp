@@ -1,16 +1,32 @@
 #include "noise/injector.hpp"
 
-#include <stdexcept>
+#include "xpcore/error.hpp"
 
 namespace noise {
 
-Injector::Injector(double level, xpcore::Rng& rng) : level_(level), rng_(rng) {
-    if (level < 0.0) throw std::invalid_argument("noise::Injector: negative noise level");
+namespace {
+
+double validate_level(double level) {
+    if (level < 0.0) {
+        throw xpcore::ValidationError({"<noise>", 0, 0, "negative noise level"});
+    }
+    return level;
 }
+
+}  // namespace
+
+Injector::Injector(double level, xpcore::Rng& rng)
+    : model_(&noise_model("uniform")), level_(validate_level(level)), rng_(rng) {}
+
+Injector::Injector(const NoiseModel& model, double level, xpcore::Rng& rng)
+    : model_(&model), level_(validate_level(level)), rng_(rng) {}
+
+Injector::Injector(std::string_view family, double level, xpcore::Rng& rng)
+    : model_(&noise_model(family)), level_(validate_level(level)), rng_(rng) {}
 
 double Injector::sample(double true_value) {
     if (level_ == 0.0) return true_value;
-    return true_value * (1.0 + rng_.uniform(-level_ / 2.0, level_ / 2.0));
+    return model_->sample(true_value, level_, rng_);
 }
 
 std::vector<double> Injector::repetitions(double true_value, std::size_t repetitions) {

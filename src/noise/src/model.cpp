@@ -1,0 +1,557 @@
+#include "noise/model.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <map>
+#include <span>
+#include <string>
+
+#include "noise/estimator.hpp"
+#include "xpcore/error.hpp"
+#include "xpcore/hash.hpp"
+#include "xpcore/parse.hpp"
+#include "xpcore/stats.hpp"
+
+namespace noise {
+
+std::vector<double> NoiseModel::repetitions(double true_value, double level, std::size_t count,
+                                            xpcore::Rng& rng) const {
+    std::vector<double> out(count);
+    for (auto& v : out) v = sample(true_value, level, rng);
+    return out;
+}
+
+namespace {
+
+// All families share the variance normalization var(factor) = level^2 / 12,
+// the variance of the paper's U(-level/2, +level/2) factor, so one `level`
+// means the same perturbation strength everywhere. 1/sqrt(12):
+constexpr double kInvSqrt12 = 0.28867513459481288;
+
+/// The paper's model: factor 1 + U(-n/2, +n/2). The expression must stay
+/// exactly `true_value * (1.0 + u)` — the parity suite pins estimate_noise
+/// and the 17-kernel selections to this sampling path bit-for-bit.
+class UniformModel final : public NoiseModel {
+public:
+    const std::string& family() const override {
+        static const std::string name = "uniform";
+        return name;
+    }
+    double sample(double true_value, double level, xpcore::Rng& rng) const override {
+        return true_value * (1.0 + rng.uniform(-level / 2.0, level / 2.0));
+    }
+};
+
+/// Gaussian interference: factor 1 + N(0, n/sqrt(12)). A standard normal is
+/// drawn and scaled so level 0 stays a valid distribution parameterization.
+class GaussianModel final : public NoiseModel {
+public:
+    const std::string& family() const override {
+        static const std::string name = "gaussian";
+        return name;
+    }
+    double sample(double true_value, double level, xpcore::Rng& rng) const override {
+        return true_value * (1.0 + rng.normal(0.0, 1.0) * (level * kInvSqrt12));
+    }
+};
+
+/// Lognormal interference (heavy right tail, typical for contention): factor
+/// exp(N(mu, sigma)) with sigma^2 = ln(1 + n^2/12) and mu = -sigma^2/2, so
+/// the factor has unit mean and variance n^2/12.
+class LognormalModel final : public NoiseModel {
+public:
+    const std::string& family() const override {
+        static const std::string name = "lognormal";
+        return name;
+    }
+    double sample(double true_value, double level, xpcore::Rng& rng) const override {
+        const double sigma2 = std::log1p(level * level / 12.0);
+        const double sigma = std::sqrt(sigma2);
+        return true_value * std::exp(rng.normal(0.0, 1.0) * sigma - sigma2 / 2.0);
+    }
+};
+
+/// Two-segment multimodal pollution (Copik et al., "Extracting Clean
+/// Performance Models from Tainted Programs"): 75% of measurements carry the
+/// paper's uniform noise, 25% are tainted — shifted up by a full noise
+/// width, the second mode of a bimodal factor distribution.
+class MixtureModel final : public NoiseModel {
+public:
+    const std::string& family() const override {
+        static const std::string name = "mixture";
+        return name;
+    }
+    double sample(double true_value, double level, xpcore::Rng& rng) const override {
+        const double u = rng.uniform(-level / 2.0, level / 2.0);
+        const bool tainted = rng.chance(0.25);
+        return true_value * (1.0 + (tainted ? level + u : u));
+    }
+};
+
+using Registry = std::map<std::string, std::unique_ptr<const NoiseModel>, std::less<>>;
+
+Registry& registry() {
+    static Registry instance = [] {
+        Registry r;
+        const auto add = [&r](std::unique_ptr<const NoiseModel> model) {
+            std::string key = model->family();
+            r[std::move(key)] = std::move(model);
+        };
+        add(std::make_unique<UniformModel>());
+        add(std::make_unique<GaussianModel>());
+        add(std::make_unique<LognormalModel>());
+        add(std::make_unique<MixtureModel>());
+        return r;
+    }();
+    return instance;
+}
+
+std::string known_families_hint() {
+    std::string hint;
+    for (const auto& [name, model] : registry()) {
+        if (!hint.empty()) hint += ", ";
+        hint += name;
+    }
+    return hint;
+}
+
+}  // namespace
+
+void register_noise_model(std::unique_ptr<const NoiseModel> model) {
+    std::string key = model->family();
+    registry()[std::move(key)] = std::move(model);
+}
+
+bool is_registered_family(std::string_view family) {
+    return registry().find(family) != registry().end();
+}
+
+std::vector<std::string> registered_families() {
+    std::vector<std::string> names;
+    for (const auto& [name, model] : registry()) names.push_back(name);
+    return names;  // std::map iterates sorted
+}
+
+const NoiseModel& noise_model(std::string_view family) {
+    const auto it = registry().find(family);
+    if (it == registry().end()) {
+        throw xpcore::ValidationError({"<noise>", 0, 0,
+                                       "unknown noise family '" + std::string(family) +
+                                           "' (known: " + known_families_hint() + ")"});
+    }
+    return *it->second;
+}
+
+// ---- family:level spec parsing ---------------------------------------------
+
+namespace {
+
+/// Level token parsing with the repo's error taxonomy: undecodable text is
+/// a ParseError, a decodable but non-finite / out-of-range / negative value
+/// a ValidationError. Locale-independent via std::from_chars (one leading
+/// '+' accepted, as in xpcore::parse_double).
+double parse_level(std::string_view text, const std::string& source, std::size_t column) {
+    std::string_view t = text;
+    if (!t.empty() && t.front() == '+') t.remove_prefix(1);
+    double value = 0.0;
+    const char* last = t.data() + t.size();
+    const auto [ptr, ec] = std::from_chars(t.data(), last, value);
+    if (t.empty() || ptr != last || (ec != std::errc() && ec != std::errc::result_out_of_range)) {
+        throw xpcore::ParseError(
+            {source, 0, column, "malformed noise level '" + std::string(text) + "'"});
+    }
+    if (ec == std::errc::result_out_of_range || !std::isfinite(value)) {
+        throw xpcore::ValidationError(
+            {source, 0, column, "noise level '" + std::string(text) + "' is not a finite number"});
+    }
+    if (value < 0.0) {
+        throw xpcore::ValidationError({source, 0, column, "negative noise level"});
+    }
+    return value;
+}
+
+}  // namespace
+
+NoiseSpec parse_noise_spec(std::string_view text, const std::string& source) {
+    NoiseSpec spec;
+    const auto colon = text.find(':');
+    if (colon == std::string_view::npos) {
+        // Bare level ("0.25") keeps the historical uniform semantics; a bare
+        // family name ("lognormal") takes the default level.
+        double value = 0.0;
+        if (xpcore::parse_double(text, value)) {
+            spec.level = parse_level(text, source, 1);  // re-parse for range checks
+            return spec;
+        }
+        spec.family = std::string(noise_model(text).family());
+        return spec;
+    }
+    const std::string_view family = text.substr(0, colon);
+    const auto it = registry().find(family);
+    if (it == registry().end()) {
+        throw xpcore::ValidationError({source, 0, 1,
+                                       "unknown noise family '" + std::string(family) +
+                                           "' (known: " + known_families_hint() + ")"});
+    }
+    spec.family = it->first;
+    spec.level = parse_level(text.substr(colon + 1), source, colon + 2);
+    return spec;
+}
+
+// ---- family-conditional level estimation -----------------------------------
+
+namespace {
+
+/// Expected raw rrd for a family, level, and repetition profile, by
+/// Monte-Carlo over the same protocol (deterministic seed). Relative
+/// deviations do not depend on the measured values under multiplicative
+/// noise, so simulating with unit true values is exact. For the uniform
+/// family this loop is bit-identical to the pre-registry estimator.
+double expected_raw_rrd(const NoiseModel& model, const std::vector<std::size_t>& repetition_profile,
+                        double level, std::size_t trials) {
+    xpcore::Rng rng(0x5EEDCA11);
+    double sum = 0.0;
+    std::vector<double> values;
+    for (std::size_t t = 0; t < trials; ++t) {
+        double lo = 0.0, hi = 0.0;
+        bool first = true;
+        for (std::size_t reps : repetition_profile) {
+            values.clear();
+            double mean_v = 0.0;
+            for (std::size_t s = 0; s < reps; ++s) {
+                values.push_back(model.sample(1.0, level, rng));
+                mean_v += values.back();
+            }
+            mean_v /= static_cast<double>(reps);
+            for (double v : values) {
+                const double rd = (v - mean_v) / mean_v;
+                if (first) {
+                    lo = hi = rd;
+                    first = false;
+                } else {
+                    lo = std::min(lo, rd);
+                    hi = std::max(hi, rd);
+                }
+            }
+        }
+        sum += hi - lo;
+    }
+    return sum / static_cast<double>(trials);
+}
+
+std::vector<std::size_t> repetition_profile_of(const measure::ExperimentSet& set) {
+    std::vector<std::size_t> profile;
+    for (const auto& m : set.measurements()) {
+        if (m.values.size() >= 2) profile.push_back(m.values.size());
+    }
+    return profile;
+}
+
+}  // namespace
+
+double NoiseModel::estimate_level(const measure::ExperimentSet& set) const {
+    const double raw = estimate_noise_raw(set);
+    if (raw <= 0.0) return 0.0;
+
+    const auto repetition_profile = repetition_profile_of(set);
+    if (repetition_profile.empty()) return 0.0;
+
+    // Invert level -> E[raw rrd | level] by fixed-point iteration. The
+    // mapping is close to linear for every family, so three iterations
+    // converge well below the Monte-Carlo noise floor.
+    double level = raw;
+    for (int iteration = 0; iteration < 3; ++iteration) {
+        const double expected = expected_raw_rrd(*this, repetition_profile, level, 48);
+        if (expected <= 0.0) break;
+        level = raw * (level / expected);
+    }
+    return level;
+}
+
+// ---- family detection ------------------------------------------------------
+
+namespace {
+
+/// The shape statistics the arbiter compares: skewness and excess
+/// kurtosis of the pooled relative deviations, plus the skewness of the
+/// pooled per-point *log* deviations. The log-domain skew separates
+/// gaussian (left-skewed logs) from lognormal (symmetric logs) factors,
+/// which are indistinguishable by linear skew at low levels.
+struct ShapeStats {
+    double skew = 0.0;
+    double kurtosis = 0.0;
+    double log_skew = 0.0;
+    /// Quantile asymmetries (q_hi + q_lo - 2 median) / (q_hi - q_lo) of the
+    /// pooled linear and log deviations: self-normalizing and nearly immune
+    /// to the tail noise that inflates the variance of moment skewness for
+    /// heavy-tailed families.
+    double decile_asymmetry = 0.0;
+    double quartile_asymmetry = 0.0;
+    double log_decile_asymmetry = 0.0;
+    /// Standardized quantile profile of the pooled deviations: the
+    /// quantiles at kQuantilePoints, each divided by the pooled standard
+    /// deviation. Scale-free (the level cancels), so it captures the full
+    /// CDF *shape* — far more statistical power against near-symmetric
+    /// alternatives (gaussian vs lognormal at low levels) than the
+    /// bulk-dominated third moment alone.
+    std::vector<double> std_quantiles;
+};
+
+double quantile_asymmetry(std::span<const double> xs, double upper) {
+    if (xs.size() < 8) return 0.0;
+    const double hi = xpcore::quantile(xs, upper);
+    const double lo = xpcore::quantile(xs, 1.0 - upper);
+    const double mid = xpcore::median(xs);
+    const double spread = hi - lo;
+    if (spread <= 0.0) return 0.0;
+    return (hi + lo - 2.0 * mid) / spread;
+}
+
+constexpr double kQuantilePoints[] = {0.05, 0.15, 0.25, 0.35, 0.45,
+                                      0.55, 0.65, 0.75, 0.85, 0.95};
+
+std::vector<double> standardized_quantiles(std::span<const double> xs) {
+    std::vector<double> out(std::size(kQuantilePoints), 0.0);
+    if (xs.size() < 8) return out;
+    const double spread = xpcore::stddev(xs);
+    if (spread <= 0.0) return out;
+    for (std::size_t q = 0; q < out.size(); ++q) {
+        out[q] = xpcore::quantile(xs, kQuantilePoints[q]) / spread;
+    }
+    return out;
+}
+
+double skewness_of(const std::vector<double>& xs) {
+    const std::size_t n = xs.size();
+    if (n < 3) return 0.0;
+    double mean = 0.0;
+    for (double x : xs) mean += x;
+    mean /= static_cast<double>(n);
+    double m2 = 0.0, m3 = 0.0;
+    for (double x : xs) {
+        const double d = x - mean;
+        m2 += d * d;
+        m3 += d * d * d;
+    }
+    m2 /= static_cast<double>(n);
+    m3 /= static_cast<double>(n);
+    if (m2 <= 1e-24) return 0.0;
+    return m3 / std::pow(m2, 1.5);
+}
+
+double excess_kurtosis_of(const std::vector<double>& xs) {
+    const std::size_t n = xs.size();
+    if (n < 4) return 0.0;
+    double mean = 0.0;
+    for (double x : xs) mean += x;
+    mean /= static_cast<double>(n);
+    double m2 = 0.0, m4 = 0.0;
+    for (double x : xs) {
+        const double d = x - mean;
+        m2 += d * d;
+        m4 += d * d * d * d;
+    }
+    m2 /= static_cast<double>(n);
+    m4 /= static_cast<double>(n);
+    if (m2 <= 1e-24) return 0.0;
+    return m4 / (m2 * m2) - 3.0;
+}
+
+/// Shape statistics of a list of repetition groups. Linear deviations use
+/// the same demeaning (and near-zero-mean guard) as relative_deviations;
+/// log deviations demean ln(v) per group and skip groups with non-positive
+/// values, so truth magnitudes cancel in both domains.
+ShapeStats shape_of(const std::vector<std::vector<double>>& groups,
+                    std::size_t* pooled_count = nullptr) {
+    std::vector<double> linear, logs;
+    for (const auto& values : groups) {
+        const auto rd = relative_deviations(values);
+        linear.insert(linear.end(), rd.begin(), rd.end());
+        if (values.size() < 2) continue;
+        if (std::any_of(values.begin(), values.end(), [](double v) { return v <= 0.0; })) continue;
+        double log_mean = 0.0;
+        for (double v : values) log_mean += std::log(v);
+        log_mean /= static_cast<double>(values.size());
+        for (double v : values) logs.push_back(std::log(v) - log_mean);
+    }
+    if (pooled_count) *pooled_count = linear.size();
+    ShapeStats stats;
+    stats.skew = skewness_of(linear);
+    stats.kurtosis = excess_kurtosis_of(linear);
+    stats.log_skew = skewness_of(logs);
+    stats.decile_asymmetry = quantile_asymmetry(linear, 0.90);
+    stats.quartile_asymmetry = quantile_asymmetry(linear, 0.75);
+    stats.log_decile_asymmetry = quantile_asymmetry(logs, 0.90);
+    stats.std_quantiles = standardized_quantiles(linear);
+    return stats;
+}
+
+/// Expected pooled-deviation standard deviation for a family, level, and
+/// repetition profile (deterministic Monte-Carlo, like expected_raw_rrd).
+double expected_pooled_spread(const NoiseModel& model,
+                              const std::vector<std::size_t>& profile, double level,
+                              std::size_t trials) {
+    xpcore::Rng rng(0x5EEDCA11);
+    double sum = 0.0;
+    std::vector<double> pooled;
+    for (std::size_t t = 0; t < trials; ++t) {
+        pooled.clear();
+        for (std::size_t reps : profile) {
+            const auto rd = relative_deviations(model.repetitions(1.0, level, reps, rng));
+            pooled.insert(pooled.end(), rd.begin(), rd.end());
+        }
+        sum += xpcore::stddev(pooled);
+    }
+    return sum / static_cast<double>(trials);
+}
+
+/// Family-conditional level fit for *reference calibration*: matches the
+/// standard deviation of the pooled deviations instead of their range. The
+/// public estimate_level keeps the paper's range-based rrd (and its uniform
+/// byte-parity), but the range statistic is extreme-value noise for
+/// heavy-tailed families — references simulated at a variance-matched level
+/// track the observed set far more tightly.
+double reference_level(const NoiseModel& model, const std::vector<std::size_t>& profile,
+                       double observed_spread) {
+    if (observed_spread <= 0.0) return 0.0;
+    double level = observed_spread * 3.4641016151377544;  // sqrt(12): exact for uniform
+    for (int iteration = 0; iteration < 3; ++iteration) {
+        const double expected = expected_pooled_spread(model, profile, level, 48);
+        if (expected <= 0.0) break;
+        level *= observed_spread / expected;
+    }
+    return level;
+}
+
+/// Flatten the statistics into one vector for multivariate scoring.
+std::vector<double> statistics_vector(const ShapeStats& stats) {
+    std::vector<double> v = {stats.skew,
+                             stats.kurtosis,
+                             stats.log_skew,
+                             stats.decile_asymmetry,
+                             stats.quartile_asymmetry,
+                             stats.log_decile_asymmetry};
+    v.insert(v.end(), stats.std_quantiles.begin(), stats.std_quantiles.end());
+    return v;
+}
+
+/// Gaussian negative log-likelihood (x2, up to a shared constant) of the
+/// observed statistic vector against the reference trials: Mahalanobis
+/// distance plus log-determinant. The full covariance matters twice over —
+/// the statistics are strongly correlated, so a diagonal score would count
+/// shared sampling noise once per statistic and drown the discriminating
+/// directions; and the log-det normalization keeps a loose-spread family
+/// from "accepting" everything. The covariance is ridge-regularized
+/// (trials are finite) and solved by an in-place Cholesky factorization.
+double reference_nll(const std::vector<std::vector<double>>& trials,
+                     const std::vector<double>& observed) {
+    const std::size_t n = trials.size();
+    const std::size_t d = observed.size();
+    std::vector<double> mean(d, 0.0);
+    for (const auto& t : trials) {
+        for (std::size_t i = 0; i < d; ++i) mean[i] += t[i];
+    }
+    for (double& m : mean) m /= static_cast<double>(n);
+
+    std::vector<double> cov(d * d, 0.0);
+    for (const auto& t : trials) {
+        for (std::size_t i = 0; i < d; ++i) {
+            const double di = t[i] - mean[i];
+            for (std::size_t j = 0; j <= i; ++j) cov[i * d + j] += di * (t[j] - mean[j]);
+        }
+    }
+    for (double& c : cov) c /= static_cast<double>(n - 1);
+
+    // Ridge: a fraction of the average variance plus an absolute floor, so
+    // near-degenerate directions (quantile statistics of tiny sets) cannot
+    // blow up the inverse.
+    double trace = 0.0;
+    for (std::size_t i = 0; i < d; ++i) trace += cov[i * d + i];
+    const double ridge = 0.05 * trace / static_cast<double>(d) + 1e-12;
+    for (std::size_t i = 0; i < d; ++i) cov[i * d + i] += ridge;
+
+    // In-place lower Cholesky cov = L L^T.
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double sum = cov[i * d + j];
+            for (std::size_t k = 0; k < j; ++k) sum -= cov[i * d + k] * cov[j * d + k];
+            if (i == j) {
+                cov[i * d + i] = std::sqrt(std::max(sum, 1e-300));
+            } else {
+                cov[i * d + j] = sum / cov[j * d + j];
+            }
+        }
+    }
+
+    // Mahalanobis^2 = ||L^-1 (x - mean)||^2 by forward substitution;
+    // log det(cov) = 2 sum ln(L_ii).
+    double mahalanobis = 0.0, log_det = 0.0;
+    std::vector<double> y(d, 0.0);
+    for (std::size_t i = 0; i < d; ++i) {
+        double sum = observed[i] - mean[i];
+        for (std::size_t k = 0; k < i; ++k) sum -= cov[i * d + k] * y[k];
+        y[i] = sum / cov[i * d + i];
+        mahalanobis += y[i] * y[i];
+        log_det += 2.0 * std::log(cov[i * d + i]);
+    }
+    return mahalanobis + log_det;
+}
+
+}  // namespace
+
+FamilyDetection detect_family(const measure::ExperimentSet& set) {
+    FamilyDetection out;
+
+    std::vector<std::vector<double>> groups;
+    for (const auto& m : set.measurements()) {
+        if (m.values.size() >= 2) groups.push_back(m.values);
+    }
+    std::vector<std::size_t> profile;
+    for (const auto& g : groups) profile.push_back(g.size());
+
+    std::size_t pooled = 0;
+    const ShapeStats observed = shape_of(groups, &pooled);
+    out.level = noise_model("uniform").estimate_level(set);
+    if (pooled < 10 || estimate_noise_raw(set) <= 0.0) return out;  // uniform fallback, score 0
+
+    const double observed_spread = xpcore::stddev(pooled_relative_deviations(set));
+
+    constexpr std::size_t kTrials = 128;
+    bool first = true;
+    for (const auto& name : registered_families()) {
+        const NoiseModel& model = noise_model(name);
+        const double level = reference_level(model, profile, observed_spread);
+
+        // Reference distribution of the statistics under this family at its
+        // own level estimate, over the set's exact repetition profile. All
+        // families share one fixed seed (common random numbers): references
+        // of near-identical hypotheses then carry *correlated* Monte-Carlo
+        // error, which cancels in the score difference instead of deciding
+        // close calls by simulation noise.
+        xpcore::Rng rng(0x5EEDFA417EA5ull);
+
+        std::vector<std::vector<double>> trial_stats;
+        trial_stats.reserve(kTrials);
+        std::vector<std::vector<double>> trial_groups(profile.size());
+        for (std::size_t t = 0; t < kTrials; ++t) {
+            for (std::size_t g = 0; g < profile.size(); ++g) {
+                trial_groups[g] = model.repetitions(1.0, level, profile[g], rng);
+            }
+            trial_stats.push_back(statistics_vector(shape_of(trial_groups)));
+        }
+        const double score = reference_nll(trial_stats, statistics_vector(observed));
+        out.scores.emplace_back(name, score);
+        if (first || score < out.score) {
+            out.family = name;
+            out.score = score;
+            first = false;
+        }
+    }
+    // The reported level is the winner's own (paper-style, range-based)
+    // estimate — the reference_level fit above is calibration-internal.
+    out.level = noise_model(out.family).estimate_level(set);
+    return out;
+}
+
+}  // namespace noise

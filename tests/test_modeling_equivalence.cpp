@@ -125,9 +125,11 @@ TEST(Equivalence, AdaptiveMatchesFreshModelerPerKernel) {
     const auto options = equivalence_options();
     warm_cache(options);
     modeling::Session session(options);
-    const adaptive::AdaptiveModeler::Config config{options.thresholds,
-                                                   options.domain_adaptation,
-                                                   options.regression};
+    adaptive::AdaptiveModeler::Config config;
+    config.thresholds = options.thresholds;
+    config.domain_adaptation = options.domain_adaptation;
+    config.noise_aware = options.noise_aware;
+    config.regression = options.regression;
     for (const auto& task : case_study_tasks()) {
         dnn::DnnModeler classifier(options.net, options.seed);
         ASSERT_TRUE(dnn::ensure_pretrained(classifier, options.seed)) << task.name;
@@ -157,9 +159,12 @@ TEST(Equivalence, BatchMatchesDirectBatchModeler) {
 
     dnn::DnnModeler classifier(options.net, options.seed);
     ASSERT_TRUE(dnn::ensure_pretrained(classifier, options.seed));
-    adaptive::BatchModeler direct(
-        classifier, {{options.thresholds, options.domain_adaptation, options.regression},
-                     options.group_tolerance});
+    adaptive::AdaptiveModeler::Config adaptive_config;
+    adaptive_config.thresholds = options.thresholds;
+    adaptive_config.domain_adaptation = options.domain_adaptation;
+    adaptive_config.noise_aware = options.noise_aware;
+    adaptive_config.regression = options.regression;
+    adaptive::BatchModeler direct(classifier, {adaptive_config, options.group_tolerance});
     const auto expected = direct.model(tasks);
 
     ASSERT_EQ(batch.reports.size(), expected.size());

@@ -6,6 +6,7 @@
 
 #include "noise/estimator.hpp"
 #include "noise/injector.hpp"
+#include "xpcore/error.hpp"
 #include "xpcore/rng.hpp"
 #include "xpcore/stats.hpp"
 
@@ -31,6 +32,24 @@ TEST(RelativeDeviation, ZeroMeanEmpty) {
     EXPECT_TRUE(relative_deviations(m).empty());
 }
 
+TEST(RelativeDeviation, NearZeroMeanGuard) {
+    // Mixed-sign values whose mean is vanishingly small relative to their
+    // magnitude: dividing by it would explode the quotients to ~1e13, so
+    // the relative-epsilon guard drops the group instead.
+    measure::Measurement m{{1.0}, {1.0e6, -1.0e6 + 1e-7}};
+    EXPECT_TRUE(relative_deviations(m).empty());
+}
+
+TEST(RelativeDeviation, TinyMagnitudesAreNotDropped) {
+    // An all-positive group of tiny values has a mean of the same scale as
+    // the values; the guard must not treat "small" as "degenerate".
+    measure::Measurement m{{1.0}, {9.0e-300, 1.1e-299}};
+    const auto rd = relative_deviations(m);
+    ASSERT_EQ(rd.size(), 2u);
+    EXPECT_NEAR(rd[0], -0.1, 1e-9);
+    EXPECT_NEAR(rd[1], 0.1, 1e-9);
+}
+
 TEST(Rrd, RangeOfKnownSet) {
     const std::vector<double> deviations = {-0.05, 0.02, 0.08};
     EXPECT_NEAR(range_of_relative_deviation(deviations), 0.13, 1e-12);
@@ -50,7 +69,9 @@ TEST(Injector, ZeroLevelIsExact) {
 
 TEST(Injector, NegativeLevelThrows) {
     xpcore::Rng rng(1);
-    EXPECT_THROW(Injector(-0.1, rng), std::invalid_argument);
+    // A structured ValidationError, not std::invalid_argument: the CLI maps
+    // it to exit code 2 with a source-tagged diagnostic.
+    EXPECT_THROW(Injector(-0.1, rng), xpcore::ValidationError);
 }
 
 TEST(Injector, SamplesWithinHalfLevel) {

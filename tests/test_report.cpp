@@ -98,8 +98,46 @@ TEST(ReportJson, ParseErrorsCarryLineAndColumn) {
 }
 
 TEST(ReportJson, UnsupportedVersionIsRejected) {
-    const std::string text = "{\"schema\": \"xpdnn.report\", \"version\": 2}";
+    const std::string text = "{\"schema\": \"xpdnn.report\", \"version\": 3}";
     EXPECT_THROW((void)modeling::report_from_json(text), xpcore::ParseError);
+}
+
+TEST(ReportJson, Version1DocumentsStillParse) {
+    // A v1 document has no family keys in the noise block; parsing fills
+    // the uniform-family defaults, and re-serializing stays v1 (no family
+    // block), so the byte round trip holds per version.
+    const std::string text =
+        "{\"schema\": \"xpdnn.report\", \"version\": 1, \"modeler\": \"noise\", "
+        "\"config_hash\": \"0000000000000000\", "
+        "\"noise\": {\"estimate\": 0.125, \"min\": 0.0625, \"max\": 0.5, \"mean\": 0.25, "
+        "\"median\": 0.125}, "
+        "\"selection\": {\"winner\": \"\", \"used_regression\": false, "
+        "\"used_dnn\": false, \"cluster\": 0}, "
+        "\"timings\": {\"regression_seconds\": 0, \"dnn_seconds\": 0, "
+        "\"total_seconds\": 0}, \"alternatives\": []}";
+    const auto parsed = modeling::report_from_json(text);
+    EXPECT_EQ(parsed.version, 1);
+    EXPECT_DOUBLE_EQ(parsed.noise.estimate, 0.125);
+    EXPECT_EQ(parsed.noise.family, "uniform");
+    EXPECT_DOUBLE_EQ(parsed.noise.family_level, 0.0);
+    EXPECT_DOUBLE_EQ(parsed.noise.detection_score, 0.0);
+    EXPECT_EQ(modeling::to_json(parsed), text);
+}
+
+TEST(ReportJson, Version2EmitsNoiseFamilyBlock) {
+    auto report = sample_report();
+    report.noise.family = "lognormal";
+    report.noise.family_level = 0.11;
+    report.noise.detection_score = 4.5;
+    const std::string text = modeling::to_json(report);
+    EXPECT_NE(text.find("\"family\": \"lognormal\""), std::string::npos);
+    EXPECT_NE(text.find("\"level\": 0.11"), std::string::npos);
+    EXPECT_NE(text.find("\"score\": 4.5"), std::string::npos);
+    const auto parsed = modeling::report_from_json(text);
+    EXPECT_EQ(parsed.noise.family, "lognormal");
+    EXPECT_DOUBLE_EQ(parsed.noise.family_level, 0.11);
+    EXPECT_DOUBLE_EQ(parsed.noise.detection_score, 4.5);
+    EXPECT_EQ(modeling::to_json(parsed), text);
 }
 
 TEST(ReportJson, TruncatedDocumentIsRejected) {

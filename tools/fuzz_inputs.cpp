@@ -19,14 +19,21 @@
 //      `xpdnn predict` entry point, which accepts both schemas): must
 //      either return a model or throw a typed xpcore::Error — never any
 //      other exception, never a crash.
+//   6. Noise specs through parse_noise_spec: well-formed family:level
+//      strings must round-trip exactly; arbitrary text must parse or be
+//      rejected with a typed xpcore::Error.
+//   7. The noise-family zoo itself: every registered family at a random
+//      level must sample finite values, estimate a finite non-negative
+//      level, and produce a registered detect_family verdict.
 //
 // The run is fully deterministic for a given --seed, so any failure is
 // reproducible with the printed iteration number.
 //
-// Usage: fuzz_inputs [--iterations=N] [--seed=S] [--only=report] [--verbose]
+// Usage: fuzz_inputs [--iterations=N] [--seed=S] [--only=report|noise] [--verbose]
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
@@ -38,6 +45,8 @@
 #include "measure/archive.hpp"
 #include "measure/io.hpp"
 #include "modeling/report.hpp"
+#include "noise/injector.hpp"
+#include "noise/model.hpp"
 #include "pmnf/model.hpp"
 #include "pmnf/serialize.hpp"
 #include "xpcore/error.hpp"
@@ -322,6 +331,11 @@ modeling::Report random_report(xpcore::Rng& rng) {
     report.noise.max = rng.uniform(0.1, 3.0);
     report.noise.mean = rng.uniform(0.0, 1.0);
     report.noise.median = rng.uniform(0.0, 1.0);
+    // Version-2 noise block: a registered family plus the arbiter fields, so
+    // the clean-report round trip covers the family-aware schema.
+    report.noise.family = rng.pick(noise::registered_families());
+    report.noise.family_level = rng.uniform(0.0, 1.0);
+    report.noise.detection_score = rng.uniform(-50.0, 50.0);
     report.winner = rng.chance(0.5) ? "regression" : "dnn";
     report.used_regression = rng.chance(0.7);
     report.used_dnn = rng.chance(0.7);
@@ -399,6 +413,101 @@ void check_mutated_document(Stats& stats, std::uint64_t iter, const std::string&
     }
 }
 
+// ---- noise-family zoo -----------------------------------------------------
+
+/// Well-formed family:level specs must parse back exactly; arbitrary spec
+/// text must either parse or throw a typed xpcore::Error (ParseError for
+/// undecodable text, ValidationError for out-of-domain values) — never any
+/// other exception, never a crash.
+void check_noise_spec(Stats& stats, std::uint64_t iter, xpcore::Rng& rng) {
+    std::string text;
+    if (rng.chance(0.4)) {  // clean spec: must round-trip exactly
+        const std::string family = rng.pick(noise::registered_families());
+        const double level = rng.uniform(0.0, 2.0);
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%s:%.17g", family.c_str(), level);
+        text = buffer;
+        try {
+            const auto spec = noise::parse_noise_spec(text, "<fuzz>");
+            if (spec.family != family || spec.level != level) {
+                violation(stats, iter, "clean noise spec does not round-trip exactly", text);
+                return;
+            }
+            ++stats.accepted;
+        } catch (const std::exception& e) {
+            violation(stats, iter, std::string("clean noise spec rejected: ") + e.what(), text);
+        }
+        return;
+    }
+    // Garbage: random characters drawn from a charset biased towards family
+    // names, digits, separators, and poison tokens.
+    static const std::string charset = "uniformgauslX:0123456789.,+-eE \tnaif%";
+    const std::size_t length = static_cast<std::size_t>(rng.uniform_int(0, 24));
+    for (std::size_t i = 0; i < length; ++i) {
+        text += charset[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(charset.size()) - 1))];
+    }
+    try {
+        const auto spec = noise::parse_noise_spec(text, "<fuzz>");
+        if (!noise::is_registered_family(spec.family) || !std::isfinite(spec.level) ||
+            spec.level < 0.0) {
+            violation(stats, iter, "parse_noise_spec accepted an invalid spec", text);
+            return;
+        }
+        ++stats.accepted;
+    } catch (const xpcore::Error& e) {
+        if (std::string(e.what()).empty()) {
+            violation(stats, iter, "noise spec rejected with an empty message", text);
+            return;
+        }
+        ++stats.rejected;
+    } catch (const std::exception& e) {
+        violation(stats, iter,
+                  std::string("parse_noise_spec raised non-taxonomy exception: ") + e.what(), text);
+    }
+}
+
+/// Every registered family at a random level must inject finite values,
+/// estimate a finite non-negative level, and yield a registered arbiter
+/// verdict with finite score — on clean inputs nothing may throw.
+void check_noise_models(Stats& stats, std::uint64_t iter, xpcore::Rng& rng) {
+    const std::string family = rng.pick(noise::registered_families());
+    const double level = rng.uniform(0.0, 1.2);
+    std::ostringstream desc;
+    desc << "noise family=" << family << " level=" << level;
+    try {
+        measure::ExperimentSet set({"p"});
+        noise::Injector injector(family, level, rng);
+        const int points = static_cast<int>(rng.uniform_int(2, 20));
+        const std::size_t reps = static_cast<std::size_t>(rng.uniform_int(1, 6));
+        for (int p = 1; p <= points; ++p) {
+            const double truth = rng.uniform(0.1, 1e6);
+            for (double value : injector.repetitions(truth, reps)) {
+                if (!std::isfinite(value)) {
+                    violation(stats, iter, "injector produced a non-finite value", desc.str());
+                    return;
+                }
+            }
+            set.add({static_cast<double>(p)}, injector.repetitions(truth, reps));
+        }
+        const double estimated = noise::noise_model(family).estimate_level(set);
+        if (!std::isfinite(estimated) || estimated < 0.0) {
+            violation(stats, iter, "estimate_level is non-finite or negative", desc.str());
+            return;
+        }
+        const auto detection = noise::detect_family(set);
+        if (!noise::is_registered_family(detection.family) || !std::isfinite(detection.level) ||
+            detection.level < 0.0 || !std::isfinite(detection.score)) {
+            violation(stats, iter, "detect_family verdict violates its invariants", desc.str());
+            return;
+        }
+        ++stats.accepted;
+    } catch (const std::exception& e) {
+        violation(stats, iter, std::string("noise pipeline threw on clean input: ") + e.what(),
+                  desc.str());
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -406,6 +515,7 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 1;
     bool verbose = false;
     bool only_report = false;
+    bool only_noise = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--iterations=", 0) == 0) {
@@ -414,11 +524,13 @@ int main(int argc, char** argv) {
             seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
         } else if (arg == "--only=report") {
             only_report = true;
+        } else if (arg == "--only=noise") {
+            only_noise = true;
         } else if (arg == "--verbose") {
             verbose = true;
         } else {
-            std::cerr
-                << "usage: fuzz_inputs [--iterations=N] [--seed=S] [--only=report] [--verbose]\n";
+            std::cerr << "usage: fuzz_inputs [--iterations=N] [--seed=S] "
+                         "[--only=report|noise] [--verbose]\n";
             return 2;
         }
     }
@@ -450,7 +562,9 @@ int main(int argc, char** argv) {
 
     for (std::uint64_t iter = 0; iter < iterations; ++iter) {
         xpcore::Rng rng = master.split();
-        switch (only_report ? 5 + iter % 2 : iter % 7) {
+        switch (only_report ? 5 + iter % 2
+                            : only_noise ? 7 + iter % 2
+                                         : iter % 9) {
             case 0: check_clean(stats, iter, clean_set_text(rng), load_set, save_set); break;
             case 1: check_clean(stats, iter, clean_archive_text(rng), load_arch, save_arch); break;
             case 2: check_mutated(stats, iter, mutate(clean_set_text(rng), rng), try_set); break;
@@ -464,6 +578,8 @@ int main(int argc, char** argv) {
                 check_mutated_document(stats, iter, mutate(doc, rng));
                 break;
             }
+            case 7: check_noise_spec(stats, iter, rng); break;
+            case 8: check_noise_models(stats, iter, rng); break;
         }
         if (verbose && (iter + 1) % 1000 == 0) {
             std::cerr << "  " << (iter + 1) << "/" << iterations << " iterations\n";
