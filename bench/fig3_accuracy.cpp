@@ -5,7 +5,9 @@
 /// parameter counts m = 1, 2, 3 and noise levels 2-100%.
 ///
 /// Options: --functions=N (tasks per cell), --params=M (only one m),
-/// --seed=S, --paper-scale (100000 functions, full-size network).
+/// --seed=S, --paper-scale (100000 functions, full-size network),
+/// --noise-family=F (family injected into every cell's tasks),
+/// --pretrain-noise=F1,F2,... (family mix the network pretrains on).
 
 #include <cstdio>
 #include <fstream>
@@ -16,7 +18,9 @@
 #include "dnn/cache.hpp"
 #include "eval/runner.hpp"
 #include "modeling/session.hpp"
+#include "noise/model.hpp"
 #include "xpcore/cli.hpp"
+#include "xpcore/error.hpp"
 #include "xpcore/rng.hpp"
 #include "xpcore/stats.hpp"
 #include "xpcore/table.hpp"
@@ -47,11 +51,12 @@ void append_csv(const std::string& path, std::size_t parameters,
 
 void run_for_parameters(modeling::Session& session, std::size_t parameters,
                         std::size_t functions, std::uint64_t seed,
-                        const std::string& csv_path) {
+                        const std::string& noise_family, const std::string& csv_path) {
     eval::EvalConfig config;
     config.parameters = parameters;
     config.functions_per_cell = functions;
     config.seed = seed + parameters;
+    config.noise_family = noise_family;
 
     xpcore::WallTimer timer;
     const auto cells = eval::run_synthetic_evaluation(session, config);
@@ -83,12 +88,14 @@ void run_for_parameters(modeling::Session& session, std::size_t parameters,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
     const xpcore::CliArgs args(argc, argv);
     const bool paper_scale = args.get_bool("paper-scale", false);
     const auto functions =
         static_cast<std::size_t>(args.get_int("functions", paper_scale ? 100000 : 30));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    const std::string noise_family = args.get("noise-family", "uniform");
+    noise::parse_family_list(noise_family, "--noise-family");  // fail fast on typos
 
     std::printf("== Fig. 3(a-c): model accuracy, regression vs. adaptive ==\n");
     std::printf("paper expectation: both >90%% correct for n <= 10%%; adaptive wins for\n");
@@ -97,6 +104,19 @@ int main(int argc, char** argv) {
     modeling::Options options;
     options.net_profile = paper_scale ? "paper" : "fast";
     options.net = modeling::Options::profile(options.net_profile);
+    if (args.has("pretrain-noise")) {
+        options.net.pretrain_noise_families =
+            noise::parse_family_list(args.get("pretrain-noise", ""), "--pretrain-noise");
+    }
+    if (noise_family != "uniform" || args.has("pretrain-noise")) {
+        std::string mix;
+        for (const auto& family : options.net.pretrain_noise_families) {
+            if (!mix.empty()) mix += ",";
+            mix += family;
+        }
+        std::printf("noise: injecting '%s', pretraining on '%s'\n", noise_family.c_str(),
+                    mix.c_str());
+    }
     modeling::Session session(options);
     xpcore::WallTimer pretrain_timer;
     const bool cached = std::filesystem::exists(
@@ -108,15 +128,18 @@ int main(int argc, char** argv) {
     const std::string csv_path = args.get("csv", "");
     if (args.has("params")) {
         run_for_parameters(session, static_cast<std::size_t>(args.get_int("params", 1)),
-                           functions, seed, csv_path);
+                           functions, seed, noise_family, csv_path);
     } else {
         for (std::size_t m = 1; m <= 3; ++m) {
             // Keep the m = 3 default affordable: its grids are 125 points.
             const std::size_t cell_functions = (m == 3 && !args.has("functions") && !paper_scale)
                                                    ? functions / 2
                                                    : functions;
-            run_for_parameters(session, m, cell_functions, seed, csv_path);
+            run_for_parameters(session, m, cell_functions, seed, noise_family, csv_path);
         }
     }
     return 0;
+} catch (const xpcore::Error& error) {
+    std::fprintf(stderr, "fig3_accuracy: %s\n", error.what());
+    return 2;
 }

@@ -1,0 +1,81 @@
+/// \file ingest_throughput.cpp
+/// Million-measurement ingestion benchmark: generates a synthetic
+/// measurement campaign, writes it as a text archive and — through the
+/// streaming append path — as an "xpdnn.arch" binary, and pins the
+/// text-vs-binary load rates plus the append throughput into
+/// BENCH_ingest.json (same machine-provenance block as BENCH_nn.json).
+///
+/// Gate (exit 1 on failure): the verified zero-copy open of the binary
+/// (all measurements addressable, integrity checked) must be >= 10x faster
+/// than parsing the text, and the binary round trip must re-serialize
+/// byte-identically.
+///
+/// Options:
+///   --smoke        small workload for CI (~60k values; gate still checked)
+///   --json=FILE    output path (default BENCH_ingest.json)
+///   --kernels=N --points=N --reps=N --params=N --repeats=R --seed=S
+///   --min-speedup=X   override the 10x gate
+
+#include <cstdio>
+#include <string>
+
+#include "measure/ingest_bench.hpp"
+#include "xpcore/cli.hpp"
+#include "xpcore/error.hpp"
+
+int main(int argc, char** argv) try {
+    const xpcore::CliArgs args(argc, argv);
+    const bool smoke = args.get_bool("smoke", false);
+
+    measure::IngestBenchConfig config;
+    if (smoke) {
+        // ~60k values: the same code path at CI scale.
+        config.kernels = 20;
+        config.points_per_kernel = 150;
+        config.repetitions = 20;
+    }
+    config.kernels = static_cast<std::size_t>(
+        args.get_int("kernels", static_cast<long>(config.kernels)));
+    config.points_per_kernel = static_cast<std::size_t>(
+        args.get_int("points", static_cast<long>(config.points_per_kernel)));
+    config.repetitions = static_cast<std::size_t>(
+        args.get_int("reps", static_cast<long>(config.repetitions)));
+    config.parameters = static_cast<std::size_t>(
+        args.get_int("params", static_cast<long>(config.parameters)));
+    config.repeats =
+        static_cast<std::size_t>(args.get_int("repeats", static_cast<long>(config.repeats)));
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    config.min_speedup = args.get_double("min-speedup", config.min_speedup);
+
+    std::printf("== ingest_throughput ==\n");
+    std::printf("workload: %zu kernels x %zu points x %zu reps = %zu values\n",
+                config.kernels, config.points_per_kernel, config.repetitions,
+                config.kernels * config.points_per_kernel * config.repetitions);
+
+    const measure::IngestBenchResult result = measure::run_ingest_bench(config);
+
+    std::printf("bytes: text %.1f MiB, binary %.1f MiB\n",
+                static_cast<double>(result.text_bytes) / (1024.0 * 1024.0),
+                static_cast<double>(result.binary_bytes) / (1024.0 * 1024.0));
+    std::printf("append: %zu commits, %.3fs (%.0f values/s streaming)\n", config.kernels,
+                result.append_seconds, result.append_values_per_second);
+    std::printf("load: text %.4fs, binary open+verify %.4fs (materialize %.4fs, raw mmap "
+                "%.6fs) -> %.1fx (gate >= %.1fx)\n",
+                result.text_load_seconds, result.binary_load_seconds,
+                result.materialize_seconds, result.mmap_open_seconds, result.speedup(),
+                result.min_speedup);
+    std::printf("parity: %s\n", result.parity ? "byte-identical" : "MISMATCH");
+
+    const std::string json_path = args.get("json", "BENCH_ingest.json");
+    measure::write_ingest_bench_json(config, result, json_path);
+    std::printf("wrote %s\n", json_path.c_str());
+
+    if (!result.ok()) {
+        std::fprintf(stderr, "ingest_throughput: acceptance gate FAILED\n");
+        return 1;
+    }
+    return 0;
+} catch (const xpcore::Error& error) {
+    std::fprintf(stderr, "ingest_throughput: %s\n", error.what());
+    return 2;
+}

@@ -11,6 +11,7 @@
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
 #include "measure/archive.hpp"
+#include "measure/binary.hpp"
 #include "measure/io.hpp"
 #include "modeling/modeler.hpp"
 #include "modeling/report.hpp"
@@ -31,7 +32,7 @@ namespace {
 constexpr const char* kUsage = R"(xpdnn - noise-resilient empirical performance modeling
 
 usage:
-  xpdnn model <measurements.txt> [--modeler=adaptive|regression|dnn|...]
+  xpdnn model <measurements.txt|.arch> [--modeler=adaptive|regression|dnn|...]
         [--aggregation=median|mean|minimum] [--alternatives=N]
         [--eval=x1,x2,...] [--json] [--report=json] [--net=tiny|fast|paper]
         [--seed=S]
@@ -41,10 +42,19 @@ usage:
           scale the regression cut-off for heavy-tailed families)
         [--pretrain-noise=f1,f2,...]   (noise families mixed into
           pretraining, e.g. uniform,gaussian,lognormal,mixture)
-  xpdnn model-all <archive.txt> [--group-tolerance=T] [--net=...] [--seed=S]
+  xpdnn model-all <archive.txt|.arch> [--group-tolerance=T] [--net=...] [--seed=S]
         [--report=json]
   xpdnn modelers       (list the registered modeling paths)
-  xpdnn noise <measurements.txt> [--report=json]
+  xpdnn noise <measurements.txt|.arch> [--report=json]
+  xpdnn convert <input> <output> [--to=text|binary]   (lossless text<->binary
+        measurement conversion; direction defaults to the opposite of the
+        input, shape (set vs multi-kernel archive) is auto-detected)
+  xpdnn ingest <archive.arch> <batch.txt|.arch> [--kernel=K --metric=M]
+        [--model] [--report=json]   (append a measurement batch to a live
+        binary archive — created when absent, repaired when corrupt — and,
+        with --model, re-model the touched experiment incrementally; a
+        multi-kernel archive batch ingests every entry, or just the one
+        --kernel/--metric selects)
   xpdnn predict <model.json|report.json> x1 [x2 ...]
   xpdnn simulate <kripke|fastest|relearn> [kernel] --out=<file> [--seed=S]
         [--all-kernels]   (emit a multi-kernel archive for model-all)
@@ -63,6 +73,11 @@ byte-reproducible --report=json output).
 measurement file format (see measure/io.hpp):
   params: p n
   8 1024 : 1.23 1.25 1.22
+
+Every measurement input (model, model-all, noise, ingest batches) may be
+either the text format above or an "xpdnn.arch" binary archive (see
+docs/FILE_FORMATS.md "Binary archive v1"); the format is sniffed from the
+file content, never the extension.
 )";
 
 /// One coordinate value. Locale-independent and strict: trailing garbage
@@ -124,7 +139,7 @@ int cmd_model(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err)
         err << "xpdnn model: missing measurement file\n";
         return 1;
     }
-    auto loaded = measure::try_load_text_file(args.positionals()[1]);
+    auto loaded = measure::try_load_set_file_any(args.positionals()[1]);
     if (!loaded.ok()) return report_load_failure(loaded, "model", err);
     const auto set = std::move(*loaded.set);
 
@@ -194,7 +209,7 @@ int cmd_model_all(const xpcore::CliArgs& args, std::ostream& out, std::ostream& 
         err << "xpdnn model-all: missing archive file\n";
         return 1;
     }
-    auto loaded = measure::try_load_archive_file(args.positionals()[1]);
+    auto loaded = measure::try_load_archive_file_any(args.positionals()[1]);
     if (!loaded.ok()) return report_load_failure(loaded, "model-all", err);
     const auto archive = std::move(*loaded.archive);
     if (archive.empty()) {
@@ -251,7 +266,7 @@ int cmd_noise(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err)
         err << "xpdnn noise: missing measurement file\n";
         return 1;
     }
-    auto loaded = measure::try_load_text_file(args.positionals()[1]);
+    auto loaded = measure::try_load_set_file_any(args.positionals()[1]);
     if (!loaded.ok()) return report_load_failure(loaded, "noise", err);
     const auto set = std::move(*loaded.set);
 
@@ -370,6 +385,208 @@ int cmd_simulate(const xpcore::CliArgs& args, std::ostream& out, std::ostream& e
     return 0;
 }
 
+/// True when a text measurement file is a multi-kernel archive (has a
+/// "kernel:" header line) rather than a single set. Shape, unlike format,
+/// cannot be sniffed from magic bytes in the text case.
+bool text_is_archive(const std::string& path) {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto pos = line.find_first_not_of(" \t\r");
+        if (pos == std::string::npos) continue;
+        if (line.compare(pos, 7, "kernel:") == 0) return true;
+    }
+    return false;
+}
+
+int cmd_convert(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
+    if (args.positionals().size() < 3) {
+        err << "xpdnn convert: usage: xpdnn convert <input> <output> [--to=text|binary]\n";
+        return 1;
+    }
+    const std::string in_path = args.positionals()[1];
+    const std::string out_path = args.positionals()[2];
+    const bool in_binary = measure::is_binary_file(in_path);
+    const std::string to = args.get("to", in_binary ? "text" : "binary");
+    if (to != "text" && to != "binary") {
+        err << "xpdnn convert: --to must be 'text' or 'binary', got '" << to << "'\n";
+        return 1;
+    }
+
+    bool is_archive_shape = false;
+    if (in_binary) {
+        try {
+            is_archive_shape = (xpcore::archive::Reader::open(in_path).flags() &
+                                xpcore::archive::kFlagSingleSet) == 0;
+        } catch (const xpcore::Error& e) {
+            err << "xpdnn convert: " << e.diagnostic().format() << "\n";
+            return 2;
+        }
+    } else {
+        is_archive_shape = text_is_archive(in_path);
+    }
+
+    if (is_archive_shape) {
+        auto loaded = measure::try_load_archive_file_any(in_path);
+        if (!loaded.ok()) return report_load_failure(loaded, "convert", err);
+        std::size_t total = 0;
+        for (const auto& entry : loaded.archive->entries()) total += entry.experiments.size();
+        if (to == "binary") {
+            measure::save_binary_file(*loaded.archive, out_path);
+        } else {
+            measure::save_archive_file(*loaded.archive, out_path);
+        }
+        out << "converted archive to " << to << ": " << out_path << " ("
+            << loaded.archive->size() << " entries, " << total << " measurements)\n";
+    } else {
+        auto loaded = measure::try_load_set_file_any(in_path);
+        if (!loaded.ok()) return report_load_failure(loaded, "convert", err);
+        if (to == "binary") {
+            measure::save_binary_file(*loaded.set, out_path);
+        } else {
+            measure::save_text_file(*loaded.set, out_path);
+        }
+        out << "converted measurements to " << to << ": " << out_path << " ("
+            << loaded.set->size() << " measurements)\n";
+    }
+    return 0;
+}
+
+int cmd_ingest(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
+    if (args.positionals().size() < 3) {
+        err << "xpdnn ingest: usage: xpdnn ingest <archive.arch> <batch.txt|.arch> "
+               "[--kernel=K --metric=M] [--model]\n";
+        return 1;
+    }
+    const std::string archive_path = args.positionals()[1];
+    const std::string batch_path = args.positionals()[2];
+    std::string kernel = args.get("kernel", "");
+    std::string metric = args.get("metric", "");
+    if (kernel.empty() != metric.empty()) {
+        err << "xpdnn ingest: --kernel and --metric must be given together\n";
+        return 1;
+    }
+    const bool do_model = args.get_bool("model", false);
+
+    // Sniff the batch shape like cmd_convert: a multi-kernel archive batch
+    // (either format) ingests every entry — or just the one the selector
+    // names — while a single-set batch lands under --kernel/--metric (or the
+    // single-set flag when none is given).
+    bool batch_is_archive = false;
+    if (measure::is_binary_file(batch_path)) {
+        try {
+            batch_is_archive = (xpcore::archive::Reader::open(batch_path).flags() &
+                                xpcore::archive::kFlagSingleSet) == 0;
+        } catch (const xpcore::Error& e) {
+            err << "xpdnn ingest: " << e.diagnostic().format() << "\n";
+            return 2;
+        }
+    } else {
+        batch_is_archive = text_is_archive(batch_path);
+    }
+
+    // ValidationError (parameter or shape mismatch against a healthy archive)
+    // propagates to the top-level handler: exit 2, like every bad input.
+    measure::AppendResult appended{xpcore::archive::Writer::OpenStatus::Created, 0, 0};
+    if (batch_is_archive) {
+        auto loaded = measure::try_load_archive_file_any(batch_path);
+        if (!loaded.ok()) return report_load_failure(loaded, "ingest", err);
+        if (!kernel.empty()) {
+            const auto* entry = loaded.archive->find(kernel, metric);
+            if (entry == nullptr || entry->experiments.empty()) {
+                err << "xpdnn ingest: batch has no measurements for '" << kernel << "/"
+                    << metric << "'\n";
+                return 1;
+            }
+            appended = measure::append_binary_file(archive_path, kernel, metric,
+                                                   entry->experiments);
+        } else {
+            const auto& entries = loaded.archive->entries();
+            std::size_t nonempty = 0;
+            for (const auto& entry : entries) nonempty += entry.experiments.empty() ? 0 : 1;
+            if (nonempty == 0) {
+                err << "xpdnn ingest: batch file has no measurements\n";
+                return 1;
+            }
+            if (do_model && nonempty > 1) {
+                err << "xpdnn ingest: --model on a multi-kernel batch needs --kernel and "
+                       "--metric\n";
+                return 1;
+            }
+            bool first = true;
+            for (const auto& entry : entries) {
+                if (entry.experiments.empty()) continue;
+                // Let a lone entry stand in for the selector so --model works
+                // on single-entry archive batches too.
+                if (nonempty == 1) {
+                    kernel = entry.kernel;
+                    metric = entry.metric;
+                }
+                const auto result = measure::append_binary_file(archive_path, entry.kernel,
+                                                                entry.metric, entry.experiments);
+                if (first) appended.status = result.status;
+                first = false;
+                appended.appended += result.appended;
+                appended.total = result.total;
+            }
+        }
+    } else {
+        auto loaded = measure::try_load_set_file_any(batch_path);
+        if (!loaded.ok()) return report_load_failure(loaded, "ingest", err);
+        const auto batch = std::move(*loaded.set);
+        if (batch.empty()) {
+            err << "xpdnn ingest: batch file has no measurements\n";
+            return 1;
+        }
+        appended = kernel.empty()
+                       ? measure::append_binary_set_file(archive_path, batch)
+                       : measure::append_binary_file(archive_path, kernel, metric, batch);
+    }
+    const char* status = appended.status == xpcore::archive::Writer::OpenStatus::Created
+                             ? "created"
+                         : appended.status == xpcore::archive::Writer::OpenStatus::Repaired
+                             ? "repaired (corrupt file moved aside)"
+                             : "appended";
+    const bool as_report = args.get("report", "") == "json";
+    if (!(do_model && as_report)) {
+        out << "ingest: " << status << " " << archive_path << " (+" << appended.appended
+            << " measurements, " << appended.total << " total)\n";
+    }
+    if (!do_model) return 0;
+
+    // Incremental re-model of the touched experiment only.
+    std::string modeler_name = args.get("modeler", "adaptive");
+    if (!modeling::is_registered(modeler_name)) {
+        err << "xpdnn ingest: unknown --modeler '" << modeler_name << "'\n";
+        return 1;
+    }
+    measure::ExperimentSet task_set;
+    if (kernel.empty()) {
+        task_set = measure::load_binary_set_file(archive_path);
+    } else {
+        const auto archive = measure::load_binary_archive_file(archive_path);
+        const auto* entry = archive.find(kernel, metric);
+        if (entry == nullptr) {
+            err << "xpdnn ingest: entry '" << kernel << "/" << metric
+                << "' missing after append\n";
+            return 2;
+        }
+        task_set = entry->experiments;
+    }
+    modeling::Session session(modeling::Options::from_args(args));
+    if (modeler_name == "dnn" && session.options().ensemble_members > 1) {
+        modeler_name = "ensemble";
+    }
+    modeling::Report report = session.run(modeler_name, task_set);
+    if (args.get_bool("no-timings", false)) report.timings = modeling::Timings{};
+    if (as_report) {
+        out << modeling::to_json(report) << "\n";
+    } else if (report.has_model) {
+        print_result(report.selected, task_set, "model", false, false, out);
+    }
+    return 0;
+}
+
 int cmd_request(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
     const long port = args.get_int("port", 0);
     if (port <= 0 || port > 65535) {
@@ -403,6 +620,8 @@ int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err)
         if (command == "modelers") return cmd_modelers(out);
         if (command == "noise") return cmd_noise(args, out, err);
         if (command == "predict") return cmd_predict(args, out, err);
+        if (command == "convert") return cmd_convert(args, out, err);
+        if (command == "ingest") return cmd_ingest(args, out, err);
         if (command == "simulate") return cmd_simulate(args, out, err);
         if (command == "serve") return serve::daemon_main(args, out, err);
         if (command == "request") return cmd_request(args, out, err);

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file binary.hpp
+/// Binary persistence for measurement data: the measure-layer bridge onto
+/// the "xpdnn.arch" memory-mapped archive (xpcore/archive.hpp).
+///
+/// Two shapes share the one container format, distinguished by a header
+/// flag:
+///
+///  - a *single experiment set* (the binary form of an io.hpp text file):
+///    flag kFlagSingleSet, sections carry empty kernel/metric names;
+///  - a *multi-kernel archive* (the binary form of an archive.hpp text
+///    file): one section per append batch of a (kernel, metric) entry.
+///
+/// Sections are an append-only log, so the same (kernel, metric) may occur
+/// in several sections; materialization concatenates them — entries in
+/// first-occurrence order, measurements in section order — which keeps
+/// text -> binary -> text conversions byte-identical for canonical files.
+///
+/// Loading is exactly as strict as the text path: structural damage throws
+/// xpcore::ParseError, semantic violations (version skew, fingerprint
+/// mismatch, non-finite values, wrong shape flag) xpcore::ValidationError,
+/// and the try_* variants collect those into the same LoadResult /
+/// ArchiveLoadResult the text loaders return. The speed win is that a
+/// binary load memory-maps and validates — it never parses floats.
+
+#include <cstdint>
+#include <string>
+
+#include "measure/archive.hpp"
+#include "measure/experiment.hpp"
+#include "measure/io.hpp"
+#include "xpcore/archive.hpp"
+
+namespace measure {
+
+/// Serialize to a binary archive file, atomically replacing any existing
+/// file (overwrite-save semantics, like the text savers).
+void save_binary_file(const ExperimentSet& set, const std::string& path);
+void save_binary_file(const Archive& archive, const std::string& path);
+
+/// Load a binary single-set file / multi-kernel archive file. Throws the
+/// xpcore taxonomy; loading a single-set file as an archive (or vice versa)
+/// is a ValidationError naming the actual shape.
+ExperimentSet load_binary_set_file(const std::string& path);
+Archive load_binary_archive_file(const std::string& path);
+
+/// Non-throwing variants mirroring try_load_text_file / try_load_archive_file.
+LoadResult try_load_binary_set_file(const std::string& path);
+ArchiveLoadResult try_load_binary_archive_file(const std::string& path);
+
+/// True when `path` starts with the binary archive magic (content sniff,
+/// not extension). Routes the *_any loaders below.
+bool is_binary_file(const std::string& path);
+
+/// Format-agnostic loads: sniff the magic and dispatch to the binary or
+/// text loader. Every CLI / daemon / eval ingestion path goes through
+/// these, so any measurement input may be either format.
+LoadResult try_load_set_file_any(const std::string& path);
+ArchiveLoadResult try_load_archive_file_any(const std::string& path);
+ExperimentSet load_set_file_any(const std::string& path);
+Archive load_archive_file_any(const std::string& path);
+
+/// Build an ExperimentSet / Archive from an already-open mapped reader
+/// (zero-copy open; this step copies the mapped doubles into measurement
+/// storage). Shape flag must match, as for the file loaders.
+ExperimentSet materialize_set(const xpcore::archive::Reader& reader);
+Archive materialize_archive(const xpcore::archive::Reader& reader);
+
+/// Convert one (kernel, metric) batch into a stageable section. Validates
+/// against `parameter_count` being the writer's; repetition lists must be
+/// non-empty (enforced by Writer::stage).
+xpcore::archive::PendingSection to_section(std::string kernel, std::string metric,
+                                           const ExperimentSet& batch);
+
+/// One streaming-ingest step: append `batch` to the binary archive at
+/// `path` under (kernel, metric), creating the archive when absent and
+/// repairing a corrupt one (typed miss -> moved to "<path>.corrupt").
+/// Existing archives must share the batch's parameter names
+/// (ValidationError otherwise). Returns the open status plus measurement
+/// counts so callers can report what happened.
+struct AppendResult {
+    xpcore::archive::Writer::OpenStatus status;
+    std::uint64_t appended = 0;  ///< measurements in this batch
+    std::uint64_t total = 0;     ///< measurements in the archive after commit
+};
+AppendResult append_binary_file(const std::string& path, const std::string& kernel,
+                                const std::string& metric, const ExperimentSet& batch);
+
+/// Single-set flavour of append_binary_file (empty kernel/metric, single-set
+/// flag) for streaming into a set file.
+AppendResult append_binary_set_file(const std::string& path, const ExperimentSet& batch);
+
+}  // namespace measure

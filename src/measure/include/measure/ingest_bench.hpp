@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file ingest_bench.hpp
+/// The measurement-ingestion benchmark engine behind bench/ingest_throughput
+/// and `bench_record --ingest-json` (the same split serve/throughput.hpp uses
+/// for the daemon benchmark): generate a synthetic multi-kernel archive,
+/// write it as text and — via the streaming append path — as an "xpdnn.arch"
+/// binary, then pin the text-vs-binary load rates and the append throughput
+/// into BENCH_ingest.json.
+///
+/// The headline gate is the load speedup: a verified zero-copy open of the
+/// binary archive — header + checksum + fingerprint + finiteness validated,
+/// every measurement addressable through mmap-backed spans — must be >=
+/// `min_speedup` (default 10x) faster than parsing the equivalent text
+/// archive. The fully-materialized binary load (copying into ExperimentSet,
+/// the compatibility path) is recorded alongside, as is a parity check: the
+/// binary round trip must re-serialize to the byte-identical text document,
+/// so the speed never costs fidelity.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace measure {
+
+struct IngestBenchConfig {
+    std::size_t kernels = 100;           ///< archive entries (one metric each)
+    std::size_t points_per_kernel = 400; ///< coordinate rows per entry
+    std::size_t repetitions = 25;        ///< values per row (kernels*points*reps >= 1M default)
+    std::size_t parameters = 2;
+    std::size_t repeats = 3;             ///< timing repeats (median)
+    double min_speedup = 10.0;           ///< binary-vs-text load gate
+    std::uint64_t seed = 7;
+    std::string scratch_dir;             ///< "" = std::filesystem::temp_directory_path()
+};
+
+struct IngestBenchResult {
+    std::size_t values = 0;              ///< total measurement values ingested
+    std::size_t rows = 0;                ///< coordinate rows
+    std::size_t text_bytes = 0;
+    std::size_t binary_bytes = 0;
+    double text_save_seconds = 0.0;
+    double text_load_seconds = 0.0;      ///< parse text -> materialized Archive
+    double binary_load_seconds = 0.0;    ///< verified zero-copy open (the gated number)
+    double materialize_seconds = 0.0;    ///< verified open + copy into an Archive
+    double mmap_open_seconds = 0.0;      ///< zero-copy open alone (no verify)
+    double append_seconds = 0.0;         ///< all streaming commits, one per kernel
+    double append_values_per_second = 0.0;
+    double load_spread = 0.0;            ///< (max-min)/median across repeats, worst side
+    bool parity = false;                 ///< binary -> text re-serialization is byte-identical
+    double min_speedup = 10.0;           ///< the gate the run was checked against
+
+    double speedup() const {
+        return binary_load_seconds > 0 ? text_load_seconds / binary_load_seconds : 0.0;
+    }
+    bool ok() const { return parity && speedup() >= min_speedup; }
+};
+
+/// Run the benchmark in `config.scratch_dir` (files are removed on return).
+/// Throws xpcore::Error on IO failure.
+IngestBenchResult run_ingest_bench(const IngestBenchConfig& config);
+
+/// Write BENCH_ingest.json: machine provenance plus the result figures.
+void write_ingest_bench_json(const IngestBenchConfig& config,
+                             const IngestBenchResult& result, const std::string& path);
+
+}  // namespace measure

@@ -1,0 +1,187 @@
+#include "measure/binary.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "xpcore/error.hpp"
+
+namespace measure {
+namespace {
+
+namespace xarch = xpcore::archive;
+
+[[noreturn]] void shape_fail(const std::string& path, bool wanted_single) {
+    throw xpcore::ValidationError(
+        {path, 0, 0,
+         wanted_single
+             ? "binary file holds a multi-kernel archive, not a single experiment set"
+             : "binary file holds a single experiment set, not a multi-kernel archive"});
+}
+
+void append_section(ExperimentSet& set, const xarch::SectionView& section,
+                    std::size_t params) {
+    const std::size_t m = section.measurement_count();
+    for (std::size_t i = 0; i < m; ++i) {
+        Coordinate point(section.points.begin() + static_cast<std::ptrdiff_t>(i * params),
+                         section.points.begin() + static_cast<std::ptrdiff_t>((i + 1) * params));
+        std::vector<double> values(
+            section.values.begin() + static_cast<std::ptrdiff_t>(section.value_offsets[i]),
+            section.values.begin() + static_cast<std::ptrdiff_t>(section.value_offsets[i + 1]));
+        set.add(std::move(point), std::move(values));
+    }
+}
+
+}  // namespace
+
+xarch::PendingSection to_section(std::string kernel, std::string metric,
+                                 const ExperimentSet& batch) {
+    xarch::PendingSection section;
+    section.kernel = std::move(kernel);
+    section.metric = std::move(metric);
+    section.value_offsets.reserve(batch.size() + 1);
+    section.value_offsets.push_back(0);
+    section.points.reserve(batch.size() * batch.parameter_count());
+    for (const auto& measurement : batch.measurements()) {
+        section.points.insert(section.points.end(), measurement.point.begin(),
+                              measurement.point.end());
+        section.values.insert(section.values.end(), measurement.values.begin(),
+                              measurement.values.end());
+        section.value_offsets.push_back(section.values.size());
+    }
+    return section;
+}
+
+void save_binary_file(const ExperimentSet& set, const std::string& path) {
+    xarch::Writer writer(path, set.parameter_names(), xarch::kFlagSingleSet,
+                         /*truncate=*/true);
+    if (!set.empty()) writer.stage(to_section("", "", set));
+    writer.commit();
+}
+
+void save_binary_file(const Archive& archive, const std::string& path) {
+    xarch::Writer writer(path, archive.parameter_names(), 0, /*truncate=*/true);
+    for (const auto& entry : archive.entries()) {
+        writer.stage(to_section(entry.kernel, entry.metric, entry.experiments));
+    }
+    writer.commit();
+}
+
+ExperimentSet materialize_set(const xarch::Reader& reader) {
+    if ((reader.flags() & xarch::kFlagSingleSet) == 0) shape_fail("<archive>", true);
+    ExperimentSet set(reader.parameter_names());
+    const std::size_t params = reader.parameter_count();
+    for (std::size_t s = 0; s < reader.section_count(); ++s) {
+        append_section(set, reader.section(s), params);
+    }
+    return set;
+}
+
+Archive materialize_archive(const xarch::Reader& reader) {
+    if ((reader.flags() & xarch::kFlagSingleSet) != 0) shape_fail("<archive>", false);
+    // Concatenate same-key sections: entries in first-occurrence order,
+    // measurements in section (append) order.
+    const std::size_t params = reader.parameter_count();
+    std::vector<std::pair<std::string, std::string>> keys;
+    std::vector<ExperimentSet> sets;
+    for (std::size_t s = 0; s < reader.section_count(); ++s) {
+        const auto section = reader.section(s);
+        std::pair<std::string, std::string> key{std::string(section.kernel),
+                                                std::string(section.metric)};
+        std::size_t slot = keys.size();
+        for (std::size_t k = 0; k < keys.size(); ++k) {
+            if (keys[k] == key) {
+                slot = k;
+                break;
+            }
+        }
+        if (slot == keys.size()) {
+            keys.push_back(key);
+            sets.emplace_back(reader.parameter_names());
+        }
+        append_section(sets[slot], section, params);
+    }
+    Archive archive(reader.parameter_names());
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+        archive.add(std::move(keys[k].first), std::move(keys[k].second),
+                    std::move(sets[k]));
+    }
+    return archive;
+}
+
+ExperimentSet load_binary_set_file(const std::string& path) {
+    auto reader = xarch::Reader::open(path);
+    if ((reader.flags() & xarch::kFlagSingleSet) == 0) shape_fail(path, true);
+    return materialize_set(reader);
+}
+
+Archive load_binary_archive_file(const std::string& path) {
+    auto reader = xarch::Reader::open(path);
+    if ((reader.flags() & xarch::kFlagSingleSet) != 0) shape_fail(path, false);
+    return materialize_archive(reader);
+}
+
+LoadResult try_load_binary_set_file(const std::string& path) {
+    LoadResult result;
+    try {
+        result.set = load_binary_set_file(path);
+    } catch (const xpcore::Error& e) {
+        result.diagnostics.push_back(e.diagnostic());
+    }
+    return result;
+}
+
+ArchiveLoadResult try_load_binary_archive_file(const std::string& path) {
+    ArchiveLoadResult result;
+    try {
+        result.archive = load_binary_archive_file(path);
+    } catch (const xpcore::Error& e) {
+        result.diagnostics.push_back(e.diagnostic());
+    }
+    return result;
+}
+
+bool is_binary_file(const std::string& path) { return xarch::sniff(path); }
+
+LoadResult try_load_set_file_any(const std::string& path) {
+    return is_binary_file(path) ? try_load_binary_set_file(path)
+                                : try_load_text_file(path);
+}
+
+ArchiveLoadResult try_load_archive_file_any(const std::string& path) {
+    return is_binary_file(path) ? try_load_binary_archive_file(path)
+                                : try_load_archive_file(path);
+}
+
+ExperimentSet load_set_file_any(const std::string& path) {
+    return is_binary_file(path) ? load_binary_set_file(path) : load_text_file(path);
+}
+
+Archive load_archive_file_any(const std::string& path) {
+    return is_binary_file(path) ? load_binary_archive_file(path)
+                                : load_archive_file(path);
+}
+
+AppendResult append_binary_file(const std::string& path, const std::string& kernel,
+                                const std::string& metric, const ExperimentSet& batch) {
+    xarch::Writer writer(path, batch.parameter_names(), 0);
+    AppendResult result;
+    result.status = writer.status();
+    writer.stage(to_section(kernel, metric, batch));
+    result.appended = writer.staged_measurements();
+    writer.commit();
+    result.total = writer.committed_measurements();
+    return result;
+}
+
+AppendResult append_binary_set_file(const std::string& path, const ExperimentSet& batch) {
+    xarch::Writer writer(path, batch.parameter_names(), xarch::kFlagSingleSet);
+    AppendResult result;
+    result.status = writer.status();
+    writer.stage(to_section("", "", batch));
+    result.appended = writer.staged_measurements();
+    writer.commit();
+    result.total = writer.committed_measurements();
+    return result;
+}
+
+}  // namespace measure

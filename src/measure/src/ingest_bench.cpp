@@ -1,0 +1,181 @@
+#include "measure/ingest_bench.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "measure/archive.hpp"
+#include "measure/binary.hpp"
+#include "measure/io.hpp"
+#include "xpcore/error.hpp"
+#include "xpcore/provenance.hpp"
+#include "xpcore/rng.hpp"
+#include "xpcore/timer.hpp"
+
+namespace measure {
+
+namespace {
+
+/// A synthetic archive shaped like a real measurement campaign: grid-ish
+/// coordinates, positive run times with multiplicative scatter across
+/// repetitions. Values are drawn with finite, text-round-trippable doubles.
+Archive synthetic_archive(const IngestBenchConfig& config) {
+    std::vector<std::string> names;
+    for (std::size_t l = 0; l < config.parameters; ++l) {
+        names.push_back("p" + std::to_string(l));
+    }
+    Archive archive(names);
+    xpcore::Rng rng(config.seed);
+    for (std::size_t k = 0; k < config.kernels; ++k) {
+        ExperimentSet set(names);
+        for (std::size_t i = 0; i < config.points_per_kernel; ++i) {
+            Coordinate point;
+            double scale = 1.0;
+            for (std::size_t l = 0; l < config.parameters; ++l) {
+                const double coordinate = static_cast<double>(2 + (i + l * 7) % 96);
+                point.push_back(coordinate);
+                scale *= coordinate;
+            }
+            std::vector<double> values;
+            values.reserve(config.repetitions);
+            for (std::size_t r = 0; r < config.repetitions; ++r) {
+                values.push_back(scale * (1.0 + 0.1 * rng.uniform(-1, 1)));
+            }
+            set.add(std::move(point), std::move(values));
+        }
+        archive.add("kernel" + std::to_string(k), "time", std::move(set));
+    }
+    return archive;
+}
+
+template <typename Fn>
+double median_seconds(std::size_t repeats, double& spread, const Fn& once) {
+    std::vector<double> xs;
+    for (std::size_t r = 0; r < std::max<std::size_t>(repeats, 1); ++r) {
+        xpcore::WallTimer timer;
+        once();
+        xs.push_back(timer.seconds());
+    }
+    std::sort(xs.begin(), xs.end());
+    const double median = xs[xs.size() / 2];
+    if (median > 0) spread = std::max(spread, (xs.back() - xs.front()) / median);
+    return median;
+}
+
+}  // namespace
+
+IngestBenchResult run_ingest_bench(const IngestBenchConfig& config) {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        (config.scratch_dir.empty() ? fs::temp_directory_path()
+                                    : fs::path(config.scratch_dir)) /
+        ("xpdnn_ingest_bench_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    const std::string text_path = (dir / "campaign.txt").string();
+    const std::string binary_path = (dir / "campaign.arch").string();
+
+    IngestBenchResult result;
+    result.min_speedup = config.min_speedup;
+    try {
+        const Archive archive = synthetic_archive(config);
+        for (const ArchiveEntry& entry : archive.entries()) {
+            result.rows += entry.experiments.size();
+            for (const auto& m : entry.experiments.measurements()) {
+                result.values += m.values.size();
+            }
+        }
+
+        {
+            xpcore::WallTimer timer;
+            save_archive_file(archive, text_path);
+            result.text_save_seconds = timer.seconds();
+        }
+        result.text_bytes = static_cast<std::size_t>(fs::file_size(text_path));
+
+        // Streaming ingestion: one append commit per kernel, exactly the
+        // `xpdnn ingest` / daemon "ingest" path (each commit re-packs the
+        // committed image and atomically replaces the file).
+        {
+            xpcore::WallTimer timer;
+            for (const ArchiveEntry& entry : archive.entries()) {
+                append_binary_file(binary_path, entry.kernel, entry.metric,
+                                   entry.experiments);
+            }
+            result.append_seconds = timer.seconds();
+        }
+        result.binary_bytes = static_cast<std::size_t>(fs::file_size(binary_path));
+        if (result.append_seconds > 0) {
+            result.append_values_per_second =
+                static_cast<double>(result.values) / result.append_seconds;
+        }
+
+        // The gated comparison: text parsing vs the verified zero-copy
+        // open — after which every measurement is addressable through the
+        // mapped spans with the same integrity guarantees the parser gives
+        // (structure, checksums, finiteness). The materialized binary load
+        // (the ExperimentSet compatibility copy) is recorded alongside.
+        Archive text_loaded, binary_loaded;
+        result.text_load_seconds = median_seconds(
+            config.repeats, result.load_spread,
+            [&] { text_loaded = load_archive_file(text_path); });
+        result.binary_load_seconds = median_seconds(
+            config.repeats, result.load_spread, [&] {
+                (void)xpcore::archive::Reader::open(binary_path, /*verify_content=*/true);
+            });
+        result.materialize_seconds = median_seconds(
+            config.repeats, result.load_spread,
+            [&] { binary_loaded = load_binary_archive_file(binary_path); });
+        result.mmap_open_seconds = median_seconds(
+            config.repeats, result.load_spread, [&] {
+                (void)xpcore::archive::Reader::open(binary_path, /*verify_content=*/false);
+            });
+
+        // Parity: the binary round trip re-serializes to the identical text.
+        std::ostringstream from_text, from_binary;
+        save_archive(text_loaded, from_text);
+        save_archive(binary_loaded, from_binary);
+        result.parity = from_text.str() == from_binary.str();
+    } catch (...) {
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+        throw;
+    }
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    return result;
+}
+
+void write_ingest_bench_json(const IngestBenchConfig& config,
+                             const IngestBenchResult& result, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) {
+        throw xpcore::Error({path, 0, 0, "cannot open benchmark output for writing"});
+    }
+    out << "{\n"
+        << "  \"machine\": " << xpcore::machine_provenance_json(2) << ",\n"
+        << "  \"workload\": {\"kernels\": " << config.kernels
+        << ", \"points_per_kernel\": " << config.points_per_kernel
+        << ", \"repetitions\": " << config.repetitions
+        << ", \"parameters\": " << config.parameters << ", \"rows\": " << result.rows
+        << ", \"values\": " << result.values << "},\n"
+        << "  \"bytes\": {\"text\": " << result.text_bytes
+        << ", \"binary\": " << result.binary_bytes << "},\n"
+        << "  \"load\": {\"text_seconds\": " << result.text_load_seconds
+        << ", \"binary_open_verified_seconds\": " << result.binary_load_seconds
+        << ", \"binary_materialize_seconds\": " << result.materialize_seconds
+        << ", \"mmap_open_seconds\": " << result.mmap_open_seconds
+        << ", \"speedup\": " << result.speedup() << ", \"spread\": " << result.load_spread
+        << ", \"min_speedup\": " << result.min_speedup << "},\n"
+        << "  \"append\": {\"seconds\": " << result.append_seconds
+        << ", \"values_per_second\": " << result.append_values_per_second
+        << ", \"commits\": " << config.kernels << "},\n"
+        << "  \"parity\": " << (result.parity ? "true" : "false") << ",\n"
+        << "  \"ok\": " << (result.ok() ? "true" : "false") << "\n"
+        << "}\n";
+}
+
+}  // namespace measure

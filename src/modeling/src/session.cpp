@@ -44,20 +44,8 @@ Options Options::from_args(const xpcore::CliArgs& args) {
         // Comma-separated family list, e.g. --pretrain-noise=uniform,lognormal.
         // Validated against the registry up front: an unknown family is a
         // ValidationError before any pretraining work starts.
-        std::vector<std::string> families;
-        const std::string spec = args.get("pretrain-noise", "");
-        std::size_t begin = 0;
-        while (begin <= spec.size()) {
-            const std::size_t end = std::min(spec.find(',', begin), spec.size());
-            std::string family = spec.substr(begin, end - begin);
-            if (!noise::is_registered_family(family)) {
-                throw xpcore::ValidationError(
-                    {"--pretrain-noise", 0, 0, "unknown noise family '" + family + "'"});
-            }
-            families.push_back(std::move(family));
-            begin = end + 1;
-        }
-        options.net.pretrain_noise_families = std::move(families);
+        options.net.pretrain_noise_families =
+            noise::parse_family_list(args.get("pretrain-noise", ""), "--pretrain-noise");
     }
     return options;
 }

@@ -83,6 +83,13 @@ std::vector<std::string> registered_families();
 /// diagnostic naming the valid families.
 const NoiseModel& noise_model(std::string_view family);
 
+/// Parse a comma-separated family list ("uniform,lognormal"). Order is
+/// preserved (it joins pretrain-cache fingerprints). Throws
+/// xpcore::ValidationError naming `source` for any unregistered family —
+/// including the empty names produced by "", "a,", or ",b".
+std::vector<std::string> parse_family_list(std::string_view spec,
+                                           const std::string& source = "<noise>");
+
 /// A parsed `family:level` noise specification.
 struct NoiseSpec {
     std::string family = "uniform";

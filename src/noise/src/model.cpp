@@ -143,6 +143,23 @@ const NoiseModel& noise_model(std::string_view family) {
     return *it->second;
 }
 
+std::vector<std::string> parse_family_list(std::string_view spec, const std::string& source) {
+    std::vector<std::string> families;
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        const std::size_t end = std::min(spec.find(',', begin), spec.size());
+        std::string family(spec.substr(begin, end - begin));
+        if (!is_registered_family(family)) {
+            throw xpcore::ValidationError({source, 0, begin,
+                                           "unknown noise family '" + family +
+                                               "' (known: " + known_families_hint() + ")"});
+        }
+        families.push_back(std::move(family));
+        begin = end + 1;
+    }
+    return families;
+}
+
 // ---- family:level spec parsing ---------------------------------------------
 
 namespace {

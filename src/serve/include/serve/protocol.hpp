@@ -10,7 +10,17 @@
 ///   {"verb": "ping"}
 ///   {"verb": "modelers"}
 ///   {"verb": "model", "measurements": "<text format>", "modeler": "...",
-///    "task": "...", "alternatives": N, "timings": bool}
+///    "task": "...", "alternatives": N, "timings": bool,
+///    "pretrain_noise": "f1,f2,..."}
+///   {"verb": "model", "archive": "<path>", "kernel": "...", "metric": "...",
+///    ...}   (model from a server-side measurement file — an "xpdnn.arch"
+///   binary archive opens via mmap without parsing; kernel/metric select
+///   the entry of a multi-kernel archive)
+///   {"verb": "ingest", "archive": "<path>", "measurements": "<text format>",
+///    "kernel": "...", "metric": "...", "remodel": bool, ...}   (append a
+///   measurement batch to a live binary archive — created when absent,
+///   repaired when corrupt — and, with remodel (the default), re-model the
+///   touched experiment incrementally)
 ///   {"verb": "predict", "task": "...", "point": [x1, ...]}
 ///   {"verb": "sleep", "ms": N}          (diagnostics/testing)
 ///   {"verb": "shutdown"}
@@ -55,6 +65,11 @@ struct Request {
     std::string modeler = "adaptive";   ///< model: registry name
     std::string task;                   ///< model: cache key; predict: lookup key
     std::string measurements;           ///< model: measurement text format
+    std::string archive;                ///< model/ingest: server-side archive path
+    std::string kernel;                 ///< model/ingest: archive entry selector
+    std::string metric;                 ///< model/ingest: archive entry selector
+    std::string pretrain_noise;         ///< model/ingest: pretrain family mix ("" = server default)
+    bool remodel = true;                ///< ingest: re-model the touched experiment
     std::vector<double> point;          ///< predict: evaluation coordinate
     std::size_t alternatives = 0;       ///< model: runner-up count
     bool include_timings = true;        ///< model: emit wall-clock timings

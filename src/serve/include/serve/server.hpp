@@ -13,6 +13,13 @@
 /// per-connection write mutex (responses to pipelined requests may
 /// therefore arrive out of order; clients correlate with "id").
 ///
+/// A request carrying "pretrain_noise" selects a worker-local Session
+/// variant pretrained with that family mix (materialized on first use,
+/// bounded FIFO per worker; the disk pretrain cache makes re-opening a mix
+/// cheap). "ingest" appends to a live binary archive (serialized by a
+/// server-wide mutex so concurrent batches cannot drop each other's
+/// commits) and re-models the touched experiment on the worker's session.
+///
 /// Backpressure and liveness guarantees:
 ///   - queue full        → "overloaded" error written immediately (429-style)
 ///   - queued too long   → "deadline_exceeded" instead of stale work
@@ -32,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "measure/experiment.hpp"
 #include "modeling/session.hpp"
 #include "serve/protocol.hpp"
 #include "xpcore/net.hpp"
@@ -110,15 +118,38 @@ private:
         std::size_t arity = 0;
     };
 
+    /// One worker's modeling state: the default-configured session plus
+    /// lazily-materialized variants for requests that override the
+    /// pretraining noise mix (key: the canonical family list).
+    struct WorkerState {
+        explicit WorkerState(const modeling::Options& options) : base(options) {}
+        modeling::Session base;
+        std::vector<std::pair<std::string, std::unique_ptr<modeling::Session>>> variants;
+    };
+
     void io_main();
     void worker_main(std::size_t index);
     void handle_line(const ConnectionPtr& conn, const std::string& line);
-    void dispatch(modeling::Session& session, const WorkItem& item);
+    void dispatch(WorkerState& state, const WorkItem& item);
     void respond(const ConnectionPtr& conn, const std::string& body);
 
-    std::string handle_model(modeling::Session& session, const Request& request);
+    /// The session serving this request: `state.base` unless the request
+    /// names a pretrain_noise mix. Throws ProtocolFault (validation_error)
+    /// for an unregistered family.
+    modeling::Session& session_for(WorkerState& state, const Request& request);
+
+    /// The measurement set a model/ingest request names: inline
+    /// "measurements" text, or a server-side archive file (mmap for
+    /// binary), with kernel/metric selecting a multi-kernel entry.
+    measure::ExperimentSet resolve_measurements(const Request& request) const;
+
+    std::string handle_model(WorkerState& state, const Request& request);
+    std::string handle_ingest(WorkerState& state, const Request& request);
     std::string handle_predict(const Request& request);
     std::string handle_modelers(modeling::Session& session, const Request& request);
+
+    /// Insert/replace the task's cached model for "predict".
+    void cache_model(const std::string& task, const pmnf::Model& model, std::size_t arity);
 
     ServerConfig config_;
     xpcore::net::Socket listener_;
@@ -137,6 +168,7 @@ private:
     std::vector<std::pair<std::string, CachedModel>> cache_;
 
     std::mutex warm_mutex_;  ///< serializes warm-start pretraining across workers
+    std::mutex ingest_mutex_;  ///< serializes archive append commits across workers
 
     std::atomic<std::uint64_t> connections_accepted_{0};
     std::atomic<std::uint64_t> requests_ok_{0};

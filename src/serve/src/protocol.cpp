@@ -75,6 +75,16 @@ Request parse_request(const std::string& line) {
             request.task = require_string(value, "task");
         } else if (key == "measurements") {
             request.measurements = require_string(value, "measurements");
+        } else if (key == "archive") {
+            request.archive = require_string(value, "archive");
+        } else if (key == "kernel") {
+            request.kernel = require_string(value, "kernel");
+        } else if (key == "metric") {
+            request.metric = require_string(value, "metric");
+        } else if (key == "pretrain_noise") {
+            request.pretrain_noise = require_string(value, "pretrain_noise");
+        } else if (key == "remodel") {
+            request.remodel = require_bool(value, "remodel");
         } else if (key == "point") {
             if (!value.is_array()) invalid("field 'point' must be an array of numbers");
             for (const JsonValue& item : value.items) {

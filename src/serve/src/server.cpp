@@ -10,7 +10,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "measure/binary.hpp"
 #include "measure/io.hpp"
+#include "noise/model.hpp"
 #include "serve/json.hpp"
 #include "xpcore/error.hpp"
 
@@ -220,14 +222,14 @@ void Server::handle_line(const ConnectionPtr& conn, const std::string& line) {
 }
 
 void Server::worker_main(std::size_t index) {
-    modeling::Session session(config_.options);
+    WorkerState state(config_.options);
     if (config_.warm_start) {
         // Serialize warm-up: the first worker pretrains (and, with the
         // cache enabled, persists the result atomically); the rest load it
         // from disk instead of racing a redundant pretraining each.
         std::lock_guard<std::mutex> lock(warm_mutex_);
         try {
-            session.classifier();
+            state.base.classifier();
         } catch (const std::exception&) {
             // Warm-up is an optimization; a failure here surfaces on the
             // first real request instead.
@@ -247,11 +249,84 @@ void Server::worker_main(std::size_t index) {
             item = std::move(queue_.front());
             queue_.pop_front();
         }
-        dispatch(session, item);
+        dispatch(state, item);
     }
 }
 
-void Server::dispatch(modeling::Session& session, const WorkItem& item) {
+modeling::Session& Server::session_for(WorkerState& state, const Request& request) {
+    if (request.pretrain_noise.empty()) return state.base;
+
+    // Canonical key: the comma-joined family list exactly as requested
+    // (order matters — it joins the pretrain-cache fingerprint).
+    const std::string& spec = request.pretrain_noise;
+    std::vector<std::string> families;
+    try {
+        families = noise::parse_family_list(spec, "'pretrain_noise'");
+    } catch (const xpcore::Error& error) {
+        throw ProtocolFault{ErrorCode::ValidationError, error.what()};
+    }
+    if (families == config_.options.net.pretrain_noise_families) return state.base;
+
+    for (auto& [key, session] : state.variants) {
+        if (key == spec) return *session;
+    }
+    // Bound the variant pool per worker: each variant owns a pretrained
+    // classifier. FIFO eviction; the disk pretrain cache makes re-opening
+    // an evicted mix cheap (a load, not a re-pretraining).
+    constexpr std::size_t kMaxVariants = 4;
+    if (state.variants.size() >= kMaxVariants) state.variants.erase(state.variants.begin());
+    modeling::Options options = config_.options;
+    options.net.pretrain_noise_families = std::move(families);
+    state.variants.emplace_back(spec, std::make_unique<modeling::Session>(options));
+    return *state.variants.back().second;
+}
+
+measure::ExperimentSet Server::resolve_measurements(const Request& request) const {
+    if (!request.measurements.empty() && !request.archive.empty()) {
+        invalid("fields 'measurements' and 'archive' are mutually exclusive");
+    }
+    if (!request.measurements.empty()) {
+        std::istringstream stream(request.measurements);
+        measure::LoadResult loaded = measure::try_load_text(stream, "<measurements>");
+        if (!loaded.ok()) {
+            throw ProtocolFault{ErrorCode::ParseError,
+                                format_diagnostic(loaded.diagnostics.front())};
+        }
+        return std::move(*loaded.set);
+    }
+    if (request.archive.empty()) {
+        invalid("verb '" + request.verb + "' requires field 'measurements' or 'archive'");
+    }
+    // Server-side measurement file: a binary archive opens via mmap (no
+    // parsing); text files take the loader path. kernel/metric select the
+    // entry of a multi-kernel archive.
+    try {
+        if (request.kernel.empty() != request.metric.empty()) {
+            invalid("fields 'kernel' and 'metric' must be given together");
+        }
+        if (request.kernel.empty()) {
+            return measure::load_set_file_any(request.archive);
+        }
+        const measure::Archive archive = measure::load_archive_file_any(request.archive);
+        const measure::ArchiveEntry* entry = archive.find(request.kernel, request.metric);
+        if (entry == nullptr) {
+            throw ProtocolFault{ErrorCode::UnknownTask,
+                                "archive has no entry '" + request.kernel + "/" +
+                                    request.metric + "'"};
+        }
+        return entry->experiments;
+    } catch (const xpcore::ParseError&) {
+        throw;
+    } catch (const xpcore::ValidationError&) {
+        throw;
+    } catch (const xpcore::Error& error) {
+        // File-open failures: the client named a path the server cannot
+        // read — a request problem, not an internal fault.
+        throw ProtocolFault{ErrorCode::ValidationError, error.what()};
+    }
+}
+
+void Server::dispatch(WorkerState& state, const WorkItem& item) {
     const Request& request = item.request;
 
     const long deadline_ms =
@@ -280,9 +355,11 @@ void Server::dispatch(modeling::Session& session, const WorkItem& item) {
                        std::to_string(kProtocolVersion) +
                        ", \"workers\": " + std::to_string(config_.workers) + "}";
         } else if (request.verb == "modelers") {
-            response = handle_modelers(session, request);
+            response = handle_modelers(state.base, request);
         } else if (request.verb == "model") {
-            response = handle_model(session, request);
+            response = handle_model(state, request);
+        } else if (request.verb == "ingest") {
+            response = handle_ingest(state, request);
         } else if (request.verb == "predict") {
             response = handle_predict(request);
         } else if (request.verb == "sleep") {
@@ -312,6 +389,14 @@ void Server::dispatch(modeling::Session& session, const WorkItem& item) {
         respond(item.conn,
                 error_response(ErrorCode::ParseError, error.what(), request.id_json));
         return;
+    } catch (const xpcore::Error& error) {
+        // Remaining xpcore errors are IO-shaped (unreadable archive path,
+        // failed append commit): the request named a file the server
+        // cannot use — a request problem, not an internal fault.
+        requests_failed_.fetch_add(1);
+        respond(item.conn,
+                error_response(ErrorCode::ValidationError, error.what(), request.id_json));
+        return;
     } catch (const ProtocolFault& fault) {
         requests_failed_.fetch_add(1);
         respond(item.conn, error_response(fault.code, fault.message, request.id_json));
@@ -327,11 +412,62 @@ void Server::dispatch(modeling::Session& session, const WorkItem& item) {
     respond(item.conn, response);
 }
 
-std::string Server::handle_model(modeling::Session& session, const Request& request) {
-    if (request.measurements.empty()) {
-        invalid("verb 'model' requires field 'measurements'");
+void Server::cache_model(const std::string& task, const pmnf::Model& model,
+                         std::size_t arity) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto existing = std::find_if(cache_.begin(), cache_.end(),
+                                 [&](const auto& e) { return e.first == task; });
+    if (existing != cache_.end()) {
+        existing->second = CachedModel{model, arity};
+        return;
     }
+    while (cache_.size() >= config_.report_cache_capacity && !cache_order_.empty()) {
+        const std::string& victim = cache_order_.front();
+        cache_.erase(std::remove_if(cache_.begin(), cache_.end(),
+                                    [&](const auto& e) { return e.first == victim; }),
+                     cache_.end());
+        cache_order_.pop_front();
+    }
+    cache_.emplace_back(task, CachedModel{model, arity});
+    cache_order_.push_back(task);
+}
+
+std::string Server::handle_model(WorkerState& state, const Request& request) {
     if (!modeling::is_registered(request.modeler)) {
+        throw ProtocolFault{ErrorCode::UnknownModeler,
+                            "unknown modeler '" + request.modeler + "'"};
+    }
+    const measure::ExperimentSet set = resolve_measurements(request);
+    modeling::Session& session = session_for(state, request);
+
+    modeling::Context context;
+    context.alternatives = request.alternatives;
+    context.task = request.task;
+    modeling::Report report = session.run(request.modeler, set, context);
+    if (!request.include_timings) report.timings = modeling::Timings{};
+
+    if (!request.task.empty() && report.has_model) {
+        cache_model(request.task, report.selected.model, set.parameter_count());
+    }
+
+    // "report" is intentionally the last key: a client can recover the
+    // byte-exact report document by stripping the envelope prefix up to
+    // `"report": ` and the closing '}'.
+    return ok_response_prefix("model", request.id_json) + ", \"report\": " +
+           modeling::to_json(report) + "}";
+}
+
+std::string Server::handle_ingest(WorkerState& state, const Request& request) {
+    if (request.archive.empty()) {
+        invalid("verb 'ingest' requires field 'archive'");
+    }
+    if (request.measurements.empty()) {
+        invalid("verb 'ingest' requires field 'measurements'");
+    }
+    if (request.kernel.empty() != request.metric.empty()) {
+        invalid("fields 'kernel' and 'metric' must be given together");
+    }
+    if (request.remodel && !modeling::is_registered(request.modeler)) {
         throw ProtocolFault{ErrorCode::UnknownModeler,
                             "unknown modeler '" + request.modeler + "'"};
     }
@@ -342,39 +478,58 @@ std::string Server::handle_model(modeling::Session& session, const Request& requ
         throw ProtocolFault{ErrorCode::ParseError,
                             format_diagnostic(loaded.diagnostics.front())};
     }
+    if (loaded.set->empty()) invalid("ingest batch has no measurements");
 
+    // One commit at a time: two concurrent append batches to the same
+    // archive would otherwise both re-pack from the same committed image
+    // and the second rename would drop the first batch.
+    measure::AppendResult appended;
+    {
+        std::lock_guard<std::mutex> lock(ingest_mutex_);
+        appended = request.kernel.empty()
+                       ? measure::append_binary_set_file(request.archive, *loaded.set)
+                       : measure::append_binary_file(request.archive, request.kernel,
+                                                     request.metric, *loaded.set);
+    }
+    const char* status =
+        appended.status == xpcore::archive::Writer::OpenStatus::Created  ? "created"
+        : appended.status == xpcore::archive::Writer::OpenStatus::Repaired ? "repaired"
+                                                                           : "appended";
+
+    std::string response = ok_response_prefix("ingest", request.id_json) +
+                           ", \"archive\": " + json_quote(request.archive) +
+                           ", \"status\": \"" + status + "\"" +
+                           ", \"appended\": " + std::to_string(appended.appended) +
+                           ", \"total\": " + std::to_string(appended.total);
+    if (!request.remodel) return response + "}";
+
+    // Incremental re-model: only the touched experiment, re-materialized
+    // from the just-committed archive so the model covers every batch
+    // ingested so far (not just this one).
+    measure::ExperimentSet task_set;
+    if (request.kernel.empty()) {
+        task_set = measure::load_binary_set_file(request.archive);
+    } else {
+        const measure::Archive archive = measure::load_binary_archive_file(request.archive);
+        const measure::ArchiveEntry* entry = archive.find(request.kernel, request.metric);
+        if (entry == nullptr) {
+            throw ProtocolFault{ErrorCode::Internal,
+                                "entry vanished from archive after append"};
+        }
+        task_set = entry->experiments;
+    }
+    modeling::Session& session = session_for(state, request);
     modeling::Context context;
     context.alternatives = request.alternatives;
     context.task = request.task;
-    modeling::Report report = session.run(request.modeler, *loaded.set, context);
+    modeling::Report report = session.run(request.modeler, task_set, context);
     if (!request.include_timings) report.timings = modeling::Timings{};
-
     if (!request.task.empty() && report.has_model) {
-        std::lock_guard<std::mutex> lock(cache_mutex_);
-        auto existing = std::find_if(cache_.begin(), cache_.end(),
-                                     [&](const auto& e) { return e.first == request.task; });
-        if (existing != cache_.end()) {
-            existing->second = CachedModel{report.selected.model,
-                                           loaded.set->parameter_count()};
-        } else {
-            while (cache_.size() >= config_.report_cache_capacity && !cache_order_.empty()) {
-                const std::string& victim = cache_order_.front();
-                cache_.erase(std::remove_if(cache_.begin(), cache_.end(),
-                                            [&](const auto& e) { return e.first == victim; }),
-                             cache_.end());
-                cache_order_.pop_front();
-            }
-            cache_.emplace_back(request.task, CachedModel{report.selected.model,
-                                                          loaded.set->parameter_count()});
-            cache_order_.push_back(request.task);
-        }
+        cache_model(request.task, report.selected.model, task_set.parameter_count());
     }
 
-    // "report" is intentionally the last key: a client can recover the
-    // byte-exact report document by stripping the envelope prefix up to
-    // `"report": ` and the closing '}'.
-    return ok_response_prefix("model", request.id_json) + ", \"report\": " +
-           modeling::to_json(report) + "}";
+    // "report" last, exactly like the model verb.
+    return response + ", \"report\": " + modeling::to_json(report) + "}";
 }
 
 std::string Server::handle_predict(const Request& request) {

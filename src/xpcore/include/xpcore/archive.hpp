@@ -1,0 +1,221 @@
+#pragma once
+
+/// \file archive.hpp
+/// The "xpdnn.arch" v1 binary measurement archive: a versioned, checksummed,
+/// memory-mappable container for measurement sections at million-measurement
+/// scale. The text loaders (measure/io.hpp) are parse-bound and
+/// all-or-nothing; this format trades their readability for zero-copy mmap
+/// loads and append-only streaming ingestion.
+///
+/// On-disk layout (all integers and floats little-endian; the reader
+/// refuses big-endian hosts rather than byte-swap):
+///
+///     [header: 128 bytes]
+///     [data region: one 64-byte-aligned payload per section]
+///     [string table]
+///     [section table: 64 bytes per section]
+///
+/// Header (offsets in bytes):
+///
+///     0   char[8]  magic "xpdnArc1"
+///     8   u32      format_version (1)
+///     12  u32      flags (bit 0: single experiment set, see measure/binary.hpp)
+///     16  u64      committed_file_size   (truncation detection)
+///     24  u64      parameter_count
+///     32  u64      section_count
+///     40  u64      section_table_offset
+///     48  u64      string_table_offset
+///     56  u64      string_table_size
+///     64  u64      content_fingerprint   (FNV-1a, see below)
+///     72  u64      header_checksum       (FNV-1a of header bytes 0..71)
+///     80  u8[48]   reserved (zero)
+///
+/// The string table starts with the parameter names (each u64 length +
+/// bytes), followed by the section name bytes referenced by the section
+/// table. A section table entry:
+///
+///     u64 kernel_offset, kernel_size      (into the string table)
+///     u64 metric_offset, metric_size
+///     u64 payload_offset                  (64-byte aligned, absolute)
+///     u64 measurement_count               (m)
+///     u64 value_count                     (total repetitions)
+///     u64 section_fingerprint             (FNV-1a of names, counts, payload)
+///
+/// A section payload holds three arrays, each 64-byte aligned:
+///
+///     u64 value_offsets[m + 1]            (prefix offsets into values[])
+///     f64 points[m * parameter_count]
+///     f64 values[value_count]
+///
+/// Sections are an append-only log: the same (kernel, metric) may appear in
+/// several sections — one per append batch — and consumers concatenate them
+/// in file order. Integrity is two-level FNV-1a: each section's fingerprint
+/// covers its names, counts, and payload arrays (scalars and strings mix
+/// byte-wise; the arrays mix as little-endian u64 *words* — their byte size
+/// is always a multiple of 8 — for one multiply per word instead of per
+/// byte), and the content fingerprint is an incremental stream over
+/// version, flags, parameter names, and the section fingerprints in file
+/// order. Because FNV-1a's state *is* its digest, an appending writer
+/// resumes the content stream from the stored fingerprint; the reader
+/// re-derives everything with a single pass over the payload bytes, and
+/// any flipped byte still changes both digests.
+///
+/// Durability follows the pretrain-cache discipline: every commit writes a
+/// complete new image to a temp file (pid + counter suffix) and rename(2)s
+/// it over the archive, so readers only ever observe fully-committed
+/// archives — an mmap of the previous image stays valid after a concurrent
+/// commit replaces the path. A corrupt or truncated existing file is a
+/// *typed miss*: Reader::open throws xpcore::ParseError/ValidationError,
+/// and Writer moves the bad file aside (".corrupt") and starts fresh
+/// (OpenStatus::Repaired).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpcore/hash.hpp"
+
+namespace xpcore::archive {
+
+inline constexpr char kMagic[8] = {'x', 'p', 'd', 'n', 'A', 'r', 'c', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderSize = 128;
+inline constexpr std::size_t kAlignment = 64;
+
+/// Header flag bits. Bit 0 marks an archive holding exactly one unnamed
+/// experiment set (the binary form of a measure/io.hpp text file, as
+/// opposed to a multi-kernel measure/archive.hpp file).
+inline constexpr std::uint32_t kFlagSingleSet = 1u;
+
+/// Zero-copy view of one section of a mapped archive. Spans point into the
+/// mapping and stay valid for the lifetime of the Reader they came from.
+struct SectionView {
+    std::string_view kernel;
+    std::string_view metric;
+    std::span<const std::uint64_t> value_offsets;  ///< size m + 1, prefix sums
+    std::span<const double> points;                ///< m * parameter_count
+    std::span<const double> values;                ///< value_offsets.back()
+    std::uint64_t fingerprint = 0;  ///< stored section fingerprint (verified on open)
+
+    std::size_t measurement_count() const { return value_offsets.size() - 1; }
+};
+
+/// Memory-mapped archive reader. open() validates the whole structure
+/// (magic, version, checksums, bounds, alignment, finiteness) up front, so
+/// section access never fails. Copyable: copies share the mapping.
+class Reader {
+public:
+    /// Map and validate `path`. Throws xpcore::Error when the file cannot
+    /// be opened, xpcore::ParseError when it is not a well-formed archive
+    /// (bad magic, torn header, truncation, out-of-bounds structure), and
+    /// xpcore::ValidationError on semantic violations (version skew,
+    /// fingerprint mismatch, non-finite payload values, big-endian host).
+    /// `verify_content` additionally re-derives the content fingerprint and
+    /// scans payloads for non-finite values (one sequential pass; on by
+    /// default so a binary load is exactly as strict as a text load).
+    static Reader open(const std::string& path, bool verify_content = true);
+
+    std::uint32_t flags() const;
+    const std::vector<std::string>& parameter_names() const;
+    std::size_t parameter_count() const;
+    std::size_t section_count() const;
+    SectionView section(std::size_t index) const;
+    std::uint64_t content_fingerprint() const;
+
+    /// Sum of measurement_count over all sections.
+    std::uint64_t total_measurements() const;
+    /// Bytes of the mapped file.
+    std::uint64_t file_size() const;
+
+private:
+    struct Impl;
+    explicit Reader(std::shared_ptr<const Impl> impl) : impl_(std::move(impl)) {}
+    std::shared_ptr<const Impl> impl_;
+};
+
+/// One staged append batch for a (kernel, metric) pair.
+struct PendingSection {
+    std::string kernel;
+    std::string metric;
+    std::vector<std::uint64_t> value_offsets;  ///< m + 1 prefix offsets
+    std::vector<double> points;                ///< m * parameter_count
+    std::vector<double> values;                ///< value_offsets.back()
+};
+
+/// Append-only streaming writer. stage() buffers sections in memory;
+/// commit() atomically publishes everything staged so far as one batch
+/// (write full image to temp, rename over the archive). Destroying a
+/// writer with staged-but-uncommitted sections discards them.
+class Writer {
+public:
+    enum class OpenStatus {
+        Created,    ///< no archive existed; a fresh one will be written
+        Appending,  ///< existing archive validated; appends continue it
+        Repaired,   ///< existing file corrupt: moved to "<path>.corrupt", fresh start
+    };
+
+    /// Open `path` for appending, creating it logically when absent. An
+    /// existing valid archive must have exactly `parameter_names` (and the
+    /// same flags), otherwise xpcore::ValidationError; an existing invalid
+    /// file is treated as a typed miss and repaired (moved aside). Nothing
+    /// is written until the first commit(). With `truncate`, any existing
+    /// file is ignored (not even read) and the first commit atomically
+    /// replaces it — overwrite-save semantics.
+    Writer(std::string path, std::vector<std::string> parameter_names,
+           std::uint32_t format_flags = 0, bool truncate = false);
+
+    OpenStatus status() const { return status_; }
+    const std::vector<std::string>& parameter_names() const { return parameter_names_; }
+
+    std::size_t committed_sections() const { return sections_.size(); }
+    std::uint64_t committed_measurements() const { return committed_measurements_; }
+    std::uint64_t staged_measurements() const { return staged_measurements_; }
+
+    /// Stage one section. Validates shape (non-empty, strictly increasing
+    /// prefix offsets, points sized m * parameter_count, finite doubles);
+    /// throws xpcore::ValidationError on violations.
+    void stage(PendingSection section);
+
+    /// Atomically publish all staged sections: write the complete new image
+    /// to "<path>.<pid>.<n>.tmp" and rename it over the archive. No-op when
+    /// nothing is staged and a committed image already exists (a first
+    /// commit with nothing staged publishes a valid empty archive). Throws
+    /// xpcore::Error on I/O failure (the temp file is removed; the
+    /// committed archive is untouched).
+    void commit();
+
+private:
+    struct SectionMeta {
+        std::string kernel;
+        std::string metric;
+        std::uint64_t payload_offset = 0;
+        std::uint64_t measurement_count = 0;
+        std::uint64_t value_count = 0;
+        std::uint64_t fingerprint = 0;
+    };
+
+    std::string path_;
+    std::vector<std::string> parameter_names_;
+    std::uint32_t flags_ = 0;
+    OpenStatus status_ = OpenStatus::Created;
+    bool file_committed_ = false;  ///< a valid image exists at path_
+
+    std::vector<SectionMeta> sections_;       ///< committed, in file order
+    std::uint64_t data_region_size_ = 0;      ///< committed payload bytes
+    std::uint64_t committed_measurements_ = 0;
+    Fnv1a content_hash_;                      ///< running content fingerprint
+
+    std::vector<PendingSection> staged_;
+    std::uint64_t staged_measurements_ = 0;
+};
+
+/// True when the file at `path` starts with the archive magic (cheap sniff
+/// used to route between the binary and text loaders). False for missing or
+/// short files.
+bool sniff(const std::string& path);
+
+}  // namespace xpcore::archive

@@ -1,0 +1,694 @@
+#include "xpcore/archive.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <utility>
+
+#include "xpcore/error.hpp"
+
+namespace xpcore::archive {
+namespace {
+
+// Every multi-byte field is stored little-endian. The archive targets the
+// x86 containers this repo runs on; rather than byte-swap on exotic hosts,
+// refuse loudly so the failure mode is a typed error, not silent garbage.
+void require_little_endian(const std::string& source) {
+    if constexpr (std::endian::native != std::endian::little) {
+        throw ValidationError(
+            {source, 0, 0, "binary archives require a little-endian host"});
+    }
+}
+
+[[noreturn]] void parse_fail(const std::string& source, const std::string& message) {
+    throw ParseError({source, 0, 0, message});
+}
+
+[[noreturn]] void validation_fail(const std::string& source, const std::string& message) {
+    throw ValidationError({source, 0, 0, message});
+}
+
+std::uint64_t align_up(std::uint64_t offset) {
+    return (offset + kAlignment - 1) / kAlignment * kAlignment;
+}
+
+// Fixed header field offsets (bytes). Serialized field by field — never by
+// memcpy of a struct — so padding can not leak into the file.
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 8;
+constexpr std::size_t kOffFlags = 12;
+constexpr std::size_t kOffFileSize = 16;
+constexpr std::size_t kOffParamCount = 24;
+constexpr std::size_t kOffSectionCount = 32;
+constexpr std::size_t kOffSectionTable = 40;
+constexpr std::size_t kOffStringTable = 48;
+constexpr std::size_t kOffStringTableSize = 56;
+constexpr std::size_t kOffFingerprint = 64;
+constexpr std::size_t kOffHeaderChecksum = 72;
+constexpr std::size_t kHeaderChecksumSpan = kOffHeaderChecksum;  // bytes 0..71
+
+constexpr std::size_t kSectionEntrySize = 64;
+
+struct Header {
+    std::uint32_t version = kFormatVersion;
+    std::uint32_t flags = 0;
+    std::uint64_t file_size = 0;
+    std::uint64_t parameter_count = 0;
+    std::uint64_t section_count = 0;
+    std::uint64_t section_table_offset = 0;
+    std::uint64_t string_table_offset = 0;
+    std::uint64_t string_table_size = 0;
+    std::uint64_t content_fingerprint = 0;
+};
+
+template <typename T>
+void put(unsigned char* base, std::size_t offset, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(base + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T get(const unsigned char* base, std::size_t offset) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    std::memcpy(&value, base + offset, sizeof(T));
+    return value;
+}
+
+void encode_header(unsigned char* out, const Header& h) {
+    std::memset(out, 0, kHeaderSize);
+    std::memcpy(out + kOffMagic, kMagic, sizeof(kMagic));
+    put(out, kOffVersion, h.version);
+    put(out, kOffFlags, h.flags);
+    put(out, kOffFileSize, h.file_size);
+    put(out, kOffParamCount, h.parameter_count);
+    put(out, kOffSectionCount, h.section_count);
+    put(out, kOffSectionTable, h.section_table_offset);
+    put(out, kOffStringTable, h.string_table_offset);
+    put(out, kOffStringTableSize, h.string_table_size);
+    put(out, kOffFingerprint, h.content_fingerprint);
+    Fnv1a checksum;
+    checksum.mix(out, kHeaderChecksumSpan);
+    put(out, kOffHeaderChecksum, checksum.state);
+}
+
+Header decode_header(const unsigned char* in, std::uint64_t actual_size,
+                     const std::string& source) {
+    if (actual_size < kHeaderSize) {
+        parse_fail(source, "truncated header: file is " + std::to_string(actual_size) +
+                               " bytes, header needs " + std::to_string(kHeaderSize));
+    }
+    if (std::memcmp(in + kOffMagic, kMagic, sizeof(kMagic)) != 0) {
+        parse_fail(source, "bad magic: not an xpdnn.arch archive");
+    }
+    Header h;
+    h.version = get<std::uint32_t>(in, kOffVersion);
+    if (h.version != kFormatVersion) {
+        validation_fail(source, "unsupported archive format version " +
+                                    std::to_string(h.version) + " (expected " +
+                                    std::to_string(kFormatVersion) + ")");
+    }
+    Fnv1a checksum;
+    checksum.mix(in, kHeaderChecksumSpan);
+    if (checksum.state != get<std::uint64_t>(in, kOffHeaderChecksum)) {
+        parse_fail(source, "header checksum mismatch (torn or corrupt write)");
+    }
+    h.flags = get<std::uint32_t>(in, kOffFlags);
+    h.file_size = get<std::uint64_t>(in, kOffFileSize);
+    h.parameter_count = get<std::uint64_t>(in, kOffParamCount);
+    h.section_count = get<std::uint64_t>(in, kOffSectionCount);
+    h.section_table_offset = get<std::uint64_t>(in, kOffSectionTable);
+    h.string_table_offset = get<std::uint64_t>(in, kOffStringTable);
+    h.string_table_size = get<std::uint64_t>(in, kOffStringTableSize);
+    h.content_fingerprint = get<std::uint64_t>(in, kOffFingerprint);
+    if (h.file_size != actual_size) {
+        parse_fail(source, "truncated archive: header commits " +
+                               std::to_string(h.file_size) + " bytes, file has " +
+                               std::to_string(actual_size));
+    }
+    return h;
+}
+
+// The content fingerprint covers everything semantically meaningful, in
+// file order, so an appending writer can resume the FNV-1a stream from the
+// stored state. Helpers shared by writer (forward) and reader (re-derive).
+void mix_preamble(Fnv1a& hash, std::uint32_t flags,
+                  const std::vector<std::string>& parameter_names) {
+    hash.mix_value(kFormatVersion);
+    hash.mix_value(flags);
+    hash.mix_value(static_cast<std::uint64_t>(parameter_names.size()));
+    for (const auto& name : parameter_names) hash.mix_string(name);
+}
+
+// Payload arrays mix as little-endian u64 words, not bytes (see the format
+// notes in the header): one FNV multiply per word makes verifying a mapped
+// million-measurement archive ~8x faster, and any flipped payload byte
+// still changes the digest. Array byte sizes are always multiples of 8.
+void mix_words(Fnv1a& hash, const void* data, std::size_t size_bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i + sizeof(std::uint64_t) <= size_bytes;
+         i += sizeof(std::uint64_t)) {
+        std::uint64_t word;
+        std::memcpy(&word, p + i, sizeof(word));
+        hash.state ^= word;
+        hash.state *= 0x100000001B3ull;
+    }
+}
+
+void mix_section(Fnv1a& hash, std::string_view kernel, std::string_view metric,
+                 std::span<const std::uint64_t> value_offsets,
+                 std::span<const double> points, std::span<const double> values) {
+    hash.mix_string(kernel);
+    hash.mix_string(metric);
+    hash.mix_value(static_cast<std::uint64_t>(value_offsets.size() - 1));
+    hash.mix_value(static_cast<std::uint64_t>(values.size()));
+    mix_words(hash, value_offsets.data(), value_offsets.size_bytes());
+    mix_words(hash, points.data(), points.size_bytes());
+    mix_words(hash, values.data(), values.size_bytes());
+}
+
+std::uint64_t section_fingerprint(std::string_view kernel, std::string_view metric,
+                                  std::span<const std::uint64_t> value_offsets,
+                                  std::span<const double> points,
+                                  std::span<const double> values) {
+    Fnv1a hash;
+    mix_section(hash, kernel, metric, value_offsets, points, values);
+    return hash.state;
+}
+
+/// RAII read-only mapping of a whole file. Empty files map nothing.
+struct Mapping {
+    const unsigned char* data = nullptr;
+    std::uint64_t size = 0;
+
+    Mapping() = default;
+    Mapping(const Mapping&) = delete;
+    Mapping& operator=(const Mapping&) = delete;
+    ~Mapping() {
+        if (data != nullptr) ::munmap(const_cast<unsigned char*>(data), size);
+    }
+
+    void open(const std::string& path) {
+        int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        if (fd < 0) {
+            throw Error({path, 0, 0,
+                         std::string("cannot open archive: ") + std::strerror(errno)});
+        }
+        struct ::stat st {};
+        if (::fstat(fd, &st) != 0) {
+            int err = errno;
+            ::close(fd);
+            throw Error({path, 0, 0,
+                         std::string("cannot stat archive: ") + std::strerror(err)});
+        }
+        size = static_cast<std::uint64_t>(st.st_size);
+        if (size > 0) {
+            void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+            if (mapped == MAP_FAILED) {
+                int err = errno;
+                ::close(fd);
+                throw Error({path, 0, 0,
+                             std::string("cannot mmap archive: ") + std::strerror(err)});
+            }
+            data = static_cast<const unsigned char*>(mapped);
+        }
+        ::close(fd);
+    }
+};
+
+std::string temp_path_for(const std::string& path) {
+    static std::atomic<std::uint64_t> counter{0};
+    return path + "." + std::to_string(::getpid()) + "." +
+           std::to_string(counter.fetch_add(1, std::memory_order_relaxed)) + ".tmp";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Reader
+
+struct Reader::Impl {
+    std::string path;
+    Mapping mapping;
+    Header header;
+    std::vector<std::string> parameter_names;
+    std::vector<SectionView> sections;
+    std::uint64_t total_measurements = 0;
+};
+
+Reader Reader::open(const std::string& path, bool verify_content) {
+    require_little_endian(path);
+    auto impl = std::make_shared<Impl>();
+    impl->path = path;
+    impl->mapping.open(path);
+    const unsigned char* base = impl->mapping.data;
+    const std::uint64_t size = impl->mapping.size;
+    impl->header = decode_header(base, size, path);
+    const Header& h = impl->header;
+
+    // Structural bounds. The layout is header | data | string table |
+    // section table; every offset below is validated against `size` before
+    // any dereference so a hostile file cannot walk the mapping.
+    const std::uint64_t table_bytes = h.section_count * kSectionEntrySize;
+    if (h.section_count > (size - kHeaderSize) / kSectionEntrySize ||
+        h.section_table_offset > size - table_bytes) {
+        parse_fail(path, "section table out of bounds");
+    }
+    if (h.string_table_offset > size || h.string_table_size > size - h.string_table_offset) {
+        parse_fail(path, "string table out of bounds");
+    }
+    if (h.string_table_offset < kHeaderSize || h.section_table_offset < h.string_table_offset) {
+        parse_fail(path, "layout violation: tables must follow the data region");
+    }
+
+    // Parameter names live at the head of the string table.
+    const unsigned char* strings = base + h.string_table_offset;
+    std::uint64_t cursor = 0;
+    for (std::uint64_t p = 0; p < h.parameter_count; ++p) {
+        if (cursor + sizeof(std::uint64_t) > h.string_table_size) {
+            parse_fail(path, "string table truncated in parameter names");
+        }
+        const auto len = get<std::uint64_t>(strings, cursor);
+        cursor += sizeof(std::uint64_t);
+        if (len > h.string_table_size - cursor) {
+            parse_fail(path, "parameter name overruns string table");
+        }
+        impl->parameter_names.emplace_back(reinterpret_cast<const char*>(strings + cursor),
+                                           len);
+        cursor += len;
+    }
+
+    auto string_ref = [&](std::uint64_t offset, std::uint64_t len,
+                          const char* what) -> std::string_view {
+        if (offset > h.string_table_size || len > h.string_table_size - offset) {
+            parse_fail(path, std::string(what) + " name overruns string table");
+        }
+        return {reinterpret_cast<const char*>(strings + offset), len};
+    };
+
+    impl->sections.reserve(h.section_count);
+    // Re-derive the content fingerprint alongside section validation: one
+    // pass over each section's payload computes its fingerprint, which both
+    // checks the stored per-section value and feeds the content stream.
+    Fnv1a content;
+    if (verify_content) mix_preamble(content, h.flags, impl->parameter_names);
+    const unsigned char* table = base + h.section_table_offset;
+    for (std::uint64_t s = 0; s < h.section_count; ++s) {
+        const unsigned char* entry = table + s * kSectionEntrySize;
+        const auto kernel_off = get<std::uint64_t>(entry, 0);
+        const auto kernel_len = get<std::uint64_t>(entry, 8);
+        const auto metric_off = get<std::uint64_t>(entry, 16);
+        const auto metric_len = get<std::uint64_t>(entry, 24);
+        const auto payload_off = get<std::uint64_t>(entry, 32);
+        const auto m = get<std::uint64_t>(entry, 40);
+        const auto value_count = get<std::uint64_t>(entry, 48);
+        const auto stored_fp = get<std::uint64_t>(entry, 56);
+
+        if (m == 0) parse_fail(path, "section " + std::to_string(s) + " has no measurements");
+        if (payload_off % kAlignment != 0) {
+            parse_fail(path, "section " + std::to_string(s) + " payload misaligned");
+        }
+        // Payload extent: offsets array, points array, values array, each
+        // padded to the alignment. Guard each multiplication via division.
+        const std::uint64_t max_count = size / sizeof(double);
+        if (m >= max_count || value_count > max_count ||
+            (h.parameter_count != 0 && m > max_count / h.parameter_count)) {
+            parse_fail(path, "section " + std::to_string(s) + " counts out of bounds");
+        }
+        const std::uint64_t offsets_bytes = align_up((m + 1) * sizeof(std::uint64_t));
+        const std::uint64_t points_bytes = align_up(m * h.parameter_count * sizeof(double));
+        const std::uint64_t values_bytes = align_up(value_count * sizeof(double));
+        const std::uint64_t payload_bytes = offsets_bytes + points_bytes + values_bytes;
+        if (payload_off < kHeaderSize || payload_off > h.string_table_offset ||
+            payload_bytes > h.string_table_offset - payload_off) {
+            parse_fail(path, "section " + std::to_string(s) + " payload out of bounds");
+        }
+
+        SectionView view;
+        view.kernel = string_ref(kernel_off, kernel_len, "kernel");
+        view.metric = string_ref(metric_off, metric_len, "metric");
+        view.fingerprint = stored_fp;
+        view.value_offsets = {
+            reinterpret_cast<const std::uint64_t*>(base + payload_off), m + 1};
+        view.points = {
+            reinterpret_cast<const double*>(base + payload_off + offsets_bytes),
+            m * h.parameter_count};
+        view.values = {
+            reinterpret_cast<const double*>(base + payload_off + offsets_bytes + points_bytes),
+            value_count};
+
+        if (view.value_offsets.front() != 0 || view.value_offsets.back() != value_count) {
+            parse_fail(path, "section " + std::to_string(s) + " prefix offsets malformed");
+        }
+        for (std::uint64_t i = 0; i < m; ++i) {
+            if (view.value_offsets[i] >= view.value_offsets[i + 1]) {
+                parse_fail(path, "section " + std::to_string(s) +
+                                     " prefix offsets not strictly increasing");
+            }
+        }
+        if (verify_content) {
+            if (stored_fp != section_fingerprint(view.kernel, view.metric, view.value_offsets,
+                                                 view.points, view.values)) {
+                validation_fail(path, "section " + std::to_string(s) +
+                                          " fingerprint mismatch (corrupt payload)");
+            }
+            content.mix_value(stored_fp);
+            for (double v : view.points) {
+                if (!std::isfinite(v)) {
+                    validation_fail(path, "section " + std::to_string(s) +
+                                              " contains a non-finite coordinate");
+                }
+            }
+            for (double v : view.values) {
+                if (!std::isfinite(v)) {
+                    validation_fail(path, "section " + std::to_string(s) +
+                                              " contains a non-finite value");
+                }
+            }
+        }
+        impl->total_measurements += m;
+        impl->sections.push_back(view);
+    }
+
+    if (verify_content && content.state != h.content_fingerprint) {
+        validation_fail(path, "content fingerprint mismatch (corrupt archive)");
+    }
+    return Reader(std::move(impl));
+}
+
+std::uint32_t Reader::flags() const { return impl_->header.flags; }
+const std::vector<std::string>& Reader::parameter_names() const {
+    return impl_->parameter_names;
+}
+std::size_t Reader::parameter_count() const { return impl_->parameter_names.size(); }
+std::size_t Reader::section_count() const { return impl_->sections.size(); }
+SectionView Reader::section(std::size_t index) const { return impl_->sections.at(index); }
+std::uint64_t Reader::content_fingerprint() const {
+    return impl_->header.content_fingerprint;
+}
+std::uint64_t Reader::total_measurements() const { return impl_->total_measurements; }
+std::uint64_t Reader::file_size() const { return impl_->mapping.size; }
+
+// ---------------------------------------------------------------------------
+// Writer
+
+Writer::Writer(std::string path, std::vector<std::string> parameter_names,
+               std::uint32_t format_flags, bool truncate)
+    : path_(std::move(path)), parameter_names_(std::move(parameter_names)),
+      flags_(format_flags) {
+    require_little_endian(path_);
+    std::error_code ec;
+    if (truncate || !std::filesystem::exists(path_, ec)) {
+        status_ = OpenStatus::Created;
+    } else {
+        // A file that fails to load for *any* typed reason — truncation,
+        // corruption, version skew — is a miss to repair, exactly like the
+        // pretrain cache. Only a file that loads cleanly can raise a
+        // semantic conflict (wrong parameters/flags), which is a caller
+        // error against healthy data and must not destroy it.
+        std::optional<Reader> existing;
+        try {
+            existing.emplace(Reader::open(path_, /*verify_content=*/true));
+        } catch (const Error&) {
+            // Typed miss: move the bad file aside so it stays inspectable,
+            // then start fresh.
+            std::filesystem::rename(path_, path_ + ".corrupt", ec);
+            if (ec) std::filesystem::remove(path_, ec);
+            status_ = OpenStatus::Repaired;
+        }
+        if (existing.has_value()) {
+            if (existing->parameter_names() != parameter_names_) {
+                validation_fail(path_, "archive parameter names do not match writer");
+            }
+            if (existing->flags() != flags_) {
+                validation_fail(path_, "archive flags do not match writer");
+            }
+            status_ = OpenStatus::Appending;
+            data_region_size_ = 0;
+            for (std::size_t s = 0; s < existing->section_count(); ++s) {
+                SectionView view = existing->section(s);
+                SectionMeta meta;
+                meta.kernel = std::string(view.kernel);
+                meta.metric = std::string(view.metric);
+                meta.measurement_count = view.measurement_count();
+                meta.value_count = view.values.size();
+                // Already checked by the verifying open above — no re-hash.
+                meta.fingerprint = view.fingerprint;
+                // Payloads are re-packed contiguously from offset 128 on the
+                // next commit; only sizes matter here, not old offsets.
+                meta.payload_offset = 0;
+                committed_measurements_ += meta.measurement_count;
+                data_region_size_ += align_up((meta.measurement_count + 1) * sizeof(std::uint64_t)) +
+                                     align_up(meta.measurement_count * parameter_names_.size() *
+                                              sizeof(double)) +
+                                     align_up(meta.value_count * sizeof(double));
+                sections_.push_back(std::move(meta));
+            }
+            // Resume the content-fingerprint stream where the file left it.
+            content_hash_.state = existing->content_fingerprint();
+            file_committed_ = true;
+        }
+    }
+    if (status_ != OpenStatus::Appending) {
+        mix_preamble(content_hash_, flags_, parameter_names_);
+    }
+}
+
+void Writer::stage(PendingSection section) {
+    const std::size_t params = parameter_names_.size();
+    if (section.value_offsets.size() < 2) {
+        validation_fail(path_, "staged section needs at least one measurement");
+    }
+    const std::size_t m = section.value_offsets.size() - 1;
+    if (section.value_offsets.front() != 0 ||
+        section.value_offsets.back() != section.values.size()) {
+        validation_fail(path_, "staged section prefix offsets do not cover values");
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        if (section.value_offsets[i] >= section.value_offsets[i + 1]) {
+            validation_fail(path_, "staged section prefix offsets not strictly increasing");
+        }
+    }
+    if (section.points.size() != m * params) {
+        validation_fail(path_, "staged section points size does not match measurements");
+    }
+    for (double v : section.points) {
+        if (!std::isfinite(v)) validation_fail(path_, "staged section has non-finite coordinate");
+    }
+    for (double v : section.values) {
+        if (!std::isfinite(v)) validation_fail(path_, "staged section has non-finite value");
+    }
+    staged_measurements_ += m;
+    staged_.push_back(std::move(section));
+}
+
+void Writer::commit() {
+    if (staged_.empty() && file_committed_) return;
+
+    // Gather the committed payloads before building the image. Re-validate
+    // the committed file so a concurrent corruption turns into a typed
+    // error, not silent propagation.
+    std::shared_ptr<void> keep_alive;  // holds the Reader's mapping
+    std::vector<SectionView> committed_views;
+    if (!sections_.empty()) {
+        auto reader = std::make_shared<Reader>(Reader::open(path_, /*verify_content=*/false));
+        if (reader->section_count() != sections_.size()) {
+            validation_fail(path_, "archive changed under writer (section count)");
+        }
+        committed_views.reserve(sections_.size());
+        for (std::size_t s = 0; s < sections_.size(); ++s) {
+            committed_views.push_back(reader->section(s));
+        }
+        keep_alive = reader;
+    }
+
+    const std::size_t params = parameter_names_.size();
+    struct Placed {
+        std::uint64_t offset;
+        std::uint64_t offsets_bytes;
+        std::uint64_t points_bytes;
+        std::uint64_t values_bytes;
+    };
+
+    // Lay out: header | payloads (old then new) | string table | table.
+    std::uint64_t cursor = kHeaderSize;
+    auto place = [&](std::uint64_t m, std::uint64_t value_count) {
+        Placed p;
+        p.offset = cursor;
+        p.offsets_bytes = align_up((m + 1) * sizeof(std::uint64_t));
+        p.points_bytes = align_up(m * params * sizeof(double));
+        p.values_bytes = align_up(value_count * sizeof(double));
+        cursor += p.offsets_bytes + p.points_bytes + p.values_bytes;
+        return p;
+    };
+    std::vector<Placed> old_placed;
+    old_placed.reserve(committed_views.size());
+    for (const auto& view : committed_views) {
+        old_placed.push_back(place(view.measurement_count(), view.values.size()));
+    }
+    std::vector<Placed> new_placed;
+    new_placed.reserve(staged_.size());
+    for (const auto& section : staged_) {
+        new_placed.push_back(
+            place(section.value_offsets.size() - 1, section.values.size()));
+    }
+
+    // String table: parameter names, then each section's kernel/metric.
+    std::string strings;
+    for (const auto& name : parameter_names_) {
+        std::uint64_t len = name.size();
+        strings.append(reinterpret_cast<const char*>(&len), sizeof(len));
+        strings.append(name);
+    }
+    auto intern = [&](std::string_view text) {
+        std::pair<std::uint64_t, std::uint64_t> ref{strings.size(), text.size()};
+        strings.append(text);
+        return ref;
+    };
+
+    const std::uint64_t string_table_offset = cursor;
+    const std::uint64_t section_count = sections_.size() + staged_.size();
+
+    // Extend the running content fingerprint over the new sections only —
+    // the committed prefix is already mixed into content_hash_. Each staged
+    // section's payload is hashed exactly once; the content stream mixes
+    // the resulting section fingerprints, not the raw bytes again.
+    std::vector<std::uint64_t> staged_fingerprints;
+    staged_fingerprints.reserve(staged_.size());
+    Fnv1a fingerprint = content_hash_;
+    for (const auto& section : staged_) {
+        staged_fingerprints.push_back(section_fingerprint(
+            section.kernel, section.metric, section.value_offsets, section.points,
+            section.values));
+        fingerprint.mix_value(staged_fingerprints.back());
+    }
+
+    // Build the section table (and intern names) in file order.
+    std::vector<unsigned char> table(section_count * kSectionEntrySize, 0);
+    auto fill_entry = [&](std::size_t index, std::string_view kernel,
+                          std::string_view metric, const Placed& placed, std::uint64_t m,
+                          std::uint64_t value_count, std::uint64_t fp) {
+        unsigned char* entry = table.data() + index * kSectionEntrySize;
+        auto [koff, klen] = intern(kernel);
+        auto [moff, mlen] = intern(metric);
+        put(entry, std::size_t{0}, koff);
+        put(entry, std::size_t{8}, klen);
+        put(entry, std::size_t{16}, moff);
+        put(entry, std::size_t{24}, mlen);
+        put(entry, std::size_t{32}, placed.offset);
+        put(entry, std::size_t{40}, m);
+        put(entry, std::size_t{48}, value_count);
+        put(entry, std::size_t{56}, fp);
+    };
+    for (std::size_t s = 0; s < committed_views.size(); ++s) {
+        fill_entry(s, sections_[s].kernel, sections_[s].metric, old_placed[s],
+                   sections_[s].measurement_count, sections_[s].value_count,
+                   sections_[s].fingerprint);
+    }
+    for (std::size_t s = 0; s < staged_.size(); ++s) {
+        const auto& section = staged_[s];
+        const std::uint64_t m = section.value_offsets.size() - 1;
+        fill_entry(committed_views.size() + s, section.kernel, section.metric, new_placed[s],
+                   m, section.values.size(), staged_fingerprints[s]);
+    }
+
+    const std::uint64_t section_table_offset = string_table_offset + strings.size();
+    const std::uint64_t file_size = section_table_offset + table.size();
+
+    Header h;
+    h.flags = flags_;
+    h.file_size = file_size;
+    h.parameter_count = params;
+    h.section_count = section_count;
+    h.section_table_offset = section_table_offset;
+    h.string_table_offset = string_table_offset;
+    h.string_table_size = strings.size();
+    h.content_fingerprint = fingerprint.state;
+    unsigned char header_bytes[kHeaderSize];
+    encode_header(header_bytes, h);
+
+    // Stream the image into a temp file, then rename over the archive.
+    const std::string temp = temp_path_for(path_);
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) throw Error({path_, 0, 0, "cannot open temp file for commit: " + temp});
+        auto write_bytes = [&](const void* data, std::size_t size) {
+            out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+        };
+        static constexpr char kPad[kAlignment] = {};
+        auto write_padded = [&](const void* data, std::size_t size) {
+            write_bytes(data, size);
+            const std::size_t padded = align_up(size);
+            if (padded > size) write_bytes(kPad, padded - size);
+        };
+        write_bytes(header_bytes, kHeaderSize);
+        for (const auto& view : committed_views) {
+            write_padded(view.value_offsets.data(), view.value_offsets.size_bytes());
+            write_padded(view.points.data(), view.points.size_bytes());
+            write_padded(view.values.data(), view.values.size_bytes());
+        }
+        for (const auto& section : staged_) {
+            write_padded(section.value_offsets.data(),
+                         section.value_offsets.size() * sizeof(std::uint64_t));
+            write_padded(section.points.data(), section.points.size() * sizeof(double));
+            write_padded(section.values.data(), section.values.size() * sizeof(double));
+        }
+        write_bytes(strings.data(), strings.size());
+        write_bytes(table.data(), table.size());
+        out.flush();
+        if (!out) {
+            out.close();
+            std::error_code ec;
+            std::filesystem::remove(temp, ec);
+            throw Error({path_, 0, 0, "short write while committing archive"});
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(temp, path_, ec);
+    if (ec) {
+        std::filesystem::remove(temp, ec);
+        throw Error({path_, 0, 0, "cannot publish archive commit: rename failed"});
+    }
+
+    // Adopt the staged sections as committed state.
+    for (std::size_t s = 0; s < staged_.size(); ++s) {
+        const auto& section = staged_[s];
+        SectionMeta meta;
+        meta.kernel = section.kernel;
+        meta.metric = section.metric;
+        meta.payload_offset = new_placed[s].offset;
+        meta.measurement_count = section.value_offsets.size() - 1;
+        meta.value_count = section.values.size();
+        meta.fingerprint = get<std::uint64_t>(
+            table.data() + (committed_views.size() + s) * kSectionEntrySize, 56);
+        committed_measurements_ += meta.measurement_count;
+        sections_.push_back(std::move(meta));
+    }
+    content_hash_ = fingerprint;
+    data_region_size_ = cursor - kHeaderSize;
+    staged_.clear();
+    staged_measurements_ = 0;
+    file_committed_ = true;
+}
+
+bool sniff(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    char head[sizeof(kMagic)];
+    in.read(head, sizeof(head));
+    return in.gcount() == static_cast<std::streamsize>(sizeof(head)) &&
+           std::memcmp(head, kMagic, sizeof(kMagic)) == 0;
+}
+
+}  // namespace xpcore::archive

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "cli/commands.hpp"
+#include "measure/binary.hpp"
 #include "measure/io.hpp"
 #include "noise/injector.hpp"
 #include "pmnf/serialize.hpp"
@@ -264,6 +265,86 @@ TEST(Cli, ModelReportJsonEmitsSchemaDocument) {
         run_cli({"model", write_linear_measurements(), "--modeler=regression", "--report=json"});
     ASSERT_EQ(result.code, 0) << result.err;
     EXPECT_EQ(result.out.rfind("{\"schema\": \"xpdnn.report\"", 0), 0u);
+}
+
+/// Writes a multi-kernel text archive (RELeARN, all kernels) under a fresh
+/// per-process scratch dir and returns {dir, archive_path}.
+std::pair<std::string, std::string> write_relearn_archive_batch() {
+    const std::string dir = ::testing::TempDir() + "/xpdnn_cli_ingest_" +
+                            std::to_string(::getpid());
+    std::filesystem::create_directories(dir);
+    const std::string batch = dir + "/batch.txt";
+    EXPECT_EQ(run_cli({"simulate", "relearn", "--all-kernels", "--out=" + batch,
+                       "--seed=4"})
+                  .code,
+              0);
+    return {dir, batch};
+}
+
+TEST(Cli, IngestArchiveBatchAppendsEveryEntry) {
+    const auto [dir, batch] = write_relearn_archive_batch();
+    const std::string arch = dir + "/live_all.arch";
+
+    const auto created = run_cli({"ingest", arch, batch});
+    ASSERT_EQ(created.code, 0) << created.err;
+    EXPECT_NE(created.out.find("created"), std::string::npos) << created.out;
+
+    const auto appended = run_cli({"ingest", arch, batch});
+    ASSERT_EQ(appended.code, 0) << appended.err;
+    EXPECT_NE(appended.out.find("appended"), std::string::npos) << appended.out;
+
+    const auto live = measure::load_binary_archive_file(arch);
+    const auto source = measure::load_archive_file_any(batch);
+    ASSERT_EQ(live.size(), source.size());
+    for (const auto& entry : source.entries()) {
+        const auto* got = live.find(entry.kernel, entry.metric);
+        ASSERT_NE(got, nullptr) << entry.kernel << "/" << entry.metric;
+        EXPECT_EQ(got->experiments.size(), 2 * entry.experiments.size());
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, IngestArchiveBatchSelectorPicksOneEntry) {
+    const auto [dir, batch] = write_relearn_archive_batch();
+    const std::string arch = dir + "/live_one.arch";
+
+    const auto result = run_cli({"ingest", arch, batch, "--kernel=connectivity_update",
+                                 "--metric=time"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    const auto live = measure::load_binary_archive_file(arch);
+    EXPECT_EQ(live.size(), 1u);
+    EXPECT_NE(live.find("connectivity_update", "time"), nullptr);
+
+    const auto missing = run_cli({"ingest", arch, batch, "--kernel=no_such_kernel",
+                                  "--metric=time"});
+    EXPECT_EQ(missing.code, 1);
+    EXPECT_NE(missing.err.find("no measurements for"), std::string::npos) << missing.err;
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, IngestModelOnMultiKernelBatchNeedsSelector) {
+    const auto [dir, batch] = write_relearn_archive_batch();
+    const std::string arch = dir + "/live_model.arch";
+
+    const auto result = run_cli({"ingest", arch, batch, "--model", "--modeler=regression"});
+    EXPECT_EQ(result.code, 1);
+    EXPECT_NE(result.err.find("--kernel and --metric"), std::string::npos) << result.err;
+    // The error fires before any append: nothing was published.
+    EXPECT_FALSE(std::filesystem::exists(arch));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, IngestShapeMismatchIsATypedError) {
+    const auto [dir, batch] = write_relearn_archive_batch();
+    const std::string arch = dir + "/live_shape.arch";
+    ASSERT_EQ(run_cli({"ingest", arch, batch}).code, 0);
+
+    // A single-set batch without a selector cannot land in an archive-shaped
+    // target: ValidationError, exit 2 like every bad input.
+    const auto mismatch = run_cli({"ingest", arch, write_linear_measurements()});
+    EXPECT_EQ(mismatch.code, 2);
+    EXPECT_FALSE(mismatch.err.empty());
+    std::filesystem::remove_all(dir);
 }
 
 TEST(Cli, ModelRoundTripThroughSimulate) {

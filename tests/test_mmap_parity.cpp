@@ -1,0 +1,208 @@
+// Binary-vs-text modeling parity: feeding the same measurements through the
+// memory-mapped "xpdnn.arch" loaders must leave every modeling decision
+// byte-identical to the text path. The workload is the repo's 17-kernel
+// case-study snapshot (Kripke's 6 + FASTEST's first 11), the same selection
+// the equivalence suite pins — here each kernel is written to disk twice
+// (text and binary), loaded back through the format-agnostic loaders, and
+// modeled by the same Session configuration.
+//
+// Reports are compared as serialized JSON with the wall-clock timings
+// zeroed (the only fields allowed to differ between two runs).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "casestudy/casestudy.hpp"
+#include "dnn/cache.hpp"
+#include "dnn/modeler.hpp"
+#include "measure/archive.hpp"
+#include "measure/binary.hpp"
+#include "measure/io.hpp"
+#include "modeling/report.hpp"
+#include "modeling/session.hpp"
+#include "xpcore/rng.hpp"
+
+namespace {
+
+/// Points XPDNN_CACHE_DIR at a test-private directory for the lifetime of
+/// one test (discovered tests run in separate processes, so tests never
+/// race on a shared cache file).
+struct CacheDirGuard {
+    std::string dir;
+
+    explicit CacheDirGuard(const std::string& tag) {
+        dir = ::testing::TempDir() + "/xpdnn_mmap_" + tag + "_" +
+              std::to_string(::getpid());
+        std::filesystem::create_directories(dir);
+        ::setenv("XPDNN_CACHE_DIR", dir.c_str(), 1);
+    }
+    ~CacheDirGuard() {
+        ::unsetenv("XPDNN_CACHE_DIR");
+        std::filesystem::remove_all(dir);
+    }
+};
+
+/// Scratch directory for the on-disk text/binary file pairs.
+struct ScratchDirGuard {
+    std::string dir;
+
+    ScratchDirGuard() {
+        dir = ::testing::TempDir() + "/xpdnn_mmap_files_" + std::to_string(::getpid());
+        std::filesystem::create_directories(dir);
+    }
+    ~ScratchDirGuard() { std::filesystem::remove_all(dir); }
+
+    std::string path(const std::string& name) const { return dir + "/" + name; }
+};
+
+modeling::Options parity_options() {
+    modeling::Options options;
+    options.seed = 7;
+    options.net_profile = "equiv-tiny";
+    options.net.hidden = {32, 16};
+    options.net.pretrain_samples_per_class = 60;
+    options.net.pretrain_epochs = 1;
+    options.net.adapt_samples_per_class = 40;
+    return options;
+}
+
+/// The repo's 17-kernel selection snapshot (EXPERIMENTS.md): Kripke's 6
+/// and FASTEST's first 11 performance-relevant kernels, one deterministic
+/// experiment set each.
+std::vector<modeling::Session::Task> case_study_tasks() {
+    std::vector<modeling::Session::Task> tasks;
+    std::uint64_t seed = 1000;
+    for (const auto& study : {casestudy::kripke(), casestudy::fastest()}) {
+        std::size_t taken = 0;
+        for (const auto* kernel : study.relevant_kernels()) {
+            if (study.application == "FASTEST" && taken == 11) break;
+            xpcore::Rng rng(seed++);
+            tasks.push_back({study.application + "/" + kernel->name,
+                             study.generate_modeling(*kernel, rng)});
+            ++taken;
+        }
+    }
+    return tasks;
+}
+
+/// The full report document minus the only fields that may legitimately
+/// differ between two identical runs: wall-clock timings.
+std::string report_json_without_timings(modeling::Report report) {
+    report.timings = {};
+    return modeling::to_json(report);
+}
+
+TEST(MmapParity, SnapshotHasSeventeenKernels) {
+    EXPECT_EQ(case_study_tasks().size(), 17u);
+}
+
+/// Round-trip sanity for the workload itself: every kernel's binary file
+/// materializes to the text-identical experiment set.
+TEST(MmapParity, BinaryFilesMaterializeTextIdenticalSets) {
+    ScratchDirGuard files;
+    std::size_t index = 0;
+    for (const auto& task : case_study_tasks()) {
+        const std::string text_path = files.path("k" + std::to_string(index) + ".txt");
+        const std::string binary_path = files.path("k" + std::to_string(index) + ".arch");
+        ++index;
+        measure::save_text_file(task.experiments, text_path);
+        measure::save_binary_file(task.experiments, binary_path);
+        ASSERT_FALSE(measure::is_binary_file(text_path));
+        ASSERT_TRUE(measure::is_binary_file(binary_path));
+
+        const auto from_text = measure::load_set_file_any(text_path);
+        const auto from_binary = measure::load_set_file_any(binary_path);
+        std::ostringstream text_doc, binary_doc;
+        measure::save_text(from_text, text_doc);
+        measure::save_text(from_binary, binary_doc);
+        EXPECT_EQ(text_doc.str(), binary_doc.str()) << task.name;
+    }
+}
+
+/// Per-kernel modeling parity on the deterministic regression path: the
+/// report from a binary input is byte-identical to the text input's.
+TEST(MmapParity, RegressionReportsMatchTextPerKernel) {
+    ScratchDirGuard files;
+    const auto options = parity_options();
+    modeling::Session session(options);
+    std::size_t index = 0;
+    for (const auto& task : case_study_tasks()) {
+        const std::string text_path = files.path("r" + std::to_string(index) + ".txt");
+        const std::string binary_path = files.path("r" + std::to_string(index) + ".arch");
+        ++index;
+        measure::save_text_file(task.experiments, text_path);
+        measure::save_binary_file(task.experiments, binary_path);
+
+        const auto text_report = session.run(
+            "regression", measure::load_set_file_any(text_path), {0, task.name});
+        const auto binary_report = session.run(
+            "regression", measure::load_set_file_any(binary_path), {0, task.name});
+        EXPECT_EQ(report_json_without_timings(binary_report),
+                  report_json_without_timings(text_report))
+            << task.name;
+    }
+}
+
+/// Multi-kernel batch parity through the full adaptive pipeline: a binary
+/// archive of one application's kernels batch-models to byte-identical
+/// reports (selection, winner, clustering, noise block) as the text archive.
+/// The pretrain cache is warmed first so both batch runs take the same
+/// cache-hit load path.
+TEST(MmapParity, BatchReportsMatchTextOnKripkeArchive) {
+    CacheDirGuard cache("batch");
+    ScratchDirGuard files;
+    const auto options = parity_options();
+    {
+        // Warm the pretrain cache (a miss on this first call is expected);
+        // both batch runs below then take the identical cache-hit path.
+        dnn::DnnModeler modeler(options.net, options.seed);
+        (void)dnn::ensure_pretrained(modeler, options.seed);
+    }
+
+    measure::Archive archive{std::vector<std::string>{}};
+    bool first = true;
+    for (const auto& task : case_study_tasks()) {
+        if (task.name.rfind("Kripke/", 0) != 0) continue;
+        if (first) {
+            archive = measure::Archive(task.experiments.parameter_names());
+            first = false;
+        }
+        archive.add(task.name, "time", task.experiments);
+    }
+    ASSERT_EQ(archive.entries().size(), 6u);
+
+    const std::string text_path = files.path("kripke.txt");
+    const std::string binary_path = files.path("kripke.arch");
+    measure::save_archive_file(archive, text_path);
+    measure::save_binary_file(archive, binary_path);
+
+    const auto tasks_of = [](const measure::Archive& loaded) {
+        std::vector<modeling::Session::Task> tasks;
+        for (const auto& entry : loaded.entries()) {
+            tasks.push_back({entry.kernel + "/" + entry.metric, entry.experiments});
+        }
+        return tasks;
+    };
+
+    modeling::Session session(options);
+    const auto text_batch =
+        session.run_batch(tasks_of(measure::load_archive_file_any(text_path)));
+    const auto binary_batch =
+        session.run_batch(tasks_of(measure::load_archive_file_any(binary_path)));
+
+    ASSERT_EQ(binary_batch.reports.size(), text_batch.reports.size());
+    EXPECT_EQ(binary_batch.adaptations, text_batch.adaptations);
+    for (std::size_t i = 0; i < text_batch.reports.size(); ++i) {
+        EXPECT_EQ(report_json_without_timings(binary_batch.reports[i]),
+                  report_json_without_timings(text_batch.reports[i]))
+            << text_batch.reports[i].task;
+    }
+}
+
+}  // namespace

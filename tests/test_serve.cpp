@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cli/commands.hpp"
+#include "measure/binary.hpp"
 #include "measure/io.hpp"
 #include "noise/injector.hpp"
 #include "serve/client.hpp"
@@ -259,6 +260,192 @@ TEST(Serve, ReportIsByteIdenticalToCliReportJson) {
 
     EXPECT_EQ(daemon_report, cli_report);
     std::filesystem::remove(path);
+}
+
+// ---- archive-backed modeling and streaming ingestion ------------------------
+
+/// Extract the byte-exact report document from a model/ingest response
+/// ("report" is always the final key).
+std::string report_of(const std::string& response) {
+    const std::string marker = "\"report\": ";
+    const std::size_t at = response.find(marker);
+    if (at == std::string::npos || response.empty() || response.back() != '}') return "";
+    return response.substr(at + marker.size(), response.size() - at - marker.size() - 1);
+}
+
+/// A fresh per-test scratch directory (removed on destruction).
+struct ServeScratchDir {
+    std::filesystem::path path;
+    ServeScratchDir() {
+        static int counter = 0;
+        path = std::filesystem::path(::testing::TempDir()) /
+               ("xpdnn_serve_arch_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter++));
+        std::filesystem::create_directories(path);
+    }
+    ~ServeScratchDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+TEST(Serve, ModelFromArchivePathMatchesInlineText) {
+    ServeScratchDir scratch;
+    const std::string arch = (scratch.path / "linear.arch").string();
+    {
+        std::istringstream stream(linear_measurements_text());
+        measure::ExperimentSet set = measure::load_text(stream, "<linear>");
+        measure::save_binary_file(set, arch);
+    }
+
+    serve::ServerConfig config = fast_config();
+    config.workers = 1;
+    serve::Server server(config);
+    serve::Client client(server.bound_port());
+
+    const std::string inline_response =
+        client.request(model_request("", "regression"), 30'000);
+    ASSERT_TRUE(is_ok(inline_response)) << inline_response;
+    const std::string archive_response = client.request(
+        "{\"verb\": \"model\", \"modeler\": \"regression\", \"timings\": false, "
+        "\"archive\": " + serve::json_quote(arch) + "}",
+        30'000);
+    ASSERT_TRUE(is_ok(archive_response)) << archive_response;
+
+    // The mmap-backed load must feed the modeler the same bytes the inline
+    // text path does: the reports agree exactly.
+    EXPECT_EQ(report_of(archive_response), report_of(inline_response));
+
+    // A multi-kernel archive requires kernel/metric to select the entry.
+    EXPECT_EQ(error_code(client.request(
+                  "{\"verb\": \"model\", \"archive\": " + serve::json_quote(arch) +
+                      ", \"kernel\": \"nope\", \"metric\": \"time\"}",
+                  30'000)),
+              "validation_error");  // single-set file opened as multi-kernel
+    EXPECT_EQ(error_code(client.request(
+                  "{\"verb\": \"model\", \"archive\": " +
+                      serve::json_quote((scratch.path / "missing.arch").string()) + "}",
+                  10'000)),
+              "validation_error");
+}
+
+TEST(Serve, IngestCreatesAppendsRepairsAndRemodels) {
+    ServeScratchDir scratch;
+    const std::string arch = (scratch.path / "live.arch").string();
+    const std::string batch = escaped(linear_measurements_text());
+
+    serve::ServerConfig config = fast_config();
+    config.workers = 1;
+    serve::Server server(config);
+    serve::Client client(server.bound_port());
+
+    // First batch creates the archive; no remodel requested.
+    const std::string created = client.request(
+        "{\"verb\": \"ingest\", \"archive\": " + serve::json_quote(arch) +
+            ", \"kernel\": \"lin\", \"metric\": \"time\", \"remodel\": false, "
+            "\"measurements\": \"" + batch + "\"}",
+        30'000);
+    ASSERT_TRUE(is_ok(created)) << created;
+    EXPECT_NE(created.find("\"status\": \"created\""), std::string::npos) << created;
+    EXPECT_NE(created.find("\"appended\": 5"), std::string::npos) << created;
+    EXPECT_NE(created.find("\"total\": 5"), std::string::npos) << created;
+    EXPECT_EQ(report_of(created), "");
+
+    // Second batch appends and re-models the touched entry; the report
+    // covers both batches (10 coordinate rows), is cached under the task,
+    // and "predict" serves from it.
+    const std::string appended = client.request(
+        "{\"verb\": \"ingest\", \"archive\": " + serve::json_quote(arch) +
+            ", \"kernel\": \"lin\", \"metric\": \"time\", \"task\": \"lin\", "
+            "\"modeler\": \"regression\", \"timings\": false, "
+            "\"measurements\": \"" + batch + "\"}",
+        30'000);
+    ASSERT_TRUE(is_ok(appended)) << appended;
+    EXPECT_NE(appended.find("\"status\": \"appended\""), std::string::npos) << appended;
+    EXPECT_NE(appended.find("\"total\": 10"), std::string::npos) << appended;
+    EXPECT_NE(report_of(appended).find("\"schema\": \"xpdnn.report\""), std::string::npos)
+        << appended;
+    const std::string predicted = client.request(
+        "{\"verb\": \"predict\", \"task\": \"lin\", \"point\": [128]}", 10'000);
+    ASSERT_TRUE(is_ok(predicted)) << predicted;
+    EXPECT_NE(predicted.find("\"prediction\": 386"), std::string::npos) << predicted;
+
+    // Clobber the archive: the next ingest moves the corrupt file aside
+    // and starts fresh instead of failing.
+    std::ofstream(arch, std::ios::trunc) << "garbage";
+    const std::string repaired = client.request(
+        "{\"verb\": \"ingest\", \"archive\": " + serve::json_quote(arch) +
+            ", \"kernel\": \"lin\", \"metric\": \"time\", \"remodel\": false, "
+            "\"measurements\": \"" + batch + "\"}",
+        30'000);
+    ASSERT_TRUE(is_ok(repaired)) << repaired;
+    EXPECT_NE(repaired.find("\"status\": \"repaired\""), std::string::npos) << repaired;
+    EXPECT_NE(repaired.find("\"total\": 5"), std::string::npos) << repaired;
+    EXPECT_TRUE(std::filesystem::exists(arch + ".corrupt"));
+}
+
+TEST(Serve, IngestAndArchiveValidationErrors) {
+    ServeScratchDir scratch;
+    serve::ServerConfig config = fast_config();
+    config.workers = 1;
+    serve::Server server(config);
+    serve::Client client(server.bound_port());
+
+    EXPECT_EQ(error_code(client.request("{\"verb\": \"ingest\"}", 10'000)),
+              "validation_error");  // no archive
+    EXPECT_EQ(error_code(client.request(
+                  "{\"verb\": \"ingest\", \"archive\": \"/tmp/x.arch\"}", 10'000)),
+              "validation_error");  // no measurements
+    EXPECT_EQ(error_code(client.request(
+                  "{\"verb\": \"ingest\", \"archive\": \"/tmp/x.arch\", "
+                  "\"kernel\": \"k\", \"measurements\": \"params: p\\n1 : 2\\n\"}",
+                  10'000)),
+              "validation_error");  // kernel without metric
+    EXPECT_EQ(error_code(client.request(
+                  "{\"verb\": \"model\", \"measurements\": \"m\", "
+                  "\"archive\": \"/tmp/x.arch\"}",
+                  10'000)),
+              "validation_error");  // mutually exclusive sources
+    EXPECT_EQ(error_code(client.request(
+                  "{\"verb\": \"model\", \"pretrain_noise\": \"made_up\", "
+                  "\"modeler\": \"regression\", \"measurements\": \"" +
+                      escaped(linear_measurements_text()) + "\"}",
+                  10'000)),
+              "validation_error");  // unknown noise family
+}
+
+TEST(Serve, PretrainNoiseSelectsSessionVariant) {
+    serve::ServerConfig config = fast_config();
+    config.workers = 1;
+    serve::Server server(config);
+    serve::Client client(server.bound_port());
+
+    // The server default mix ("uniform") routes to the base session; any
+    // other registered mix materializes a worker-local variant. Both must
+    // serve the request, and for a regression-modeled task the report is
+    // identical either way up to the config hash (the mix joins the
+    // fingerprint by design, but only steers the classifier).
+    const auto redact_hash = [](std::string report) {
+        const std::string key = "\"config_hash\": \"";
+        const std::size_t at = report.find(key);
+        if (at == std::string::npos) return report;
+        const std::size_t end = report.find('"', at + key.size());
+        return report.replace(at + key.size(), end - (at + key.size()), "X");
+    };
+    const std::string base = client.request(
+        "{\"verb\": \"model\", \"modeler\": \"regression\", \"timings\": false, "
+        "\"pretrain_noise\": \"uniform\", \"measurements\": \"" +
+            escaped(linear_measurements_text()) + "\"}",
+        30'000);
+    ASSERT_TRUE(is_ok(base)) << base;
+    const std::string variant = client.request(
+        "{\"verb\": \"model\", \"modeler\": \"regression\", \"timings\": false, "
+        "\"pretrain_noise\": \"gaussian,lognormal\", \"measurements\": \"" +
+            escaped(linear_measurements_text()) + "\"}",
+        30'000);
+    ASSERT_TRUE(is_ok(variant)) << variant;
+    EXPECT_NE(report_of(base), report_of(variant));  // fingerprints differ
+    EXPECT_EQ(redact_hash(report_of(base)), redact_hash(report_of(variant)));
 }
 
 // ---- backpressure, deadlines, drain ----------------------------------------

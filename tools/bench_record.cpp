@@ -19,6 +19,9 @@
 ///   --samples=N   training-set size for the epoch measurement (default 2048)
 ///   --epochs=K    measured epochs per variant (default 3, median-of)
 ///   --repeats=R   timing repeats for GEMM/pretrain medians (default 3)
+///   --serve-json=FILE    record the daemon throughput gate instead
+///   --ingest-json=FILE   record the archive-ingestion gate instead
+///                        (--smoke shrinks the workload to CI scale)
 
 #include <algorithm>
 #include <atomic>
@@ -32,6 +35,7 @@
 #include <vector>
 
 #include "casestudy/casestudy.hpp"
+#include "measure/ingest_bench.hpp"
 #include "serve/throughput.hpp"
 #include "dnn/modeler.hpp"
 #include "modeling/session.hpp"
@@ -274,6 +278,38 @@ int main(int argc, char** argv) {
     const auto samples = static_cast<std::size_t>(args.get_int("samples", 2048));
     const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 3));
     g_repeats = std::max<std::size_t>(1, static_cast<std::size_t>(args.get_int("repeats", 3)));
+
+    if (args.has("ingest-json")) {
+        // Archive-ingestion mode: run the text-vs-binary measurement-loading
+        // benchmark (the bench/ingest_throughput engine) and record
+        // BENCH_ingest.json, gated on >= 10x mmap-over-text load speedup
+        // with a byte-identical round trip.
+        measure::IngestBenchConfig config;
+        if (args.get_bool("smoke", false)) {
+            config.kernels = 20;
+            config.points_per_kernel = 150;
+            config.repetitions = 20;
+        }
+        config.kernels = static_cast<std::size_t>(
+            args.get_int("kernels", static_cast<long>(config.kernels)));
+        config.points_per_kernel = static_cast<std::size_t>(
+            args.get_int("points", static_cast<long>(config.points_per_kernel)));
+        config.repetitions = static_cast<std::size_t>(
+            args.get_int("reps", static_cast<long>(config.repetitions)));
+        config.repeats = g_repeats;
+        config.min_speedup = args.get_double("min-speedup", config.min_speedup);
+        const measure::IngestBenchResult result = measure::run_ingest_bench(config);
+        std::printf("ingest: %zu values, load text %.4fs vs binary open+verify %.4fs "
+                    "-> %.1fx, append %.0f values/s, parity %s\n",
+                    result.values, result.text_load_seconds, result.binary_load_seconds,
+                    result.speedup(), result.append_values_per_second,
+                    result.parity ? "ok" : "MISMATCH");
+        const std::string ingest_path = args.get("ingest-json", "BENCH_ingest.json");
+        measure::write_ingest_bench_json(config, result, ingest_path);
+        std::printf("wrote %s\n", ingest_path.c_str());
+        if (!result.ok()) std::fprintf(stderr, "bench_record: ingest gate FAILED\n");
+        return result.ok() ? 0 : 1;
+    }
 
     if (args.has("serve-json")) {
         // Daemon throughput mode: measure the serving path and record

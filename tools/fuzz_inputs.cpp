@@ -25,16 +25,28 @@
 //   7. The noise-family zoo itself: every registered family at a random
 //      level must sample finite values, estimate a finite non-negative
 //      level, and produce a registered detect_family verdict.
+//   8. Clean "xpdnn.arch" binary archives (both shapes, saved and streamed
+//      through the append path): must open, materialize to the text-identical
+//      document, and re-serialize byte-exactly.
+//   9. Mutated binary archives (bit flips, truncation, zeroed runs, u64
+//      offset/count bombs): Reader::open must accept or throw a typed
+//      xpcore::Error, and on a typed miss the streaming Writer must repair
+//      (move the file to ".corrupt", publish a fresh openable archive).
 //
 // The run is fully deterministic for a given --seed, so any failure is
 // reproducible with the printed iteration number.
 //
-// Usage: fuzz_inputs [--iterations=N] [--seed=S] [--only=report|noise] [--verbose]
+// Usage: fuzz_inputs [--iterations=N] [--seed=S] [--only=report|noise|archive] [--verbose]
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <sstream>
@@ -43,6 +55,7 @@
 
 #include "dnn/preprocess.hpp"
 #include "measure/archive.hpp"
+#include "measure/binary.hpp"
 #include "measure/io.hpp"
 #include "modeling/report.hpp"
 #include "noise/injector.hpp"
@@ -65,8 +78,9 @@ std::string param_name(xpcore::Rng& rng) {
     return rng.pick(names);
 }
 
-/// A syntactically valid experiment file straight from the serializer.
-std::string clean_set_text(xpcore::Rng& rng) {
+/// A random well-formed experiment set (the building block for both the
+/// text and the binary clean-input checks).
+measure::ExperimentSet random_set(xpcore::Rng& rng) {
     const std::size_t arity = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
     std::vector<std::string> names;
     for (std::size_t i = 0; i < arity; ++i) names.push_back(param_name(rng) + std::to_string(i));
@@ -85,12 +99,10 @@ std::string clean_set_text(xpcore::Rng& rng) {
         }
         set.add(point, values);
     }
-    std::ostringstream out;
-    measure::save_text(set, out);
-    return out.str();
+    return set;
 }
 
-std::string clean_archive_text(xpcore::Rng& rng) {
+measure::Archive random_archive(xpcore::Rng& rng) {
     measure::Archive archive({"p", "n"});
     const int entries = static_cast<int>(rng.uniform_int(1, 4));
     for (int e = 0; e < entries; ++e) {
@@ -102,8 +114,19 @@ std::string clean_archive_text(xpcore::Rng& rng) {
         }
         archive.add("kernel" + std::to_string(e), "time", std::move(set));
     }
+    return archive;
+}
+
+/// A syntactically valid experiment file straight from the serializer.
+std::string clean_set_text(xpcore::Rng& rng) {
     std::ostringstream out;
-    measure::save_archive(archive, out);
+    measure::save_text(random_set(rng), out);
+    return out.str();
+}
+
+std::string clean_archive_text(xpcore::Rng& rng) {
+    std::ostringstream out;
+    measure::save_archive(random_archive(rng), out);
     return out.str();
 }
 
@@ -508,6 +531,221 @@ void check_noise_models(Stats& stats, std::uint64_t iter, xpcore::Rng& rng) {
     }
 }
 
+// ---- "xpdnn.arch" binary archives -----------------------------------------
+
+/// Scratch directory for the file-based binary checks (Reader/Writer work on
+/// paths, not streams). Created on first use, removed at the end of main.
+const std::string& fuzz_scratch_dir() {
+    static const std::string dir = [] {
+        namespace fs = std::filesystem;
+        const fs::path d =
+            fs::temp_directory_path() / ("xpdnn_fuzz_" + std::to_string(::getpid()));
+        fs::create_directories(d);
+        return d.string();
+    }();
+    return dir;
+}
+
+std::string read_file_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void write_file_bytes(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Apply 1..4 random binary mutations: bit/byte flips, truncation, appended
+/// junk, zeroed runs, and u64-field bombs (huge offsets/counts written over
+/// aligned header or table fields).
+std::string mutate_binary(std::string bytes, xpcore::Rng& rng) {
+    const int mutations = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+        if (bytes.empty()) break;
+        const auto size = static_cast<std::int64_t>(bytes.size());
+        switch (rng.uniform_int(0, 5)) {
+            case 0: {  // overwrite one byte with a random value
+                bytes[static_cast<std::size_t>(rng.uniform_int(0, size - 1))] =
+                    static_cast<char>(rng.uniform_int(0, 255));
+                break;
+            }
+            case 1: {  // flip a single bit
+                const auto pos = static_cast<std::size_t>(rng.uniform_int(0, size - 1));
+                bytes[pos] = static_cast<char>(
+                    static_cast<unsigned char>(bytes[pos]) ^ (1u << rng.uniform_int(0, 7)));
+                break;
+            }
+            case 2: {  // truncate (including to zero: an empty file)
+                bytes.resize(static_cast<std::size_t>(rng.uniform_int(0, size)));
+                break;
+            }
+            case 3: {  // append junk bytes
+                const int extra = static_cast<int>(rng.uniform_int(1, 64));
+                for (int i = 0; i < extra; ++i) {
+                    bytes += static_cast<char>(rng.uniform_int(0, 255));
+                }
+                break;
+            }
+            case 4: {  // u64 bomb: a huge value over an 8-aligned field
+                if (bytes.size() < 8) break;
+                const auto slot = rng.uniform_int(0, (size - 8) / 8);
+                std::uint64_t bomb = static_cast<std::uint64_t>(rng.uniform_int(0, 0xFFFF))
+                                     << static_cast<unsigned>(rng.uniform_int(0, 48));
+                for (int b = 0; b < 8; ++b) {
+                    bytes[static_cast<std::size_t>(slot * 8 + b)] =
+                        static_cast<char>((bomb >> (8 * b)) & 0xFF);
+                }
+                break;
+            }
+            case 5: {  // zero a run of up to 64 bytes
+                const auto pos = static_cast<std::size_t>(rng.uniform_int(0, size - 1));
+                const auto run = std::min<std::size_t>(
+                    static_cast<std::size_t>(rng.uniform_int(1, 64)), bytes.size() - pos);
+                for (std::size_t i = 0; i < run; ++i) bytes[pos + i] = '\0';
+                break;
+            }
+        }
+    }
+    return bytes;
+}
+
+/// Clean binary files (both shapes, saved and streamed) must open, must
+/// materialize to the text-identical document, and must re-serialize to the
+/// byte-identical binary image.
+void check_clean_binary(Stats& stats, std::uint64_t iter, xpcore::Rng& rng) {
+    const std::string path = fuzz_scratch_dir() + "/clean.arch";
+    const std::string repath = fuzz_scratch_dir() + "/clean2.arch";
+    std::string desc = "binary clean";
+    try {
+        if (rng.chance(0.5)) {  // single experiment set shape
+            const measure::ExperimentSet set = random_set(rng);
+            desc += " set";
+            if (rng.chance(0.5)) {  // streamed via the append path
+                std::filesystem::remove(path);
+                measure::append_binary_set_file(path, set);
+                desc += " (streamed)";
+            } else {
+                measure::save_binary_file(set, path);
+            }
+            const measure::ExperimentSet loaded = measure::load_binary_set_file(path);
+            std::ostringstream expected, actual;
+            measure::save_text(set, expected);
+            measure::save_text(loaded, actual);
+            if (expected.str() != actual.str()) {
+                violation(stats, iter, "binary set does not round-trip to identical text", desc);
+                return;
+            }
+            measure::save_binary_file(loaded, repath);
+        } else {  // multi-kernel archive shape
+            const measure::Archive archive = random_archive(rng);
+            desc += " archive";
+            if (rng.chance(0.5)) {  // streamed: one append commit per entry
+                std::filesystem::remove(path);
+                for (const measure::ArchiveEntry& entry : archive.entries()) {
+                    measure::append_binary_file(path, entry.kernel, entry.metric,
+                                                entry.experiments);
+                }
+                desc += " (streamed)";
+            } else {
+                measure::save_binary_file(archive, path);
+            }
+            const measure::Archive loaded = measure::load_binary_archive_file(path);
+            std::ostringstream expected, actual;
+            measure::save_archive(archive, expected);
+            measure::save_archive(loaded, actual);
+            if (expected.str() != actual.str()) {
+                violation(stats, iter, "binary archive does not round-trip to identical text",
+                          desc);
+                return;
+            }
+            measure::save_binary_file(loaded, repath);
+        }
+        if (read_file_bytes(path) != read_file_bytes(repath)) {
+            violation(stats, iter, "binary re-serialization is not byte-identical", desc);
+            return;
+        }
+        ++stats.accepted;
+    } catch (const std::exception& e) {
+        violation(stats, iter, std::string("clean binary input raised: ") + e.what(), desc);
+    }
+}
+
+/// Mutated binary files must either still open (mutation landed in padding
+/// or was a no-op) or be rejected with a typed xpcore error — and in that
+/// case the streaming Writer must treat the file as a typed miss: move it to
+/// "<path>.corrupt" and publish a fresh, openable archive in its place.
+void check_mutated_binary(Stats& stats, std::uint64_t iter, xpcore::Rng& rng) {
+    namespace fs = std::filesystem;
+    const std::string path = fuzz_scratch_dir() + "/mutated.arch";
+    const std::string corrupt = path + ".corrupt";
+
+    std::vector<std::string> params;
+    std::uint32_t flags = 0;
+    if (rng.chance(0.5)) {
+        const measure::ExperimentSet set = random_set(rng);
+        params = set.parameter_names();
+        flags = xpcore::archive::kFlagSingleSet;
+        measure::save_binary_file(set, path);
+    } else {
+        params = {"p", "n"};
+        measure::save_binary_file(random_archive(rng), path);
+    }
+    const std::string bytes = mutate_binary(read_file_bytes(path), rng);
+    write_file_bytes(path, bytes);
+    std::error_code ec;
+    fs::remove(corrupt, ec);
+
+    std::ostringstream desc;
+    desc << "binary mutated (" << bytes.size() << " bytes, flags " << flags << ")";
+    try {
+        (void)xpcore::archive::Reader::open(path, /*verify_content=*/true);
+        // Still healthy: the fingerprints cover names and flags, so the
+        // Writer must recognize it and continue appending.
+        xpcore::archive::Writer writer(path, params, flags);
+        if (writer.status() != xpcore::archive::Writer::OpenStatus::Appending) {
+            violation(stats, iter, "Writer did not append to a healthy mutated archive",
+                      desc.str());
+            return;
+        }
+        ++stats.accepted;
+    } catch (const xpcore::Error& e) {
+        if (std::string(e.what()).empty()) {
+            violation(stats, iter, "mutated archive rejected with an empty message", desc.str());
+            return;
+        }
+        // Typed miss: the Writer must repair (move aside + fresh start) and
+        // an empty first commit must leave an openable archive behind.
+        try {
+            xpcore::archive::Writer writer(path, params, flags);
+            if (writer.status() != xpcore::archive::Writer::OpenStatus::Repaired) {
+                violation(stats, iter, "Writer did not repair a corrupt archive", desc.str());
+                return;
+            }
+            if (!fs::exists(corrupt)) {
+                violation(stats, iter, "repair did not preserve the corrupt file", desc.str());
+                return;
+            }
+            writer.commit();
+            (void)xpcore::archive::Reader::open(path, /*verify_content=*/true);
+        } catch (const std::exception& repair_error) {
+            violation(stats, iter,
+                      std::string("repair after typed miss failed: ") + repair_error.what(),
+                      desc.str());
+            return;
+        }
+        ++stats.rejected;
+    } catch (const std::exception& e) {
+        violation(stats, iter,
+                  std::string("mutated archive raised non-taxonomy exception: ") + e.what(),
+                  desc.str());
+    } catch (...) {
+        violation(stats, iter, "mutated archive raised a non-std exception", desc.str());
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -516,6 +754,7 @@ int main(int argc, char** argv) {
     bool verbose = false;
     bool only_report = false;
     bool only_noise = false;
+    bool only_archive = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--iterations=", 0) == 0) {
@@ -526,11 +765,13 @@ int main(int argc, char** argv) {
             only_report = true;
         } else if (arg == "--only=noise") {
             only_noise = true;
+        } else if (arg == "--only=archive") {
+            only_archive = true;
         } else if (arg == "--verbose") {
             verbose = true;
         } else {
             std::cerr << "usage: fuzz_inputs [--iterations=N] [--seed=S] "
-                         "[--only=report|noise] [--verbose]\n";
+                         "[--only=report|noise|archive] [--verbose]\n";
             return 2;
         }
     }
@@ -562,9 +803,10 @@ int main(int argc, char** argv) {
 
     for (std::uint64_t iter = 0; iter < iterations; ++iter) {
         xpcore::Rng rng = master.split();
-        switch (only_report ? 5 + iter % 2
-                            : only_noise ? 7 + iter % 2
-                                         : iter % 9) {
+        switch (only_report    ? 5 + iter % 2
+                : only_noise   ? 7 + iter % 2
+                : only_archive ? 9 + iter % 2
+                               : iter % 11) {
             case 0: check_clean(stats, iter, clean_set_text(rng), load_set, save_set); break;
             case 1: check_clean(stats, iter, clean_archive_text(rng), load_arch, save_arch); break;
             case 2: check_mutated(stats, iter, mutate(clean_set_text(rng), rng), try_set); break;
@@ -580,10 +822,17 @@ int main(int argc, char** argv) {
             }
             case 7: check_noise_spec(stats, iter, rng); break;
             case 8: check_noise_models(stats, iter, rng); break;
+            case 9: check_clean_binary(stats, iter, rng); break;
+            case 10: check_mutated_binary(stats, iter, rng); break;
         }
         if (verbose && (iter + 1) % 1000 == 0) {
             std::cerr << "  " << (iter + 1) << "/" << iterations << " iterations\n";
         }
+    }
+
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(fuzz_scratch_dir(), ec);
     }
 
     std::cout << "fuzz_inputs: " << iterations << " iterations, seed " << seed << ": "
