@@ -1,6 +1,7 @@
 #include "cli/commands.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -23,6 +24,7 @@
 #include "xpcore/error.hpp"
 #include "xpcore/parse.hpp"
 #include "xpcore/rng.hpp"
+#include "xpcore/store.hpp"
 #include "xpcore/table.hpp"
 
 namespace cli {
@@ -55,6 +57,15 @@ usage:
         with --model, re-model the touched experiment incrementally; a
         multi-kernel archive batch ingests every entry, or just the one
         --kernel/--metric selects)
+  xpdnn compact <archive.arch>   (merge a live archive's append-only section
+        log into one section per (kernel, metric); the measurement content —
+        and hence every text materialization — is byte-identical before and
+        after, only the section count shrinks)
+  xpdnn store <dir> [--evict=N] [--prefix=P]   (inspect an on-disk durable
+        store: entry/byte counts and repair tally; --evict=N keeps only the
+        N newest entries. --prefix defaults to the daemon report store,
+        "xpdnn_report"; the pretrain cache uses "xpdnn_pretrained", the
+        GEMM autotuner "gemm_tune")
   xpdnn predict <model.json|report.json> x1 [x2 ...]
   xpdnn simulate <kripke|fastest|relearn> [kernel] --out=<file> [--seed=S]
         [--all-kernels]   (emit a multi-kernel archive for model-all)
@@ -63,7 +74,9 @@ usage:
           every point to 20% gaussian noise, a bare family keeps the study's
           published level distribution, a bare level keeps uniform)
   xpdnn serve [--port=N] [--workers=N] [--queue=N] [--deadline-ms=N]
-        [--no-warm] [--net=...] [--seed=S]   (run the xpdnnd daemon)
+        [--no-warm] [--net=...] [--seed=S] [--store=DIR]
+        [--store-capacity=N]   (run the xpdnnd daemon; --store persists
+        every modeled task's report so predict survives a restart)
   xpdnn request --port=N '<json>'   (send one daemon request, print the reply)
   xpdnn help
 
@@ -587,6 +600,53 @@ int cmd_ingest(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err
     return 0;
 }
 
+int cmd_compact(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
+    if (args.positionals().size() < 2) {
+        err << "xpdnn compact: usage: xpdnn compact <archive.arch>\n";
+        return 1;
+    }
+    const std::string path = args.positionals()[1];
+    if (!measure::is_binary_file(path)) {
+        err << "xpdnn compact: " << path << " is not an xpdnn.arch binary archive\n";
+        return 2;
+    }
+    const measure::CompactResult result = measure::compact_binary_file(path);
+    char fingerprint[24];
+    std::snprintf(fingerprint, sizeof fingerprint, "%016llx",
+                  static_cast<unsigned long long>(result.content_fingerprint));
+    out << "compact: " << path << ": " << result.sections_before << " section(s) -> "
+        << result.sections_after << " (" << result.measurements
+        << " measurements, content " << fingerprint << ")\n";
+    return 0;
+}
+
+int cmd_store(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
+    if (args.positionals().size() < 2) {
+        err << "xpdnn store: usage: xpdnn store <dir> [--evict=N] [--prefix=P]\n";
+        return 1;
+    }
+    xpcore::store::Config config;
+    config.dir = args.positionals()[1];
+    config.prefix = args.get("prefix", "xpdnn_report");
+    xpcore::store::Store store(config);
+    if (args.has("evict")) {
+        const long keep = args.get_int("evict", 0);
+        if (keep < 0) {
+            err << "xpdnn store: --evict must be a non-negative entry count\n";
+            return 1;
+        }
+        const std::size_t evicted = store.evict(static_cast<std::size_t>(keep));
+        out << "store: evicted " << evicted << " entr"
+            << (evicted == 1 ? "y" : "ies") << "\n";
+    }
+    const xpcore::store::Stats stats = store.stats();
+    out << "store: " << config.dir << " (prefix " << config.prefix << "): "
+        << stats.entries << " entr" << (stats.entries == 1 ? "y" : "ies") << ", "
+        << stats.payload_bytes << " payload byte(s), " << stats.repairs
+        << " corrupt blob(s) quarantined\n";
+    return 0;
+}
+
 int cmd_request(const xpcore::CliArgs& args, std::ostream& out, std::ostream& err) {
     const long port = args.get_int("port", 0);
     if (port <= 0 || port > 65535) {
@@ -622,6 +682,8 @@ int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err)
         if (command == "predict") return cmd_predict(args, out, err);
         if (command == "convert") return cmd_convert(args, out, err);
         if (command == "ingest") return cmd_ingest(args, out, err);
+        if (command == "compact") return cmd_compact(args, out, err);
+        if (command == "store") return cmd_store(args, out, err);
         if (command == "simulate") return cmd_simulate(args, out, err);
         if (command == "serve") return serve::daemon_main(args, out, err);
         if (command == "request") return cmd_request(args, out, err);

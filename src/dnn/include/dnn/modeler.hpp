@@ -17,6 +17,7 @@
 /// the rrd heuristic.
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -138,9 +139,13 @@ public:
     bool is_pretrained() const { return pretrained_; }
 
     /// Persist / restore the pretrained network (domain adaptation always
-    /// starts from this state).
+    /// starts from this state). The stream overloads carry the raw
+    /// serialized network so it can ride inside a durable-store blob;
+    /// `source` labels load failures (a path or stream name).
     void save_pretrained(const std::string& path) const;
+    void save_pretrained(std::ostream& out) const;
     void load_pretrained(const std::string& path);
+    void load_pretrained(std::istream& in, const std::string& source);
 
     /// Domain adaptation: retrain a copy of the pretrained network on data
     /// generated from the task's properties. Replaces the active network;

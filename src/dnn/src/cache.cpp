@@ -1,31 +1,55 @@
 #include "dnn/cache.hpp"
 
-#include <unistd.h>
-
-#include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
+#include <sstream>
 
 #include "dnn/preprocess.hpp"
 #include "pmnf/exponents.hpp"
 #include "xpcore/hash.hpp"
+#include "xpcore/store.hpp"
 
 namespace dnn {
+
+namespace {
+
+// Bumped when the on-disk cache format itself changes (blob container,
+// network serialization layout, fingerprint composition). Distinct from the
+// generator version below: a format bump invalidates caches even when the
+// training data they were produced from is unchanged. v3: the cache moved
+// onto the xpcore::store blob container (checksummed header, ".blob"
+// files) — v2 ".bin" files are simply never consulted again.
+constexpr std::uint32_t kCacheFormatVersion = 3;
+
+/// The durable store backing the cache: XPDNN_CACHE_DIR (default
+/// ".xpdnn_cache"), one blob per (config, seed) fingerprint. Constructed
+/// per call — ensure_pretrained runs once per session, and cross-process
+/// safety lives in the store's atomic publish discipline, not in a shared
+/// instance.
+xpcore::store::Store pretrain_store() {
+    xpcore::store::Config config;
+    config.dir = ".xpdnn_cache";
+    if (const char* env = std::getenv("XPDNN_CACHE_DIR")) config.dir = env;
+    config.prefix = "xpdnn_pretrained";
+    config.schema_version = kCacheFormatVersion;
+    return xpcore::store::Store(std::move(config));
+}
+
+std::string pretrain_key(const DnnConfig& config, std::uint64_t seed) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "pretrain:%016llx",
+                  static_cast<unsigned long long>(pretrain_config_hash(config, seed)));
+    return key;
+}
+
+}  // namespace
 
 std::uint64_t pretrain_config_hash(const DnnConfig& config, std::uint64_t seed) {
     // Bumped when the synthetic-data generator's stream layout changes, so
     // stale caches from older binaries are regenerated instead of reused.
     constexpr std::uint64_t kGeneratorVersion = 2;
-    // Bumped when the on-disk cache format itself changes (network
-    // serialization layout, fingerprint composition). Distinct from the
-    // generator version: a format bump invalidates caches even when the
-    // training data they were produced from is unchanged.
-    constexpr std::uint64_t kCacheFormatVersion = 2;
     xpcore::Fnv1a hash;
     hash.mix_value(kGeneratorVersion);
-    hash.mix_value(kCacheFormatVersion);
     hash.mix_value(seed);
     // Full architecture fingerprint: activation, layer count, and every
     // width including the fixed input/output sizes, so {25, 664} and
@@ -52,43 +76,31 @@ std::uint64_t pretrain_config_hash(const DnnConfig& config, std::uint64_t seed) 
 }
 
 std::string pretrained_cache_path(const DnnConfig& config, std::uint64_t seed) {
-    std::string dir = ".xpdnn_cache";
-    if (const char* env = std::getenv("XPDNN_CACHE_DIR")) dir = env;
-    std::error_code ec;
-    std::filesystem::create_directories(dir, ec);  // best effort; open fails loudly
-    char name[64];
-    std::snprintf(name, sizeof(name), "xpdnn_pretrained_%016llx.bin",
-                  static_cast<unsigned long long>(pretrain_config_hash(config, seed)));
-    return (std::filesystem::path(dir) / name).string();
+    return pretrain_store().path_for(pretrain_key(config, seed));
 }
 
 bool ensure_pretrained(DnnModeler& modeler, std::uint64_t seed) {
-    const std::string path = pretrained_cache_path(modeler.config(), seed);
-    std::error_code ec;
-    if (std::filesystem::exists(path, ec)) {
+    xpcore::store::Store store = pretrain_store();
+    const std::string key = pretrain_key(modeler.config(), seed);
+    if (std::optional<std::string> blob = store.load(key)) {
         try {
-            modeler.load_pretrained(path);
+            std::istringstream in(*blob);
+            modeler.load_pretrained(in, store.path_for(key));
             return true;
         } catch (const std::exception&) {
-            // Truncated or corrupt cache file: treat as a miss. Re-pretrain
-            // below and overwrite the bad file with a fresh network.
+            // A structurally intact blob holding an unloadable network
+            // (e.g. a different nn serialization generation): a miss.
+            // Re-pretrain below; the put overwrites the stale blob.
         }
     }
     modeler.pretrain();
-    // Write-then-rename so a concurrent reader (another session warming up
-    // against the same cache dir) can never observe a half-written network:
-    // rename(2) is atomic within a filesystem, so the final path either
-    // holds the old bytes or the complete new file. The pid+counter suffix
-    // keeps concurrent writers — other processes AND other threads of this
-    // one (daemon workers warming in parallel) — off each other's temp
-    // files; last rename wins with identical contents.
-    static std::atomic<unsigned> write_counter{0};
-    const std::string tmp = path + "." + std::to_string(
-        static_cast<unsigned long>(::getpid())) + "." +
-        std::to_string(write_counter.fetch_add(1)) + ".tmp";
-    modeler.save_pretrained(tmp);
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) std::filesystem::remove(tmp, ec);
+    std::ostringstream bytes;
+    modeler.save_pretrained(bytes);
+    // The store publishes atomically (temp+rename), so a concurrent reader
+    // — another session warming up against the same cache dir — can never
+    // observe a half-written network. A publish failure is a structured
+    // warning, not an error: the pretrained network in memory is valid.
+    store.put(key, bytes.str());
     return false;
 }
 

@@ -1,6 +1,8 @@
 #include "dnn/modeler.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
 #include "dnn/preprocess.hpp"
@@ -81,10 +83,26 @@ void DnnModeler::save_pretrained(const std::string& path) const {
     pretrained_network_.save_file(path);
 }
 
+void DnnModeler::save_pretrained(std::ostream& out) const {
+    if (!pretrained_) throw std::logic_error("DnnModeler::save_pretrained: not pretrained");
+    pretrained_network_.save(out);
+}
+
 void DnnModeler::load_pretrained(const std::string& path) {
     nn::Network loaded = nn::Network::load_file(path);
     if (loaded.input_size() != kInputNeurons || loaded.output_size() != pmnf::class_count()) {
         throw std::runtime_error("DnnModeler::load_pretrained: incompatible network in " + path);
+    }
+    pretrained_network_ = std::move(loaded);
+    adapted_network_.reset();
+    pretrained_ = true;
+}
+
+void DnnModeler::load_pretrained(std::istream& in, const std::string& source) {
+    nn::Network loaded = nn::Network::load(in);
+    if (loaded.input_size() != kInputNeurons || loaded.output_size() != pmnf::class_count()) {
+        throw std::runtime_error("DnnModeler::load_pretrained: incompatible network in " +
+                                 source);
     }
     pretrained_network_ = std::move(loaded);
     adapted_network_.reset();

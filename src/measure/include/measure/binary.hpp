@@ -91,4 +91,22 @@ AppendResult append_binary_file(const std::string& path, const std::string& kern
 /// flag) for streaming into a set file.
 AppendResult append_binary_set_file(const std::string& path, const ExperimentSet& batch);
 
+/// What compact_binary_file did to a long-lived ingest target.
+struct CompactResult {
+    std::uint64_t sections_before = 0;
+    std::uint64_t sections_after = 0;     ///< == distinct (kernel, metric) keys
+    std::uint64_t measurements = 0;       ///< total, unchanged by compaction
+    std::uint64_t content_fingerprint = 0;  ///< re-verified after the rewrite
+};
+
+/// Compact the append-only section log: merge every same-(kernel, metric)
+/// section run into ONE section per key, keys in first-occurrence order and
+/// measurements in section (append) order — exactly the concatenation
+/// materialization already performs, so the text materialization of the
+/// archive is byte-identical before and after. The rewrite goes through the
+/// usual atomic temp+rename commit, and the result is re-opened with full
+/// content verification before returning. Throws the xpcore taxonomy on a
+/// corrupt input (compaction never repairs; ingest owns repair).
+CompactResult compact_binary_file(const std::string& path);
+
 }  // namespace measure

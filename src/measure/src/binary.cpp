@@ -184,4 +184,63 @@ AppendResult append_binary_set_file(const std::string& path, const ExperimentSet
     return result;
 }
 
+CompactResult compact_binary_file(const std::string& path) {
+    CompactResult result;
+    std::vector<xarch::PendingSection> merged;
+    std::vector<std::string> parameter_names;
+    std::uint32_t flags = 0;
+    {
+        // Full content verification up front: compacting silently-corrupt
+        // payloads would launder damage into a "healthy" archive.
+        const auto reader = xarch::Reader::open(path, /*verify_content=*/true);
+        parameter_names = reader.parameter_names();
+        flags = reader.flags();
+        result.sections_before = reader.section_count();
+        result.measurements = reader.total_measurements();
+
+        // Merge raw payload arrays per key, first-occurrence order. The
+        // value_offsets prefix sums re-base onto the merged value array;
+        // points/values concatenate untouched, which is exactly what
+        // materialization does — hence the byte-identical text guarantee.
+        for (std::size_t s = 0; s < reader.section_count(); ++s) {
+            const xarch::SectionView view = reader.section(s);
+            std::size_t slot = merged.size();
+            for (std::size_t k = 0; k < merged.size(); ++k) {
+                if (merged[k].kernel == view.kernel && merged[k].metric == view.metric) {
+                    slot = k;
+                    break;
+                }
+            }
+            if (slot == merged.size()) {
+                xarch::PendingSection fresh;
+                fresh.kernel = std::string(view.kernel);
+                fresh.metric = std::string(view.metric);
+                fresh.value_offsets.push_back(0);
+                merged.push_back(std::move(fresh));
+            }
+            xarch::PendingSection& target = merged[slot];
+            const std::uint64_t base = target.value_offsets.back();
+            for (std::size_t i = 1; i < view.value_offsets.size(); ++i) {
+                target.value_offsets.push_back(base + view.value_offsets[i]);
+            }
+            target.points.insert(target.points.end(), view.points.begin(),
+                                 view.points.end());
+            target.values.insert(target.values.end(), view.values.begin(),
+                                 view.values.end());
+        }
+    }  // the mapping is released before the rewrite commits over it
+
+    {
+        xarch::Writer writer(path, parameter_names, flags, /*truncate=*/true);
+        for (auto& section : merged) writer.stage(std::move(section));
+        writer.commit();
+    }
+
+    // Re-verify the freshly-written image end to end and record its digest.
+    const auto verify = xarch::Reader::open(path, /*verify_content=*/true);
+    result.sections_after = verify.section_count();
+    result.content_fingerprint = verify.content_fingerprint();
+    return result;
+}
+
 }  // namespace measure

@@ -22,6 +22,13 @@
 ///   repaired when corrupt — and, with remodel (the default), re-model the
 ///   touched experiment incrementally)
 ///   {"verb": "predict", "task": "...", "point": [x1, ...]}
+///   {"verb": "store"}                   (persistent-store stats; requires
+///   --store=DIR. With "evict": N the oldest entries beyond N are dropped;
+///   with "task": "..." the byte-exact stored report is fetched — "report"
+///   is the last key, like the model verb)
+///   {"verb": "compact", "archive": "<path>"}   (merge the archive's
+///   append-only section log: one section per (kernel, metric), text
+///   materialization byte-identical; serialized against ingest)
 ///   {"verb": "sleep", "ms": N}          (diagnostics/testing)
 ///   {"verb": "shutdown"}
 ///
@@ -75,6 +82,7 @@ struct Request {
     bool include_timings = true;        ///< model: emit wall-clock timings
     long deadline_ms = -1;              ///< per-request override; -1 = server default
     long sleep_ms = 0;                  ///< sleep: duration
+    long evict = -1;                    ///< store: keep-count; -1 = stats only
 };
 
 /// Decode one request line. Throws xpcore::ParseError on malformed JSON

@@ -26,8 +26,14 @@
 ///   - request_stop()    → async-signal-safe graceful drain: stop accepting,
 ///                         finish queued + in-flight requests, flush, exit
 ///
-/// Reports for requests that carry a "task" key are cached (bounded, FIFO
-/// eviction) so "predict" is served without re-modeling.
+/// Reports for requests that carry a "task" key are cached (hash-map index,
+/// bounded FIFO eviction) so "predict" is served without re-modeling. With
+/// `store_dir` set (xpdnnd --store=DIR) every cached task is also
+/// write-through-persisted to an xpcore::store::Store — report + model JSON
+/// in one blob — so "predict" survives a daemon restart byte-identically:
+/// a memory miss falls back to the store and re-parses the model. The
+/// "store" verb exposes stats/evict/fetch; "compact" merges the section
+/// log of a long-lived ingest archive (one section per (kernel, metric)).
 
 #include <atomic>
 #include <condition_variable>
@@ -37,12 +43,14 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "measure/experiment.hpp"
 #include "modeling/session.hpp"
 #include "serve/protocol.hpp"
 #include "xpcore/net.hpp"
+#include "xpcore/store.hpp"
 
 namespace serve {
 
@@ -54,6 +62,8 @@ struct ServerConfig {
     std::size_t report_cache_capacity = 128;  ///< tasks kept for "predict"
     std::size_t max_line_bytes = 8u << 20;    ///< request line cap; exceeding closes
     bool warm_start = false;           ///< pretrain sessions before serving
+    std::string store_dir;             ///< persistent report store dir; "" = memory only
+    std::size_t store_capacity = 0;    ///< persistent store entry cap; 0 = unbounded
     modeling::Options options;         ///< every worker session's configuration
 };
 
@@ -147,9 +157,20 @@ private:
     std::string handle_ingest(WorkerState& state, const Request& request);
     std::string handle_predict(const Request& request);
     std::string handle_modelers(modeling::Session& session, const Request& request);
+    std::string handle_store(const Request& request);
+    std::string handle_compact(const Request& request);
 
-    /// Insert/replace the task's cached model for "predict".
-    void cache_model(const std::string& task, const pmnf::Model& model, std::size_t arity);
+    /// Insert/replace the task's cached model for "predict" and, with a
+    /// persistent store configured, write-through the report + model JSON.
+    void cache_model(const std::string& task, const pmnf::Model& model, std::size_t arity,
+                     const std::string& report_json);
+
+    /// Memory-only insert (used when re-hydrating from the store).
+    void cache_model_memory(const std::string& task, CachedModel cached);
+
+    /// Look `task` up in the persistent store, re-parse the model, and
+    /// report the arity + report bytes. False on a miss (or no store).
+    bool load_stored(const std::string& task, CachedModel* out, std::string* report_json);
 
     ServerConfig config_;
     xpcore::net::Socket listener_;
@@ -165,7 +186,8 @@ private:
 
     std::mutex cache_mutex_;
     std::deque<std::string> cache_order_;  ///< FIFO eviction order
-    std::vector<std::pair<std::string, CachedModel>> cache_;
+    std::unordered_map<std::string, CachedModel> cache_;  ///< O(1) task index
+    std::unique_ptr<xpcore::store::Store> store_;  ///< null without --store
 
     std::mutex warm_mutex_;  ///< serializes warm-start pretraining across workers
     std::mutex ingest_mutex_;  ///< serializes archive append commits across workers

@@ -33,6 +33,8 @@ int daemon_main(const xpcore::CliArgs& args, std::ostream& out, std::ostream& er
     config.default_deadline_ms = args.get_int("deadline-ms", 30'000);
     config.report_cache_capacity = static_cast<std::size_t>(args.get_int("cache", 128));
     config.warm_start = !args.has("no-warm");
+    config.store_dir = args.get("store", "");
+    config.store_capacity = static_cast<std::size_t>(args.get_int("store-capacity", 0));
     config.options = modeling::Options::from_args(args);
 
     try {

@@ -100,6 +100,8 @@ Request parse_request(const std::string& line) {
             request.deadline_ms = require_count(value, "deadline_ms", 86'400'000L);
         } else if (key == "ms") {
             request.sleep_ms = require_count(value, "ms", 10'000L);
+        } else if (key == "evict") {
+            request.evict = require_count(value, "evict", 1'000'000'000L);
         } else {
             invalid("unknown field '" + key + "'");
         }

@@ -7,12 +7,14 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
 #include "measure/binary.hpp"
 #include "measure/io.hpp"
 #include "noise/model.hpp"
+#include "pmnf/serialize.hpp"
 #include "serve/json.hpp"
 #include "xpcore/error.hpp"
 
@@ -40,11 +42,95 @@ std::string format_number(double value) {
     return buf;
 }
 
+/// Persistent report-blob schema ("xpdnn.store.report" v1): one JSON line
+/// with "report" intentionally last and its byte length recorded up front,
+/// so the report slice is recoverable byte-exactly without a JSON parse —
+/// the same discipline as the wire envelope.
+constexpr std::uint32_t kReportStoreSchema = 1;
+constexpr const char* kReportKeySeparator = ", \"report\": ";
+
+std::string encode_stored_report(const std::string& task, std::size_t arity,
+                                 const std::string& model_json,
+                                 const std::string& report_json) {
+    std::string out = "{\"schema\": \"xpdnn.store.report\", \"version\": 1";
+    out += ", \"task\": " + json_quote(task);
+    out += ", \"arity\": " + std::to_string(arity);
+    out += ", \"report_size\": " + std::to_string(report_json.size());
+    out += ", \"model\": " + model_json;
+    out += kReportKeySeparator + report_json + "}";
+    return out;
+}
+
+struct StoredReport {
+    std::size_t arity = 0;
+    std::string model_json;
+    std::string report_json;
+};
+
+bool parse_stored_field_count(const std::string& payload, const char* marker,
+                              std::size_t* out) {
+    const std::size_t pos = payload.find(marker);
+    if (pos == std::string::npos) return false;
+    std::size_t value = 0;
+    std::size_t cursor = pos + std::strlen(marker);
+    if (cursor >= payload.size() || payload[cursor] < '0' || payload[cursor] > '9') {
+        return false;
+    }
+    while (cursor < payload.size() && payload[cursor] >= '0' && payload[cursor] <= '9') {
+        value = value * 10 + static_cast<std::size_t>(payload[cursor] - '0');
+        ++cursor;
+    }
+    *out = value;
+    return true;
+}
+
+/// Decode a stored report blob by its recorded lengths (no JSON parse of
+/// the embedded documents). False on any structural damage — the caller
+/// treats that as a miss, exactly like a corrupt store blob.
+bool decode_stored_report(const std::string& payload, StoredReport* out) {
+    if (payload.size() < 2 || payload.back() != '}') return false;
+    if (payload.rfind("{\"schema\": \"xpdnn.store.report\", \"version\": 1", 0) != 0) {
+        return false;
+    }
+    std::size_t report_size = 0;
+    if (!parse_stored_field_count(payload, "\"arity\": ", &out->arity) ||
+        !parse_stored_field_count(payload, "\"report_size\": ", &report_size)) {
+        return false;
+    }
+    const char* model_marker = ", \"model\": ";
+    const std::size_t model_pos = payload.find(model_marker);
+    if (model_pos == std::string::npos) return false;
+    const std::size_t model_begin = model_pos + std::strlen(model_marker);
+    const std::size_t separator_len = std::strlen(kReportKeySeparator);
+    // Layout from the back: ... model , "report": <report_size bytes> }
+    if (payload.size() < 1 + report_size + separator_len ||
+        payload.size() - 1 - report_size - separator_len < model_begin) {
+        return false;
+    }
+    const std::size_t report_begin = payload.size() - 1 - report_size;
+    if (payload.compare(report_begin - separator_len, separator_len,
+                        kReportKeySeparator) != 0) {
+        return false;
+    }
+    out->model_json = payload.substr(model_begin,
+                                     report_begin - separator_len - model_begin);
+    out->report_json = payload.substr(report_begin, report_size);
+    return true;
+}
+
 }  // namespace
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {
     if (config_.workers == 0) config_.workers = 1;
     if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+    if (!config_.store_dir.empty()) {
+        xpcore::store::Config store_config;
+        store_config.dir = config_.store_dir;
+        store_config.prefix = "xpdnn_report";
+        store_config.schema_version = kReportStoreSchema;
+        store_config.capacity = config_.store_capacity;
+        store_ = std::make_unique<xpcore::store::Store>(std::move(store_config));
+    }
     listener_ = xpcore::net::listen_tcp(config_.port, &bound_port_);
     xpcore::net::set_nonblocking(listener_.fd());
 
@@ -362,6 +448,10 @@ void Server::dispatch(WorkerState& state, const WorkItem& item) {
             response = handle_ingest(state, request);
         } else if (request.verb == "predict") {
             response = handle_predict(request);
+        } else if (request.verb == "store") {
+            response = handle_store(request);
+        } else if (request.verb == "compact") {
+            response = handle_compact(request);
         } else if (request.verb == "sleep") {
             std::this_thread::sleep_for(std::chrono::milliseconds(request.sleep_ms));
             response = ok_response_prefix("sleep", request.id_json) +
@@ -412,24 +502,50 @@ void Server::dispatch(WorkerState& state, const WorkItem& item) {
     respond(item.conn, response);
 }
 
-void Server::cache_model(const std::string& task, const pmnf::Model& model,
-                         std::size_t arity) {
+void Server::cache_model_memory(const std::string& task, CachedModel cached) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
-    auto existing = std::find_if(cache_.begin(), cache_.end(),
-                                 [&](const auto& e) { return e.first == task; });
+    auto existing = cache_.find(task);
     if (existing != cache_.end()) {
-        existing->second = CachedModel{model, arity};
+        existing->second = std::move(cached);
         return;
     }
     while (cache_.size() >= config_.report_cache_capacity && !cache_order_.empty()) {
-        const std::string& victim = cache_order_.front();
-        cache_.erase(std::remove_if(cache_.begin(), cache_.end(),
-                                    [&](const auto& e) { return e.first == victim; }),
-                     cache_.end());
+        cache_.erase(cache_order_.front());
         cache_order_.pop_front();
     }
-    cache_.emplace_back(task, CachedModel{model, arity});
     cache_order_.push_back(task);
+    cache_.emplace(task, std::move(cached));
+}
+
+void Server::cache_model(const std::string& task, const pmnf::Model& model,
+                         std::size_t arity, const std::string& report_json) {
+    cache_model_memory(task, CachedModel{model, arity});
+    if (store_ != nullptr) {
+        // Write-through: the exact report bytes the response carries, plus
+        // the model's own JSON (%.17g — re-parsing evaluates identically),
+        // so predict answers stay byte-identical across a restart.
+        store_->put(task, encode_stored_report(task, arity, pmnf::to_json(model),
+                                               report_json));
+    }
+}
+
+bool Server::load_stored(const std::string& task, CachedModel* out,
+                         std::string* report_json) {
+    if (store_ == nullptr) return false;
+    const std::optional<std::string> payload = store_->load(task);
+    if (!payload.has_value()) return false;
+    StoredReport stored;
+    if (!decode_stored_report(*payload, &stored)) return false;
+    if (out != nullptr) {
+        try {
+            out->model = pmnf::from_json(stored.model_json);
+        } catch (const std::exception&) {
+            return false;  // stale/foreign model grammar: a miss
+        }
+        out->arity = stored.arity;
+    }
+    if (report_json != nullptr) *report_json = std::move(stored.report_json);
+    return true;
 }
 
 std::string Server::handle_model(WorkerState& state, const Request& request) {
@@ -446,15 +562,17 @@ std::string Server::handle_model(WorkerState& state, const Request& request) {
     modeling::Report report = session.run(request.modeler, set, context);
     if (!request.include_timings) report.timings = modeling::Timings{};
 
+    const std::string report_json = modeling::to_json(report);
     if (!request.task.empty() && report.has_model) {
-        cache_model(request.task, report.selected.model, set.parameter_count());
+        cache_model(request.task, report.selected.model, set.parameter_count(),
+                    report_json);
     }
 
     // "report" is intentionally the last key: a client can recover the
     // byte-exact report document by stripping the envelope prefix up to
     // `"report": ` and the closing '}'.
     return ok_response_prefix("model", request.id_json) + ", \"report\": " +
-           modeling::to_json(report) + "}";
+           report_json + "}";
 }
 
 std::string Server::handle_ingest(WorkerState& state, const Request& request) {
@@ -524,12 +642,14 @@ std::string Server::handle_ingest(WorkerState& state, const Request& request) {
     context.task = request.task;
     modeling::Report report = session.run(request.modeler, task_set, context);
     if (!request.include_timings) report.timings = modeling::Timings{};
+    const std::string report_json = modeling::to_json(report);
     if (!request.task.empty() && report.has_model) {
-        cache_model(request.task, report.selected.model, task_set.parameter_count());
+        cache_model(request.task, report.selected.model, task_set.parameter_count(),
+                    report_json);
     }
 
     // "report" last, exactly like the model verb.
-    return response + ", \"report\": " + modeling::to_json(report) + "}";
+    return response + ", \"report\": " + report_json + "}";
 }
 
 std::string Server::handle_predict(const Request& request) {
@@ -541,15 +661,24 @@ std::string Server::handle_predict(const Request& request) {
     }
 
     CachedModel cached;
+    bool found = false;
     {
         std::lock_guard<std::mutex> lock(cache_mutex_);
-        auto it = std::find_if(cache_.begin(), cache_.end(),
-                               [&](const auto& e) { return e.first == request.task; });
-        if (it == cache_.end()) {
-            throw ProtocolFault{ErrorCode::UnknownTask,
-                                "no model cached for task '" + request.task + "'"};
+        auto it = cache_.find(request.task);
+        if (it != cache_.end()) {
+            cached = it->second;
+            found = true;
         }
-        cached = it->second;
+    }
+    if (!found && load_stored(request.task, &cached, nullptr)) {
+        // Re-hydrated from the persistent store (daemon restart): keep the
+        // parsed model in memory for the next predict.
+        cache_model_memory(request.task, cached);
+        found = true;
+    }
+    if (!found) {
+        throw ProtocolFault{ErrorCode::UnknownTask,
+                            "no model cached for task '" + request.task + "'"};
     }
 
     if (request.point.size() != cached.arity) {
@@ -561,6 +690,69 @@ std::string Server::handle_predict(const Request& request) {
     return ok_response_prefix("predict", request.id_json) +
            ", \"task\": " + json_quote(request.task) +
            ", \"prediction\": " + format_number(prediction) + "}";
+}
+
+std::string Server::handle_store(const Request& request) {
+    if (store_ == nullptr) {
+        throw ProtocolFault{ErrorCode::ValidationError,
+                            "daemon has no persistent store (start with --store=DIR)"};
+    }
+    std::string response = ok_response_prefix("store", request.id_json) +
+                           ", \"dir\": " + json_quote(store_->config().dir);
+    if (request.evict >= 0) {
+        const std::size_t evicted = store_->evict(static_cast<std::size_t>(request.evict));
+        // Drop the memory cache wholesale so predict cannot serve a task
+        // whose durable blob was just evicted.
+        {
+            std::lock_guard<std::mutex> lock(cache_mutex_);
+            cache_.clear();
+            cache_order_.clear();
+        }
+        response += ", \"evicted\": " + std::to_string(evicted);
+    }
+    const xpcore::store::Stats stats = store_->stats();
+    response += ", \"entries\": " + std::to_string(stats.entries);
+    response += ", \"payload_bytes\": " + std::to_string(stats.payload_bytes);
+    response += ", \"hits\": " + std::to_string(stats.hits);
+    response += ", \"misses\": " + std::to_string(stats.misses);
+    response += ", \"puts\": " + std::to_string(stats.puts);
+    response += ", \"put_failures\": " + std::to_string(stats.put_failures);
+    response += ", \"evictions\": " + std::to_string(stats.evictions);
+    response += ", \"repairs\": " + std::to_string(stats.repairs);
+    if (!request.task.empty()) {
+        // Fetch: the byte-exact stored report for one task. "report" last,
+        // like the model verb, so clients slice it without a JSON parse.
+        std::string report_json;
+        if (!load_stored(request.task, nullptr, &report_json)) {
+            throw ProtocolFault{ErrorCode::UnknownTask,
+                                "no stored report for task '" + request.task + "'"};
+        }
+        response += ", \"task\": " + json_quote(request.task);
+        response += ", \"report\": " + report_json;
+    }
+    return response + "}";
+}
+
+std::string Server::handle_compact(const Request& request) {
+    if (request.archive.empty()) {
+        invalid("verb 'compact' requires field 'archive'");
+    }
+    // Same exclusion as ingest: a compaction rewrite racing an append would
+    // drop whichever commit renames first.
+    measure::CompactResult result;
+    {
+        std::lock_guard<std::mutex> lock(ingest_mutex_);
+        result = measure::compact_binary_file(request.archive);
+    }
+    char fingerprint[32];
+    std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
+                  static_cast<unsigned long long>(result.content_fingerprint));
+    return ok_response_prefix("compact", request.id_json) +
+           ", \"archive\": " + json_quote(request.archive) +
+           ", \"sections_before\": " + std::to_string(result.sections_before) +
+           ", \"sections_after\": " + std::to_string(result.sections_after) +
+           ", \"measurements\": " + std::to_string(result.measurements) +
+           ", \"fingerprint\": \"" + fingerprint + "\"}";
 }
 
 std::string Server::handle_modelers(modeling::Session& session, const Request& request) {

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "xpcore/error.hpp"
+#include "xpcore/store.hpp"
 
 namespace xpcore::archive {
 namespace {
@@ -227,12 +228,6 @@ struct Mapping {
     }
 };
 
-std::string temp_path_for(const std::string& path) {
-    static std::atomic<std::uint64_t> counter{0};
-    return path + "." + std::to_string(::getpid()) + "." +
-           std::to_string(counter.fetch_add(1, std::memory_order_relaxed)) + ".tmp";
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -422,9 +417,8 @@ Writer::Writer(std::string path, std::vector<std::string> parameter_names,
             existing.emplace(Reader::open(path_, /*verify_content=*/true));
         } catch (const Error&) {
             // Typed miss: move the bad file aside so it stays inspectable,
-            // then start fresh.
-            std::filesystem::rename(path_, path_ + ".corrupt", ec);
-            if (ec) std::filesystem::remove(path_, ec);
+            // then start fresh (the store layer's shared repair).
+            quarantine_corrupt(path_);
             status_ = OpenStatus::Repaired;
         }
         if (existing.has_value()) {
@@ -618,11 +612,8 @@ void Writer::commit() {
     unsigned char header_bytes[kHeaderSize];
     encode_header(header_bytes, h);
 
-    // Stream the image into a temp file, then rename over the archive.
-    const std::string temp = temp_path_for(path_);
-    {
-        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-        if (!out) throw Error({path_, 0, 0, "cannot open temp file for commit: " + temp});
+    // Stream the image through the shared atomic temp+rename commit.
+    atomic_publish(path_, [&](std::ostream& out) {
         auto write_bytes = [&](const void* data, std::size_t size) {
             out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
         };
@@ -646,20 +637,7 @@ void Writer::commit() {
         }
         write_bytes(strings.data(), strings.size());
         write_bytes(table.data(), table.size());
-        out.flush();
-        if (!out) {
-            out.close();
-            std::error_code ec;
-            std::filesystem::remove(temp, ec);
-            throw Error({path_, 0, 0, "short write while committing archive"});
-        }
-    }
-    std::error_code ec;
-    std::filesystem::rename(temp, path_, ec);
-    if (ec) {
-        std::filesystem::remove(temp, ec);
-        throw Error({path_, 0, 0, "cannot publish archive commit: rename failed"});
-    }
+    });
 
     // Adopt the staged sections as committed state.
     for (std::size_t s = 0; s < staged_.size(); ++s) {

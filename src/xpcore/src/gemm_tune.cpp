@@ -16,6 +16,7 @@
 #endif
 
 #include "xpcore/hash.hpp"
+#include "xpcore/store.hpp"
 #include "xpcore/timer.hpp"
 
 namespace xpcore::simd {
@@ -177,60 +178,52 @@ GemmBlocking probe_best(const LevelOps& ops, const std::vector<GemmBlocking>& ca
 
 // ---- disk cache -------------------------------------------------------------
 
-std::filesystem::path tune_cache_path(Level level, const GemmTile& tile,
-                                      const CacheHierarchy& cache) {
-    Fnv1a hash;
-    hash.mix_value(kTunerVersion);
-    hash.mix_string(cpu_model_string());
-    hash.mix_string(level_name(level));
-    hash.mix_value(tile.mr);
-    hash.mix_value(tile.nr);
-    hash.mix_value(cache.l1d_bytes);
-    hash.mix_value(cache.l2_bytes);
-    hash.mix_value(cache.l3_bytes);
-    const char* dir = std::getenv("XPDNN_CACHE_DIR");
-    char name[64];
-    std::snprintf(name, sizeof(name), "gemm_tune_%016" PRIx64 ".txt",
-                  static_cast<std::uint64_t>(hash.state));
-    return std::filesystem::path(dir != nullptr ? dir : ".xpdnn_cache") / name;
+/// The durable store backing the tune cache: shares XPDNN_CACHE_DIR with
+/// the pretrain cache, under its own "gemm_tune" prefix. The tuner version
+/// rides as the store schema, so a probe-logic bump turns stale entries
+/// into typed misses instead of silently reusing them.
+store::Store tune_store() {
+    store::Config config;
+    config.dir = ".xpdnn_cache";
+    if (const char* env = std::getenv("XPDNN_CACHE_DIR")) config.dir = env;
+    config.prefix = "gemm_tune";
+    config.schema_version = kTunerVersion;
+    return store::Store(std::move(config));
 }
 
-bool load_cached_blocking(const std::filesystem::path& path, GemmBlocking* out) {
-    std::FILE* f = std::fopen(path.string().c_str(), "r");
-    if (f == nullptr) return false;
+/// Machine-specific cache key: CPU model, dispatch level, microkernel tile
+/// and the detected cache hierarchy, so a moved cache dir can never feed
+/// blockings tuned for a different machine.
+std::string tune_cache_key(Level level, const GemmTile& tile, const CacheHierarchy& cache) {
+    char key[256];
+    std::snprintf(key, sizeof(key), "%s|%s|mr=%zu|nr=%zu|l1=%zu|l2=%zu|l3=%zu",
+                  cpu_model_string(), level_name(level), tile.mr, tile.nr,
+                  cache.l1d_bytes, cache.l2_bytes, cache.l3_bytes);
+    return key;
+}
+
+bool load_cached_blocking(store::Store& cache, const std::string& key, GemmBlocking* out) {
+    const std::optional<std::string> blob = cache.load(key);
+    if (!blob.has_value()) return false;
     unsigned long long kc = 0;
     unsigned long long mc = 0;
     unsigned long long nc = 0;
-    const bool ok = std::fscanf(f, "%llu %llu %llu", &kc, &mc, &nc) == 3;
-    std::fclose(f);
-    if (!ok || kc == 0 || mc == 0 || nc == 0) return false;
+    if (std::sscanf(blob->c_str(), "%llu %llu %llu", &kc, &mc, &nc) != 3) return false;
+    if (kc == 0 || mc == 0 || nc == 0) return false;
     *out = {static_cast<std::size_t>(kc), static_cast<std::size_t>(mc),
             static_cast<std::size_t>(nc)};
     return true;
 }
 
-unsigned long process_id() {
-#if defined(__unix__) || defined(__APPLE__)
-    return static_cast<unsigned long>(::getpid());
-#else
-    return 0;
-#endif
-}
-
-void store_cached_blocking(const std::filesystem::path& path, const GemmBlocking& blocking) {
-    // Temp-file + rename: concurrent processes (ctest -j) may tune the same
-    // level at once and must never observe a half-written cache entry.
-    std::error_code ec;
-    std::filesystem::create_directories(path.parent_path(), ec);
-    if (ec) return;
-    std::filesystem::path tmp = path;
-    tmp += "." + std::to_string(process_id()) + ".tmp";
-    std::FILE* f = std::fopen(tmp.string().c_str(), "w");
-    if (f == nullptr) return;
-    std::fprintf(f, "%zu %zu %zu\n", blocking.kc, blocking.mc, blocking.nc);
-    std::fclose(f);
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) std::filesystem::remove(tmp, ec);
+void store_cached_blocking(store::Store& cache, const std::string& key,
+                           const GemmBlocking& blocking) {
+    char text[96];
+    std::snprintf(text, sizeof(text), "%zu %zu %zu\n", blocking.kc, blocking.mc,
+                  blocking.nc);
+    // The store publishes atomically (concurrent ctest -j processes may
+    // tune the same level at once) and surfaces a write failure as a
+    // structured warning instead of swallowing it.
+    cache.put(key, text);
 }
 
 // ---- orchestration ----------------------------------------------------------
@@ -271,10 +264,11 @@ void tune_level(Level level, LevelTuneState* state) {
 
     const bool retune = mode != nullptr && std::strcmp(mode, "retune") == 0;
     const CacheHierarchy& cache = cache_hierarchy();
-    const std::filesystem::path path = tune_cache_path(level, ops.tile, cache);
+    store::Store disk = tune_store();
+    const std::string key = tune_cache_key(level, ops.tile, cache);
 
     GemmBlocking blocking;
-    if (!retune && load_cached_blocking(path, &blocking)) {
+    if (!retune && load_cached_blocking(disk, key, &blocking)) {
         ops.set_blocking(blocking);
         state->info = {ops.get_blocking(), "cached"};
         return;
@@ -283,7 +277,7 @@ void tune_level(Level level, LevelTuneState* state) {
     blocking = probe_best(ops, make_candidates(ops.tile, ops.compiled_default, cache));
     ops.set_blocking(blocking);
     state->info = {ops.get_blocking(), "probed"};
-    store_cached_blocking(path, state->info.blocking);
+    store_cached_blocking(disk, key, state->info.blocking);
 }
 
 }  // namespace

@@ -1,0 +1,359 @@
+#include "xpcore/store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "xpcore/hash.hpp"
+
+namespace xpcore {
+
+std::string temp_path_for(const std::string& path) {
+    static std::atomic<std::uint64_t> counter{0};
+    return path + "." + std::to_string(::getpid()) + "." +
+           std::to_string(counter.fetch_add(1, std::memory_order_relaxed)) + ".tmp";
+}
+
+void atomic_publish(const std::string& path,
+                    const std::function<void(std::ostream&)>& body) {
+    const std::string temp = temp_path_for(path);
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            throw Error({path, 0, 0, "cannot open temp file for commit: " + temp});
+        }
+        body(out);
+        out.flush();
+        if (!out) {
+            out.close();
+            std::error_code ec;
+            std::filesystem::remove(temp, ec);
+            throw Error({path, 0, 0, "short write while publishing " + path});
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(temp, path, ec);
+    if (ec) {
+        std::filesystem::remove(temp, ec);
+        throw Error({path, 0, 0, "cannot publish commit: rename failed"});
+    }
+}
+
+bool quarantine_corrupt(const std::string& path) {
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".corrupt", ec);
+    if (!ec) return true;
+    std::filesystem::remove(path, ec);
+    return !ec;
+}
+
+namespace store {
+namespace {
+
+// Blob header layout (64 bytes, all fields little-endian, serialized field
+// by field — never by struct memcpy). Documented in docs/FILE_FORMATS.md.
+constexpr char kMagic[8] = {'x', 'p', 'd', 'n', 'S', 't', 'o', '1'};
+constexpr std::size_t kHeaderSize = 64;
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffFormatVersion = 8;
+constexpr std::size_t kOffSchemaVersion = 12;
+constexpr std::size_t kOffSequence = 16;
+constexpr std::size_t kOffKeySize = 24;
+constexpr std::size_t kOffPayloadSize = 32;
+constexpr std::size_t kOffFingerprint = 40;
+constexpr std::size_t kOffHeaderChecksum = 48;
+constexpr std::size_t kHeaderChecksumSpan = kOffHeaderChecksum;  // bytes 0..47
+
+template <typename T>
+void put_field(unsigned char* base, std::size_t offset, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(base + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T get_field(const unsigned char* base, std::size_t offset) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    std::memcpy(&value, base + offset, sizeof(T));
+    return value;
+}
+
+struct BlobHeader {
+    std::uint32_t format_version = kFormatVersion;
+    std::uint32_t schema_version = 0;
+    std::uint64_t sequence = 0;
+    std::uint64_t key_size = 0;
+    std::uint64_t payload_size = 0;
+    std::uint64_t fingerprint = 0;
+};
+
+void encode_blob_header(unsigned char* out, const BlobHeader& h) {
+    std::memset(out, 0, kHeaderSize);
+    std::memcpy(out + kOffMagic, kMagic, sizeof(kMagic));
+    put_field(out, kOffFormatVersion, h.format_version);
+    put_field(out, kOffSchemaVersion, h.schema_version);
+    put_field(out, kOffSequence, h.sequence);
+    put_field(out, kOffKeySize, h.key_size);
+    put_field(out, kOffPayloadSize, h.payload_size);
+    put_field(out, kOffFingerprint, h.fingerprint);
+    Fnv1a checksum;
+    checksum.mix(out, kHeaderChecksumSpan);
+    put_field(out, kOffHeaderChecksum, checksum.state);
+}
+
+/// Decode + structurally validate a header against the actual file size.
+/// Returns false on any damage (bad magic, checksum mismatch, size lie).
+bool decode_blob_header(const unsigned char* in, std::uint64_t file_size,
+                        BlobHeader* out) {
+    if (file_size < kHeaderSize) return false;
+    if (std::memcmp(in + kOffMagic, kMagic, sizeof(kMagic)) != 0) return false;
+    Fnv1a checksum;
+    checksum.mix(in, kHeaderChecksumSpan);
+    if (checksum.state != get_field<std::uint64_t>(in, kOffHeaderChecksum)) return false;
+    out->format_version = get_field<std::uint32_t>(in, kOffFormatVersion);
+    out->schema_version = get_field<std::uint32_t>(in, kOffSchemaVersion);
+    out->sequence = get_field<std::uint64_t>(in, kOffSequence);
+    out->key_size = get_field<std::uint64_t>(in, kOffKeySize);
+    out->payload_size = get_field<std::uint64_t>(in, kOffPayloadSize);
+    out->fingerprint = get_field<std::uint64_t>(in, kOffFingerprint);
+    if (out->format_version != kFormatVersion) return false;
+    if (out->key_size > file_size - kHeaderSize ||
+        out->payload_size != file_size - kHeaderSize - out->key_size) {
+        return false;
+    }
+    return true;
+}
+
+std::uint64_t content_fingerprint(std::string_view key, std::string_view payload) {
+    // Sizes live in the checksummed header, so plain concatenation cannot
+    // be ambiguous here.
+    Fnv1a hash;
+    hash.mix(key.data(), key.size());
+    hash.mix(payload.data(), payload.size());
+    return hash.state;
+}
+
+bool read_file_bytes(const std::string& path, std::string* out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in.good() && !in.eof()) return false;
+    *out = buffer.str();
+    return true;
+}
+
+}  // namespace
+
+Store::Store(Config config) : config_(std::move(config)) {
+    if (config_.prefix.empty()) config_.prefix = "blob";
+    scan();
+}
+
+void Store::warn(const std::string& source, const std::string& message) const {
+    Diagnostic diagnostic;
+    diagnostic.source = source;
+    diagnostic.message = message;
+    if (config_.warn) {
+        config_.warn(diagnostic);
+    } else {
+        std::fprintf(stderr, "xpdnn: warning: %s\n", diagnostic.format().c_str());
+    }
+}
+
+std::string Store::path_for(const std::string& key) const {
+    Fnv1a hash;
+    hash.mix(key.data(), key.size());
+    char name[128];
+    std::snprintf(name, sizeof(name), "%s_%016llx.blob", config_.prefix.c_str(),
+                  static_cast<unsigned long long>(hash.state));
+    return (std::filesystem::path(config_.dir) / name).string();
+}
+
+void Store::scan() {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(config_.dir, ec);
+    if (ec) return;  // absent dir: empty store, created on first put
+    const std::string want_prefix = config_.prefix + "_";
+    for (const auto& entry : it) {
+        if (!entry.is_regular_file(ec)) continue;
+        const std::string file = entry.path().filename().string();
+        if (file.size() < want_prefix.size() + 5 ||
+            file.compare(0, want_prefix.size(), want_prefix) != 0 ||
+            file.compare(file.size() - 5, 5, ".blob") != 0) {
+            continue;
+        }
+        const std::string path = entry.path().string();
+        std::string bytes;
+        BlobHeader header;
+        if (!read_file_bytes(path, &bytes) ||
+            !decode_blob_header(reinterpret_cast<const unsigned char*>(bytes.data()),
+                                bytes.size(), &header)) {
+            // Structural damage visible from the header alone: repair now so
+            // capacity accounting never counts junk. Payload damage is only
+            // detectable by hashing, which load() does on demand.
+            if (quarantine_corrupt(path)) {
+                stats_.repairs += 1;
+                warn(path, "corrupt store blob moved to " + path + ".corrupt");
+            }
+            continue;
+        }
+        Entry indexed;
+        indexed.key = bytes.substr(kHeaderSize, header.key_size);
+        indexed.file = file;
+        indexed.sequence = header.sequence;
+        indexed.payload_size = header.payload_size;
+        next_sequence_ = std::max(next_sequence_, header.sequence + 1);
+        entries_.push_back(std::move(indexed));
+    }
+    std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+        return a.sequence != b.sequence ? a.sequence < b.sequence : a.file < b.file;
+    });
+}
+
+std::size_t Store::find_locked(const std::string& key) const {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].key == key) return i;
+    }
+    return entries_.size();
+}
+
+std::optional<std::string> Store::load(const std::string& key) {
+    const std::string path = path_for(key);
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    std::string bytes;
+    if (!read_file_bytes(path, &bytes)) {
+        stats_.misses += 1;
+        return std::nullopt;
+    }
+    BlobHeader header;
+    const auto* base = reinterpret_cast<const unsigned char*>(bytes.data());
+    const bool header_ok = decode_blob_header(base, bytes.size(), &header);
+    if (header_ok && header.schema_version != config_.schema_version) {
+        // A healthy blob from another schema generation: a plain miss (the
+        // next put overwrites it in place), never a repair.
+        stats_.misses += 1;
+        return std::nullopt;
+    }
+    std::string stored_key;
+    std::string payload;
+    bool intact = header_ok;
+    if (intact) {
+        stored_key = bytes.substr(kHeaderSize, header.key_size);
+        payload = bytes.substr(kHeaderSize + header.key_size, header.payload_size);
+        intact = content_fingerprint(stored_key, payload) == header.fingerprint;
+    }
+    if (!intact) {
+        const std::size_t index = find_locked(key);
+        if (index < entries_.size()) entries_.erase(entries_.begin() + index);
+        if (quarantine_corrupt(path)) {
+            stats_.repairs += 1;
+            warn(path, "corrupt store blob moved to " + path + ".corrupt");
+        }
+        stats_.misses += 1;
+        return std::nullopt;
+    }
+    if (stored_key != key) {
+        // Hash collision: the slot holds a different key's blob. Miss; the
+        // caller's put will overwrite (last writer wins, as for any cache).
+        stats_.misses += 1;
+        return std::nullopt;
+    }
+    stats_.hits += 1;
+    return payload;
+}
+
+bool Store::put(const std::string& key, std::string_view payload) {
+    const std::string path = path_for(key);
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    std::error_code ec;
+    std::filesystem::create_directories(config_.dir, ec);  // best effort
+
+    BlobHeader header;
+    header.schema_version = config_.schema_version;
+    header.sequence = next_sequence_;
+    header.key_size = key.size();
+    header.payload_size = payload.size();
+    header.fingerprint = content_fingerprint(key, payload);
+    unsigned char header_bytes[kHeaderSize];
+    encode_blob_header(header_bytes, header);
+
+    try {
+        atomic_publish(path, [&](std::ostream& out) {
+            out.write(reinterpret_cast<const char*>(header_bytes), kHeaderSize);
+            out.write(key.data(), static_cast<std::streamsize>(key.size()));
+            out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+        });
+    } catch (const Error& error) {
+        stats_.put_failures += 1;
+        warn(path, "store write failed: " + error.diagnostic().message);
+        return false;
+    }
+
+    next_sequence_ += 1;
+    const std::size_t index = find_locked(key);
+    if (index < entries_.size()) entries_.erase(entries_.begin() + index);
+    Entry entry;
+    entry.key = key;
+    entry.file = std::filesystem::path(path).filename().string();
+    entry.sequence = header.sequence;
+    entry.payload_size = payload.size();
+    entries_.push_back(std::move(entry));
+    stats_.puts += 1;
+    if (config_.capacity > 0) evict_locked(config_.capacity);
+    return true;
+}
+
+bool Store::erase(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t index = find_locked(key);
+    if (index < entries_.size()) entries_.erase(entries_.begin() + index);
+    std::error_code ec;
+    return std::filesystem::remove(path_for(key), ec) && !ec;
+}
+
+std::size_t Store::evict_locked(std::size_t keep) {
+    std::size_t evicted = 0;
+    while (entries_.size() > keep) {
+        const Entry& victim = entries_.front();
+        std::error_code ec;
+        std::filesystem::remove(std::filesystem::path(config_.dir) / victim.file, ec);
+        entries_.erase(entries_.begin());
+        evicted += 1;
+    }
+    stats_.evictions += evicted;
+    return evicted;
+}
+
+std::size_t Store::evict(std::size_t keep) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evict_locked(keep);
+}
+
+std::vector<std::string> Store::keys() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry& entry : entries_) out.push_back(entry.key);
+    return out;
+}
+
+Stats Store::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats out = stats_;
+    out.entries = entries_.size();
+    out.payload_bytes = 0;
+    for (const Entry& entry : entries_) out.payload_bytes += entry.payload_size;
+    return out;
+}
+
+}  // namespace store
+}  // namespace xpcore

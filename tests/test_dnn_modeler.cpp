@@ -296,7 +296,7 @@ TEST(CacheTest, StoreIsAtomicNoTempLeftoversAndSafeUnderConcurrency) {
 
     // The rename either installed a complete file or failed cleanly; no
     // temp files may survive, and the final file must be a clean hit. (The
-    // GEMM autotuner shares the cache dir and may drop a gemm_tune_*.txt —
+    // GEMM autotuner shares the cache dir and may drop a gemm_tune_*.blob —
     // only *.tmp leftovers indicate a torn store.)
     ASSERT_TRUE(std::filesystem::exists(path));
     for (const auto& entry : std::filesystem::directory_iterator(dir)) {
@@ -308,6 +308,32 @@ TEST(CacheTest, StoreIsAtomicNoTempLeftoversAndSafeUnderConcurrency) {
 
     ::unsetenv("XPDNN_CACHE_DIR");
     std::filesystem::remove_all(dir);
+}
+
+TEST(CacheTest, WriteFailureWarnsInsteadOfSilentSwallow) {
+    // Regression: a failed cache publish (here: the cache "directory" is a
+    // regular file) used to vanish without a trace — the session just
+    // re-pretrained forever. The durable-store layer now surfaces one
+    // structured "xpdnn: warning:" line per failed publish, and the modeler
+    // still comes out pretrained.
+    const std::string blocked =
+        ::testing::TempDir() + "/xpdnn_cache_blocked_" + std::to_string(::getpid());
+    std::ofstream(blocked) << "not a directory";
+    ::setenv("XPDNN_CACHE_DIR", blocked.c_str(), 1);
+
+    DnnConfig config = tiny_config();
+    config.pretrain_samples_per_class = 40;
+    config.pretrain_epochs = 1;
+
+    ::testing::internal::CaptureStderr();
+    DnnModeler modeler(config, 77);
+    EXPECT_FALSE(ensure_pretrained(modeler, 77));  // miss, and the put fails
+    const std::string captured = ::testing::internal::GetCapturedStderr();
+    EXPECT_TRUE(modeler.is_pretrained());
+    EXPECT_NE(captured.find("xpdnn: warning:"), std::string::npos) << captured;
+
+    ::unsetenv("XPDNN_CACHE_DIR");
+    std::filesystem::remove(blocked);
 }
 
 TEST(CacheTest, EnsurePretrainedCreatesAndReusesCache) {

@@ -624,4 +624,193 @@ TEST(Serve, CliServeVerbRunsAndDrains) {
     EXPECT_NE(out.str().find("xpdnnd drained:"), std::string::npos);
 }
 
+// ---- persistent report store ------------------------------------------------
+
+serve::ServerConfig stored_config(const ServeScratchDir& scratch) {
+    serve::ServerConfig config = fast_config();
+    config.workers = 1;
+    config.store_dir = (scratch.path / "reports").string();
+    return config;
+}
+
+/// The one blob file of a single-task store directory.
+std::string only_blob(const std::string& dir) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("xpdnn_report_", 0) == 0 &&
+            name.size() > 5 && name.substr(name.size() - 5) == ".blob") {
+            return entry.path().string();
+        }
+    }
+    return "";
+}
+
+TEST(Serve, PredictSurvivesRestartByteIdentically) {
+    ServeScratchDir scratch;
+    const std::vector<std::string> tasks = {"t1", "t2", "t3"};
+    std::vector<std::string> reports, predictions;
+    {
+        serve::Server server(stored_config(scratch));
+        serve::Client client(server.bound_port());
+        for (const auto& task : tasks) {
+            const std::string modeled =
+                client.request(model_request(task, "regression"), 30'000);
+            ASSERT_TRUE(is_ok(modeled)) << modeled;
+            reports.push_back(report_of(modeled));
+            const std::string predicted = client.request(
+                "{\"verb\": \"predict\", \"task\": \"" + task + "\", \"point\": [128]}",
+                10'000);
+            ASSERT_TRUE(is_ok(predicted)) << predicted;
+            predictions.push_back(predicted);
+        }
+        // The same drain SIGTERM takes (request_stop is the signal hook).
+        server.stop();
+    }
+
+    // A fresh daemon over the same --store serves predict from the
+    // write-through blobs, byte-identically — memory cache starts empty,
+    // the re-parsed model evaluates to the same %.17g text.
+    serve::Server restarted(stored_config(scratch));
+    serve::Client client(restarted.bound_port());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const std::string predicted = client.request(
+            "{\"verb\": \"predict\", \"task\": \"" + tasks[i] + "\", \"point\": [128]}",
+            10'000);
+        EXPECT_EQ(predicted, predictions[i]);
+        // The store verb hands back the stored report bytes unchanged.
+        const std::string fetched = client.request(
+            "{\"verb\": \"store\", \"task\": \"" + tasks[i] + "\"}", 10'000);
+        ASSERT_TRUE(is_ok(fetched)) << fetched;
+        EXPECT_EQ(report_of(fetched), reports[i]);
+    }
+}
+
+TEST(Serve, StoreVerbStatsEvictAndErrors) {
+    ServeScratchDir scratch;
+    serve::Server server(stored_config(scratch));
+    serve::Client client(server.bound_port());
+
+    ASSERT_TRUE(is_ok(client.request(model_request("lin", "regression"), 30'000)));
+    const std::string stats = client.request("{\"verb\": \"store\"}", 10'000);
+    ASSERT_TRUE(is_ok(stats)) << stats;
+    EXPECT_NE(stats.find("\"entries\": 1"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"puts\": 1"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"put_failures\": 0"), std::string::npos) << stats;
+
+    EXPECT_EQ(error_code(client.request(
+                  "{\"verb\": \"store\", \"task\": \"never-modeled\"}", 10'000)),
+              "unknown_task");
+
+    // Evicting to zero drops the blobs AND the memory cache: predict
+    // misses afterwards instead of serving a zombie entry.
+    const std::string evicted =
+        client.request("{\"verb\": \"store\", \"evict\": 0}", 10'000);
+    ASSERT_TRUE(is_ok(evicted)) << evicted;
+    EXPECT_NE(evicted.find("\"evicted\": 1"), std::string::npos) << evicted;
+    EXPECT_NE(evicted.find("\"entries\": 0"), std::string::npos) << evicted;
+    EXPECT_EQ(error_code(client.request(
+                  "{\"verb\": \"predict\", \"task\": \"lin\", \"point\": [128]}", 10'000)),
+              "unknown_task");
+}
+
+TEST(Serve, StoreVerbWithoutStoreIsValidationError) {
+    serve::Server server(fast_config());
+    serve::Client client(server.bound_port());
+    const std::string response = client.request("{\"verb\": \"store\"}", 10'000);
+    EXPECT_EQ(error_code(response), "validation_error");
+    EXPECT_NE(response.find("--store"), std::string::npos) << response;
+}
+
+TEST(Serve, CorruptStoreBlobIsRepairedNotFatal) {
+    ServeScratchDir scratch;
+    const serve::ServerConfig config = stored_config(scratch);
+    {
+        serve::Server server(config);
+        serve::Client client(server.bound_port());
+        ASSERT_TRUE(is_ok(client.request(model_request("lin", "regression"), 30'000)));
+        server.stop();
+    }
+    const std::string blob = only_blob(config.store_dir);
+    ASSERT_FALSE(blob.empty());
+    {
+        // Damage a payload byte; the header still decodes.
+        std::fstream file(blob, std::ios::in | std::ios::out | std::ios::binary);
+        file.seekp(80);
+        file.put('\xff');
+    }
+
+    serve::Server restarted(config);
+    serve::Client client(restarted.bound_port());
+    // The corrupt blob is a quarantined miss, not a crash or a wrong answer.
+    EXPECT_EQ(error_code(client.request(
+                  "{\"verb\": \"predict\", \"task\": \"lin\", \"point\": [128]}", 10'000)),
+              "unknown_task");
+    EXPECT_TRUE(std::filesystem::exists(blob + ".corrupt"));
+    // Re-modeling repairs the slot; predict works again.
+    ASSERT_TRUE(is_ok(client.request(model_request("lin", "regression"), 30'000)));
+    const std::string predicted = client.request(
+        "{\"verb\": \"predict\", \"task\": \"lin\", \"point\": [128]}", 10'000);
+    ASSERT_TRUE(is_ok(predicted)) << predicted;
+    EXPECT_NE(predicted.find("\"prediction\": 386"), std::string::npos) << predicted;
+}
+
+TEST(Serve, StoreCapacityEvictsOldestAcrossRestart) {
+    ServeScratchDir scratch;
+    serve::ServerConfig config = stored_config(scratch);
+    config.store_capacity = 1;
+    {
+        serve::Server server(config);
+        serve::Client client(server.bound_port());
+        ASSERT_TRUE(is_ok(client.request(model_request("old", "regression"), 30'000)));
+        ASSERT_TRUE(is_ok(client.request(model_request("new", "regression"), 30'000)));
+        server.stop();
+    }
+    serve::Server restarted(config);
+    serve::Client client(restarted.bound_port());
+    EXPECT_EQ(error_code(client.request(
+                  "{\"verb\": \"predict\", \"task\": \"old\", \"point\": [128]}", 10'000)),
+              "unknown_task");
+    EXPECT_TRUE(is_ok(client.request(
+        "{\"verb\": \"predict\", \"task\": \"new\", \"point\": [128]}", 10'000)));
+}
+
+TEST(Serve, CompactVerbMergesIngestSections) {
+    ServeScratchDir scratch;
+    const std::string arch = (scratch.path / "live.arch").string();
+    const std::string batch = escaped(linear_measurements_text());
+    serve::ServerConfig config = fast_config();
+    config.workers = 1;
+    serve::Server server(config);
+    serve::Client client(server.bound_port());
+
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(is_ok(client.request(
+            "{\"verb\": \"ingest\", \"archive\": " + serve::json_quote(arch) +
+                ", \"kernel\": \"lin\", \"metric\": \"time\", \"remodel\": false, "
+                "\"measurements\": \"" + batch + "\"}",
+            30'000)));
+    }
+    const std::string compacted = client.request(
+        "{\"verb\": \"compact\", \"archive\": " + serve::json_quote(arch) + "}", 30'000);
+    ASSERT_TRUE(is_ok(compacted)) << compacted;
+    EXPECT_NE(compacted.find("\"sections_before\": 3"), std::string::npos) << compacted;
+    EXPECT_NE(compacted.find("\"sections_after\": 1"), std::string::npos) << compacted;
+    EXPECT_NE(compacted.find("\"measurements\": 15"), std::string::npos) << compacted;
+
+    // The compacted archive still models (content untouched).
+    ASSERT_TRUE(is_ok(client.request(
+        "{\"verb\": \"model\", \"modeler\": \"regression\", \"timings\": false, "
+        "\"archive\": " + serve::json_quote(arch) +
+        ", \"kernel\": \"lin\", \"metric\": \"time\"}",
+        30'000)));
+
+    EXPECT_EQ(error_code(client.request("{\"verb\": \"compact\"}", 10'000)),
+              "validation_error");
+    EXPECT_EQ(error_code(client.request(
+                  "{\"verb\": \"compact\", \"archive\": " +
+                      serve::json_quote((scratch.path / "missing.arch").string()) + "}",
+                  10'000)),
+              "validation_error");
+}
+
 }  // namespace

@@ -1,0 +1,425 @@
+// Tests for the durable-state layer (xpcore/store.hpp): the shared
+// atomic-publish/quarantine primitives, the keyed blob store's round trip,
+// corruption repair, schema gating, deterministic capacity eviction, and
+// publish-failure warnings — plus the archive compaction golden: a
+// many-batch ingest archive compacts to one section per (kernel, metric)
+// with byte-identical text materialization.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "measure/archive.hpp"
+#include "measure/binary.hpp"
+#include "measure/experiment.hpp"
+#include "measure/io.hpp"
+#include "xpcore/archive.hpp"
+#include "xpcore/error.hpp"
+#include "xpcore/store.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using xpcore::store::Config;
+using xpcore::store::Store;
+
+// Per-test scratch directory so parallel ctest processes never collide.
+class ScratchDir {
+public:
+    ScratchDir() {
+        dir_ = fs::temp_directory_path() /
+               ("xpdnn_store_test_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter_++));
+        fs::create_directories(dir_);
+    }
+    ~ScratchDir() {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+    std::string path(const std::string& name) const { return (dir_ / name).string(); }
+    const fs::path& dir() const { return dir_; }
+
+private:
+    static inline int counter_ = 0;
+    fs::path dir_;
+};
+
+Config store_config(const ScratchDir& scratch, const std::string& sub = "store") {
+    Config config;
+    config.dir = scratch.path(sub);
+    config.prefix = "t";
+    return config;
+}
+
+/// Flip one byte of `path` at `offset` in place.
+void flip_byte(const std::string& path, std::size_t offset) {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(&byte, 1);
+}
+
+std::size_t count_files_matching(const fs::path& dir, const std::string& needle) {
+    std::size_t count = 0;
+    if (!fs::exists(dir)) return 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.path().filename().string().find(needle) != std::string::npos) ++count;
+    }
+    return count;
+}
+
+// ---- atomic-publish primitives ---------------------------------------------
+
+TEST(StorePrimitives, AtomicPublishCommitsWholeFile) {
+    ScratchDir scratch;
+    const std::string path = scratch.path("out.bin");
+    xpcore::atomic_publish(path, [](std::ostream& out) { out << "payload-bytes"; });
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), "payload-bytes");
+    EXPECT_EQ(count_files_matching(scratch.dir(), ".tmp"), 0u);
+}
+
+TEST(StorePrimitives, AtomicPublishThrowsWithoutTempLeftovers) {
+    ScratchDir scratch;
+    const std::string path = scratch.path("no_such_dir/out.bin");
+    EXPECT_THROW(
+        xpcore::atomic_publish(path, [](std::ostream& out) { out << "x"; }),
+        xpcore::Error);
+    EXPECT_FALSE(fs::exists(scratch.path("no_such_dir")));
+}
+
+TEST(StorePrimitives, TempPathsAreDistinct) {
+    const std::string a = xpcore::temp_path_for("/tmp/f");
+    const std::string b = xpcore::temp_path_for("/tmp/f");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a.rfind("/tmp/f.", 0), 0u);
+}
+
+TEST(StorePrimitives, QuarantineMovesAside) {
+    ScratchDir scratch;
+    const std::string path = scratch.path("bad.bin");
+    std::ofstream(path, std::ios::binary) << "damaged";
+    EXPECT_TRUE(xpcore::quarantine_corrupt(path));
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_TRUE(fs::exists(path + ".corrupt"));
+}
+
+// ---- keyed blob store -------------------------------------------------------
+
+TEST(StoreTest, RoundTripSurvivesReopen) {
+    ScratchDir scratch;
+    const std::string payload(1024, '\x7f');
+    {
+        Store store(store_config(scratch));
+        EXPECT_FALSE(store.load("alpha").has_value());
+        EXPECT_TRUE(store.put("alpha", payload));
+        EXPECT_TRUE(store.put("beta", "small"));
+        const auto loaded = store.load("alpha");
+        ASSERT_TRUE(loaded.has_value());
+        EXPECT_EQ(*loaded, payload);
+    }
+    // A second instance over the same directory indexes the published
+    // blobs — this is the restart-survival contract.
+    Store reopened(store_config(scratch));
+    const auto alpha = reopened.load("alpha");
+    const auto beta = reopened.load("beta");
+    ASSERT_TRUE(alpha.has_value());
+    ASSERT_TRUE(beta.has_value());
+    EXPECT_EQ(*alpha, payload);
+    EXPECT_EQ(*beta, "small");
+    EXPECT_EQ(reopened.stats().entries, 2u);
+    EXPECT_EQ(count_files_matching(fs::path(reopened.config().dir), ".tmp"), 0u);
+}
+
+TEST(StoreTest, PutReplacesExistingEntry) {
+    ScratchDir scratch;
+    Store store(store_config(scratch));
+    EXPECT_TRUE(store.put("k", "v1"));
+    EXPECT_TRUE(store.put("k", "v2-longer"));
+    EXPECT_EQ(store.stats().entries, 1u);
+    EXPECT_EQ(store.load("k").value_or(""), "v2-longer");
+    EXPECT_EQ(store.stats().payload_bytes, 9u);
+}
+
+TEST(StoreTest, SchemaMismatchIsAPlainMissNotCorruption) {
+    ScratchDir scratch;
+    std::vector<std::string> warnings;
+    Config config = store_config(scratch);
+    config.schema_version = 1;
+    config.warn = [&](const xpcore::Diagnostic& d) { warnings.push_back(d.format()); };
+    {
+        Store store(config);
+        EXPECT_TRUE(store.put("k", "old-schema"));
+    }
+    config.schema_version = 2;
+    Store stale(config);
+    EXPECT_FALSE(stale.load("k").has_value());
+    // A stale schema is expected after an upgrade: no warning, no
+    // quarantine — the same slot is simply overwritten by the next put.
+    EXPECT_EQ(stale.stats().repairs, 0u);
+    EXPECT_TRUE(warnings.empty());
+    EXPECT_EQ(count_files_matching(fs::path(config.dir), ".corrupt"), 0u);
+    EXPECT_TRUE(stale.put("k", "new-schema"));
+    EXPECT_EQ(stale.load("k").value_or(""), "new-schema");
+}
+
+TEST(StoreTest, CorruptPayloadIsQuarantinedWithWarning) {
+    ScratchDir scratch;
+    std::vector<std::string> warnings;
+    Config config = store_config(scratch);
+    config.warn = [&](const xpcore::Diagnostic& d) { warnings.push_back(d.format()); };
+    Store store(config);
+    ASSERT_TRUE(store.put("k", "precious-payload"));
+    const std::string blob = store.path_for("k");
+    // Damage the first payload byte: the header still decodes, the
+    // byte-wise fingerprint does not.
+    flip_byte(blob, 64 + std::string("k").size());
+
+    Store fresh(config);
+    EXPECT_FALSE(fresh.load("k").has_value());
+    EXPECT_EQ(fresh.stats().repairs, 1u);
+    EXPECT_EQ(fresh.stats().misses, 1u);
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find(blob), std::string::npos) << warnings[0];
+    EXPECT_FALSE(fs::exists(blob));
+    EXPECT_TRUE(fs::exists(blob + ".corrupt"));
+
+    // The next put repairs the slot in place.
+    EXPECT_TRUE(fresh.put("k", "precious-payload"));
+    EXPECT_EQ(fresh.load("k").value_or(""), "precious-payload");
+}
+
+TEST(StoreTest, HeaderCorruptBlobQuarantinedAtScan) {
+    ScratchDir scratch;
+    std::vector<std::string> warnings;
+    Config config = store_config(scratch);
+    config.warn = [&](const xpcore::Diagnostic& d) { warnings.push_back(d.format()); };
+    std::string blob;
+    {
+        Store store(config);
+        ASSERT_TRUE(store.put("k", "payload"));
+        blob = store.path_for("k");
+    }
+    flip_byte(blob, 16);  // inside the checksummed header span
+
+    Store scanned(config);
+    EXPECT_EQ(scanned.stats().entries, 0u);
+    EXPECT_EQ(scanned.stats().repairs, 1u);
+    EXPECT_EQ(warnings.size(), 1u);
+    EXPECT_TRUE(fs::exists(blob + ".corrupt"));
+}
+
+TEST(StoreTest, ForeignKeyInSlotIsAPlainMiss) {
+    ScratchDir scratch;
+    Store store(store_config(scratch));
+    ASSERT_TRUE(store.put("original", "payload"));
+    // Simulate an FNV slot collision: the blob of "original" sits in the
+    // file "other" maps to. The header and fingerprint are intact, so this
+    // must be a miss, not a quarantine.
+    fs::rename(store.path_for("original"), store.path_for("other"));
+
+    Store fresh(store_config(scratch));
+    EXPECT_FALSE(fresh.load("other").has_value());
+    EXPECT_EQ(fresh.stats().repairs, 0u);
+    EXPECT_TRUE(fs::exists(fresh.path_for("other")));
+}
+
+TEST(StoreTest, CapacityEvictsOldestDeterministically) {
+    ScratchDir scratch;
+    Config config = store_config(scratch);
+    config.capacity = 3;
+    Store store(config);
+    for (const char* key : {"a", "b", "c", "d", "e"}) {
+        ASSERT_TRUE(store.put(key, std::string("payload-") + key));
+    }
+    EXPECT_EQ(store.stats().entries, 3u);
+    EXPECT_EQ(store.stats().evictions, 2u);
+    EXPECT_EQ(store.keys(), (std::vector<std::string>{"c", "d", "e"}));
+    EXPECT_FALSE(store.load("a").has_value());
+    EXPECT_FALSE(fs::exists(store.path_for("a")));
+    EXPECT_TRUE(store.load("e").has_value());
+
+    // Re-touching an entry re-puts it to the back of the eviction order.
+    ASSERT_TRUE(store.put("c", "payload-c2"));
+    ASSERT_TRUE(store.put("f", "payload-f"));
+    EXPECT_EQ(store.keys(), (std::vector<std::string>{"e", "c", "f"}));
+}
+
+TEST(StoreTest, ExplicitEvictKeepsNewest) {
+    ScratchDir scratch;
+    Store store(store_config(scratch));
+    for (const char* key : {"a", "b", "c"}) ASSERT_TRUE(store.put(key, key));
+    EXPECT_EQ(store.evict(1), 2u);
+    EXPECT_EQ(store.keys(), std::vector<std::string>{"c"});
+    EXPECT_EQ(store.evict(1), 0u);
+    EXPECT_EQ(store.evict(0), 1u);
+    EXPECT_EQ(store.stats().entries, 0u);
+}
+
+TEST(StoreTest, EraseRemovesBlobFile) {
+    ScratchDir scratch;
+    Store store(store_config(scratch));
+    ASSERT_TRUE(store.put("k", "v"));
+    EXPECT_TRUE(store.erase("k"));
+    EXPECT_FALSE(store.erase("k"));
+    EXPECT_FALSE(fs::exists(store.path_for("k")));
+    EXPECT_FALSE(store.load("k").has_value());
+}
+
+TEST(StoreTest, PutFailureWarnsInsteadOfThrowing) {
+    ScratchDir scratch;
+    // The store "directory" is a regular file: create_directories and the
+    // temp-file open both fail, which must surface as a warning + false,
+    // never an exception (satellite: no silently-swallowed write failures).
+    const std::string blocked = scratch.path("blocked");
+    std::ofstream(blocked) << "not a directory";
+
+    std::vector<std::string> warnings;
+    Config config;
+    config.dir = blocked;
+    config.prefix = "t";
+    config.warn = [&](const xpcore::Diagnostic& d) { warnings.push_back(d.format()); };
+    Store store(config);
+    EXPECT_FALSE(store.put("k", "v"));
+    EXPECT_EQ(store.stats().put_failures, 1u);
+    EXPECT_EQ(store.stats().puts, 0u);
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_FALSE(store.load("k").has_value());
+}
+
+TEST(StoreTest, StatsCountersTrackTraffic) {
+    ScratchDir scratch;
+    Store store(store_config(scratch));
+    store.load("missing");
+    store.put("k", "v");
+    store.load("k");
+    store.load("k");
+    const auto stats = store.stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.puts, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.payload_bytes, 1u);
+}
+
+TEST(StoreTest, PrefixesAreIndependentKeySets) {
+    ScratchDir scratch;
+    Config a = store_config(scratch);
+    a.prefix = "one";
+    Config b = store_config(scratch);
+    b.prefix = "two";
+    Store first(a);
+    Store second(b);
+    ASSERT_TRUE(first.put("k", "from-one"));
+    ASSERT_TRUE(second.put("k", "from-two"));
+    EXPECT_EQ(Store(a).load("k").value_or(""), "from-one");
+    EXPECT_EQ(Store(b).load("k").value_or(""), "from-two");
+}
+
+// ---- archive compaction -----------------------------------------------------
+
+/// One two-point batch, distinct content per batch index.
+measure::ExperimentSet batch_set(int index) {
+    measure::ExperimentSet set({"p"});
+    set.add({static_cast<double>(2 * index + 2)}, {1.0 + index, 1.5 + index});
+    set.add({static_cast<double>(2 * index + 3)}, {2.0 + index});
+    return set;
+}
+
+/// The archive's canonical text materialization, for byte-comparisons.
+std::string archive_text(const std::string& path) {
+    std::ostringstream out;
+    measure::save_archive(measure::load_binary_archive_file(path), out);
+    return out.str();
+}
+
+TEST(CompactTest, HundredBatchIngestCompactsToOneSectionPerKey) {
+    ScratchDir scratch;
+    const std::string path = scratch.path("live.arch");
+    const std::vector<std::pair<std::string, std::string>> keys = {
+        {"kernelA", "time"}, {"kernelB", "time"}, {"kernelA", "flops"}};
+    for (int b = 0; b < 100; ++b) {
+        measure::append_binary_file(path, keys[b % keys.size()].first,
+                                    keys[b % keys.size()].second, batch_set(b));
+    }
+    const std::string before = archive_text(path);
+
+    const measure::CompactResult result = measure::compact_binary_file(path);
+    EXPECT_EQ(result.sections_before, 100u);
+    EXPECT_EQ(result.sections_after, 3u);
+    EXPECT_EQ(result.measurements, 200u);
+
+    // The compacted image holds exactly one section per (kernel, metric)
+    // and materializes byte-identically: compaction reorganizes the
+    // section log, never the content.
+    const auto reader = xpcore::archive::Reader::open(path, /*verify_content=*/true);
+    EXPECT_EQ(reader.section_count(), 3u);
+    EXPECT_EQ(reader.content_fingerprint(), result.content_fingerprint);
+    EXPECT_EQ(archive_text(path), before);
+
+    // Idempotent: compacting a compacted archive is a no-op rewrite.
+    const measure::CompactResult again = measure::compact_binary_file(path);
+    EXPECT_EQ(again.sections_before, 3u);
+    EXPECT_EQ(again.sections_after, 3u);
+    EXPECT_EQ(again.content_fingerprint, result.content_fingerprint);
+    EXPECT_EQ(archive_text(path), before);
+}
+
+TEST(CompactTest, FirstOccurrenceOrderAndAppendOrderSurvive) {
+    ScratchDir scratch;
+    const std::string path = scratch.path("order.arch");
+    // Interleave keys so first-occurrence order (B, A) differs from
+    // alphabetical and batches of each key arrive out of step.
+    measure::append_binary_file(path, "B", "time", batch_set(0));
+    measure::append_binary_file(path, "A", "time", batch_set(1));
+    measure::append_binary_file(path, "B", "time", batch_set(2));
+    measure::append_binary_file(path, "A", "time", batch_set(3));
+    const std::string before = archive_text(path);
+
+    const auto result = measure::compact_binary_file(path);
+    EXPECT_EQ(result.sections_after, 2u);
+    const auto reader = xpcore::archive::Reader::open(path, /*verify_content=*/true);
+    EXPECT_EQ(std::string(reader.section(0).kernel), "B");
+    EXPECT_EQ(std::string(reader.section(1).kernel), "A");
+    EXPECT_EQ(archive_text(path), before);
+}
+
+TEST(CompactTest, SingleSetArchiveKeepsShapeFlag) {
+    ScratchDir scratch;
+    const std::string path = scratch.path("set.arch");
+    measure::append_binary_set_file(path, batch_set(0));
+    measure::append_binary_set_file(path, batch_set(1));
+    std::ostringstream before;
+    measure::save_text(measure::load_binary_set_file(path), before);
+
+    const auto result = measure::compact_binary_file(path);
+    EXPECT_EQ(result.sections_before, 2u);
+    EXPECT_EQ(result.sections_after, 1u);
+    std::ostringstream after;
+    measure::save_text(measure::load_binary_set_file(path), after);
+    EXPECT_EQ(after.str(), before.str());
+}
+
+TEST(CompactTest, CorruptArchiveThrowsInsteadOfLaunderingDamage) {
+    ScratchDir scratch;
+    const std::string path = scratch.path("damaged.arch");
+    measure::append_binary_file(path, "k", "time", batch_set(0));
+    // Flip a payload byte just past the 128-byte header: the content
+    // fingerprint no longer matches, so the up-front verify throws.
+    flip_byte(path, 130);
+    EXPECT_THROW(measure::compact_binary_file(path), xpcore::Error);
+}
+
+}  // namespace

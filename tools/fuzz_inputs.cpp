@@ -32,11 +32,18 @@
 //      offset/count bombs): Reader::open must accept or throw a typed
 //      xpcore::Error, and on a typed miss the streaming Writer must repair
 //      (move the file to ".corrupt", publish a fresh openable archive).
+//  10. Clean durable-store blobs (xpcore/store.hpp, arbitrary binary keys
+//      and payloads): put must publish, and load — same instance or a fresh
+//      one over the directory — must return the byte-identical payload.
+//  11. Mutated durable-store blobs: load must return the original payload
+//      (no-op mutation) or miss without throwing, and a re-put must repair
+//      the slot in place.
 //
 // The run is fully deterministic for a given --seed, so any failure is
 // reproducible with the printed iteration number.
 //
-// Usage: fuzz_inputs [--iterations=N] [--seed=S] [--only=report|noise|archive] [--verbose]
+// Usage: fuzz_inputs [--iterations=N] [--seed=S]
+//        [--only=report|noise|archive|store] [--verbose]
 
 #include <unistd.h>
 
@@ -49,6 +56,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -64,6 +72,7 @@
 #include "pmnf/serialize.hpp"
 #include "xpcore/error.hpp"
 #include "xpcore/rng.hpp"
+#include "xpcore/store.hpp"
 
 namespace {
 
@@ -746,6 +755,137 @@ void check_mutated_binary(Stats& stats, std::uint64_t iter, xpcore::Rng& rng) {
     }
 }
 
+// ---- durable store (xpcore/store.hpp) ---------------------------------------
+
+/// Arbitrary binary key: the store hashes it into the file name, so any
+/// byte sequence (NULs, slashes, high bits) must work.
+std::string random_store_key(xpcore::Rng& rng) {
+    std::string key(static_cast<std::size_t>(rng.uniform_int(1, 32)), '\0');
+    for (auto& c : key) c = static_cast<char>(rng.uniform_int(0, 255));
+    return key;
+}
+
+std::string random_store_payload(xpcore::Rng& rng) {
+    std::string payload(static_cast<std::size_t>(rng.uniform_int(0, 2048)), '\0');
+    for (auto& c : payload) c = static_cast<char>(rng.uniform_int(0, 255));
+    return payload;
+}
+
+/// Store config over a scratch subdirectory, with warnings captured into
+/// `warnings` instead of spamming stderr across thousands of iterations.
+xpcore::store::Config fuzz_store_config(const std::string& sub,
+                                        std::vector<std::string>* warnings) {
+    xpcore::store::Config config;
+    config.dir = fuzz_scratch_dir() + "/" + sub;
+    config.prefix = "fz";
+    config.warn = [warnings](const xpcore::Diagnostic& diagnostic) {
+        warnings->push_back(diagnostic.format());
+    };
+    return config;
+}
+
+/// Clean store traffic: every put must publish and load back byte-identical,
+/// both from the putting instance and from a fresh instance over the same
+/// directory (the restart path).
+void check_clean_store(Stats& stats, std::uint64_t iter, xpcore::Rng& rng) {
+    std::vector<std::string> warnings;
+    const xpcore::store::Config config = fuzz_store_config("store_clean", &warnings);
+    std::error_code ec;
+    std::filesystem::remove_all(config.dir, ec);
+
+    std::map<std::string, std::string> expected;  // last put per key wins
+    const int puts = static_cast<int>(rng.uniform_int(1, 4));
+    const std::string desc = "store clean (" + std::to_string(puts) + " puts)";
+    try {
+        {
+            xpcore::store::Store store(config);
+            for (int i = 0; i < puts; ++i) {
+                const std::string key = random_store_key(rng);
+                const std::string payload = random_store_payload(rng);
+                if (!store.put(key, payload)) {
+                    violation(stats, iter, "clean store put failed", desc);
+                    return;
+                }
+                expected[key] = payload;
+            }
+            for (const auto& [key, payload] : expected) {
+                const auto loaded = store.load(key);
+                if (!loaded.has_value() || *loaded != payload) {
+                    violation(stats, iter, "clean store load is not byte-identical", desc);
+                    return;
+                }
+            }
+        }
+        xpcore::store::Store reopened(config);
+        for (const auto& [key, payload] : expected) {
+            const auto loaded = reopened.load(key);
+            if (!loaded.has_value() || *loaded != payload) {
+                violation(stats, iter, "store load after reopen is not byte-identical", desc);
+                return;
+            }
+        }
+        if (!warnings.empty()) {
+            violation(stats, iter, "clean store traffic warned: " + warnings.front(), desc);
+            return;
+        }
+        ++stats.accepted;
+    } catch (const std::exception& e) {
+        violation(stats, iter, std::string("clean store traffic raised: ") + e.what(), desc);
+    }
+}
+
+/// Mutated store blobs: load must return the original payload (the mutation
+/// was a no-op) or miss — never throw, never hand back different bytes —
+/// and a re-put must repair the slot in place.
+void check_mutated_store(Stats& stats, std::uint64_t iter, xpcore::Rng& rng) {
+    std::vector<std::string> warnings;
+    const xpcore::store::Config config = fuzz_store_config("store_mut", &warnings);
+    std::error_code ec;
+    std::filesystem::remove_all(config.dir, ec);
+
+    const std::string key = random_store_key(rng);
+    const std::string payload = random_store_payload(rng);
+    std::string blob;
+    {
+        xpcore::store::Store store(config);
+        if (!store.put(key, payload)) return;  // scratch dir unusable; skip
+        blob = store.path_for(key);
+    }
+    write_file_bytes(blob, mutate_binary(read_file_bytes(blob), rng));
+
+    std::ostringstream desc;
+    desc << "store mutated (key " << key.size() << "B, payload " << payload.size() << "B)";
+    try {
+        xpcore::store::Store store(config);
+        const auto loaded = store.load(key);
+        if (loaded.has_value()) {
+            if (*loaded != payload) {
+                violation(stats, iter, "mutated store blob loaded as different bytes",
+                          desc.str());
+                return;
+            }
+            ++stats.accepted;
+            return;
+        }
+        // Typed miss (quarantined or stale): the next put repairs in place.
+        if (!store.put(key, payload)) {
+            violation(stats, iter, "store put failed to repair after a miss", desc.str());
+            return;
+        }
+        const auto repaired = store.load(key);
+        if (!repaired.has_value() || *repaired != payload) {
+            violation(stats, iter, "store repair did not restore the payload", desc.str());
+            return;
+        }
+        ++stats.rejected;
+    } catch (const std::exception& e) {
+        violation(stats, iter, std::string("mutated store blob raised: ") + e.what(),
+                  desc.str());
+    } catch (...) {
+        violation(stats, iter, "mutated store blob raised a non-std exception", desc.str());
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -755,6 +895,7 @@ int main(int argc, char** argv) {
     bool only_report = false;
     bool only_noise = false;
     bool only_archive = false;
+    bool only_store = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--iterations=", 0) == 0) {
@@ -767,11 +908,13 @@ int main(int argc, char** argv) {
             only_noise = true;
         } else if (arg == "--only=archive") {
             only_archive = true;
+        } else if (arg == "--only=store") {
+            only_store = true;
         } else if (arg == "--verbose") {
             verbose = true;
         } else {
             std::cerr << "usage: fuzz_inputs [--iterations=N] [--seed=S] "
-                         "[--only=report|noise|archive] [--verbose]\n";
+                         "[--only=report|noise|archive|store] [--verbose]\n";
             return 2;
         }
     }
@@ -806,7 +949,8 @@ int main(int argc, char** argv) {
         switch (only_report    ? 5 + iter % 2
                 : only_noise   ? 7 + iter % 2
                 : only_archive ? 9 + iter % 2
-                               : iter % 11) {
+                : only_store   ? 11 + iter % 2
+                               : iter % 13) {
             case 0: check_clean(stats, iter, clean_set_text(rng), load_set, save_set); break;
             case 1: check_clean(stats, iter, clean_archive_text(rng), load_arch, save_arch); break;
             case 2: check_mutated(stats, iter, mutate(clean_set_text(rng), rng), try_set); break;
@@ -824,6 +968,8 @@ int main(int argc, char** argv) {
             case 8: check_noise_models(stats, iter, rng); break;
             case 9: check_clean_binary(stats, iter, rng); break;
             case 10: check_mutated_binary(stats, iter, rng); break;
+            case 11: check_clean_store(stats, iter, rng); break;
+            case 12: check_mutated_store(stats, iter, rng); break;
         }
         if (verbose && (iter + 1) % 1000 == 0) {
             std::cerr << "  " << (iter + 1) << "/" << iterations << " iterations\n";

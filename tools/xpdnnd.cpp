@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
     if (args.has("help")) {
         std::cout << "usage: xpdnnd [--port=N] [--workers=N] [--queue=N] "
                      "[--deadline-ms=N] [--cache=N] [--no-warm] [--net=PROFILE] "
-                     "[--seed=S] [--drain-after-ms=N]\n";
+                     "[--seed=S] [--drain-after-ms=N] [--store=DIR] "
+                     "[--store-capacity=N]\n";
         return 0;
     }
     return serve::daemon_main(args, std::cout, std::cerr);
